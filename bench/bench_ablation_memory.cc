@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation B: memory fault model and conservative memory tracking.
+ *
+ * Part 1 -- platform: the paper ran on SimpleScalar's zero-filled
+ * functional memory (Lenient). A bounds-checking platform (Strict)
+ * turns wild data accesses into crashes, inflating the residual
+ * with-protection failure rate.
+ *
+ * Part 2 -- analysis: the paper performs no memory disambiguation, its
+ * stated residual failure source (tagged values stored, reloaded, and
+ * used for control). Conservative memory tracking (one memory
+ * pseudo-location) closes that hole at the cost of tagging less.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "support/logging.hh"
+
+using namespace etc;
+using core::ProtectionMode;
+
+int
+main()
+{
+    bench::banner("Ablation B: memory model & memory tracking",
+                  "SimpleScalar-like vs. bounds-checked memory; "
+                  "no-disambiguation vs. conservative tracking");
+
+    constexpr unsigned TRIALS = 30;
+
+    Table platform({"Algorithm", "Errors", "memory model",
+                    "% fail (protected)"});
+    for (const char *name : {"adpcm", "blowfish", "mcf"}) {
+        auto workload =
+            workloads::createWorkload(name, workloads::Scale::Bench);
+        unsigned errors = std::string(name) == "mcf" ? 50 : 30;
+        for (auto model : {sim::MemoryModel::Lenient,
+                           sim::MemoryModel::Strict}) {
+            core::StudyConfig config;
+            config.trials = TRIALS;
+            config.memoryModel = model;
+            core::ErrorToleranceStudy study(*workload, config);
+            inform("ablation-memory: ", name, " model=",
+                   model == sim::MemoryModel::Lenient ? "lenient"
+                                                      : "strict");
+            auto cell = study.runCell(errors, ProtectionMode::Protected);
+            platform.addRow({
+                name,
+                std::to_string(errors),
+                model == sim::MemoryModel::Lenient
+                    ? "lenient (SimpleScalar-like)"
+                    : "strict (bounds-checked)",
+                formatPercent(cell.failureRate()),
+            });
+        }
+    }
+    platform.print(std::cout);
+
+    std::cout << '\n';
+    Table tracking({"Algorithm", "Errors", "analysis", "% dyn tagged",
+                    "% fail (protected)"});
+    for (const char *name : {"mcf", "gsm"}) {
+        auto workload =
+            workloads::createWorkload(name, workloads::Scale::Bench);
+        unsigned errors = std::string(name) == "mcf" ? 50 : 30;
+        for (bool trackMemory : {false, true}) {
+            core::StudyConfig config;
+            config.trials = TRIALS;
+            config.protection.trackMemory = trackMemory;
+            core::ErrorToleranceStudy study(*workload, config);
+            inform("ablation-tracking: ", name,
+                   " trackMemory=", trackMemory);
+            auto cell = study.runCell(errors, ProtectionMode::Protected);
+            tracking.addRow({
+                name,
+                std::to_string(errors),
+                trackMemory ? "conservative memory tracking"
+                            : "paper (no disambiguation)",
+                formatPercent(study.profile().taggedFraction()),
+                formatPercent(cell.failureRate()),
+            });
+        }
+    }
+    tracking.print(std::cout);
+    std::cout << "\n(expected: strict memory and no-tracking both "
+                 "raise residual failures; tracking shrinks the "
+                 "tagged fraction)\n";
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 2 reproduction: MPEG percentage of bad frames vs. errors
+ * inserted with static analysis ON (the paper has no OFF series --
+ * every unprotected simulation crashed), plus the failure series and
+ * the 10% viewer threshold.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "support/logging.hh"
+#include "workloads/mpeg.hh"
+
+using namespace etc;
+
+int
+main()
+{
+    bench::banner("Figure 2",
+                  "MPEG: % bad frames and % failed executions vs. "
+                  "errors inserted (threshold 10% bad frames)");
+
+    workloads::MpegWorkload workload(
+        workloads::MpegWorkload::scaled(workloads::Scale::Bench));
+    core::StudyConfig config;
+    core::ErrorToleranceStudy study(workload, config);
+
+    bench::SweepConfig sweep;
+    sweep.errorCounts = {25, 50, 100, 250, 500};
+    sweep.trials = 25;
+    sweep.runUnprotected = true; // shown for completeness
+    auto points = bench::runSweep(workload, study, sweep);
+
+    bench::printFigure(
+        "Figure 2: MPEG", "% bad frames", points,
+        [](const core::CellSummary &cell) {
+            return 100.0 * cell.meanFidelity();
+        },
+        10.0);
+    return 0;
+}

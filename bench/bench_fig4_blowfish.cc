@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 4 reproduction: Blowfish percentage of round-tripped
+ * plaintext bytes matching the original vs. errors inserted, plus the
+ * failure series. Paper shape: output identical at ~10 errors, then a
+ * gradual precision loss and a growing failure rate.
+ */
+
+#include <iostream>
+#include <limits>
+
+#include "bench/common.hh"
+#include "support/logging.hh"
+#include "workloads/blowfish.hh"
+
+using namespace etc;
+
+int
+main()
+{
+    bench::banner("Figure 4",
+                  "Blowfish: % bytes correct and % failed executions "
+                  "vs. errors inserted");
+
+    workloads::BlowfishWorkload workload(
+        workloads::BlowfishWorkload::scaled(workloads::Scale::Bench));
+    core::StudyConfig config;
+    core::ErrorToleranceStudy study(workload, config);
+
+    bench::SweepConfig sweep;
+    sweep.errorCounts = {1, 5, 10, 20, 30, 40};
+    sweep.trials = 20;
+    sweep.runUnprotected = true;
+    auto points = bench::runSweep(workload, study, sweep);
+
+    bench::printFigure(
+        "Figure 4: Blowfish", "% bytes correct", points,
+        [](const core::CellSummary &cell) {
+            return 100.0 * cell.meanFidelity();
+        },
+        std::numeric_limits<double>::quiet_NaN());
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 6 reproduction: ART percentage of images still recognized
+ * (correct template at the correct window, confidence in band) vs.
+ * errors inserted. Paper shape: recognition drops to ~75% with only
+ * two errors, yet the application never fails catastrophically.
+ */
+
+#include <iostream>
+#include <limits>
+
+#include "bench/common.hh"
+#include "support/logging.hh"
+#include "workloads/art.hh"
+
+using namespace etc;
+
+int
+main()
+{
+    bench::banner("Figure 6",
+                  "ART: % images recognized and % failed executions "
+                  "vs. errors inserted");
+
+    workloads::ArtWorkload workload(
+        workloads::ArtWorkload::scaled(workloads::Scale::Bench));
+    core::StudyConfig config;
+    core::ErrorToleranceStudy study(workload, config);
+
+    bench::SweepConfig sweep;
+    sweep.errorCounts = {0, 1, 2, 3, 4};
+    sweep.trials = 40;
+    sweep.runUnprotected = true;
+    auto points = bench::runSweep(workload, study, sweep);
+
+    bench::printFigure(
+        "Figure 6: ART", "% images recognized", points,
+        [](const core::CellSummary &cell) {
+            return 100.0 * cell.acceptableRate();
+        },
+        std::numeric_limits<double>::quiet_NaN());
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): simulator throughput per
+ * workload, static-analysis throughput, assembler throughput, and the
+ * injector hook's overhead. These size the experimental harness, not
+ * the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "analysis/control_protection.hh"
+#include "asm/assembler.hh"
+#include "fault/injection.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace etc;
+
+void
+simulateWorkload(benchmark::State &state, const std::string &name)
+{
+    auto workload = workloads::createWorkload(name,
+                                              workloads::Scale::Test);
+    sim::Simulator sim(workload->program());
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        sim.reset();
+        auto result = sim.run();
+        if (!result.completed())
+            state.SkipWithError("golden run failed");
+        instructions += result.instructions;
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+
+void
+BM_SimulateSusan(benchmark::State &state)
+{
+    simulateWorkload(state, "susan");
+}
+BENCHMARK(BM_SimulateSusan);
+
+void
+BM_SimulateBlowfish(benchmark::State &state)
+{
+    simulateWorkload(state, "blowfish");
+}
+BENCHMARK(BM_SimulateBlowfish);
+
+void
+BM_SimulateArtFloatingPoint(benchmark::State &state)
+{
+    simulateWorkload(state, "art");
+}
+BENCHMARK(BM_SimulateArtFloatingPoint);
+
+void
+BM_SimulatorWithInjectorHook(benchmark::State &state)
+{
+    auto workload = workloads::createWorkload("susan",
+                                              workloads::Scale::Test);
+    auto injectable =
+        fault::injectableWithoutProtection(workload->program());
+    sim::Simulator sim(workload->program());
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        fault::Injector injector(injectable, fault::InjectionPlan{});
+        sim.reset();
+        auto result = sim.run(0, &injector);
+        instructions += result.instructions;
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorWithInjectorHook);
+
+void
+BM_ControlProtectionAnalysis(benchmark::State &state)
+{
+    auto workload = workloads::createWorkload("blowfish",
+                                              workloads::Scale::Test);
+    analysis::ProtectionConfig config;
+    config.eligibleFunctions = workload->eligibleFunctions();
+    for (auto _ : state) {
+        auto result = analysis::computeControlProtection(
+            workload->program(), config);
+        benchmark::DoNotOptimize(result.numTagged);
+    }
+    state.counters["instrs"] = static_cast<double>(
+        workload->program().size());
+}
+BENCHMARK(BM_ControlProtectionAnalysis);
+
+void
+BM_Assembler(benchmark::State &state)
+{
+    std::ostringstream source;
+    source << ".data\nbuf: .space 64\n.text\n.func main\nmain:\n";
+    for (int i = 0; i < 200; ++i)
+        source << "  addi $t0, $t0, " << i << "\n"
+               << "  sw $t0, 0($sp)\n";
+    source << "  halt\n.endfunc\n";
+    std::string text = source.str();
+    for (auto _ : state) {
+        auto prog = assembly::assemble(text);
+        benchmark::DoNotOptimize(prog.size());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_Assembler);
+
+void
+BM_WorkloadConstruction(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto workload = workloads::createWorkload(
+            "mpeg", workloads::Scale::Test);
+        benchmark::DoNotOptimize(workload->program().size());
+    }
+}
+BENCHMARK(BM_WorkloadConstruction);
+
+} // namespace
+
+BENCHMARK_MAIN();

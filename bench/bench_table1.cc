@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table 1 reproduction: the application <-> fidelity-measure summary,
+ * extended with measured baseline statistics (program size, golden
+ * dynamic instructions, golden fidelity == perfect).
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "sim/simulator.hh"
+
+using namespace etc;
+
+int
+main()
+{
+    bench::banner("Table 1",
+                  "Summary of applications and their fidelity measures");
+
+    Table table({"Application", "Fidelity measure", "static instrs",
+                 "dynamic instrs", "golden fidelity"});
+    for (const auto &name : workloads::workloadNames()) {
+        auto workload = workloads::createWorkload(name,
+                                                  workloads::Scale::Bench);
+        sim::Simulator sim(workload->program());
+        auto run = sim.run();
+        if (!run.completed()) {
+            std::cerr << name << ": golden run failed: "
+                      << run.toString() << '\n';
+            return 1;
+        }
+        auto score =
+            workload->scoreFidelity(sim.output(), sim.output());
+        table.addRow({
+            name,
+            workload->fidelityMeasure(),
+            std::to_string(workload->program().size()),
+            std::to_string(run.instructions),
+            formatDouble(score.value) + " " + score.unit +
+                (score.acceptable ? " (ok)" : " (BAD)"),
+        });
+    }
+    table.print(std::cout);
+    return 0;
+}

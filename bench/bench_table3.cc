@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table 3 reproduction: dynamic instruction counts and the percentage
+ * of dynamic instructions the static analysis identifies as not
+ * leading to control (low-reliability, taggable).
+ */
+
+#include <iostream>
+
+#include "analysis/control_protection.hh"
+#include "bench/common.hh"
+#include "sim/profiler.hh"
+#include "sim/simulator.hh"
+
+using namespace etc;
+
+namespace {
+
+const std::vector<std::pair<const char *, const char *>> paperRows = {
+    {"susan", "91.3%"},  {"mpeg", "50.3%"}, {"mcf", "8.9%"},
+    {"blowfish", "62.4%"}, {"adpcm", "93.26%"}, {"gsm", "19.6%"},
+    {"art", "70.8%"},
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 3",
+                  "Dynamic instructions identified as low-reliability "
+                  "(could run in an unreliable environment)");
+
+    Table table({"Algorithm", "Instructions", "% low-reliability",
+                 "paper", "static tagged/ALU", "branches", "memory ops"});
+    for (const auto &[name, paperValue] : paperRows) {
+        auto workload =
+            workloads::createWorkload(name, workloads::Scale::Bench);
+        analysis::ProtectionConfig config;
+        config.eligibleFunctions = workload->eligibleFunctions();
+        auto protection = analysis::computeControlProtection(
+            workload->program(), config);
+
+        sim::Simulator sim(workload->program());
+        sim::Profiler profiler(protection.tagged);
+        auto run = sim.run(0, &profiler);
+        if (!run.completed()) {
+            std::cerr << name << ": golden run failed\n";
+            return 1;
+        }
+        const auto &profile = profiler.profile();
+        table.addRow({
+            name,
+            std::to_string(profile.total),
+            formatPercent(profile.taggedFraction()),
+            paperValue,
+            std::to_string(protection.numTagged) + "/" +
+                std::to_string(protection.numAlu),
+            std::to_string(profile.branches),
+            std::to_string(profile.memoryOps),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\n(shape to check: susan/adpcm high, blowfish/art "
+                 "middling, gsm low, mcf lowest)\n";
+    return 0;
+}

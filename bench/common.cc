@@ -1,0 +1,128 @@
+#include "bench/common.hh"
+
+#include <cmath>
+#include <iostream>
+
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace etc::bench {
+
+using core::CellSummary;
+using core::ProtectionMode;
+
+std::vector<SweepPoint>
+runSweep(const workloads::Workload &workload,
+         core::ErrorToleranceStudy &study, const SweepConfig &config)
+{
+    std::vector<SweepPoint> points;
+    for (unsigned errors : config.errorCounts) {
+        SweepPoint point;
+        point.errors = errors;
+        inform(workload.name(), ": errors=", errors, " (protected, ",
+               config.trials, " trials)");
+        point.protectedCell =
+            study.runCell(errors, ProtectionMode::Protected,
+                          config.trials);
+        if (config.runUnprotected) {
+            inform(workload.name(), ": errors=", errors,
+                   " (unprotected)");
+            point.hasUnprotected = true;
+            point.unprotectedCell =
+                study.runCell(errors, ProtectionMode::Unprotected,
+                              config.trials);
+        }
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+void
+banner(const std::string &experiment, const std::string &caption)
+{
+    std::cout << '\n'
+              << "==========================================================\n"
+              << experiment << '\n'
+              << caption << '\n'
+              << "==========================================================\n";
+}
+
+void
+printFigure(const std::string &title, const std::string &yLabel,
+            const std::vector<SweepPoint> &points,
+            const std::function<double(const CellSummary &)> &fidelityOf,
+            double threshold)
+{
+    Table table({"errors", "trials", "completed", "% failed",
+                 "95% CI", "fidelity (protected)", "% failed (unprot)",
+                 "fidelity (unprot)"});
+    for (const auto &p : points) {
+        const auto &cell = p.protectedCell;
+        auto ci = wilsonInterval(cell.crashed + cell.timedOut,
+                                 cell.trials);
+        table.addRow({
+            std::to_string(p.errors),
+            std::to_string(cell.trials),
+            std::to_string(cell.completed),
+            formatPercent(cell.failureRate()),
+            "[" + formatPercent(ci.low) + ", " +
+                formatPercent(ci.high) + "]",
+            formatDouble(fidelityOf(cell)),
+            p.hasUnprotected
+                ? formatPercent(p.unprotectedCell.failureRate())
+                : "-",
+            p.hasUnprotected
+                ? formatDouble(fidelityOf(p.unprotectedCell))
+                : "-",
+        });
+    }
+    table.print(std::cout);
+
+    AsciiChart fidelityChart(title, "errors inserted", yLabel);
+    Series prot;
+    prot.name = "static analysis ON";
+    prot.marker = 'o';
+    Series unprot;
+    unprot.name = "static analysis OFF";
+    unprot.marker = 'x';
+    for (const auto &p : points) {
+        prot.xs.push_back(p.errors);
+        prot.ys.push_back(fidelityOf(p.protectedCell));
+        if (p.hasUnprotected) {
+            unprot.xs.push_back(p.errors);
+            unprot.ys.push_back(fidelityOf(p.unprotectedCell));
+        }
+    }
+    fidelityChart.addSeries(prot);
+    if (!unprot.xs.empty())
+        fidelityChart.addSeries(unprot);
+    if (!std::isnan(threshold))
+        fidelityChart.setThreshold(threshold, "fidelity threshold");
+    std::cout << '\n';
+    fidelityChart.print(std::cout);
+
+    AsciiChart failChart(title + " -- catastrophic failures",
+                         "errors inserted", "% failed runs");
+    Series failProt;
+    failProt.name = "failures (protected)";
+    failProt.marker = 'o';
+    Series failUnprot;
+    failUnprot.name = "failures (unprotected)";
+    failUnprot.marker = 'x';
+    for (const auto &p : points) {
+        failProt.xs.push_back(p.errors);
+        failProt.ys.push_back(100.0 * p.protectedCell.failureRate());
+        if (p.hasUnprotected) {
+            failUnprot.xs.push_back(p.errors);
+            failUnprot.ys.push_back(
+                100.0 * p.unprotectedCell.failureRate());
+        }
+    }
+    failChart.addSeries(failProt);
+    if (!failUnprot.xs.empty())
+        failChart.addSeries(failUnprot);
+    std::cout << '\n';
+    failChart.print(std::cout);
+}
+
+} // namespace etc::bench

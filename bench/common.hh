@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared infrastructure for the table/figure reproduction binaries.
+ *
+ * Every bench_* executable regenerates one table or figure from the
+ * paper: it sweeps error counts through ErrorToleranceStudy campaigns,
+ * prints the series as an aligned table (with the paper's reported
+ * values alongside where applicable), and renders an ASCII chart of
+ * the same series so the reproduction's *shape* is visible at a
+ * glance. EXPERIMENTS.md records paper-vs-measured for each.
+ */
+
+#ifndef ETC_BENCH_COMMON_HH
+#define ETC_BENCH_COMMON_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/study.hh"
+#include "support/chart.hh"
+#include "support/table.hh"
+#include "workloads/workload.hh"
+
+namespace etc::bench {
+
+/** One swept campaign cell, both protection modes optional. */
+struct SweepPoint
+{
+    unsigned errors = 0;
+    core::CellSummary protectedCell;
+    bool hasUnprotected = false;
+    core::CellSummary unprotectedCell;
+};
+
+/** Sweep configuration for a figure. */
+struct SweepConfig
+{
+    std::vector<unsigned> errorCounts;
+    unsigned trials = 25;
+    bool runUnprotected = false;
+    uint64_t seed = 0xbe7c;
+};
+
+/**
+ * Construct a bench-scale study for @p workloadName and run the sweep.
+ * Progress is reported on stderr (one line per cell).
+ */
+std::vector<SweepPoint> runSweep(const workloads::Workload &workload,
+                                 core::ErrorToleranceStudy &study,
+                                 const SweepConfig &config);
+
+/** Standard banner printed by every bench binary. */
+void banner(const std::string &experiment, const std::string &caption);
+
+/**
+ * Print a fidelity/failure figure: a table of the swept cells plus
+ * ASCII charts for the fidelity metric and the failure rate.
+ *
+ * @param title        chart title (e.g. "Figure 1: Susan")
+ * @param yLabel       fidelity axis caption
+ * @param fidelityOf   extracts the plotted fidelity value of a cell
+ * @param threshold    optional fidelity threshold line (NaN = none)
+ */
+void printFigure(const std::string &title, const std::string &yLabel,
+                 const std::vector<SweepPoint> &points,
+                 const std::function<double(const core::CellSummary &)>
+                     &fidelityOf,
+                 double threshold);
+
+} // namespace etc::bench
+
+#endif // ETC_BENCH_COMMON_HH

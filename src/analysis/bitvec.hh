@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A dynamically sized bit vector for dataflow sets (reaching
+ * definitions), plus the fixed-size location set used by the CVar
+ * analysis.
+ */
+
+#ifndef ETC_ANALYSIS_BITVEC_HH
+#define ETC_ANALYSIS_BITVEC_HH
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "isa/registers.hh"
+
+namespace etc::analysis {
+
+/**
+ * Pseudo-location representing all of memory, used by the optional
+ * conservative memory-tracking mode of the CVar analysis.
+ */
+constexpr unsigned MEM_LOC = isa::NUM_REGS; // = 65
+
+/** Number of trackable locations (registers + the memory pseudo-loc). */
+constexpr unsigned NUM_LOCS = MEM_LOC + 1;
+
+/** A set of locations (registers + MEM). */
+using LocSet = std::bitset<NUM_LOCS>;
+
+/**
+ * Growable bit vector with the handful of set operations dataflow
+ * needs. Word-parallel; much faster than vector<bool> unions.
+ */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** Construct with @p size bits, all clear. */
+    explicit BitVec(size_t size)
+        : size_(size), words_((size + 63) / 64, 0)
+    {
+    }
+
+    size_t size() const { return size_; }
+
+    bool
+    test(size_t bit) const
+    {
+        return (words_[bit >> 6] >> (bit & 63)) & 1;
+    }
+
+    void
+    set(size_t bit)
+    {
+        words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+    }
+
+    void
+    clear(size_t bit)
+    {
+        words_[bit >> 6] &= ~(uint64_t{1} << (bit & 63));
+    }
+
+    /** this |= other. @return true if any bit changed. */
+    bool
+    unionWith(const BitVec &other)
+    {
+        bool changed = false;
+        for (size_t w = 0; w < words_.size(); ++w) {
+            uint64_t merged = words_[w] | other.words_[w];
+            if (merged != words_[w]) {
+                words_[w] = merged;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    /** this &= ~other. */
+    void
+    subtract(const BitVec &other)
+    {
+        for (size_t w = 0; w < words_.size(); ++w)
+            words_[w] &= ~other.words_[w];
+    }
+
+    bool
+    operator==(const BitVec &other) const
+    {
+        return size_ == other.size_ && words_ == other.words_;
+    }
+
+    /** Invoke @p fn with the index of every set bit, ascending. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (size_t w = 0; w < words_.size(); ++w) {
+            uint64_t bits = words_[w];
+            while (bits) {
+                unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
+                fn(w * 64 + tz);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /** Number of set bits. */
+    size_t
+    count() const
+    {
+        size_t n = 0;
+        for (uint64_t w : words_)
+            n += static_cast<size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+  private:
+    size_t size_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace etc::analysis
+
+#endif // ETC_ANALYSIS_BITVEC_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The paper's static analysis (Section 3): identify arithmetic
+ * instructions that do NOT influence control flow, so they may run in
+ * a low-reliability environment while everything else stays protected.
+ *
+ * Formulated as a backward may-dataflow over the set "CVar" of
+ * locations likely to influence control flow:
+ *
+ *  - a control instruction (branch, jr, bc1x) adds the locations it
+ *    reads to CVar;
+ *  - an instruction defining a location in CVar removes that location
+ *    and adds the locations used by the definition;
+ *  - any ALU instruction whose destination is not in CVar at its
+ *    program point is tagged low-reliability.
+ *
+ * Options mirror the paper plus the ablations DESIGN.md calls out:
+ *
+ *  - interprocedural: cross procedure boundaries (paper: "we assume
+ *    inter-procedural analysis");
+ *  - protectAddresses: also treat memory-address operands as
+ *    control-like. The paper's Section 3 propagates only from control
+ *    instructions, so this defaults OFF; corrupted address arithmetic
+ *    is one source of the paper's residual with-protection failures,
+ *    and turning this on is one of our ablations;
+ *  - trackMemory: conservative store-to-load tracking via a single
+ *    memory pseudo-location. The paper performs *no* memory
+ *    disambiguation -- its documented residual failure source -- so
+ *    this defaults off and exists as an ablation;
+ *  - eligibleFunctions: the paper lets the programmer mark which
+ *    functions may tolerate data error; instructions outside eligible
+ *    functions are never tagged. Empty = all functions eligible.
+ */
+
+#ifndef ETC_ANALYSIS_CONTROL_PROTECTION_HH
+#define ETC_ANALYSIS_CONTROL_PROTECTION_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/bitvec.hh"
+#include "analysis/flowgraph.hh"
+
+namespace etc::analysis {
+
+/** Configuration of the CVar analysis. */
+struct ProtectionConfig
+{
+    bool interprocedural = true;
+    bool protectAddresses = false;
+    bool trackMemory = false;
+    /** Functions whose data may tolerate errors; empty = all. */
+    std::set<std::string> eligibleFunctions;
+};
+
+/** Output of the CVar analysis. */
+struct ProtectionResult
+{
+    /** tagged[i]: instruction i is low-reliability (injectable). */
+    std::vector<bool> tagged;
+
+    /** CVar immediately after instruction i (join of successors). */
+    std::vector<LocSet> cvarOut;
+
+    /** CVar immediately before instruction i. */
+    std::vector<LocSet> cvarIn;
+
+    unsigned numTagged = 0;     //!< static count of tagged instructions
+    unsigned numAlu = 0;        //!< static count of ALU instructions
+    unsigned iterations = 0;    //!< worklist pops until fixpoint
+
+    /** @return static fraction of ALU instructions that were tagged. */
+    double
+    taggedAluFraction() const
+    {
+        return numAlu ? static_cast<double>(numTagged) / numAlu : 0.0;
+    }
+};
+
+/**
+ * Run the CVar analysis over @p program.
+ *
+ * The FlowGraph must have been built with the same interprocedural
+ * setting as @p config (checked; mismatch panics).
+ */
+ProtectionResult computeControlProtection(const assembly::Program &program,
+                                          const FlowGraph &graph,
+                                          const ProtectionConfig &config);
+
+/** Convenience overload that builds the matching FlowGraph itself. */
+ProtectionResult computeControlProtection(
+    const assembly::Program &program,
+    const ProtectionConfig &config = ProtectionConfig{});
+
+} // namespace etc::analysis
+
+#endif // ETC_ANALYSIS_CONTROL_PROTECTION_HH

@@ -1,0 +1,31 @@
+#include "analysis/defuse.hh"
+
+namespace etc::analysis {
+
+using namespace isa;
+
+DefUseChains
+computeDefUse(const assembly::Program &program,
+              const ReachingResult &reaching)
+{
+    const uint32_t n = program.size();
+    DefUseChains chains;
+    chains.usesOf.resize(n);
+
+    for (uint32_t u = 0; u < n; ++u) {
+        const auto &ins = program.code[u];
+        for (RegId reg : ins.uses()) {
+            if (reg == REG_ZERO)
+                continue;
+            // Every definition of `reg` reaching u feeds this use.
+            reaching.in[u].forEach([&](size_t d) {
+                uint32_t defInstr = reaching.defSites[d];
+                if (*program.code[defInstr].def() == reg)
+                    chains.usesOf[defInstr].push_back(Use{u, reg});
+            });
+        }
+    }
+    return chains;
+}
+
+} // namespace etc::analysis

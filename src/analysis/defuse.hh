@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Def-use chains built from reaching definitions.
+ *
+ * For every definition site, the chain lists the (instruction,
+ * register) pairs that may consume its value. Tests use these chains
+ * as an independent oracle for the CVar analysis: a value produced by
+ * a tagged instruction must never flow through registers into a
+ * control decision.
+ */
+
+#ifndef ETC_ANALYSIS_DEFUSE_HH
+#define ETC_ANALYSIS_DEFUSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/reaching.hh"
+
+namespace etc::analysis {
+
+/** One use of a definition. */
+struct Use
+{
+    uint32_t instr;  //!< the consuming instruction
+    isa::RegId reg;  //!< the register through which the value flows
+
+    bool operator==(const Use &other) const = default;
+};
+
+/** Def-use chains for a whole program. */
+struct DefUseChains
+{
+    /** usesOf[i] = uses of the value defined by instruction i. */
+    std::vector<std::vector<Use>> usesOf;
+};
+
+/**
+ * Build def-use chains from a reaching-definitions result.
+ */
+DefUseChains computeDefUse(const assembly::Program &program,
+                           const ReachingResult &reaching);
+
+} // namespace etc::analysis
+
+#endif // ETC_ANALYSIS_DEFUSE_HH

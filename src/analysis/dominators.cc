@@ -1,0 +1,152 @@
+#include "analysis/dominators.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace etc::analysis {
+
+namespace {
+
+/** Reverse-postorder numbering of the nodes reachable from entry. */
+void
+reversePostorder(const FlowGraph &graph, uint32_t entry,
+                 std::vector<uint32_t> &order,
+                 std::vector<uint32_t> &number)
+{
+    const uint32_t n = graph.size();
+    number.assign(n, UINT32_MAX);
+    order.clear();
+    order.reserve(n);
+
+    // Iterative DFS with an explicit successor cursor.
+    std::vector<uint8_t> state(n, 0); // 0 new, 1 open, 2 done
+    std::vector<std::pair<uint32_t, size_t>> stack;
+    stack.emplace_back(entry, 0);
+    state[entry] = 1;
+    std::vector<uint32_t> postorder;
+    while (!stack.empty()) {
+        auto &[node, cursor] = stack.back();
+        const auto &succs = graph.successors(node);
+        if (cursor < succs.size()) {
+            uint32_t next = succs[cursor++];
+            if (state[next] == 0) {
+                state[next] = 1;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            state[node] = 2;
+            postorder.push_back(node);
+            stack.pop_back();
+        }
+    }
+    order.assign(postorder.rbegin(), postorder.rend());
+    for (uint32_t i = 0; i < order.size(); ++i)
+        number[order[i]] = i;
+}
+
+} // namespace
+
+DominatorTree::DominatorTree(const FlowGraph &graph, uint32_t entry)
+    : entry_(entry), idom_(graph.size(), NONE)
+{
+    if (entry >= graph.size())
+        panic("DominatorTree: entry ", entry, " out of range");
+
+    std::vector<uint32_t> order, rpo;
+    reversePostorder(graph, entry, order, rpo);
+
+    // Cooper/Harvey/Kennedy iteration in RPO order.
+    auto intersect = [&](uint32_t a, uint32_t b) {
+        while (a != b) {
+            while (rpo[a] > rpo[b])
+                a = idom_[a];
+            while (rpo[b] > rpo[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    idom_[entry] = entry; // sentinel during iteration
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t node : order) {
+            if (node == entry)
+                continue;
+            uint32_t newIdom = NONE;
+            for (uint32_t pred : graph.predecessors(node)) {
+                if (idom_[pred] == NONE)
+                    continue; // pred not processed / unreachable
+                newIdom = newIdom == NONE ? pred
+                                          : intersect(pred, newIdom);
+            }
+            if (newIdom != NONE && idom_[node] != newIdom) {
+                idom_[node] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    idom_[entry] = NONE; // the entry has no immediate dominator
+}
+
+bool
+DominatorTree::dominates(uint32_t a, uint32_t b) const
+{
+    if (!reachable(b))
+        return false;
+    uint32_t node = b;
+    while (node != NONE) {
+        if (node == a)
+            return true;
+        node = idom_[node];
+    }
+    return false;
+}
+
+bool
+NaturalLoop::contains(uint32_t instr) const
+{
+    return std::binary_search(body.begin(), body.end(), instr);
+}
+
+std::vector<NaturalLoop>
+findNaturalLoops(const FlowGraph &graph, const DominatorTree &doms)
+{
+    std::vector<NaturalLoop> loops;
+    for (uint32_t node = 0; node < graph.size(); ++node) {
+        if (!doms.reachable(node))
+            continue;
+        for (uint32_t succ : graph.successors(node)) {
+            if (!doms.dominates(succ, node))
+                continue;
+            // Back edge node -> succ: collect the natural loop body by
+            // walking predecessors backward from the latch until the
+            // header.
+            NaturalLoop loop;
+            loop.header = succ;
+            loop.latch = node;
+            std::vector<uint32_t> stack = {node};
+            std::vector<bool> inBody(graph.size(), false);
+            inBody[succ] = true;
+            inBody[node] = true;
+            while (!stack.empty()) {
+                uint32_t current = stack.back();
+                stack.pop_back();
+                for (uint32_t pred : graph.predecessors(current)) {
+                    if (!inBody[pred] && doms.reachable(pred)) {
+                        inBody[pred] = true;
+                        stack.push_back(pred);
+                    }
+                }
+            }
+            for (uint32_t i = 0; i < graph.size(); ++i)
+                if (inBody[i])
+                    loop.body.push_back(i);
+            loops.push_back(std::move(loop));
+        }
+    }
+    return loops;
+}
+
+} // namespace etc::analysis

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Dominator tree and natural-loop detection over the instruction-level
+ * flow graph.
+ *
+ * This is the remaining piece of the "contemporary compiler" substrate
+ * the paper builds its tagging pass on (Section 3 cites the reaching-
+ * definitions framework that also enables loop-invariant code motion;
+ * loop discovery needs dominators). The library uses it to report
+ * which loops a workload spends its protected control budget on.
+ *
+ * Algorithm: Cooper/Harvey/Kennedy's iterative dominator computation
+ * over a reverse-postorder numbering -- simple and fast at our program
+ * sizes.
+ */
+
+#ifndef ETC_ANALYSIS_DOMINATORS_HH
+#define ETC_ANALYSIS_DOMINATORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/flowgraph.hh"
+
+namespace etc::analysis {
+
+/**
+ * Immediate-dominator relation for every instruction reachable from
+ * the program entry.
+ */
+class DominatorTree
+{
+  public:
+    /** Marker for unreachable nodes / the entry's missing parent. */
+    static constexpr uint32_t NONE = UINT32_MAX;
+
+    /**
+     * Build the tree.
+     *
+     * @param graph the flow graph
+     * @param entry the entry instruction index
+     */
+    DominatorTree(const FlowGraph &graph, uint32_t entry);
+
+    /** @return the immediate dominator of @p node (NONE for entry or
+     *          unreachable nodes). */
+    uint32_t
+    idom(uint32_t node) const
+    {
+        return idom_[node];
+    }
+
+    /** @return true if @p a dominates @p b (reflexive). */
+    bool dominates(uint32_t a, uint32_t b) const;
+
+    /** @return true if @p node is reachable from the entry. */
+    bool
+    reachable(uint32_t node) const
+    {
+        return node == entry_ || idom_[node] != NONE;
+    }
+
+    uint32_t entry() const { return entry_; }
+
+  private:
+    uint32_t entry_;
+    std::vector<uint32_t> idom_;
+};
+
+/** One natural loop: a back edge latch -> header plus its body. */
+struct NaturalLoop
+{
+    uint32_t header = 0;             //!< loop-entry instruction
+    uint32_t latch = 0;              //!< source of the back edge
+    std::vector<uint32_t> body;      //!< instructions, sorted ascending
+
+    /** @return true if @p instr belongs to the loop. */
+    bool contains(uint32_t instr) const;
+};
+
+/**
+ * Find all natural loops (back edges whose target dominates their
+ * source). Loops sharing a header are reported separately, one per
+ * back edge.
+ */
+std::vector<NaturalLoop> findNaturalLoops(const FlowGraph &graph,
+                                          const DominatorTree &doms);
+
+} // namespace etc::analysis
+
+#endif // ETC_ANALYSIS_DOMINATORS_HH

@@ -1,0 +1,116 @@
+#include "analysis/flowgraph.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace etc::analysis {
+
+using namespace isa;
+
+FlowGraph::FlowGraph(const assembly::Program &program,
+                     bool interprocedural)
+    : interprocedural_(interprocedural)
+{
+    const uint32_t n = program.size();
+    succs_.resize(n);
+    preds_.resize(n);
+    blockOf_.resize(n, 0);
+
+    // Map each function to its return sites (instruction after each
+    // call of it).
+    std::vector<std::vector<uint32_t>> returnSites(
+        program.functions.size());
+    if (interprocedural_) {
+        for (uint32_t i = 0; i < n; ++i) {
+            const auto &ins = program.code[i];
+            if (ins.op == Opcode::JAL) {
+                auto callee = program.functionContaining(ins.target);
+                if (callee && i + 1 < n)
+                    returnSites[*callee].push_back(i + 1);
+            }
+        }
+    }
+
+    for (uint32_t i = 0; i < n; ++i) {
+        const auto &ins = program.code[i];
+        auto addSucc = [&](uint32_t s) {
+            if (s < n)
+                succs_[i].push_back(s);
+        };
+        switch (instrClass(ins.op)) {
+          case InstrClass::Branch:
+            addSucc(i + 1);
+            addSucc(ins.target);
+            break;
+          case InstrClass::Jump:
+            if (ins.op == Opcode::J) {
+                addSucc(ins.target);
+            } else { // JR: return of the enclosing function
+                if (interprocedural_) {
+                    if (auto fn = program.functionContaining(i))
+                        for (uint32_t site : returnSites[*fn])
+                            addSucc(site);
+                }
+                // else: treated as program exit (no successors)
+            }
+            break;
+          case InstrClass::Call:
+            if (ins.op == Opcode::JAL && interprocedural_) {
+                addSucc(ins.target);
+            } else {
+                // Intraprocedural mode, or jalr (indirect): assume the
+                // call returns to the next instruction.
+                addSucc(i + 1);
+            }
+            break;
+          case InstrClass::System:
+            if (ins.op == Opcode::HALT)
+                break; // program exit
+            addSucc(i + 1);
+            break;
+          default:
+            addSucc(i + 1);
+            break;
+        }
+        // Deduplicate (a branch whose target is the fallthrough).
+        auto &s = succs_[i];
+        std::sort(s.begin(), s.end());
+        s.erase(std::unique(s.begin(), s.end()), s.end());
+    }
+
+    for (uint32_t i = 0; i < n; ++i)
+        for (uint32_t s : succs_[i])
+            preds_[s].push_back(i);
+
+    // Leaders: entry, any jump/branch target (i.e. node with a
+    // non-fallthrough predecessor or >1 preds), and any instruction
+    // after a multi-successor or zero-successor node.
+    std::vector<bool> leader(n, false);
+    if (n > 0)
+        leader[0] = true;
+    for (uint32_t i = 0; i < n; ++i) {
+        const auto &s = succs_[i];
+        bool terminator = s.size() != 1 || s[0] != i + 1;
+        if (terminator && i + 1 < n)
+            leader[i + 1] = true;
+        for (uint32_t t : s)
+            if (t != i + 1)
+                leader[t] = true;
+    }
+    for (const auto &fn : program.functions)
+        if (fn.begin < n)
+            leader[fn.begin] = true;
+
+    for (uint32_t i = 0; i < n;) {
+        uint32_t j = i + 1;
+        while (j < n && !leader[j])
+            ++j;
+        blocks_.push_back(Block{i, j});
+        for (uint32_t k = i; k < j; ++k)
+            blockOf_[k] = static_cast<uint32_t>(blocks_.size() - 1);
+        i = j;
+    }
+}
+
+} // namespace etc::analysis

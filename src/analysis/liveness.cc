@@ -1,0 +1,56 @@
+#include "analysis/liveness.hh"
+
+#include <deque>
+
+namespace etc::analysis {
+
+using namespace isa;
+
+LivenessResult
+computeLiveness(const assembly::Program &program, const FlowGraph &graph)
+{
+    const uint32_t n = program.size();
+    LivenessResult result;
+    result.liveIn.resize(n);
+    result.liveOut.resize(n);
+
+    std::deque<uint32_t> worklist;
+    std::vector<bool> queued(n, false);
+    // Seed in reverse order: backward analyses converge fastest that way.
+    for (uint32_t i = n; i-- > 0;) {
+        worklist.push_back(i);
+        queued[i] = true;
+    }
+
+    while (!worklist.empty()) {
+        uint32_t i = worklist.front();
+        worklist.pop_front();
+        queued[i] = false;
+
+        LocSet out;
+        for (uint32_t s : graph.successors(i))
+            out |= result.liveIn[s];
+        result.liveOut[i] = out;
+
+        LocSet in = out;
+        const auto &ins = program.code[i];
+        if (auto def = ins.def())
+            in.reset(*def);
+        for (RegId use : ins.uses())
+            if (use != REG_ZERO)
+                in.set(use);
+
+        if (in != result.liveIn[i]) {
+            result.liveIn[i] = in;
+            for (uint32_t p : graph.predecessors(i)) {
+                if (!queued[p]) {
+                    queued[p] = true;
+                    worklist.push_back(p);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace etc::analysis

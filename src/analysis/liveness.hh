@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Classic backward live-variable analysis at instruction granularity.
+ *
+ * Part of the "contemporary compiler" substrate the paper builds on
+ * (Section 3 cites reaching definitions / dataflow analysis as the
+ * enabling technique). Used by tests as an independent cross-check of
+ * the flow graph and by the ablation benches.
+ */
+
+#ifndef ETC_ANALYSIS_LIVENESS_HH
+#define ETC_ANALYSIS_LIVENESS_HH
+
+#include <vector>
+
+#include "analysis/bitvec.hh"
+#include "analysis/flowgraph.hh"
+
+namespace etc::analysis {
+
+/** Live-in / live-out register sets per instruction. */
+struct LivenessResult
+{
+    std::vector<LocSet> liveIn;
+    std::vector<LocSet> liveOut;
+};
+
+/**
+ * Run liveness to a fixpoint.
+ *
+ * liveIn[i]  = uses(i) ∪ (liveOut[i] \ defs(i))
+ * liveOut[i] = ∪ liveIn[s] over successors s
+ *
+ * $zero is never considered live (reads are constant).
+ */
+LivenessResult computeLiveness(const assembly::Program &program,
+                               const FlowGraph &graph);
+
+} // namespace etc::analysis
+
+#endif // ETC_ANALYSIS_LIVENESS_HH

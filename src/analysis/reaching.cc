@@ -1,0 +1,73 @@
+#include "analysis/reaching.hh"
+
+#include <deque>
+
+namespace etc::analysis {
+
+using namespace isa;
+
+ReachingResult
+computeReaching(const assembly::Program &program, const FlowGraph &graph)
+{
+    const uint32_t n = program.size();
+    ReachingResult result;
+    result.defIndexOf.assign(n, -1);
+
+    for (uint32_t i = 0; i < n; ++i) {
+        const auto &ins = program.code[i];
+        auto def = ins.def();
+        if (def && *def != REG_ZERO) {
+            result.defIndexOf[i] =
+                static_cast<int32_t>(result.defSites.size());
+            result.defSites.push_back(i);
+        }
+    }
+    const size_t numDefs = result.defSites.size();
+
+    // Per-register kill sets: all definitions of that register.
+    std::vector<BitVec> defsOfReg(NUM_LOCS, BitVec(numDefs));
+    for (size_t d = 0; d < numDefs; ++d) {
+        auto reg = *program.code[result.defSites[d]].def();
+        defsOfReg[reg].set(d);
+    }
+
+    result.in.assign(n, BitVec(numDefs));
+    std::vector<BitVec> out(n, BitVec(numDefs));
+
+    std::deque<uint32_t> worklist;
+    std::vector<bool> queued(n, false);
+    for (uint32_t i = 0; i < n; ++i) {
+        worklist.push_back(i);
+        queued[i] = true;
+    }
+
+    while (!worklist.empty()) {
+        uint32_t i = worklist.front();
+        worklist.pop_front();
+        queued[i] = false;
+
+        BitVec in(numDefs);
+        for (uint32_t p : graph.predecessors(i))
+            in.unionWith(out[p]);
+        result.in[i] = in;
+
+        BitVec newOut = in;
+        if (result.defIndexOf[i] >= 0) {
+            auto reg = *program.code[i].def();
+            newOut.subtract(defsOfReg[reg]);
+            newOut.set(static_cast<size_t>(result.defIndexOf[i]));
+        }
+        if (!(newOut == out[i])) {
+            out[i] = std::move(newOut);
+            for (uint32_t s : graph.successors(i)) {
+                if (!queued[s]) {
+                    queued[s] = true;
+                    worklist.push_back(s);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace etc::analysis

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reaching-definitions analysis at instruction granularity -- the
+ * textbook forward dataflow the paper names as the technique its
+ * tagging pass reuses ("used in contemporary compilers to determine
+ * reaching definitions").
+ *
+ * A *definition* is any instruction that writes a register. The result
+ * maps every program point to the set of definitions that may reach it.
+ */
+
+#ifndef ETC_ANALYSIS_REACHING_HH
+#define ETC_ANALYSIS_REACHING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/bitvec.hh"
+#include "analysis/flowgraph.hh"
+
+namespace etc::analysis {
+
+/** Result of reaching-definitions. */
+struct ReachingResult
+{
+    /** Instruction indices that define a register ("definitions"). */
+    std::vector<uint32_t> defSites;
+
+    /** defIndexOf[i] = position of instruction i in defSites, or -1. */
+    std::vector<int32_t> defIndexOf;
+
+    /** in[i] = set of definitions (as defSites positions) reaching i. */
+    std::vector<BitVec> in;
+
+    /**
+     * @return true if definition site @p defInstr reaches the entry of
+     *         @p useInstr.
+     */
+    bool
+    reaches(uint32_t defInstr, uint32_t useInstr) const
+    {
+        int32_t d = defIndexOf[defInstr];
+        return d >= 0 && in[useInstr].test(static_cast<size_t>(d));
+    }
+};
+
+/** Run reaching definitions to a fixpoint over @p graph. */
+ReachingResult computeReaching(const assembly::Program &program,
+                               const FlowGraph &graph);
+
+} // namespace etc::analysis
+
+#endif // ETC_ANALYSIS_REACHING_HH

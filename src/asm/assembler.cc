@@ -1,0 +1,548 @@
+#include "asm/assembler.hh"
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "support/logging.hh"
+
+namespace etc::assembly {
+
+using namespace isa;
+
+namespace {
+
+/** One source line split into label / mnemonic / operand fields. */
+struct ParsedLine
+{
+    int number = 0;
+    std::string label;               // without ':'
+    std::string mnem;                // lower-cased mnemonic or directive
+    std::vector<std::string> operands;
+};
+
+[[noreturn]] void
+errorAt(int line, const std::string &msg)
+{
+    fatal("assembler: line ", line, ": ", msg);
+}
+
+std::string
+strip(const std::string &text)
+{
+    size_t begin = 0, end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+/** Split operand text on commas not inside a string literal. */
+std::vector<std::string>
+splitOperands(const std::string &text, int line)
+{
+    std::vector<std::string> out;
+    std::string current;
+    bool inString = false;
+    for (size_t i = 0; i < text.size(); ++i) {
+        char ch = text[i];
+        if (ch == '"' && (i == 0 || text[i - 1] != '\\'))
+            inString = !inString;
+        if (ch == ',' && !inString) {
+            out.push_back(strip(current));
+            current.clear();
+        } else {
+            current += ch;
+        }
+    }
+    if (inString)
+        errorAt(line, "unterminated string literal");
+    std::string last = strip(current);
+    if (!last.empty())
+        out.push_back(last);
+    return out;
+}
+
+ParsedLine
+parseLine(const std::string &raw, int number)
+{
+    ParsedLine out;
+    out.number = number;
+
+    // Strip comments ('#' outside string literals).
+    std::string text;
+    bool inString = false;
+    for (size_t i = 0; i < raw.size(); ++i) {
+        char ch = raw[i];
+        if (ch == '"' && (i == 0 || raw[i - 1] != '\\'))
+            inString = !inString;
+        if (ch == '#' && !inString)
+            break;
+        text += ch;
+    }
+    text = strip(text);
+    if (text.empty())
+        return out;
+
+    // Leading label?
+    size_t colon = std::string::npos;
+    inString = false;
+    for (size_t i = 0; i < text.size(); ++i) {
+        char ch = text[i];
+        if (ch == '"')
+            inString = !inString;
+        if (ch == ':' && !inString) {
+            colon = i;
+            break;
+        }
+        if (std::isspace(static_cast<unsigned char>(ch)))
+            break; // first token is a mnemonic, not a label
+    }
+    if (colon != std::string::npos) {
+        out.label = strip(text.substr(0, colon));
+        if (out.label.empty())
+            errorAt(number, "empty label");
+        text = strip(text.substr(colon + 1));
+    }
+    if (text.empty())
+        return out;
+
+    size_t space = text.find_first_of(" \t");
+    out.mnem = text.substr(0, space);
+    for (auto &ch : out.mnem)
+        ch = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch)));
+    if (space != std::string::npos)
+        out.operands = splitOperands(strip(text.substr(space + 1)), number);
+    return out;
+}
+
+int64_t
+parseInt(const std::string &text, int line)
+{
+    if (text.empty())
+        errorAt(line, "expected an integer");
+    try {
+        size_t pos = 0;
+        long long value = std::stoll(text, &pos, 0);
+        if (pos != text.size())
+            errorAt(line, "bad integer '" + text + "'");
+        return value;
+    } catch (const std::exception &) {
+        errorAt(line, "bad integer '" + text + "'");
+    }
+}
+
+RegId
+parseRegOrDie(const std::string &text, int line)
+{
+    auto reg = parseReg(text);
+    if (!reg)
+        errorAt(line, "bad register '" + text + "'");
+    return *reg;
+}
+
+/** Parse "offset($base)" or "($base)" or "label". */
+struct MemOperand
+{
+    bool isLabel = false;
+    std::string label;
+    int32_t offset = 0;
+    RegId base = REG_ZERO;
+};
+
+MemOperand
+parseMemOperand(const std::string &text, int line)
+{
+    MemOperand out;
+    size_t open = text.find('(');
+    if (open == std::string::npos) {
+        out.isLabel = true;
+        out.label = text;
+        return out;
+    }
+    size_t close = text.find(')', open);
+    if (close == std::string::npos)
+        errorAt(line, "missing ')' in memory operand '" + text + "'");
+    std::string offText = strip(text.substr(0, open));
+    if (!offText.empty())
+        out.offset = static_cast<int32_t>(parseInt(offText, line));
+    out.base = parseRegOrDie(strip(text.substr(open + 1, close - open - 1)),
+                             line);
+    return out;
+}
+
+std::vector<uint8_t>
+parseAsciiz(const std::string &text, int line)
+{
+    std::string t = strip(text);
+    if (t.size() < 2 || t.front() != '"' || t.back() != '"')
+        errorAt(line, ".asciiz expects a quoted string");
+    std::vector<uint8_t> bytes;
+    for (size_t i = 1; i + 1 < t.size(); ++i) {
+        char ch = t[i];
+        if (ch == '\\' && i + 2 < t.size()) {
+            ++i;
+            switch (t[i]) {
+              case 'n': ch = '\n'; break;
+              case 't': ch = '\t'; break;
+              case '0': ch = '\0'; break;
+              case '\\': ch = '\\'; break;
+              case '"': ch = '"'; break;
+              default:
+                errorAt(line, "unknown escape in string");
+            }
+        }
+        bytes.push_back(static_cast<uint8_t>(ch));
+    }
+    bytes.push_back(0);
+    return bytes;
+}
+
+/** How many real instructions a mnemonic expands to. */
+unsigned
+expansionSize(const std::string &mnem)
+{
+    if (mnem == "blt" || mnem == "bge" || mnem == "bgt" || mnem == "ble")
+        return 2;
+    return 1;
+}
+
+bool
+isPseudo(const std::string &mnem)
+{
+    return mnem == "li" || mnem == "la" || mnem == "move" ||
+           mnem == "blt" || mnem == "bge" || mnem == "bgt" ||
+           mnem == "ble";
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const std::string &entryFunction)
+{
+    std::vector<ParsedLine> lines;
+    {
+        std::istringstream iss(source);
+        std::string raw;
+        int number = 0;
+        while (std::getline(iss, raw))
+            lines.push_back(parseLine(raw, ++number));
+    }
+
+    Program prog;
+    prog.dataEnd = DATA_BASE;
+
+    // ---- pass 1: lay out data, bind all labels, count instructions ----
+    enum class Segment { Text, Data };
+    Segment seg = Segment::Text;
+    uint32_t instrCount = 0;
+
+    auto alignData = [&](uint32_t alignment) {
+        prog.dataEnd = (prog.dataEnd + alignment - 1) & ~(alignment - 1);
+    };
+
+    auto addChunk = [&](std::vector<uint8_t> bytes) {
+        DataChunk chunk;
+        chunk.addr = prog.dataEnd;
+        chunk.bytes = std::move(bytes);
+        prog.dataEnd += static_cast<uint32_t>(chunk.bytes.size());
+        prog.data.push_back(std::move(chunk));
+    };
+
+    struct PendingFunction
+    {
+        std::string name;
+        uint32_t begin;
+    };
+    std::optional<PendingFunction> openFunction;
+
+    for (const auto &line : lines) {
+        if (!line.label.empty()) {
+            if (seg == Segment::Text) {
+                // Re-binding at the same address is allowed so that
+                // `.func f` followed by an explicit `f:` label works.
+                auto it = prog.codeLabels.find(line.label);
+                if (it != prog.codeLabels.end() &&
+                    it->second != instrCount)
+                    errorAt(line.number,
+                            "duplicate label '" + line.label + "'");
+                prog.codeLabels[line.label] = instrCount;
+            } else {
+                alignData(4);
+                if (prog.dataLabels.count(line.label))
+                    errorAt(line.number,
+                            "duplicate label '" + line.label + "'");
+                prog.dataLabels[line.label] = prog.dataEnd;
+            }
+        }
+        if (line.mnem.empty())
+            continue;
+
+        if (line.mnem == ".text") {
+            seg = Segment::Text;
+        } else if (line.mnem == ".data") {
+            seg = Segment::Data;
+        } else if (line.mnem == ".func") {
+            if (line.operands.size() != 1)
+                errorAt(line.number, ".func expects a name");
+            if (openFunction)
+                errorAt(line.number, "nested .func");
+            openFunction = PendingFunction{line.operands[0], instrCount};
+            if (!prog.codeLabels.count(line.operands[0]))
+                prog.codeLabels[line.operands[0]] = instrCount;
+        } else if (line.mnem == ".endfunc") {
+            if (!openFunction)
+                errorAt(line.number, ".endfunc without .func");
+            FunctionInfo fn;
+            fn.name = openFunction->name;
+            fn.begin = openFunction->begin;
+            fn.end = instrCount;
+            if (fn.begin == fn.end)
+                errorAt(line.number,
+                        "function '" + fn.name + "' is empty");
+            prog.functions.push_back(std::move(fn));
+            openFunction.reset();
+        } else if (line.mnem == ".word") {
+            if (seg != Segment::Data)
+                errorAt(line.number, ".word outside .data");
+            alignData(4);
+            std::vector<uint8_t> bytes;
+            for (const auto &opnd : line.operands) {
+                auto u = static_cast<uint32_t>(
+                    parseInt(opnd, line.number));
+                for (int b = 0; b < 4; ++b)
+                    bytes.push_back(static_cast<uint8_t>(u >> (8 * b)));
+            }
+            addChunk(std::move(bytes));
+        } else if (line.mnem == ".float") {
+            if (seg != Segment::Data)
+                errorAt(line.number, ".float outside .data");
+            alignData(4);
+            std::vector<uint8_t> bytes;
+            for (const auto &opnd : line.operands) {
+                float f = 0.0f;
+                try {
+                    f = std::stof(opnd);
+                } catch (const std::exception &) {
+                    errorAt(line.number, "bad float '" + opnd + "'");
+                }
+                uint32_t u;
+                std::memcpy(&u, &f, sizeof(u));
+                for (int b = 0; b < 4; ++b)
+                    bytes.push_back(static_cast<uint8_t>(u >> (8 * b)));
+            }
+            addChunk(std::move(bytes));
+        } else if (line.mnem == ".byte") {
+            if (seg != Segment::Data)
+                errorAt(line.number, ".byte outside .data");
+            std::vector<uint8_t> bytes;
+            for (const auto &opnd : line.operands)
+                bytes.push_back(
+                    static_cast<uint8_t>(parseInt(opnd, line.number)));
+            addChunk(std::move(bytes));
+        } else if (line.mnem == ".space") {
+            if (seg != Segment::Data)
+                errorAt(line.number, ".space outside .data");
+            if (line.operands.size() != 1)
+                errorAt(line.number, ".space expects a size");
+            alignData(4);
+            addChunk(std::vector<uint8_t>(
+                static_cast<size_t>(parseInt(line.operands[0],
+                                             line.number)),
+                0));
+        } else if (line.mnem == ".asciiz") {
+            if (seg != Segment::Data)
+                errorAt(line.number, ".asciiz outside .data");
+            if (line.operands.size() != 1)
+                errorAt(line.number, ".asciiz expects one string");
+            addChunk(parseAsciiz(line.operands[0], line.number));
+        } else if (line.mnem == ".align") {
+            if (seg != Segment::Data)
+                errorAt(line.number, ".align outside .data");
+            auto amount = static_cast<uint32_t>(
+                parseInt(line.operands.at(0), line.number));
+            alignData(std::max(1u, amount));
+        } else if (line.mnem[0] == '.') {
+            errorAt(line.number, "unknown directive '" + line.mnem + "'");
+        } else {
+            if (seg != Segment::Text)
+                errorAt(line.number, "instruction outside .text");
+            instrCount += expansionSize(line.mnem);
+        }
+    }
+    if (openFunction)
+        fatal("assembler: function '", openFunction->name,
+              "' never closed with .endfunc");
+
+    // ---- pass 2: emit instructions with all labels known --------------
+    auto codeTarget = [&](const std::string &label, int line) {
+        auto it = prog.codeLabels.find(label);
+        if (it == prog.codeLabels.end())
+            errorAt(line, "unknown code label '" + label + "'");
+        return it->second;
+    };
+
+    for (const auto &line : lines) {
+        if (line.mnem.empty() || line.mnem[0] == '.')
+            continue;
+        const auto &ops = line.operands;
+        auto need = [&](size_t n) {
+            if (ops.size() != n)
+                errorAt(line.number,
+                        "'" + line.mnem + "' expects " +
+                            std::to_string(n) + " operands");
+        };
+        auto reg = [&](size_t i) { return parseRegOrDie(ops[i],
+                                                        line.number); };
+        auto immAt = [&](size_t i) {
+            return static_cast<int32_t>(parseInt(ops[i], line.number));
+        };
+
+        if (isPseudo(line.mnem)) {
+            if (line.mnem == "li") {
+                need(2);
+                prog.code.push_back(
+                    make::r2i(Opcode::ADDI, reg(0), REG_ZERO, immAt(1)));
+            } else if (line.mnem == "la") {
+                need(2);
+                auto it = prog.dataLabels.find(ops[1]);
+                if (it == prog.dataLabels.end())
+                    errorAt(line.number,
+                            "unknown data label '" + ops[1] + "'");
+                prog.code.push_back(
+                    make::r2i(Opcode::ADDI, reg(0), REG_ZERO,
+                              static_cast<int32_t>(it->second)));
+            } else if (line.mnem == "move") {
+                need(2);
+                prog.code.push_back(
+                    make::r3(Opcode::OR, reg(0), reg(1), REG_ZERO));
+            } else {
+                // blt/bge/bgt/ble rs, rt, label
+                need(3);
+                RegId rs = reg(0), rt = reg(1);
+                uint32_t target = codeTarget(ops[2], line.number);
+                bool swap = line.mnem == "bgt" || line.mnem == "ble";
+                bool onSet = line.mnem == "blt" || line.mnem == "bgt";
+                prog.code.push_back(make::r3(Opcode::SLT, REG_AT,
+                                             swap ? rt : rs,
+                                             swap ? rs : rt));
+                prog.code.push_back(
+                    make::br2(onSet ? Opcode::BNE : Opcode::BEQ, REG_AT,
+                              REG_ZERO, target));
+            }
+            continue;
+        }
+
+        auto opcode = opcodeFromMnemonic(line.mnem);
+        if (!opcode)
+            errorAt(line.number, "unknown mnemonic '" + line.mnem + "'");
+
+        Instruction ins;
+        ins.op = *opcode;
+        switch (format(*opcode)) {
+          case Format::None:
+            need(0);
+            break;
+          case Format::R3:
+          case Format::F3:
+            need(3);
+            ins.rd = reg(0);
+            ins.rs = reg(1);
+            ins.rt = reg(2);
+            break;
+          case Format::R2I:
+            need(3);
+            ins.rd = reg(0);
+            ins.rs = reg(1);
+            ins.imm = immAt(2);
+            break;
+          case Format::RI:
+            need(2);
+            ins.rd = reg(0);
+            ins.imm = immAt(1);
+            break;
+          case Format::Mem:
+          case Format::FMem: {
+            need(2);
+            ins.rd = reg(0);
+            MemOperand m = parseMemOperand(ops[1], line.number);
+            if (m.isLabel) {
+                auto it = prog.dataLabels.find(m.label);
+                if (it == prog.dataLabels.end())
+                    errorAt(line.number,
+                            "unknown data label '" + m.label + "'");
+                ins.rs = REG_ZERO;
+                ins.imm = static_cast<int32_t>(it->second);
+            } else {
+                ins.rs = m.base;
+                ins.imm = m.offset;
+            }
+            break;
+          }
+          case Format::Br2:
+            need(3);
+            ins.rs = reg(0);
+            ins.rt = reg(1);
+            ins.target = codeTarget(ops[2], line.number);
+            break;
+          case Format::Br1:
+            need(2);
+            ins.rs = reg(0);
+            ins.target = codeTarget(ops[1], line.number);
+            break;
+          case Format::Jmp:
+          case Format::FBr:
+            need(1);
+            ins.target = codeTarget(ops[0], line.number);
+            break;
+          case Format::JmpR:
+          case Format::R1:
+            need(1);
+            ins.rs = reg(0);
+            break;
+          case Format::JmpLR:
+            need(2);
+            ins.rd = reg(0);
+            ins.rs = reg(1);
+            break;
+          case Format::F2:
+            need(2);
+            ins.rd = reg(0);
+            ins.rs = reg(1);
+            break;
+          case Format::FCmp:
+            need(2);
+            ins.rs = reg(0);
+            ins.rt = reg(1);
+            break;
+          case Format::MoveToFp:
+            need(2);
+            ins.rs = reg(0);
+            ins.rd = reg(1);
+            break;
+          case Format::MoveFromFp:
+            need(2);
+            ins.rd = reg(0);
+            ins.rs = reg(1);
+            break;
+        }
+        prog.code.push_back(ins);
+    }
+
+    auto entry = prog.codeLabels.find(entryFunction);
+    if (entry == prog.codeLabels.end())
+        fatal("assembler: entry function '", entryFunction,
+              "' not defined");
+    prog.entry = entry->second;
+
+    prog.validate();
+    return prog;
+}
+
+} // namespace etc::assembly

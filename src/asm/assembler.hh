@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A two-pass textual assembler for the target ISA.
+ *
+ * Accepted syntax (MIPS-flavoured):
+ *
+ *   .data
+ *   table:   .word 1, 2, 3
+ *   buffer:  .space 64
+ *   scale:   .float 0.5, 2.0
+ *   text:    .asciiz "hello"
+ *   .text
+ *   .func main
+ *   main:    li   $t0, 10
+ *   loop:    addi $t0, $t0, -1
+ *            bgtz $t0, loop
+ *            halt
+ *   .endfunc
+ *
+ * Supported pseudo-instructions: li, la, move, blt, bge, bgt, ble
+ * (the comparison pseudos expand to slt + branch via $at, exactly as
+ * the ProgramBuilder does). Comments start with '#'.
+ *
+ * Errors are reported via etc::fatal() with a line number.
+ */
+
+#ifndef ETC_ASM_ASSEMBLER_HH
+#define ETC_ASM_ASSEMBLER_HH
+
+#include <string>
+
+#include "asm/program.hh"
+
+namespace etc::assembly {
+
+/**
+ * Assemble source text into a Program.
+ *
+ * @param source        full assembly listing
+ * @param entryFunction function where execution starts (default "main")
+ * @return the assembled, validated program
+ * @throws FatalError on any syntax or semantic error
+ */
+Program assemble(const std::string &source,
+                 const std::string &entryFunction = "main");
+
+} // namespace etc::assembly
+
+#endif // ETC_ASM_ASSEMBLER_HH

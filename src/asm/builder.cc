@@ -1,0 +1,463 @@
+#include "asm/builder.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace etc::assembly {
+
+using namespace isa;
+
+ProgramBuilder::ProgramBuilder()
+{
+    prog_.dataEnd = DATA_BASE;
+}
+
+uint32_t
+ProgramBuilder::dataBytes(const std::string &label,
+                          const std::vector<uint8_t> &bytes)
+{
+    // Keep every chunk word-aligned so later words/floats stay aligned.
+    uint32_t addr = (prog_.dataEnd + 3u) & ~3u;
+    if (prog_.dataLabels.count(label))
+        fatal("duplicate data label '", label, "'");
+    prog_.dataLabels[label] = addr;
+    DataChunk chunk;
+    chunk.addr = addr;
+    chunk.bytes = bytes;
+    prog_.dataEnd = addr + static_cast<uint32_t>(bytes.size());
+    prog_.data.push_back(std::move(chunk));
+    return addr;
+}
+
+uint32_t
+ProgramBuilder::dataWords(const std::string &label,
+                          const std::vector<int32_t> &words)
+{
+    std::vector<uint8_t> bytes;
+    bytes.reserve(words.size() * 4);
+    for (int32_t w : words) {
+        auto u = static_cast<uint32_t>(w);
+        bytes.push_back(static_cast<uint8_t>(u));
+        bytes.push_back(static_cast<uint8_t>(u >> 8));
+        bytes.push_back(static_cast<uint8_t>(u >> 16));
+        bytes.push_back(static_cast<uint8_t>(u >> 24));
+    }
+    return dataBytes(label, bytes);
+}
+
+uint32_t
+ProgramBuilder::dataFloats(const std::string &label,
+                           const std::vector<float> &values)
+{
+    std::vector<int32_t> words;
+    words.reserve(values.size());
+    for (float f : values) {
+        int32_t bits;
+        std::memcpy(&bits, &f, sizeof(bits));
+        words.push_back(bits);
+    }
+    return dataWords(label, words);
+}
+
+uint32_t
+ProgramBuilder::dataSpace(const std::string &label, uint32_t nbytes)
+{
+    return dataBytes(label, std::vector<uint8_t>(nbytes, 0));
+}
+
+void
+ProgramBuilder::beginFunction(const std::string &name)
+{
+    if (inFunction_)
+        fatal("beginFunction('", name, "'): function '", currentFunction_,
+              "' still open");
+    if (prog_.codeLabels.count(name))
+        fatal("duplicate function/label name '", name, "'");
+    inFunction_ = true;
+    currentFunction_ = name;
+    functionStart_ = here();
+    prog_.codeLabels[name] = functionStart_;
+}
+
+void
+ProgramBuilder::endFunction()
+{
+    if (!inFunction_)
+        fatal("endFunction: no function open");
+    FunctionInfo fn;
+    fn.name = currentFunction_;
+    fn.begin = functionStart_;
+    fn.end = here();
+    if (fn.begin == fn.end)
+        fatal("function '", fn.name, "' is empty");
+    prog_.functions.push_back(std::move(fn));
+    inFunction_ = false;
+}
+
+Label
+ProgramBuilder::newLabel()
+{
+    Label label;
+    label.id = nextLabelId_++;
+    labelPos_.push_back(UINT32_MAX);
+    return label;
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    if (!label.valid() || label.id >= labelPos_.size())
+        panic("bind: invalid label");
+    if (labelPos_[label.id] != UINT32_MAX)
+        panic("bind: label ", label.id, " bound twice");
+    labelPos_[label.id] = here();
+}
+
+void
+ProgramBuilder::emit(const Instruction &ins)
+{
+    if (finished_)
+        panic("emit after finish()");
+    if (!inFunction_)
+        fatal("instruction emitted outside any function");
+    prog_.code.push_back(ins);
+}
+
+uint32_t
+ProgramBuilder::here() const
+{
+    return static_cast<uint32_t>(prog_.code.size());
+}
+
+void
+ProgramBuilder::emitBranch(Instruction ins, Label target)
+{
+    if (!target.valid() || target.id >= labelPos_.size())
+        panic("branch to invalid label");
+    fixups_.emplace_back(here(), target.id);
+    emit(ins);
+}
+
+// --- integer ALU -----------------------------------------------------
+
+#define ETC_R3_METHOD(name, OPC)                                          \
+    void ProgramBuilder::name(Reg rd, Reg rs, Reg rt)                     \
+    {                                                                     \
+        emit(make::r3(Opcode::OPC, rd, rs, rt));                          \
+    }
+
+ETC_R3_METHOD(add, ADD)
+ETC_R3_METHOD(sub, SUB)
+ETC_R3_METHOD(mul, MUL)
+ETC_R3_METHOD(div, DIV)
+ETC_R3_METHOD(rem, REM)
+ETC_R3_METHOD(and_, AND)
+ETC_R3_METHOD(or_, OR)
+ETC_R3_METHOD(xor_, XOR)
+ETC_R3_METHOD(nor, NOR)
+ETC_R3_METHOD(slt, SLT)
+ETC_R3_METHOD(sltu, SLTU)
+ETC_R3_METHOD(sllv, SLLV)
+ETC_R3_METHOD(srlv, SRLV)
+ETC_R3_METHOD(srav, SRAV)
+#undef ETC_R3_METHOD
+
+#define ETC_R2I_METHOD(name, OPC)                                         \
+    void ProgramBuilder::name(Reg rd, Reg rs, int32_t imm)                \
+    {                                                                     \
+        emit(make::r2i(Opcode::OPC, rd, rs, imm));                        \
+    }
+
+ETC_R2I_METHOD(addi, ADDI)
+ETC_R2I_METHOD(andi, ANDI)
+ETC_R2I_METHOD(ori, ORI)
+ETC_R2I_METHOD(xori, XORI)
+ETC_R2I_METHOD(slti, SLTI)
+ETC_R2I_METHOD(sll, SLL)
+ETC_R2I_METHOD(srl, SRL)
+ETC_R2I_METHOD(sra, SRA)
+#undef ETC_R2I_METHOD
+
+void
+ProgramBuilder::li(Reg rd, int32_t value)
+{
+    emit(make::r2i(Opcode::ADDI, rd, REG_ZERO, value));
+}
+
+void
+ProgramBuilder::la(Reg rd, const std::string &dataLabel)
+{
+    auto it = prog_.dataLabels.find(dataLabel);
+    if (it == prog_.dataLabels.end())
+        fatal("la: unknown data label '", dataLabel, "'");
+    li(rd, static_cast<int32_t>(it->second));
+}
+
+void
+ProgramBuilder::move(Reg rd, Reg rs)
+{
+    emit(make::r3(Opcode::OR, rd, rs, REG_ZERO));
+}
+
+// --- memory ----------------------------------------------------------
+
+#define ETC_MEM_METHOD(name, OPC)                                         \
+    void ProgramBuilder::name(Reg rd, int32_t offset, Reg base)           \
+    {                                                                     \
+        emit(make::mem(Opcode::OPC, rd, base, offset));                   \
+    }
+
+ETC_MEM_METHOD(lw, LW)
+ETC_MEM_METHOD(lh, LH)
+ETC_MEM_METHOD(lhu, LHU)
+ETC_MEM_METHOD(lb, LB)
+ETC_MEM_METHOD(lbu, LBU)
+ETC_MEM_METHOD(sw, SW)
+ETC_MEM_METHOD(sh, SH)
+ETC_MEM_METHOD(sb, SB)
+ETC_MEM_METHOD(lwc1, LWC1)
+ETC_MEM_METHOD(swc1, SWC1)
+#undef ETC_MEM_METHOD
+
+// --- control flow ----------------------------------------------------
+
+void
+ProgramBuilder::beq(Reg rs, Reg rt, Label target)
+{
+    emitBranch(make::br2(Opcode::BEQ, rs, rt, 0), target);
+}
+
+void
+ProgramBuilder::bne(Reg rs, Reg rt, Label target)
+{
+    emitBranch(make::br2(Opcode::BNE, rs, rt, 0), target);
+}
+
+void
+ProgramBuilder::blez(Reg rs, Label target)
+{
+    emitBranch(make::br1(Opcode::BLEZ, rs, 0), target);
+}
+
+void
+ProgramBuilder::bgtz(Reg rs, Label target)
+{
+    emitBranch(make::br1(Opcode::BGTZ, rs, 0), target);
+}
+
+void
+ProgramBuilder::bltz(Reg rs, Label target)
+{
+    emitBranch(make::br1(Opcode::BLTZ, rs, 0), target);
+}
+
+void
+ProgramBuilder::bgez(Reg rs, Label target)
+{
+    emitBranch(make::br1(Opcode::BGEZ, rs, 0), target);
+}
+
+void
+ProgramBuilder::blt(Reg rs, Reg rt, Label target)
+{
+    slt(REG_AT, rs, rt);
+    bne(REG_AT, REG_ZERO, target);
+}
+
+void
+ProgramBuilder::bge(Reg rs, Reg rt, Label target)
+{
+    slt(REG_AT, rs, rt);
+    beq(REG_AT, REG_ZERO, target);
+}
+
+void
+ProgramBuilder::bgt(Reg rs, Reg rt, Label target)
+{
+    slt(REG_AT, rt, rs);
+    bne(REG_AT, REG_ZERO, target);
+}
+
+void
+ProgramBuilder::ble(Reg rs, Reg rt, Label target)
+{
+    slt(REG_AT, rt, rs);
+    beq(REG_AT, REG_ZERO, target);
+}
+
+void
+ProgramBuilder::j(Label target)
+{
+    emitBranch(make::jmp(Opcode::J, 0), target);
+}
+
+void
+ProgramBuilder::call(const std::string &function)
+{
+    callFixups_.emplace_back(here(), function);
+    emit(make::jmp(Opcode::JAL, 0));
+}
+
+void
+ProgramBuilder::ret()
+{
+    emit(make::jr(REG_RA));
+}
+
+void
+ProgramBuilder::jr(Reg rs)
+{
+    emit(make::jr(rs));
+}
+
+// --- floating point --------------------------------------------------
+
+#define ETC_F3_METHOD(name, OPC)                                          \
+    void ProgramBuilder::name(Reg fd, Reg fs, Reg ft)                     \
+    {                                                                     \
+        emit(make::r3(Opcode::OPC, fd, fs, ft));                          \
+    }
+
+ETC_F3_METHOD(adds, ADDS)
+ETC_F3_METHOD(subs, SUBS)
+ETC_F3_METHOD(muls, MULS)
+ETC_F3_METHOD(divs, DIVS)
+#undef ETC_F3_METHOD
+
+#define ETC_F2_METHOD(name, OPC)                                          \
+    void ProgramBuilder::name(Reg fd, Reg fs)                             \
+    {                                                                     \
+        Instruction ins;                                                  \
+        ins.op = Opcode::OPC;                                             \
+        ins.rd = fd;                                                      \
+        ins.rs = fs;                                                      \
+        emit(ins);                                                        \
+    }
+
+ETC_F2_METHOD(abss, ABSS)
+ETC_F2_METHOD(negs, NEGS)
+ETC_F2_METHOD(movs, MOVS)
+ETC_F2_METHOD(sqrts, SQRTS)
+ETC_F2_METHOD(cvtsw, CVTSW)
+ETC_F2_METHOD(cvtws, CVTWS)
+#undef ETC_F2_METHOD
+
+#define ETC_FCMP_METHOD(name, OPC)                                        \
+    void ProgramBuilder::name(Reg fs, Reg ft)                             \
+    {                                                                     \
+        Instruction ins;                                                  \
+        ins.op = Opcode::OPC;                                             \
+        ins.rs = fs;                                                      \
+        ins.rt = ft;                                                      \
+        emit(ins);                                                        \
+    }
+
+ETC_FCMP_METHOD(ceqs, CEQS)
+ETC_FCMP_METHOD(clts, CLTS)
+ETC_FCMP_METHOD(cles, CLES)
+#undef ETC_FCMP_METHOD
+
+void
+ProgramBuilder::bc1t(Label target)
+{
+    Instruction ins;
+    ins.op = Opcode::BC1T;
+    emitBranch(ins, target);
+}
+
+void
+ProgramBuilder::bc1f(Label target)
+{
+    Instruction ins;
+    ins.op = Opcode::BC1F;
+    emitBranch(ins, target);
+}
+
+void
+ProgramBuilder::mtc1(Reg rs, Reg fd)
+{
+    Instruction ins;
+    ins.op = Opcode::MTC1;
+    ins.rd = fd;
+    ins.rs = rs;
+    emit(ins);
+}
+
+void
+ProgramBuilder::mfc1(Reg rd, Reg fs)
+{
+    Instruction ins;
+    ins.op = Opcode::MFC1;
+    ins.rd = rd;
+    ins.rs = fs;
+    emit(ins);
+}
+
+void
+ProgramBuilder::lif(Reg fd, float value)
+{
+    int32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    li(REG_AT, bits);
+    mtc1(REG_AT, fd);
+}
+
+// --- system ----------------------------------------------------------
+
+void
+ProgramBuilder::nop()
+{
+    emit(make::nop());
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit(make::halt());
+}
+
+void
+ProgramBuilder::outb(Reg rs)
+{
+    emit(make::r1(Opcode::OUTB, rs));
+}
+
+void
+ProgramBuilder::outw(Reg rs)
+{
+    emit(make::r1(Opcode::OUTW, rs));
+}
+
+// --- finish ----------------------------------------------------------
+
+Program
+ProgramBuilder::finish(const std::string &entryFunction)
+{
+    if (finished_)
+        panic("finish() called twice");
+    if (inFunction_)
+        fatal("finish: function '", currentFunction_, "' still open");
+
+    for (auto [instrIdx, labelId] : fixups_) {
+        if (labelPos_[labelId] == UINT32_MAX)
+            fatal("unbound label referenced by instruction ", instrIdx);
+        prog_.code[instrIdx].target = labelPos_[labelId];
+    }
+    for (const auto &[instrIdx, name] : callFixups_) {
+        auto it = prog_.codeLabels.find(name);
+        if (it == prog_.codeLabels.end())
+            fatal("call to unknown function '", name, "'");
+        prog_.code[instrIdx].target = it->second;
+    }
+    auto entry = prog_.codeLabels.find(entryFunction);
+    if (entry == prog_.codeLabels.end())
+        fatal("entry function '", entryFunction, "' not defined");
+    prog_.entry = entry->second;
+
+    prog_.validate();
+    finished_ = true;
+    return std::move(prog_);
+}
+
+} // namespace etc::assembly

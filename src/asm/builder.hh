@@ -1,0 +1,206 @@
+/**
+ * @file
+ * ProgramBuilder: a programmatic assembler.
+ *
+ * The seven workload kernels are emitted through this API rather than
+ * parsed from text; it gives compile-time checking of register names
+ * and keeps kernels readable. The textual Assembler (assembler.hh)
+ * shares the same Program output model.
+ *
+ * Conventions:
+ *  - labels are created with newLabel() and placed with bind();
+ *  - calls go through call(functionName); returns via ret();
+ *  - the ISA carries full 32-bit immediates, so li/la are single
+ *    instructions (documented in DESIGN.md as a simulation-width
+ *    convenience).
+ */
+
+#ifndef ETC_ASM_BUILDER_HH
+#define ETC_ASM_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "isa/instruction.hh"
+
+namespace etc::assembly {
+
+/** Opaque code-label handle returned by ProgramBuilder::newLabel(). */
+struct Label
+{
+    uint32_t id = UINT32_MAX;
+    bool valid() const { return id != UINT32_MAX; }
+};
+
+/**
+ * Incrementally builds a Program: data segment, functions, labeled
+ * control flow. finish() resolves all fixups and validates.
+ */
+class ProgramBuilder
+{
+  public:
+    using Reg = isa::RegId;
+
+    ProgramBuilder();
+
+    /// @name Data segment
+    /// @{
+    /** Reserve and initialize 32-bit words; @return start address. */
+    uint32_t dataWords(const std::string &label,
+                       const std::vector<int32_t> &words);
+    /** Reserve and initialize raw bytes; @return start address. */
+    uint32_t dataBytes(const std::string &label,
+                       const std::vector<uint8_t> &bytes);
+    /** Reserve and initialize IEEE-754 floats; @return start address. */
+    uint32_t dataFloats(const std::string &label,
+                        const std::vector<float> &values);
+    /** Reserve @p nbytes of zeroed space; @return start address. */
+    uint32_t dataSpace(const std::string &label, uint32_t nbytes);
+    /// @}
+
+    /// @name Functions and labels
+    /// @{
+    /** Open a function; its name becomes a code label. */
+    void beginFunction(const std::string &name);
+    /** Close the currently open function. */
+    void endFunction();
+    /** Create an unplaced label. */
+    Label newLabel();
+    /** Place @p label at the next emitted instruction. */
+    void bind(Label label);
+    /// @}
+
+    /// @name Integer ALU
+    /// @{
+    void add(Reg rd, Reg rs, Reg rt);
+    void sub(Reg rd, Reg rs, Reg rt);
+    void mul(Reg rd, Reg rs, Reg rt);
+    void div(Reg rd, Reg rs, Reg rt);
+    void rem(Reg rd, Reg rs, Reg rt);
+    void and_(Reg rd, Reg rs, Reg rt);
+    void or_(Reg rd, Reg rs, Reg rt);
+    void xor_(Reg rd, Reg rs, Reg rt);
+    void nor(Reg rd, Reg rs, Reg rt);
+    void slt(Reg rd, Reg rs, Reg rt);
+    void sltu(Reg rd, Reg rs, Reg rt);
+    void sllv(Reg rd, Reg rs, Reg rt);
+    void srlv(Reg rd, Reg rs, Reg rt);
+    void srav(Reg rd, Reg rs, Reg rt);
+    void addi(Reg rd, Reg rs, int32_t imm);
+    void andi(Reg rd, Reg rs, int32_t imm);
+    void ori(Reg rd, Reg rs, int32_t imm);
+    void xori(Reg rd, Reg rs, int32_t imm);
+    void slti(Reg rd, Reg rs, int32_t imm);
+    void sll(Reg rd, Reg rs, int32_t shamt);
+    void srl(Reg rd, Reg rs, int32_t shamt);
+    void sra(Reg rd, Reg rs, int32_t shamt);
+    /** Load 32-bit immediate (single instruction in this ISA). */
+    void li(Reg rd, int32_t value);
+    /** Load the address of a data label. */
+    void la(Reg rd, const std::string &dataLabel);
+    /** Register copy. */
+    void move(Reg rd, Reg rs);
+    /// @}
+
+    /// @name Memory
+    /// @{
+    void lw(Reg rd, int32_t offset, Reg base);
+    void lh(Reg rd, int32_t offset, Reg base);
+    void lhu(Reg rd, int32_t offset, Reg base);
+    void lb(Reg rd, int32_t offset, Reg base);
+    void lbu(Reg rd, int32_t offset, Reg base);
+    void sw(Reg rd, int32_t offset, Reg base);
+    void sh(Reg rd, int32_t offset, Reg base);
+    void sb(Reg rd, int32_t offset, Reg base);
+    /// @}
+
+    /// @name Control flow
+    /// @{
+    void beq(Reg rs, Reg rt, Label target);
+    void bne(Reg rs, Reg rt, Label target);
+    void blez(Reg rs, Label target);
+    void bgtz(Reg rs, Label target);
+    void bltz(Reg rs, Label target);
+    void bgez(Reg rs, Label target);
+    /** Pseudo: branch if rs < rt (signed), via slt into $at. */
+    void blt(Reg rs, Reg rt, Label target);
+    /** Pseudo: branch if rs >= rt (signed). */
+    void bge(Reg rs, Reg rt, Label target);
+    /** Pseudo: branch if rs > rt (signed). */
+    void bgt(Reg rs, Reg rt, Label target);
+    /** Pseudo: branch if rs <= rt (signed). */
+    void ble(Reg rs, Reg rt, Label target);
+    void j(Label target);
+    /** Call a function by name (resolved at finish()). */
+    void call(const std::string &function);
+    /** Return: jr $ra. */
+    void ret();
+    void jr(Reg rs);
+    /// @}
+
+    /// @name Floating point (pass isa::fpReg(n) for FP operands)
+    /// @{
+    void adds(Reg fd, Reg fs, Reg ft);
+    void subs(Reg fd, Reg fs, Reg ft);
+    void muls(Reg fd, Reg fs, Reg ft);
+    void divs(Reg fd, Reg fs, Reg ft);
+    void abss(Reg fd, Reg fs);
+    void negs(Reg fd, Reg fs);
+    void movs(Reg fd, Reg fs);
+    void sqrts(Reg fd, Reg fs);
+    void cvtsw(Reg fd, Reg fs);
+    void cvtws(Reg fd, Reg fs);
+    void ceqs(Reg fs, Reg ft);
+    void clts(Reg fs, Reg ft);
+    void cles(Reg fs, Reg ft);
+    void bc1t(Label target);
+    void bc1f(Label target);
+    void lwc1(Reg fd, int32_t offset, Reg base);
+    void swc1(Reg fd, int32_t offset, Reg base);
+    void mtc1(Reg rs, Reg fd);
+    void mfc1(Reg rd, Reg fs);
+    /** Pseudo: load a float constant via li + mtc1 (clobbers $at). */
+    void lif(Reg fd, float value);
+    /// @}
+
+    /// @name System
+    /// @{
+    void nop();
+    void halt();
+    void outb(Reg rs);
+    void outw(Reg rs);
+    /// @}
+
+    /** Emit a raw instruction (escape hatch for tests). */
+    void emit(const isa::Instruction &ins);
+
+    /** @return the index the next instruction will get. */
+    uint32_t here() const;
+
+    /**
+     * Resolve all label and call fixups, close the function table,
+     * validate, and return the finished Program.
+     *
+     * @param entryFunction the function where execution begins
+     */
+    Program finish(const std::string &entryFunction = "main");
+
+  private:
+    void emitBranch(isa::Instruction ins, Label target);
+
+    Program prog_;
+    uint32_t nextLabelId_ = 0;
+    std::vector<uint32_t> labelPos_;            // label id -> instr index
+    std::vector<std::pair<uint32_t, uint32_t>> fixups_; // instr, label id
+    std::vector<std::pair<uint32_t, std::string>> callFixups_;
+    bool inFunction_ = false;
+    std::string currentFunction_;
+    uint32_t functionStart_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace etc::assembly
+
+#endif // ETC_ASM_BUILDER_HH

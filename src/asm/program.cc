@@ -1,0 +1,93 @@
+#include "asm/program.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace etc::assembly {
+
+std::optional<size_t>
+Program::functionContaining(uint32_t index) const
+{
+    for (size_t i = 0; i < functions.size(); ++i)
+        if (index >= functions[i].begin && index < functions[i].end)
+            return i;
+    return std::nullopt;
+}
+
+std::optional<size_t>
+Program::functionByName(const std::string &name) const
+{
+    for (size_t i = 0; i < functions.size(); ++i)
+        if (functions[i].name == name)
+            return i;
+    return std::nullopt;
+}
+
+uint32_t
+Program::dataAddress(const std::string &label) const
+{
+    auto it = dataLabels.find(label);
+    if (it == dataLabels.end())
+        panic("Program::dataAddress: unknown data label '", label, "'");
+    return it->second;
+}
+
+void
+Program::validate() const
+{
+    for (uint32_t i = 0; i < size(); ++i) {
+        const auto &ins = code[i];
+        if (ins.isControl() && ins.op != isa::Opcode::JR &&
+            ins.op != isa::Opcode::JALR) {
+            if (ins.target >= size())
+                panic("instruction ", i, " (", ins.toString(),
+                      ") targets out-of-range index ", ins.target);
+        }
+    }
+    uint32_t prevEnd = 0;
+    for (const auto &fn : functions) {
+        if (fn.begin >= fn.end)
+            panic("function '", fn.name, "' has empty range");
+        if (fn.begin < prevEnd)
+            panic("function '", fn.name, "' overlaps the previous one");
+        if (fn.end > size())
+            panic("function '", fn.name, "' extends past code end");
+        prevEnd = fn.end;
+    }
+    std::vector<std::pair<uint32_t, uint32_t>> spans;
+    for (const auto &chunk : data)
+        spans.emplace_back(chunk.addr,
+                           chunk.addr +
+                               static_cast<uint32_t>(chunk.bytes.size()));
+    std::sort(spans.begin(), spans.end());
+    for (size_t i = 1; i < spans.size(); ++i)
+        if (spans[i].first < spans[i - 1].second)
+            panic("data chunks overlap at 0x", std::hex, spans[i].first);
+    if (entry >= size() && size() > 0)
+        panic("entry point ", entry, " out of range");
+}
+
+std::string
+Program::disassemble() const
+{
+    // Build reverse label map for annotation.
+    std::map<uint32_t, std::vector<std::string>> labelsAt;
+    for (const auto &[name, idx] : codeLabels)
+        labelsAt[idx].push_back(name);
+
+    std::ostringstream oss;
+    for (uint32_t i = 0; i < size(); ++i) {
+        for (const auto &fn : functions)
+            if (fn.begin == i)
+                oss << "# ---- function " << fn.name << " ----\n";
+        if (auto it = labelsAt.find(i); it != labelsAt.end())
+            for (const auto &name : it->second)
+                oss << name << ":\n";
+        oss << "  [" << i << "]  " << code[i].toString() << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace etc::assembly

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The Program container: assembled code, function table, label maps,
+ * and the initial data segment.
+ *
+ * The machine is Harvard-style: instructions are addressed by index
+ * (branch/jump targets are absolute instruction indices), while data
+ * lives in a byte-addressed memory starting at DATA_BASE. This keeps
+ * the fault model focused on *values*, which is all the paper injects
+ * into, and makes "jump went wild" trivially detectable.
+ */
+
+#ifndef ETC_ASM_PROGRAM_HH
+#define ETC_ASM_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace etc::assembly {
+
+/** Base address of the static data segment. */
+constexpr uint32_t DATA_BASE = 0x10000000;
+
+/** Highest stack address + 4; $sp is initialized here and grows down. */
+constexpr uint32_t STACK_TOP = 0x7ffffffc;
+
+/** Bytes of stack the simulator considers valid. */
+constexpr uint32_t STACK_SIZE = 1u << 20;
+
+/** One contiguous region of initialized (or reserved) data. */
+struct DataChunk
+{
+    uint32_t addr = 0;             //!< absolute start address
+    std::vector<uint8_t> bytes;    //!< initial contents (zeroed if reserved)
+};
+
+/** Half-open instruction-index range of one function. */
+struct FunctionInfo
+{
+    std::string name;
+    uint32_t begin = 0; //!< index of first instruction
+    uint32_t end = 0;   //!< one past the last instruction
+};
+
+/**
+ * A fully assembled program, ready for simulation and analysis.
+ */
+class Program
+{
+  public:
+    /** All instructions, branch targets resolved to absolute indices. */
+    std::vector<isa::Instruction> code;
+
+    /** Function table, sorted by begin index, non-overlapping. */
+    std::vector<FunctionInfo> functions;
+
+    /** Code labels: name -> instruction index. */
+    std::map<std::string, uint32_t> codeLabels;
+
+    /** Data labels: name -> absolute data address. */
+    std::map<std::string, uint32_t> dataLabels;
+
+    /** Initial data segment contents. */
+    std::vector<DataChunk> data;
+
+    /** Instruction index where execution starts. */
+    uint32_t entry = 0;
+
+    /** First address past the static data (heap would start here). */
+    uint32_t dataEnd = DATA_BASE;
+
+    /** @return the number of instructions. */
+    uint32_t size() const { return static_cast<uint32_t>(code.size()); }
+
+    /**
+     * @return the index into functions of the function containing
+     *         instruction @p index, or std::nullopt if none does.
+     */
+    std::optional<size_t> functionContaining(uint32_t index) const;
+
+    /** @return the function table entry named @p name, if present. */
+    std::optional<size_t> functionByName(const std::string &name) const;
+
+    /** Look up a data label's address; panics if absent. */
+    uint32_t dataAddress(const std::string &label) const;
+
+    /**
+     * Validate internal consistency: every control-transfer target is
+     * within the code, every function range is well-formed, data chunks
+     * do not overlap. Panics on violation (library bug, not user error).
+     */
+    void validate() const;
+
+    /** Full disassembly listing with function headers and labels. */
+    std::string disassemble() const;
+};
+
+} // namespace etc::assembly
+
+#endif // ETC_ASM_PROGRAM_HH

@@ -1,0 +1,40 @@
+#include "core/potential.hh"
+
+#include "support/logging.hh"
+
+namespace etc::core {
+
+PotentialEstimate
+estimatePotential(const sim::DynamicProfile &profile,
+                  const ReliabilityCostModel &model)
+{
+    if (model.protectionOverhead < 1.0)
+        fatal("cost model '", model.name,
+              "': protection overhead must be >= 1");
+    if (model.lowReliabilityCost <= 0.0 ||
+        model.lowReliabilityCost > model.protectionOverhead)
+        fatal("cost model '", model.name,
+              "': low-reliability cost must be in (0, overhead]");
+
+    PotentialEstimate out;
+    out.taggedFraction = profile.taggedFraction();
+    out.uniformCost = model.protectionOverhead;
+    double protectedShare = 1.0 - out.taggedFraction;
+    out.selectiveCost = protectedShare * model.protectionOverhead +
+                        out.taggedFraction * model.lowReliabilityCost;
+    return out;
+}
+
+const std::vector<ReliabilityCostModel> &
+standardCostModels()
+{
+    static const std::vector<ReliabilityCostModel> models = {
+        {"TMR (3x spatial redundancy)", 3.0, 1.0},
+        {"DMR + retry", 2.2, 1.0},
+        {"software duplication", 2.0, 1.0},
+        {"TMR + cheap data silicon", 3.0, 0.7},
+    };
+    return models;
+}
+
+} // namespace etc::core

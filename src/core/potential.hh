@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The paper's "Future Potential" model (Section 5.3): exploit error
+ * tolerance for faster or cheaper reliability by running the tagged
+ * (low-reliability) fraction of execution on unprotected hardware
+ * while only the control-related remainder pays for redundancy.
+ *
+ * The model is the classic selective-redundancy cost account: if full
+ * protection costs `protectionOverhead` per instruction (e.g. 3.0 for
+ * TMR, ~2.0 for software duplication) and unprotected execution costs
+ * `lowReliabilityCost` (1.0, or less for voltage-overscaled/cheaper
+ * silicon), then protecting only the non-tagged fraction p costs
+ *
+ *     selective = p * protectionOverhead + (1-p) * lowReliabilityCost
+ *
+ * against `protectionOverhead` for uniform protection. The paper's
+ * conclusion -- "the fraction of dynamic instructions related to
+ * control structures is often small ... only moderate effort is
+ * necessary" -- is this ratio evaluated on Table 3's fractions.
+ */
+
+#ifndef ETC_CORE_POTENTIAL_HH
+#define ETC_CORE_POTENTIAL_HH
+
+#include <string>
+
+#include "sim/profiler.hh"
+
+namespace etc::core {
+
+/** Cost parameters of a protection scheme. */
+struct ReliabilityCostModel
+{
+    std::string name = "TMR";
+    /** Per-instruction cost of protected execution (>= 1). */
+    double protectionOverhead = 3.0;
+    /** Per-instruction cost of unprotected execution (> 0, <= 1). */
+    double lowReliabilityCost = 1.0;
+};
+
+/** The cost account for one application under one scheme. */
+struct PotentialEstimate
+{
+    double taggedFraction = 0.0;   //!< low-reliability share (Table 3)
+    double uniformCost = 0.0;      //!< everything protected
+    double selectiveCost = 0.0;    //!< only control protected
+
+    /** Relative speedup (or cost reduction) from selectivity. */
+    double
+    speedup() const
+    {
+        return selectiveCost > 0.0 ? uniformCost / selectiveCost : 0.0;
+    }
+
+    /** Fraction of the protection budget saved. */
+    double
+    savings() const
+    {
+        return uniformCost > 0.0
+                   ? 1.0 - selectiveCost / uniformCost
+                   : 0.0;
+    }
+};
+
+/**
+ * Evaluate the selective-protection potential of a profiled workload.
+ *
+ * @param profile the fault-free dynamic profile (with tag accounting)
+ * @param model   the protection scheme's cost parameters
+ * @throws FatalError for non-sensical cost parameters
+ */
+PotentialEstimate estimatePotential(const sim::DynamicProfile &profile,
+                                    const ReliabilityCostModel &model);
+
+/** The three schemes the bench sweeps (TMR, DMR+retry, SW dup). */
+const std::vector<ReliabilityCostModel> &standardCostModels();
+
+} // namespace etc::core
+
+#endif // ETC_CORE_POTENTIAL_HH

@@ -1,0 +1,120 @@
+#include "core/study.hh"
+
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+
+namespace etc::core {
+
+double
+CellSummary::meanFidelity() const
+{
+    if (fidelities.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &score : fidelities)
+        sum += score.value;
+    return sum / static_cast<double>(fidelities.size());
+}
+
+double
+CellSummary::acceptableRate() const
+{
+    if (trials == 0)
+        return 0.0;
+    unsigned good = 0;
+    for (const auto &score : fidelities)
+        if (score.acceptable)
+            ++good;
+    return static_cast<double>(good) / trials;
+}
+
+ErrorToleranceStudy::ErrorToleranceStudy(
+    const workloads::Workload &workload, StudyConfig config)
+    : workload_(workload), config_(config)
+{
+    // Static analysis with the workload's eligibility annotations.
+    analysis::ProtectionConfig protectionConfig = config_.protection;
+    if (protectionConfig.eligibleFunctions.empty())
+        protectionConfig.eligibleFunctions =
+            workload_.eligibleFunctions();
+    protection_ =
+        analysis::computeControlProtection(workload_.program(),
+                                           protectionConfig);
+
+    // Fault-free profile with tag accounting (Table 3).
+    sim::Simulator simulator(workload_.program());
+    sim::Profiler profiler(protection_.tagged);
+    auto result = simulator.run(0, &profiler);
+    if (!result.completed())
+        panic("study: fault-free run of '", workload_.name(),
+              "' did not complete: ", result.toString());
+    profile_ = profiler.profile();
+}
+
+fault::CampaignRunner &
+ErrorToleranceStudy::runner(ProtectionMode mode)
+{
+    auto &slot = mode == ProtectionMode::Protected ? protectedRunner_
+                                                   : unprotectedRunner_;
+    if (!slot) {
+        auto injectable =
+            mode == ProtectionMode::Protected
+                ? fault::injectableWithProtection(workload_.program(),
+                                                  protection_.tagged)
+                : fault::injectableWithoutProtection(workload_.program());
+        slot = std::make_unique<fault::CampaignRunner>(
+            workload_.program(), std::move(injectable),
+            config_.memoryModel);
+    }
+    return *slot;
+}
+
+const std::vector<uint8_t> &
+ErrorToleranceStudy::goldenOutput() const
+{
+    // Both runners share the same golden run; build one if needed.
+    auto *self = const_cast<ErrorToleranceStudy *>(this);
+    return self->runner(ProtectionMode::Protected).goldenOutput();
+}
+
+uint64_t
+ErrorToleranceStudy::goldenInstructions() const
+{
+    auto *self = const_cast<ErrorToleranceStudy *>(this);
+    return self->runner(ProtectionMode::Protected).goldenInstructions();
+}
+
+CellSummary
+ErrorToleranceStudy::runCell(unsigned errors, ProtectionMode mode,
+                             unsigned trialsOverride)
+{
+    auto &campaignRunner = runner(mode);
+
+    fault::CampaignConfig campaignConfig;
+    campaignConfig.trials =
+        trialsOverride ? trialsOverride : config_.trials;
+    campaignConfig.errors = errors;
+    campaignConfig.budgetFactor = config_.budgetFactor;
+    // Derive a per-cell seed so cells are independent but reproducible.
+    campaignConfig.seed = config_.seed ^
+                          (uint64_t{errors} << 32) ^
+                          (mode == ProtectionMode::Protected ? 0x1 : 0x2);
+
+    auto result = campaignRunner.run(campaignConfig);
+
+    CellSummary summary;
+    summary.errors = errors;
+    summary.mode = mode;
+    summary.trials = result.trials;
+    summary.completed = result.completed;
+    summary.crashed = result.crashed;
+    summary.timedOut = result.timedOut;
+    for (const auto &outcome : result.outcomes) {
+        if (outcome.run.completed())
+            summary.fidelities.push_back(workload_.scoreFidelity(
+                campaignRunner.goldenOutput(), outcome.output));
+    }
+    return summary;
+}
+
+} // namespace etc::core

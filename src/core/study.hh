@@ -1,0 +1,153 @@
+/**
+ * @file
+ * ErrorToleranceStudy: the library's top-level API, tying together the
+ * paper's whole pipeline for one application:
+ *
+ *   workload program
+ *     -> CVar static analysis (tag low-reliability instructions)
+ *     -> fault-free profiling (Table 3 numbers, golden output)
+ *     -> fault-injection campaigns at chosen error counts, with the
+ *        protection either ON (inject only into tagged instructions)
+ *        or OFF (inject into every result)
+ *     -> outcome classification (Table 2) + per-trial fidelity
+ *        (Figures 1-6).
+ *
+ * Typical use (see examples/quickstart.cpp):
+ * @code
+ *   auto workload = workloads::createWorkload("susan");
+ *   core::ErrorToleranceStudy study(*workload, {});
+ *   auto cell = study.runCell(100, core::ProtectionMode::Protected);
+ *   std::cout << cell.failureRate() << '\n';
+ * @endcode
+ */
+
+#ifndef ETC_CORE_STUDY_HH
+#define ETC_CORE_STUDY_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/control_protection.hh"
+#include "fault/campaign.hh"
+#include "sim/profiler.hh"
+#include "workloads/workload.hh"
+
+namespace etc::core {
+
+/** Whether the CVar protection is applied during injection. */
+enum class ProtectionMode
+{
+    Protected,   //!< inject only into tagged (low-reliability) results
+    Unprotected, //!< inject into every register-writing instruction
+};
+
+/** Study-wide configuration. */
+struct StudyConfig
+{
+    /** CVar analysis options (paper defaults). */
+    analysis::ProtectionConfig protection;
+
+    /** Trials per campaign cell. */
+    unsigned trials = 20;
+
+    /** Master seed; every cell derives deterministically from it. */
+    uint64_t seed = 0xe77;
+
+    /** Timeout at budgetFactor x the golden instruction count. */
+    double budgetFactor = 10.0;
+
+    /**
+     * Memory fault model. Lenient matches the paper's SimpleScalar
+     * platform; Strict is the bounds-checking ablation.
+     */
+    sim::MemoryModel memoryModel = sim::MemoryModel::Lenient;
+};
+
+/** Aggregated results of one (error count, mode) campaign cell. */
+struct CellSummary
+{
+    unsigned errors = 0;
+    ProtectionMode mode = ProtectionMode::Protected;
+    unsigned trials = 0;
+    unsigned completed = 0;
+    unsigned crashed = 0;
+    unsigned timedOut = 0;
+
+    /** Fidelity score of each completed trial. */
+    std::vector<workloads::FidelityScore> fidelities;
+
+    /** Fraction of trials that crashed or timed out. */
+    double
+    failureRate() const
+    {
+        return trials
+                   ? static_cast<double>(crashed + timedOut) / trials
+                   : 0.0;
+    }
+
+    /** Mean fidelity metric over completed trials. */
+    double meanFidelity() const;
+
+    /** Fraction of *all* trials that completed with acceptable
+     *  fidelity. */
+    double acceptableRate() const;
+};
+
+/**
+ * One application's full error-tolerance characterization.
+ */
+class ErrorToleranceStudy
+{
+  public:
+    /**
+     * Run the static analysis and the fault-free profile.
+     *
+     * @param workload the application (not owned; must outlive this)
+     * @param config   study configuration
+     */
+    ErrorToleranceStudy(const workloads::Workload &workload,
+                        StudyConfig config);
+
+    /** The CVar analysis result (tags, CVar sets, static counts). */
+    const analysis::ProtectionResult &protection() const
+    {
+        return protection_;
+    }
+
+    /** Fault-free dynamic statistics (Table 3 row). */
+    const sim::DynamicProfile &profile() const { return profile_; }
+
+    /** The fault-free output stream. */
+    const std::vector<uint8_t> &goldenOutput() const;
+
+    /** Dynamic instruction count of the fault-free run. */
+    uint64_t goldenInstructions() const;
+
+    /**
+     * Run one campaign cell.
+     *
+     * @param errors         bit flips per trial
+     * @param mode           protection on/off
+     * @param trialsOverride nonzero to override config.trials
+     */
+    CellSummary runCell(unsigned errors, ProtectionMode mode,
+                        unsigned trialsOverride = 0);
+
+    const workloads::Workload &workload() const { return workload_; }
+    const StudyConfig &config() const { return config_; }
+
+  private:
+    fault::CampaignRunner &runner(ProtectionMode mode);
+
+    const workloads::Workload &workload_;
+    StudyConfig config_;
+    analysis::ProtectionResult protection_;
+    sim::DynamicProfile profile_;
+    std::unique_ptr<fault::CampaignRunner> protectedRunner_;
+    std::unique_ptr<fault::CampaignRunner> unprotectedRunner_;
+};
+
+} // namespace etc::core
+
+#endif // ETC_CORE_STUDY_HH

@@ -1,0 +1,74 @@
+#include "fault/campaign.hh"
+
+#include "support/logging.hh"
+
+namespace etc::fault {
+
+CampaignRunner::CampaignRunner(const assembly::Program &program,
+                               std::vector<bool> injectable,
+                               sim::MemoryModel model)
+    : program_(program), injectable_(std::move(injectable)),
+      model_(model)
+{
+    if (injectable_.size() != program_.size())
+        panic("CampaignRunner: injectable bitmap size mismatch");
+
+    // Fault-free profiling run: golden output, dynamic length, and the
+    // injectable dynamic count the sampler draws from.
+    sim::Simulator simulator(program_, model_);
+    InjectableCounter counter(injectable_);
+    auto result = simulator.run(0, &counter);
+    if (!result.completed())
+        fatal("CampaignRunner: golden run did not complete: ",
+              result.toString());
+    golden_ = simulator.output();
+    goldenInstructions_ = result.instructions;
+    injectableDynamic_ = counter.count();
+}
+
+CampaignResult
+CampaignRunner::run(const CampaignConfig &config,
+                    const std::function<void(const TrialOutcome &)> &onTrial)
+{
+    CampaignResult result;
+    result.trials = config.trials;
+
+    auto budget = static_cast<uint64_t>(
+        static_cast<double>(goldenInstructions_) * config.budgetFactor);
+    if (budget < goldenInstructions_ + 1000)
+        budget = goldenInstructions_ + 1000;
+
+    Rng master(config.seed);
+    sim::Simulator simulator(program_, model_);
+
+    for (unsigned t = 0; t < config.trials; ++t) {
+        Rng trialRng = master.split();
+        InjectionPlan plan =
+            samplePlan(injectableDynamic_, config.errors, trialRng);
+        Injector injector(injectable_, std::move(plan));
+
+        simulator.reset();
+        TrialOutcome outcome;
+        outcome.run = simulator.run(budget, &injector);
+        outcome.injected = injector.injectedCount();
+
+        switch (outcome.run.status) {
+          case sim::RunStatus::Completed:
+            ++result.completed;
+            outcome.output = simulator.output();
+            break;
+          case sim::RunStatus::Timeout:
+            ++result.timedOut;
+            break;
+          default:
+            ++result.crashed;
+            break;
+        }
+        if (onTrial)
+            onTrial(outcome);
+        result.outcomes.push_back(std::move(outcome));
+    }
+    return result;
+}
+
+} // namespace etc::fault

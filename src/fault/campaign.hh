@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Monte-Carlo fault-injection campaigns.
+ *
+ * A campaign fixes a program, an injectable-instruction set (i.e. a
+ * protection mode) and an error count, then runs many independently
+ * seeded trials. Each trial reruns the program with a fresh uniform
+ * injection plan and classifies the outcome; completed trials keep
+ * their output stream so the caller can score fidelity against the
+ * fault-free (golden) output.
+ *
+ * "Infinite execution" is detected by an instruction budget of
+ * budgetFactor x the golden run's dynamic instruction count.
+ */
+
+#ifndef ETC_FAULT_CAMPAIGN_HH
+#define ETC_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/injection.hh"
+#include "sim/outcome.hh"
+#include "sim/simulator.hh"
+
+namespace etc::fault {
+
+/** Knobs of one campaign cell. */
+struct CampaignConfig
+{
+    unsigned trials = 20;       //!< independent runs
+    unsigned errors = 1;        //!< bit flips per run
+    uint64_t seed = 0x5eed;     //!< master seed (trial i derives from it)
+    double budgetFactor = 10.0; //!< timeout at factor x golden length
+};
+
+/** One trial's record. */
+struct TrialOutcome
+{
+    sim::RunResult run;
+    uint64_t injected = 0;          //!< flips actually performed
+    std::vector<uint8_t> output;    //!< output stream (if completed)
+};
+
+/** Aggregated campaign cell results. */
+struct CampaignResult
+{
+    unsigned trials = 0;
+    unsigned completed = 0;
+    unsigned crashed = 0;   //!< memory fault / bad jump / div0 / overflow
+    unsigned timedOut = 0;  //!< "infinite execution"
+    std::vector<TrialOutcome> outcomes;
+
+    /** Fraction of trials that ended catastrophically. */
+    double
+    failureRate() const
+    {
+        return trials ? static_cast<double>(crashed + timedOut) / trials
+                      : 0.0;
+    }
+};
+
+/**
+ * Runs campaigns for one (program, injectable set) pair, reusing a
+ * single profiling run across all cells.
+ */
+class CampaignRunner
+{
+  public:
+    /**
+     * @param program    the workload program
+     * @param injectable static bitmap of injectable instructions
+     * @param model      memory fault model for every trial
+     */
+    CampaignRunner(const assembly::Program &program,
+                   std::vector<bool> injectable,
+                   sim::MemoryModel model = sim::MemoryModel::Lenient);
+
+    /** @return the fault-free output stream. */
+    const std::vector<uint8_t> &goldenOutput() const { return golden_; }
+
+    /** @return dynamic instructions of the fault-free run. */
+    uint64_t goldenInstructions() const { return goldenInstructions_; }
+
+    /** @return injectable dynamic instructions in the fault-free run. */
+    uint64_t
+    injectableDynamicCount() const
+    {
+        return injectableDynamic_;
+    }
+
+    /**
+     * Run one campaign cell.
+     *
+     * @param config  trial count / error count / seed / budget
+     * @param onTrial optional per-trial observer (progress reporting)
+     */
+    CampaignResult run(
+        const CampaignConfig &config,
+        const std::function<void(const TrialOutcome &)> &onTrial = {});
+
+  private:
+    const assembly::Program &program_;
+    std::vector<bool> injectable_;
+    sim::MemoryModel model_;
+    std::vector<uint8_t> golden_;
+    uint64_t goldenInstructions_ = 0;
+    uint64_t injectableDynamic_ = 0;
+};
+
+} // namespace etc::fault
+
+#endif // ETC_FAULT_CAMPAIGN_HH

@@ -1,0 +1,112 @@
+#include "fault/injection.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace etc::fault {
+
+using namespace isa;
+
+std::vector<bool>
+injectableWithProtection(const assembly::Program &program,
+                         const std::vector<bool> &tagged)
+{
+    if (tagged.size() != program.size())
+        panic("injectableWithProtection: tag bitmap size mismatch");
+    std::vector<bool> out(tagged);
+    // Tagged instructions are ALU by construction, but keep the
+    // def-bearing filter as a safety net.
+    for (uint32_t i = 0; i < program.size(); ++i)
+        if (out[i] && !program.code[i].def())
+            out[i] = false;
+    return out;
+}
+
+std::vector<bool>
+injectableWithoutProtection(const assembly::Program &program)
+{
+    std::vector<bool> out(program.size(), false);
+    for (uint32_t i = 0; i < program.size(); ++i) {
+        const auto &ins = program.code[i];
+        out[i] = ins.def().has_value() || ins.isStore() ||
+                 ins.isControl();
+    }
+    return out;
+}
+
+InjectionPlan
+samplePlan(uint64_t injectableDynamicCount, unsigned numErrors, Rng &rng)
+{
+    InjectionPlan plan;
+    plan.sites = rng.sampleDistinct(injectableDynamicCount, numErrors);
+    plan.bits.reserve(plan.sites.size());
+    for (size_t i = 0; i < plan.sites.size(); ++i)
+        plan.bits.push_back(static_cast<unsigned>(rng.below(32)));
+    return plan;
+}
+
+Injector::Injector(const std::vector<bool> &injectable, InjectionPlan plan)
+    : injectable_(injectable), plan_(std::move(plan))
+{
+}
+
+void
+Injector::onRetire(uint32_t staticIdx, const isa::Instruction &ins,
+                   sim::Machine &machine, sim::Memory &memory)
+{
+    if (staticIdx >= injectable_.size() || !injectable_[staticIdx])
+        return;
+    if (cursor_ < plan_.sites.size() &&
+        counter_ == plan_.sites[cursor_]) {
+        unsigned bit = plan_.bits[cursor_];
+        if (auto def = ins.def()) {
+            // Register result (jal/jalr corrupt the saved link here).
+            uint32_t value = machine.readFlat(*def);
+            machine.writeFlat(*def, flipBit(value, bit));
+            ++injected_;
+        } else if (ins.isControl()) {
+            // A control transfer's result is the next PC.
+            machine.pc = flipBit(machine.pc, bit);
+            ++injected_;
+        } else if (ins.isStore()) {
+            // A store's result is the memory value it wrote. Flip it
+            // in place (within the stored width); if the store went
+            // out of region under the lenient model, the value was
+            // dropped and there is nothing to corrupt.
+            uint32_t addr = machine.readInt(ins.rs) +
+                            static_cast<uint32_t>(ins.imm);
+            switch (ins.op) {
+              case isa::Opcode::SB: {
+                uint8_t value = 0;
+                if (memory.read8(addr, value) == sim::MemStatus::Ok) {
+                    memory.write8(addr, static_cast<uint8_t>(
+                        flipBit(value, bit % 8)));
+                    ++injected_;
+                }
+                break;
+              }
+              case isa::Opcode::SH: {
+                uint16_t value = 0;
+                if (memory.read16(addr, value) == sim::MemStatus::Ok) {
+                    memory.write16(addr, static_cast<uint16_t>(
+                        flipBit(value, bit % 16)));
+                    ++injected_;
+                }
+                break;
+              }
+              default: { // sw / swc1
+                uint32_t value = 0;
+                if (memory.read32(addr, value) == sim::MemStatus::Ok) {
+                    memory.write32(addr, flipBit(value, bit));
+                    ++injected_;
+                }
+                break;
+              }
+            }
+        }
+        ++cursor_;
+    }
+    ++counter_;
+}
+
+} // namespace etc::fault

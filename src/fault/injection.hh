@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Single-bit-flip fault injection, reproducing the paper's error model:
+ *
+ *   "we flip a bit in the result of an instruction ... Single bit-flip
+ *    errors were randomly inserted with a uniform distribution."
+ *
+ * Methodology (profile-then-inject):
+ *  1. a fault-free profiling run counts how many *injectable* dynamic
+ *     instructions the program retires (N);
+ *  2. for a trial with k errors, k distinct dynamic indices in [0, N)
+ *     and k bit positions are drawn uniformly;
+ *  3. the trial reruns with an Injector hook that flips the chosen bit
+ *     of the destination register right after writeback at each chosen
+ *     dynamic index.
+ *
+ * Which instructions are injectable encodes the protection mode:
+ *  - protection ON : only instructions the CVar analysis tagged;
+ *  - protection OFF: every instruction producing a result of any kind
+ *    -- a register write, a stored memory value, or a control
+ *    transfer's next PC. The unprotected machine can corrupt anything,
+ *    including control itself; that is what makes the paper's
+ *    "without protection" rows catastrophic.
+ */
+
+#ifndef ETC_FAULT_INJECTION_HH
+#define ETC_FAULT_INJECTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "asm/program.hh"
+#include "sim/simulator.hh"
+#include "support/rng.hh"
+
+namespace etc::fault {
+
+/** The per-trial injection schedule. */
+struct InjectionPlan
+{
+    /** Dynamic indices (within the injectable stream), ascending. */
+    std::vector<uint64_t> sites;
+
+    /** Bit position (0..31) flipped at the matching site. */
+    std::vector<unsigned> bits;
+
+    size_t size() const { return sites.size(); }
+};
+
+/**
+ * @return injectable-instruction bitmap for protection ON: exactly the
+ *         instructions the analysis tagged (all of which bear defs).
+ */
+std::vector<bool> injectableWithProtection(
+    const assembly::Program &program, const std::vector<bool> &tagged);
+
+/**
+ * @return injectable bitmap for protection OFF: every instruction with
+ *         a result -- register defs, stores (memory results), and
+ *         control transfers (PC results).
+ */
+std::vector<bool> injectableWithoutProtection(
+    const assembly::Program &program);
+
+/**
+ * Draw a uniform injection plan.
+ *
+ * @param injectableDynamicCount N from the profiling run
+ * @param numErrors              k errors to insert
+ * @param rng                    deterministic generator
+ */
+InjectionPlan samplePlan(uint64_t injectableDynamicCount,
+                         unsigned numErrors, Rng &rng);
+
+/**
+ * The retire hook that executes an InjectionPlan.
+ */
+class Injector : public sim::ExecHook
+{
+  public:
+    /**
+     * @param injectable static bitmap of injectable instructions
+     * @param plan       the trial's schedule (sites ascending)
+     */
+    Injector(const std::vector<bool> &injectable, InjectionPlan plan);
+
+    void onRetire(uint32_t staticIdx, const isa::Instruction &ins,
+                  sim::Machine &machine, sim::Memory &memory) override;
+
+    /** @return how many flips were actually performed. */
+    uint64_t injectedCount() const { return injected_; }
+
+    /** @return how many injectable instructions retired so far. */
+    uint64_t injectableRetired() const { return counter_; }
+
+  private:
+    const std::vector<bool> &injectable_;
+    InjectionPlan plan_;
+    uint64_t counter_ = 0;
+    uint64_t injected_ = 0;
+    size_t cursor_ = 0;
+};
+
+/**
+ * Profiling hook: counts injectable dynamic instructions without
+ * perturbing anything.
+ */
+class InjectableCounter : public sim::ExecHook
+{
+  public:
+    explicit InjectableCounter(const std::vector<bool> &injectable)
+        : injectable_(injectable)
+    {
+    }
+
+    void
+    onRetire(uint32_t staticIdx, const isa::Instruction &,
+             sim::Machine &, sim::Memory &) override
+    {
+        if (staticIdx < injectable_.size() && injectable_[staticIdx])
+            ++count_;
+    }
+
+    uint64_t count() const { return count_; }
+
+  private:
+    const std::vector<bool> &injectable_;
+    uint64_t count_ = 0;
+};
+
+} // namespace etc::fault
+
+#endif // ETC_FAULT_INJECTION_HH

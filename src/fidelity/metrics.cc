@@ -1,0 +1,137 @@
+#include "fidelity/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace etc::fidelity {
+
+double
+meanSquaredError(const std::vector<uint8_t> &reference,
+                 const std::vector<uint8_t> &test)
+{
+    size_t n = std::max(reference.size(), test.size());
+    if (n == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double r = i < reference.size() ? reference[i] : 0.0;
+        double t = i < test.size() ? test[i] : 0.0;
+        double d = r - t;
+        sum += d * d;
+    }
+    return sum / static_cast<double>(n);
+}
+
+double
+psnrDb(const std::vector<uint8_t> &reference,
+       const std::vector<uint8_t> &test)
+{
+    if (test.empty() && !reference.empty())
+        return 0.0;
+    double mse = meanSquaredError(reference, test);
+    if (mse <= 0.0)
+        return PERFECT_DB;
+    double psnr = 10.0 * std::log10(255.0 * 255.0 / mse);
+    return std::clamp(psnr, 0.0, PERFECT_DB);
+}
+
+namespace {
+
+template <typename T>
+double
+snrImpl(const std::vector<T> &reference, const std::vector<T> &test)
+{
+    size_t n = std::max(reference.size(), test.size());
+    if (n == 0)
+        return PERFECT_DB;
+    double signal = 0.0, noise = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double r = i < reference.size()
+                       ? static_cast<double>(reference[i])
+                       : 0.0;
+        double t = i < test.size() ? static_cast<double>(test[i]) : 0.0;
+        signal += r * r;
+        double d = r - t;
+        noise += d * d;
+    }
+    if (noise <= 0.0)
+        return PERFECT_DB;
+    if (signal <= 0.0)
+        return -PERFECT_DB;
+    double snr = 10.0 * std::log10(signal / noise);
+    return std::clamp(snr, -PERFECT_DB, PERFECT_DB);
+}
+
+} // namespace
+
+double
+snrDb(const std::vector<int16_t> &reference,
+      const std::vector<int16_t> &test)
+{
+    return snrImpl(reference, test);
+}
+
+double
+snrDb(const std::vector<double> &reference,
+      const std::vector<double> &test)
+{
+    return snrImpl(reference, test);
+}
+
+double
+byteSimilarity(const std::vector<uint8_t> &reference,
+               const std::vector<uint8_t> &test)
+{
+    size_t n = std::max(reference.size(), test.size());
+    if (n == 0)
+        return 1.0;
+    size_t common = std::min(reference.size(), test.size());
+    size_t matches = 0;
+    for (size_t i = 0; i < common; ++i)
+        if (reference[i] == test[i])
+            ++matches;
+    return static_cast<double>(matches) / static_cast<double>(n);
+}
+
+std::vector<int16_t>
+asInt16(const std::vector<uint8_t> &bytes)
+{
+    std::vector<int16_t> out(bytes.size() / 2);
+    for (size_t i = 0; i < out.size(); ++i) {
+        uint16_t u = static_cast<uint16_t>(bytes[2 * i]) |
+                     (static_cast<uint16_t>(bytes[2 * i + 1]) << 8);
+        out[i] = static_cast<int16_t>(u);
+    }
+    return out;
+}
+
+std::vector<int32_t>
+asInt32(const std::vector<uint8_t> &bytes)
+{
+    std::vector<int32_t> out(bytes.size() / 4);
+    for (size_t i = 0; i < out.size(); ++i) {
+        uint32_t u = 0;
+        for (int b = 0; b < 4; ++b)
+            u |= static_cast<uint32_t>(bytes[4 * i + b]) << (8 * b);
+        out[i] = static_cast<int32_t>(u);
+    }
+    return out;
+}
+
+std::vector<float>
+asFloat(const std::vector<uint8_t> &bytes)
+{
+    std::vector<float> out(bytes.size() / 4);
+    for (size_t i = 0; i < out.size(); ++i) {
+        uint32_t u = 0;
+        for (int b = 0; b < 4; ++b)
+            u |= static_cast<uint32_t>(bytes[4 * i + b]) << (8 * b);
+        float f;
+        std::memcpy(&f, &u, sizeof(f));
+        out[i] = f;
+    }
+    return out;
+}
+
+} // namespace etc::fidelity

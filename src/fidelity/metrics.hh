@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Application-fidelity metrics (paper Table 1).
+ *
+ *  - PSNR between byte images (Susan; stands in for the paper's
+ *    Imagemagick comparison, same mathematical definition);
+ *  - SNR in dB between signals (GSM, and MPEG's per-frame test);
+ *  - byte similarity (Blowfish, ADPCM);
+ *  - helpers to reinterpret an output byte stream as 16/32-bit values.
+ *
+ * All metrics are pure functions; workloads choose thresholds.
+ */
+
+#ifndef ETC_FIDELITY_METRICS_HH
+#define ETC_FIDELITY_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace etc::fidelity {
+
+/** PSNR/SNR value reported when the signals are identical. */
+constexpr double PERFECT_DB = 99.0;
+
+/** Mean squared error between two byte sequences (length-padded). */
+double meanSquaredError(const std::vector<uint8_t> &reference,
+                        const std::vector<uint8_t> &test);
+
+/**
+ * Peak signal-to-noise ratio in dB between two 8-bit images.
+ * Identical inputs return PERFECT_DB. A missing/empty test image
+ * returns 0 dB (worst case).
+ */
+double psnrDb(const std::vector<uint8_t> &reference,
+              const std::vector<uint8_t> &test);
+
+/**
+ * Signal-to-noise ratio in dB between two sampled signals:
+ * 10*log10(sum(ref^2) / sum((ref-test)^2)), clamped to
+ * [-PERFECT_DB, PERFECT_DB]. Length mismatches are treated as noise
+ * (the shorter signal is zero-padded).
+ */
+double snrDb(const std::vector<int16_t> &reference,
+             const std::vector<int16_t> &test);
+
+/** snrDb over doubles (used by the float workloads). */
+double snrDb(const std::vector<double> &reference,
+             const std::vector<double> &test);
+
+/**
+ * Fraction of bytes equal between @p reference and @p test; positions
+ * past the shorter length count as mismatches.
+ */
+double byteSimilarity(const std::vector<uint8_t> &reference,
+                      const std::vector<uint8_t> &test);
+
+/** Reinterpret a little-endian byte stream as int16 samples. */
+std::vector<int16_t> asInt16(const std::vector<uint8_t> &bytes);
+
+/** Reinterpret a little-endian byte stream as int32 words. */
+std::vector<int32_t> asInt32(const std::vector<uint8_t> &bytes);
+
+/** Reinterpret a little-endian byte stream as IEEE-754 floats. */
+std::vector<float> asFloat(const std::vector<uint8_t> &bytes);
+
+} // namespace etc::fidelity
+
+#endif // ETC_FIDELITY_METRICS_HH

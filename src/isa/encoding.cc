@@ -1,0 +1,41 @@
+#include "isa/encoding.hh"
+
+namespace etc::isa {
+
+uint64_t
+encode(const Instruction &ins)
+{
+    // For control transfers imm and target share the low word; an
+    // instruction never uses both.
+    uint32_t low = ins.isControl() || format(ins.op) == Format::FBr
+                       ? ins.target
+                       : static_cast<uint32_t>(ins.imm);
+    return (uint64_t{static_cast<uint8_t>(ins.op)} << 56) |
+           (uint64_t{ins.rd} << 48) | (uint64_t{ins.rs} << 40) |
+           (uint64_t{ins.rt} << 32) | uint64_t{low};
+}
+
+std::optional<Instruction>
+decode(uint64_t word)
+{
+    auto opByte = static_cast<uint8_t>(word >> 56);
+    if (opByte >= NUM_OPCODES)
+        return std::nullopt;
+
+    Instruction ins;
+    ins.op = static_cast<Opcode>(opByte);
+    ins.rd = static_cast<RegId>((word >> 48) & 0xff);
+    ins.rs = static_cast<RegId>((word >> 40) & 0xff);
+    ins.rt = static_cast<RegId>((word >> 32) & 0xff);
+    if (ins.rd >= NUM_REGS || ins.rs >= NUM_REGS || ins.rt >= NUM_REGS)
+        return std::nullopt;
+
+    auto low = static_cast<uint32_t>(word & 0xffffffffull);
+    if (ins.isControl() || format(ins.op) == Format::FBr)
+        ins.target = low;
+    else
+        ins.imm = static_cast<int32_t>(low);
+    return ins;
+}
+
+} // namespace etc::isa

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fixed-width binary encoding of instructions.
+ *
+ * The simulator executes decoded Instruction values directly; the binary
+ * form exists so programs can be round-tripped to disk and so the fault
+ * model could in principle target instruction words. For simulation
+ * convenience we use a 64-bit word:
+ *
+ *   bits [63:56]  opcode
+ *   bits [55:48]  rd
+ *   bits [47:40]  rs
+ *   bits [39:32]  rt
+ *   bits [31:0]   imm (for control transfers: the absolute target)
+ */
+
+#ifndef ETC_ISA_ENCODING_HH
+#define ETC_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/instruction.hh"
+
+namespace etc::isa {
+
+/** Encode @p ins into its 64-bit binary form. */
+uint64_t encode(const Instruction &ins);
+
+/**
+ * Decode a 64-bit word back into an Instruction.
+ *
+ * @return std::nullopt if the opcode byte or register fields are
+ *         out of range for the ISA.
+ */
+std::optional<Instruction> decode(uint64_t word);
+
+} // namespace etc::isa
+
+#endif // ETC_ISA_ENCODING_HH

@@ -1,0 +1,263 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace etc::isa {
+
+std::optional<RegId>
+Instruction::def() const
+{
+    switch (format(op)) {
+      case Format::R3:
+      case Format::R2I:
+      case Format::RI:
+      case Format::JmpLR:
+      case Format::MoveToFp:
+      case Format::MoveFromFp:
+        return rd;
+      case Format::Mem:
+      case Format::FMem:
+        return isLoad() ? std::optional<RegId>(rd) : std::nullopt;
+      case Format::F3:
+      case Format::F2:
+        return rd;
+      case Format::FCmp:
+        return FP_FLAG_REG;
+      case Format::Jmp:
+        return op == Opcode::JAL ? std::optional<RegId>(REG_RA)
+                                 : std::nullopt;
+      default:
+        return std::nullopt;
+    }
+}
+
+RegList
+Instruction::uses() const
+{
+    RegList list;
+    switch (format(op)) {
+      case Format::R3:
+      case Format::F3:
+        list.push(rs);
+        list.push(rt);
+        break;
+      case Format::R2I:
+      case Format::F2:
+      case Format::JmpR:
+      case Format::JmpLR:
+      case Format::R1:
+      case Format::MoveToFp:
+      case Format::MoveFromFp:
+        list.push(rs);
+        break;
+      case Format::Mem:
+      case Format::FMem:
+        list.push(rs);          // address base
+        if (isStore())
+            list.push(rd);      // stored data
+        break;
+      case Format::Br2:
+      case Format::FCmp:
+        list.push(rs);
+        list.push(rt);
+        break;
+      case Format::Br1:
+        list.push(rs);
+        break;
+      case Format::FBr:
+        list.push(FP_FLAG_REG);
+        break;
+      case Format::RI:
+      case Format::Jmp:
+      case Format::None:
+        break;
+    }
+    return list;
+}
+
+std::optional<RegId>
+Instruction::addressUse() const
+{
+    if (isLoad() || isStore())
+        return rs;
+    return std::nullopt;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream oss;
+    oss << mnemonic(op);
+    auto reg = [](RegId r) { return regName(r); };
+    switch (format(op)) {
+      case Format::None:
+        break;
+      case Format::R3:
+      case Format::F3:
+        oss << ' ' << reg(rd) << ", " << reg(rs) << ", " << reg(rt);
+        break;
+      case Format::R2I:
+        oss << ' ' << reg(rd) << ", " << reg(rs) << ", " << imm;
+        break;
+      case Format::RI:
+        oss << ' ' << reg(rd) << ", " << imm;
+        break;
+      case Format::Mem:
+      case Format::FMem:
+        oss << ' ' << reg(rd) << ", " << imm << '(' << reg(rs) << ')';
+        break;
+      case Format::Br2:
+        oss << ' ' << reg(rs) << ", " << reg(rt) << ", " << target;
+        break;
+      case Format::Br1:
+        oss << ' ' << reg(rs) << ", " << target;
+        break;
+      case Format::Jmp:
+      case Format::FBr:
+        oss << ' ' << target;
+        break;
+      case Format::JmpR:
+      case Format::R1:
+        oss << ' ' << reg(rs);
+        break;
+      case Format::JmpLR:
+        oss << ' ' << reg(rd) << ", " << reg(rs);
+        break;
+      case Format::F2:
+        oss << ' ' << reg(rd) << ", " << reg(rs);
+        break;
+      case Format::FCmp:
+        oss << ' ' << reg(rs) << ", " << reg(rt);
+        break;
+      case Format::MoveToFp:
+        oss << ' ' << reg(rs) << ", " << reg(rd);
+        break;
+      case Format::MoveFromFp:
+        oss << ' ' << reg(rd) << ", " << reg(rs);
+        break;
+    }
+    return oss.str();
+}
+
+namespace make {
+
+Instruction
+r3(Opcode op, RegId rd, RegId rs, RegId rt)
+{
+    Instruction ins;
+    ins.op = op;
+    ins.rd = rd;
+    ins.rs = rs;
+    ins.rt = rt;
+    return ins;
+}
+
+Instruction
+r2i(Opcode op, RegId rd, RegId rs, int32_t imm)
+{
+    Instruction ins;
+    ins.op = op;
+    ins.rd = rd;
+    ins.rs = rs;
+    ins.imm = imm;
+    return ins;
+}
+
+Instruction
+ri(Opcode op, RegId rd, int32_t imm)
+{
+    Instruction ins;
+    ins.op = op;
+    ins.rd = rd;
+    ins.imm = imm;
+    return ins;
+}
+
+Instruction
+mem(Opcode op, RegId data, RegId base, int32_t offset)
+{
+    Instruction ins;
+    ins.op = op;
+    ins.rd = data;
+    ins.rs = base;
+    ins.imm = offset;
+    return ins;
+}
+
+Instruction
+br2(Opcode op, RegId rs, RegId rt, uint32_t target)
+{
+    Instruction ins;
+    ins.op = op;
+    ins.rs = rs;
+    ins.rt = rt;
+    ins.target = target;
+    return ins;
+}
+
+Instruction
+br1(Opcode op, RegId rs, uint32_t target)
+{
+    Instruction ins;
+    ins.op = op;
+    ins.rs = rs;
+    ins.target = target;
+    return ins;
+}
+
+Instruction
+jmp(Opcode op, uint32_t target)
+{
+    Instruction ins;
+    ins.op = op;
+    ins.target = target;
+    return ins;
+}
+
+Instruction
+jr(RegId rs)
+{
+    Instruction ins;
+    ins.op = Opcode::JR;
+    ins.rs = rs;
+    return ins;
+}
+
+Instruction
+jalr(RegId rd, RegId rs)
+{
+    Instruction ins;
+    ins.op = Opcode::JALR;
+    ins.rd = rd;
+    ins.rs = rs;
+    return ins;
+}
+
+Instruction
+r1(Opcode op, RegId rs)
+{
+    Instruction ins;
+    ins.op = op;
+    ins.rs = rs;
+    return ins;
+}
+
+Instruction
+nop()
+{
+    return Instruction{};
+}
+
+Instruction
+halt()
+{
+    Instruction ins;
+    ins.op = Opcode::HALT;
+    return ins;
+}
+
+} // namespace make
+
+} // namespace etc::isa

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The Instruction value type: one decoded three-address instruction.
+ *
+ * Field meaning depends on the opcode's Format (see opcodes.hh):
+ *
+ *   rd   destination register (or data register for loads/stores)
+ *   rs   first source (or memory base register)
+ *   rt   second source
+ *   imm  immediate / memory offset
+ *   target  resolved absolute instruction index for control transfers
+ *
+ * FP operands are stored in the flat RegId space (fpReg(n)), so the
+ * analysis layer never needs to know which file a register lives in.
+ */
+
+#ifndef ETC_ISA_INSTRUCTION_HH
+#define ETC_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+
+namespace etc::isa {
+
+/** A short, allocation-free list of register ids (max 3 entries). */
+class RegList
+{
+  public:
+    /** Append a register id. */
+    void
+    push(RegId reg)
+    {
+        if (count_ >= regs_.size())
+            return; // cannot happen for well-formed instructions
+        regs_[count_++] = reg;
+    }
+
+    const RegId *begin() const { return regs_.data(); }
+    const RegId *end() const { return regs_.data() + count_; }
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    RegId operator[](size_t i) const { return regs_[i]; }
+
+    /** @return true if @p reg is in the list. */
+    bool
+    contains(RegId reg) const
+    {
+        for (RegId r : *this)
+            if (r == reg)
+                return true;
+        return false;
+    }
+
+  private:
+    std::array<RegId, 3> regs_{};
+    uint8_t count_ = 0;
+};
+
+/**
+ * One decoded instruction. Plain value type; copies freely.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    RegId rd = 0;       //!< destination / memory data register
+    RegId rs = 0;       //!< source 1 / memory base
+    RegId rt = 0;       //!< source 2
+    int32_t imm = 0;    //!< immediate or memory offset
+    uint32_t target = 0; //!< resolved instruction index (control xfer)
+
+    /** @return the register this instruction defines, if any. */
+    std::optional<RegId> def() const;
+
+    /** @return all registers this instruction reads. */
+    RegList uses() const;
+
+    /**
+     * @return the register used for address computation (memory base),
+     *         if this is a load or store.
+     */
+    std::optional<RegId> addressUse() const;
+
+    /** @return true if this instruction reads memory. */
+    bool isLoad() const { return instrClass(op) == InstrClass::Load; }
+
+    /** @return true if this instruction writes memory. */
+    bool isStore() const { return instrClass(op) == InstrClass::Store; }
+
+    /** @return true for conditional branches (two successors). */
+    bool
+    isConditionalBranch() const
+    {
+        return instrClass(op) == InstrClass::Branch;
+    }
+
+    /** @return true for any control transfer (branch, jump, call). */
+    bool isControl() const { return isControlTransfer(op); }
+
+    /**
+     * @return true if the instruction is an ALU operation producing a
+     *         register result -- the class the paper's analysis may tag
+     *         as low-reliability.
+     */
+    bool
+    isAlu() const
+    {
+        return isAluClass(instrClass(op));
+    }
+
+    /** Render canonical assembly text (targets as absolute indices). */
+    std::string toString() const;
+
+    /** Structural equality (all fields). */
+    bool operator==(const Instruction &other) const = default;
+};
+
+/** Convenience factories used by tests and the ProgramBuilder. */
+namespace make {
+
+Instruction r3(Opcode op, RegId rd, RegId rs, RegId rt);
+Instruction r2i(Opcode op, RegId rd, RegId rs, int32_t imm);
+Instruction ri(Opcode op, RegId rd, int32_t imm);
+Instruction mem(Opcode op, RegId data, RegId base, int32_t offset);
+Instruction br2(Opcode op, RegId rs, RegId rt, uint32_t target);
+Instruction br1(Opcode op, RegId rs, uint32_t target);
+Instruction jmp(Opcode op, uint32_t target);
+Instruction jr(RegId rs);
+Instruction jalr(RegId rd, RegId rs);
+Instruction r1(Opcode op, RegId rs);
+Instruction nop();
+Instruction halt();
+
+} // namespace make
+
+} // namespace etc::isa
+
+#endif // ETC_ISA_INSTRUCTION_HH

@@ -1,0 +1,83 @@
+#include "isa/opcodes.hh"
+
+#include <array>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace etc::isa {
+
+namespace {
+
+struct OpTraits
+{
+    const char *mnem;
+    Format fmt;
+    InstrClass cls;
+};
+
+const std::array<OpTraits, NUM_OPCODES> traits = {{
+#define ETC_X(mnem, enumName, fmt, cls)                                    \
+    OpTraits{#mnem, Format::fmt, InstrClass::cls},
+    ETC_ISA_OPCODE_TABLE(ETC_X)
+#undef ETC_X
+}};
+
+const OpTraits &
+lookup(Opcode op)
+{
+    auto idx = static_cast<size_t>(op);
+    if (idx >= traits.size())
+        panic("invalid opcode value ", idx);
+    return traits[idx];
+}
+
+} // namespace
+
+const char *
+mnemonic(Opcode op)
+{
+    return lookup(op).mnem;
+}
+
+Format
+format(Opcode op)
+{
+    return lookup(op).fmt;
+}
+
+InstrClass
+instrClass(Opcode op)
+{
+    return lookup(op).cls;
+}
+
+std::optional<Opcode>
+opcodeFromMnemonic(const std::string &mnem)
+{
+    static const std::unordered_map<std::string, Opcode> map = [] {
+        std::unordered_map<std::string, Opcode> m;
+        for (size_t i = 0; i < traits.size(); ++i)
+            m.emplace(traits[i].mnem, static_cast<Opcode>(i));
+        return m;
+    }();
+    auto it = map.find(mnem);
+    if (it == map.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+isControlTransfer(Opcode op)
+{
+    switch (instrClass(op)) {
+      case InstrClass::Branch:
+      case InstrClass::Jump:
+      case InstrClass::Call:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace etc::isa

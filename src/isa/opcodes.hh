@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Opcode enumeration and static traits for the target ISA.
+ *
+ * The traits table is the single source of truth consumed by the
+ * assembler (mnemonics & operand formats), the simulator (semantics
+ * dispatch), the dataflow analysis (instruction class), and the fault
+ * injector (which instructions produce an injectable result).
+ */
+
+#ifndef ETC_ISA_OPCODES_HH
+#define ETC_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace etc::isa {
+
+/**
+ * Operand format, dictating assembly syntax and which of the rd/rs/rt/imm
+ * fields of Instruction are meaningful.
+ */
+enum class Format : uint8_t
+{
+    None,   //!< op                         (nop, halt)
+    R3,     //!< op rd, rs, rt
+    R2I,    //!< op rd, rs, imm
+    RI,     //!< op rd, imm                 (lui)
+    Mem,    //!< op rd, imm(rs)             (rd = data reg for ld & st)
+    Br2,    //!< op rs, rt, label
+    Br1,    //!< op rs, label
+    Jmp,    //!< op label                   (j, jal)
+    JmpR,   //!< op rs                      (jr)
+    JmpLR,  //!< op rd, rs                  (jalr)
+    R1,     //!< op rs                      (outb, outw)
+    F3,     //!< op fd, fs, ft
+    F2,     //!< op fd, fs
+    FCmp,   //!< op fs, ft  (writes $fcc)
+    FBr,    //!< op label   (reads $fcc)
+    FMem,   //!< op fd, imm(rs)
+    MoveToFp,   //!< op rs, fd  (mtc1: int reg bits -> fp reg)
+    MoveFromFp, //!< op rd, fs  (mfc1: fp reg bits -> int reg)
+};
+
+/**
+ * Coarse semantic class used by the analysis and the injector.
+ */
+enum class InstrClass : uint8_t
+{
+    IntAlu,     //!< integer arithmetic/logic; taggable per the paper
+    FpAlu,      //!< floating-point arithmetic; taggable per the paper
+    FpCmp,      //!< FP compare writing $fcc; feeds control directly
+    Load,       //!< memory read
+    Store,      //!< memory write
+    Branch,     //!< conditional control transfer
+    Jump,       //!< unconditional control transfer (j, jr)
+    Call,       //!< jal / jalr
+    RegMove,    //!< mtc1 / mfc1 bit moves between files
+    Output,     //!< writes the output stream
+    System,     //!< nop / halt
+};
+
+/**
+ * The X-macro table: mnemonic token, enumerator, format, class.
+ * Order defines the binary opcode value; append only.
+ */
+#define ETC_ISA_OPCODE_TABLE(X)                                            \
+    /* integer ALU */                                                      \
+    X(add,   ADD,   R3,   IntAlu)                                          \
+    X(sub,   SUB,   R3,   IntAlu)                                          \
+    X(mul,   MUL,   R3,   IntAlu)                                          \
+    X(div,   DIV,   R3,   IntAlu)                                          \
+    X(rem,   REM,   R3,   IntAlu)                                          \
+    X(and,   AND,   R3,   IntAlu)                                          \
+    X(or,    OR,    R3,   IntAlu)                                          \
+    X(xor,   XOR,   R3,   IntAlu)                                          \
+    X(nor,   NOR,   R3,   IntAlu)                                          \
+    X(slt,   SLT,   R3,   IntAlu)                                          \
+    X(sltu,  SLTU,  R3,   IntAlu)                                          \
+    X(sllv,  SLLV,  R3,   IntAlu)                                          \
+    X(srlv,  SRLV,  R3,   IntAlu)                                          \
+    X(srav,  SRAV,  R3,   IntAlu)                                          \
+    X(addi,  ADDI,  R2I,  IntAlu)                                          \
+    X(andi,  ANDI,  R2I,  IntAlu)                                          \
+    X(ori,   ORI,   R2I,  IntAlu)                                          \
+    X(xori,  XORI,  R2I,  IntAlu)                                          \
+    X(slti,  SLTI,  R2I,  IntAlu)                                          \
+    X(sltiu, SLTIU, R2I,  IntAlu)                                          \
+    X(sll,   SLL,   R2I,  IntAlu)                                          \
+    X(srl,   SRL,   R2I,  IntAlu)                                          \
+    X(sra,   SRA,   R2I,  IntAlu)                                          \
+    X(lui,   LUI,   RI,   IntAlu)                                          \
+    /* memory */                                                           \
+    X(lw,    LW,    Mem,  Load)                                            \
+    X(lh,    LH,    Mem,  Load)                                            \
+    X(lhu,   LHU,   Mem,  Load)                                            \
+    X(lb,    LB,    Mem,  Load)                                            \
+    X(lbu,   LBU,   Mem,  Load)                                            \
+    X(sw,    SW,    Mem,  Store)                                           \
+    X(sh,    SH,    Mem,  Store)                                           \
+    X(sb,    SB,    Mem,  Store)                                           \
+    /* control */                                                          \
+    X(beq,   BEQ,   Br2,  Branch)                                          \
+    X(bne,   BNE,   Br2,  Branch)                                          \
+    X(blez,  BLEZ,  Br1,  Branch)                                          \
+    X(bgtz,  BGTZ,  Br1,  Branch)                                          \
+    X(bltz,  BLTZ,  Br1,  Branch)                                          \
+    X(bgez,  BGEZ,  Br1,  Branch)                                          \
+    X(j,     J,     Jmp,  Jump)                                            \
+    X(jal,   JAL,   Jmp,  Call)                                            \
+    X(jr,    JR,    JmpR, Jump)                                            \
+    X(jalr,  JALR,  JmpLR, Call)                                           \
+    /* floating point */                                                   \
+    X(add.s, ADDS,  F3,   FpAlu)                                           \
+    X(sub.s, SUBS,  F3,   FpAlu)                                           \
+    X(mul.s, MULS,  F3,   FpAlu)                                           \
+    X(div.s, DIVS,  F3,   FpAlu)                                           \
+    X(abs.s, ABSS,  F2,   FpAlu)                                           \
+    X(neg.s, NEGS,  F2,   FpAlu)                                           \
+    X(mov.s, MOVS,  F2,   FpAlu)                                           \
+    X(sqrt.s, SQRTS, F2,  FpAlu)                                           \
+    X(cvt.s.w, CVTSW, F2, FpAlu)                                           \
+    X(cvt.w.s, CVTWS, F2, FpAlu)                                           \
+    X(c.eq.s, CEQS, FCmp, FpCmp)                                           \
+    X(c.lt.s, CLTS, FCmp, FpCmp)                                           \
+    X(c.le.s, CLES, FCmp, FpCmp)                                           \
+    X(bc1t,  BC1T,  FBr,  Branch)                                          \
+    X(bc1f,  BC1F,  FBr,  Branch)                                          \
+    X(lwc1,  LWC1,  FMem, Load)                                            \
+    X(swc1,  SWC1,  FMem, Store)                                           \
+    X(mtc1,  MTC1,  MoveToFp,   RegMove)                                   \
+    X(mfc1,  MFC1,  MoveFromFp, RegMove)                                   \
+    /* system */                                                           \
+    X(nop,   NOP,   None, System)                                          \
+    X(halt,  HALT,  None, System)                                          \
+    X(outb,  OUTB,  R1,   Output)                                          \
+    X(outw,  OUTW,  R1,   Output)
+
+/** Every opcode in the ISA. */
+enum class Opcode : uint8_t
+{
+#define ETC_X(mnem, enumName, fmt, cls) enumName,
+    ETC_ISA_OPCODE_TABLE(ETC_X)
+#undef ETC_X
+};
+
+/** Total number of opcodes. */
+constexpr unsigned NUM_OPCODES = 0
+#define ETC_X(mnem, enumName, fmt, cls) +1
+    ETC_ISA_OPCODE_TABLE(ETC_X)
+#undef ETC_X
+    ;
+
+/** @return the assembler mnemonic for @p op. */
+const char *mnemonic(Opcode op);
+
+/** @return the operand format of @p op. */
+Format format(Opcode op);
+
+/** @return the semantic class of @p op. */
+InstrClass instrClass(Opcode op);
+
+/** Look up an opcode from its mnemonic. */
+std::optional<Opcode> opcodeFromMnemonic(const std::string &mnem);
+
+/** @return true if @p cls is a register-writing ALU class (taggable). */
+constexpr bool
+isAluClass(InstrClass cls)
+{
+    return cls == InstrClass::IntAlu || cls == InstrClass::FpAlu;
+}
+
+/** @return true if @p op transfers control (branch/jump/call). */
+bool isControlTransfer(Opcode op);
+
+} // namespace etc::isa
+
+#endif // ETC_ISA_OPCODES_HH

@@ -1,0 +1,79 @@
+#include "isa/registers.hh"
+
+#include <array>
+#include <cctype>
+
+#include "support/logging.hh"
+
+namespace etc::isa {
+
+namespace {
+
+const std::array<const char *, NUM_INT_REGS> intNames = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+};
+
+} // namespace
+
+std::string
+regName(RegId reg)
+{
+    if (isIntReg(reg))
+        return std::string("$") + intNames[reg];
+    if (isFpReg(reg))
+        return "$f" + std::to_string(reg - NUM_INT_REGS);
+    if (reg == FP_FLAG_REG)
+        return "$fcc";
+    panic("regName: invalid register id ", int{reg});
+}
+
+std::optional<RegId>
+parseReg(const std::string &text)
+{
+    std::string name = text;
+    if (!name.empty() && name[0] == '$')
+        name = name.substr(1);
+    if (name.empty())
+        return std::nullopt;
+
+    if (name == "fcc")
+        return FP_FLAG_REG;
+
+    // FP registers: f0 .. f31.
+    if (name.size() >= 2 && name[0] == 'f' &&
+        std::isdigit(static_cast<unsigned char>(name[1]))) {
+        int n = 0;
+        for (size_t i = 1; i < name.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(name[i])))
+                return std::nullopt;
+            n = n * 10 + (name[i] - '0');
+        }
+        if (n < NUM_FP_REGS)
+            return fpReg(static_cast<unsigned>(n));
+        return std::nullopt;
+    }
+
+    // Numeric integer registers: 0 .. 31.
+    if (std::isdigit(static_cast<unsigned char>(name[0]))) {
+        int n = 0;
+        for (char ch : name) {
+            if (!std::isdigit(static_cast<unsigned char>(ch)))
+                return std::nullopt;
+            n = n * 10 + (ch - '0');
+        }
+        if (n < NUM_INT_REGS)
+            return static_cast<RegId>(n);
+        return std::nullopt;
+    }
+
+    // Symbolic integer registers.
+    for (RegId i = 0; i < NUM_INT_REGS; ++i)
+        if (name == intNames[i])
+            return i;
+    return std::nullopt;
+}
+
+} // namespace etc::isa

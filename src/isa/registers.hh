@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Register identifiers for the MIPS-like target ISA.
+ *
+ * The analysis layer wants a single flat register namespace, so integer
+ * registers, floating-point registers, and the FP condition flag are
+ * mapped onto one RegId space:
+ *
+ *   [0, 32)   integer registers $zero .. $ra
+ *   [32, 64)  single-precision FP registers $f0 .. $f31
+ *   64        the FP condition flag written by c.xx.s, read by bc1t/f
+ */
+
+#ifndef ETC_ISA_REGISTERS_HH
+#define ETC_ISA_REGISTERS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace etc::isa {
+
+/** Flat register identifier (int regs, FP regs, then the FP flag). */
+using RegId = uint8_t;
+
+constexpr RegId NUM_INT_REGS = 32;
+constexpr RegId NUM_FP_REGS = 32;
+constexpr RegId FP_FLAG_REG = NUM_INT_REGS + NUM_FP_REGS; //!< = 64
+constexpr RegId NUM_REGS = FP_FLAG_REG + 1;               //!< = 65
+
+/** Conventional integer register numbers (MIPS o32 names). */
+enum IntReg : RegId
+{
+    REG_ZERO = 0, REG_AT = 1, REG_V0 = 2, REG_V1 = 3,
+    REG_A0 = 4, REG_A1 = 5, REG_A2 = 6, REG_A3 = 7,
+    REG_T0 = 8, REG_T1 = 9, REG_T2 = 10, REG_T3 = 11,
+    REG_T4 = 12, REG_T5 = 13, REG_T6 = 14, REG_T7 = 15,
+    REG_S0 = 16, REG_S1 = 17, REG_S2 = 18, REG_S3 = 19,
+    REG_S4 = 20, REG_S5 = 21, REG_S6 = 22, REG_S7 = 23,
+    REG_T8 = 24, REG_T9 = 25, REG_K0 = 26, REG_K1 = 27,
+    REG_GP = 28, REG_SP = 29, REG_FP_ = 30, REG_RA = 31,
+};
+
+/** @return the flat RegId of single-precision FP register @p n. */
+constexpr RegId
+fpReg(unsigned n)
+{
+    return static_cast<RegId>(NUM_INT_REGS + n);
+}
+
+/** @return true if @p reg names an integer register. */
+constexpr bool
+isIntReg(RegId reg)
+{
+    return reg < NUM_INT_REGS;
+}
+
+/** @return true if @p reg names a floating-point register. */
+constexpr bool
+isFpReg(RegId reg)
+{
+    return reg >= NUM_INT_REGS && reg < NUM_INT_REGS + NUM_FP_REGS;
+}
+
+/**
+ * @return the canonical assembly name of a register
+ *         ("$t0", "$f5", "$fcc").
+ */
+std::string regName(RegId reg);
+
+/**
+ * Parse a register name with or without the leading '$'.
+ * Accepts symbolic ("$t0"), numeric ("$8"), FP ("$f12"), and "$fcc".
+ *
+ * @return the RegId, or std::nullopt if the text is not a register.
+ */
+std::optional<RegId> parseReg(const std::string &text);
+
+} // namespace etc::isa
+
+#endif // ETC_ISA_REGISTERS_HH

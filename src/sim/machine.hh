@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Architectural register state of the simulated machine.
+ *
+ * FP registers are stored as raw 32-bit patterns so the fault injector
+ * can flip any bit of any result uniformly; FP arithmetic bit-casts on
+ * use. The FP condition flag occupies the same flat RegId space the
+ * analysis uses (isa::FP_FLAG_REG).
+ */
+
+#ifndef ETC_SIM_MACHINE_HH
+#define ETC_SIM_MACHINE_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "isa/registers.hh"
+#include "support/logging.hh"
+
+namespace etc::sim {
+
+/**
+ * Register file + PC. Plain aggregate; the Simulator owns one.
+ */
+class Machine
+{
+  public:
+    /** Reset all registers to zero (PC is managed by the Simulator). */
+    void
+    reset()
+    {
+        intRegs_.fill(0);
+        fpRegs_.fill(0);
+        fcc_ = 0;
+    }
+
+    /** Read an integer register ($zero always reads 0). */
+    uint32_t
+    readInt(isa::RegId reg) const
+    {
+        return intRegs_[reg];
+    }
+
+    /** Write an integer register (writes to $zero are discarded). */
+    void
+    writeInt(isa::RegId reg, uint32_t value)
+    {
+        if (reg != isa::REG_ZERO)
+            intRegs_[reg] = value;
+    }
+
+    /** Read an FP register's raw bit pattern. */
+    uint32_t
+    readFpBits(unsigned fpIndex) const
+    {
+        return fpRegs_[fpIndex];
+    }
+
+    /** Write an FP register's raw bit pattern. */
+    void
+    writeFpBits(unsigned fpIndex, uint32_t bits)
+    {
+        fpRegs_[fpIndex] = bits;
+    }
+
+    /** Read an FP register as a float. */
+    float
+    readFp(unsigned fpIndex) const
+    {
+        return std::bit_cast<float>(fpRegs_[fpIndex]);
+    }
+
+    /** Write an FP register from a float. */
+    void
+    writeFp(unsigned fpIndex, float value)
+    {
+        fpRegs_[fpIndex] = std::bit_cast<uint32_t>(value);
+    }
+
+    /** The FP condition flag (set by c.xx.s, read by bc1t/bc1f). */
+    bool fcc() const { return fcc_ != 0; }
+    void setFcc(bool value) { fcc_ = value ? 1 : 0; }
+
+    /**
+     * Read any register by flat id (used by the injector and tests).
+     * For the FP flag the value is 0 or 1.
+     */
+    uint32_t
+    readFlat(isa::RegId reg) const
+    {
+        if (isa::isIntReg(reg))
+            return intRegs_[reg];
+        if (isa::isFpReg(reg))
+            return fpRegs_[reg - isa::NUM_INT_REGS];
+        return fcc_;
+    }
+
+    /** Write any register by flat id (injector interface). */
+    void
+    writeFlat(isa::RegId reg, uint32_t value)
+    {
+        if (isa::isIntReg(reg)) {
+            writeInt(reg, value);
+        } else if (isa::isFpReg(reg)) {
+            fpRegs_[reg - isa::NUM_INT_REGS] = value;
+        } else {
+            fcc_ = value & 1;
+        }
+    }
+
+    /** Current program counter (an instruction index). */
+    uint32_t pc = 0;
+
+  private:
+    std::array<uint32_t, isa::NUM_INT_REGS> intRegs_{};
+    std::array<uint32_t, isa::NUM_FP_REGS> fpRegs_{};
+    uint32_t fcc_ = 0;
+};
+
+} // namespace etc::sim
+
+#endif // ETC_SIM_MACHINE_HH

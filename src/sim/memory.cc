@@ -1,0 +1,189 @@
+#include "sim/memory.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace etc::sim {
+
+Memory::Memory(uint32_t dataBase, uint32_t dataLimit, MemoryModel model)
+    : model_(model), dataBase_(dataBase),
+      dataLimit_(dataLimit + HEAP_SLACK),
+      stackBase_(assembly::STACK_TOP + 4 - assembly::STACK_SIZE),
+      stackLimit_(assembly::STACK_TOP + 4)
+{
+}
+
+void
+Memory::loadData(const std::vector<assembly::DataChunk> &chunks)
+{
+    for (const auto &chunk : chunks)
+        hostWriteBlock(chunk.addr, chunk.bytes);
+}
+
+void
+Memory::clear()
+{
+    pages_.clear();
+}
+
+bool
+Memory::inBounds(uint32_t addr, uint32_t len) const
+{
+    uint64_t end = uint64_t{addr} + len;
+    if (addr >= dataBase_ && end <= dataLimit_)
+        return true;
+    if (addr >= stackBase_ && end <= stackLimit_)
+        return true;
+    return false;
+}
+
+uint8_t *
+Memory::pagePtr(uint32_t addr)
+{
+    uint32_t pageNum = addr >> PAGE_BITS;
+    auto it = pages_.find(pageNum);
+    if (it == pages_.end()) {
+        auto page = std::make_unique<uint8_t[]>(PAGE_SIZE);
+        std::memset(page.get(), 0, PAGE_SIZE);
+        it = pages_.emplace(pageNum, std::move(page)).first;
+    }
+    return it->second.get() + (addr & (PAGE_SIZE - 1));
+}
+
+// The read/write helpers share the same shape: alignment always traps;
+// an out-of-region access either faults (Strict) or degrades to a
+// zero read / dropped write (Lenient).
+
+MemStatus
+Memory::read32(uint32_t addr, uint32_t &value)
+{
+    if (addr & 3)
+        return MemStatus::Misaligned;
+    if (!inBounds(addr, 4)) {
+        if (model_ == MemoryModel::Strict)
+            return MemStatus::OutOfBounds;
+        value = 0;
+        return MemStatus::Ok;
+    }
+    // A 4-byte aligned access never crosses a page boundary.
+    std::memcpy(&value, pagePtr(addr), 4);
+    return MemStatus::Ok;
+}
+
+MemStatus
+Memory::read16(uint32_t addr, uint16_t &value)
+{
+    if (addr & 1)
+        return MemStatus::Misaligned;
+    if (!inBounds(addr, 2)) {
+        if (model_ == MemoryModel::Strict)
+            return MemStatus::OutOfBounds;
+        value = 0;
+        return MemStatus::Ok;
+    }
+    std::memcpy(&value, pagePtr(addr), 2);
+    return MemStatus::Ok;
+}
+
+MemStatus
+Memory::read8(uint32_t addr, uint8_t &value)
+{
+    if (!inBounds(addr, 1)) {
+        if (model_ == MemoryModel::Strict)
+            return MemStatus::OutOfBounds;
+        value = 0;
+        return MemStatus::Ok;
+    }
+    value = *pagePtr(addr);
+    return MemStatus::Ok;
+}
+
+MemStatus
+Memory::write32(uint32_t addr, uint32_t value)
+{
+    if (addr & 3)
+        return MemStatus::Misaligned;
+    if (!inBounds(addr, 4)) {
+        return model_ == MemoryModel::Strict ? MemStatus::OutOfBounds
+                                             : MemStatus::Ok;
+    }
+    std::memcpy(pagePtr(addr), &value, 4);
+    return MemStatus::Ok;
+}
+
+MemStatus
+Memory::write16(uint32_t addr, uint16_t value)
+{
+    if (addr & 1)
+        return MemStatus::Misaligned;
+    if (!inBounds(addr, 2)) {
+        return model_ == MemoryModel::Strict ? MemStatus::OutOfBounds
+                                             : MemStatus::Ok;
+    }
+    std::memcpy(pagePtr(addr), &value, 2);
+    return MemStatus::Ok;
+}
+
+MemStatus
+Memory::write8(uint32_t addr, uint8_t value)
+{
+    if (!inBounds(addr, 1)) {
+        return model_ == MemoryModel::Strict ? MemStatus::OutOfBounds
+                                             : MemStatus::Ok;
+    }
+    *pagePtr(addr) = value;
+    return MemStatus::Ok;
+}
+
+uint32_t
+Memory::hostRead32(uint32_t addr)
+{
+    if (!inBounds(addr, 4) || (addr & 3))
+        panic("hostRead32: bad address 0x", std::hex, addr);
+    uint32_t value = 0;
+    std::memcpy(&value, pagePtr(addr), 4);
+    return value;
+}
+
+uint8_t
+Memory::hostRead8(uint32_t addr)
+{
+    if (!inBounds(addr, 1))
+        panic("hostRead8: bad address 0x", std::hex, addr);
+    return *pagePtr(addr);
+}
+
+void
+Memory::hostWrite32(uint32_t addr, uint32_t value)
+{
+    if (!inBounds(addr, 4) || (addr & 3))
+        panic("hostWrite32: bad address 0x", std::hex, addr);
+    std::memcpy(pagePtr(addr), &value, 4);
+}
+
+void
+Memory::hostWrite8(uint32_t addr, uint8_t value)
+{
+    if (!inBounds(addr, 1))
+        panic("hostWrite8: bad address 0x", std::hex, addr);
+    *pagePtr(addr) = value;
+}
+
+std::vector<uint8_t>
+Memory::hostReadBlock(uint32_t addr, uint32_t len)
+{
+    std::vector<uint8_t> out(len);
+    for (uint32_t i = 0; i < len; ++i)
+        out[i] = hostRead8(addr + i);
+    return out;
+}
+
+void
+Memory::hostWriteBlock(uint32_t addr, const std::vector<uint8_t> &bytes)
+{
+    for (uint32_t i = 0; i < bytes.size(); ++i)
+        hostWrite8(addr + static_cast<uint32_t>(i), bytes[i]);
+}
+
+} // namespace etc::sim

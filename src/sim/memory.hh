@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Sparse byte-addressed memory with two fault models.
+ *
+ * Two regions are backed: the static data segment (plus a heap slack
+ * area after it) and the stack. Misaligned word/halfword accesses
+ * always trap (MIPS semantics -- one of the realistic crash vectors
+ * for corrupted address arithmetic). Out-of-region accesses depend on
+ * the model:
+ *
+ *  - MemoryModel::Lenient (default): reads return 0 and writes are
+ *    dropped, like SimpleScalar's zero-filled functional memory on
+ *    which the paper ran. Corrupted data addresses then produce
+ *    garbage *data*, not crashes -- the behaviour behind the paper's
+ *    near-zero with-protection failure rates.
+ *  - MemoryModel::Strict: out-of-region accesses fault. Our ablation
+ *    for a bounds-checking (MMU-enforcing) platform.
+ */
+
+#ifndef ETC_SIM_MEMORY_HH
+#define ETC_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "asm/program.hh"
+
+namespace etc::sim {
+
+/** Result of a guest memory access. */
+enum class MemStatus : uint8_t
+{
+    Ok,
+    OutOfBounds,
+    Misaligned,
+};
+
+/** Out-of-region access policy. */
+enum class MemoryModel : uint8_t
+{
+    Lenient, //!< zero-filled reads, dropped writes (SimpleScalar-like)
+    Strict,  //!< out-of-region accesses fault
+};
+
+/**
+ * Paged sparse memory with two backed segments (data + stack).
+ */
+class Memory
+{
+  public:
+    static constexpr uint32_t PAGE_BITS = 12;
+    static constexpr uint32_t PAGE_SIZE = 1u << PAGE_BITS;
+
+    /** Extra valid bytes past the static data (acts as a small heap). */
+    static constexpr uint32_t HEAP_SLACK = 1u << 20;
+
+    /**
+     * @param dataBase  first valid data address
+     * @param dataLimit one past the last initialized data byte
+     * @param model     out-of-region access policy
+     */
+    Memory(uint32_t dataBase, uint32_t dataLimit,
+           MemoryModel model = MemoryModel::Lenient);
+
+    /** @return the active out-of-region policy. */
+    MemoryModel model() const { return model_; }
+
+    /** Load a program's initial data segment. */
+    void loadData(const std::vector<assembly::DataChunk> &chunks);
+
+    /** Drop all contents (pages are freed). */
+    void clear();
+
+    /// @name Guest accesses (bounds- and alignment-checked)
+    /// @{
+    MemStatus read32(uint32_t addr, uint32_t &value);
+    MemStatus read16(uint32_t addr, uint16_t &value);
+    MemStatus read8(uint32_t addr, uint8_t &value);
+    MemStatus write32(uint32_t addr, uint32_t value);
+    MemStatus write16(uint32_t addr, uint16_t value);
+    MemStatus write8(uint32_t addr, uint8_t value);
+    /// @}
+
+    /// @name Host accesses (for harness setup/extraction; panic on OOB)
+    /// @{
+    uint32_t hostRead32(uint32_t addr);
+    uint8_t hostRead8(uint32_t addr);
+    void hostWrite32(uint32_t addr, uint32_t value);
+    void hostWrite8(uint32_t addr, uint8_t value);
+    std::vector<uint8_t> hostReadBlock(uint32_t addr, uint32_t len);
+    void hostWriteBlock(uint32_t addr, const std::vector<uint8_t> &bytes);
+    /// @}
+
+    /** @return true if [addr, addr+len) lies entirely in a valid segment. */
+    bool inBounds(uint32_t addr, uint32_t len) const;
+
+  private:
+    uint8_t *pagePtr(uint32_t addr);
+
+    MemoryModel model_;
+    uint32_t dataBase_;
+    uint32_t dataLimit_; //!< end of valid data region (incl. heap slack)
+    uint32_t stackBase_;
+    uint32_t stackLimit_;
+    std::unordered_map<uint32_t, std::unique_ptr<uint8_t[]>> pages_;
+};
+
+} // namespace etc::sim
+
+#endif // ETC_SIM_MEMORY_HH

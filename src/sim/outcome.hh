@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Run-outcome classification shared by the simulator, the campaign
+ * runner, and the benchmarks.
+ *
+ * The paper classifies a simulation as a *catastrophic failure* when it
+ * crashes or runs "infinitely". We map those onto concrete detector
+ * events: memory faults, wild jumps, divide-by-zero, a blown
+ * instruction budget, or runaway output.
+ */
+
+#ifndef ETC_SIM_OUTCOME_HH
+#define ETC_SIM_OUTCOME_HH
+
+#include <cstdint>
+#include <string>
+
+namespace etc::sim {
+
+/** Why a run ended. */
+enum class RunStatus : uint8_t
+{
+    Completed,      //!< reached HALT
+    MemoryFault,    //!< out-of-bounds or misaligned access
+    BadJump,        //!< PC left the code (wild jr / fell off the end)
+    DivByZero,      //!< integer divide or remainder by zero
+    Timeout,        //!< instruction budget exhausted ("infinite run")
+    OutputOverflow, //!< output stream exceeded its cap (runaway loop)
+};
+
+/** @return a short human-readable name for @p status. */
+inline const char *
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Completed: return "completed";
+      case RunStatus::MemoryFault: return "memory-fault";
+      case RunStatus::BadJump: return "bad-jump";
+      case RunStatus::DivByZero: return "div-by-zero";
+      case RunStatus::Timeout: return "timeout";
+      case RunStatus::OutputOverflow: return "output-overflow";
+    }
+    return "unknown";
+}
+
+/** @return true if @p status counts as a catastrophic failure. */
+inline bool
+isCatastrophic(RunStatus status)
+{
+    return status != RunStatus::Completed;
+}
+
+/** Everything a single simulation run reports back. */
+struct RunResult
+{
+    RunStatus status = RunStatus::Completed;
+    uint64_t instructions = 0; //!< dynamic instructions executed
+    uint32_t faultPc = 0;      //!< static index where a fault hit
+
+    bool completed() const { return status == RunStatus::Completed; }
+
+    std::string
+    toString() const
+    {
+        std::string out = runStatusName(status);
+        out += " after " + std::to_string(instructions) + " instructions";
+        if (!completed())
+            out += " (pc=" + std::to_string(faultPc) + ")";
+        return out;
+    }
+};
+
+} // namespace etc::sim
+
+#endif // ETC_SIM_OUTCOME_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A retire-hook that collects the dynamic-instruction statistics the
+ * paper's Table 3 reports: total dynamic instructions, instructions
+ * producing a register result, and -- given a static tag bitmap from
+ * the analysis -- the number of dynamic instructions eligible to run
+ * in a low-reliability environment.
+ */
+
+#ifndef ETC_SIM_PROFILER_HH
+#define ETC_SIM_PROFILER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace etc::sim {
+
+/** Aggregated dynamic execution statistics. */
+struct DynamicProfile
+{
+    uint64_t total = 0;          //!< all retired instructions
+    uint64_t defBearing = 0;     //!< instructions writing a register
+    uint64_t tagged = 0;         //!< retired instructions whose static
+                                 //!< index is tagged low-reliability
+    uint64_t branches = 0;       //!< conditional branches retired
+    uint64_t memoryOps = 0;      //!< loads + stores retired
+
+    /** @return fraction of dynamic instructions that are tagged. */
+    double
+    taggedFraction() const
+    {
+        return total ? static_cast<double>(tagged) / total : 0.0;
+    }
+};
+
+/**
+ * ExecHook implementation feeding a DynamicProfile.
+ */
+class Profiler : public ExecHook
+{
+  public:
+    /**
+     * @param tags static tag bitmap (index = static instruction index);
+     *             pass an empty vector to skip tag accounting
+     */
+    explicit Profiler(std::vector<bool> tags = {})
+        : tags_(std::move(tags))
+    {
+    }
+
+    void
+    onRetire(uint32_t staticIdx, const isa::Instruction &ins,
+             Machine &, Memory &) override
+    {
+        ++profile_.total;
+        if (ins.def())
+            ++profile_.defBearing;
+        if (ins.isConditionalBranch())
+            ++profile_.branches;
+        if (ins.isLoad() || ins.isStore())
+            ++profile_.memoryOps;
+        if (staticIdx < tags_.size() && tags_[staticIdx])
+            ++profile_.tagged;
+    }
+
+    const DynamicProfile &profile() const { return profile_; }
+
+  private:
+    std::vector<bool> tags_;
+    DynamicProfile profile_;
+};
+
+} // namespace etc::sim
+
+#endif // ETC_SIM_PROFILER_HH

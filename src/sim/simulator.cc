@@ -1,0 +1,325 @@
+#include "sim/simulator.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace etc::sim {
+
+using namespace isa;
+
+Simulator::Simulator(const assembly::Program &program, MemoryModel model)
+    : program_(program),
+      memory_(assembly::DATA_BASE,
+              std::max(program.dataEnd, assembly::DATA_BASE), model)
+{
+    reset();
+}
+
+void
+Simulator::reset()
+{
+    machine_.reset();
+    memory_.clear();
+    memory_.loadData(program_.data);
+    output_.clear();
+    machine_.pc = program_.entry;
+    machine_.writeInt(REG_SP, assembly::STACK_TOP);
+    // A return from the entry function jumps one past the end of code,
+    // which run() treats as normal completion.
+    machine_.writeInt(REG_RA, program_.size());
+}
+
+RunResult
+Simulator::run(uint64_t maxInstructions, ExecHook *hook)
+{
+    if (maxInstructions == 0)
+        maxInstructions = DEFAULT_BUDGET;
+
+    RunResult result;
+    const auto codeSize = program_.size();
+    const auto *code = program_.code.data();
+    Machine &m = machine_;
+
+    auto fault = [&](RunStatus status) {
+        result.status = status;
+        result.faultPc = m.pc;
+        return result;
+    };
+
+    while (true) {
+        if (m.pc >= codeSize) {
+            // Returning from the entry function lands exactly at
+            // codeSize (see reset()); that is a clean completion.
+            if (m.pc == codeSize) {
+                result.status = RunStatus::Completed;
+                return result;
+            }
+            return fault(RunStatus::BadJump);
+        }
+        if (result.instructions >= maxInstructions)
+            return fault(RunStatus::Timeout);
+
+        const Instruction &ins = code[m.pc];
+        const uint32_t thisPc = m.pc;
+        uint32_t nextPc = m.pc + 1;
+        ++result.instructions;
+
+        auto rs = [&] { return m.readInt(ins.rs); };
+        auto rt = [&] { return m.readInt(ins.rt); };
+        auto srs = [&] { return static_cast<int32_t>(m.readInt(ins.rs)); };
+        auto srt = [&] { return static_cast<int32_t>(m.readInt(ins.rt)); };
+        auto fs = [&] { return m.readFp(ins.rs - NUM_INT_REGS); };
+        auto ft = [&] { return m.readFp(ins.rt - NUM_INT_REGS); };
+        auto setRd = [&](uint32_t v) { m.writeInt(ins.rd, v); };
+        auto setFd = [&](float v) { m.writeFp(ins.rd - NUM_INT_REGS, v); };
+
+        switch (ins.op) {
+          case Opcode::ADD: setRd(rs() + rt()); break;
+          case Opcode::SUB: setRd(rs() - rt()); break;
+          case Opcode::MUL: setRd(rs() * rt()); break;
+          case Opcode::DIV: {
+            int32_t den = srt();
+            if (den == 0)
+                return fault(RunStatus::DivByZero);
+            int32_t num = srs();
+            // INT_MIN / -1 overflows in C++; MIPS leaves it
+            // unpredictable -- define it as wrapping to INT_MIN.
+            if (num == std::numeric_limits<int32_t>::min() && den == -1)
+                setRd(static_cast<uint32_t>(num));
+            else
+                setRd(static_cast<uint32_t>(num / den));
+            break;
+          }
+          case Opcode::REM: {
+            int32_t den = srt();
+            if (den == 0)
+                return fault(RunStatus::DivByZero);
+            int32_t num = srs();
+            if (num == std::numeric_limits<int32_t>::min() && den == -1)
+                setRd(0);
+            else
+                setRd(static_cast<uint32_t>(num % den));
+            break;
+          }
+          case Opcode::AND: setRd(rs() & rt()); break;
+          case Opcode::OR: setRd(rs() | rt()); break;
+          case Opcode::XOR: setRd(rs() ^ rt()); break;
+          case Opcode::NOR: setRd(~(rs() | rt())); break;
+          case Opcode::SLT: setRd(srs() < srt() ? 1 : 0); break;
+          case Opcode::SLTU: setRd(rs() < rt() ? 1 : 0); break;
+          case Opcode::SLLV: setRd(rs() << (rt() & 31)); break;
+          case Opcode::SRLV: setRd(rs() >> (rt() & 31)); break;
+          case Opcode::SRAV:
+            setRd(static_cast<uint32_t>(srs() >> (rt() & 31)));
+            break;
+          case Opcode::ADDI:
+            setRd(rs() + static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::ANDI:
+            setRd(rs() & static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::ORI:
+            setRd(rs() | static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::XORI:
+            setRd(rs() ^ static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::SLTI: setRd(srs() < ins.imm ? 1 : 0); break;
+          case Opcode::SLTIU:
+            setRd(rs() < static_cast<uint32_t>(ins.imm) ? 1 : 0);
+            break;
+          case Opcode::SLL: setRd(rs() << (ins.imm & 31)); break;
+          case Opcode::SRL: setRd(rs() >> (ins.imm & 31)); break;
+          case Opcode::SRA:
+            setRd(static_cast<uint32_t>(srs() >> (ins.imm & 31)));
+            break;
+          case Opcode::LUI:
+            setRd(static_cast<uint32_t>(ins.imm) << 16);
+            break;
+
+          case Opcode::LW: {
+            uint32_t value = 0;
+            if (memory_.read32(rs() + static_cast<uint32_t>(ins.imm),
+                               value) != MemStatus::Ok)
+                return fault(RunStatus::MemoryFault);
+            setRd(value);
+            break;
+          }
+          case Opcode::LH: {
+            uint16_t value = 0;
+            if (memory_.read16(rs() + static_cast<uint32_t>(ins.imm),
+                               value) != MemStatus::Ok)
+                return fault(RunStatus::MemoryFault);
+            setRd(static_cast<uint32_t>(
+                static_cast<int32_t>(static_cast<int16_t>(value))));
+            break;
+          }
+          case Opcode::LHU: {
+            uint16_t value = 0;
+            if (memory_.read16(rs() + static_cast<uint32_t>(ins.imm),
+                               value) != MemStatus::Ok)
+                return fault(RunStatus::MemoryFault);
+            setRd(value);
+            break;
+          }
+          case Opcode::LB: {
+            uint8_t value = 0;
+            if (memory_.read8(rs() + static_cast<uint32_t>(ins.imm),
+                              value) != MemStatus::Ok)
+                return fault(RunStatus::MemoryFault);
+            setRd(static_cast<uint32_t>(
+                static_cast<int32_t>(static_cast<int8_t>(value))));
+            break;
+          }
+          case Opcode::LBU: {
+            uint8_t value = 0;
+            if (memory_.read8(rs() + static_cast<uint32_t>(ins.imm),
+                              value) != MemStatus::Ok)
+                return fault(RunStatus::MemoryFault);
+            setRd(value);
+            break;
+          }
+          case Opcode::SW:
+            if (memory_.write32(rs() + static_cast<uint32_t>(ins.imm),
+                                m.readInt(ins.rd)) != MemStatus::Ok)
+                return fault(RunStatus::MemoryFault);
+            break;
+          case Opcode::SH:
+            if (memory_.write16(rs() + static_cast<uint32_t>(ins.imm),
+                                static_cast<uint16_t>(
+                                    m.readInt(ins.rd))) != MemStatus::Ok)
+                return fault(RunStatus::MemoryFault);
+            break;
+          case Opcode::SB:
+            if (memory_.write8(rs() + static_cast<uint32_t>(ins.imm),
+                               static_cast<uint8_t>(m.readInt(ins.rd))) !=
+                MemStatus::Ok)
+                return fault(RunStatus::MemoryFault);
+            break;
+
+          case Opcode::BEQ:
+            if (rs() == rt())
+                nextPc = ins.target;
+            break;
+          case Opcode::BNE:
+            if (rs() != rt())
+                nextPc = ins.target;
+            break;
+          case Opcode::BLEZ:
+            if (srs() <= 0)
+                nextPc = ins.target;
+            break;
+          case Opcode::BGTZ:
+            if (srs() > 0)
+                nextPc = ins.target;
+            break;
+          case Opcode::BLTZ:
+            if (srs() < 0)
+                nextPc = ins.target;
+            break;
+          case Opcode::BGEZ:
+            if (srs() >= 0)
+                nextPc = ins.target;
+            break;
+          case Opcode::J: nextPc = ins.target; break;
+          case Opcode::JAL:
+            m.writeInt(REG_RA, thisPc + 1);
+            nextPc = ins.target;
+            break;
+          case Opcode::JR: nextPc = rs(); break;
+          case Opcode::JALR:
+            m.writeInt(ins.rd, thisPc + 1);
+            nextPc = rs();
+            break;
+
+          case Opcode::ADDS: setFd(fs() + ft()); break;
+          case Opcode::SUBS: setFd(fs() - ft()); break;
+          case Opcode::MULS: setFd(fs() * ft()); break;
+          case Opcode::DIVS: setFd(fs() / ft()); break;
+          case Opcode::ABSS: setFd(std::fabs(fs())); break;
+          case Opcode::NEGS: setFd(-fs()); break;
+          case Opcode::MOVS: setFd(fs()); break;
+          case Opcode::SQRTS: setFd(std::sqrt(fs())); break;
+          case Opcode::CVTSW:
+            setFd(static_cast<float>(static_cast<int32_t>(
+                m.readFpBits(ins.rs - NUM_INT_REGS))));
+            break;
+          case Opcode::CVTWS: {
+            float value = fs();
+            int32_t truncated;
+            if (std::isnan(value))
+                truncated = 0;
+            else if (value >= 2147483648.0f)
+                truncated = std::numeric_limits<int32_t>::max();
+            else if (value < -2147483648.0f)
+                truncated = std::numeric_limits<int32_t>::min();
+            else
+                truncated = static_cast<int32_t>(value);
+            m.writeFpBits(ins.rd - NUM_INT_REGS,
+                          static_cast<uint32_t>(truncated));
+            break;
+          }
+          case Opcode::CEQS: m.setFcc(fs() == ft()); break;
+          case Opcode::CLTS: m.setFcc(fs() < ft()); break;
+          case Opcode::CLES: m.setFcc(fs() <= ft()); break;
+          case Opcode::BC1T:
+            if (m.fcc())
+                nextPc = ins.target;
+            break;
+          case Opcode::BC1F:
+            if (!m.fcc())
+                nextPc = ins.target;
+            break;
+          case Opcode::LWC1: {
+            uint32_t value = 0;
+            if (memory_.read32(rs() + static_cast<uint32_t>(ins.imm),
+                               value) != MemStatus::Ok)
+                return fault(RunStatus::MemoryFault);
+            m.writeFpBits(ins.rd - NUM_INT_REGS, value);
+            break;
+          }
+          case Opcode::SWC1:
+            if (memory_.write32(rs() + static_cast<uint32_t>(ins.imm),
+                                m.readFpBits(ins.rd - NUM_INT_REGS)) !=
+                MemStatus::Ok)
+                return fault(RunStatus::MemoryFault);
+            break;
+          case Opcode::MTC1:
+            m.writeFpBits(ins.rd - NUM_INT_REGS, rs());
+            break;
+          case Opcode::MFC1:
+            m.writeInt(ins.rd, m.readFpBits(ins.rs - NUM_INT_REGS));
+            break;
+
+          case Opcode::NOP: break;
+          case Opcode::HALT:
+            if (hook)
+                hook->onRetire(thisPc, ins, m, memory_);
+            result.status = RunStatus::Completed;
+            return result;
+          case Opcode::OUTB:
+            output_.push_back(static_cast<uint8_t>(rs()));
+            if (output_.size() > OUTPUT_CAP)
+                return fault(RunStatus::OutputOverflow);
+            break;
+          case Opcode::OUTW: {
+            uint32_t value = rs();
+            for (int b = 0; b < 4; ++b)
+                output_.push_back(static_cast<uint8_t>(value >> (8 * b)));
+            if (output_.size() > OUTPUT_CAP)
+                return fault(RunStatus::OutputOverflow);
+            break;
+          }
+        }
+
+        // Publish the next PC before the hook so a control transfer's
+        // "result" (the PC) is visible and corruptible.
+        m.pc = nextPc;
+        if (hook)
+            hook->onRetire(thisPc, ins, m, memory_);
+    }
+}
+
+} // namespace etc::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The functional simulator: executes a Program on a Machine + Memory,
+ * classifying every abnormal event as a RunStatus.
+ *
+ * There is deliberately no timing model -- the paper's methodology is
+ * functional simulation (SimpleScalar) with visibility of each dynamic
+ * result. A single retire hook gives the fault injector and the
+ * profiler access to every instruction's destination value right after
+ * writeback, which is exactly the paper's injection point ("we flip a
+ * bit in the result of an instruction").
+ */
+
+#ifndef ETC_SIM_SIMULATOR_HH
+#define ETC_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "asm/program.hh"
+#include "sim/machine.hh"
+#include "sim/memory.hh"
+#include "sim/outcome.hh"
+
+namespace etc::sim {
+
+/**
+ * Observer invoked after each retired instruction. Implementations may
+ * mutate the machine and memory (that is how faults are injected).
+ *
+ * The hook runs after writeback AND after the PC update, so
+ * machine.pc already holds the *result* of a control transfer --
+ * flipping it models a corrupted branch outcome, the paper's
+ * unprotected-control failure mode.
+ */
+class ExecHook
+{
+  public:
+    virtual ~ExecHook() = default;
+
+    /**
+     * Called once per retired instruction.
+     *
+     * @param staticIdx the instruction's index in the program
+     * @param ins       the retired instruction
+     * @param machine   mutable architectural state (pc = next pc)
+     * @param memory    mutable memory (stored results live here)
+     */
+    virtual void onRetire(uint32_t staticIdx, const isa::Instruction &ins,
+                          Machine &machine, Memory &memory) = 0;
+};
+
+/**
+ * Functional executor for one Program. reset() + run() may be called
+ * repeatedly; each reset reloads the initial data image.
+ */
+class Simulator
+{
+  public:
+    /** Output-stream cap; exceeding it ends the run (runaway loop). */
+    static constexpr size_t OUTPUT_CAP = 1u << 24;
+
+    /** Default instruction budget if run() is called with 0. */
+    static constexpr uint64_t DEFAULT_BUDGET = 1ull << 32;
+
+    /**
+     * @param program the program to execute (not owned)
+     * @param model   out-of-region memory policy (see memory.hh)
+     */
+    explicit Simulator(const assembly::Program &program,
+                       MemoryModel model = MemoryModel::Lenient);
+
+    /** Reload data, zero registers, point PC at the entry. */
+    void reset();
+
+    /**
+     * Execute until HALT, a fault, or the budget runs out.
+     *
+     * @param maxInstructions dynamic-instruction budget (0 = default)
+     * @param hook            optional retire observer (may be null)
+     */
+    RunResult run(uint64_t maxInstructions = 0, ExecHook *hook = nullptr);
+
+    Machine &machine() { return machine_; }
+    const Machine &machine() const { return machine_; }
+    Memory &memory() { return memory_; }
+    const assembly::Program &program() const { return program_; }
+
+    /** Bytes emitted through outb/outw during the last run(s). */
+    const std::vector<uint8_t> &output() const { return output_; }
+
+  private:
+    const assembly::Program &program_;
+    Machine machine_;
+    Memory memory_;
+    std::vector<uint8_t> output_;
+};
+
+} // namespace etc::sim
+
+#endif // ETC_SIM_SIMULATOR_HH

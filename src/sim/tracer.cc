@@ -1,0 +1,34 @@
+#include "sim/tracer.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace etc::sim {
+
+std::string
+TraceRecord::toString() const
+{
+    std::ostringstream oss;
+    oss << std::setw(8) << seq << "  [" << std::setw(4) << staticIdx
+        << "] " << std::left << std::setw(28) << ins.toString()
+        << std::right;
+    if (hasValue) {
+        oss << " -> 0x" << std::hex << std::setw(8) << std::setfill('0')
+            << value << std::setfill(' ') << std::dec;
+    } else if (ins.isControl()) {
+        oss << " -> pc " << nextPc;
+    }
+    return oss.str();
+}
+
+void
+Tracer::print(std::ostream &os) const
+{
+    if (observed() > records_.size())
+        os << "... (" << observed() - records_.size()
+           << " earlier instructions elided)\n";
+    for (const auto &record : records_)
+        os << record.toString() << '\n';
+}
+
+} // namespace etc::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Execution tracer: a retire hook that renders an instruction-level
+ * trace with destination values -- the tool for post-morteming an
+ * injected run ("which flip sent the solver into that parent cycle?").
+ *
+ * The trace window is bounded (keep the last N records) so tracing a
+ * multi-million-instruction run costs memory proportional to the
+ * window, not the run.
+ */
+
+#ifndef ETC_SIM_TRACER_HH
+#define ETC_SIM_TRACER_HH
+
+#include <deque>
+#include <ostream>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace etc::sim {
+
+/** One retired-instruction record. */
+struct TraceRecord
+{
+    uint64_t seq = 0;       //!< dynamic instruction number
+    uint32_t staticIdx = 0; //!< instruction index in the program
+    isa::Instruction ins;
+    bool hasValue = false;  //!< the instruction defined a register
+    uint32_t value = 0;     //!< destination value after writeback
+    uint32_t nextPc = 0;    //!< pc after the instruction
+
+    /** Render "seq [idx] text -> value" on one line. */
+    std::string toString() const;
+};
+
+/**
+ * Ring-buffer tracer. Compose with another hook (e.g. an Injector)
+ * via the `chain` constructor argument so a trial can be traced while
+ * faults are injected.
+ */
+class Tracer : public ExecHook
+{
+  public:
+    /**
+     * @param window keep at most this many trailing records
+     * @param chain  optional downstream hook invoked first (so the
+     *               trace records post-injection values); may be null
+     */
+    explicit Tracer(size_t window = 64, ExecHook *chain = nullptr)
+        : window_(window), chain_(chain)
+    {
+    }
+
+    void
+    onRetire(uint32_t staticIdx, const isa::Instruction &ins,
+             Machine &machine, Memory &memory) override
+    {
+        if (chain_)
+            chain_->onRetire(staticIdx, ins, machine, memory);
+        TraceRecord record;
+        record.seq = seq_++;
+        record.staticIdx = staticIdx;
+        record.ins = ins;
+        if (auto def = ins.def()) {
+            record.hasValue = true;
+            record.value = machine.readFlat(*def);
+        }
+        record.nextPc = machine.pc;
+        if (records_.size() == window_)
+            records_.pop_front();
+        records_.push_back(std::move(record));
+    }
+
+    /** The retained trailing window, oldest first. */
+    const std::deque<TraceRecord> &records() const { return records_; }
+
+    /** Total instructions observed (>= records().size()). */
+    uint64_t observed() const { return seq_; }
+
+    /** Print the window, one record per line. */
+    void print(std::ostream &os) const;
+
+  private:
+    size_t window_;
+    ExecHook *chain_;
+    uint64_t seq_ = 0;
+    std::deque<TraceRecord> records_;
+};
+
+} // namespace etc::sim
+
+#endif // ETC_SIM_TRACER_HH

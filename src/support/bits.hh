@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the fault-injection model and
+ * the ISA encoder.
+ */
+
+#ifndef ETC_SUPPORT_BITS_HH
+#define ETC_SUPPORT_BITS_HH
+
+#include <cstdint>
+
+#include "support/logging.hh"
+
+namespace etc {
+
+/**
+ * Flip a single bit of a 32-bit word.
+ *
+ * @param value the original word
+ * @param bit   bit position, 0 (LSB) through 31 (MSB)
+ * @return the word with exactly that bit inverted
+ */
+inline uint32_t
+flipBit(uint32_t value, unsigned bit)
+{
+    if (bit >= 32)
+        panic("flipBit: bit index ", bit, " out of range");
+    return value ^ (uint32_t{1} << bit);
+}
+
+/**
+ * Extract a bit field [lo, lo+len) from a word.
+ *
+ * @param value source word
+ * @param lo    least-significant bit of the field
+ * @param len   field width in bits (1..32)
+ */
+inline uint32_t
+bitsField(uint32_t value, unsigned lo, unsigned len)
+{
+    if (len == 0 || len > 32 || lo >= 32)
+        panic("bitsField: bad field [", lo, ", +", len, ")");
+    uint32_t mask = (len >= 32) ? ~uint32_t{0}
+                                : ((uint32_t{1} << len) - 1);
+    return (value >> lo) & mask;
+}
+
+/**
+ * Insert @p field into bits [lo, lo+len) of @p value.
+ */
+inline uint32_t
+insertField(uint32_t value, unsigned lo, unsigned len, uint32_t field)
+{
+    uint32_t mask = (len >= 32) ? ~uint32_t{0}
+                                : ((uint32_t{1} << len) - 1);
+    if (field & ~mask)
+        panic("insertField: field 0x", std::hex, field, " exceeds ", len,
+              " bits");
+    return (value & ~(mask << lo)) | (field << lo);
+}
+
+/** Sign-extend the low @p bits of @p value to a full int32_t. */
+inline int32_t
+signExtend(uint32_t value, unsigned bits)
+{
+    if (bits == 0 || bits > 32)
+        panic("signExtend: bad width ", bits);
+    if (bits == 32)
+        return static_cast<int32_t>(value);
+    uint32_t sign = uint32_t{1} << (bits - 1);
+    uint32_t mask = (uint32_t{1} << bits) - 1;
+    value &= mask;
+    return static_cast<int32_t>((value ^ sign) - sign);
+}
+
+} // namespace etc
+
+#endif // ETC_SUPPORT_BITS_HH

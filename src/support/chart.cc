@@ -1,0 +1,139 @@
+#include "support/chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace etc {
+
+AsciiChart::AsciiChart(std::string title, std::string xLabel,
+                       std::string yLabel, unsigned width, unsigned height)
+    : title_(std::move(title)), xLabel_(std::move(xLabel)),
+      yLabel_(std::move(yLabel)), width_(std::max(16u, width)),
+      height_(std::max(6u, height))
+{
+}
+
+void
+AsciiChart::addSeries(Series series)
+{
+    if (series.xs.size() != series.ys.size())
+        panic("AsciiChart::addSeries: xs/ys size mismatch for '",
+              series.name, "'");
+    series_.push_back(std::move(series));
+}
+
+void
+AsciiChart::setThreshold(double y, std::string label)
+{
+    hasThreshold_ = true;
+    threshold_ = y;
+    thresholdLabel_ = std::move(label);
+}
+
+void
+AsciiChart::print(std::ostream &os) const
+{
+    double xMin = std::numeric_limits<double>::infinity();
+    double xMax = -xMin, yMin = xMin, yMax = -xMin;
+    size_t points = 0;
+    for (const auto &s : series_) {
+        for (size_t i = 0; i < s.xs.size(); ++i) {
+            if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i]))
+                continue;
+            xMin = std::min(xMin, s.xs[i]);
+            xMax = std::max(xMax, s.xs[i]);
+            yMin = std::min(yMin, s.ys[i]);
+            yMax = std::max(yMax, s.ys[i]);
+            ++points;
+        }
+    }
+    if (hasThreshold_) {
+        yMin = std::min(yMin, threshold_);
+        yMax = std::max(yMax, threshold_);
+    }
+    os << "== " << title_ << " ==\n";
+    if (points == 0) {
+        os << "(no data)\n";
+        return;
+    }
+    if (xMax == xMin)
+        xMax = xMin + 1.0;
+    if (yMax == yMin)
+        yMax = yMin + 1.0;
+    // A little headroom so extreme points aren't glued to the frame.
+    double ySpan = yMax - yMin;
+    yMax += 0.05 * ySpan;
+    yMin -= 0.05 * ySpan;
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+
+    auto toCol = [&](double x) {
+        double f = (x - xMin) / (xMax - xMin);
+        auto c = static_cast<long>(std::lround(f * (width_ - 1)));
+        return std::clamp<long>(c, 0, width_ - 1);
+    };
+    auto toRow = [&](double y) {
+        double f = (y - yMin) / (yMax - yMin);
+        auto r = static_cast<long>(std::lround((1.0 - f) * (height_ - 1)));
+        return std::clamp<long>(r, 0, height_ - 1);
+    };
+
+    if (hasThreshold_) {
+        long r = toRow(threshold_);
+        for (unsigned c = 0; c < width_; ++c)
+            grid[r][c] = '-';
+    }
+    for (const auto &s : series_) {
+        // Connect consecutive points with interpolated marks so trends
+        // read as lines rather than isolated glyphs.
+        long prevC = -1, prevR = -1;
+        for (size_t i = 0; i < s.xs.size(); ++i) {
+            if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i]))
+                continue;
+            long c = toCol(s.xs[i]), r = toRow(s.ys[i]);
+            if (prevC >= 0) {
+                long steps = std::max(std::labs(c - prevC),
+                                      std::labs(r - prevR));
+                for (long k = 1; k < steps; ++k) {
+                    long ic = prevC + (c - prevC) * k / steps;
+                    long ir = prevR + (r - prevR) * k / steps;
+                    if (grid[ir][ic] == ' ' || grid[ir][ic] == '-')
+                        grid[ir][ic] = '.';
+                }
+            }
+            grid[r][c] = s.marker;
+            prevC = c;
+            prevR = r;
+        }
+    }
+
+    os << yLabel_ << '\n';
+    for (unsigned r = 0; r < height_; ++r) {
+        double yAt = yMax - (yMax - yMin) * r / (height_ - 1);
+        os << std::setw(9) << formatDouble(yAt, 1) << " |" << grid[r]
+           << '\n';
+    }
+    os << std::string(10, ' ') << '+' << std::string(width_, '-') << '\n';
+    std::ostringstream xAxis;
+    xAxis << formatDouble(xMin, 1);
+    std::string right = formatDouble(xMax, 1);
+    std::string pad(width_ > xAxis.str().size() + right.size()
+                        ? width_ - xAxis.str().size() - right.size()
+                        : 1,
+                    ' ');
+    os << std::string(11, ' ') << xAxis.str() << pad << right << '\n';
+    os << std::string(11, ' ') << xLabel_ << '\n';
+    for (const auto &s : series_)
+        os << "    " << s.marker << " " << s.name << '\n';
+    if (hasThreshold_)
+        os << "    - " << thresholdLabel_ << " (y = "
+           << formatDouble(threshold_, 1) << ")\n";
+}
+
+} // namespace etc

@@ -1,0 +1,34 @@
+#include "support/logging.hh"
+
+namespace etc {
+
+namespace {
+bool quietFlag = false;
+} // namespace
+
+void
+warnMessage(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informMessage(const std::string &msg)
+{
+    if (!quietFlag)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+} // namespace etc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Status-message and error-handling helpers, modeled on gem5's
+ * base/logging.hh conventions.
+ *
+ * panic()  -- an internal invariant was violated (library bug); aborts.
+ * fatal()  -- the user asked for something impossible (bad config); exits.
+ * warn()   -- something works, but not as well as it should.
+ * inform() -- normal operating status for the user.
+ */
+
+#ifndef ETC_SUPPORT_LOGGING_HH
+#define ETC_SUPPORT_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace etc {
+
+/** Exception thrown by panic(); carries the formatted message. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown by fatal(); carries the formatted message. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+/** Concatenate a parameter pack into a single string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report a library bug. Never call this for user errors.
+ * Throws PanicError so tests can assert on invariant violations.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat("panic: ",
+                                    std::forward<Args>(args)...));
+}
+
+/**
+ * Report an unrecoverable user/configuration error.
+ * Throws FatalError; main() style wrappers catch and exit(1).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat("fatal: ",
+                                    std::forward<Args>(args)...));
+}
+
+/** Emit a warning to stderr; execution continues. */
+void warnMessage(const std::string &msg);
+
+/** Emit an informational status message to stderr; execution continues. */
+void informMessage(const std::string &msg);
+
+/** Formatted variants of warnMessage()/informMessage(). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    warnMessage(detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    informMessage(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Globally silence inform() output (benchmarks use this). */
+void setQuiet(bool quiet);
+
+/** @return whether inform() output is currently suppressed. */
+bool isQuiet();
+
+} // namespace etc
+
+#endif // ETC_SUPPORT_LOGGING_HH

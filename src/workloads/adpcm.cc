@@ -1,0 +1,339 @@
+#include "workloads/adpcm.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "asm/builder.hh"
+#include "fidelity/metrics.hh"
+#include "support/logging.hh"
+
+namespace etc::workloads {
+
+using namespace isa;
+using assembly::ProgramBuilder;
+
+namespace {
+
+/** The standard IMA ADPCM step-size table. */
+constexpr std::array<int32_t, 89> STEP_TABLE = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+};
+
+/** Index adjustment for a 3-bit magnitude: -1,-1,-1,-1,2,4,6,8. */
+int
+indexAdjust(int delta)
+{
+    return delta < 4 ? -1 : 2 * delta - 6;
+}
+
+/** One IMA ADPCM state-machine step shared by encode and decode. */
+struct AdpcmState
+{
+    int valpred = 0;
+    int index = 0;
+};
+
+int
+clampSample(int value)
+{
+    return std::clamp(value, -32768, 32767);
+}
+
+int
+clampIndex(int value)
+{
+    return std::clamp(value, 0, 88);
+}
+
+} // namespace
+
+AdpcmWorkload::AdpcmWorkload(Params params)
+    : params_(params), input_(makeSpeech(params.samples, params.seed))
+{
+    if (params_.samples < 8)
+        fatal("adpcm: need at least 8 samples");
+
+    const auto n = static_cast<int32_t>(params_.samples);
+
+    ProgramBuilder b;
+    std::vector<int32_t> stepWords(STEP_TABLE.begin(), STEP_TABLE.end());
+    b.dataWords("step_table", stepWords);
+    {
+        std::vector<uint8_t> pcmBytes;
+        pcmBytes.reserve(input_.size() * 2);
+        for (int16_t sample : input_) {
+            auto u = static_cast<uint16_t>(sample);
+            pcmBytes.push_back(static_cast<uint8_t>(u));
+            pcmBytes.push_back(static_cast<uint8_t>(u >> 8));
+        }
+        b.dataBytes("pcm_in", pcmBytes);
+    }
+    b.dataSpace("encoded", params_.samples);
+
+    b.beginFunction("main");
+    {
+        b.call("adpcm_encode");
+        b.call("adpcm_decode");
+        b.halt();
+    }
+    b.endFunction();
+
+    // Emits the predicated "valpred/index clamp" tail shared by the
+    // encoder and decoder. Expects: s3 = valpred (unclamped),
+    // s4 = index (unclamped). Uses t7, t8, a3.
+    auto emitClamps = [&] {
+        // valpred = min(valpred, 32767): c = 32767 < v;
+        // v += c * (32767 - v).
+        b.li(REG_T7, 32767);
+        b.slt(REG_A3, REG_T7, REG_S3);
+        b.sub(REG_T8, REG_T7, REG_S3);
+        b.mul(REG_T8, REG_T8, REG_A3);
+        b.add(REG_S3, REG_S3, REG_T8);
+        // valpred = max(valpred, -32768).
+        b.li(REG_T7, -32768);
+        b.slt(REG_A3, REG_S3, REG_T7);
+        b.sub(REG_T8, REG_T7, REG_S3);
+        b.mul(REG_T8, REG_T8, REG_A3);
+        b.add(REG_S3, REG_S3, REG_T8);
+        // index = max(index, 0) via the sign mask.
+        b.sra(REG_T7, REG_S4, 31);
+        b.nor(REG_T7, REG_T7, REG_ZERO);
+        b.and_(REG_S4, REG_S4, REG_T7);
+        // index = min(index, 88).
+        b.li(REG_T7, 88);
+        b.slt(REG_A3, REG_T7, REG_S4);
+        b.sub(REG_T8, REG_T7, REG_S4);
+        b.mul(REG_T8, REG_T8, REG_A3);
+        b.add(REG_S4, REG_S4, REG_T8);
+    };
+
+    // Emits vpdiff = (step>>3) + c4*step + c2*(step>>1) + c1*(step>>2)
+    // into a1. Expects t1 = step, t5 = c4, t9 = c2, v1 = c1.
+    auto emitVpdiff = [&] {
+        b.sra(REG_A1, REG_T1, 3);
+        b.mul(REG_T7, REG_T5, REG_T1);
+        b.add(REG_A1, REG_A1, REG_T7);
+        b.sra(REG_T8, REG_T1, 1);
+        b.mul(REG_T7, REG_T9, REG_T8);
+        b.add(REG_A1, REG_A1, REG_T7);
+        b.sra(REG_T8, REG_T1, 2);
+        b.mul(REG_T7, REG_V1, REG_T8);
+        b.add(REG_A1, REG_A1, REG_T7);
+    };
+
+    // Emits index += indexAdjust(delta in a2); uses t6, t7, a3.
+    auto emitIndexAdjust = [&] {
+        b.slti(REG_A3, REG_A2, 4);
+        b.li(REG_T6, 1);
+        b.sub(REG_A3, REG_T6, REG_A3);   // c = delta >= 4
+        b.sll(REG_T7, REG_A2, 1);
+        b.addi(REG_T7, REG_T7, -5);      // 2*delta - 5
+        b.mul(REG_T7, REG_T7, REG_A3);   // 0 or 2*delta-5
+        b.addi(REG_T7, REG_T7, -1);      // -1 + c*(2*delta-5)
+        b.add(REG_S4, REG_S4, REG_T7);
+    };
+
+    // Emits t1 = stepTable[index]; the sll/add address arithmetic is
+    // deliberately ordinary (taggable) -- the workload's residual
+    // crash vector.
+    auto emitStepLookup = [&] {
+        b.sll(REG_A3, REG_S4, 2);
+        b.la(REG_T7, "step_table");
+        b.add(REG_A3, REG_A3, REG_T7);
+        b.lw(REG_T1, 0, REG_A3);
+    };
+
+    // ---- adpcm_encode -------------------------------------------------
+    // s0 = input ptr, s1 = input end, s2 = encoded ptr,
+    // s3 = valpred, s4 = index.
+    b.beginFunction("adpcm_encode");
+    {
+        auto loop = b.newLabel();
+        b.la(REG_S0, "pcm_in");
+        b.addi(REG_S1, REG_S0, 2 * n);
+        b.la(REG_S2, "encoded");
+        b.li(REG_S3, 0);
+        b.li(REG_S4, 0);
+        b.bind(loop);
+        b.lh(REG_T0, 0, REG_S0);             // sample
+        emitStepLookup();                    // t1 = step
+        b.sub(REG_T2, REG_T0, REG_S3);       // diff
+        b.sra(REG_T3, REG_T2, 31);           // sign mask
+        b.andi(REG_A0, REG_T3, 8);           // sign bit
+        b.xor_(REG_T2, REG_T2, REG_T3);
+        b.sub(REG_T2, REG_T2, REG_T3);       // |diff|
+        b.li(REG_T6, 1);
+        // c4 = |diff| >= step; then |diff| -= c4*step.
+        b.slt(REG_T5, REG_T2, REG_T1);
+        b.sub(REG_T5, REG_T6, REG_T5);
+        b.mul(REG_T7, REG_T5, REG_T1);
+        b.sub(REG_T2, REG_T2, REG_T7);
+        // c2 against step>>1.
+        b.sra(REG_T8, REG_T1, 1);
+        b.slt(REG_T9, REG_T2, REG_T8);
+        b.sub(REG_T9, REG_T6, REG_T9);
+        b.mul(REG_T7, REG_T9, REG_T8);
+        b.sub(REG_T2, REG_T2, REG_T7);
+        // c1 against step>>2.
+        b.sra(REG_T8, REG_T1, 2);
+        b.slt(REG_V1, REG_T2, REG_T8);
+        b.sub(REG_V1, REG_T6, REG_V1);
+        emitVpdiff();                        // a1 = vpdiff
+        // valpred += sign ? -vpdiff : vpdiff.
+        b.xor_(REG_A1, REG_A1, REG_T3);
+        b.sub(REG_A1, REG_A1, REG_T3);
+        b.add(REG_S3, REG_S3, REG_A1);
+        // delta = 4*c4 + 2*c2 + c1.
+        b.sll(REG_T5, REG_T5, 2);
+        b.sll(REG_T9, REG_T9, 1);
+        b.add(REG_A2, REG_T5, REG_T9);
+        b.add(REG_A2, REG_A2, REG_V1);
+        emitIndexAdjust();
+        emitClamps();
+        // code = sign | delta, one code byte per sample.
+        b.or_(REG_A2, REG_A2, REG_A0);
+        b.sb(REG_A2, 0, REG_S2);
+        b.addi(REG_S2, REG_S2, 1);
+        b.addi(REG_S0, REG_S0, 2);
+        b.blt(REG_S0, REG_S1, loop);
+        b.ret();
+    }
+    b.endFunction();
+
+    // ---- adpcm_decode -------------------------------------------------
+    // s0 = encoded ptr, s1 = end, s3 = valpred, s4 = index.
+    b.beginFunction("adpcm_decode");
+    {
+        auto loop = b.newLabel();
+        b.la(REG_S0, "encoded");
+        b.addi(REG_S1, REG_S0, n);
+        b.li(REG_S3, 0);
+        b.li(REG_S4, 0);
+        b.bind(loop);
+        b.lbu(REG_T0, 0, REG_S0);            // code
+        b.andi(REG_A2, REG_T0, 7);           // delta
+        b.andi(REG_A0, REG_T0, 8);           // sign bit
+        emitStepLookup();                    // t1 = step
+        // Unpack c4/c2/c1 from delta.
+        b.srl(REG_T5, REG_A2, 2);
+        b.andi(REG_T5, REG_T5, 1);
+        b.srl(REG_T9, REG_A2, 1);
+        b.andi(REG_T9, REG_T9, 1);
+        b.andi(REG_V1, REG_A2, 1);
+        emitVpdiff();                        // a1 = vpdiff
+        // sign mask from the sign bit: t3 = -(sign >> 3).
+        b.srl(REG_T3, REG_A0, 3);
+        b.sub(REG_T3, REG_ZERO, REG_T3);
+        b.xor_(REG_A1, REG_A1, REG_T3);
+        b.sub(REG_A1, REG_A1, REG_T3);
+        b.add(REG_S3, REG_S3, REG_A1);
+        emitIndexAdjust();
+        emitClamps();
+        // Emit the reconstructed sample, little-endian.
+        b.andi(REG_T7, REG_S3, 0xff);
+        b.outb(REG_T7);
+        b.srl(REG_T7, REG_S3, 8);
+        b.andi(REG_T7, REG_T7, 0xff);
+        b.outb(REG_T7);
+        b.addi(REG_S0, REG_S0, 1);
+        b.blt(REG_S0, REG_S1, loop);
+        b.ret();
+    }
+    b.endFunction();
+
+    program_ = b.finish("main");
+}
+
+std::set<std::string>
+AdpcmWorkload::eligibleFunctions() const
+{
+    return {"main", "adpcm_encode", "adpcm_decode"};
+}
+
+FidelityScore
+AdpcmWorkload::scoreFidelity(const std::vector<uint8_t> &golden,
+                             const std::vector<uint8_t> &test) const
+{
+    FidelityScore score;
+    score.value = fidelity::byteSimilarity(golden, test);
+    score.acceptable = score.value >= params_.byteThreshold;
+    score.unit = "fraction bytes correct";
+    return score;
+}
+
+std::vector<uint8_t>
+AdpcmWorkload::referenceOutput() const
+{
+    // Encode.
+    std::vector<uint8_t> codes;
+    codes.reserve(input_.size());
+    AdpcmState enc;
+    for (int16_t sample : input_) {
+        int step = STEP_TABLE[enc.index];
+        int diff = sample - enc.valpred;
+        int sign = diff < 0 ? 8 : 0;
+        int mag = std::abs(diff);
+        int delta = 0;
+        int vpdiff = step >> 3;
+        if (mag >= step) {
+            delta |= 4;
+            mag -= step;
+            vpdiff += step;
+        }
+        if (mag >= (step >> 1)) {
+            delta |= 2;
+            mag -= step >> 1;
+            vpdiff += step >> 1;
+        }
+        if (mag >= (step >> 2)) {
+            delta |= 1;
+            vpdiff += step >> 2;
+        }
+        enc.valpred = clampSample(sign ? enc.valpred - vpdiff
+                                       : enc.valpred + vpdiff);
+        enc.index = clampIndex(enc.index + indexAdjust(delta));
+        codes.push_back(static_cast<uint8_t>(sign | delta));
+    }
+    // Decode.
+    std::vector<uint8_t> out;
+    out.reserve(codes.size() * 2);
+    AdpcmState dec;
+    for (uint8_t code : codes) {
+        int step = STEP_TABLE[dec.index];
+        int delta = code & 7;
+        int sign = code & 8;
+        int vpdiff = step >> 3;
+        if (delta & 4)
+            vpdiff += step;
+        if (delta & 2)
+            vpdiff += step >> 1;
+        if (delta & 1)
+            vpdiff += step >> 2;
+        dec.valpred = clampSample(sign ? dec.valpred - vpdiff
+                                       : dec.valpred + vpdiff);
+        dec.index = clampIndex(dec.index + indexAdjust(delta));
+        auto u = static_cast<uint16_t>(static_cast<int16_t>(dec.valpred));
+        out.push_back(static_cast<uint8_t>(u));
+        out.push_back(static_cast<uint8_t>(u >> 8));
+    }
+    return out;
+}
+
+AdpcmWorkload::Params
+AdpcmWorkload::scaled(Scale scale)
+{
+    Params params;
+    if (scale == Scale::Test)
+        params.samples = 256;
+    return params;
+}
+
+} // namespace etc::workloads

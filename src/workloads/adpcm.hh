@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Adpcm: IMA/DVI ADPCM speech compression (MiBench), reimplemented for
+ * the target ISA.
+ *
+ * The encoder turns 16-bit PCM samples into 4-bit codes (4:1
+ * compression) through the standard step-size/index state machine; the
+ * decoder reconstructs PCM. Both passes are fully predicated (sign
+ * masks, multiply-selects for the clamps) exactly as the optimized
+ * integer codec compiles, so nearly all of the value chain is taggable
+ * -- reproducing adpcm's ~93 % low-reliability fraction in Table 3.
+ * The one variable-index memory access, stepTable[index], keeps its
+ * (taggable) address arithmetic: corrupting it is the workload's
+ * realistic residual-crash vector, matching the paper's nonzero
+ * with-protection failure rate.
+ *
+ * Fidelity (Table 1): percent of output bytes equal to the fault-free
+ * decoded output.
+ */
+
+#ifndef ETC_WORKLOADS_ADPCM_HH
+#define ETC_WORKLOADS_ADPCM_HH
+
+#include "workloads/inputs.hh"
+#include "workloads/workload.hh"
+
+namespace etc::workloads {
+
+/** IMA ADPCM encode+decode workload. */
+class AdpcmWorkload : public Workload
+{
+  public:
+    struct Params
+    {
+        unsigned samples = 2048;
+        uint64_t seed = 0xadc0;
+        double byteThreshold = 0.90; //!< acceptable if >= 90 % correct
+    };
+
+    explicit AdpcmWorkload(Params params);
+
+    std::string name() const override { return "adpcm"; }
+
+    std::string
+    fidelityMeasure() const override
+    {
+        return "% bytes equal to the fault-free decoded PCM output";
+    }
+
+    const assembly::Program &program() const override { return program_; }
+
+    std::set<std::string> eligibleFunctions() const override;
+
+    FidelityScore scoreFidelity(
+        const std::vector<uint8_t> &golden,
+        const std::vector<uint8_t> &test) const override;
+
+    /** Host-side reference decode output (bit-identical to the ISA). */
+    std::vector<uint8_t> referenceOutput() const;
+
+    /** The synthetic input signal. */
+    const std::vector<int16_t> &input() const { return input_; }
+
+    static Params scaled(Scale scale);
+
+  private:
+    Params params_;
+    std::vector<int16_t> input_;
+    assembly::Program program_;
+};
+
+} // namespace etc::workloads
+
+#endif // ETC_WORKLOADS_ADPCM_HH

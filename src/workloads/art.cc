@@ -1,0 +1,323 @@
+#include "workloads/art.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "asm/builder.hh"
+#include "fidelity/metrics.hh"
+#include "support/logging.hh"
+
+namespace etc::workloads {
+
+using namespace isa;
+using assembly::ProgramBuilder;
+
+namespace {
+
+constexpr float EPS = 1e-6f;
+
+float
+bitsToFloat(int32_t bits)
+{
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+ArtWorkload::ArtWorkload(Params params)
+    : params_(params),
+      scene_(makeThermalScene(params.width, params.height,
+                              params.numTemplates, params.seed))
+{
+    if (params_.width % 8 != 0 || params_.height % 8 != 0)
+        fatal("art: image dimensions must be multiples of 8");
+
+    const auto width = static_cast<int32_t>(params_.width);
+    const auto height = static_cast<int32_t>(params_.height);
+    const auto numTemplates = static_cast<int32_t>(params_.numTemplates);
+    const int32_t rowBytes = 4 * width;
+
+    // Pre-normalized template magnitudes, computed once and shared
+    // verbatim by the ISA program and the host reference.
+    std::vector<float> tnorms(params_.numTemplates);
+    for (unsigned t = 0; t < params_.numTemplates; ++t) {
+        float sum = 0.0f;
+        for (float v : scene_.templates[t])
+            sum += v * v;
+        tnorms[t] = std::sqrt(sum);
+    }
+
+    ProgramBuilder b;
+    b.dataFloats("timage", scene_.image);
+    // Template records: 64 weights followed by the precomputed norm,
+    // so the norm is reachable with an immediate offset from the
+    // record pointer (no taggable address arithmetic anywhere in the
+    // kernel -- ART must never crash, per the paper).
+    constexpr int32_t TPL_STRIDE = (64 + 1) * 4;
+    {
+        std::vector<float> all;
+        all.reserve(static_cast<size_t>(numTemplates) * 65);
+        for (unsigned t = 0; t < params_.numTemplates; ++t) {
+            all.insert(all.end(), scene_.templates[t].begin(),
+                       scene_.templates[t].end());
+            all.push_back(tnorms[t]);
+        }
+        b.dataFloats("templates", all);
+    }
+
+    const RegId F0 = fpReg(0), F1 = fpReg(1), F2 = fpReg(2),
+                F3 = fpReg(3), F4 = fpReg(4), F5 = fpReg(5),
+                F6 = fpReg(6), F7 = fpReg(7), F8 = fpReg(8);
+
+    b.beginFunction("main");
+    {
+        b.call("art_scan");
+        b.halt();
+    }
+    b.endFunction();
+
+    // ---- art_scan (leaf) -------------------------------------------------
+    // s0 = window row base, s1 = window pointer, s2 = row window limit,
+    // s4 = template record cursor, s5 = template records end,
+    // t9 = template index, t8 = window index, s6 = global best bits,
+    // s7 = global best template, a3 = global best window,
+    // v0/v1 = window best bits/tpl.
+    //
+    // Both 8x8 reductions are fully unrolled with immediate offsets
+    // off s1 and s4 -- the vectorized-NN-kernel idiom. Every load
+    // base is a loop-compared induction pointer, so the CVar analysis
+    // protects all addresses naturally and no data error can produce
+    // a wild or misaligned access: ART completes every trial, exactly
+    // as the paper reports.
+    b.beginFunction("art_scan");
+    {
+        auto rowLoop = b.newLabel();
+        auto colLoop = b.newLabel();
+        auto tplLoop = b.newLabel();
+
+        b.li(REG_S6, 0);
+        b.li(REG_S7, 0);
+        b.li(REG_A3, 0);
+        b.li(REG_T8, 0);
+        b.la(REG_S0, "timage");
+        // One past the last window row base.
+        b.la(REG_AT, "timage");
+        b.addi(REG_A2, REG_AT, rowBytes * height);
+
+        b.bind(rowLoop);
+        b.move(REG_S1, REG_S0);
+        b.addi(REG_S2, REG_S0, rowBytes);     // row's window limit
+
+        b.bind(colLoop);
+        // Window norm: f0 = sum img^2 over the 8x8 window (unrolled).
+        b.lif(F0, 0.0f);
+        for (int r = 0; r < 8; ++r) {
+            for (int c = 0; c < 8; ++c) {
+                b.lwc1(F1, r * rowBytes + 4 * c, REG_S1);
+                b.muls(F2, F1, F1);
+                b.adds(F0, F0, F2);
+            }
+        }
+        b.sqrts(F4, F0);                      // window magnitude
+        // Template loop with branch-free winner selection; the loop
+        // condition compares the record cursor itself.
+        b.li(REG_V0, 0);                      // best resonance bits
+        b.li(REG_V1, 0);                      // best template
+        b.li(REG_T9, 0);
+        b.la(REG_S4, "templates");
+        b.addi(REG_S5, REG_S4, TPL_STRIDE * numTemplates);
+        b.bind(tplLoop);
+        b.lif(F0, 0.0f);
+        for (int r = 0; r < 8; ++r) {
+            for (int c = 0; c < 8; ++c) {
+                b.lwc1(F1, r * rowBytes + 4 * c, REG_S1);
+                b.lwc1(F2, 4 * (r * 8 + c), REG_S4);
+                b.muls(F3, F1, F2);
+                b.adds(F0, F0, F3);
+            }
+        }
+        // resonance = dot / (|window| * |template| + eps); the norm
+        // sits at the end of the record (immediate offset).
+        b.lwc1(F5, 64 * 4, REG_S4);
+        b.muls(F8, F4, F5);
+        b.lif(F7, EPS);
+        b.adds(F8, F8, F7);
+        b.divs(F6, F0, F8);
+        // Predicated winner update via positive-float bit compare.
+        b.mfc1(REG_T3, F6);
+        b.slt(REG_T4, REG_V0, REG_T3);
+        b.sub(REG_T5, REG_T3, REG_V0);
+        b.mul(REG_T5, REG_T5, REG_T4);
+        b.add(REG_V0, REG_V0, REG_T5);
+        b.sub(REG_T5, REG_T9, REG_V1);
+        b.mul(REG_T5, REG_T5, REG_T4);
+        b.add(REG_V1, REG_V1, REG_T5);
+        b.addi(REG_T9, REG_T9, 1);
+        b.addi(REG_S4, REG_S4, TPL_STRIDE);   // next record
+        b.blt(REG_S4, REG_S5, tplLoop);
+        // Stream the window result.
+        b.outw(REG_V1);
+        b.outw(REG_V0);
+        // Predicated global-best update.
+        b.slt(REG_T4, REG_S6, REG_V0);
+        b.sub(REG_T5, REG_V0, REG_S6);
+        b.mul(REG_T5, REG_T5, REG_T4);
+        b.add(REG_S6, REG_S6, REG_T5);
+        b.sub(REG_T5, REG_V1, REG_S7);
+        b.mul(REG_T5, REG_T5, REG_T4);
+        b.add(REG_S7, REG_S7, REG_T5);
+        b.sub(REG_T5, REG_T8, REG_A3);
+        b.mul(REG_T5, REG_T5, REG_T4);
+        b.add(REG_A3, REG_A3, REG_T5);
+        b.addi(REG_T8, REG_T8, 1);
+        // Next window column (stride 8 pixels = 32 bytes); the last
+        // window starts 28 bytes before the row limit.
+        b.addi(REG_S1, REG_S1, 32);
+        b.addi(REG_AT, REG_S2, -28);
+        b.blt(REG_S1, REG_AT, colLoop);
+        // Next window row (stride 8 rows).
+        b.addi(REG_S0, REG_S0, 8 * rowBytes);
+        b.addi(REG_AT, REG_A2, -(7 * rowBytes));
+        b.blt(REG_S0, REG_AT, rowLoop);
+        // Final record: window, template, confidence bits, vigilance.
+        b.outw(REG_A3);
+        b.outw(REG_S7);
+        b.outw(REG_S6);
+        b.lif(F7, params_.vigilance);
+        b.mfc1(REG_T0, F7);
+        b.slt(REG_T1, REG_T0, REG_S6);
+        b.outw(REG_T1);
+        b.ret();
+    }
+    b.endFunction();
+
+    program_ = b.finish("main");
+}
+
+std::set<std::string>
+ArtWorkload::eligibleFunctions() const
+{
+    return {"main", "art_scan"};
+}
+
+ArtWorkload::Recognition
+ArtWorkload::parseRecognition(const std::vector<uint8_t> &stream) const
+{
+    Recognition rec;
+    auto words = fidelity::asInt32(stream);
+    const unsigned windows =
+        (params_.width / 8) * (params_.height / 8);
+    if (words.size() != 2 * windows + 4)
+        return rec;
+    rec.wellFormed = true;
+    rec.bestWindow = words[2 * windows];
+    rec.bestTemplate = words[2 * windows + 1];
+    rec.confidence = bitsToFloat(words[2 * windows + 2]);
+    rec.vigilancePassed = words[2 * windows + 3] != 0;
+    return rec;
+}
+
+FidelityScore
+ArtWorkload::scoreFidelity(const std::vector<uint8_t> &golden,
+                           const std::vector<uint8_t> &test) const
+{
+    Recognition ref = parseRecognition(golden);
+    Recognition got = parseRecognition(test);
+    FidelityScore score;
+    score.unit = "% confidence error";
+    if (!got.wellFormed || !ref.wellFormed) {
+        score.value = 100.0;
+        score.acceptable = false;
+        return score;
+    }
+    if (!std::isfinite(got.confidence)) {
+        score.value = 100.0;
+        score.acceptable = false;
+        return score;
+    }
+    double confErr =
+        ref.confidence != 0.0f
+            ? 100.0 * std::fabs(got.confidence - ref.confidence) /
+                  std::fabs(ref.confidence)
+            : 0.0;
+    score.value = std::min(confErr, 100.0);
+    score.acceptable = got.bestTemplate == ref.bestTemplate &&
+                       got.bestWindow == ref.bestWindow &&
+                       confErr <= 100.0 * params_.confidenceTolerance;
+    return score;
+}
+
+ArtWorkload::Recognition
+ArtWorkload::referenceRecognition() const
+{
+    const unsigned width = params_.width;
+    std::vector<float> tnorms(params_.numTemplates);
+    for (unsigned t = 0; t < params_.numTemplates; ++t) {
+        float sum = 0.0f;
+        for (float v : scene_.templates[t])
+            sum += v * v;
+        tnorms[t] = std::sqrt(sum);
+    }
+
+    Recognition rec;
+    rec.wellFormed = true;
+    int32_t gBits = 0;
+    int32_t gTpl = 0, gWin = 0;
+    int32_t windowIndex = 0;
+    for (unsigned wy = 0; wy + 8 <= params_.height; wy += 8) {
+        for (unsigned wx = 0; wx + 8 <= width; wx += 8) {
+            float norm2 = 0.0f;
+            for (unsigned r = 0; r < 8; ++r)
+                for (unsigned c = 0; c < 8; ++c) {
+                    float v = scene_.image[(wy + r) * width + wx + c];
+                    norm2 += v * v;
+                }
+            float inorm = std::sqrt(norm2);
+            int32_t bestBits = 0;
+            int32_t bestTpl = 0;
+            for (unsigned t = 0; t < params_.numTemplates; ++t) {
+                float dot = 0.0f;
+                for (unsigned r = 0; r < 8; ++r)
+                    for (unsigned c = 0; c < 8; ++c)
+                        dot += scene_.image[(wy + r) * width + wx + c] *
+                               scene_.templates[t][r * 8 + c];
+                float res = dot / (inorm * tnorms[t] + EPS);
+                int32_t bits;
+                std::memcpy(&bits, &res, sizeof(bits));
+                if (bestBits < bits) {
+                    bestBits = bits;
+                    bestTpl = static_cast<int32_t>(t);
+                }
+            }
+            if (gBits < bestBits) {
+                gBits = bestBits;
+                gTpl = bestTpl;
+                gWin = windowIndex;
+            }
+            ++windowIndex;
+        }
+    }
+    rec.bestWindow = gWin;
+    rec.bestTemplate = gTpl;
+    rec.confidence = bitsToFloat(gBits);
+    int32_t vigBits;
+    float vig = params_.vigilance;
+    std::memcpy(&vigBits, &vig, sizeof(vigBits));
+    rec.vigilancePassed = vigBits < gBits;
+    return rec;
+}
+
+ArtWorkload::Params
+ArtWorkload::scaled(Scale scale)
+{
+    Params params;
+    if (scale == Scale::Test) {
+        params.width = 32;
+        params.height = 32;
+    }
+    return params;
+}
+
+} // namespace etc::workloads

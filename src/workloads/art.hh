@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Art: an adaptive-resonance image recogniser (SPEC 2000 179.art) for
+ * the target ISA -- the library's floating-point workload.
+ *
+ * Substitution note (DESIGN.md): the full ART-2 network is replaced by
+ * its matching core: learned 8x8 templates are slid across a synthetic
+ * thermal image; each window computes a normalized resonance
+ * (cosine similarity) against every template, the winner is selected,
+ * and the globally best window + category + confidence is reported.
+ *
+ * Coding style: winner/maximum selection is *branch-free* -- float
+ * resonances are compared through their (positive-float) bit patterns
+ * with slt and multiply-selects, the idiom of vectorized NN kernels.
+ * Identification is therefore pure data: the CVar analysis tags most
+ * of the FP pipeline (Table 3: 70.8 %), a handful of errors can flip
+ * the recognition (Figure 6), and -- with no variable-index loads --
+ * the workload never fails catastrophically, matching the paper.
+ *
+ * Output stream: per window (winner index word, resonance bits word),
+ * then the global best (window index, category, resonance bits,
+ * vigilance-pass flag).
+ *
+ * Fidelity (Table 1): error in confidence of match / correct
+ * identification of the hidden object.
+ */
+
+#ifndef ETC_WORKLOADS_ART_HH
+#define ETC_WORKLOADS_ART_HH
+
+#include "workloads/inputs.hh"
+#include "workloads/workload.hh"
+
+namespace etc::workloads {
+
+/** ART-style recognition workload (floating point). */
+class ArtWorkload : public Workload
+{
+  public:
+    struct Params
+    {
+        unsigned width = 64;
+        unsigned height = 64;
+        unsigned numTemplates = 4;
+        uint64_t seed = 0xa27;
+        float vigilance = 0.80f;
+        double confidenceTolerance = 0.15; //!< relative confidence band
+    };
+
+    /** Parsed recognition result (from the output stream). */
+    struct Recognition
+    {
+        bool wellFormed = false;
+        int32_t bestWindow = -1;
+        int32_t bestTemplate = -1;
+        float confidence = 0.0f;
+        bool vigilancePassed = false;
+    };
+
+    explicit ArtWorkload(Params params);
+
+    std::string name() const override { return "art"; }
+
+    std::string
+    fidelityMeasure() const override
+    {
+        return "correct identification + error in confidence of match";
+    }
+
+    const assembly::Program &program() const override { return program_; }
+
+    std::set<std::string> eligibleFunctions() const override;
+
+    FidelityScore scoreFidelity(
+        const std::vector<uint8_t> &golden,
+        const std::vector<uint8_t> &test) const override;
+
+    /** Parse the final recognition record from an output stream. */
+    Recognition parseRecognition(const std::vector<uint8_t> &stream) const;
+
+    /** Host-side reference recognition (same float op order). */
+    Recognition referenceRecognition() const;
+
+    const ThermalScene &scene() const { return scene_; }
+
+    static Params scaled(Scale scale);
+
+  private:
+    Params params_;
+    ThermalScene scene_;
+    assembly::Program program_;
+};
+
+} // namespace etc::workloads
+
+#endif // ETC_WORKLOADS_ART_HH

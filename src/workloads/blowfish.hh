@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Blowfish: the genuine 16-round Feistel cipher (MiBench / Schneier
+ * 1993) for the target ISA -- 18-word P array, four 256-entry S-boxes,
+ * full key schedule (521 block encryptions), ECB encrypt of an ASCII
+ * text followed by decrypt.
+ *
+ * Substitution note (DESIGN.md): the P/S initialisation constants are
+ * drawn from a fixed deterministic pseudo-random stream instead of the
+ * hexadecimal digits of pi; any nothing-up-my-sleeve constants
+ * preserve the cipher's structure.
+ *
+ * Eligibility: the key schedule is *not* eligible for tagging -- it is
+ * setup whose corruption garbles every block, exactly the kind of
+ * function the paper's programmer annotation excludes. The per-block
+ * encrypt/decrypt data path is eligible; S-box indices stay masked to
+ * 8 bits (graceful data noise) while the index address arithmetic
+ * remains the residual crash vector.
+ *
+ * Output stream: all ciphertext blocks, then all round-tripped
+ * plaintext bytes. Fidelity (Table 1): percent of round-tripped
+ * plaintext bytes equal to the original text.
+ */
+
+#ifndef ETC_WORKLOADS_BLOWFISH_HH
+#define ETC_WORKLOADS_BLOWFISH_HH
+
+#include <array>
+
+#include "workloads/inputs.hh"
+#include "workloads/workload.hh"
+
+namespace etc::workloads {
+
+/** Blowfish encrypt+decrypt workload. */
+class BlowfishWorkload : public Workload
+{
+  public:
+    struct Params
+    {
+        unsigned textBytes = 16384;     //!< multiple of 8
+        uint64_t seed = 0xb10f;
+        double byteThreshold = 0.90;
+    };
+
+    explicit BlowfishWorkload(Params params);
+
+    std::string name() const override { return "blowfish"; }
+
+    std::string
+    fidelityMeasure() const override
+    {
+        return "% round-tripped plaintext bytes equal to the original";
+    }
+
+    const assembly::Program &program() const override { return program_; }
+
+    std::set<std::string> eligibleFunctions() const override;
+
+    FidelityScore scoreFidelity(
+        const std::vector<uint8_t> &golden,
+        const std::vector<uint8_t> &test) const override;
+
+    /** Host-side reference: ciphertext stream then plaintext stream. */
+    std::vector<uint8_t> referenceOutput() const;
+
+    /** The original plaintext. */
+    const std::vector<uint8_t> &plaintext() const { return text_; }
+
+    static Params scaled(Scale scale);
+
+  private:
+    Params params_;
+    std::vector<uint8_t> text_;
+    std::array<uint32_t, 4> key_;
+    std::vector<uint32_t> pInit_;   //!< 18 words
+    std::vector<uint32_t> sInit_;   //!< 4 * 256 words
+    assembly::Program program_;
+};
+
+} // namespace etc::workloads
+
+#endif // ETC_WORKLOADS_BLOWFISH_HH

@@ -1,0 +1,317 @@
+#include "workloads/gsm.hh"
+
+#include <algorithm>
+
+#include "asm/builder.hh"
+#include "fidelity/metrics.hh"
+#include "support/logging.hh"
+
+namespace etc::workloads {
+
+using namespace isa;
+using assembly::ProgramBuilder;
+
+namespace {
+
+/** Wrapping 32-bit multiply with the simulator's semantics. */
+int32_t
+mul32(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) *
+                                static_cast<uint32_t>(b));
+}
+
+} // namespace
+
+GsmWorkload::GsmWorkload(Params params)
+    : params_(params),
+      input_(makeSpeech(params.frames * FRAME_SAMPLES, params.seed))
+{
+    if (params_.frames == 0)
+        fatal("gsm: need at least one frame");
+
+    const auto samples = static_cast<int32_t>(input_.size());
+    const auto recordBytes = static_cast<int32_t>(FRAME_RECORD_BYTES);
+
+    ProgramBuilder b;
+    {
+        std::vector<uint8_t> pcm;
+        pcm.reserve(input_.size() * 2);
+        for (int16_t s : input_) {
+            auto u = static_cast<uint16_t>(s);
+            pcm.push_back(static_cast<uint8_t>(u));
+            pcm.push_back(static_cast<uint8_t>(u >> 8));
+        }
+        b.dataBytes("pcm_in", pcm);
+    }
+    b.dataSpace("gsm_enc",
+                params_.frames * FRAME_RECORD_BYTES);
+
+    b.beginFunction("main");
+    {
+        b.call("gsm_encode");
+        b.call("gsm_decode");
+        b.halt();
+    }
+    b.endFunction();
+
+    // Predicated int16 clamp of s-reg-free value in t3; uses t5, t6, a0.
+    auto emitClamp16 = [&] {
+        b.li(REG_T5, 32767);
+        b.slt(REG_A0, REG_T5, REG_T3);
+        b.sub(REG_T6, REG_T5, REG_T3);
+        b.mul(REG_T6, REG_T6, REG_A0);
+        b.add(REG_T3, REG_T3, REG_T6);
+        b.li(REG_T5, -32768);
+        b.slt(REG_A0, REG_T3, REG_T5);
+        b.sub(REG_T6, REG_T5, REG_T3);
+        b.mul(REG_T6, REG_T6, REG_A0);
+        b.add(REG_T3, REG_T3, REG_T6);
+    };
+
+    // ---- gsm_encode ----------------------------------------------------
+    // s0 = frame base, s1 = input end, s2 = record cursor.
+    // Encoder decisions are deliberately branchy (control-protected).
+    b.beginFunction("gsm_encode");
+    {
+        auto frameLoop = b.newLabel();
+        b.la(REG_S0, "pcm_in");
+        b.addi(REG_S1, REG_S0, 2 * samples);
+        b.la(REG_S2, "gsm_enc");
+        b.bind(frameLoop);
+        b.addi(REG_S3, REG_S0, 2 * static_cast<int32_t>(FRAME_SAMPLES));
+
+        // Autocorrelation (samples scaled >> 4 to avoid overflow):
+        // t1 = num, t2 = den, t3 = previous scaled sample.
+        auto acLoop = b.newLabel();
+        b.move(REG_T0, REG_S0);
+        b.li(REG_T1, 0);
+        b.li(REG_T2, 0);
+        b.li(REG_T3, 0);
+        b.bind(acLoop);
+        b.lh(REG_T4, 0, REG_T0);
+        b.sra(REG_T5, REG_T4, 4);
+        b.mul(REG_T6, REG_T5, REG_T3);
+        b.add(REG_T1, REG_T1, REG_T6);
+        b.mul(REG_T6, REG_T3, REG_T3);
+        b.add(REG_T2, REG_T2, REG_T6);
+        b.move(REG_T3, REG_T5);
+        b.addi(REG_T0, REG_T0, 2);
+        b.blt(REG_T0, REG_S3, acLoop);
+
+        // a = num / ((den >> 12) + 1), clamped to [-4095, 4095] with
+        // branches (t7 = a).
+        auto clampHiDone = b.newLabel();
+        auto clampLoDone = b.newLabel();
+        b.sra(REG_T2, REG_T2, 12);
+        b.addi(REG_T2, REG_T2, 1);
+        b.div(REG_T7, REG_T1, REG_T2);
+        b.li(REG_T4, 4095);
+        b.ble(REG_T7, REG_T4, clampHiDone);
+        b.move(REG_T7, REG_T4);
+        b.bind(clampHiDone);
+        b.li(REG_T4, -4095);
+        b.bge(REG_T7, REG_T4, clampLoDone);
+        b.move(REG_T7, REG_T4);
+        b.bind(clampLoDone);
+        b.sw(REG_T7, 0, REG_S2);
+
+        // Residual-max search (open loop, branchy): t8 = rmax.
+        auto rLoop = b.newLabel();
+        auto absDone = b.newLabel();
+        auto maxDone = b.newLabel();
+        b.move(REG_T0, REG_S0);
+        b.li(REG_T3, 0);
+        b.li(REG_T8, 0);
+        b.bind(rLoop);
+        b.lh(REG_T4, 0, REG_T0);
+        b.mul(REG_T5, REG_T7, REG_T3);
+        b.sra(REG_T5, REG_T5, 12);
+        b.sub(REG_T5, REG_T4, REG_T5);     // r
+        b.move(REG_T6, REG_T5);
+        b.bgez(REG_T6, absDone);
+        b.sub(REG_T6, REG_ZERO, REG_T6);
+        b.bind(absDone);
+        b.ble(REG_T6, REG_T8, maxDone);
+        b.move(REG_T8, REG_T6);
+        b.bind(maxDone);
+        b.move(REG_T3, REG_T4);
+        b.addi(REG_T0, REG_T0, 2);
+        b.blt(REG_T0, REG_S3, rLoop);
+
+        // step = rmax / 31 + 1.
+        b.li(REG_T4, 31);
+        b.div(REG_T8, REG_T8, REG_T4);
+        b.addi(REG_T8, REG_T8, 1);
+        b.sw(REG_T8, 4, REG_S2);
+
+        // Quantize with closed-loop prediction (t3 = reconstruction);
+        // quantizer clamps are branchy, the reconstruction clamp is the
+        // shared predicated helper (matching the decoder exactly).
+        auto qLoop = b.newLabel();
+        auto qHiDone = b.newLabel();
+        auto qLoDone = b.newLabel();
+        b.move(REG_T0, REG_S0);
+        b.li(REG_T3, 0);
+        b.addi(REG_T9, REG_S2, 8);          // code cursor
+        b.bind(qLoop);
+        b.lh(REG_T4, 0, REG_T0);
+        b.mul(REG_T5, REG_T7, REG_T3);
+        b.sra(REG_T5, REG_T5, 12);          // pred
+        b.sub(REG_V1, REG_T4, REG_T5);      // r = x - pred
+        b.div(REG_V1, REG_V1, REG_T8);      // q = r / step
+        b.li(REG_T6, 31);
+        b.ble(REG_V1, REG_T6, qHiDone);
+        b.move(REG_V1, REG_T6);
+        b.bind(qHiDone);
+        b.li(REG_T6, -31);
+        b.bge(REG_V1, REG_T6, qLoDone);
+        b.move(REG_V1, REG_T6);
+        b.bind(qLoDone);
+        b.sb(REG_V1, 0, REG_T9);
+        b.addi(REG_T9, REG_T9, 1);
+        // Closed-loop reconstruction: t3 = clamp16(pred + q*step).
+        b.mul(REG_T6, REG_V1, REG_T8);
+        b.add(REG_T3, REG_T5, REG_T6);
+        emitClamp16();
+        b.addi(REG_T0, REG_T0, 2);
+        b.blt(REG_T0, REG_S3, qLoop);
+
+        b.move(REG_S0, REG_S3);
+        b.addi(REG_S2, REG_S2, recordBytes);
+        b.blt(REG_S0, REG_S1, frameLoop);
+        b.ret();
+    }
+    b.endFunction();
+
+    // ---- gsm_decode ----------------------------------------------------
+    // Straight-line predicated reconstruction (the taggable part).
+    // s0 = record cursor, s1 = record end.
+    b.beginFunction("gsm_decode");
+    {
+        auto frameLoop = b.newLabel();
+        auto sampleLoop = b.newLabel();
+        b.la(REG_S0, "gsm_enc");
+        b.addi(REG_S1, REG_S0,
+               recordBytes * static_cast<int32_t>(params_.frames));
+        b.bind(frameLoop);
+        b.lw(REG_T7, 0, REG_S0);            // coeff a
+        b.lw(REG_T8, 4, REG_S0);            // step
+        b.addi(REG_T9, REG_S0, 8);          // code cursor
+        b.addi(REG_A3, REG_T9,
+               static_cast<int32_t>(FRAME_SAMPLES));
+        b.li(REG_T3, 0);                    // reconstruction
+        b.bind(sampleLoop);
+        b.lb(REG_T4, 0, REG_T9);            // q
+        b.mul(REG_T5, REG_T7, REG_T3);
+        b.sra(REG_T5, REG_T5, 12);          // pred
+        b.mul(REG_T6, REG_T4, REG_T8);      // q*step
+        b.add(REG_T3, REG_T5, REG_T6);
+        emitClamp16();
+        b.andi(REG_T5, REG_T3, 0xff);
+        b.outb(REG_T5);
+        b.srl(REG_T5, REG_T3, 8);
+        b.andi(REG_T5, REG_T5, 0xff);
+        b.outb(REG_T5);
+        b.addi(REG_T9, REG_T9, 1);
+        b.blt(REG_T9, REG_A3, sampleLoop);
+        b.addi(REG_S0, REG_S0, recordBytes);
+        b.blt(REG_S0, REG_S1, frameLoop);
+        b.ret();
+    }
+    b.endFunction();
+
+    program_ = b.finish("main");
+}
+
+std::set<std::string>
+GsmWorkload::eligibleFunctions() const
+{
+    return {"main", "gsm_encode", "gsm_decode"};
+}
+
+FidelityScore
+GsmWorkload::scoreFidelity(const std::vector<uint8_t> &golden,
+                           const std::vector<uint8_t> &test) const
+{
+    FidelityScore score;
+    score.value = fidelity::snrDb(fidelity::asInt16(golden),
+                                  fidelity::asInt16(test));
+    // Acceptability anchors the paper's rule of thumb ("a 6 dB loss
+    // does not distort voice beyond recognition") to a 26 dB clean
+    // voice band: the output is acceptable while it stays within
+    // snrThresholdDb of that band.
+    score.acceptable = score.value >= 26.0 - params_.snrThresholdDb;
+    score.unit = "dB SNR vs fault-free output";
+    return score;
+}
+
+std::vector<uint8_t>
+GsmWorkload::referenceOutput() const
+{
+    const int frames = static_cast<int>(params_.frames);
+    const int fs = static_cast<int>(FRAME_SAMPLES);
+    std::vector<int32_t> coeffs(frames);
+    std::vector<int32_t> steps(frames);
+    std::vector<int8_t> codes(static_cast<size_t>(frames) * fs);
+
+    // Encode.
+    for (int f = 0; f < frames; ++f) {
+        const int16_t *x = &input_[static_cast<size_t>(f) * fs];
+        int32_t num = 0, den = 0, prev = 0;
+        for (int n = 0; n < fs; ++n) {
+            int32_t xs = x[n] >> 4;
+            num += mul32(xs, prev);
+            den += mul32(prev, prev);
+            prev = xs;
+        }
+        int32_t a = num / ((den >> 12) + 1);
+        a = std::clamp(a, -4095, 4095);
+        coeffs[f] = a;
+
+        int32_t rmax = 0, xprev = 0;
+        for (int n = 0; n < fs; ++n) {
+            int32_t r = x[n] - (mul32(a, xprev) >> 12);
+            rmax = std::max(rmax, std::abs(r));
+            xprev = x[n];
+        }
+        int32_t step = rmax / 31 + 1;
+        steps[f] = step;
+
+        int32_t recon = 0;
+        for (int n = 0; n < fs; ++n) {
+            int32_t pred = mul32(a, recon) >> 12;
+            int32_t q = std::clamp((x[n] - pred) / step, -31, 31);
+            codes[static_cast<size_t>(f) * fs + n] =
+                static_cast<int8_t>(q);
+            recon = std::clamp(pred + mul32(q, step), -32768, 32767);
+        }
+    }
+
+    // Decode.
+    std::vector<uint8_t> out;
+    out.reserve(codes.size() * 2);
+    for (int f = 0; f < frames; ++f) {
+        int32_t recon = 0;
+        for (int n = 0; n < fs; ++n) {
+            int32_t pred = mul32(coeffs[f], recon) >> 12;
+            int32_t q = codes[static_cast<size_t>(f) * fs + n];
+            recon = std::clamp(pred + mul32(q, steps[f]), -32768, 32767);
+            auto u = static_cast<uint16_t>(static_cast<int16_t>(recon));
+            out.push_back(static_cast<uint8_t>(u));
+            out.push_back(static_cast<uint8_t>(u >> 8));
+        }
+    }
+    return out;
+}
+
+GsmWorkload::Params
+GsmWorkload::scaled(Scale scale)
+{
+    Params params;
+    if (scale == Scale::Test)
+        params.frames = 3;
+    return params;
+}
+
+} // namespace etc::workloads

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Gsm: a GSM-style short-term linear-predictive speech codec for the
+ * target ISA.
+ *
+ * Substitution note (DESIGN.md): full GSM 06.10 (RPE-LTP) is replaced
+ * by a frame-based short-term LPC codec with the same fidelity
+ * structure: 160-sample frames, a per-frame Q12 predictor coefficient
+ * from autocorrelation, closed-loop residual quantization with a
+ * per-frame step, decode back to PCM.
+ *
+ * Coding style: the encoder makes its decisions with *branches*
+ * (coefficient clamping, residual-max search, quantizer clamping), so
+ * most encoder values are control-relevant and stay protected; the
+ * decoder is straight-line predicated arithmetic. The blend reproduces
+ * gsm's low (~20 %) low-reliability fraction in Table 3. There are no
+ * variable-index table lookups, so -- like the paper's GSM rows in
+ * Table 2 -- the protected workload essentially never fails
+ * catastrophically.
+ *
+ * Fidelity (Table 1): SNR of the decoded-with-errors output against
+ * the decoded fault-free output (6 dB loss still intelligible).
+ */
+
+#ifndef ETC_WORKLOADS_GSM_HH
+#define ETC_WORKLOADS_GSM_HH
+
+#include "workloads/inputs.hh"
+#include "workloads/workload.hh"
+
+namespace etc::workloads {
+
+/** GSM-style LPC encode+decode workload. */
+class GsmWorkload : public Workload
+{
+  public:
+    static constexpr unsigned FRAME_SAMPLES = 160;
+    /** Frame record: coeff word + step word + 160 code bytes. */
+    static constexpr unsigned FRAME_RECORD_BYTES = 8 + FRAME_SAMPLES;
+
+    struct Params
+    {
+        unsigned frames = 30;
+        uint64_t seed = 0x95a1;
+        double snrThresholdDb = 6.0; //!< acceptable if loss <= 6 dB
+    };
+
+    explicit GsmWorkload(Params params);
+
+    std::string name() const override { return "gsm"; }
+
+    std::string
+    fidelityMeasure() const override
+    {
+        return "SNR (dB) of decoded output vs fault-free decoded output";
+    }
+
+    const assembly::Program &program() const override { return program_; }
+
+    std::set<std::string> eligibleFunctions() const override;
+
+    FidelityScore scoreFidelity(
+        const std::vector<uint8_t> &golden,
+        const std::vector<uint8_t> &test) const override;
+
+    /** Host-side reference decoded output (bit-identical). */
+    std::vector<uint8_t> referenceOutput() const;
+
+    const std::vector<int16_t> &input() const { return input_; }
+
+    static Params scaled(Scale scale);
+
+  private:
+    Params params_;
+    std::vector<int16_t> input_;
+    assembly::Program program_;
+};
+
+} // namespace etc::workloads
+
+#endif // ETC_WORKLOADS_GSM_HH

@@ -1,0 +1,216 @@
+#include "workloads/inputs.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace etc::workloads {
+
+GrayImage
+makeShapesImage(unsigned width, unsigned height, uint64_t seed)
+{
+    Rng rng(seed);
+    GrayImage img;
+    img.width = width;
+    img.height = height;
+    img.pixels.resize(static_cast<size_t>(width) * height);
+
+    // Gradient background with mild noise.
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            int base = 40 + static_cast<int>(120u * x / width);
+            base += static_cast<int>(rng.range(-4, 4));
+            img.pixels[y * width + x] =
+                static_cast<uint8_t>(std::clamp(base, 0, 255));
+        }
+    }
+    // A bright rectangle.
+    unsigned rx0 = width / 6, ry0 = height / 5;
+    unsigned rx1 = width / 2, ry1 = height / 2;
+    for (unsigned y = ry0; y < ry1; ++y)
+        for (unsigned x = rx0; x < rx1; ++x)
+            img.pixels[y * width + x] = 220;
+    // A dark disc.
+    int cx = static_cast<int>(3 * width / 4);
+    int cy = static_cast<int>(2 * height / 3);
+    int radius = static_cast<int>(std::min(width, height) / 5);
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            int dx = static_cast<int>(x) - cx;
+            int dy = static_cast<int>(y) - cy;
+            if (dx * dx + dy * dy <= radius * radius)
+                img.pixels[y * width + x] = 25;
+        }
+    }
+    return img;
+}
+
+std::vector<GrayImage>
+makeVideo(unsigned width, unsigned height, unsigned frames, uint64_t seed)
+{
+    std::vector<GrayImage> video;
+    video.reserve(frames);
+    GrayImage base = makeShapesImage(width, height, seed);
+    for (unsigned f = 0; f < frames; ++f) {
+        GrayImage frame = base;
+        // Moving bright square, one pixel per frame, wrapping.
+        unsigned size = std::max(2u, width / 8);
+        unsigned px = (2 + f) % (width - size);
+        unsigned py = (height / 2 + f / 2) % (height - size);
+        for (unsigned y = py; y < py + size; ++y)
+            for (unsigned x = px; x < px + size; ++x)
+                frame.pixels[y * width + x] = 245;
+        video.push_back(std::move(frame));
+    }
+    return video;
+}
+
+std::vector<int16_t>
+makeSpeech(unsigned samples, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<int16_t> out(samples);
+    double phase1 = rng.uniform() * 6.28318;
+    double phase2 = rng.uniform() * 6.28318;
+    for (unsigned i = 0; i < samples; ++i) {
+        double t = static_cast<double>(i);
+        // Slow envelope mimicking syllable energy.
+        double envelope = 0.35 + 0.65 * 0.5 *
+            (1.0 + std::sin(t * 0.004 + phase2));
+        double fundamental = std::sin(t * 0.11 + phase1);
+        double harmonic2 = 0.45 * std::sin(t * 0.22 + phase1 * 1.7);
+        double harmonic3 = 0.20 * std::sin(t * 0.33 + phase1 * 0.4);
+        double noise = 0.02 * (rng.uniform() * 2.0 - 1.0);
+        double value =
+            9000.0 * envelope * (fundamental + harmonic2 + harmonic3) +
+            600.0 * noise;
+        out[i] = static_cast<int16_t>(
+            std::clamp(value, -32768.0, 32767.0));
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+makeAsciiText(unsigned length, uint64_t seed)
+{
+    static const char words[] =
+        "the quick brown fox jumps over a lazy dog while seventy "
+        "vehicles keep their schedule and the encoder hums along ";
+    Rng rng(seed);
+    std::vector<uint8_t> out;
+    out.reserve(length);
+    size_t cursor = rng.below(sizeof(words) - 1);
+    while (out.size() < length) {
+        out.push_back(static_cast<uint8_t>(words[cursor]));
+        cursor = (cursor + 1) % (sizeof(words) - 1);
+        // Occasionally jump to keep the text aperiodic.
+        if (rng.chance(0.02))
+            cursor = rng.below(sizeof(words) - 1);
+    }
+    return out;
+}
+
+FlowNetwork
+makeScheduleNetwork(unsigned trips, uint64_t seed)
+{
+    if (trips < 2)
+        fatal("makeScheduleNetwork: need at least 2 trips");
+    Rng rng(seed);
+    FlowNetwork net;
+    // Nodes: 0 = depot-out (source), 1..trips = trips,
+    // trips+1 = depot-in (sink).
+    net.nodes = trips + 2;
+    unsigned sink = trips + 1;
+
+    // Source -> each trip: a vehicle may start its day with any trip.
+    for (unsigned t = 1; t <= trips; ++t) {
+        net.edges.push_back({0, t, 1,
+                             static_cast<int32_t>(rng.range(4, 14))});
+    }
+    // Trip -> later trips it can chain to (deadhead cost).
+    for (unsigned t = 1; t <= trips; ++t) {
+        for (unsigned u = t + 1; u <= std::min(trips, t + 4); ++u) {
+            if (rng.chance(0.75)) {
+                net.edges.push_back(
+                    {t, u, 1, static_cast<int32_t>(rng.range(1, 9))});
+            }
+        }
+    }
+    // Each trip -> sink: the vehicle returns to the depot.
+    for (unsigned t = 1; t <= trips; ++t) {
+        net.edges.push_back({t, sink, 1,
+                             static_cast<int32_t>(rng.range(4, 14))});
+    }
+    // Also a bypass edge so max-flow saturates cleanly even if some
+    // chains are missing.
+    net.edges.push_back({0, sink, static_cast<int32_t>(trips), 40});
+    return net;
+}
+
+ThermalScene
+makeThermalScene(unsigned width, unsigned height, unsigned numTemplates,
+                 uint64_t seed)
+{
+    Rng rng(seed);
+    ThermalScene scene;
+    scene.width = width;
+    scene.height = height;
+    scene.image.resize(static_cast<size_t>(width) * height);
+
+    // Learned templates: distinct smooth blobs/bars, values in [0,1].
+    scene.templates.resize(numTemplates);
+    for (unsigned t = 0; t < numTemplates; ++t) {
+        auto &tpl = scene.templates[t];
+        tpl.resize(64);
+        for (unsigned y = 0; y < 8; ++y) {
+            for (unsigned x = 0; x < 8; ++x) {
+                double value;
+                switch (t % 4) {
+                  case 0: // centered blob
+                    value = std::exp(-((x - 3.5) * (x - 3.5) +
+                                       (y - 3.5) * (y - 3.5)) / 6.0);
+                    break;
+                  case 1: // vertical bar
+                    value = (x >= 3 && x <= 4) ? 1.0 : 0.15;
+                    break;
+                  case 2: // diagonal
+                    value = (std::abs(static_cast<int>(x) -
+                                      static_cast<int>(y)) <= 1)
+                                ? 1.0
+                                : 0.1;
+                    break;
+                  default: // corner gradient
+                    value = (x + y) / 14.0;
+                    break;
+                }
+                value += 0.03 * (rng.uniform() - 0.5);
+                tpl[y * 8 + x] =
+                    static_cast<float>(std::clamp(value, 0.0, 1.0));
+            }
+        }
+    }
+
+    // Background: low-level thermal noise.
+    for (auto &px : scene.image)
+        px = static_cast<float>(0.08 + 0.06 * rng.uniform());
+
+    // Embed the target template at a window-aligned position.
+    scene.targetTemplate = static_cast<unsigned>(rng.below(numTemplates));
+    unsigned maxWx = (width - 8) / 8;
+    unsigned maxWy = (height - 8) / 8;
+    scene.targetX = 8 * static_cast<unsigned>(rng.below(maxWx + 1));
+    scene.targetY = 8 * static_cast<unsigned>(rng.below(maxWy + 1));
+    const auto &target = scene.templates[scene.targetTemplate];
+    for (unsigned y = 0; y < 8; ++y) {
+        for (unsigned x = 0; x < 8; ++x) {
+            float &px = scene.image[(scene.targetY + y) * width +
+                                    (scene.targetX + x)];
+            px = std::clamp(0.15f + 0.8f * target[y * 8 + x], 0.0f, 1.0f);
+        }
+    }
+    return scene;
+}
+
+} // namespace etc::workloads

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic synthetic input generators shared by the workloads.
+ *
+ * The paper uses SPEC/MiBench reference inputs (images, speech, text,
+ * timetables); these generators produce inputs with the same relevant
+ * structure -- edges for susan, motion for mpeg, voiced-speech shape
+ * for adpcm/gsm, ASCII text for blowfish, a feasible transportation
+ * network for mcf, a noisy thermal image containing a known target for
+ * art -- from a fixed seed, so every build reproduces bit-identical
+ * programs.
+ */
+
+#ifndef ETC_WORKLOADS_INPUTS_HH
+#define ETC_WORKLOADS_INPUTS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace etc::workloads {
+
+/** An 8-bit grayscale image. */
+struct GrayImage
+{
+    unsigned width = 0;
+    unsigned height = 0;
+    std::vector<uint8_t> pixels; //!< row-major, width*height bytes
+
+    uint8_t
+    at(unsigned x, unsigned y) const
+    {
+        return pixels[y * width + x];
+    }
+};
+
+/**
+ * Test image with gradient background, rectangles and a disc --
+ * plenty of edges for susan.
+ */
+GrayImage makeShapesImage(unsigned width, unsigned height, uint64_t seed);
+
+/**
+ * A short synthetic video: the shapes image with a rectangle moving
+ * one pixel per frame (motion for the P/B frames of mpeg).
+ */
+std::vector<GrayImage> makeVideo(unsigned width, unsigned height,
+                                 unsigned frames, uint64_t seed);
+
+/**
+ * Speech-like 16-bit signal: a few harmonics with a slow amplitude
+ * envelope plus low-level noise.
+ */
+std::vector<int16_t> makeSpeech(unsigned samples, uint64_t seed);
+
+/** Printable ASCII text of @p length bytes. */
+std::vector<uint8_t> makeAsciiText(unsigned length, uint64_t seed);
+
+/** A directed flow network for the mcf vehicle-scheduling workload. */
+struct FlowNetwork
+{
+    unsigned nodes = 0;   //!< node 0 = source, nodes-1 = sink
+    struct Edge
+    {
+        unsigned from;
+        unsigned to;
+        int32_t capacity;
+        int32_t cost;
+    };
+    std::vector<Edge> edges;
+};
+
+/**
+ * Generate a layered transportation network (depot -> trips -> depot)
+ * that always admits a feasible schedule.
+ *
+ * @param trips  number of timetabled trips
+ * @param seed   generator seed
+ */
+FlowNetwork makeScheduleNetwork(unsigned trips, uint64_t seed);
+
+/**
+ * Thermal image (floats in [0,1]) with a known 8x8 target pattern
+ * embedded, plus the library of learned templates; template
+ * `targetTemplate` is the one hidden in the image.
+ */
+struct ThermalScene
+{
+    unsigned width = 0;
+    unsigned height = 0;
+    std::vector<float> image;                //!< row-major
+    std::vector<std::vector<float>> templates; //!< each 8x8 = 64 floats
+    unsigned targetTemplate = 0;
+    unsigned targetX = 0;                    //!< window-aligned position
+    unsigned targetY = 0;
+};
+
+ThermalScene makeThermalScene(unsigned width, unsigned height,
+                              unsigned numTemplates, uint64_t seed);
+
+} // namespace etc::workloads
+
+#endif // ETC_WORKLOADS_INPUTS_HH

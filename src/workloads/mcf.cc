@@ -1,0 +1,357 @@
+#include "workloads/mcf.hh"
+
+#include <algorithm>
+
+#include "asm/builder.hh"
+#include "fidelity/metrics.hh"
+#include "support/logging.hh"
+
+namespace etc::workloads {
+
+using namespace isa;
+using assembly::ProgramBuilder;
+
+namespace {
+
+constexpr int32_t INF = 0x3fffffff;
+
+/** Host-side successive-shortest-paths used for the reference optimum. */
+std::pair<int32_t, int32_t>
+solveHost(const FlowNetwork &net)
+{
+    const unsigned n = net.nodes;
+    const size_t m = net.edges.size();
+    std::vector<int32_t> to(2 * m), cap(2 * m), cost(2 * m), from(2 * m);
+    for (size_t i = 0; i < m; ++i) {
+        from[2 * i] = static_cast<int32_t>(net.edges[i].from);
+        to[2 * i] = static_cast<int32_t>(net.edges[i].to);
+        cap[2 * i] = net.edges[i].capacity;
+        cost[2 * i] = net.edges[i].cost;
+        from[2 * i + 1] = static_cast<int32_t>(net.edges[i].to);
+        to[2 * i + 1] = static_cast<int32_t>(net.edges[i].from);
+        cap[2 * i + 1] = 0;
+        cost[2 * i + 1] = -net.edges[i].cost;
+    }
+    const int32_t src = 0;
+    const auto sink = static_cast<int32_t>(n - 1);
+    int32_t totalFlow = 0, totalCost = 0;
+    for (;;) {
+        std::vector<int32_t> dist(n, INF), parent(n, -1);
+        dist[src] = 0;
+        for (unsigned round = 0; round < n; ++round) {
+            bool changed = false;
+            for (size_t j = 0; j < 2 * m; ++j) {
+                if (cap[j] <= 0 || dist[from[j]] >= INF)
+                    continue;
+                int32_t nd = dist[from[j]] + cost[j];
+                if (nd < dist[to[j]]) {
+                    dist[to[j]] = nd;
+                    parent[to[j]] = static_cast<int32_t>(j);
+                    changed = true;
+                }
+            }
+            if (!changed)
+                break;
+        }
+        if (dist[sink] >= INF)
+            break;
+        int32_t aug = INF;
+        for (int32_t v = sink; v != src; v = from[parent[v]])
+            aug = std::min(aug, cap[parent[v]]);
+        for (int32_t v = sink; v != src; v = from[parent[v]]) {
+            cap[parent[v]] -= aug;
+            cap[parent[v] ^ 1] += aug;
+        }
+        totalFlow += aug;
+        totalCost += dist[sink] * aug;
+    }
+    return {totalFlow, totalCost};
+}
+
+} // namespace
+
+McfWorkload::McfWorkload(Params params)
+    : params_(params),
+      network_(makeScheduleNetwork(params.trips, params.seed))
+{
+    const auto n = static_cast<int32_t>(network_.nodes);
+    const auto m = static_cast<int32_t>(network_.edges.size());
+    const int32_t residual = 2 * m;
+
+    // Residual arrays, laid out contiguously so the edge scan can use
+    // one cursor with constant offsets: e_from, e_to, e_cap, e_cost.
+    std::vector<int32_t> eFrom(residual), eTo(residual), eCap(residual),
+        eCost(residual);
+    for (int32_t i = 0; i < m; ++i) {
+        const auto &edge = network_.edges[i];
+        eFrom[2 * i] = static_cast<int32_t>(edge.from);
+        eTo[2 * i] = static_cast<int32_t>(edge.to);
+        eCap[2 * i] = edge.capacity;
+        eCost[2 * i] = edge.cost;
+        eFrom[2 * i + 1] = static_cast<int32_t>(edge.to);
+        eTo[2 * i + 1] = static_cast<int32_t>(edge.from);
+        eCap[2 * i + 1] = 0;
+        eCost[2 * i + 1] = -edge.cost;
+    }
+
+    ProgramBuilder b;
+    uint32_t fromBase = b.dataWords("e_from", eFrom);
+    uint32_t toBase = b.dataWords("e_to", eTo);
+    uint32_t capBase = b.dataWords("e_cap", eCap);
+    uint32_t costBase = b.dataWords("e_cost", eCost);
+    uint32_t distBase = b.dataSpace("dist", 4 * network_.nodes);
+    uint32_t parentBase = b.dataSpace("parent", 4 * network_.nodes);
+    const auto offTo = static_cast<int32_t>(toBase - fromBase);
+    const auto offCap = static_cast<int32_t>(capBase - fromBase);
+    const auto offCost = static_cast<int32_t>(costBase - fromBase);
+    const auto sink = n - 1;
+
+    b.beginFunction("main");
+    {
+        b.call("mcf_solve");
+        b.halt();
+    }
+    b.endFunction();
+
+    // ---- mcf_solve (leaf) ----------------------------------------------
+    // s0 = total cost, s3 = total flow, s1 = e_from base, s2 = edge scan
+    // end, s6 = dist base, s7 = parent base, a2 = e_cap base.
+    b.beginFunction("mcf_solve");
+    {
+        auto outer = b.newLabel();
+        auto finish = b.newLabel();
+
+        b.li(REG_S0, 0);
+        b.li(REG_S3, 0);
+        b.li(REG_S1, static_cast<int32_t>(fromBase));
+        b.addi(REG_S2, REG_S1, 4 * residual);
+        b.li(REG_S6, static_cast<int32_t>(distBase));
+        b.li(REG_S7, static_cast<int32_t>(parentBase));
+        b.li(REG_A2, static_cast<int32_t>(capBase));
+
+        b.bind(outer);
+        // Bellman-Ford init: dist[*] = INF, parent[*] = -1, dist[0]=0.
+        {
+            auto initLoop = b.newLabel();
+            b.move(REG_T0, REG_S6);
+            b.addi(REG_T1, REG_S6, 4 * n);
+            b.li(REG_T2, INF);
+            b.li(REG_T3, -1);
+            b.bind(initLoop);
+            b.sw(REG_T2, 0, REG_T0);
+            // parent array sits right after dist (same stride).
+            b.sw(REG_T3,
+                 static_cast<int32_t>(parentBase - distBase), REG_T0);
+            b.addi(REG_T0, REG_T0, 4);
+            b.blt(REG_T0, REG_T1, initLoop);
+            b.sw(REG_ZERO, 0, REG_S6);      // dist[source] = 0
+        }
+        // Relaxation rounds: s4 = round, s5 = changed.
+        {
+            auto roundLoop = b.newLabel();
+            auto edgeLoop = b.newLabel();
+            auto skip = b.newLabel();
+            auto bfDone = b.newLabel();
+            b.li(REG_S4, 0);
+            b.bind(roundLoop);
+            b.li(REG_S5, 0);
+            b.move(REG_T1, REG_S1);          // edge cursor
+            b.li(REG_A3, 0);                 // edge index j
+            b.bind(edgeLoop);
+            b.lw(REG_T4, offCap, REG_T1);    // residual capacity
+            b.blez(REG_T4, skip);
+            b.lw(REG_T2, 0, REG_T1);         // from
+            b.sll(REG_T5, REG_T2, 2);        // (taggable address arith)
+            b.add(REG_T5, REG_T5, REG_S6);
+            b.lw(REG_T5, 0, REG_T5);         // dist[from]
+            b.li(REG_T6, INF);
+            b.bge(REG_T5, REG_T6, skip);
+            b.lw(REG_T7, offCost, REG_T1);   // cost
+            b.add(REG_T7, REG_T5, REG_T7);   // candidate distance
+            b.lw(REG_T3, offTo, REG_T1);     // to
+            b.sll(REG_T8, REG_T3, 2);
+            b.add(REG_T8, REG_T8, REG_S6);
+            b.lw(REG_T9, 0, REG_T8);         // dist[to]
+            b.bge(REG_T7, REG_T9, skip);
+            b.sw(REG_T7, 0, REG_T8);         // dist[to] = candidate
+            b.sll(REG_T9, REG_T3, 2);
+            b.add(REG_T9, REG_T9, REG_S7);
+            b.sw(REG_A3, 0, REG_T9);         // parent[to] = j
+            b.li(REG_S5, 1);
+            b.bind(skip);
+            b.addi(REG_T1, REG_T1, 4);
+            b.addi(REG_A3, REG_A3, 1);
+            b.blt(REG_T1, REG_S2, edgeLoop);
+            b.addi(REG_S4, REG_S4, 1);
+            b.beq(REG_S5, REG_ZERO, bfDone);
+            b.li(REG_AT, n);
+            b.blt(REG_S4, REG_AT, roundLoop);
+            b.bind(bfDone);
+        }
+        // No augmenting path -> done.
+        b.lw(REG_T0, static_cast<int32_t>(distBase) + 4 * sink,
+             REG_ZERO);
+        b.li(REG_T1, INF);
+        b.bge(REG_T0, REG_T1, finish);
+        // Bottleneck walk from the sink (uncapped: corrupted parents
+        // may cycle -- that is the paper's "infinite run" mode).
+        {
+            auto walk = b.newLabel();
+            auto walkDone = b.newLabel();
+            auto noMin = b.newLabel();
+            b.li(REG_T2, sink);              // v
+            b.li(REG_T3, INF);               // bottleneck
+            b.bind(walk);
+            b.beq(REG_T2, REG_ZERO, walkDone);
+            b.sll(REG_T4, REG_T2, 2);
+            b.add(REG_T4, REG_T4, REG_S7);
+            b.lw(REG_T4, 0, REG_T4);         // e = parent[v]
+            b.sll(REG_T5, REG_T4, 2);
+            b.add(REG_T6, REG_T5, REG_A2);
+            b.lw(REG_T6, 0, REG_T6);         // cap[e]
+            b.bge(REG_T6, REG_T3, noMin);
+            b.move(REG_T3, REG_T6);
+            b.bind(noMin);
+            b.add(REG_T5, REG_T5, REG_S1);
+            b.lw(REG_T2, 0, REG_T5);         // v = from[e]
+            b.j(walk);
+            b.bind(walkDone);
+        }
+        // Augment along the path; the cap updates are stored data whose
+        // producing adds/subs the analysis tags (memory-break).
+        {
+            auto walk = b.newLabel();
+            auto walkDone = b.newLabel();
+            b.li(REG_T2, sink);
+            b.bind(walk);
+            b.beq(REG_T2, REG_ZERO, walkDone);
+            b.sll(REG_T4, REG_T2, 2);
+            b.add(REG_T4, REG_T4, REG_S7);
+            b.lw(REG_T4, 0, REG_T4);         // e
+            b.sll(REG_T5, REG_T4, 2);
+            b.add(REG_T6, REG_T5, REG_A2);
+            b.lw(REG_T7, 0, REG_T6);
+            b.sub(REG_T7, REG_T7, REG_T3);   // cap[e] -= aug (tagged)
+            b.sw(REG_T7, 0, REG_T6);
+            b.xori(REG_T8, REG_T4, 1);       // reverse edge
+            b.sll(REG_T8, REG_T8, 2);
+            b.add(REG_T8, REG_T8, REG_A2);
+            b.lw(REG_T7, 0, REG_T8);
+            b.add(REG_T7, REG_T7, REG_T3);   // cap[e^1] += aug (tagged)
+            b.sw(REG_T7, 0, REG_T8);
+            b.sll(REG_T5, REG_T4, 2);
+            b.add(REG_T5, REG_T5, REG_S1);
+            b.lw(REG_T2, 0, REG_T5);         // v = from[e]
+            b.j(walk);
+            b.bind(walkDone);
+        }
+        // totals: flow += aug; cost += dist[sink] * aug (tagged chain).
+        b.add(REG_S3, REG_S3, REG_T3);
+        b.lw(REG_T0, static_cast<int32_t>(distBase) + 4 * sink,
+             REG_ZERO);
+        b.mul(REG_T0, REG_T0, REG_T3);
+        b.add(REG_S0, REG_S0, REG_T0);
+        b.j(outer);
+
+        b.bind(finish);
+        b.outw(REG_S3);
+        b.outw(REG_S0);
+        // Stream each original edge's flow = residual cap of its
+        // reverse edge (odd indices).
+        {
+            auto streamLoop = b.newLabel();
+            b.addi(REG_T0, REG_A2, 4);       // &cap[1]
+            b.addi(REG_T1, REG_A2, 4 * residual);
+            b.bind(streamLoop);
+            b.lw(REG_T2, 0, REG_T0);
+            b.outw(REG_T2);
+            b.addi(REG_T0, REG_T0, 8);
+            b.blt(REG_T0, REG_T1, streamLoop);
+        }
+        b.ret();
+    }
+    b.endFunction();
+
+    program_ = b.finish("main");
+}
+
+std::set<std::string>
+McfWorkload::eligibleFunctions() const
+{
+    return {"main", "mcf_solve"};
+}
+
+McfWorkload::Solution
+McfWorkload::parseSolution(const std::vector<uint8_t> &stream) const
+{
+    Solution solution;
+    auto words = fidelity::asInt32(stream);
+    size_t expect = 2 + network_.edges.size();
+    if (words.size() != expect)
+        return solution;
+    solution.wellFormed = true;
+    solution.flow = words[0];
+    solution.cost = words[1];
+    solution.edgeFlows.assign(words.begin() + 2, words.end());
+    return solution;
+}
+
+bool
+McfWorkload::feasible(const Solution &solution) const
+{
+    if (!solution.wellFormed ||
+        solution.edgeFlows.size() != network_.edges.size())
+        return false;
+    std::vector<int64_t> net(network_.nodes, 0);
+    for (size_t i = 0; i < network_.edges.size(); ++i) {
+        int32_t flow = solution.edgeFlows[i];
+        const auto &edge = network_.edges[i];
+        if (flow < 0 || flow > edge.capacity)
+            return false;
+        net[edge.from] += flow;
+        net[edge.to] -= flow;
+    }
+    for (unsigned v = 1; v + 1 < network_.nodes; ++v)
+        if (net[v] != 0)
+            return false;
+    return net[0] == solution.flow &&
+           net[network_.nodes - 1] == -int64_t{solution.flow};
+}
+
+FidelityScore
+McfWorkload::scoreFidelity(const std::vector<uint8_t> &golden,
+                           const std::vector<uint8_t> &test) const
+{
+    Solution ref = parseSolution(golden);
+    Solution got = parseSolution(test);
+    FidelityScore score;
+    score.unit = "% extra cost vs optimal";
+    if (!got.wellFormed || !feasible(got) || got.flow != ref.flow) {
+        // Incomplete schedule -- noticeably incorrect, per the paper.
+        score.value = 100.0;
+        score.acceptable = false;
+        return score;
+    }
+    score.value = ref.cost != 0
+                      ? 100.0 * (got.cost - ref.cost) / ref.cost
+                      : 0.0;
+    score.acceptable = got.cost == ref.cost;
+    return score;
+}
+
+std::pair<int32_t, int32_t>
+McfWorkload::referenceOptimum() const
+{
+    return solveHost(network_);
+}
+
+McfWorkload::Params
+McfWorkload::scaled(Scale scale)
+{
+    Params params;
+    if (scale == Scale::Test)
+        params.trips = 8;
+    return params;
+}
+
+} // namespace etc::workloads

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Mcf: single-depot vehicle scheduling as min-cost flow (SPEC 2000
+ * 181.mcf), for the target ISA.
+ *
+ * Substitution note (DESIGN.md): the network simplex solver is
+ * replaced by successive shortest paths (Bellman-Ford based) on a
+ * layered depot->trips->depot network -- the same problem with the
+ * same optimal answer and the same control-dominated structure: every
+ * relaxation and augmentation decision is a branch on values that live
+ * in memory (dist / residual capacities / parent edges).
+ *
+ * That memory round-trip is precisely the paper's residual failure
+ * channel: the arithmetic that *produces* a stored capacity or
+ * distance is tagged (the def-use chain is broken at the store), yet
+ * the loaded value later feeds branches -- so corrupted trials yield
+ * incomplete/suboptimal schedules, occasionally cycling parent walks
+ * ("infinite execution") or wild indexed loads (crashes), matching
+ * Table 2's mcf rows. The taggable fraction is small (Table 3: 8.9 %).
+ *
+ * Output stream: total flow word, total cost word, then the flow on
+ * every original edge. Fidelity (Table 1): schedule correctness --
+ * optimal cost & flow plus feasibility (conservation / capacity)
+ * verified by the harness; the score reports % extra cost.
+ */
+
+#ifndef ETC_WORKLOADS_MCF_HH
+#define ETC_WORKLOADS_MCF_HH
+
+#include "workloads/inputs.hh"
+#include "workloads/workload.hh"
+
+namespace etc::workloads {
+
+/** Min-cost-flow vehicle-scheduling workload. */
+class McfWorkload : public Workload
+{
+  public:
+    struct Params
+    {
+        unsigned trips = 32;
+        uint64_t seed = 0x3cf0;
+    };
+
+    /** A parsed solver result (from the output stream). */
+    struct Solution
+    {
+        bool wellFormed = false; //!< stream had the expected size
+        int32_t flow = 0;
+        int32_t cost = 0;
+        std::vector<int32_t> edgeFlows;
+    };
+
+    explicit McfWorkload(Params params);
+
+    std::string name() const override { return "mcf"; }
+
+    std::string
+    fidelityMeasure() const override
+    {
+        return "% extra cost vs optimal schedule; correctness = optimal "
+               "+ feasible";
+    }
+
+    const assembly::Program &program() const override { return program_; }
+
+    std::set<std::string> eligibleFunctions() const override;
+
+    FidelityScore scoreFidelity(
+        const std::vector<uint8_t> &golden,
+        const std::vector<uint8_t> &test) const override;
+
+    /** Parse an output stream into a Solution. */
+    Solution parseSolution(const std::vector<uint8_t> &stream) const;
+
+    /** Check conservation and capacity bounds of a parsed solution. */
+    bool feasible(const Solution &solution) const;
+
+    /** Host-side optimal (flow, cost) via the same SSP algorithm. */
+    std::pair<int32_t, int32_t> referenceOptimum() const;
+
+    const FlowNetwork &network() const { return network_; }
+
+    static Params scaled(Scale scale);
+
+  private:
+    Params params_;
+    FlowNetwork network_;
+    assembly::Program program_;
+};
+
+} // namespace etc::workloads
+
+#endif // ETC_WORKLOADS_MCF_HH

@@ -1,0 +1,359 @@
+#include "workloads/mpeg.hh"
+
+#include <algorithm>
+
+#include "asm/builder.hh"
+#include "fidelity/metrics.hh"
+#include "support/logging.hh"
+
+namespace etc::workloads {
+
+using namespace isa;
+using assembly::ProgramBuilder;
+
+MpegWorkload::FrameType
+MpegWorkload::frameType(unsigned index)
+{
+    if (index % 12 == 0)
+        return FrameType::I;
+    if (index % 3 == 0)
+        return FrameType::P;
+    return FrameType::B;
+}
+
+MpegWorkload::MpegWorkload(Params params)
+    : params_(params),
+      video_(makeVideo(params.width, params.height, params.frames,
+                       params.seed))
+{
+    if (params_.frames < 2)
+        fatal("mpeg: need at least 2 frames");
+
+    const auto frameBytes =
+        static_cast<int32_t>(params_.width * params_.height);
+    const auto frames = static_cast<int32_t>(params_.frames);
+
+    ProgramBuilder b;
+    {
+        std::vector<uint8_t> all;
+        all.reserve(static_cast<size_t>(frameBytes) * params_.frames);
+        for (const auto &frame : video_)
+            all.insert(all.end(), frame.pixels.begin(),
+                       frame.pixels.end());
+        b.dataBytes("video", all);
+    }
+    b.dataSpace("mpeg_enc",
+                static_cast<uint32_t>(frameBytes) * params_.frames);
+    b.dataSpace("enc_ref", static_cast<uint32_t>(frameBytes));
+    b.dataSpace("dec_ref", static_cast<uint32_t>(frameBytes));
+
+    b.beginFunction("main");
+    {
+        b.call("mpeg_encode");
+        b.call("mpeg_decode");
+        b.halt();
+    }
+    b.endFunction();
+
+    // Predicated clamp of t5 to [lo, hi]; uses t8, t9, a0.
+    auto emitClampT5 = [&](int32_t lo, int32_t hi) {
+        b.li(REG_T8, hi);
+        b.slt(REG_A0, REG_T8, REG_T5);
+        b.sub(REG_T9, REG_T8, REG_T5);
+        b.mul(REG_T9, REG_T9, REG_A0);
+        b.add(REG_T5, REG_T5, REG_T9);
+        b.li(REG_T8, lo);
+        b.slt(REG_A0, REG_T5, REG_T8);
+        b.sub(REG_T9, REG_T8, REG_T5);
+        b.mul(REG_T9, REG_T9, REG_A0);
+        b.add(REG_T5, REG_T5, REG_T9);
+    };
+
+    // ---- mpeg_encode ----------------------------------------------------
+    // s0 = frame index, s2 = video cursor, s3 = encoded cursor.
+    b.beginFunction("mpeg_encode");
+    {
+        auto frameLoop = b.newLabel();
+        auto typeP = b.newLabel();
+        auto typeB = b.newLabel();
+        auto nextFrame = b.newLabel();
+        auto iLoop = b.newLabel();
+        auto pLoop = b.newLabel();
+        auto bLoop = b.newLabel();
+
+        b.li(REG_S0, 0);
+        b.la(REG_S2, "video");
+        b.la(REG_S3, "mpeg_enc");
+        b.bind(frameLoop);
+        // Pixel-loop registers: t1 = src, t2 = src end, t3 = enc,
+        // t4 = reference.
+        b.move(REG_T1, REG_S2);
+        b.addi(REG_T2, REG_S2, frameBytes);
+        b.move(REG_T3, REG_S3);
+        b.la(REG_T4, "enc_ref");
+        // Frame-type dispatch (branchy: control).
+        b.li(REG_T0, 12);
+        b.rem(REG_T0, REG_S0, REG_T0);
+        b.beq(REG_T0, REG_ZERO, iLoop);
+        b.li(REG_T0, 3);
+        b.rem(REG_T0, REG_S0, REG_T0);
+        b.beq(REG_T0, REG_ZERO, typeP);
+        b.j(typeB);
+
+        // I frame: code = pix >> 2; recon = (code << 2) + 2.
+        b.bind(iLoop);
+        b.lbu(REG_T5, 0, REG_T1);
+        b.sra(REG_T6, REG_T5, 2);
+        b.sb(REG_T6, 0, REG_T3);
+        b.sll(REG_T6, REG_T6, 2);
+        b.addi(REG_T6, REG_T6, 2);
+        b.sb(REG_T6, 0, REG_T4);
+        b.addi(REG_T1, REG_T1, 1);
+        b.addi(REG_T3, REG_T3, 1);
+        b.addi(REG_T4, REG_T4, 1);
+        b.blt(REG_T1, REG_T2, iLoop);
+        b.j(nextFrame);
+
+        // P frame: qd = clamp((pix - ref) >> 2, -31, 31);
+        // recon = clamp(ref + (qd << 2), 0, 255); updates the reference.
+        b.bind(typeP);
+        b.bind(pLoop);
+        b.lbu(REG_T5, 0, REG_T1);
+        b.lbu(REG_T7, 0, REG_T4);
+        b.sub(REG_T5, REG_T5, REG_T7);
+        b.sra(REG_T5, REG_T5, 2);
+        emitClampT5(-31, 31);
+        b.sb(REG_T5, 0, REG_T3);
+        b.sll(REG_T5, REG_T5, 2);
+        b.add(REG_T5, REG_T7, REG_T5);
+        emitClampT5(0, 255);
+        b.sb(REG_T5, 0, REG_T4);
+        b.addi(REG_T1, REG_T1, 1);
+        b.addi(REG_T3, REG_T3, 1);
+        b.addi(REG_T4, REG_T4, 1);
+        b.blt(REG_T1, REG_T2, pLoop);
+        b.j(nextFrame);
+
+        // B frame: coarser quantizer, reference NOT updated.
+        b.bind(typeB);
+        b.bind(bLoop);
+        b.lbu(REG_T5, 0, REG_T1);
+        b.lbu(REG_T7, 0, REG_T4);
+        b.sub(REG_T5, REG_T5, REG_T7);
+        b.sra(REG_T5, REG_T5, 3);
+        emitClampT5(-15, 15);
+        b.sb(REG_T5, 0, REG_T3);
+        b.addi(REG_T1, REG_T1, 1);
+        b.addi(REG_T3, REG_T3, 1);
+        b.addi(REG_T4, REG_T4, 1);
+        b.blt(REG_T1, REG_T2, bLoop);
+
+        b.bind(nextFrame);
+        b.addi(REG_S2, REG_S2, frameBytes);
+        b.addi(REG_S3, REG_S3, frameBytes);
+        b.addi(REG_S0, REG_S0, 1);
+        b.li(REG_AT, frames);
+        b.blt(REG_S0, REG_AT, frameLoop);
+        b.ret();
+    }
+    b.endFunction();
+
+    // ---- mpeg_decode ----------------------------------------------------
+    // Mirrors the encoder against its own reference buffer, streaming
+    // every reconstructed pixel.
+    b.beginFunction("mpeg_decode");
+    {
+        auto frameLoop = b.newLabel();
+        auto typeP = b.newLabel();
+        auto typeB = b.newLabel();
+        auto nextFrame = b.newLabel();
+        auto iLoop = b.newLabel();
+        auto pLoop = b.newLabel();
+        auto bLoop = b.newLabel();
+
+        b.li(REG_S0, 0);
+        b.la(REG_S3, "mpeg_enc");
+        b.bind(frameLoop);
+        b.move(REG_T3, REG_S3);
+        b.addi(REG_T2, REG_S3, frameBytes);
+        b.la(REG_T4, "dec_ref");
+        b.li(REG_T0, 12);
+        b.rem(REG_T0, REG_S0, REG_T0);
+        b.beq(REG_T0, REG_ZERO, iLoop);
+        b.li(REG_T0, 3);
+        b.rem(REG_T0, REG_S0, REG_T0);
+        b.beq(REG_T0, REG_ZERO, typeP);
+        b.j(typeB);
+
+        // I frame: recon = (code << 2) + 2.
+        b.bind(iLoop);
+        b.lb(REG_T6, 0, REG_T3);
+        b.sll(REG_T6, REG_T6, 2);
+        b.addi(REG_T6, REG_T6, 2);
+        b.sb(REG_T6, 0, REG_T4);
+        b.outb(REG_T6);
+        b.addi(REG_T3, REG_T3, 1);
+        b.addi(REG_T4, REG_T4, 1);
+        b.blt(REG_T3, REG_T2, iLoop);
+        b.j(nextFrame);
+
+        // P frame.
+        b.bind(typeP);
+        b.bind(pLoop);
+        b.lb(REG_T5, 0, REG_T3);
+        b.lbu(REG_T7, 0, REG_T4);
+        b.sll(REG_T5, REG_T5, 2);
+        b.add(REG_T5, REG_T7, REG_T5);
+        emitClampT5(0, 255);
+        b.sb(REG_T5, 0, REG_T4);
+        b.outb(REG_T5);
+        b.addi(REG_T3, REG_T3, 1);
+        b.addi(REG_T4, REG_T4, 1);
+        b.blt(REG_T3, REG_T2, pLoop);
+        b.j(nextFrame);
+
+        // B frame: decoded but the reference is left untouched.
+        b.bind(typeB);
+        b.bind(bLoop);
+        b.lb(REG_T5, 0, REG_T3);
+        b.lbu(REG_T7, 0, REG_T4);
+        b.sll(REG_T5, REG_T5, 3);
+        b.add(REG_T5, REG_T7, REG_T5);
+        emitClampT5(0, 255);
+        b.outb(REG_T5);
+        b.addi(REG_T3, REG_T3, 1);
+        b.addi(REG_T4, REG_T4, 1);
+        b.blt(REG_T3, REG_T2, bLoop);
+
+        b.bind(nextFrame);
+        b.addi(REG_S3, REG_S3, frameBytes);
+        b.addi(REG_S0, REG_S0, 1);
+        b.li(REG_AT, frames);
+        b.blt(REG_S0, REG_AT, frameLoop);
+        b.ret();
+    }
+    b.endFunction();
+
+    program_ = b.finish("main");
+}
+
+std::set<std::string>
+MpegWorkload::eligibleFunctions() const
+{
+    return {"main", "mpeg_encode", "mpeg_decode"};
+}
+
+double
+MpegWorkload::badFrameFraction(const std::vector<uint8_t> &golden,
+                               const std::vector<uint8_t> &test) const
+{
+    const size_t frameBytes =
+        static_cast<size_t>(params_.width) * params_.height;
+    unsigned bad = 0;
+    for (unsigned f = 0; f < params_.frames; ++f) {
+        std::vector<double> g, t;
+        g.reserve(frameBytes);
+        t.reserve(frameBytes);
+        for (size_t i = 0; i < frameBytes; ++i) {
+            size_t at = static_cast<size_t>(f) * frameBytes + i;
+            g.push_back(at < golden.size() ? golden[at] : 0.0);
+            t.push_back(at < test.size() ? test[at] : 0.0);
+        }
+        double snr = fidelity::snrDb(g, t);
+        double floor = 0.0;
+        switch (frameType(f)) {
+          case FrameType::I: floor = params_.snrFloorI; break;
+          case FrameType::P: floor = params_.snrFloorP; break;
+          case FrameType::B: floor = params_.snrFloorB; break;
+        }
+        if (snr < floor)
+            ++bad;
+    }
+    return static_cast<double>(bad) / params_.frames;
+}
+
+FidelityScore
+MpegWorkload::scoreFidelity(const std::vector<uint8_t> &golden,
+                            const std::vector<uint8_t> &test) const
+{
+    FidelityScore score;
+    score.value = badFrameFraction(golden, test);
+    score.acceptable = score.value <= params_.badFrameThreshold;
+    score.unit = "fraction bad frames";
+    return score;
+}
+
+std::vector<uint8_t>
+MpegWorkload::referenceOutput() const
+{
+    const size_t frameBytes =
+        static_cast<size_t>(params_.width) * params_.height;
+    std::vector<int> encRef(frameBytes, 0);
+    std::vector<int8_t> encoded(frameBytes * params_.frames);
+
+    for (unsigned f = 0; f < params_.frames; ++f) {
+        const auto &src = video_[f].pixels;
+        for (size_t i = 0; i < frameBytes; ++i) {
+            int8_t &code = encoded[f * frameBytes + i];
+            switch (frameType(f)) {
+              case FrameType::I: {
+                int c = src[i] >> 2;
+                code = static_cast<int8_t>(c);
+                encRef[i] = (c << 2) + 2;
+                break;
+              }
+              case FrameType::P: {
+                int qd = std::clamp((src[i] - encRef[i]) >> 2, -31, 31);
+                code = static_cast<int8_t>(qd);
+                encRef[i] =
+                    std::clamp(encRef[i] + (qd << 2), 0, 255);
+                break;
+              }
+              case FrameType::B: {
+                int qd = std::clamp((src[i] - encRef[i]) >> 3, -15, 15);
+                code = static_cast<int8_t>(qd);
+                break;
+              }
+            }
+        }
+    }
+
+    std::vector<int> decRef(frameBytes, 0);
+    std::vector<uint8_t> out;
+    out.reserve(frameBytes * params_.frames);
+    for (unsigned f = 0; f < params_.frames; ++f) {
+        for (size_t i = 0; i < frameBytes; ++i) {
+            int code = encoded[f * frameBytes + i];
+            int value = 0;
+            switch (frameType(f)) {
+              case FrameType::I:
+                value = (code << 2) + 2;
+                decRef[i] = value;
+                break;
+              case FrameType::P:
+                value = std::clamp(decRef[i] + (code << 2), 0, 255);
+                decRef[i] = value;
+                break;
+              case FrameType::B:
+                value = std::clamp(decRef[i] + (code << 3), 0, 255);
+                break;
+            }
+            out.push_back(static_cast<uint8_t>(value));
+        }
+    }
+    return out;
+}
+
+MpegWorkload::Params
+MpegWorkload::scaled(Scale scale)
+{
+    Params params;
+    if (scale == Scale::Test) {
+        params.width = 16;
+        params.height = 12;
+        params.frames = 6;
+    }
+    return params;
+}
+
+} // namespace etc::workloads

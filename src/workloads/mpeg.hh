@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Mpeg: an I/P/B video codec for the target ISA.
+ *
+ * Substitution note (DESIGN.md): full MPEG-2 is replaced by a codec
+ * that preserves the property the paper's fidelity measure relies on:
+ * a GOP of I/P/B frames where I frames are intra-coded (quantized
+ * pixels), P frames code quantized deltas against the last
+ * reconstructed I/P reference, and B frames code coarser deltas
+ * against the same reference. Frame-type dispatch is branchy
+ * (control); quantization/clamping arithmetic is predicated (data),
+ * giving the mixed ~50 % taggable fraction of Table 3.
+ *
+ * GOP pattern: I B B P B B P B B P B B, repeated every 12 frames (an
+ * I-frame refresh bounds error propagation, as in real MPEG streams);
+ * every third frame is a P, others B. B frames reference the most
+ * recent I/P only (bidirectional prediction omitted -- documented
+ * simplification).
+ *
+ * Fidelity (Table 1/Figure 2): the decoded stream is split into
+ * frames; a frame is *bad* if its SNR against the fault-free decoded
+ * frame falls below a type-dependent threshold (I frames held to the
+ * strictest standard, as in the paper's 2/4/6 dB ladder). The measure
+ * is the percentage of bad frames; the viewer threshold is 10 %.
+ */
+
+#ifndef ETC_WORKLOADS_MPEG_HH
+#define ETC_WORKLOADS_MPEG_HH
+
+#include "workloads/inputs.hh"
+#include "workloads/workload.hh"
+
+namespace etc::workloads {
+
+/** MPEG-style encode+decode workload. */
+class MpegWorkload : public Workload
+{
+  public:
+    /** Frame type in the fixed GOP pattern. */
+    enum class FrameType : uint8_t { I, P, B };
+
+    struct Params
+    {
+        unsigned width = 64;
+        unsigned height = 48;
+        unsigned frames = 24;
+        uint64_t seed = 0x3e60;
+        double badFrameThreshold = 0.10; //!< viewer threshold (10 %)
+        /** Per-type "bad frame" SNR floors in dB (I, P, B). */
+        double snrFloorI = 15.0;
+        double snrFloorP = 12.0;
+        double snrFloorB = 10.0;
+    };
+
+    explicit MpegWorkload(Params params);
+
+    std::string name() const override { return "mpeg"; }
+
+    std::string
+    fidelityMeasure() const override
+    {
+        return "% bad frames (per-type SNR floor vs fault-free decode)";
+    }
+
+    const assembly::Program &program() const override { return program_; }
+
+    std::set<std::string> eligibleFunctions() const override;
+
+    FidelityScore scoreFidelity(
+        const std::vector<uint8_t> &golden,
+        const std::vector<uint8_t> &test) const override;
+
+    /** @return the GOP frame type of frame @p index. */
+    static FrameType frameType(unsigned index);
+
+    /** Host-side reference decoded stream (bit-identical). */
+    std::vector<uint8_t> referenceOutput() const;
+
+    /** Fraction of bad frames for a completed trial. */
+    double badFrameFraction(const std::vector<uint8_t> &golden,
+                            const std::vector<uint8_t> &test) const;
+
+    static Params scaled(Scale scale);
+
+  private:
+    Params params_;
+    std::vector<GrayImage> video_;
+    assembly::Program program_;
+};
+
+} // namespace etc::workloads
+
+#endif // ETC_WORKLOADS_MPEG_HH

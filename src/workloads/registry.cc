@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Workload factory: name -> constructed workload at the requested
+ * scale.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/logging.hh"
+#include "workloads/adpcm.hh"
+#include "workloads/art.hh"
+#include "workloads/blowfish.hh"
+#include "workloads/gsm.hh"
+#include "workloads/mcf.hh"
+#include "workloads/mpeg.hh"
+#include "workloads/susan.hh"
+
+namespace etc::workloads {
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "susan", "mpeg", "mcf", "blowfish", "adpcm", "gsm", "art",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+createWorkload(const std::string &name, Scale scale)
+{
+    if (name == "susan")
+        return std::make_unique<SusanWorkload>(
+            SusanWorkload::scaled(scale));
+    if (name == "mpeg")
+        return std::make_unique<MpegWorkload>(MpegWorkload::scaled(scale));
+    if (name == "mcf")
+        return std::make_unique<McfWorkload>(McfWorkload::scaled(scale));
+    if (name == "blowfish")
+        return std::make_unique<BlowfishWorkload>(
+            BlowfishWorkload::scaled(scale));
+    if (name == "adpcm")
+        return std::make_unique<AdpcmWorkload>(
+            AdpcmWorkload::scaled(scale));
+    if (name == "gsm")
+        return std::make_unique<GsmWorkload>(GsmWorkload::scaled(scale));
+    if (name == "art")
+        return std::make_unique<ArtWorkload>(ArtWorkload::scaled(scale));
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace etc::workloads

@@ -1,0 +1,182 @@
+#include "workloads/susan.hh"
+
+#include <algorithm>
+
+#include "asm/builder.hh"
+#include "fidelity/metrics.hh"
+#include "support/logging.hh"
+
+namespace etc::workloads {
+
+using namespace isa;
+using assembly::ProgramBuilder;
+
+namespace {
+
+/** 5x5 quasi-circular mask: all offsets except centre and corners. */
+std::vector<std::pair<int, int>>
+maskOffsets()
+{
+    std::vector<std::pair<int, int>> offsets;
+    for (int dy = -2; dy <= 2; ++dy) {
+        for (int dx = -2; dx <= 2; ++dx) {
+            if (dy == 0 && dx == 0)
+                continue;
+            if (std::abs(dy) == 2 && std::abs(dx) == 2)
+                continue;
+            offsets.emplace_back(dy, dx);
+        }
+    }
+    return offsets;
+}
+
+constexpr int SIMILARITY = 100;
+
+} // namespace
+
+SusanWorkload::SusanWorkload(Params params)
+    : params_(params),
+      image_(makeShapesImage(params.width, params.height, params.seed))
+{
+    if (params_.width < 8 || params_.height < 8)
+        fatal("susan: image must be at least 8x8");
+
+    const auto offsets = maskOffsets();
+    const int maxArea = static_cast<int>(offsets.size()) * SIMILARITY;
+    const int geometric = 3 * maxArea / 4;
+    const auto width = static_cast<int32_t>(params_.width);
+    const auto height = static_cast<int32_t>(params_.height);
+
+    ProgramBuilder b;
+    b.dataBytes("image", image_.pixels);
+
+    // The kernel follows the idiom an optimizing compiler produces for
+    // an unrolled stencil: the pixel pointer is the loop induction
+    // variable (so it feeds the loop branch and is control-protected
+    // by the analysis), and each neighbour is an immediate-offset load
+    // off that pointer -- there is no address arithmetic that a data
+    // error could corrupt.
+
+    // ---- main: iterate interior pixel pointers -----------------------
+    // s0 = row base pointer, s1 = pixel pointer, s2 = row pixel limit,
+    // s3 = last row base.
+    b.beginFunction("main");
+    {
+        auto yLoop = b.newLabel();
+        auto xLoop = b.newLabel();
+        b.la(REG_S0, "image");
+        b.addi(REG_S3, REG_S0, (height - 2) * width); // one-past last row
+        b.addi(REG_S0, REG_S0, 2 * width);            // row y = 2
+        b.bind(yLoop);
+        b.addi(REG_S1, REG_S0, 2);                    // p = row + 2
+        b.addi(REG_S2, REG_S0, width - 2);            // row limit
+        b.bind(xLoop);
+        b.move(REG_A0, REG_S1);
+        b.call("susan_pixel");
+        b.outb(REG_V0);
+        b.addi(REG_S1, REG_S1, 1);
+        b.blt(REG_S1, REG_S2, xLoop);
+        b.addi(REG_S0, REG_S0, width);                // next row
+        b.blt(REG_S0, REG_S3, yLoop);
+        b.halt();
+    }
+    b.endFunction();
+
+    // ---- susan_pixel(a0 = nucleus pointer) -> v0 = edge byte ---------
+    b.beginFunction("susan_pixel");
+    {
+        b.lbu(REG_T1, 0, REG_A0);           // nucleus brightness
+        b.li(REG_T2, 0);                    // n (USAN area)
+        for (auto [dy, dx] : offsets) {
+            int32_t linear = dy * width + dx;
+            b.lbu(REG_T5, linear, REG_A0);  // neighbour brightness
+            b.sub(REG_T5, REG_T5, REG_T1);  // d = p - nucleus
+            // Branch-free |d|: s = d >> 31; ad = (d ^ s) - s.
+            b.sra(REG_T6, REG_T5, 31);
+            b.xor_(REG_T5, REG_T5, REG_T6);
+            b.sub(REG_T5, REG_T5, REG_T6);
+            // similar = (ad <= t): c = (t < ad); sim = 1 - c.
+            b.li(REG_T8, params_.threshold);
+            b.slt(REG_T8, REG_T8, REG_T5);
+            b.li(REG_T6, 1);
+            b.sub(REG_T8, REG_T6, REG_T8);
+            // n += 100 * sim.
+            b.li(REG_T6, SIMILARITY);
+            b.mul(REG_T8, REG_T8, REG_T6);
+            b.add(REG_T2, REG_T2, REG_T8);
+        }
+        // edge = max(0, g - n), branch-free via the sign mask.
+        b.li(REG_T5, geometric);
+        b.sub(REG_T5, REG_T5, REG_T2);      // g - n
+        b.sra(REG_T6, REG_T5, 31);
+        b.nor(REG_T6, REG_T6, REG_ZERO);    // ~(sign mask)
+        b.and_(REG_T5, REG_T5, REG_T6);
+        // Rescale to a byte: e * 255 / g.
+        b.li(REG_T6, 255);
+        b.mul(REG_T5, REG_T5, REG_T6);
+        b.li(REG_T6, geometric);
+        b.div(REG_V0, REG_T5, REG_T6);
+        b.ret();
+    }
+    b.endFunction();
+
+    program_ = b.finish("main");
+}
+
+std::set<std::string>
+SusanWorkload::eligibleFunctions() const
+{
+    return {"main", "susan_pixel"};
+}
+
+FidelityScore
+SusanWorkload::scoreFidelity(const std::vector<uint8_t> &golden,
+                             const std::vector<uint8_t> &test) const
+{
+    FidelityScore score;
+    score.value = fidelity::psnrDb(golden, test);
+    score.acceptable = score.value >= params_.fidelityThresholdDb;
+    score.unit = "dB PSNR";
+    return score;
+}
+
+std::vector<uint8_t>
+SusanWorkload::referenceOutput() const
+{
+    const auto offsets = maskOffsets();
+    const int maxArea = static_cast<int>(offsets.size()) * SIMILARITY;
+    const int geometric = 3 * maxArea / 4;
+    const int width = static_cast<int>(params_.width);
+    const int height = static_cast<int>(params_.height);
+
+    std::vector<uint8_t> out;
+    out.reserve(static_cast<size_t>(width - 4) * (height - 4));
+    for (int y = 2; y < height - 2; ++y) {
+        for (int x = 2; x < width - 2; ++x) {
+            int nucleus = image_.pixels[y * width + x];
+            int n = 0;
+            for (auto [dy, dx] : offsets) {
+                int p = image_.pixels[(y + dy) * width + (x + dx)];
+                int ad = std::abs(p - nucleus);
+                if (ad <= params_.threshold)
+                    n += SIMILARITY;
+            }
+            int edge = std::max(0, geometric - n);
+            out.push_back(static_cast<uint8_t>(edge * 255 / geometric));
+        }
+    }
+    return out;
+}
+
+SusanWorkload::Params
+SusanWorkload::scaled(Scale scale)
+{
+    Params params;
+    if (scale == Scale::Test) {
+        params.width = 24;
+        params.height = 20;
+    }
+    return params;
+}
+
+} // namespace etc::workloads

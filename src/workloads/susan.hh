@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Susan: SUSAN-principle edge detection (MiBench), reimplemented for
+ * the target ISA.
+ *
+ * For every interior pixel, a 5x5 quasi-circular mask (20 neighbours,
+ * corners excluded) compares neighbour brightness against the nucleus
+ * with the integer similarity kernel c = 100 if |dI| <= t else 0; the
+ * USAN area n is the sum of c. The edge response is max(0, g - n) with
+ * the geometric threshold g = 3/4 of the maximal area, rescaled to a
+ * byte and streamed out.
+ *
+ * The inner arithmetic (absolute difference, similarity, clamping,
+ * rescale) is fully predicated -- exactly how the optimized MiBench
+ * kernel compiles -- so nearly all of it is taggable and the workload
+ * reproduces susan's very high low-reliability fraction in Table 3.
+ *
+ * Fidelity (Table 1): PSNR of the edge map against the fault-free edge
+ * map, threshold 10 dB (stands in for the paper's Imagemagick
+ * comparison).
+ */
+
+#ifndef ETC_WORKLOADS_SUSAN_HH
+#define ETC_WORKLOADS_SUSAN_HH
+
+#include "workloads/inputs.hh"
+#include "workloads/workload.hh"
+
+namespace etc::workloads {
+
+/** SUSAN edge-detection workload. */
+class SusanWorkload : public Workload
+{
+  public:
+    /** Construction parameters. */
+    struct Params
+    {
+        unsigned width = 64;
+        unsigned height = 48;
+        int threshold = 27;    //!< brightness similarity threshold t
+        uint64_t seed = 0x5a5a;
+        double fidelityThresholdDb = 10.0;
+    };
+
+    explicit SusanWorkload(Params params);
+
+    std::string name() const override { return "susan"; }
+
+    std::string
+    fidelityMeasure() const override
+    {
+        return "edge-map PSNR vs fault-free output (threshold 10 dB)";
+    }
+
+    const assembly::Program &program() const override { return program_; }
+
+    std::set<std::string> eligibleFunctions() const override;
+
+    FidelityScore scoreFidelity(
+        const std::vector<uint8_t> &golden,
+        const std::vector<uint8_t> &test) const override;
+
+    /** Host-side reference edge detector (bit-identical to the ISA). */
+    std::vector<uint8_t> referenceOutput() const;
+
+    const Params &params() const { return params_; }
+
+    /** Parameters for Scale::Test / Scale::Bench construction. */
+    static Params scaled(Scale scale);
+
+  private:
+    Params params_;
+    GrayImage image_;
+    assembly::Program program_;
+};
+
+} // namespace etc::workloads
+
+#endif // ETC_WORKLOADS_SUSAN_HH

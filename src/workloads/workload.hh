@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The Workload interface: one error-tolerant application, packaged as
+ * a program for the target ISA plus its fidelity measure (paper
+ * Table 1).
+ *
+ * Every workload is fully self-contained: its synthetic input is baked
+ * into the program's data segment at construction time, and its result
+ * is emitted through the simulator's output stream (outb/outw), so the
+ * campaign layer can score any trial by comparing output streams.
+ *
+ * Kernel coding-style note (mirrors how the original benchmarks
+ * compile): data-dominated kernels (susan, adpcm, blowfish, art) use
+ * branch-free predicated arithmetic for clamps/selects, so their value
+ * chains never feed branches and the CVar analysis can tag most of
+ * their work; control-dominated kernels (mcf, gsm, parts of mpeg) make
+ * decisions with branches, so most of their values are control-
+ * relevant. This is what produces the Table 3 spread of tagged
+ * fractions.
+ */
+
+#ifndef ETC_WORKLOADS_WORKLOAD_HH
+#define ETC_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+
+namespace etc::workloads {
+
+/** One fidelity evaluation. */
+struct FidelityScore
+{
+    double value = 0.0;      //!< metric value (dB, %, ...)
+    bool acceptable = false; //!< within the workload's threshold
+    std::string unit;        //!< e.g. "dB PSNR", "% bytes correct"
+};
+
+/**
+ * Abstract error-tolerant application.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short identifier ("susan", "mpeg", ...). */
+    virtual std::string name() const = 0;
+
+    /** Human description of the fidelity measure (Table 1 column). */
+    virtual std::string fidelityMeasure() const = 0;
+
+    /** The assembled program (input data already baked in). */
+    virtual const assembly::Program &program() const = 0;
+
+    /**
+     * Functions the programmer marked eligible for tagging (the paper
+     * lets users exclude e.g. setup/allocation code).
+     */
+    virtual std::set<std::string> eligibleFunctions() const = 0;
+
+    /**
+     * Score a trial output against the fault-free output.
+     *
+     * @param golden the fault-free output stream
+     * @param test   a completed trial's output stream
+     */
+    virtual FidelityScore scoreFidelity(
+        const std::vector<uint8_t> &golden,
+        const std::vector<uint8_t> &test) const = 0;
+};
+
+/** Workload construction size. */
+enum class Scale
+{
+    Test,  //!< small inputs: fast unit/integration tests
+    Bench, //!< paper-scale inputs for the table/figure benches
+};
+
+/** Names of all seven applications, in the paper's Table 1 order. */
+const std::vector<std::string> &workloadNames();
+
+/**
+ * Factory: construct a workload by name.
+ *
+ * @throws FatalError for an unknown name
+ */
+std::unique_ptr<Workload> createWorkload(const std::string &name,
+                                         Scale scale = Scale::Bench);
+
+} // namespace etc::workloads
+
+#endif // ETC_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,765 @@
+/**
+ * @file
+ * Tests for the dataflow analysis layer: flow graph, liveness,
+ * reaching definitions, def-use chains, and -- centrally -- the CVar
+ * control-protection analysis, including the paper's Section 3 worked
+ * example reproduced instruction for instruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+#include "analysis/control_protection.hh"
+#include "analysis/defuse.hh"
+#include "analysis/flowgraph.hh"
+#include "analysis/liveness.hh"
+#include "analysis/reaching.hh"
+#include "asm/builder.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace etc;
+using namespace etc::isa;
+using namespace etc::assembly;
+using namespace etc::analysis;
+
+// ---- flow graph ----------------------------------------------------------
+
+TEST(FlowGraphTest, StraightLine)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.li(REG_T0, 1);
+    b.addi(REG_T0, REG_T0, 1);
+    b.halt();
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    EXPECT_EQ(graph.successors(0), std::vector<uint32_t>{1});
+    EXPECT_EQ(graph.successors(1), std::vector<uint32_t>{2});
+    EXPECT_TRUE(graph.successors(2).empty()); // halt
+    EXPECT_EQ(graph.predecessors(1), std::vector<uint32_t>{0});
+    EXPECT_EQ(graph.blocks().size(), 1u);
+}
+
+TEST(FlowGraphTest, BranchSplitsBlocks)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto target = b.newLabel();
+    b.li(REG_T0, 1);                 // 0
+    b.beq(REG_T0, REG_ZERO, target); // 1
+    b.li(REG_T1, 2);                 // 2
+    b.bind(target);
+    b.halt();                        // 3
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    auto succ = graph.successors(1);
+    EXPECT_EQ(succ, (std::vector<uint32_t>{2, 3}));
+    EXPECT_EQ(graph.blocks().size(), 3u); // [0,2) [2,3) [3,4)
+    EXPECT_EQ(graph.blockOf(0), graph.blockOf(1));
+    EXPECT_NE(graph.blockOf(1), graph.blockOf(2));
+}
+
+TEST(FlowGraphTest, LoopBackEdge)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto loop = b.newLabel();
+    b.li(REG_T0, 5);                 // 0
+    b.bind(loop);
+    b.addi(REG_T0, REG_T0, -1);      // 1
+    b.bgtz(REG_T0, loop);            // 2
+    b.halt();                        // 3
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    EXPECT_EQ(graph.successors(2), (std::vector<uint32_t>{1, 3}));
+    EXPECT_EQ(graph.predecessors(1), (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(FlowGraphTest, InterproceduralCallAndReturnEdges)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.call("leaf");          // 0
+    b.halt();                // 1
+    b.endFunction();
+    b.beginFunction("leaf");
+    b.li(REG_V0, 7);         // 2
+    b.ret();                 // 3
+    b.endFunction();
+    auto prog = b.finish();
+
+    FlowGraph inter(prog, true);
+    EXPECT_EQ(inter.successors(0), std::vector<uint32_t>{2}); // call edge
+    EXPECT_EQ(inter.successors(3), std::vector<uint32_t>{1}); // return edge
+
+    FlowGraph intra(prog, false);
+    EXPECT_EQ(intra.successors(0), std::vector<uint32_t>{1}); // fallthrough
+    EXPECT_TRUE(intra.successors(3).empty());                 // exit
+}
+
+TEST(FlowGraphTest, MultipleReturnSites)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.call("leaf");          // 0
+    b.call("leaf");          // 1
+    b.halt();                // 2
+    b.endFunction();
+    b.beginFunction("leaf");
+    b.ret();                 // 3
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    EXPECT_EQ(graph.successors(3), (std::vector<uint32_t>{1, 2}));
+}
+
+// ---- liveness -----------------------------------------------------------
+
+TEST(LivenessTest, SimpleChain)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.li(REG_T0, 1);                  // 0: def t0
+    b.addi(REG_T1, REG_T0, 2);        // 1: use t0, def t1
+    b.outw(REG_T1);                   // 2: use t1
+    b.halt();                         // 3
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    auto live = computeLiveness(prog, graph);
+    EXPECT_TRUE(live.liveOut[0].test(REG_T0));
+    EXPECT_FALSE(live.liveOut[1].test(REG_T0)); // dead after last use
+    EXPECT_TRUE(live.liveOut[1].test(REG_T1));
+    EXPECT_FALSE(live.liveOut[2].test(REG_T1));
+    EXPECT_FALSE(live.liveIn[0].test(REG_T0)); // defined here
+}
+
+TEST(LivenessTest, LoopKeepsCounterLive)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto loop = b.newLabel();
+    b.li(REG_T0, 5);                  // 0
+    b.bind(loop);
+    b.addi(REG_T0, REG_T0, -1);       // 1
+    b.bgtz(REG_T0, loop);             // 2
+    b.halt();                         // 3
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    auto live = computeLiveness(prog, graph);
+    // The counter is live around the whole loop.
+    EXPECT_TRUE(live.liveIn[1].test(REG_T0));
+    EXPECT_TRUE(live.liveOut[2].test(REG_T0)); // back edge keeps it live
+}
+
+TEST(LivenessTest, ZeroRegisterNeverLive)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto lbl = b.newLabel();
+    b.bind(lbl);
+    b.beq(REG_ZERO, REG_ZERO, lbl);
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    auto live = computeLiveness(prog, graph);
+    EXPECT_FALSE(live.liveIn[0].test(REG_ZERO));
+}
+
+// ---- reaching definitions --------------------------------------------------
+
+TEST(ReachingTest, KillAndMerge)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto other = b.newLabel();
+    auto join = b.newLabel();
+    b.li(REG_T0, 1);                  // 0: def A of t0
+    b.beq(REG_A0, REG_ZERO, other);   // 1
+    b.li(REG_T0, 2);                  // 2: def B of t0 (kills A)
+    b.j(join);                        // 3
+    b.bind(other);
+    b.nop();                          // 4
+    b.bind(join);
+    b.outw(REG_T0);                   // 5: A reaches via 4, B via 3
+    b.halt();                         // 6
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    auto reaching = computeReaching(prog, graph);
+    EXPECT_TRUE(reaching.reaches(0, 5));  // def A via the nop path
+    EXPECT_TRUE(reaching.reaches(2, 5));  // def B via the join
+    EXPECT_FALSE(reaching.reaches(0, 3)); // killed by def B at 2
+}
+
+TEST(ReachingTest, LoopCarriedDefinition)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto loop = b.newLabel();
+    b.li(REG_T0, 5);                  // 0
+    b.bind(loop);
+    b.addi(REG_T0, REG_T0, -1);       // 1: def reaches itself (loop)
+    b.bgtz(REG_T0, loop);             // 2
+    b.halt();                         // 3
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    auto reaching = computeReaching(prog, graph);
+    EXPECT_TRUE(reaching.reaches(0, 1));
+    EXPECT_TRUE(reaching.reaches(1, 1)); // around the back edge
+}
+
+TEST(DefUseTest, ChainsMatchReaching)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.li(REG_T0, 3);                  // 0
+    b.addi(REG_T1, REG_T0, 1);        // 1: uses def 0
+    b.add(REG_T2, REG_T0, REG_T1);    // 2: uses defs 0 and 1
+    b.outw(REG_T2);                   // 3
+    b.halt();                         // 4
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    auto reaching = computeReaching(prog, graph);
+    auto chains = computeDefUse(prog, reaching);
+    ASSERT_EQ(chains.usesOf[0].size(), 2u);
+    EXPECT_EQ(chains.usesOf[0][0], (Use{1, REG_T0}));
+    EXPECT_EQ(chains.usesOf[0][1], (Use{2, REG_T0}));
+    ASSERT_EQ(chains.usesOf[1].size(), 1u);
+    EXPECT_EQ(chains.usesOf[1][0], (Use{2, REG_T1}));
+    ASSERT_EQ(chains.usesOf[2].size(), 1u);
+}
+
+// ---- the paper's worked example (Section 3) ---------------------------------
+
+/**
+ * Reconstructs the paper's basic blocks BB0/BB1 literally:
+ *
+ *   I0: $2  = $4 + 1        *  (tagged)
+ *   I1: LD $3, addr []
+ *   I2: $2  = $3 + 2        [$3]
+ *   I3: $3  = $3 + 8        [$3, $2]
+ *   I4: $10 = $8 - $4       [$3, $2]  * (tagged)
+ *   I5: $10 = $3 << $2      [$3, $2]
+ *   I6: $4  = $3 + $6       [$3, $10] * (tagged)
+ *   I7: $3  = $3 + 1        [$3, $10]
+ *   I8: BNE $3, $10, label  [$3, $10]
+ *
+ * The bracketed sets are CVar *before* each instruction (the paper
+ * prints them after processing, walking upward). The tagged set must
+ * be exactly {I0, I4, I6}.
+ */
+class PaperExampleTest : public ::testing::Test
+{
+  protected:
+    Program
+    build()
+    {
+        ProgramBuilder b;
+        b.dataWords("addr", {0});
+        b.beginFunction("main");
+        auto label = b.newLabel();
+        b.addi(2, 4, 1);                         // I0
+        b.lw(3, 0, REG_ZERO);                    // I1: absolute load
+        b.addi(2, 3, 2);                         // I2
+        b.addi(3, 3, 8);                         // I3
+        b.sub(10, 8, 4);                         // I4
+        b.sllv(10, 3, 2);                        // I5
+        b.add(4, 3, 6);                          // I6
+        b.addi(3, 3, 1);                         // I7
+        b.bne(3, 10, label);                     // I8
+        b.bind(label);
+        b.halt();                                // I9
+        b.endFunction();
+        return b.finish();
+    }
+};
+
+TEST_F(PaperExampleTest, TagsExactlyI0I4I6)
+{
+    auto prog = build();
+    ProtectionConfig config; // paper defaults
+    auto result = computeControlProtection(prog, config);
+
+    std::vector<bool> expected(prog.size(), false);
+    expected[0] = true; // I0
+    expected[4] = true; // I4
+    expected[6] = true; // I6
+    EXPECT_EQ(result.tagged, expected);
+    EXPECT_EQ(result.numTagged, 3u);
+}
+
+TEST_F(PaperExampleTest, CVarSetsMatchThePaper)
+{
+    auto prog = build();
+    auto result = computeControlProtection(prog, ProtectionConfig{});
+
+    auto set = [](std::initializer_list<int> regs) {
+        LocSet s;
+        for (int r : regs)
+            s.set(static_cast<size_t>(r));
+        return s;
+    };
+    // CVar before each instruction, exactly as printed in the paper.
+    EXPECT_EQ(result.cvarIn[0], set({}));        // before I0 (empty)
+    EXPECT_EQ(result.cvarIn[1], set({}));        // I1 empties CVar
+    EXPECT_EQ(result.cvarIn[2], set({3}));
+    EXPECT_EQ(result.cvarIn[3], set({3, 2}));
+    EXPECT_EQ(result.cvarIn[4], set({3, 2}));
+    EXPECT_EQ(result.cvarIn[5], set({3, 2}));
+    EXPECT_EQ(result.cvarIn[6], set({3, 10}));
+    EXPECT_EQ(result.cvarIn[7], set({3, 10}));
+    EXPECT_EQ(result.cvarIn[8], set({3, 10}));   // the BNE's own uses
+}
+
+// ---- CVar analysis behaviours ------------------------------------------------
+
+TEST(ControlProtectionTest, LoopInductionVariableIsProtected)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto loop = b.newLabel();
+    b.li(REG_T0, 10);                 // 0: feeds the branch -> protected
+    b.li(REG_T1, 0);                  // 1: pure data -> tagged
+    b.bind(loop);
+    b.addi(REG_T1, REG_T1, 3);        // 2: data accumulator -> tagged
+    b.addi(REG_T0, REG_T0, -1);       // 3: induction -> protected
+    b.bgtz(REG_T0, loop);             // 4
+    b.outw(REG_T1);                   // 5
+    b.halt();                         // 6
+    b.endFunction();
+    auto prog = b.finish();
+    auto result = computeControlProtection(prog, ProtectionConfig{});
+    EXPECT_FALSE(result.tagged[0]);
+    EXPECT_TRUE(result.tagged[1]);
+    EXPECT_TRUE(result.tagged[2]);
+    EXPECT_FALSE(result.tagged[3]);
+}
+
+TEST(ControlProtectionTest, InterproceduralFlowProtectsCallerValues)
+{
+    // main computes a value in $a0 that the callee branches on; with
+    // interprocedural analysis the producing addi must stay protected.
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.li(REG_A0, 5);                  // 0: flows into leaf's branch
+    b.call("leaf");                   // 1
+    b.halt();                         // 2
+    b.endFunction();
+    b.beginFunction("leaf");
+    auto skip = b.newLabel();
+    b.bgtz(REG_A0, skip);             // 3
+    b.nop();                          // 4
+    b.bind(skip);
+    b.ret();                          // 5
+    b.endFunction();
+    auto prog = b.finish();
+
+    ProtectionConfig inter;
+    inter.interprocedural = true;
+    auto interResult = computeControlProtection(prog, inter);
+    EXPECT_FALSE(interResult.tagged[0]) << "value branches in callee";
+
+    ProtectionConfig intra;
+    intra.interprocedural = false;
+    auto intraResult = computeControlProtection(prog, intra);
+    EXPECT_TRUE(intraResult.tagged[0])
+        << "intraprocedural analysis misses the callee branch";
+}
+
+TEST(ControlProtectionTest, ReturnAddressChainIsProtected)
+{
+    // A function that spills $ra must keep its $sp arithmetic
+    // protected: the reload of $ra (which feeds jr, i.e. control)
+    // names $sp in its definition. Two call sites make the epilogue's
+    // $sp flow into the next activation's spill slot addressing.
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.call("mid");                    // 0
+    b.call("mid");                    // 1
+    b.halt();                         // 2
+    b.endFunction();
+    b.beginFunction("mid");
+    b.addi(REG_SP, REG_SP, -8);       // 3: prologue -> protected
+    b.sw(REG_RA, 0, REG_SP);          // 4
+    b.li(REG_T0, 1);                  // 5: plain data -> tagged
+    b.lw(REG_RA, 0, REG_SP);          // 6
+    b.addi(REG_SP, REG_SP, 8);        // 7: epilogue -> protected
+    b.ret();                          // 8
+    b.endFunction();
+    auto prog = b.finish();
+    auto result = computeControlProtection(prog, ProtectionConfig{});
+    EXPECT_FALSE(result.tagged[3]);
+    EXPECT_TRUE(result.tagged[5]);
+    EXPECT_FALSE(result.tagged[7]);
+}
+
+TEST(ControlProtectionTest, EligibilityRestrictsTagging)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.li(REG_T1, 1);                  // 0: data
+    b.call("setup");                  // 1
+    b.halt();                         // 2
+    b.endFunction();
+    b.beginFunction("setup");
+    b.li(REG_T2, 2);                  // 3: data, but setup not eligible
+    b.ret();                          // 4
+    b.endFunction();
+    auto prog = b.finish();
+
+    ProtectionConfig config;
+    config.eligibleFunctions = {"main"};
+    auto result = computeControlProtection(prog, config);
+    EXPECT_TRUE(result.tagged[0]);
+    EXPECT_FALSE(result.tagged[3]) << "setup is not eligible";
+}
+
+TEST(ControlProtectionTest, ProtectAddressesAblation)
+{
+    // Address arithmetic feeding a load: tagged by default (the
+    // paper's model), protected when protectAddresses is on.
+    ProgramBuilder b;
+    b.dataWords("tbl", {1, 2, 3, 4});
+    b.beginFunction("main");
+    b.li(REG_T0, 2);                  // 0: index (data)
+    b.sll(REG_T1, REG_T0, 2);         // 1: address arithmetic
+    b.la(REG_T2, "tbl");              // 2: base address
+    b.add(REG_T1, REG_T1, REG_T2);    // 3: final address
+    b.lw(REG_V0, 0, REG_T1);          // 4
+    b.outw(REG_V0);                   // 5
+    b.halt();                         // 6
+    b.endFunction();
+    auto prog = b.finish();
+
+    auto paperResult =
+        computeControlProtection(prog, ProtectionConfig{});
+    EXPECT_TRUE(paperResult.tagged[1]);
+    EXPECT_TRUE(paperResult.tagged[3]);
+
+    ProtectionConfig withAddresses;
+    withAddresses.protectAddresses = true;
+    auto ablation = computeControlProtection(prog, withAddresses);
+    EXPECT_FALSE(ablation.tagged[1]);
+    EXPECT_FALSE(ablation.tagged[3]);
+}
+
+TEST(ControlProtectionTest, MemoryTrackingAblation)
+{
+    // A value is stored, reloaded, and branched on. The paper's
+    // analysis (no memory disambiguation) tags the producing add --
+    // its documented residual failure source. Conservative memory
+    // tracking protects it.
+    ProgramBuilder b;
+    b.dataWords("slot", {0});
+    b.beginFunction("main");
+    auto out = b.newLabel();
+    b.li(REG_T0, 1);                  // 0: produces the stored value
+    b.la(REG_T9, "slot");             // 1
+    b.sw(REG_T0, 0, REG_T9);          // 2
+    b.lw(REG_T1, 0, REG_T9);          // 3
+    b.bgtz(REG_T1, out);              // 4: control on the reload
+    b.nop();                          // 5
+    b.bind(out);
+    b.halt();                         // 6
+    b.endFunction();
+    auto prog = b.finish();
+
+    auto paperResult =
+        computeControlProtection(prog, ProtectionConfig{});
+    EXPECT_TRUE(paperResult.tagged[0])
+        << "no memory disambiguation: the def-use chain breaks at the "
+           "store";
+
+    ProtectionConfig tracking;
+    tracking.trackMemory = true;
+    auto tracked = computeControlProtection(prog, tracking);
+    EXPECT_FALSE(tracked.tagged[0])
+        << "conservative memory tracking closes the residual hole";
+}
+
+TEST(ControlProtectionTest, FpCompareChainIsProtected)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto out = b.newLabel();
+    b.lif(fpReg(1), 1.5f);            // 0,1 (li+mtc1)
+    b.lif(fpReg(2), 2.5f);            // 2,3
+    b.adds(fpReg(3), fpReg(1), fpReg(2)); // 4: feeds the compare
+    b.adds(fpReg(4), fpReg(1), fpReg(1)); // 5: pure data
+    b.clts(fpReg(3), fpReg(2));       // 6
+    b.bc1t(out);                      // 7
+    b.nop();                          // 8
+    b.bind(out);
+    b.halt();                         // 9
+    b.endFunction();
+    auto prog = b.finish();
+    auto result = computeControlProtection(prog, ProtectionConfig{});
+    EXPECT_FALSE(result.tagged[4]) << "feeds c.lt.s -> bc1t";
+    EXPECT_TRUE(result.tagged[5]);
+}
+
+TEST(ControlProtectionTest, StatsAreConsistent)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto loop = b.newLabel();
+    b.li(REG_T0, 4);
+    b.li(REG_T1, 0);
+    b.bind(loop);
+    b.addi(REG_T1, REG_T1, 2);
+    b.addi(REG_T0, REG_T0, -1);
+    b.bgtz(REG_T0, loop);
+    b.halt();
+    b.endFunction();
+    auto prog = b.finish();
+    auto result = computeControlProtection(prog, ProtectionConfig{});
+    unsigned tagged = 0;
+    for (bool t : result.tagged)
+        if (t)
+            ++tagged;
+    EXPECT_EQ(tagged, result.numTagged);
+    EXPECT_LE(result.numTagged, result.numAlu);
+    EXPECT_GT(result.iterations, 0u);
+    EXPECT_GT(result.taggedAluFraction(), 0.0);
+    EXPECT_LE(result.taggedAluFraction(), 1.0);
+}
+
+// ---- property test: tagged values never reach control through registers ----
+
+/**
+ * Independent forward-taint oracle over def-use chains: starting from
+ * a tagged instruction's definition, follow register flows (a use
+ * that itself defines a register propagates the taint). Loads break
+ * the chain, exactly as the CVar analysis assumes. The taint must
+ * never reach a conditional branch, jr, or jalr operand.
+ */
+bool
+taintReachesControl(const Program &prog, const FlowGraph &graph,
+                    uint32_t taggedInstr)
+{
+    auto reaching = computeReaching(prog, graph);
+    auto chains = computeDefUse(prog, reaching);
+    std::set<uint32_t> visited;
+    std::queue<uint32_t> frontier;
+    frontier.push(taggedInstr);
+    visited.insert(taggedInstr);
+    while (!frontier.empty()) {
+        uint32_t def = frontier.front();
+        frontier.pop();
+        for (const Use &use : chains.usesOf[def]) {
+            const auto &ins = prog.code[use.instr];
+            if (ins.isConditionalBranch() ||
+                ins.op == Opcode::JR || ins.op == Opcode::JALR)
+                return true;
+            // Loads do not propagate register taint into their result
+            // via the *base* (address) operand under the paper's
+            // model, but all ALU/compare/move flows do.
+            if (ins.isLoad())
+                continue;
+            if (ins.def() && !visited.count(use.instr)) {
+                visited.insert(use.instr);
+                frontier.push(use.instr);
+            }
+        }
+    }
+    return false;
+}
+
+/** Generate a random but well-formed program for the oracle check. */
+Program
+randomProgram(uint64_t seed)
+{
+    Rng rng(seed);
+    ProgramBuilder b;
+    b.dataWords("data", {1, 2, 3, 4, 5, 6, 7, 8});
+    b.beginFunction("main");
+    std::vector<Label> labels;
+    for (int i = 0; i < 4; ++i)
+        labels.push_back(b.newLabel());
+    auto anyReg = [&] {
+        return static_cast<RegId>(8 + rng.below(10)); // $t0..$t9
+    };
+    unsigned emitted = 0;
+    for (int block = 0; block < 4; ++block) {
+        for (int i = 0; i < 8; ++i) {
+            switch (rng.below(6)) {
+              case 0:
+                b.add(anyReg(), anyReg(), anyReg());
+                break;
+              case 1:
+                b.addi(anyReg(), anyReg(),
+                       static_cast<int32_t>(rng.range(-100, 100)));
+                break;
+              case 2:
+                b.mul(anyReg(), anyReg(), anyReg());
+                break;
+              case 3:
+                b.slt(anyReg(), anyReg(), anyReg());
+                break;
+              case 4: {
+                b.la(REG_K0, "data");
+                b.lw(anyReg(), 4 * static_cast<int32_t>(rng.below(8)),
+                     REG_K0);
+                break;
+              }
+              case 5:
+                b.sll(anyReg(), anyReg(),
+                      static_cast<int32_t>(rng.below(8)));
+                break;
+            }
+            ++emitted;
+        }
+        // End the block with a conditional branch to a random label.
+        b.bne(anyReg(), anyReg(),
+              labels[rng.below(labels.size())]);
+        b.bind(labels[block]);
+    }
+    b.halt();
+    b.endFunction();
+    (void)emitted;
+    return b.finish();
+}
+
+class TaintOracleTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(TaintOracleTest, TaggedValuesNeverReachControl)
+{
+    auto prog = randomProgram(GetParam());
+    FlowGraph graph(prog, true);
+    auto result =
+        computeControlProtection(prog, graph, ProtectionConfig{});
+    for (uint32_t i = 0; i < prog.size(); ++i) {
+        if (!result.tagged[i])
+            continue;
+        EXPECT_FALSE(taintReachesControl(prog, graph, i))
+            << "instruction " << i << " (" << prog.code[i].toString()
+            << ") is tagged but taints a control operand";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, TaintOracleTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+/** Fixpoint sanity: cvarOut is the union of successors' cvarIn. */
+class FixpointTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FixpointTest, OutIsJoinOfSuccessorIns)
+{
+    auto prog = randomProgram(GetParam() + 1000);
+    FlowGraph graph(prog, true);
+    auto result =
+        computeControlProtection(prog, graph, ProtectionConfig{});
+    for (uint32_t i = 0; i < prog.size(); ++i) {
+        LocSet join;
+        for (uint32_t s : graph.successors(i))
+            join |= result.cvarIn[s];
+        EXPECT_EQ(result.cvarOut[i], join) << "instruction " << i;
+        // And IN always contains everything OUT minus the def.
+        LocSet expected = result.cvarOut[i];
+        if (auto def = prog.code[i].def())
+            expected.reset(*def);
+        EXPECT_EQ((result.cvarIn[i] & expected), expected)
+            << "IN must cover OUT \\ def at " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, FixpointTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+/**
+ * Lattice monotonicity: enabling an extra protection source (address
+ * operands, memory tracking) can only move locations *into* CVar, so
+ * the tagged set must shrink (subset) on every program. Conversely,
+ * disabling interprocedural edges loses callee constraints, so the
+ * intraprocedural tagged set must be a superset.
+ */
+class MonotonicityTest : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    static bool
+    subsetOf(const std::vector<bool> &a, const std::vector<bool> &b)
+    {
+        for (size_t i = 0; i < a.size(); ++i)
+            if (a[i] && !b[i])
+                return false;
+        return true;
+    }
+};
+
+TEST_P(MonotonicityTest, StricterConfigsTagSubsets)
+{
+    auto prog = randomProgram(GetParam() + 5000);
+    ProtectionConfig base;
+    auto baseline = computeControlProtection(prog, base);
+
+    ProtectionConfig addresses = base;
+    addresses.protectAddresses = true;
+    EXPECT_TRUE(subsetOf(
+        computeControlProtection(prog, addresses).tagged,
+        baseline.tagged));
+
+    ProtectionConfig memory = base;
+    memory.trackMemory = true;
+    EXPECT_TRUE(subsetOf(computeControlProtection(prog, memory).tagged,
+                         baseline.tagged));
+
+    ProtectionConfig both = addresses;
+    both.trackMemory = true;
+    EXPECT_TRUE(subsetOf(computeControlProtection(prog, both).tagged,
+                         computeControlProtection(prog, addresses)
+                             .tagged));
+}
+
+TEST_P(MonotonicityTest, WorkloadsTagSubsetsToo)
+{
+    // Same property on a real workload program (interprocedural).
+    static const char *names[] = {"susan", "adpcm", "mcf", "gsm"};
+    const char *name = names[GetParam() % 4];
+    auto workload = workloads::createWorkload(
+        name, workloads::Scale::Test);
+    ProtectionConfig base;
+    base.eligibleFunctions = workload->eligibleFunctions();
+    auto baseline =
+        computeControlProtection(workload->program(), base);
+    ProtectionConfig addresses = base;
+    addresses.protectAddresses = true;
+    EXPECT_TRUE(subsetOf(
+        computeControlProtection(workload->program(), addresses).tagged,
+        baseline.tagged))
+        << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, MonotonicityTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+TEST(ControlProtectionTest, MismatchedGraphPanics)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.halt();
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph intra(prog, false);
+    ProtectionConfig config; // interprocedural = true
+    EXPECT_THROW(computeControlProtection(prog, intra, config),
+                 PanicError);
+}
+
+} // namespace

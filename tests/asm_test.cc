@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Unit tests for the assembly layer: the textual assembler, the
+ * ProgramBuilder, and Program validation/disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "asm/assembler.hh"
+#include "asm/builder.hh"
+#include "asm/program.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace etc;
+using namespace etc::isa;
+using namespace etc::assembly;
+
+// ---- assembler: happy paths ---------------------------------------------
+
+TEST(AssemblerTest, MinimalProgram)
+{
+    auto prog = assemble(R"(
+        .text
+        .func main
+        main:   li $t0, 42
+                halt
+        .endfunc
+    )");
+    ASSERT_EQ(prog.size(), 2u);
+    EXPECT_EQ(prog.code[0].op, Opcode::ADDI);
+    EXPECT_EQ(prog.code[0].rd, REG_T0);
+    EXPECT_EQ(prog.code[0].imm, 42);
+    EXPECT_EQ(prog.code[1].op, Opcode::HALT);
+    EXPECT_EQ(prog.entry, 0u);
+    ASSERT_EQ(prog.functions.size(), 1u);
+    EXPECT_EQ(prog.functions[0].name, "main");
+}
+
+TEST(AssemblerTest, BranchesResolveLabels)
+{
+    auto prog = assemble(R"(
+        .func main
+        main:   li   $t0, 3
+        loop:   addi $t0, $t0, -1
+                bgtz $t0, loop
+                beq  $t0, $zero, done
+                nop
+        done:   halt
+        .endfunc
+    )");
+    EXPECT_EQ(prog.code[2].target, 1u);  // bgtz -> loop
+    EXPECT_EQ(prog.code[3].target, 5u);  // beq -> done
+}
+
+TEST(AssemblerTest, DataDirectives)
+{
+    auto prog = assemble(R"(
+        .data
+        words:  .word 1, -2, 0x10
+        bytes:  .byte 1, 2, 3
+        gap:    .space 8
+        msg:    .asciiz "hi\n"
+        fval:   .float 1.5
+        .text
+        .func main
+        main:   la $t0, words
+                lw $t1, 0($t0)
+                halt
+        .endfunc
+    )");
+    uint32_t wordsAddr = prog.dataAddress("words");
+    EXPECT_EQ(wordsAddr, DATA_BASE);
+    EXPECT_EQ(prog.dataAddress("bytes"), wordsAddr + 12);
+    // .space aligns to 4; bytes used 3 -> gap at +16.
+    EXPECT_EQ(prog.dataAddress("gap"), wordsAddr + 16);
+    EXPECT_EQ(prog.dataAddress("msg"), wordsAddr + 24);
+    // "hi\n\0" = 4 bytes; float aligns to next word boundary = +28.
+    EXPECT_EQ(prog.dataAddress("fval"), wordsAddr + 28);
+    // la expands to an addi with the absolute address.
+    EXPECT_EQ(prog.code[0].op, Opcode::ADDI);
+    EXPECT_EQ(prog.code[0].imm, static_cast<int32_t>(wordsAddr));
+}
+
+TEST(AssemblerTest, PseudoExpansions)
+{
+    auto prog = assemble(R"(
+        .func main
+        main:   move $t0, $t1
+                blt  $t0, $t1, out
+                bge  $t0, $t1, out
+                bgt  $t0, $t1, out
+                ble  $t0, $t1, out
+        out:    halt
+        .endfunc
+    )");
+    // move = or rd, rs, $zero.
+    EXPECT_EQ(prog.code[0].op, Opcode::OR);
+    EXPECT_EQ(prog.code[0].rt, REG_ZERO);
+    // Each comparison pseudo expands to slt + branch.
+    ASSERT_EQ(prog.size(), 10u);
+    EXPECT_EQ(prog.code[1].op, Opcode::SLT);
+    EXPECT_EQ(prog.code[2].op, Opcode::BNE); // blt branches when set
+    EXPECT_EQ(prog.code[4].op, Opcode::BEQ); // bge branches when clear
+    // bgt swaps the operands.
+    EXPECT_EQ(prog.code[5].rs, REG_T1);
+    EXPECT_EQ(prog.code[5].rt, REG_T0);
+    // All four target the final halt.
+    for (size_t i : {2u, 4u, 6u, 8u})
+        EXPECT_EQ(prog.code[i].target, 9u);
+}
+
+TEST(AssemblerTest, CommentsAndBlankLines)
+{
+    auto prog = assemble(R"(
+        # full-line comment
+        .func main
+        main:   li $t0, 1   # trailing comment
+                halt
+        .endfunc
+    )");
+    EXPECT_EQ(prog.size(), 2u);
+}
+
+TEST(AssemblerTest, FpInstructions)
+{
+    auto prog = assemble(R"(
+        .data
+        vals:   .float 2.0, 3.0
+        .text
+        .func main
+        main:   la   $t0, vals
+                lwc1 $f1, 0($t0)
+                lwc1 $f2, 4($t0)
+                add.s $f3, $f1, $f2
+                c.lt.s $f1, $f2
+                bc1t  yes
+                nop
+        yes:    mfc1 $v0, $f3
+                halt
+        .endfunc
+    )");
+    EXPECT_EQ(prog.code[3].op, Opcode::ADDS);
+    EXPECT_EQ(prog.code[3].rd, fpReg(3));
+    EXPECT_EQ(prog.code[4].op, Opcode::CLTS);
+    EXPECT_EQ(prog.code[5].op, Opcode::BC1T);
+    EXPECT_EQ(prog.code[5].target, 7u);
+}
+
+TEST(AssemblerTest, CustomEntryFunction)
+{
+    auto prog = assemble(R"(
+        .func helper
+        helper: nop
+                jr $ra
+        .endfunc
+        .func start
+        start:  halt
+        .endfunc
+    )",
+                         "start");
+    EXPECT_EQ(prog.entry, 2u);
+}
+
+// ---- assembler: error paths ------------------------------------------------
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    EXPECT_THROW(assemble(".func main\nmain: frob $t0\n.endfunc"),
+                 FatalError);
+}
+
+TEST(AssemblerErrors, BadRegister)
+{
+    EXPECT_THROW(
+        assemble(".func main\nmain: add $t0, $t1, $bogus\n.endfunc"),
+        FatalError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    EXPECT_THROW(assemble(".func main\nmain: add $t0, $t1\n.endfunc"),
+                 FatalError);
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    EXPECT_THROW(assemble(R"(
+        .func main
+        x:  nop
+        x:  halt
+        .endfunc
+    )"),
+                 FatalError);
+}
+
+TEST(AssemblerErrors, UnknownLabel)
+{
+    EXPECT_THROW(assemble(".func main\nmain: j nowhere\n.endfunc"),
+                 FatalError);
+}
+
+TEST(AssemblerErrors, MissingEntry)
+{
+    EXPECT_THROW(assemble(".func f\nf: halt\n.endfunc"), FatalError);
+}
+
+TEST(AssemblerErrors, UnclosedFunction)
+{
+    EXPECT_THROW(assemble(".func main\nmain: halt\n"), FatalError);
+}
+
+TEST(AssemblerErrors, InstructionInDataSegment)
+{
+    EXPECT_THROW(assemble(".data\n add $t0, $t1, $t2\n"), FatalError);
+}
+
+TEST(AssemblerErrors, BadInteger)
+{
+    EXPECT_THROW(assemble(".func main\nmain: li $t0, 12q\n.endfunc"),
+                 FatalError);
+}
+
+TEST(AssemblerErrors, UnterminatedString)
+{
+    EXPECT_THROW(assemble(".data\nmsg: .asciiz \"oops\n"), FatalError);
+}
+
+// ---- ProgramBuilder ---------------------------------------------------------
+
+TEST(BuilderTest, EmitsAndResolves)
+{
+    ProgramBuilder b;
+    b.dataWords("tbl", {10, 20, 30});
+    b.beginFunction("main");
+    auto loop = b.newLabel();
+    b.li(REG_T0, 3);
+    b.bind(loop);
+    b.addi(REG_T0, REG_T0, -1);
+    b.bgtz(REG_T0, loop);
+    b.halt();
+    b.endFunction();
+    auto prog = b.finish("main");
+    ASSERT_EQ(prog.size(), 4u);
+    EXPECT_EQ(prog.code[2].target, 1u);
+    EXPECT_EQ(prog.dataAddress("tbl"), DATA_BASE);
+    ASSERT_EQ(prog.data.size(), 1u);
+    EXPECT_EQ(prog.data[0].bytes.size(), 12u);
+    EXPECT_EQ(prog.data[0].bytes[4], 20u);
+}
+
+TEST(BuilderTest, CallFixupsResolve)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.call("leaf");
+    b.halt();
+    b.endFunction();
+    b.beginFunction("leaf");
+    b.nop();
+    b.ret();
+    b.endFunction();
+    auto prog = b.finish();
+    EXPECT_EQ(prog.code[0].op, Opcode::JAL);
+    EXPECT_EQ(prog.code[0].target, 2u);
+    ASSERT_EQ(prog.functions.size(), 2u);
+    EXPECT_EQ(prog.functions[1].begin, 2u);
+    EXPECT_EQ(prog.functions[1].end, 4u);
+}
+
+TEST(BuilderTest, DataChunksAreContiguousAndAligned)
+{
+    ProgramBuilder b;
+    uint32_t a = b.dataBytes("a", {1, 2, 3});   // 3 bytes
+    uint32_t c = b.dataWords("c", {7});          // re-aligned to 4
+    EXPECT_EQ(a % 4, 0u);
+    EXPECT_EQ(c, a + 4);
+    b.beginFunction("main");
+    b.halt();
+    b.endFunction();
+    auto prog = b.finish();
+    EXPECT_EQ(prog.dataEnd, c + 4);
+}
+
+TEST(BuilderTest, FloatDataRoundTrips)
+{
+    ProgramBuilder b;
+    b.dataFloats("f", {1.5f, -2.25f});
+    b.beginFunction("main");
+    b.halt();
+    b.endFunction();
+    auto prog = b.finish();
+    const auto &bytes = prog.data[0].bytes;
+    float f0, f1;
+    std::memcpy(&f0, bytes.data(), 4);
+    std::memcpy(&f1, bytes.data() + 4, 4);
+    EXPECT_EQ(f0, 1.5f);
+    EXPECT_EQ(f1, -2.25f);
+}
+
+TEST(BuilderTest, LifLoadsFloatConstant)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.lif(fpReg(2), 3.25f);
+    b.halt();
+    b.endFunction();
+    auto prog = b.finish();
+    ASSERT_EQ(prog.size(), 3u);
+    EXPECT_EQ(prog.code[0].op, Opcode::ADDI);
+    EXPECT_EQ(prog.code[0].rd, REG_AT);
+    EXPECT_EQ(prog.code[1].op, Opcode::MTC1);
+    float f;
+    int32_t bits = prog.code[0].imm;
+    std::memcpy(&f, &bits, 4);
+    EXPECT_EQ(f, 3.25f);
+}
+
+TEST(BuilderErrors, UnboundLabel)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto lbl = b.newLabel();
+    b.j(lbl);
+    b.halt();
+    b.endFunction();
+    EXPECT_THROW(b.finish(), FatalError);
+}
+
+TEST(BuilderErrors, UnknownCallTarget)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.call("ghost");
+    b.halt();
+    b.endFunction();
+    EXPECT_THROW(b.finish(), FatalError);
+}
+
+TEST(BuilderErrors, EmitOutsideFunction)
+{
+    ProgramBuilder b;
+    EXPECT_THROW(b.nop(), FatalError);
+}
+
+TEST(BuilderErrors, UnknownDataLabelInLa)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    EXPECT_THROW(b.la(REG_T0, "missing"), FatalError);
+}
+
+TEST(BuilderErrors, DuplicateFunction)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.halt();
+    b.endFunction();
+    EXPECT_THROW(b.beginFunction("main"), FatalError);
+}
+
+TEST(BuilderErrors, DoubleBindPanics)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto lbl = b.newLabel();
+    b.bind(lbl);
+    b.nop();
+    EXPECT_THROW(b.bind(lbl), PanicError);
+}
+
+TEST(BuilderErrors, MissingEntryFunction)
+{
+    ProgramBuilder b;
+    b.beginFunction("f");
+    b.halt();
+    b.endFunction();
+    EXPECT_THROW(b.finish("main"), FatalError);
+}
+
+// ---- Program -----------------------------------------------------------------
+
+TEST(ProgramTest, FunctionLookup)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.call("leaf");
+    b.halt();
+    b.endFunction();
+    b.beginFunction("leaf");
+    b.ret();
+    b.endFunction();
+    auto prog = b.finish();
+    EXPECT_EQ(prog.functionContaining(0), 0u);
+    EXPECT_EQ(prog.functionContaining(2), 1u);
+    EXPECT_FALSE(prog.functionContaining(99).has_value());
+    EXPECT_EQ(prog.functionByName("leaf"), 1u);
+    EXPECT_FALSE(prog.functionByName("nope").has_value());
+}
+
+TEST(ProgramTest, ValidateCatchesBadTargets)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.halt();
+    b.endFunction();
+    auto prog = b.finish();
+    prog.code[0] = make::jmp(Opcode::J, 500);
+    EXPECT_THROW(prog.validate(), PanicError);
+}
+
+TEST(ProgramTest, DisassemblyMentionsLabelsAndFunctions)
+{
+    auto prog = assemble(R"(
+        .func main
+        main:   li $t0, 1
+        spot:   halt
+        .endfunc
+    )");
+    std::string listing = prog.disassemble();
+    EXPECT_NE(listing.find("function main"), std::string::npos);
+    EXPECT_NE(listing.find("spot:"), std::string::npos);
+    EXPECT_NE(listing.find("halt"), std::string::npos);
+}
+
+TEST(ProgramTest, DataAddressUnknownPanics)
+{
+    Program prog;
+    EXPECT_THROW(prog.dataAddress("zip"), PanicError);
+}
+
+} // namespace

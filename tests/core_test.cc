@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Integration tests for the full pipeline (ErrorToleranceStudy):
+ * analysis -> profile -> campaigns -> fidelity, plus the paper's
+ * headline qualitative results on small-scale workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/study.hh"
+
+namespace {
+
+using namespace etc;
+using namespace etc::core;
+using workloads::Scale;
+using workloads::createWorkload;
+
+StudyConfig
+quickConfig(unsigned trials = 10)
+{
+    StudyConfig config;
+    config.trials = trials;
+    config.seed = 0xfeed;
+    return config;
+}
+
+TEST(StudyTest, ProfilesAtConstruction)
+{
+    auto workload = createWorkload("susan", Scale::Test);
+    ErrorToleranceStudy study(*workload, quickConfig());
+    EXPECT_GT(study.profile().total, 0u);
+    EXPECT_GT(study.profile().tagged, 0u);
+    EXPECT_LE(study.profile().tagged, study.profile().total);
+    EXPECT_GT(study.protection().numTagged, 0u);
+    EXPECT_GT(study.goldenInstructions(), 0u);
+    EXPECT_FALSE(study.goldenOutput().empty());
+}
+
+TEST(StudyTest, ZeroErrorCellIsPerfect)
+{
+    auto workload = createWorkload("adpcm", Scale::Test);
+    ErrorToleranceStudy study(*workload, quickConfig());
+    auto cell = study.runCell(0, ProtectionMode::Protected);
+    EXPECT_EQ(cell.completed, cell.trials);
+    EXPECT_EQ(cell.failureRate(), 0.0);
+    EXPECT_EQ(cell.acceptableRate(), 1.0);
+    for (const auto &score : cell.fidelities)
+        EXPECT_TRUE(score.acceptable);
+}
+
+TEST(StudyTest, Reproducible)
+{
+    auto workload = createWorkload("gsm", Scale::Test);
+    ErrorToleranceStudy a(*workload, quickConfig());
+    ErrorToleranceStudy b(*workload, quickConfig());
+    auto cellA = a.runCell(5, ProtectionMode::Protected);
+    auto cellB = b.runCell(5, ProtectionMode::Protected);
+    EXPECT_EQ(cellA.completed, cellB.completed);
+    EXPECT_EQ(cellA.crashed, cellB.crashed);
+    EXPECT_EQ(cellA.timedOut, cellB.timedOut);
+    ASSERT_EQ(cellA.fidelities.size(), cellB.fidelities.size());
+    for (size_t i = 0; i < cellA.fidelities.size(); ++i)
+        EXPECT_DOUBLE_EQ(cellA.fidelities[i].value,
+                         cellB.fidelities[i].value);
+}
+
+TEST(StudyTest, CellBookkeeping)
+{
+    auto workload = createWorkload("mcf", Scale::Test);
+    ErrorToleranceStudy study(*workload, quickConfig(12));
+    auto cell = study.runCell(3, ProtectionMode::Unprotected, 8);
+    EXPECT_EQ(cell.trials, 8u);
+    EXPECT_EQ(cell.errors, 3u);
+    EXPECT_EQ(cell.mode, ProtectionMode::Unprotected);
+    EXPECT_EQ(cell.completed + cell.crashed + cell.timedOut,
+              cell.trials);
+    EXPECT_EQ(cell.fidelities.size(), cell.completed);
+}
+
+/**
+ * The paper's headline (Table 2): without control protection,
+ * error tolerance collapses; with it, the application degrades
+ * gracefully. Checked here as "protected failure rate is strictly
+ * lower than unprotected" on a control-heavy workload at a moderate
+ * error count -- deterministic, since campaigns are seeded.
+ */
+TEST(StudyTest, ProtectionPreventsCatastrophicFailure)
+{
+    auto workload = createWorkload("mcf", Scale::Test);
+    ErrorToleranceStudy study(*workload, quickConfig(20));
+    auto prot = study.runCell(8, ProtectionMode::Protected);
+    auto unprot = study.runCell(8, ProtectionMode::Unprotected);
+    EXPECT_LT(prot.failureRate(), unprot.failureRate());
+    EXPECT_GT(unprot.failureRate(), 0.3);
+}
+
+TEST(StudyTest, ProtectedSusanNeverCrashes)
+{
+    // Susan with protection tolerates even heavy error counts
+    // (paper: 0% failures at 2200 errors) -- its kernel has no
+    // taggable address arithmetic or data-dependent loop bounds.
+    auto workload = createWorkload("susan", Scale::Test);
+    ErrorToleranceStudy study(*workload, quickConfig(10));
+    auto cell = study.runCell(100, ProtectionMode::Protected);
+    EXPECT_EQ(cell.failureRate(), 0.0);
+}
+
+TEST(StudyTest, FidelityDegradesWithErrorCount)
+{
+    auto workload = createWorkload("susan", Scale::Test);
+    ErrorToleranceStudy study(*workload, quickConfig(10));
+    auto low = study.runCell(5, ProtectionMode::Protected);
+    auto high = study.runCell(200, ProtectionMode::Protected);
+    EXPECT_GT(low.meanFidelity(), high.meanFidelity());
+}
+
+TEST(StudyTest, ArtDegradesWithoutCrashing)
+{
+    // Paper Figure 6: ART's recognition flips with a handful of
+    // errors yet never fails catastrophically.
+    auto workload = createWorkload("art", Scale::Test);
+    ErrorToleranceStudy study(*workload, quickConfig(15));
+    auto cell = study.runCell(4, ProtectionMode::Protected);
+    EXPECT_EQ(cell.failureRate(), 0.0);
+    EXPECT_LT(cell.acceptableRate(), 1.0);
+}
+
+TEST(StudyTest, MemoryModelAblationChangesFailures)
+{
+    // Strict (bounds-checking) memory turns wild accesses into
+    // crashes; adpcm's step-table lookup is the canonical victim.
+    auto workload = createWorkload("adpcm", Scale::Test);
+    StudyConfig lenient = quickConfig(25);
+    StudyConfig strict = quickConfig(25);
+    strict.memoryModel = sim::MemoryModel::Strict;
+    ErrorToleranceStudy lenientStudy(*workload, lenient);
+    ErrorToleranceStudy strictStudy(*workload, strict);
+    auto lenientCell =
+        lenientStudy.runCell(30, ProtectionMode::Protected);
+    auto strictCell =
+        strictStudy.runCell(30, ProtectionMode::Protected);
+    EXPECT_LE(lenientCell.failureRate(), strictCell.failureRate());
+}
+
+TEST(StudyTest, AddressProtectionAblationReducesResiduals)
+{
+    // Turning on address protection shrinks the injectable set and
+    // cannot increase the protected failure rate (statistically it
+    // all but eliminates wild accesses).
+    auto workload = createWorkload("adpcm", Scale::Test);
+    StudyConfig paper = quickConfig(25);
+    StudyConfig hardened = quickConfig(25);
+    hardened.protection.protectAddresses = true;
+
+    ErrorToleranceStudy paperStudy(*workload, paper);
+    ErrorToleranceStudy hardenedStudy(*workload, hardened);
+    EXPECT_LT(hardenedStudy.profile().taggedFraction(),
+              paperStudy.profile().taggedFraction());
+}
+
+TEST(CellSummaryTest, Statistics)
+{
+    CellSummary cell;
+    cell.trials = 4;
+    cell.completed = 2;
+    cell.crashed = 1;
+    cell.timedOut = 1;
+    cell.fidelities.push_back({10.0, true, "dB"});
+    cell.fidelities.push_back({20.0, false, "dB"});
+    EXPECT_DOUBLE_EQ(cell.failureRate(), 0.5);
+    EXPECT_DOUBLE_EQ(cell.meanFidelity(), 15.0);
+    EXPECT_DOUBLE_EQ(cell.acceptableRate(), 0.25);
+}
+
+TEST(CellSummaryTest, EmptyIsSafe)
+{
+    CellSummary cell;
+    EXPECT_DOUBLE_EQ(cell.failureRate(), 0.0);
+    EXPECT_DOUBLE_EQ(cell.meanFidelity(), 0.0);
+    EXPECT_DOUBLE_EQ(cell.acceptableRate(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Tests for the extension modules: dominator tree, natural loops,
+ * statistics helpers, and the Section 5.3 selective-protection
+ * potential model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/dominators.hh"
+#include "asm/builder.hh"
+#include "core/potential.hh"
+#include "sim/profiler.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace etc;
+using namespace etc::isa;
+using namespace etc::assembly;
+using namespace etc::analysis;
+
+// ---- dominators -----------------------------------------------------------
+
+Program
+diamondProgram()
+{
+    // 0: li, 1: beq -> 3, 2: li (then), 3: join li, 4: halt
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto join = b.newLabel();
+    b.li(REG_T0, 1);                   // 0
+    b.beq(REG_T0, REG_ZERO, join);     // 1
+    b.li(REG_T1, 2);                   // 2
+    b.bind(join);
+    b.li(REG_T2, 3);                   // 3
+    b.halt();                          // 4
+    b.endFunction();
+    return b.finish();
+}
+
+TEST(DominatorTest, StraightLineChain)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.li(REG_T0, 1);
+    b.li(REG_T1, 2);
+    b.halt();
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    DominatorTree doms(graph, 0);
+    EXPECT_EQ(doms.idom(0), DominatorTree::NONE);
+    EXPECT_EQ(doms.idom(1), 0u);
+    EXPECT_EQ(doms.idom(2), 1u);
+    EXPECT_TRUE(doms.dominates(0, 2));
+    EXPECT_TRUE(doms.dominates(2, 2)); // reflexive
+    EXPECT_FALSE(doms.dominates(2, 0));
+}
+
+TEST(DominatorTest, DiamondJoinDominatedByBranch)
+{
+    auto prog = diamondProgram();
+    FlowGraph graph(prog, true);
+    DominatorTree doms(graph, 0);
+    // The join (3) is dominated by the branch (1), not the then-side.
+    EXPECT_EQ(doms.idom(3), 1u);
+    EXPECT_EQ(doms.idom(2), 1u);
+    EXPECT_TRUE(doms.dominates(1, 4));
+    EXPECT_FALSE(doms.dominates(2, 3));
+}
+
+TEST(DominatorTest, UnreachableNodes)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto end = b.newLabel();
+    b.j(end);        // 0
+    b.li(REG_T0, 9); // 1: unreachable
+    b.bind(end);
+    b.halt();        // 2
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    DominatorTree doms(graph, 0);
+    EXPECT_FALSE(doms.reachable(1));
+    EXPECT_TRUE(doms.reachable(2));
+    EXPECT_FALSE(doms.dominates(0, 1));
+}
+
+TEST(DominatorTest, BadEntryPanics)
+{
+    auto prog = diamondProgram();
+    FlowGraph graph(prog, true);
+    EXPECT_THROW(DominatorTree(graph, 999), PanicError);
+}
+
+// ---- natural loops -----------------------------------------------------------
+
+TEST(LoopTest, SimpleCountedLoop)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto loop = b.newLabel();
+    b.li(REG_T0, 5);                // 0
+    b.bind(loop);
+    b.addi(REG_T0, REG_T0, -1);     // 1: header
+    b.bgtz(REG_T0, loop);           // 2: latch
+    b.halt();                       // 3
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    DominatorTree doms(graph, 0);
+    auto loops = findNaturalLoops(graph, doms);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].header, 1u);
+    EXPECT_EQ(loops[0].latch, 2u);
+    EXPECT_EQ(loops[0].body, (std::vector<uint32_t>{1, 2}));
+    EXPECT_TRUE(loops[0].contains(1));
+    EXPECT_FALSE(loops[0].contains(0));
+}
+
+TEST(LoopTest, NestedLoops)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto outer = b.newLabel();
+    auto inner = b.newLabel();
+    b.li(REG_T0, 3);                // 0
+    b.bind(outer);
+    b.li(REG_T1, 4);                // 1: outer header
+    b.bind(inner);
+    b.addi(REG_T1, REG_T1, -1);     // 2: inner header
+    b.bgtz(REG_T1, inner);          // 3: inner latch
+    b.addi(REG_T0, REG_T0, -1);     // 4
+    b.bgtz(REG_T0, outer);          // 5: outer latch
+    b.halt();                       // 6
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    DominatorTree doms(graph, 0);
+    auto loops = findNaturalLoops(graph, doms);
+    ASSERT_EQ(loops.size(), 2u);
+    // Sort by body size: inner loop first.
+    std::sort(loops.begin(), loops.end(),
+              [](const NaturalLoop &a, const NaturalLoop &b) {
+                  return a.body.size() < b.body.size();
+              });
+    EXPECT_EQ(loops[0].header, 2u);
+    EXPECT_EQ(loops[0].body, (std::vector<uint32_t>{2, 3}));
+    EXPECT_EQ(loops[1].header, 1u);
+    EXPECT_EQ(loops[1].body, (std::vector<uint32_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(LoopTest, NoLoopsInStraightLine)
+{
+    auto prog = diamondProgram();
+    FlowGraph graph(prog, true);
+    DominatorTree doms(graph, 0);
+    EXPECT_TRUE(findNaturalLoops(graph, doms).empty());
+}
+
+TEST(LoopTest, EveryWorkloadHasLoops)
+{
+    for (const auto &name : workloads::workloadNames()) {
+        auto workload =
+            workloads::createWorkload(name, workloads::Scale::Test);
+        FlowGraph graph(workload->program(), true);
+        DominatorTree doms(graph, workload->program().entry);
+        auto loops = findNaturalLoops(graph, doms);
+        EXPECT_GT(loops.size(), 0u) << name;
+        for (const auto &loop : loops) {
+            EXPECT_TRUE(loop.contains(loop.header));
+            EXPECT_TRUE(loop.contains(loop.latch));
+            EXPECT_TRUE(doms.dominates(loop.header, loop.latch));
+        }
+    }
+}
+
+// ---- statistics -----------------------------------------------------------------
+
+TEST(StatsTest, WilsonBasics)
+{
+    auto all = wilsonInterval(10, 10);
+    EXPECT_DOUBLE_EQ(all.point, 1.0);
+    EXPECT_LT(all.low, 1.0);
+    EXPECT_DOUBLE_EQ(all.high, 1.0);
+
+    auto none = wilsonInterval(0, 10);
+    EXPECT_DOUBLE_EQ(none.point, 0.0);
+    EXPECT_DOUBLE_EQ(none.low, 0.0);
+    EXPECT_GT(none.high, 0.0);
+
+    auto half = wilsonInterval(5, 10);
+    EXPECT_DOUBLE_EQ(half.point, 0.5);
+    EXPECT_LT(half.low, 0.5);
+    EXPECT_GT(half.high, 0.5);
+    // Wilson 95% interval for 5/10 is roughly [0.24, 0.76].
+    EXPECT_NEAR(half.low, 0.237, 0.01);
+    EXPECT_NEAR(half.high, 0.763, 0.01);
+}
+
+TEST(StatsTest, WilsonShrinksWithTrials)
+{
+    auto small = wilsonInterval(5, 10);
+    auto large = wilsonInterval(500, 1000);
+    EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(StatsTest, WilsonDegenerateAndErrors)
+{
+    auto empty = wilsonInterval(0, 0);
+    EXPECT_DOUBLE_EQ(empty.low, 0.0);
+    EXPECT_DOUBLE_EQ(empty.high, 1.0);
+    EXPECT_THROW(wilsonInterval(5, 4), PanicError);
+}
+
+TEST(StatsTest, MeanAndStdDev)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_DOUBLE_EQ(sampleStdDev({5.0}), 0.0);
+    EXPECT_NEAR(sampleStdDev({2.0, 4.0, 6.0}), 2.0, 1e-12);
+}
+
+// ---- potential model --------------------------------------------------------------
+
+TEST(PotentialTest, KnownFractions)
+{
+    sim::DynamicProfile profile;
+    profile.total = 100;
+    profile.tagged = 90;
+    core::ReliabilityCostModel tmr{"TMR", 3.0, 1.0};
+    auto estimate = core::estimatePotential(profile, tmr);
+    EXPECT_DOUBLE_EQ(estimate.taggedFraction, 0.9);
+    EXPECT_DOUBLE_EQ(estimate.uniformCost, 3.0);
+    // 0.1 * 3 + 0.9 * 1 = 1.2.
+    EXPECT_DOUBLE_EQ(estimate.selectiveCost, 1.2);
+    EXPECT_DOUBLE_EQ(estimate.speedup(), 2.5);
+    EXPECT_DOUBLE_EQ(estimate.savings(), 0.6);
+}
+
+TEST(PotentialTest, NoTaggingNoBenefit)
+{
+    sim::DynamicProfile profile;
+    profile.total = 100;
+    profile.tagged = 0;
+    core::ReliabilityCostModel tmr{"TMR", 3.0, 1.0};
+    auto estimate = core::estimatePotential(profile, tmr);
+    EXPECT_DOUBLE_EQ(estimate.speedup(), 1.0);
+    EXPECT_DOUBLE_EQ(estimate.savings(), 0.0);
+}
+
+TEST(PotentialTest, CheapSiliconHelps)
+{
+    sim::DynamicProfile profile;
+    profile.total = 10;
+    profile.tagged = 5;
+    core::ReliabilityCostModel plain{"a", 3.0, 1.0};
+    core::ReliabilityCostModel cheap{"b", 3.0, 0.5};
+    EXPECT_GT(core::estimatePotential(profile, cheap).speedup(),
+              core::estimatePotential(profile, plain).speedup());
+}
+
+TEST(PotentialTest, BadModelsRejected)
+{
+    sim::DynamicProfile profile;
+    profile.total = 10;
+    profile.tagged = 5;
+    core::ReliabilityCostModel underOne{"x", 0.5, 0.4};
+    EXPECT_THROW(core::estimatePotential(profile, underOne),
+                 FatalError);
+    core::ReliabilityCostModel negative{"y", 3.0, -1.0};
+    EXPECT_THROW(core::estimatePotential(profile, negative),
+                 FatalError);
+    core::ReliabilityCostModel inverted{"z", 2.0, 2.5};
+    EXPECT_THROW(core::estimatePotential(profile, inverted),
+                 FatalError);
+}
+
+TEST(PotentialTest, StandardModelsAreSane)
+{
+    for (const auto &model : core::standardCostModels()) {
+        EXPECT_GE(model.protectionOverhead, 1.0) << model.name;
+        EXPECT_GT(model.lowReliabilityCost, 0.0) << model.name;
+        EXPECT_FALSE(model.name.empty());
+    }
+    EXPECT_GE(core::standardCostModels().size(), 3u);
+}
+
+/** Property: dominator facts agree with an independent reachability
+ *  check on random programs (removing a dominator disconnects). */
+class DominatorPropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DominatorPropertyTest, RemovalDisconnects)
+{
+    Rng rng(GetParam());
+    ProgramBuilder b;
+    b.beginFunction("main");
+    std::vector<Label> labels;
+    for (int i = 0; i < 3; ++i)
+        labels.push_back(b.newLabel());
+    for (int block = 0; block < 3; ++block) {
+        for (int i = 0; i < 4; ++i)
+            b.addi(REG_T0, REG_T0,
+                   static_cast<int32_t>(rng.range(-5, 5)));
+        b.bne(REG_T0, REG_ZERO,
+              labels[rng.below(labels.size())]);
+        b.bind(labels[block]);
+    }
+    b.halt();
+    b.endFunction();
+    auto prog = b.finish();
+    FlowGraph graph(prog, true);
+    DominatorTree doms(graph, 0);
+
+    // Independent check: if a dominates b (a != b, a != entry), then
+    // every path 0 -> b passes a; verify with a BFS avoiding a.
+    auto reachableAvoiding = [&](uint32_t target, uint32_t avoid) {
+        std::vector<bool> seen(graph.size(), false);
+        std::vector<uint32_t> stack = {0};
+        seen[0] = true;
+        while (!stack.empty()) {
+            uint32_t node = stack.back();
+            stack.pop_back();
+            if (node == target)
+                return true;
+            for (uint32_t s : graph.successors(node)) {
+                if (s != avoid && !seen[s]) {
+                    seen[s] = true;
+                    stack.push_back(s);
+                }
+            }
+        }
+        return false;
+    };
+    for (uint32_t node = 1; node < prog.size(); ++node) {
+        if (!doms.reachable(node))
+            continue;
+        uint32_t dominator = doms.idom(node);
+        if (dominator == DominatorTree::NONE || dominator == 0)
+            continue;
+        EXPECT_FALSE(reachableAvoiding(node, dominator))
+            << "idom(" << node << ") = " << dominator
+            << " but a path avoids it";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, DominatorPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{16}));
+
+} // namespace

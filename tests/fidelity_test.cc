@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the fidelity metrics (PSNR / SNR / byte similarity /
+ * stream reinterpretation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "fidelity/metrics.hh"
+
+namespace {
+
+using namespace etc::fidelity;
+
+TEST(MseTest, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(meanSquaredError({}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(meanSquaredError({10, 20}, {10, 20}), 0.0);
+    EXPECT_DOUBLE_EQ(meanSquaredError({10}, {13}), 9.0);
+    EXPECT_DOUBLE_EQ(meanSquaredError({0, 0}, {3, 4}), 12.5);
+}
+
+TEST(MseTest, LengthMismatchZeroPads)
+{
+    // Missing test bytes count as zeros.
+    EXPECT_DOUBLE_EQ(meanSquaredError({4, 4}, {4}), 8.0);
+    EXPECT_DOUBLE_EQ(meanSquaredError({4}, {4, 4}), 8.0);
+}
+
+TEST(PsnrTest, IdenticalIsPerfect)
+{
+    std::vector<uint8_t> img = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(psnrDb(img, img), PERFECT_DB);
+}
+
+TEST(PsnrTest, KnownValue)
+{
+    // MSE = 4 -> PSNR = 10*log10(255^2/4) = 42.11 dB.
+    std::vector<uint8_t> ref = {100, 100, 100, 100};
+    std::vector<uint8_t> test = {102, 98, 102, 98};
+    EXPECT_NEAR(psnrDb(ref, test), 42.11, 0.01);
+}
+
+TEST(PsnrTest, EmptyTestIsWorstCase)
+{
+    EXPECT_DOUBLE_EQ(psnrDb({1, 2, 3}, {}), 0.0);
+}
+
+TEST(PsnrTest, Monotone)
+{
+    std::vector<uint8_t> ref(64, 128);
+    std::vector<uint8_t> mild(ref), severe(ref);
+    mild[0] = 130;
+    for (size_t i = 0; i < severe.size(); ++i)
+        severe[i] = 255 - severe[i];
+    EXPECT_GT(psnrDb(ref, mild), psnrDb(ref, severe));
+}
+
+TEST(SnrTest, IdenticalIsPerfect)
+{
+    std::vector<int16_t> sig = {100, -200, 300};
+    EXPECT_DOUBLE_EQ(snrDb(sig, sig), PERFECT_DB);
+}
+
+TEST(SnrTest, KnownValue)
+{
+    // signal power 100^2*4, noise 10^2*4 -> SNR = 20 dB.
+    std::vector<int16_t> ref = {100, -100, 100, -100};
+    std::vector<int16_t> test = {110, -110, 110, -110};
+    EXPECT_NEAR(snrDb(ref, test), 20.0, 1e-9);
+}
+
+TEST(SnrTest, ZeroSignalWithNoiseIsFloor)
+{
+    std::vector<int16_t> ref = {0, 0};
+    std::vector<int16_t> test = {5, 5};
+    EXPECT_DOUBLE_EQ(snrDb(ref, test), -PERFECT_DB);
+}
+
+TEST(SnrTest, EmptyIsPerfect)
+{
+    EXPECT_DOUBLE_EQ(snrDb(std::vector<int16_t>{},
+                           std::vector<int16_t>{}),
+                     PERFECT_DB);
+}
+
+TEST(SnrTest, DoubleOverloadAgrees)
+{
+    std::vector<int16_t> ref16 = {100, -100};
+    std::vector<int16_t> test16 = {90, -110};
+    std::vector<double> refD = {100, -100};
+    std::vector<double> testD = {90, -110};
+    EXPECT_DOUBLE_EQ(snrDb(ref16, test16), snrDb(refD, testD));
+}
+
+TEST(ByteSimilarityTest, Basics)
+{
+    EXPECT_DOUBLE_EQ(byteSimilarity({}, {}), 1.0);
+    EXPECT_DOUBLE_EQ(byteSimilarity({1, 2, 3, 4}, {1, 2, 3, 4}), 1.0);
+    EXPECT_DOUBLE_EQ(byteSimilarity({1, 2, 3, 4}, {1, 2, 0, 0}), 0.5);
+    EXPECT_DOUBLE_EQ(byteSimilarity({1, 2, 3, 4}, {}), 0.0);
+}
+
+TEST(ByteSimilarityTest, ExtraBytesCountAsMismatch)
+{
+    EXPECT_DOUBLE_EQ(byteSimilarity({1, 2}, {1, 2, 9, 9}), 0.5);
+}
+
+TEST(ReinterpretTest, Int16RoundTrip)
+{
+    std::vector<uint8_t> bytes = {0x34, 0x12, 0xff, 0xff};
+    auto vals = asInt16(bytes);
+    ASSERT_EQ(vals.size(), 2u);
+    EXPECT_EQ(vals[0], 0x1234);
+    EXPECT_EQ(vals[1], -1);
+}
+
+TEST(ReinterpretTest, Int32RoundTrip)
+{
+    std::vector<uint8_t> bytes = {0x78, 0x56, 0x34, 0x12,
+                                  0xff, 0xff, 0xff, 0xff};
+    auto vals = asInt32(bytes);
+    ASSERT_EQ(vals.size(), 2u);
+    EXPECT_EQ(vals[0], 0x12345678);
+    EXPECT_EQ(vals[1], -1);
+}
+
+TEST(ReinterpretTest, FloatRoundTrip)
+{
+    float f = -12.75f;
+    uint32_t bits;
+    std::memcpy(&bits, &f, 4);
+    std::vector<uint8_t> bytes;
+    for (int b = 0; b < 4; ++b)
+        bytes.push_back(static_cast<uint8_t>(bits >> (8 * b)));
+    auto vals = asFloat(bytes);
+    ASSERT_EQ(vals.size(), 1u);
+    EXPECT_EQ(vals[0], -12.75f);
+}
+
+TEST(ReinterpretTest, TruncatesPartialWords)
+{
+    EXPECT_TRUE(asInt32({1, 2, 3}).empty());
+    EXPECT_EQ(asInt16({1, 2, 3}).size(), 1u);
+}
+
+} // namespace

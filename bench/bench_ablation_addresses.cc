@@ -19,8 +19,9 @@ using namespace etc;
 using core::ProtectionMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseBenchArgs(argc, argv);
     bench::banner("Ablation A: address protection",
                   "CVar with vs. without treating addresses as "
                   "control-like (DESIGN.md ablation index)");
@@ -35,7 +36,8 @@ main()
         unsigned errors = std::string(name) == "mcf" ? 50 : 30;
         for (bool protectAddresses : {false, true}) {
             core::StudyConfig config;
-            config.trials = TRIALS;
+            config.threads = opts.threads;
+            config.trials = opts.trialsOr(TRIALS);
             config.protection.protectAddresses = protectAddresses;
             core::ErrorToleranceStudy study(*workload, config);
             inform("ablation-addresses: ", name,

@@ -21,8 +21,9 @@ using namespace etc;
 using core::ProtectionMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseBenchArgs(argc, argv);
     bench::banner("Ablation C: interprocedural analysis",
                   "Tagged fractions and protected failure rates with "
                   "and without crossing procedure boundaries");
@@ -34,7 +35,8 @@ main()
             workloads::createWorkload(name, workloads::Scale::Bench);
         for (bool interprocedural : {true, false}) {
             core::StudyConfig config;
-            config.trials = 25;
+            config.threads = opts.threads;
+            config.trials = opts.trialsOr(25);
             config.protection.interprocedural = interprocedural;
             core::ErrorToleranceStudy study(*workload, config);
             inform("ablation-interproc: ", name,

@@ -22,8 +22,9 @@ using namespace etc;
 using core::ProtectionMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseBenchArgs(argc, argv);
     bench::banner("Ablation B: memory model & memory tracking",
                   "SimpleScalar-like vs. bounds-checked memory; "
                   "no-disambiguation vs. conservative tracking");
@@ -39,7 +40,8 @@ main()
         for (auto model : {sim::MemoryModel::Lenient,
                            sim::MemoryModel::Strict}) {
             core::StudyConfig config;
-            config.trials = TRIALS;
+            config.threads = opts.threads;
+            config.trials = opts.trialsOr(TRIALS);
             config.memoryModel = model;
             core::ErrorToleranceStudy study(*workload, config);
             inform("ablation-memory: ", name, " model=",
@@ -67,7 +69,8 @@ main()
         unsigned errors = std::string(name) == "mcf" ? 50 : 30;
         for (bool trackMemory : {false, true}) {
             core::StudyConfig config;
-            config.trials = TRIALS;
+            config.threads = opts.threads;
+            config.trials = opts.trialsOr(TRIALS);
             config.protection.trackMemory = trackMemory;
             core::ErrorToleranceStudy study(*workload, config);
             inform("ablation-tracking: ", name,

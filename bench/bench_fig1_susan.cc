@@ -16,8 +16,9 @@
 using namespace etc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseBenchArgs(argc, argv);
     bench::banner("Figure 1",
                   "Susan: PSNR of pictures with error vs. errors "
                   "inserted (threshold 10 dB)");
@@ -25,11 +26,12 @@ main()
     workloads::SusanWorkload workload(
         workloads::SusanWorkload::scaled(workloads::Scale::Bench));
     core::StudyConfig config;
+    config.threads = opts.threads;
     core::ErrorToleranceStudy study(workload, config);
 
     bench::SweepConfig sweep;
     sweep.errorCounts = {100, 500, 920, 1100, 1550, 2300};
-    sweep.trials = 25;
+    sweep.trials = opts.trialsOr(25);
     sweep.runUnprotected = true;
     auto points = bench::runSweep(workload, study, sweep);
 

@@ -15,8 +15,9 @@
 using namespace etc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseBenchArgs(argc, argv);
     bench::banner("Figure 2",
                   "MPEG: % bad frames and % failed executions vs. "
                   "errors inserted (threshold 10% bad frames)");
@@ -24,11 +25,12 @@ main()
     workloads::MpegWorkload workload(
         workloads::MpegWorkload::scaled(workloads::Scale::Bench));
     core::StudyConfig config;
+    config.threads = opts.threads;
     core::ErrorToleranceStudy study(workload, config);
 
     bench::SweepConfig sweep;
     sweep.errorCounts = {25, 50, 100, 250, 500};
-    sweep.trials = 25;
+    sweep.trials = opts.trialsOr(25);
     sweep.runUnprotected = true; // shown for completeness
     auto points = bench::runSweep(workload, study, sweep);
 

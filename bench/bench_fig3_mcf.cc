@@ -16,8 +16,9 @@
 using namespace etc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseBenchArgs(argc, argv);
     bench::banner("Figure 3",
                   "MCF: % optimal schedules found and % failed "
                   "executions vs. errors inserted");
@@ -25,6 +26,7 @@ main()
     workloads::McfWorkload workload(
         workloads::McfWorkload::scaled(workloads::Scale::Bench));
     core::StudyConfig config;
+    config.threads = opts.threads;
     // Corrupted parent walks spin forever; a 4x budget detects them
     // without burning the full default timeout allowance.
     config.budgetFactor = 4.0;
@@ -32,7 +34,7 @@ main()
 
     bench::SweepConfig sweep;
     sweep.errorCounts = {0, 1, 2, 5, 10, 20, 50};
-    sweep.trials = 25;
+    sweep.trials = opts.trialsOr(25);
     sweep.runUnprotected = true;
     auto points = bench::runSweep(workload, study, sweep);
 

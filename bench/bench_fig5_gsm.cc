@@ -16,8 +16,9 @@
 using namespace etc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseBenchArgs(argc, argv);
     bench::banner("Figure 5",
                   "GSM: SNR vs. fault-free decode and % failed "
                   "executions vs. errors inserted");
@@ -25,11 +26,12 @@ main()
     workloads::GsmWorkload workload(
         workloads::GsmWorkload::scaled(workloads::Scale::Bench));
     core::StudyConfig config;
+    config.threads = opts.threads;
     core::ErrorToleranceStudy study(workload, config);
 
     bench::SweepConfig sweep;
     sweep.errorCounts = {1, 5, 10, 20, 30, 40};
-    sweep.trials = 25;
+    sweep.trials = opts.trialsOr(25);
     sweep.runUnprotected = true;
     auto points = bench::runSweep(workload, study, sweep);
 

@@ -16,8 +16,9 @@
 using namespace etc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseBenchArgs(argc, argv);
     bench::banner("Figure 6",
                   "ART: % images recognized and % failed executions "
                   "vs. errors inserted");
@@ -25,11 +26,12 @@ main()
     workloads::ArtWorkload workload(
         workloads::ArtWorkload::scaled(workloads::Scale::Bench));
     core::StudyConfig config;
+    config.threads = opts.threads;
     core::ErrorToleranceStudy study(workload, config);
 
     bench::SweepConfig sweep;
     sweep.errorCounts = {0, 1, 2, 3, 4};
-    sweep.trials = 40;
+    sweep.trials = opts.trialsOr(40);
     sweep.runUnprotected = true;
     auto points = bench::runSweep(workload, study, sweep);
 

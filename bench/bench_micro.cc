@@ -12,6 +12,7 @@
 
 #include "analysis/control_protection.hh"
 #include "asm/assembler.hh"
+#include "fault/campaign.hh"
 #include "fault/injection.hh"
 #include "sim/simulator.hh"
 #include "workloads/workload.hh"
@@ -78,6 +79,42 @@ BM_SimulatorWithInjectorHook(benchmark::State &state)
         static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulatorWithInjectorHook);
+
+/**
+ * A full Monte-Carlo campaign cell at 1..N worker threads. The trials
+ * are bit-identical across the thread sweep (counter-based RNG
+ * streams), so the arg axis shows pure wall-clock scaling of the
+ * paper-figure hot path.
+ */
+void
+BM_CampaignCell(benchmark::State &state)
+{
+    auto workload = workloads::createWorkload("susan",
+                                              workloads::Scale::Test);
+    auto injectable =
+        fault::injectableWithoutProtection(workload->program());
+    fault::CampaignRunner runner(workload->program(),
+                                 std::move(injectable));
+    fault::CampaignConfig config;
+    config.trials = 64;
+    config.errors = 4;
+    config.threads = static_cast<unsigned>(state.range(0));
+    uint64_t trials = 0;
+    for (auto _ : state) {
+        auto result = runner.run(config);
+        benchmark::DoNotOptimize(result.completed);
+        trials += result.trials;
+    }
+    state.counters["trials/s"] = benchmark::Counter(
+        static_cast<double>(trials), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignCell)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_ControlProtectionAnalysis(benchmark::State &state)

@@ -20,8 +20,9 @@
 using namespace etc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::banner("Section 5.3: future potential",
                   "Selective protection cost vs. uniform protection, "
                   "per application and redundancy scheme");

@@ -13,8 +13,9 @@
 using namespace etc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::banner("Table 1",
                   "Summary of applications and their fidelity measures");
 

@@ -43,8 +43,9 @@ const std::vector<Table2Row> rows = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseBenchArgs(argc, argv);
     bench::banner("Table 2",
                   "Catastrophic failures with and without protecting "
                   "control data");
@@ -58,7 +59,8 @@ main()
         auto workload = workloads::createWorkload(
             row.app, workloads::Scale::Bench);
         core::StudyConfig config;
-        config.trials = TRIALS;
+        config.threads = opts.threads;
+        config.trials = opts.trialsOr(TRIALS);
         core::ErrorToleranceStudy study(*workload, config);
         for (size_t i = 0; i < row.errorCounts.size(); ++i) {
             unsigned errors = row.errorCounts[i];

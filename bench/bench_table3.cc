@@ -25,8 +25,9 @@ const std::vector<std::pair<const char *, const char *>> paperRows = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::banner("Table 3",
                   "Dynamic instructions identified as low-reliability "
                   "(could run in an unreliable environment)");

@@ -1,7 +1,12 @@
 #include "bench/common.hh"
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "support/logging.hh"
 #include "support/stats.hh"
@@ -10,6 +15,78 @@ namespace etc::bench {
 
 using core::CellSummary;
 using core::ProtectionMode;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *program, int status)
+{
+    std::cerr << "usage: " << program << " [--threads N] [--trials N]\n"
+              << "  --threads N  campaign worker threads (0 = all "
+                 "cores; default 0)\n"
+              << "  --trials N   trials per campaign cell (0 = driver "
+                 "default)\n";
+    std::exit(status);
+}
+
+unsigned
+parseCount(const char *program, const std::string &flag,
+           const std::string &text)
+{
+    try {
+        // Digits only: std::stoul would accept a leading '-' and wrap.
+        if (text.empty() ||
+            text.find_first_not_of("0123456789") != std::string::npos)
+            throw std::invalid_argument(text);
+        size_t pos = 0;
+        unsigned long value = std::stoul(text, &pos, 10);
+        if (pos != text.size() ||
+            value > std::numeric_limits<unsigned>::max())
+            throw std::invalid_argument(text);
+        return static_cast<unsigned>(value);
+    } catch (const std::exception &) {
+        std::cerr << program << ": bad value for " << flag << ": '"
+                  << text << "'\n";
+        usage(program, 2);
+    }
+}
+
+} // namespace
+
+BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto valueOf = [&](const std::string &flag)
+            -> std::optional<std::string> {
+            if (arg == flag) {
+                if (i + 1 >= argc) {
+                    std::cerr << argv[0] << ": " << flag
+                              << " expects a value\n";
+                    usage(argv[0], 2);
+                }
+                return std::string(argv[++i]);
+            }
+            if (arg.rfind(flag + "=", 0) == 0)
+                return arg.substr(flag.size() + 1);
+            return std::nullopt;
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else if (auto threads = valueOf("--threads")) {
+            opts.threads = parseCount(argv[0], "--threads", *threads);
+        } else if (auto trials = valueOf("--trials")) {
+            opts.trials = parseCount(argv[0], "--trials", *trials);
+        } else {
+            std::cerr << argv[0] << ": unknown argument '" << arg
+                      << "'\n";
+            usage(argv[0], 2);
+        }
+    }
+    return opts;
+}
 
 std::vector<SweepPoint>
 runSweep(const workloads::Workload &workload,

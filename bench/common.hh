@@ -43,6 +43,35 @@ struct SweepConfig
 };
 
 /**
+ * Command-line options shared by every bench driver. Campaign results
+ * are bit-identical for every thread count, so --threads only changes
+ * wall-clock time, never the reproduced numbers.
+ */
+struct BenchOptions
+{
+    unsigned threads = 0; //!< campaign worker threads (0 = all cores)
+    unsigned trials = 0;  //!< 0 = use the driver's default
+
+    /** @return the trial count: this option, or @p dflt when unset. */
+    unsigned
+    trialsOr(unsigned dflt) const
+    {
+        return trials ? trials : dflt;
+    }
+};
+
+/**
+ * Parse the standard bench flags:
+ *
+ *   --threads N   campaign worker threads (0 = all cores; default 0)
+ *   --trials N    trials per campaign cell (0 = driver default)
+ *   --help        print usage and exit
+ *
+ * Unknown flags print usage and exit with status 2.
+ */
+BenchOptions parseBenchArgs(int argc, char **argv);
+
+/**
  * Construct a bench-scale study for @p workloadName and run the sweep.
  * Progress is reported on stderr (one line per cell).
  */

@@ -1,8 +1,10 @@
 #include "asm/assembler.hh"
 
 #include <cctype>
+#include <cstdint>
 #include <cstring>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "isa/instruction.hh"
@@ -204,6 +206,14 @@ parseAsciiz(const std::string &text, int line)
     return bytes;
 }
 
+/** @return true if @p text is a non-empty string of decimal digits. */
+bool
+isNumericLabel(const std::string &text)
+{
+    return !text.empty() &&
+           text.find_first_not_of("0123456789") == std::string::npos;
+}
+
 /** How many real instructions a mnemonic expands to. */
 unsigned
 expansionSize(const std::string &mnem)
@@ -265,6 +275,13 @@ assemble(const std::string &source, const std::string &entryFunction)
     for (const auto &line : lines) {
         if (!line.label.empty()) {
             if (seg == Segment::Text) {
+                // Purely numeric code labels would be ambiguous with
+                // absolute-index branch targets (see codeTarget).
+                if (isNumericLabel(line.label))
+                    errorAt(line.number,
+                            "numeric code label '" + line.label +
+                                "' conflicts with absolute branch "
+                                "targets");
                 // Re-binding at the same address is allowed so that
                 // `.func f` followed by an explicit `f:` label works.
                 auto it = prog.codeLabels.find(line.label);
@@ -382,6 +399,24 @@ assemble(const std::string &source, const std::string &entryFunction)
 
     // ---- pass 2: emit instructions with all labels known --------------
     auto codeTarget = [&](const std::string &label, int line) {
+        // A purely numeric operand is an absolute instruction index --
+        // the syntax Instruction::toString() emits for control
+        // transfers, so disassembled text reassembles identically.
+        // Parsed base-10 (parseInt's base-0 would read "010" as
+        // octal); pass 1 rejects numeric code labels, so the two
+        // syntaxes cannot collide. validate() range-checks every
+        // resolved target below.
+        if (isNumericLabel(label)) {
+            try {
+                unsigned long index = std::stoul(label, nullptr, 10);
+                if (index > UINT32_MAX)
+                    throw std::out_of_range(label);
+                return static_cast<uint32_t>(index);
+            } catch (const std::exception &) {
+                errorAt(line, "branch target '" + label +
+                                  "' out of range");
+            }
+        }
         auto it = prog.codeLabels.find(label);
         if (it == prog.codeLabels.end())
             errorAt(line, "unknown code label '" + label + "'");

@@ -95,6 +95,7 @@ ErrorToleranceStudy::runCell(unsigned errors, ProtectionMode mode,
         trialsOverride ? trialsOverride : config_.trials;
     campaignConfig.errors = errors;
     campaignConfig.budgetFactor = config_.budgetFactor;
+    campaignConfig.threads = config_.threads;
     // Derive a per-cell seed so cells are independent but reproducible.
     campaignConfig.seed = config_.seed ^
                           (uint64_t{errors} << 32) ^

@@ -58,6 +58,12 @@ struct StudyConfig
     double budgetFactor = 10.0;
 
     /**
+     * Worker threads per campaign cell (0 = all cores). Cell results
+     * are bit-identical for every thread count; see CampaignRunner.
+     */
+    unsigned threads = 1;
+
+    /**
      * Memory fault model. Lenient matches the paper's SimpleScalar
      * platform; Strict is the bounds-checking ablation.
      */

@@ -1,6 +1,11 @@
 #include "fault/campaign.hh"
 
+#include <memory>
+#include <mutex>
+
+#include "fault/trial_pool.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace etc::fault {
 
@@ -32,42 +37,74 @@ CampaignRunner::run(const CampaignConfig &config,
 {
     CampaignResult result;
     result.trials = config.trials;
+    result.outcomes.resize(config.trials);
 
     auto budget = static_cast<uint64_t>(
         static_cast<double>(goldenInstructions_) * config.budgetFactor);
     if (budget < goldenInstructions_ + 1000)
         budget = goldenInstructions_ + 1000;
 
-    Rng master(config.seed);
-    sim::Simulator simulator(program_, model_);
+    unsigned workers =
+        TrialPool::resolveWorkers(config.threads, config.trials);
 
-    for (unsigned t = 0; t < config.trials; ++t) {
-        Rng trialRng = master.split();
+    // One Simulator per worker: the simulator is self-contained (no
+    // global state), so worker-local instances make trials re-entrant.
+    std::vector<std::unique_ptr<sim::Simulator>> simulators;
+    simulators.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        simulators.push_back(
+            std::make_unique<sim::Simulator>(program_, model_));
+
+    // Per-worker tallies, merged in worker-index order below. The
+    // counts are order-insensitive sums, and every per-trial record
+    // lands in its own outcome slot, so the aggregate is deterministic
+    // for any thread count.
+    std::vector<OutcomeTally> tallies(workers);
+    std::mutex observerMutex;
+
+    TrialPool::run(workers, config.trials, [&](uint64_t t, unsigned w) {
+        // Counter-based stream: trial randomness depends only on
+        // (seed, t), never on scheduling.
+        Rng trialRng = Rng::forStream(config.seed, t);
         InjectionPlan plan =
             samplePlan(injectableDynamic_, config.errors, trialRng);
         Injector injector(injectable_, std::move(plan));
 
+        sim::Simulator &simulator = *simulators[w];
         simulator.reset();
-        TrialOutcome outcome;
+        TrialOutcome &outcome = result.outcomes[t];
         outcome.run = simulator.run(budget, &injector);
         outcome.injected = injector.injectedCount();
 
         switch (outcome.run.status) {
           case sim::RunStatus::Completed:
-            ++result.completed;
+            ++tallies[w].completed;
             outcome.output = simulator.output();
             break;
           case sim::RunStatus::Timeout:
-            ++result.timedOut;
+            ++tallies[w].timedOut;
             break;
           default:
-            ++result.crashed;
+            ++tallies[w].crashed;
             break;
         }
-        if (onTrial)
+        if (onTrial) {
+            std::lock_guard<std::mutex> lock(observerMutex);
             onTrial(outcome);
-        result.outcomes.push_back(std::move(outcome));
-    }
+        }
+    });
+
+    OutcomeTally total;
+    for (const auto &tally : tallies)
+        total.merge(tally);
+    result.completed = static_cast<unsigned>(total.completed);
+    result.crashed = static_cast<unsigned>(total.crashed);
+    result.timedOut = static_cast<unsigned>(total.timedOut);
+    // Fed in trial order (floating-point accumulation is partition
+    // sensitive, so per-worker partials would not be bit-stable).
+    for (const auto &outcome : result.outcomes)
+        result.trialInstructions.add(
+            static_cast<double>(outcome.run.instructions));
     return result;
 }
 

@@ -9,6 +9,10 @@
  * their output stream so the caller can score fidelity against the
  * fault-free (golden) output.
  *
+ * Trials execute on a TrialPool: trial t derives its randomness from
+ * Rng::forStream(seed, t) and writes into its own outcome slot, so a
+ * cell's results are bit-identical for every thread count.
+ *
  * "Infinite execution" is detected by an instruction budget of
  * budgetFactor x the golden run's dynamic instruction count.
  */
@@ -23,6 +27,7 @@
 #include "fault/injection.hh"
 #include "sim/outcome.hh"
 #include "sim/simulator.hh"
+#include "support/stats.hh"
 
 namespace etc::fault {
 
@@ -33,6 +38,7 @@ struct CampaignConfig
     unsigned errors = 1;        //!< bit flips per run
     uint64_t seed = 0x5eed;     //!< master seed (trial i derives from it)
     double budgetFactor = 10.0; //!< timeout at factor x golden length
+    unsigned threads = 1;       //!< worker threads (0 = all cores)
 };
 
 /** One trial's record. */
@@ -51,6 +57,14 @@ struct CampaignResult
     unsigned crashed = 0;   //!< memory fault / bad jump / div0 / overflow
     unsigned timedOut = 0;  //!< "infinite execution"
     std::vector<TrialOutcome> outcomes;
+
+    /**
+     * Dynamic-instruction counts across all trials (mean trial length
+     * vs. the golden run shows how faults shorten or stall runs).
+     * Accumulated in trial order, so bit-identical at any thread
+     * count.
+     */
+    RunningStat trialInstructions;
 
     /** Fraction of trials that ended catastrophically. */
     double
@@ -93,8 +107,14 @@ class CampaignRunner
     /**
      * Run one campaign cell.
      *
-     * @param config  trial count / error count / seed / budget
-     * @param onTrial optional per-trial observer (progress reporting)
+     * Outcome tallies and per-trial records are bit-identical for any
+     * config.threads value (including 0 = all cores): every trial is a
+     * pure function of (config.seed, trial index).
+     *
+     * @param config  trial count / error count / seed / budget / threads
+     * @param onTrial optional per-trial observer (progress reporting);
+     *                called exactly once per trial, under a lock, but
+     *                in unspecified order when threads > 1
      */
     CampaignResult run(
         const CampaignConfig &config,

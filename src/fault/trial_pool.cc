@@ -1,0 +1,74 @@
+#include "fault/trial_pool.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace etc::fault {
+
+unsigned
+TrialPool::resolveWorkers(unsigned requested, uint64_t trials)
+{
+    unsigned workers = requested;
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    if (trials < workers)
+        workers = static_cast<unsigned>(trials);
+    return workers ? workers : 1;
+}
+
+void
+TrialPool::run(unsigned workers, uint64_t trials, const TrialFn &fn)
+{
+    if (!fn)
+        panic("TrialPool::run: null trial function");
+    if (trials == 0)
+        return;
+
+    if (workers <= 1) {
+        for (uint64_t t = 0; t < trials; ++t)
+            fn(t, 0);
+        return;
+    }
+
+    std::atomic<uint64_t> next{0};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+
+    auto workerBody = [&](unsigned worker) {
+        for (;;) {
+            uint64_t t = next.fetch_add(1, std::memory_order_relaxed);
+            if (t >= trials)
+                return;
+            try {
+                fn(t, worker);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+                // Drain the grid so sibling workers stop promptly.
+                next.store(trials, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(workerBody, w);
+    for (auto &thread : pool)
+        thread.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace etc::fault

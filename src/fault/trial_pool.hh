@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Thread-pool executor for independent Monte-Carlo trials.
+ *
+ * A campaign's trials are embarrassingly parallel: each derives its
+ * randomness from (seed, trial index) alone and writes its outcome to
+ * its own slot. The pool hands trial indices to workers from a shared
+ * atomic counter (dynamic scheduling -- trial lengths vary wildly once
+ * faults corrupt control flow) and tells each worker its stable worker
+ * id so callers can keep worker-local state such as a Simulator.
+ *
+ * Determinism contract: because trial work depends only on the trial
+ * index, results are bit-identical for any thread count as long as the
+ * caller's per-trial function is a pure function of that index (plus
+ * worker-local scratch state that it fully re-initializes per trial).
+ */
+
+#ifndef ETC_FAULT_TRIAL_POOL_HH
+#define ETC_FAULT_TRIAL_POOL_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace etc::fault {
+
+/** Static helpers for running trial grids across worker threads. */
+class TrialPool
+{
+  public:
+    /** Per-trial callback: (trial index, worker id in [0, workers)). */
+    using TrialFn = std::function<void(uint64_t, unsigned)>;
+
+    /**
+     * @return the worker count to use for @p requested threads over
+     *         @p trials trials: 0 means all hardware threads, and the
+     *         result is clamped to [1, trials] (1 for an empty grid).
+     */
+    static unsigned resolveWorkers(unsigned requested, uint64_t trials);
+
+    /**
+     * Run @p fn for every trial index in [0, trials).
+     *
+     * With @p workers == 1 everything runs inline on the calling
+     * thread (no thread is spawned). Otherwise @p workers threads pull
+     * indices until the grid is exhausted. The first exception thrown
+     * by any trial is rethrown on the calling thread after all workers
+     * join.
+     *
+     * @param workers worker count as returned by resolveWorkers()
+     * @param trials  grid size
+     * @param fn      per-trial work
+     */
+    static void run(unsigned workers, uint64_t trials, const TrialFn &fn);
+};
+
+} // namespace etc::fault
+
+#endif // ETC_FAULT_TRIAL_POOL_HH

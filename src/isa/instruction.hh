@@ -115,9 +115,33 @@ struct Instruction
     /** Render canonical assembly text (targets as absolute indices). */
     std::string toString() const;
 
-    /** Structural equality (all fields). */
-    bool operator==(const Instruction &other) const = default;
+    /**
+     * Structural equality (all fields). Spelled out rather than
+     * `= default` so the header also compiles as C++17 (defaulted
+     * comparisons are C++20-only); the build itself pins C++20 in
+     * CMakeLists.txt.
+     */
+    bool
+    operator==(const Instruction &other) const
+    {
+        return op == other.op && rd == other.rd && rs == other.rs &&
+               rt == other.rt && imm == other.imm &&
+               target == other.target;
+    }
+
+    bool
+    operator!=(const Instruction &other) const
+    {
+        return !(*this == other);
+    }
 };
+
+// MSVC reports __cplusplus as 199711L unless /Zc:__cplusplus is set;
+// _MSVC_LANG always carries the real language level there.
+#if (defined(_MSVC_LANG) && _MSVC_LANG < 201703L) || \
+    (!defined(_MSVC_LANG) && __cplusplus < 201703L)
+#error "etc requires at least C++17 (C++20 preferred; see CMakeLists.txt)"
+#endif
 
 /** Convenience factories used by tests and the ProgramBuilder. */
 namespace make {

@@ -117,4 +117,15 @@ Rng::split()
     return Rng(next64() ^ 0xa3ec647659359acdull);
 }
 
+Rng
+Rng::forStream(uint64_t seed, uint64_t stream)
+{
+    // Two SplitMix64 rounds: whiten the seed, then fold in the stream
+    // counter, so consecutive stream indices yield uncorrelated states.
+    uint64_t x = seed;
+    uint64_t mixed = splitMix64(x);
+    x = mixed ^ stream;
+    return Rng(splitMix64(x));
+}
+
 } // namespace etc

@@ -57,8 +57,17 @@ class Rng
      */
     std::vector<uint64_t> sampleDistinct(uint64_t n, uint64_t k);
 
-    /** Derive an independent child generator (for parallel trials). */
+    /** Derive an independent child generator from this one's stream. */
     Rng split();
+
+    /**
+     * Counter-based stream derivation: the returned generator's state
+     * is a pure function of (@p seed, @p stream), independent of any
+     * other stream. Campaign trial t draws from forStream(seed, t), so
+     * its randomness does not depend on the order -- or the thread --
+     * in which trials execute.
+     */
+    static Rng forStream(uint64_t seed, uint64_t stream);
 
   private:
     std::array<uint64_t, 4> state_;

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Determinism contract of the parallel campaign engine: a campaign
+ * cell's outcome tallies and per-trial records are bit-identical for
+ * every thread count, because trial t draws its randomness from the
+ * counter-based stream Rng::forStream(seed, t) and writes only its own
+ * outcome slot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "asm/builder.hh"
+#include "core/study.hh"
+#include "fault/campaign.hh"
+#include "fault/injection.hh"
+#include "fault/trial_pool.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace {
+
+using namespace etc;
+using namespace etc::isa;
+using namespace etc::assembly;
+using namespace etc::fault;
+
+/** A small data loop: sums a table, streams the total. */
+Program
+sumProgram()
+{
+    ProgramBuilder b;
+    b.dataWords("tbl", {1, 2, 3, 4, 5, 6, 7, 8});
+    b.beginFunction("main");
+    auto loop = b.newLabel();
+    b.la(REG_T0, "tbl");
+    b.addi(REG_T1, REG_T0, 32);
+    b.li(REG_T2, 0);
+    b.bind(loop);
+    b.lw(REG_T3, 0, REG_T0);
+    b.add(REG_T2, REG_T2, REG_T3);
+    b.addi(REG_T0, REG_T0, 4);
+    b.blt(REG_T0, REG_T1, loop);
+    b.outw(REG_T2);
+    b.halt();
+    b.endFunction();
+    return b.finish();
+}
+
+CampaignConfig
+cellConfig(unsigned threads)
+{
+    CampaignConfig config;
+    config.trials = 48;
+    config.errors = 3;
+    config.seed = 0xd5eed;
+    config.threads = threads;
+    return config;
+}
+
+void
+expectIdentical(const CampaignResult &a, const CampaignResult &b)
+{
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.crashed, b.crashed);
+    EXPECT_EQ(a.timedOut, b.timedOut);
+    EXPECT_EQ(a.trialInstructions.count(), b.trialInstructions.count());
+    EXPECT_DOUBLE_EQ(a.trialInstructions.mean(),
+                     b.trialInstructions.mean());
+    EXPECT_DOUBLE_EQ(a.trialInstructions.stdDev(),
+                     b.trialInstructions.stdDev());
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (size_t i = 0; i < a.outcomes.size(); ++i) {
+        EXPECT_EQ(a.outcomes[i].run.status, b.outcomes[i].run.status)
+            << "trial " << i;
+        EXPECT_EQ(a.outcomes[i].run.instructions,
+                  b.outcomes[i].run.instructions)
+            << "trial " << i;
+        EXPECT_EQ(a.outcomes[i].injected, b.outcomes[i].injected)
+            << "trial " << i;
+        EXPECT_EQ(a.outcomes[i].output, b.outcomes[i].output)
+            << "trial " << i;
+    }
+}
+
+TEST(CampaignDeterminismTest, IdenticalTalliesAcrossThreadCounts)
+{
+    auto prog = sumProgram();
+    CampaignRunner runner(prog, injectableWithoutProtection(prog));
+    auto serial = runner.run(cellConfig(1));
+    auto two = runner.run(cellConfig(2));
+    auto eight = runner.run(cellConfig(8));
+    expectIdentical(serial, two);
+    expectIdentical(serial, eight);
+}
+
+TEST(CampaignDeterminismTest, AllCoresMatchesSerial)
+{
+    auto prog = sumProgram();
+    CampaignRunner runner(prog, injectableWithoutProtection(prog));
+    // threads = 0 resolves to the machine's full core count.
+    expectIdentical(runner.run(cellConfig(1)), runner.run(cellConfig(0)));
+}
+
+TEST(CampaignDeterminismTest, RerunningACellIsReproducible)
+{
+    auto prog = sumProgram();
+    CampaignRunner runner(prog, injectableWithoutProtection(prog));
+    expectIdentical(runner.run(cellConfig(8)), runner.run(cellConfig(8)));
+}
+
+TEST(CampaignDeterminismTest, ObserverFiresOncePerTrialWhenParallel)
+{
+    auto prog = sumProgram();
+    CampaignRunner runner(prog, injectableWithoutProtection(prog));
+    auto config = cellConfig(8);
+    unsigned calls = 0;
+    runner.run(config, [&](const TrialOutcome &) { ++calls; });
+    EXPECT_EQ(calls, config.trials);
+}
+
+TEST(CampaignDeterminismTest, StudyCellIdenticalAcrossThreadCounts)
+{
+    auto workload = workloads::createWorkload("adpcm",
+                                              workloads::Scale::Test);
+    core::StudyConfig serialConfig;
+    serialConfig.trials = 16;
+    core::StudyConfig parallelConfig = serialConfig;
+    parallelConfig.threads = 8;
+
+    core::ErrorToleranceStudy serial(*workload, serialConfig);
+    core::ErrorToleranceStudy parallel(*workload, parallelConfig);
+    auto a = serial.runCell(5, core::ProtectionMode::Protected);
+    auto b = parallel.runCell(5, core::ProtectionMode::Protected);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.crashed, b.crashed);
+    EXPECT_EQ(a.timedOut, b.timedOut);
+    ASSERT_EQ(a.fidelities.size(), b.fidelities.size());
+    for (size_t i = 0; i < a.fidelities.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.fidelities[i].value, b.fidelities[i].value);
+}
+
+// ---- the primitives the engine's contract rests on -----------------------
+
+TEST(CampaignDeterminismTest, StreamRngIsAPureFunctionOfSeedAndIndex)
+{
+    Rng a = Rng::forStream(42, 7);
+    Rng b = Rng::forStream(42, 7);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+
+    // Adjacent streams and adjacent seeds must decorrelate.
+    Rng c = Rng::forStream(42, 8);
+    Rng d = Rng::forStream(43, 7);
+    int sameC = 0, sameD = 0;
+    Rng base = Rng::forStream(42, 7);
+    for (int i = 0; i < 64; ++i) {
+        uint64_t r = base.next64();
+        if (r == c.next64())
+            ++sameC;
+        if (r == d.next64())
+            ++sameD;
+    }
+    EXPECT_LT(sameC, 2);
+    EXPECT_LT(sameD, 2);
+}
+
+TEST(CampaignDeterminismTest, TallyMergeIsOrderInsensitive)
+{
+    OutcomeTally a{3, 1, 0};
+    OutcomeTally b{5, 0, 2};
+    OutcomeTally ab = a;
+    ab.merge(b);
+    OutcomeTally ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.completed, ba.completed);
+    EXPECT_EQ(ab.crashed, ba.crashed);
+    EXPECT_EQ(ab.timedOut, ba.timedOut);
+    EXPECT_EQ(ab.total(), 11u);
+    EXPECT_DOUBLE_EQ(ab.failureRate(), 3.0 / 11.0);
+}
+
+TEST(CampaignDeterminismTest, RunningStatMergeMatchesSerialFeed)
+{
+    std::vector<double> sample = {1.0, 2.5, -3.0, 7.75, 0.5, 4.25};
+    RunningStat whole;
+    for (double v : sample)
+        whole.add(v);
+    RunningStat left, right;
+    for (size_t i = 0; i < sample.size(); ++i)
+        (i < 3 ? left : right).add(sample[i]);
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.stdDev(), whole.stdDev(), 1e-12);
+    EXPECT_NEAR(whole.mean(), mean(sample), 1e-12);
+    EXPECT_NEAR(whole.stdDev(), sampleStdDev(sample), 1e-12);
+}
+
+TEST(CampaignDeterminismTest, TrialPoolCoversEveryIndexExactlyOnce)
+{
+    constexpr uint64_t TRIALS = 1000;
+    std::vector<std::atomic<unsigned>> hits(TRIALS);
+    unsigned workers = TrialPool::resolveWorkers(8, TRIALS);
+    TrialPool::run(workers, TRIALS, [&](uint64_t t, unsigned w) {
+        EXPECT_LT(w, workers);
+        hits[t].fetch_add(1);
+    });
+    for (uint64_t t = 0; t < TRIALS; ++t)
+        EXPECT_EQ(hits[t].load(), 1u) << "trial " << t;
+}
+
+TEST(CampaignDeterminismTest, TrialPoolPropagatesExceptions)
+{
+    EXPECT_THROW(TrialPool::run(4, 100,
+                                [&](uint64_t t, unsigned) {
+                                    if (t == 17)
+                                        throw std::runtime_error("boom");
+                                }),
+                 std::runtime_error);
+}
+
+TEST(CampaignDeterminismTest, ResolveWorkersClamps)
+{
+    EXPECT_EQ(TrialPool::resolveWorkers(8, 3), 3u);
+    EXPECT_EQ(TrialPool::resolveWorkers(1, 100), 1u);
+    EXPECT_GE(TrialPool::resolveWorkers(0, 100), 1u);
+    EXPECT_EQ(TrialPool::resolveWorkers(4, 0), 1u);
+}
+
+} // namespace

@@ -56,8 +56,9 @@ TEST(InjectableTest, ProtectedSetEqualsTags)
     for (uint32_t i = 0; i < prog.size(); ++i) {
         EXPECT_EQ(injectable[i], static_cast<bool>(protection.tagged[i]))
             << "instruction " << i;
-        if (injectable[i])
+        if (injectable[i]) {
             EXPECT_TRUE(prog.code[i].def().has_value());
+        }
     }
 }
 
@@ -277,8 +278,9 @@ TEST(CampaignTest, ClassificationBuckets)
     EXPECT_EQ(result.outcomes.size(), result.trials);
     // Only completed trials carry output.
     for (const auto &outcome : result.outcomes) {
-        if (!outcome.run.completed())
+        if (!outcome.run.completed()) {
             EXPECT_TRUE(outcome.output.empty());
+        }
     }
 }
 

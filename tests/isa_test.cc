@@ -11,6 +11,7 @@
 #include "isa/opcodes.hh"
 #include "asm/assembler.hh"
 #include "isa/registers.hh"
+#include "support/logging.hh"
 #include "support/rng.hh"
 
 namespace {
@@ -293,10 +294,10 @@ TEST(EncodingTest, RejectsBadRegister)
 }
 
 /**
- * Property: for every non-control opcode, toString() emits text the
- * assembler parses back to the identical instruction (control
- * transfers print numeric targets, which assembly syntax expresses as
- * labels, so they are exercised separately in asm_test).
+ * Property: for EVERY opcode, toString() emits text the assembler
+ * parses back to the identical instruction. Control transfers print
+ * absolute instruction indices, which the assembler accepts as
+ * numeric branch targets alongside label syntax.
  */
 class ToStringRoundTripTest : public ::testing::TestWithParam<int>
 {
@@ -305,9 +306,8 @@ class ToStringRoundTripTest : public ::testing::TestWithParam<int>
 TEST_P(ToStringRoundTripTest, ReassemblesIdentically)
 {
     auto op = static_cast<Opcode>(GetParam());
-    if (isControlTransfer(op) || format(op) == Format::FBr)
-        GTEST_SKIP() << "control transfers use label syntax";
 
+    // Control transfers target instruction 1 -- the halt below.
     Instruction ins;
     ins.op = op;
     switch (format(op)) {
@@ -325,6 +325,23 @@ TEST_P(ToStringRoundTripTest, ReassemblesIdentically)
         break;
       case Format::R1:
         ins = make::r1(op, REG_A0);
+        break;
+      case Format::Br2:
+        ins = make::br2(op, REG_T0, REG_T1, 1);
+        break;
+      case Format::Br1:
+        ins = make::br1(op, REG_S3, 1);
+        break;
+      case Format::Jmp:
+      case Format::FBr:
+        ins.target = 1;
+        break;
+      case Format::JmpR:
+        ins.rs = REG_RA;
+        break;
+      case Format::JmpLR:
+        ins.rd = REG_T9;
+        ins.rs = REG_T8;
         break;
       case Format::F3:
         ins = make::r3(op, fpReg(1), fpReg(2), fpReg(3));
@@ -350,8 +367,6 @@ TEST_P(ToStringRoundTripTest, ReassemblesIdentically)
         break;
       case Format::None:
         break;
-      default:
-        GTEST_SKIP();
     }
 
     std::string source = std::string(".func main\nmain: ") +
@@ -359,6 +374,43 @@ TEST_P(ToStringRoundTripTest, ReassemblesIdentically)
     auto prog = etc::assembly::assemble(source);
     ASSERT_EQ(prog.size(), 2u) << ins.toString();
     EXPECT_EQ(prog.code[0], ins) << ins.toString();
+}
+
+TEST(ToStringRoundTripTest, NumericTargetsMatchLabelSyntax)
+{
+    // "beq ..., 2" and "beq ..., skip" with skip bound at index 2 must
+    // assemble to the same instruction.
+    auto numeric = etc::assembly::assemble(
+        ".func main\nmain: beq $t0, $t1, 2\n nop\nskip: halt\n"
+        ".endfunc\n");
+    auto labeled = etc::assembly::assemble(
+        ".func main\nmain: beq $t0, $t1, skip\n nop\nskip: halt\n"
+        ".endfunc\n");
+    EXPECT_EQ(numeric.code[0], labeled.code[0]);
+}
+
+TEST(ToStringRoundTripTest, OutOfRangeNumericTargetRejected)
+{
+    EXPECT_THROW(etc::assembly::assemble(
+                     ".func main\nmain: j 99\n halt\n.endfunc\n"),
+                 PanicError);
+}
+
+TEST(ToStringRoundTripTest, LeadingZeroTargetsParseAsDecimal)
+{
+    // "010" must be decimal ten-with-leading-zeros, never octal.
+    auto prog = etc::assembly::assemble(
+        ".func main\nmain: beq $t0, $t1, 002\n nop\n halt\n"
+        ".endfunc\n");
+    EXPECT_EQ(prog.code[0].target, 2u);
+}
+
+TEST(ToStringRoundTripTest, NumericCodeLabelsRejected)
+{
+    // A label spelled "5:" would be ambiguous with absolute targets.
+    EXPECT_THROW(etc::assembly::assemble(
+                     ".func main\nmain: nop\n5: halt\n.endfunc\n"),
+                 FatalError);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllOpcodes, ToStringRoundTripTest,

@@ -82,8 +82,9 @@ TEST_P(AllWorkloadsTest, AnalysisTagsSomethingButNotControl)
     EXPECT_GT(result.numTagged, 0u) << workload_->name();
     // Tagged instructions are ALU by construction.
     for (uint32_t i = 0; i < workload_->program().size(); ++i)
-        if (result.tagged[i])
+        if (result.tagged[i]) {
             EXPECT_TRUE(workload_->program().code[i].isAlu());
+        }
 }
 
 TEST_P(AllWorkloadsTest, DeterministicConstruction)

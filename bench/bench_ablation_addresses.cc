@@ -36,13 +36,17 @@ main(int argc, char **argv)
         unsigned errors = std::string(name) == "mcf" ? 50 : 30;
         for (bool protectAddresses : {false, true}) {
             core::StudyConfig config;
-            config.threads = opts.threads;
+            opts.applyTo(config);
             config.trials = opts.trialsOr(TRIALS);
             config.protection.protectAddresses = protectAddresses;
             core::ErrorToleranceStudy study(*workload, config);
             inform("ablation-addresses: ", name,
                    " protectAddresses=", protectAddresses);
             auto cell = study.runCell(errors, ProtectionMode::Protected);
+            bench::emitCellJson(name, protectAddresses
+                                          ? "protected+addresses"
+                                          : "protected",
+                                errors, cell, study.config());
             table.addRow({
                 name,
                 std::to_string(errors),

@@ -35,13 +35,17 @@ main(int argc, char **argv)
             workloads::createWorkload(name, workloads::Scale::Bench);
         for (bool interprocedural : {true, false}) {
             core::StudyConfig config;
-            config.threads = opts.threads;
+            opts.applyTo(config);
             config.trials = opts.trialsOr(25);
             config.protection.interprocedural = interprocedural;
             core::ErrorToleranceStudy study(*workload, config);
             inform("ablation-interproc: ", name,
                    " interprocedural=", interprocedural);
             auto cell = study.runCell(20, ProtectionMode::Protected);
+            bench::emitCellJson(name, interprocedural
+                                          ? "protected-interproc"
+                                          : "protected-intraproc",
+                                20, cell, study.config());
             table.addRow({
                 name,
                 interprocedural ? "interprocedural (paper)"

@@ -40,7 +40,7 @@ main(int argc, char **argv)
         for (auto model : {sim::MemoryModel::Lenient,
                            sim::MemoryModel::Strict}) {
             core::StudyConfig config;
-            config.threads = opts.threads;
+            opts.applyTo(config);
             config.trials = opts.trialsOr(TRIALS);
             config.memoryModel = model;
             core::ErrorToleranceStudy study(*workload, config);
@@ -48,6 +48,10 @@ main(int argc, char **argv)
                    model == sim::MemoryModel::Lenient ? "lenient"
                                                       : "strict");
             auto cell = study.runCell(errors, ProtectionMode::Protected);
+            bench::emitCellJson(name, model == sim::MemoryModel::Lenient
+                                          ? "protected-lenient"
+                                          : "protected-strict",
+                                errors, cell, study.config());
             platform.addRow({
                 name,
                 std::to_string(errors),
@@ -69,13 +73,17 @@ main(int argc, char **argv)
         unsigned errors = std::string(name) == "mcf" ? 50 : 30;
         for (bool trackMemory : {false, true}) {
             core::StudyConfig config;
-            config.threads = opts.threads;
+            opts.applyTo(config);
             config.trials = opts.trialsOr(TRIALS);
             config.protection.trackMemory = trackMemory;
             core::ErrorToleranceStudy study(*workload, config);
             inform("ablation-tracking: ", name,
                    " trackMemory=", trackMemory);
             auto cell = study.runCell(errors, ProtectionMode::Protected);
+            bench::emitCellJson(name, trackMemory
+                                          ? "protected-memtrack"
+                                          : "protected",
+                                errors, cell, study.config());
             tracking.addRow({
                 name,
                 std::to_string(errors),

@@ -25,7 +25,7 @@ main(int argc, char **argv)
     workloads::MpegWorkload workload(
         workloads::MpegWorkload::scaled(workloads::Scale::Bench));
     core::StudyConfig config;
-    config.threads = opts.threads;
+    opts.applyTo(config);
     core::ErrorToleranceStudy study(workload, config);
 
     bench::SweepConfig sweep;

@@ -26,7 +26,7 @@ main(int argc, char **argv)
     workloads::McfWorkload workload(
         workloads::McfWorkload::scaled(workloads::Scale::Bench));
     core::StudyConfig config;
-    config.threads = opts.threads;
+    opts.applyTo(config);
     // Corrupted parent walks spin forever; a 4x budget detects them
     // without burning the full default timeout allowance.
     config.budgetFactor = 4.0;

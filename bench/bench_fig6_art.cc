@@ -26,7 +26,7 @@ main(int argc, char **argv)
     workloads::ArtWorkload workload(
         workloads::ArtWorkload::scaled(workloads::Scale::Bench));
     core::StudyConfig config;
-    config.threads = opts.threads;
+    opts.applyTo(config);
     core::ErrorToleranceStudy study(workload, config);
 
     bench::SweepConfig sweep;

@@ -14,6 +14,7 @@
 #include "asm/assembler.hh"
 #include "fault/campaign.hh"
 #include "fault/injection.hh"
+#include "sim/checkpoint.hh"
 #include "sim/simulator.hh"
 #include "workloads/workload.hh"
 
@@ -81,10 +82,12 @@ BM_SimulatorWithInjectorHook(benchmark::State &state)
 BENCHMARK(BM_SimulatorWithInjectorHook);
 
 /**
- * A full Monte-Carlo campaign cell at 1..N worker threads. The trials
- * are bit-identical across the thread sweep (counter-based RNG
- * streams), so the arg axis shows pure wall-clock scaling of the
- * paper-figure hot path.
+ * A full Monte-Carlo campaign cell, swept over worker threads
+ * (args: threads, checkpoint interval). The trials are bit-identical
+ * across the whole sweep (counter-based RNG streams, checkpoint
+ * determinism), so the arg axes show pure wall-clock scaling of the
+ * paper-figure hot path: interval 0 is the classic hooked full-replay
+ * interpreter, a nonzero interval the checkpointed hookless fast path.
  */
 void
 BM_CampaignCell(benchmark::State &state)
@@ -93,8 +96,10 @@ BM_CampaignCell(benchmark::State &state)
                                               workloads::Scale::Test);
     auto injectable =
         fault::injectableWithoutProtection(workload->program());
-    fault::CampaignRunner runner(workload->program(),
-                                 std::move(injectable));
+    fault::CampaignRunner runner(
+        workload->program(), std::move(injectable),
+        sim::MemoryModel::Lenient,
+        static_cast<uint64_t>(state.range(1)));
     fault::CampaignConfig config;
     config.trials = 64;
     config.errors = 4;
@@ -109,12 +114,53 @@ BM_CampaignCell(benchmark::State &state)
         static_cast<double>(trials), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CampaignCell)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->ArgNames({"threads", "ckpt"})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({1, 1024})
+    ->Args({2, 1024})
+    ->Args({4, 1024})
+    ->Args({8, 1024})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Checkpoint restore cost: rewinding a simulator to a mid-run snapshot
+ * (registers + page image + output prefix). This is what replaces the
+ * fault-free prefix re-execution of every trial.
+ */
+void
+BM_CheckpointRestore(benchmark::State &state)
+{
+    auto workload = workloads::createWorkload("susan",
+                                              workloads::Scale::Test);
+    auto injectable =
+        fault::injectableWithoutProtection(workload->program());
+
+    // Profile the golden run at a fine interval, keeping the recording
+    // simulator's output as the golden stream.
+    sim::Simulator golden(workload->program());
+    sim::CheckpointStore store;
+    golden.memory().resetDirtyTracking();
+    sim::CheckpointRecorder recorder(injectable, 1024, golden, store);
+    auto result = golden.run(0, &recorder);
+    if (!result.completed() || store.empty()) {
+        state.SkipWithError("golden run failed or too short");
+        return;
+    }
+    const sim::Checkpoint &mid = store[store.size() / 2];
+
+    sim::Simulator sim(workload->program());
+    for (auto _ : state) {
+        sim.restoreFrom(mid, golden.output());
+        benchmark::DoNotOptimize(sim.machine().pc);
+    }
+    state.counters["skipped instr"] =
+        static_cast<double>(mid.instructions);
+}
+BENCHMARK(BM_CheckpointRestore);
 
 void
 BM_ControlProtectionAnalysis(benchmark::State &state)

@@ -59,15 +59,19 @@ main(int argc, char **argv)
         auto workload = workloads::createWorkload(
             row.app, workloads::Scale::Bench);
         core::StudyConfig config;
-        config.threads = opts.threads;
+        opts.applyTo(config);
         config.trials = opts.trialsOr(TRIALS);
         core::ErrorToleranceStudy study(*workload, config);
         for (size_t i = 0; i < row.errorCounts.size(); ++i) {
             unsigned errors = row.errorCounts[i];
             inform("table2: ", row.app, " @ ", errors, " errors");
             auto prot = study.runCell(errors, ProtectionMode::Protected);
+            bench::emitCellJson(row.app, "protected", errors, prot,
+                                study.config());
             auto unprot =
                 study.runCell(errors, ProtectionMode::Unprotected);
+            bench::emitCellJson(row.app, "unprotected", errors, unprot,
+                                study.config());
             table.addRow({
                 i == 0 ? row.app : "",
                 std::to_string(errors),

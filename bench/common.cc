@@ -5,6 +5,7 @@
 #include <iostream>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -21,34 +22,48 @@ namespace {
 [[noreturn]] void
 usage(const char *program, int status)
 {
-    std::cerr << "usage: " << program << " [--threads N] [--trials N]\n"
+    std::cerr << "usage: " << program
+              << " [--threads N] [--trials N] [--checkpoint-interval N]\n"
               << "  --threads N  campaign worker threads (0 = all "
                  "cores; default 0)\n"
               << "  --trials N   trials per campaign cell (0 = driver "
-                 "default)\n";
+                 "default)\n"
+              << "  --checkpoint-interval N  instructions between "
+                 "golden-run checkpoints\n"
+              << "               (0 disables trial fast-forwarding; "
+                 "default "
+              << fault::CampaignRunner::DEFAULT_CHECKPOINT_INTERVAL
+              << "). Results are identical either way.\n";
     std::exit(status);
+}
+
+uint64_t
+parseCount64(const char *program, const std::string &flag,
+             const std::string &text, uint64_t max)
+{
+    try {
+        // Digits only: std::stoull would accept a leading '-' and wrap.
+        if (text.empty() ||
+            text.find_first_not_of("0123456789") != std::string::npos)
+            throw std::invalid_argument(text);
+        size_t pos = 0;
+        unsigned long long value = std::stoull(text, &pos, 10);
+        if (pos != text.size() || value > max)
+            throw std::invalid_argument(text);
+        return value;
+    } catch (const std::exception &) {
+        std::cerr << program << ": bad value for " << flag << ": '"
+                  << text << "'\n";
+        usage(program, 2);
+    }
 }
 
 unsigned
 parseCount(const char *program, const std::string &flag,
            const std::string &text)
 {
-    try {
-        // Digits only: std::stoul would accept a leading '-' and wrap.
-        if (text.empty() ||
-            text.find_first_not_of("0123456789") != std::string::npos)
-            throw std::invalid_argument(text);
-        size_t pos = 0;
-        unsigned long value = std::stoul(text, &pos, 10);
-        if (pos != text.size() ||
-            value > std::numeric_limits<unsigned>::max())
-            throw std::invalid_argument(text);
-        return static_cast<unsigned>(value);
-    } catch (const std::exception &) {
-        std::cerr << program << ": bad value for " << flag << ": '"
-                  << text << "'\n";
-        usage(program, 2);
-    }
+    return static_cast<unsigned>(parseCount64(
+        program, flag, text, std::numeric_limits<unsigned>::max()));
 }
 
 } // namespace
@@ -79,6 +94,10 @@ parseBenchArgs(int argc, char **argv)
             opts.threads = parseCount(argv[0], "--threads", *threads);
         } else if (auto trials = valueOf("--trials")) {
             opts.trials = parseCount(argv[0], "--trials", *trials);
+        } else if (auto interval = valueOf("--checkpoint-interval")) {
+            opts.checkpointInterval =
+                parseCount64(argv[0], "--checkpoint-interval", *interval,
+                             std::numeric_limits<uint64_t>::max());
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
                       << "'\n";
@@ -86,6 +105,31 @@ parseBenchArgs(int argc, char **argv)
         }
     }
     return opts;
+}
+
+void
+emitCellJson(const std::string &workloadName, const std::string &mode,
+             unsigned errors, const CellSummary &cell,
+             const core::StudyConfig &config)
+{
+    std::ostringstream line;
+    line.setf(std::ios::fixed);
+    line.precision(4);
+    line << "BENCH_JSON {"
+         << "\"workload\":\"" << workloadName << "\","
+         << "\"mode\":\"" << mode << "\","
+         << "\"errors\":" << errors << ","
+         << "\"trials\":" << cell.trials << ","
+         << "\"completed\":" << cell.completed << ","
+         << "\"wall_s\":" << cell.wallSeconds << ","
+         << "\"trials_per_sec\":" << cell.trialsPerSecond() << ","
+         << "\"total_instructions\":" << cell.totalInstructions << ","
+         << "\"checkpoint_interval\":" << config.checkpointInterval << ","
+         << "\"threads\":" << config.threads << "}";
+    // stderr, with the progress lines: stdout holds only reproduced
+    // results and must stay byte-identical across thread counts and
+    // checkpoint settings, which wall-clock telemetry never is.
+    std::cerr << line.str() << std::endl;
 }
 
 std::vector<SweepPoint>
@@ -101,6 +145,8 @@ runSweep(const workloads::Workload &workload,
         point.protectedCell =
             study.runCell(errors, ProtectionMode::Protected,
                           config.trials);
+        emitCellJson(workload.name(), "protected", errors,
+                     point.protectedCell, study.config());
         if (config.runUnprotected) {
             inform(workload.name(), ": errors=", errors,
                    " (unprotected)");
@@ -108,6 +154,8 @@ runSweep(const workloads::Workload &workload,
             point.unprotectedCell =
                 study.runCell(errors, ProtectionMode::Unprotected,
                               config.trials);
+            emitCellJson(workload.name(), "unprotected", errors,
+                         point.unprotectedCell, study.config());
         }
         points.push_back(std::move(point));
     }

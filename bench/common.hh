@@ -52,24 +52,56 @@ struct BenchOptions
     unsigned threads = 0; //!< campaign worker threads (0 = all cores)
     unsigned trials = 0;  //!< 0 = use the driver's default
 
+    /** Golden-run checkpoint spacing for trial fast-forwarding
+     *  (instructions; 0 = disable checkpointing). */
+    uint64_t checkpointInterval =
+        fault::CampaignRunner::DEFAULT_CHECKPOINT_INTERVAL;
+
     /** @return the trial count: this option, or @p dflt when unset. */
     unsigned
     trialsOr(unsigned dflt) const
     {
         return trials ? trials : dflt;
     }
+
+    /** Apply the common knobs to a study configuration. */
+    void
+    applyTo(core::StudyConfig &config) const
+    {
+        config.threads = threads;
+        config.checkpointInterval = checkpointInterval;
+    }
 };
 
 /**
  * Parse the standard bench flags:
  *
- *   --threads N   campaign worker threads (0 = all cores; default 0)
- *   --trials N    trials per campaign cell (0 = driver default)
- *   --help        print usage and exit
+ *   --threads N              campaign worker threads (0 = all cores;
+ *                            default 0)
+ *   --trials N               trials per campaign cell (0 = driver default)
+ *   --checkpoint-interval N  instructions between golden-run checkpoints
+ *                            (0 = disable trial fast-forwarding; default
+ *                            8192). Never changes reproduced numbers.
+ *   --help                   print usage and exit
  *
  * Unknown flags print usage and exit with status 2.
  */
 BenchOptions parseBenchArgs(int argc, char **argv);
+
+/**
+ * Emit one machine-readable perf record for a campaign cell to stderr
+ * (stdout stays byte-identical across thread counts and checkpoint
+ * settings), prefixed with "BENCH_JSON " so harnesses can grep it
+ * into a BENCH_*.json perf trajectory:
+ *
+ *   BENCH_JSON {"workload":...,"mode":...,"errors":...,"trials":...,
+ *               "wall_s":...,"trials_per_sec":...,
+ *               "total_instructions":...,"checkpoint_interval":...,
+ *               "threads":...}
+ */
+void emitCellJson(const std::string &workloadName, const std::string &mode,
+                  unsigned errors, const core::CellSummary &cell,
+                  const core::StudyConfig &config);
 
 /**
  * Construct a bench-scale study for @p workloadName and run the sweep.

@@ -1,5 +1,7 @@
 #include "core/study.hh"
 
+#include <chrono>
+
 #include "sim/simulator.hh"
 #include "support/logging.hh"
 
@@ -64,7 +66,7 @@ ErrorToleranceStudy::runner(ProtectionMode mode)
                 : fault::injectableWithoutProtection(workload_.program());
         slot = std::make_unique<fault::CampaignRunner>(
             workload_.program(), std::move(injectable),
-            config_.memoryModel);
+            config_.memoryModel, config_.checkpointInterval);
     }
     return *slot;
 }
@@ -101,7 +103,10 @@ ErrorToleranceStudy::runCell(unsigned errors, ProtectionMode mode,
                           (uint64_t{errors} << 32) ^
                           (mode == ProtectionMode::Protected ? 0x1 : 0x2);
 
+    auto started = std::chrono::steady_clock::now();
     auto result = campaignRunner.run(campaignConfig);
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - started;
 
     CellSummary summary;
     summary.errors = errors;
@@ -110,7 +115,9 @@ ErrorToleranceStudy::runCell(unsigned errors, ProtectionMode mode,
     summary.completed = result.completed;
     summary.crashed = result.crashed;
     summary.timedOut = result.timedOut;
+    summary.wallSeconds = elapsed.count();
     for (const auto &outcome : result.outcomes) {
+        summary.totalInstructions += outcome.run.instructions;
         if (outcome.run.completed())
             summary.fidelities.push_back(workload_.scoreFidelity(
                 campaignRunner.goldenOutput(), outcome.output));

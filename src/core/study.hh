@@ -68,6 +68,15 @@ struct StudyConfig
      * platform; Strict is the bounds-checking ablation.
      */
     sim::MemoryModel memoryModel = sim::MemoryModel::Lenient;
+
+    /**
+     * Retired instructions between golden-run checkpoints; trials
+     * fast-forward past their fault-free prefix by restoring the
+     * nearest one (see sim/checkpoint.hh). 0 disables checkpointing
+     * (full-replay trials). Either way, cell results are bit-identical.
+     */
+    uint64_t checkpointInterval =
+        fault::CampaignRunner::DEFAULT_CHECKPOINT_INTERVAL;
 };
 
 /** Aggregated results of one (error count, mode) campaign cell. */
@@ -82,6 +91,21 @@ struct CellSummary
 
     /** Fidelity score of each completed trial. */
     std::vector<workloads::FidelityScore> fidelities;
+
+    /** Wall-clock seconds the campaign took (perf tracking only). */
+    double wallSeconds = 0.0;
+
+    /** Dynamic instructions summed over all trials. With trial
+     *  fast-forwarding, restored prefixes count as executed, so this
+     *  is thread- and checkpoint-invariant. */
+    uint64_t totalInstructions = 0;
+
+    /** Campaign throughput (perf tracking only; 0 if untimed). */
+    double
+    trialsPerSecond() const
+    {
+        return wallSeconds > 0.0 ? trials / wallSeconds : 0.0;
+    }
 
     /** Fraction of trials that crashed or timed out. */
     double

@@ -1,5 +1,6 @@
 #include "fault/campaign.hh"
 
+#include <limits>
 #include <memory>
 #include <mutex>
 
@@ -11,24 +12,91 @@ namespace etc::fault {
 
 CampaignRunner::CampaignRunner(const assembly::Program &program,
                                std::vector<bool> injectable,
-                               sim::MemoryModel model)
+                               sim::MemoryModel model,
+                               uint64_t checkpointInterval)
     : program_(program), injectable_(std::move(injectable)),
-      model_(model)
+      model_(model), checkpointInterval_(checkpointInterval)
 {
     if (injectable_.size() != program_.size())
         panic("CampaignRunner: injectable bitmap size mismatch");
+    injectableBytes_ = sim::toByteMask(injectable_);
 
     // Fault-free profiling run: golden output, dynamic length, and the
-    // injectable dynamic count the sampler draws from.
+    // injectable dynamic count the sampler draws from. With
+    // checkpointing enabled the same run also records the periodic
+    // snapshots trials fast-forward to.
     sim::Simulator simulator(program_, model_);
-    InjectableCounter counter(injectable_);
-    auto result = simulator.run(0, &counter);
+    sim::RunResult result;
+    if (checkpointInterval_ > 0) {
+        // The post-reset image is the snapshot baseline; only pages
+        // the run itself writes go into the checkpoint deltas.
+        simulator.memory().resetDirtyTracking();
+        sim::CheckpointRecorder recorder(injectable_, checkpointInterval_,
+                                         simulator, checkpoints_);
+        result = simulator.run(0, &recorder);
+        injectableDynamic_ = recorder.injectableRetired();
+    } else {
+        InjectableCounter counter(injectable_);
+        result = simulator.run(0, &counter);
+        injectableDynamic_ = counter.count();
+    }
     if (!result.completed())
         fatal("CampaignRunner: golden run did not complete: ",
               result.toString());
     golden_ = simulator.output();
     goldenInstructions_ = result.instructions;
-    injectableDynamic_ = counter.count();
+}
+
+void
+CampaignRunner::runTrialFastForward(sim::Simulator &simulator,
+                                    const InjectionPlan &plan,
+                                    uint64_t budget,
+                                    TrialOutcome &outcome) const
+{
+    // Start from the latest checkpoint the first injection site has
+    // not yet passed; everything before it is a bit-identical replay
+    // of the golden run. A trial with no sites at all (errors == 0)
+    // is the golden run, so it may jump to the last checkpoint and
+    // execute only the final stretch.
+    uint64_t injectableRetired = 0;
+    uint64_t instructionsSoFar = 0;
+    const sim::Checkpoint *checkpoint = checkpoints_.findForInjectable(
+        plan.sites.empty() ? std::numeric_limits<uint64_t>::max()
+                           : plan.sites.front());
+    if (checkpoint) {
+        simulator.restoreFrom(*checkpoint, golden_);
+        injectableRetired = checkpoint->injectableRetired;
+        instructionsSoFar = checkpoint->instructions;
+    } else {
+        simulator.fastReset();
+    }
+
+    // Run hookless from site to site, flipping the scheduled bit at
+    // each pause; the final leg (or a crash/timeout on the way) ends
+    // the trial.
+    uint64_t injected = 0;
+    size_t cursor = 0;
+    sim::RunResult run;
+    for (;;) {
+        uint64_t stopAfter =
+            cursor < plan.sites.size()
+                ? plan.sites[cursor] + 1 - injectableRetired
+                : 0; // no more sites: run to completion
+        run = simulator.runUntilInjectable(stopAfter, injectableBytes_,
+                                           budget, instructionsSoFar);
+        instructionsSoFar = run.instructions;
+        if (run.status != sim::RunStatus::Paused)
+            break;
+        injectableRetired = plan.sites[cursor] + 1;
+        // faultPc of a paused run is the static index of the
+        // just-retired site instruction.
+        if (flipResult(program_.code[run.faultPc], plan.bits[cursor],
+                       simulator.machine(), simulator.memory()))
+            ++injected;
+        ++cursor;
+    }
+    outcome.run = run;
+    outcome.injected = injected;
 }
 
 CampaignResult
@@ -68,13 +136,17 @@ CampaignRunner::run(const CampaignConfig &config,
         Rng trialRng = Rng::forStream(config.seed, t);
         InjectionPlan plan =
             samplePlan(injectableDynamic_, config.errors, trialRng);
-        Injector injector(injectable_, std::move(plan));
 
         sim::Simulator &simulator = *simulators[w];
-        simulator.reset();
         TrialOutcome &outcome = result.outcomes[t];
-        outcome.run = simulator.run(budget, &injector);
-        outcome.injected = injector.injectedCount();
+        if (checkpointInterval_ > 0) {
+            runTrialFastForward(simulator, plan, budget, outcome);
+        } else {
+            Injector injector(injectable_, std::move(plan));
+            simulator.reset();
+            outcome.run = simulator.run(budget, &injector);
+            outcome.injected = injector.injectedCount();
+        }
 
         switch (outcome.run.status) {
           case sim::RunStatus::Completed:

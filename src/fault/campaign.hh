@@ -13,6 +13,17 @@
  * Rng::forStream(seed, t) and writes into its own outcome slot, so a
  * cell's results are bit-identical for every thread count.
  *
+ * Trial fast-forwarding: every trial replays the golden run bit-for-bit
+ * until its first injection site, so the golden profiling run records
+ * periodic Checkpoints (see sim/checkpoint.hh) and each trial restores
+ * the nearest one at-or-before its first site instead of starting from
+ * reset. The tail -- and the gaps between injection sites -- run
+ * through the simulator's hookless fast path, with the bit flips
+ * applied directly at the exact sites. Campaign results are
+ * bit-identical with checkpointing on (checkpointInterval > 0) or off
+ * (0: the classic full-replay Injector-hook path), at every thread
+ * count.
+ *
  * "Infinite execution" is detected by an instruction budget of
  * budgetFactor x the golden run's dynamic instruction count.
  */
@@ -25,6 +36,7 @@
 #include <vector>
 
 #include "fault/injection.hh"
+#include "sim/checkpoint.hh"
 #include "sim/outcome.hh"
 #include "sim/simulator.hh"
 #include "support/stats.hh"
@@ -83,13 +95,26 @@ class CampaignRunner
 {
   public:
     /**
-     * @param program    the workload program
-     * @param injectable static bitmap of injectable instructions
-     * @param model      memory fault model for every trial
+     * Default retired-instruction distance between checkpoints: fine
+     * enough that a trial re-executes only a small slice of its
+     * prefix, coarse enough that capture overhead and page storage
+     * stay negligible against the trial grid it accelerates.
+     */
+    static constexpr uint64_t DEFAULT_CHECKPOINT_INTERVAL = 8192;
+
+    /**
+     * @param program            the workload program
+     * @param injectable         static bitmap of injectable instructions
+     * @param model              memory fault model for every trial
+     * @param checkpointInterval retired instructions between golden-run
+     *                           checkpoints; 0 disables checkpointing
+     *                           and trial fast-forwarding entirely
      */
     CampaignRunner(const assembly::Program &program,
                    std::vector<bool> injectable,
-                   sim::MemoryModel model = sim::MemoryModel::Lenient);
+                   sim::MemoryModel model = sim::MemoryModel::Lenient,
+                   uint64_t checkpointInterval =
+                       DEFAULT_CHECKPOINT_INTERVAL);
 
     /** @return the fault-free output stream. */
     const std::vector<uint8_t> &goldenOutput() const { return golden_; }
@@ -103,6 +128,12 @@ class CampaignRunner
     {
         return injectableDynamic_;
     }
+
+    /** @return the configured checkpoint interval (0 = disabled). */
+    uint64_t checkpointInterval() const { return checkpointInterval_; }
+
+    /** @return checkpoints recorded during the golden run. */
+    size_t checkpointCount() const { return checkpoints_.size(); }
 
     /**
      * Run one campaign cell.
@@ -121,9 +152,17 @@ class CampaignRunner
         const std::function<void(const TrialOutcome &)> &onTrial = {});
 
   private:
+    /** One trial via checkpoint restore + hookless site-to-site runs. */
+    void runTrialFastForward(sim::Simulator &simulator,
+                             const InjectionPlan &plan, uint64_t budget,
+                             TrialOutcome &outcome) const;
+
     const assembly::Program &program_;
     std::vector<bool> injectable_;
+    sim::ByteMask injectableBytes_; //!< fast-path copy of injectable_
     sim::MemoryModel model_;
+    uint64_t checkpointInterval_;
+    sim::CheckpointStore checkpoints_;
     std::vector<uint8_t> golden_;
     uint64_t goldenInstructions_ = 0;
     uint64_t injectableDynamic_ = 0;

@@ -50,6 +50,60 @@ Injector::Injector(const std::vector<bool> &injectable, InjectionPlan plan)
 {
 }
 
+bool
+flipResult(const isa::Instruction &ins, unsigned bit,
+           sim::Machine &machine, sim::Memory &memory)
+{
+    if (auto def = ins.def()) {
+        // Register result (jal/jalr corrupt the saved link here).
+        uint32_t value = machine.readFlat(*def);
+        machine.writeFlat(*def, flipBit(value, bit));
+        return true;
+    }
+    if (ins.isControl()) {
+        // A control transfer's result is the next PC.
+        machine.pc = flipBit(machine.pc, bit);
+        return true;
+    }
+    if (ins.isStore()) {
+        // A store's result is the memory value it wrote. Flip it
+        // in place (within the stored width); if the store went
+        // out of region under the lenient model, the value was
+        // dropped and there is nothing to corrupt.
+        uint32_t addr = machine.readInt(ins.rs) +
+                        static_cast<uint32_t>(ins.imm);
+        switch (ins.op) {
+          case isa::Opcode::SB: {
+            uint8_t value = 0;
+            if (memory.read8(addr, value) == sim::MemStatus::Ok) {
+                memory.write8(addr, static_cast<uint8_t>(
+                    flipBit(value, bit % 8)));
+                return true;
+            }
+            return false;
+          }
+          case isa::Opcode::SH: {
+            uint16_t value = 0;
+            if (memory.read16(addr, value) == sim::MemStatus::Ok) {
+                memory.write16(addr, static_cast<uint16_t>(
+                    flipBit(value, bit % 16)));
+                return true;
+            }
+            return false;
+          }
+          default: { // sw / swc1
+            uint32_t value = 0;
+            if (memory.read32(addr, value) == sim::MemStatus::Ok) {
+                memory.write32(addr, flipBit(value, bit));
+                return true;
+            }
+            return false;
+          }
+        }
+    }
+    return false;
+}
+
 void
 Injector::onRetire(uint32_t staticIdx, const isa::Instruction &ins,
                    sim::Machine &machine, sim::Memory &memory)
@@ -58,52 +112,8 @@ Injector::onRetire(uint32_t staticIdx, const isa::Instruction &ins,
         return;
     if (cursor_ < plan_.sites.size() &&
         counter_ == plan_.sites[cursor_]) {
-        unsigned bit = plan_.bits[cursor_];
-        if (auto def = ins.def()) {
-            // Register result (jal/jalr corrupt the saved link here).
-            uint32_t value = machine.readFlat(*def);
-            machine.writeFlat(*def, flipBit(value, bit));
+        if (flipResult(ins, plan_.bits[cursor_], machine, memory))
             ++injected_;
-        } else if (ins.isControl()) {
-            // A control transfer's result is the next PC.
-            machine.pc = flipBit(machine.pc, bit);
-            ++injected_;
-        } else if (ins.isStore()) {
-            // A store's result is the memory value it wrote. Flip it
-            // in place (within the stored width); if the store went
-            // out of region under the lenient model, the value was
-            // dropped and there is nothing to corrupt.
-            uint32_t addr = machine.readInt(ins.rs) +
-                            static_cast<uint32_t>(ins.imm);
-            switch (ins.op) {
-              case isa::Opcode::SB: {
-                uint8_t value = 0;
-                if (memory.read8(addr, value) == sim::MemStatus::Ok) {
-                    memory.write8(addr, static_cast<uint8_t>(
-                        flipBit(value, bit % 8)));
-                    ++injected_;
-                }
-                break;
-              }
-              case isa::Opcode::SH: {
-                uint16_t value = 0;
-                if (memory.read16(addr, value) == sim::MemStatus::Ok) {
-                    memory.write16(addr, static_cast<uint16_t>(
-                        flipBit(value, bit % 16)));
-                    ++injected_;
-                }
-                break;
-              }
-              default: { // sw / swc1
-                uint32_t value = 0;
-                if (memory.read32(addr, value) == sim::MemStatus::Ok) {
-                    memory.write32(addr, flipBit(value, bit));
-                    ++injected_;
-                }
-                break;
-              }
-            }
-        }
         ++cursor_;
     }
     ++counter_;

@@ -73,6 +73,19 @@ InjectionPlan samplePlan(uint64_t injectableDynamicCount,
                          unsigned numErrors, Rng &rng);
 
 /**
+ * Flip bit @p bit of the result of the just-retired instruction
+ * @p ins: its destination register, its next PC (control transfers),
+ * or the memory value it stored. Must be called with writeback and the
+ * PC update already applied -- i.e. exactly where ExecHook::onRetire
+ * runs, which is also where Simulator::runUntilInjectable() pauses.
+ *
+ * @return true if a flip was actually performed (a store that was
+ *         dropped by the lenient memory model has nothing to corrupt).
+ */
+bool flipResult(const isa::Instruction &ins, unsigned bit,
+                sim::Machine &machine, sim::Memory &memory);
+
+/**
  * The retire hook that executes an InjectionPlan.
  */
 class Injector : public sim::ExecHook

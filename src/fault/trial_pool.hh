@@ -13,6 +13,9 @@
  * index, results are bit-identical for any thread count as long as the
  * caller's per-trial function is a pure function of that index (plus
  * worker-local scratch state that it fully re-initializes per trial).
+ * Checkpoint fast-forwarding keeps the contract: restoring a shared
+ * read-only Checkpoint into a worker-local Simulator is exactly such a
+ * re-initialization, so trials remain order- and thread-independent.
  */
 
 #ifndef ETC_FAULT_TRIAL_POOL_HH

@@ -1,0 +1,123 @@
+#include "sim/checkpoint.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace etc::sim {
+
+void
+CheckpointStore::capture(const Machine &machine, Memory &memory,
+                         uint64_t instructions, uint64_t injectableRetired,
+                         size_t outputLength)
+{
+    if (!checkpoints_.empty()) {
+        const Checkpoint &prev = checkpoints_.back();
+        if (instructions < prev.instructions ||
+            injectableRetired < prev.injectableRetired)
+            panic("CheckpointStore: non-monotonic capture");
+    }
+    if (bytesUsed_ >= maxBytes_) {
+        if (!capReported_) {
+            capReported_ = true;
+            warn("CheckpointStore: storage cap (", maxBytes_ >> 20,
+                 " MiB) reached after ", checkpoints_.size(),
+                 " checkpoints; later trials replay from the last one");
+        }
+        return;
+    }
+
+    // Copy the pages written since the previous capture, then merge
+    // the (sorted) delta into the cumulative index, new copies taking
+    // precedence over superseded ones.
+    std::vector<std::pair<uint32_t, const uint8_t *>> delta;
+    for (uint32_t pageNumber : memory.drainDirtyPages()) {
+        const uint8_t *data = memory.pageData(pageNumber);
+        if (!data)
+            panic("CheckpointStore: dirty page 0x", std::hex, pageNumber,
+                  " not allocated");
+        auto copy = std::make_unique<uint8_t[]>(Memory::PAGE_SIZE);
+        std::memcpy(copy.get(), data, Memory::PAGE_SIZE);
+        delta.emplace_back(pageNumber, copy.get());
+        pageStorage_.push_back(std::move(copy));
+        bytesUsed_ += Memory::PAGE_SIZE;
+    }
+    if (!delta.empty()) {
+        std::vector<std::pair<uint32_t, const uint8_t *>> merged;
+        merged.reserve(latest_.size() + delta.size());
+        auto a = latest_.begin();
+        auto b = delta.begin();
+        while (a != latest_.end() && b != delta.end()) {
+            if (a->first < b->first)
+                merged.push_back(*a++);
+            else if (b->first < a->first)
+                merged.push_back(*b++);
+            else {
+                merged.push_back(*b++); // delta supersedes
+                ++a;
+            }
+        }
+        merged.insert(merged.end(), a, latest_.end());
+        merged.insert(merged.end(), b, delta.end());
+        latest_.swap(merged);
+    }
+
+    Checkpoint checkpoint;
+    checkpoint.machine = machine;
+    checkpoint.instructions = instructions;
+    checkpoint.injectableRetired = injectableRetired;
+    checkpoint.outputLength = outputLength;
+    checkpoint.pages = latest_;
+    bytesUsed_ += checkpoint.pages.size() *
+                  sizeof(std::pair<uint32_t, const uint8_t *>);
+    checkpoints_.push_back(std::move(checkpoint));
+}
+
+const Checkpoint *
+CheckpointStore::findForInjectable(uint64_t site) const
+{
+    // Captures are monotonic in injectableRetired: binary-search the
+    // last checkpoint taken before the site's injectable retire.
+    auto it = std::upper_bound(
+        checkpoints_.begin(), checkpoints_.end(), site,
+        [](uint64_t value, const Checkpoint &c) {
+            return value < c.injectableRetired;
+        });
+    if (it == checkpoints_.begin())
+        return nullptr;
+    return &*std::prev(it);
+}
+
+CheckpointRecorder::CheckpointRecorder(const std::vector<bool> &injectable,
+                                       uint64_t interval,
+                                       const Simulator &simulator,
+                                       CheckpointStore &store)
+    : injectable_(injectable), interval_(interval), simulator_(simulator),
+      store_(store), untilCapture_(interval)
+{
+    if (interval_ == 0)
+        panic("CheckpointRecorder: interval must be positive");
+}
+
+void
+CheckpointRecorder::onRetire(uint32_t staticIdx,
+                             const isa::Instruction &ins, Machine &machine,
+                             Memory &memory)
+{
+    ++instructions_;
+    if (staticIdx < injectable_.size() && injectable_[staticIdx])
+        ++injectableRetired_;
+    if (--untilCapture_ == 0) {
+        untilCapture_ = interval_;
+        // HALT retires without publishing a next PC, so a snapshot
+        // there would not be resumable -- and nothing needs it: the
+        // run is over.
+        if (ins.op != isa::Opcode::HALT)
+            store_.capture(machine, memory, instructions_,
+                           injectableRetired_,
+                           simulator_.output().size());
+    }
+}
+
+} // namespace etc::sim

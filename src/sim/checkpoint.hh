@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Checkpointing for fault-injection trial fast-forwarding.
+ *
+ * Every Monte-Carlo trial replays the golden run bit-for-bit up to its
+ * first injection site, so on average half of each trial re-executes
+ * work the profiling run already did. A CheckpointRecorder hooked into
+ * the golden run captures the full architectural state (registers,
+ * memory pages, output length, instruction and injectable-retire
+ * counts) every N retired instructions; a trial then restores the
+ * nearest checkpoint at-or-before its first injection site and
+ * executes only the tail.
+ *
+ * Memory is captured incrementally: each capture copies only the pages
+ * written since the previous one (Memory's dirty tracking), and every
+ * Checkpoint holds a cumulative page index -- flat page number to the
+ * most recent copy -- so a restore is a single O(touched pages) walk,
+ * never a replay of intermediate deltas. Page copies are owned by the
+ * CheckpointStore and shared across checkpoints.
+ *
+ * Determinism: a restored trial retires exactly the instructions the
+ * uncheckpointed trial would have retired after that point, so
+ * campaign results are bit-identical with checkpointing on or off (see
+ * tests/checkpoint_test.cc).
+ */
+
+#ifndef ETC_SIM_CHECKPOINT_HH
+#define ETC_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "sim/simulator.hh"
+
+namespace etc::sim {
+
+/**
+ * One snapshot of the golden run, taken right after a retire (PC
+ * already points at the next instruction).
+ */
+struct Checkpoint
+{
+    Machine machine;
+
+    /** Dynamic instructions retired when the snapshot was taken. */
+    uint64_t instructions = 0;
+
+    /** Injectable instructions retired when the snapshot was taken. */
+    uint64_t injectableRetired = 0;
+
+    /** Bytes of output emitted when the snapshot was taken. */
+    size_t outputLength = 0;
+
+    /**
+     * Cumulative page image: (flat page number, PAGE_SIZE bytes) for
+     * every page written since the post-load baseline, ascending by
+     * page number. Pointers are owned by the recording CheckpointStore.
+     */
+    std::vector<std::pair<uint32_t, const uint8_t *>> pages;
+};
+
+/**
+ * Owns the checkpoints of one golden run and their page storage.
+ */
+class CheckpointStore
+{
+  public:
+    /**
+     * Storage cap: once page copies plus index overhead exceed it, no
+     * further checkpoints are taken (existing ones stay valid). Keeps
+     * pathological write patterns from hoarding memory.
+     */
+    static constexpr size_t DEFAULT_MAX_BYTES = size_t{256} << 20;
+
+    explicit CheckpointStore(size_t maxBytes = DEFAULT_MAX_BYTES)
+        : maxBytes_(maxBytes)
+    {
+    }
+
+    /**
+     * Record a checkpoint of the current state. Drains @p memory's
+     * dirty pages, so the caller must have reset dirty tracking at the
+     * baseline (post reset()/loadData()) and capture monotonically.
+     */
+    void capture(const Machine &machine, Memory &memory,
+                 uint64_t instructions, uint64_t injectableRetired,
+                 size_t outputLength);
+
+    /**
+     * @return the latest checkpoint whose injectable-retired count is
+     *         <= @p site (i.e. taken strictly before the (site+1)-th
+     *         injectable retire, the trial's first flip), or nullptr
+     *         if no checkpoint qualifies.
+     */
+    const Checkpoint *findForInjectable(uint64_t site) const;
+
+    /** @return the number of recorded checkpoints. */
+    size_t size() const { return checkpoints_.size(); }
+
+    bool empty() const { return checkpoints_.empty(); }
+
+    /** @return approximate bytes held (page copies + index entries). */
+    size_t bytesUsed() const { return bytesUsed_; }
+
+    const Checkpoint &operator[](size_t i) const { return checkpoints_[i]; }
+
+  private:
+    size_t maxBytes_;
+    size_t bytesUsed_ = 0;
+    bool capReported_ = false; //!< warn once when the cap trips
+    std::vector<Checkpoint> checkpoints_;
+    std::deque<std::unique_ptr<uint8_t[]>> pageStorage_;
+
+    /** Most recent copy of each ever-dirtied page, sorted by page
+     *  number; each capture merges its (sorted) dirty delta in. */
+    std::vector<std::pair<uint32_t, const uint8_t *>> latest_;
+};
+
+/**
+ * Retire hook for the golden profiling run: counts total and
+ * injectable retires (subsuming InjectableCounter) and captures a
+ * checkpoint into a CheckpointStore every @p interval instructions.
+ */
+class CheckpointRecorder : public ExecHook
+{
+  public:
+    /**
+     * @param injectable static injectable-instruction bitmap (must
+     *                   match the program the simulator executes)
+     * @param interval   retired instructions between captures (> 0)
+     * @param simulator  the simulator being profiled (for its output
+     *                   length; must outlive this hook)
+     * @param store      destination for captured checkpoints
+     */
+    CheckpointRecorder(const std::vector<bool> &injectable,
+                       uint64_t interval, const Simulator &simulator,
+                       CheckpointStore &store);
+
+    void onRetire(uint32_t staticIdx, const isa::Instruction &ins,
+                  Machine &machine, Memory &memory) override;
+
+    /** @return injectable dynamic instructions retired so far. */
+    uint64_t injectableRetired() const { return injectableRetired_; }
+
+  private:
+    const std::vector<bool> &injectable_;
+    uint64_t interval_;
+    const Simulator &simulator_;
+    CheckpointStore &store_;
+    uint64_t instructions_ = 0;
+    uint64_t injectableRetired_ = 0;
+    uint64_t untilCapture_;
+};
+
+} // namespace etc::sim
+
+#endif // ETC_SIM_CHECKPOINT_HH

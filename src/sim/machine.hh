@@ -109,6 +109,14 @@ class Machine
         }
     }
 
+    /** Full architectural-state equality (checkpoint round-trips). */
+    bool
+    operator==(const Machine &other) const
+    {
+        return pc == other.pc && fcc_ == other.fcc_ &&
+               intRegs_ == other.intRegs_ && fpRegs_ == other.fpRegs_;
+    }
+
     /** Current program counter (an instruction index). */
     uint32_t pc = 0;
 

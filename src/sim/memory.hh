@@ -15,6 +15,17 @@
  *    near-zero with-protection failure rates.
  *  - MemoryModel::Strict: out-of-region accesses fault. Our ablation
  *    for a bounds-checking (MMU-enforcing) platform.
+ *
+ * Pages live in a flat two-level table: each of the two segments owns
+ * a dense vector of lazily allocated page slots, so a guest access is
+ * one compare (which segment) plus one array index, and a whole-memory
+ * walk (clear, checkpoint snapshot/restore) is a linear scan. clear()
+ * zeroes and *reuses* allocated pages instead of freeing them, so the
+ * per-trial reset of a Monte-Carlo campaign does no allocator work.
+ *
+ * For checkpointing, the table tracks which pages have been written
+ * since the last drainDirtyPages() call; CheckpointStore turns those
+ * into page-granular deltas between checkpoints.
  */
 
 #ifndef ETC_SIM_MEMORY_HH
@@ -22,7 +33,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "asm/program.hh"
@@ -70,7 +80,9 @@ class Memory
     /** Load a program's initial data segment. */
     void loadData(const std::vector<assembly::DataChunk> &chunks);
 
-    /** Drop all contents (pages are freed). */
+    /** Zero all contents (allocated pages are kept and reused). Any
+     *  baseline snapshot is dropped: the zeroed state no longer
+     *  matches it, so a later revert must re-establish one. */
     void clear();
 
     /// @name Guest accesses (bounds- and alignment-checked)
@@ -93,18 +105,93 @@ class Memory
     void hostWriteBlock(uint32_t addr, const std::vector<uint8_t> &bytes);
     /// @}
 
+    /// @name Page-level snapshot interface (checkpointing)
+    /// @{
+    /**
+     * Forget all dirty-page records: the current contents become the
+     * snapshot baseline. Call after the initial data load, before the
+     * profiled run whose deltas a CheckpointStore captures.
+     */
+    void resetDirtyTracking();
+
+    /**
+     * @return the flat page numbers (addr >> PAGE_BITS) written since
+     *         the last drain (or resetDirtyTracking), ascending. The
+     *         records are cleared.
+     */
+    std::vector<uint32_t> drainDirtyPages();
+
+    /**
+     * @return a read-only view of one whole page, or nullptr if the
+     *         page was never touched (reads as zeroes) or lies outside
+     *         both segments.
+     */
+    const uint8_t *pageData(uint32_t pageNumber) const;
+
+    /** Overwrite one whole page (PAGE_SIZE bytes; panics if outside
+     *  both segments). Used to restore checkpoint snapshots. */
+    void setPage(uint32_t pageNumber, const uint8_t *bytes);
+
+    /**
+     * Snapshot the current contents as the revert target and clear the
+     * dirty records. Campaign trials snapshot the post-reset image
+     * once, then rewind with revertToBaseline() instead of a full
+     * clear()+reload.
+     */
+    void setBaseline();
+
+    /** @return true once setBaseline() has been called. */
+    bool hasBaseline() const { return hasBaseline_; }
+
+    /**
+     * Rewind every page written since the last revert (or
+     * setBaseline()) to its baseline contents -- O(pages actually
+     * touched), the fast per-trial reset. Pages listed in @p skip
+     * (sorted flat page numbers) are left as-is and their dirty flags
+     * cleared; callers pass the pages they are about to overwrite
+     * anyway (checkpoint restore). Panics without a baseline.
+     */
+    void revertToBaseline(const std::vector<uint32_t> &skip = {});
+    /// @}
+
     /** @return true if [addr, addr+len) lies entirely in a valid segment. */
     bool inBounds(uint32_t addr, uint32_t len) const;
 
   private:
+    /** One segment's dense page-slot array (second table level). */
+    struct Segment
+    {
+        uint32_t firstPage = 0; //!< flat page number of the first slot
+        std::vector<std::unique_ptr<uint8_t[]>> pages;
+        std::vector<uint8_t> dirty; //!< parallel to pages
+        std::vector<std::unique_ptr<uint8_t[]>> baseline; //!< revert image
+    };
+
+    void initSegment(Segment &seg, uint32_t base, uint32_t limit);
+
+    /** @return the segment backing in-bounds address @p addr. */
+    Segment &
+    segmentFor(uint32_t addr)
+    {
+        return addr >= stackBase_ ? stack_ : data_;
+    }
+
+    Segment *segmentForPage(uint32_t pageNumber);
+    const Segment *segmentForPage(uint32_t pageNumber) const;
+
+    uint8_t *slotPtr(Segment &seg, uint32_t slot);
     uint8_t *pagePtr(uint32_t addr);
+    uint8_t *pagePtrForWrite(uint32_t addr);
 
     MemoryModel model_;
     uint32_t dataBase_;
     uint32_t dataLimit_; //!< end of valid data region (incl. heap slack)
     uint32_t stackBase_;
     uint32_t stackLimit_;
-    std::unordered_map<uint32_t, std::unique_ptr<uint8_t[]>> pages_;
+    Segment data_;
+    Segment stack_;
+    std::vector<uint32_t> dirtyList_; //!< flat page numbers, unsorted
+    bool hasBaseline_ = false;
 };
 
 } // namespace etc::sim

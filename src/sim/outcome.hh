@@ -26,6 +26,13 @@ enum class RunStatus : uint8_t
     DivByZero,      //!< integer divide or remainder by zero
     Timeout,        //!< instruction budget exhausted ("infinite run")
     OutputOverflow, //!< output stream exceeded its cap (runaway loop)
+
+    /**
+     * Simulator::runUntilInjectable() hit its injectable-retire quota
+     * and handed control back (the machine can resume). Internal to
+     * the checkpointed trial driver; never a final campaign outcome.
+     */
+    Paused,
 };
 
 /** @return a short human-readable name for @p status. */
@@ -39,6 +46,7 @@ runStatusName(RunStatus status)
       case RunStatus::DivByZero: return "div-by-zero";
       case RunStatus::Timeout: return "timeout";
       case RunStatus::OutputOverflow: return "output-overflow";
+      case RunStatus::Paused: return "paused";
     }
     return "unknown";
 }

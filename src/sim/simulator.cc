@@ -3,11 +3,63 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/checkpoint.hh"
 #include "support/logging.hh"
 
 namespace etc::sim {
 
 using namespace isa;
+
+namespace {
+
+/** Retire policy: forward every retire to an ExecHook (classic path). */
+struct HookRetire
+{
+    ExecHook *hook;
+
+    bool
+    operator()(uint32_t staticIdx, const Instruction &ins, Machine &m,
+               Memory &mem)
+    {
+        hook->onRetire(staticIdx, ins, m, mem);
+        return false;
+    }
+};
+
+/** Retire policy: do nothing (plain hookless execution). */
+struct NoRetire
+{
+    bool
+    operator()(uint32_t, const Instruction &, Machine &, Memory &)
+    {
+        return false;
+    }
+};
+
+/** Retire policy: pause after N injectable instructions retire. */
+struct CountInjectable
+{
+    const uint8_t *injectable;
+    uint64_t remaining;
+
+    bool
+    operator()(uint32_t staticIdx, const Instruction &, Machine &,
+               Memory &)
+    {
+        return injectable[staticIdx] && --remaining == 0;
+    }
+};
+
+} // namespace
+
+ByteMask
+toByteMask(const std::vector<bool> &bits)
+{
+    ByteMask mask(bits.size());
+    for (size_t i = 0; i < bits.size(); ++i)
+        mask[i] = bits[i] ? 1 : 0;
+    return mask;
+}
 
 Simulator::Simulator(const assembly::Program &program, MemoryModel model)
     : program_(program),
@@ -20,10 +72,24 @@ Simulator::Simulator(const assembly::Program &program, MemoryModel model)
 void
 Simulator::reset()
 {
-    machine_.reset();
     memory_.clear();
     memory_.loadData(program_.data);
     output_.clear();
+    initMachine();
+}
+
+void
+Simulator::fastReset()
+{
+    revertMemoryToStart();
+    output_.clear();
+    initMachine();
+}
+
+void
+Simulator::initMachine()
+{
+    machine_.reset();
     machine_.pc = program_.entry;
     machine_.writeInt(REG_SP, assembly::STACK_TOP);
     // A return from the entry function jumps one past the end of code,
@@ -31,13 +97,81 @@ Simulator::reset()
     machine_.writeInt(REG_RA, program_.size());
 }
 
+void
+Simulator::revertMemoryToStart()
+{
+    if (memory_.hasBaseline()) {
+        memory_.revertToBaseline();
+        return;
+    }
+    memory_.clear();
+    memory_.loadData(program_.data);
+    memory_.setBaseline();
+}
+
 RunResult
 Simulator::run(uint64_t maxInstructions, ExecHook *hook)
 {
     if (maxInstructions == 0)
         maxInstructions = DEFAULT_BUDGET;
+    if (hook) {
+        HookRetire policy{hook};
+        return runCore(maxInstructions, 0, policy);
+    }
+    NoRetire policy;
+    return runCore(maxInstructions, 0, policy);
+}
 
+RunResult
+Simulator::runUntilInjectable(uint64_t count,
+                              const ByteMask &injectable,
+                              uint64_t maxInstructions,
+                              uint64_t instructionsSoFar)
+{
+    if (maxInstructions == 0)
+        maxInstructions = DEFAULT_BUDGET;
+    if (injectable.size() != program_.size())
+        panic("runUntilInjectable: injectable bitmap size mismatch");
+    if (count == 0) {
+        NoRetire policy;
+        return runCore(maxInstructions, instructionsSoFar, policy);
+    }
+    CountInjectable policy{injectable.data(), count};
+    return runCore(maxInstructions, instructionsSoFar, policy);
+}
+
+void
+Simulator::restoreFrom(const Checkpoint &checkpoint,
+                       const std::vector<uint8_t> &goldenOutput)
+{
+    if (checkpoint.outputLength > goldenOutput.size())
+        panic("restoreFrom: checkpoint output longer than golden");
+    if (memory_.hasBaseline()) {
+        // Pages the checkpoint is about to overwrite need no revert
+        // first; checkpoint.pages is sorted by page number.
+        std::vector<uint32_t> overwritten;
+        overwritten.reserve(checkpoint.pages.size());
+        for (const auto &[pageNumber, bytes] : checkpoint.pages)
+            overwritten.push_back(pageNumber);
+        memory_.revertToBaseline(overwritten);
+    } else {
+        revertMemoryToStart();
+    }
+    for (const auto &[pageNumber, bytes] : checkpoint.pages)
+        memory_.setPage(pageNumber, bytes);
+    machine_ = checkpoint.machine;
+    output_.assign(goldenOutput.begin(),
+                   goldenOutput.begin() +
+                       static_cast<ptrdiff_t>(checkpoint.outputLength));
+}
+
+template <typename Policy>
+RunResult
+Simulator::runCore(uint64_t maxInstructions, uint64_t baseInstructions,
+                   Policy &policy)
+{
     RunResult result;
+    result.instructions = baseInstructions;
     const auto codeSize = program_.size();
     const auto *code = program_.code.data();
     Machine &m = machine_;
@@ -295,8 +429,9 @@ Simulator::run(uint64_t maxInstructions, ExecHook *hook)
 
           case Opcode::NOP: break;
           case Opcode::HALT:
-            if (hook)
-                hook->onRetire(thisPc, ins, m, memory_);
+            // Completion dominates any pause request (HALT is never
+            // injectable, so a counting policy cannot pause here).
+            policy(thisPc, ins, m, memory_);
             result.status = RunStatus::Completed;
             return result;
           case Opcode::OUTB:
@@ -314,11 +449,14 @@ Simulator::run(uint64_t maxInstructions, ExecHook *hook)
           }
         }
 
-        // Publish the next PC before the hook so a control transfer's
-        // "result" (the PC) is visible and corruptible.
+        // Publish the next PC before the retire policy so a control
+        // transfer's "result" (the PC) is visible and corruptible.
         m.pc = nextPc;
-        if (hook)
-            hook->onRetire(thisPc, ins, m, memory_);
+        if (policy(thisPc, ins, m, memory_)) {
+            result.status = RunStatus::Paused;
+            result.faultPc = thisPc;
+            return result;
+        }
     }
 }
 

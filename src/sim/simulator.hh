@@ -24,6 +24,19 @@
 
 namespace etc::sim {
 
+struct Checkpoint;
+
+/**
+ * Byte-per-instruction copy of a static instruction bitmap.
+ * std::vector<bool> packs bits, which costs a shift+mask in the
+ * interpreter's hottest loop; the fast path tests a plain byte
+ * instead. Build once per campaign with toByteMask().
+ */
+using ByteMask = std::vector<uint8_t>;
+
+/** @return @p bits widened to one byte per instruction. */
+ByteMask toByteMask(const std::vector<bool> &bits);
+
 /**
  * Observer invoked after each retired instruction. Implementations may
  * mutate the machine and memory (that is how faults are injected).
@@ -74,12 +87,66 @@ class Simulator
     void reset();
 
     /**
+     * Behaviourally identical to reset(), but memory rewinds via its
+     * baseline snapshot (established on first use): O(pages the
+     * previous run touched) instead of a full zero + data reload. The
+     * per-trial reset of the campaign fast path.
+     */
+    void fastReset();
+
+    /**
      * Execute until HALT, a fault, or the budget runs out.
+     *
+     * Without a hook the interpreter takes a hookless fast path (no
+     * per-retire virtual dispatch); the architectural behaviour is
+     * identical either way.
      *
      * @param maxInstructions dynamic-instruction budget (0 = default)
      * @param hook            optional retire observer (may be null)
      */
     RunResult run(uint64_t maxInstructions = 0, ExecHook *hook = nullptr);
+
+    /**
+     * Hookless fast path for checkpointed fault-injection trials:
+     * resume from the current machine state and execute until @p count
+     * more *injectable* instructions (per @p injectable, indexed by
+     * static instruction index) have retired, or the program ends.
+     *
+     * When the quota is reached the result's status is
+     * RunStatus::Paused and its faultPc holds the static index of the
+     * just-retired injectable instruction (writeback and PC update
+     * already applied), which is exactly the state an ExecHook would
+     * observe -- the caller applies the bit flip and calls again.
+     * @p count == 0 means "no quota": run to completion.
+     *
+     * The returned instruction count *includes* @p instructionsSoFar,
+     * and the @p maxInstructions timeout applies to that total, so a
+     * trial resumed from a checkpoint times out at exactly the same
+     * dynamic instruction as an uncheckpointed one.
+     *
+     * @param count            injectable retires before pausing (0 = none)
+     * @param injectable       static injectable-instruction byte mask
+     * @param maxInstructions  total dynamic budget (0 = default)
+     * @param instructionsSoFar instructions already accounted to this
+     *                          run (from a restored checkpoint or a
+     *                          previous pause)
+     */
+    RunResult runUntilInjectable(uint64_t count,
+                                 const ByteMask &injectable,
+                                 uint64_t maxInstructions = 0,
+                                 uint64_t instructionsSoFar = 0);
+
+    /**
+     * Restore the machine, memory, and output stream captured in
+     * @p checkpoint, as if the program had just executed its first
+     * checkpoint.instructions instructions fault-free.
+     *
+     * @param checkpoint   a checkpoint recorded from *this program*
+     * @param goldenOutput the fault-free output stream (the restored
+     *                     output is its first outputLength bytes)
+     */
+    void restoreFrom(const Checkpoint &checkpoint,
+                     const std::vector<uint8_t> &goldenOutput);
 
     Machine &machine() { return machine_; }
     const Machine &machine() const { return machine_; }
@@ -90,6 +157,23 @@ class Simulator
     const std::vector<uint8_t> &output() const { return output_; }
 
   private:
+    /**
+     * The interpreter loop, templated on a retire policy so the
+     * per-retire callback inlines away: the hooked instantiation
+     * dispatches to an ExecHook, the hookless ones do a bitmap test or
+     * nothing. @p policy returns true to pause the run (see
+     * runUntilInjectable).
+     */
+    template <typename Policy>
+    RunResult runCore(uint64_t maxInstructions, uint64_t baseInstructions,
+                      Policy &policy);
+
+    /** Rewind memory to the post-reset image (cheaply if possible). */
+    void revertMemoryToStart();
+
+    /** Zero registers, point PC at the entry, init $sp/$ra. */
+    void initMachine();
+
     const assembly::Program &program_;
     Machine machine_;
     Memory memory_;

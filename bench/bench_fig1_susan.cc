@@ -5,39 +5,16 @@
  * fidelity threshold. Paper shape: protection keeps PSNR above the
  * threshold well past 1000 errors; unprotected fidelity is far worse
  * at the same error count (and some unprotected runs crash).
+ *
+ * Sweep data lives in the experiments registry ("fig1"), shared with
+ * the etc_lab CLI: cells persist to --cache-dir, stored cells are
+ * skipped, and --shard i/N computes one trial stripe per process.
  */
 
-#include <iostream>
-
-#include "bench/common.hh"
-#include "support/logging.hh"
-#include "workloads/susan.hh"
-
-using namespace etc;
+#include "bench/figure_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseBenchArgs(argc, argv);
-    bench::banner("Figure 1",
-                  "Susan: PSNR of pictures with error vs. errors "
-                  "inserted (threshold 10 dB)");
-
-    workloads::SusanWorkload workload(
-        workloads::SusanWorkload::scaled(workloads::Scale::Bench));
-    core::StudyConfig config;
-    opts.applyTo(config);
-    core::ErrorToleranceStudy study(workload, config);
-
-    bench::SweepConfig sweep;
-    sweep.errorCounts = {100, 500, 920, 1100, 1550, 2300};
-    sweep.trials = opts.trialsOr(25);
-    sweep.runUnprotected = true;
-    auto points = bench::runSweep(workload, study, sweep);
-
-    bench::printFigure(
-        "Figure 1: Susan", "PSNR (dB)", points,
-        [](const core::CellSummary &cell) { return cell.meanFidelity(); },
-        10.0);
-    return 0;
+    return etc::bench::figureMain("fig1", argc, argv);
 }

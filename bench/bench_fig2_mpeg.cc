@@ -4,41 +4,16 @@
  * inserted with static analysis ON (the paper has no OFF series --
  * every unprotected simulation crashed), plus the failure series and
  * the 10% viewer threshold.
+ *
+ * Sweep data lives in the experiments registry ("fig2"), shared with
+ * the etc_lab CLI: cells persist to --cache-dir, stored cells are
+ * skipped, and --shard i/N computes one trial stripe per process.
  */
 
-#include <iostream>
-
-#include "bench/common.hh"
-#include "support/logging.hh"
-#include "workloads/mpeg.hh"
-
-using namespace etc;
+#include "bench/figure_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseBenchArgs(argc, argv);
-    bench::banner("Figure 2",
-                  "MPEG: % bad frames and % failed executions vs. "
-                  "errors inserted (threshold 10% bad frames)");
-
-    workloads::MpegWorkload workload(
-        workloads::MpegWorkload::scaled(workloads::Scale::Bench));
-    core::StudyConfig config;
-    opts.applyTo(config);
-    core::ErrorToleranceStudy study(workload, config);
-
-    bench::SweepConfig sweep;
-    sweep.errorCounts = {25, 50, 100, 250, 500};
-    sweep.trials = opts.trialsOr(25);
-    sweep.runUnprotected = true; // shown for completeness
-    auto points = bench::runSweep(workload, study, sweep);
-
-    bench::printFigure(
-        "Figure 2: MPEG", "% bad frames", points,
-        [](const core::CellSummary &cell) {
-            return 100.0 * cell.meanFidelity();
-        },
-        10.0);
-    return 0;
+    return etc::bench::figureMain("fig2", argc, argv);
 }

@@ -1,50 +1,17 @@
 /**
  * @file
- * Figure 3 reproduction: MCF percentage of optimal schedules found and
- * percentage of failed executions vs. errors inserted. Paper shape:
- * most schedules stay correct at low error counts; incorrect ones are
- * visibly incomplete; failures grow with the error count.
+ * Figure 3 reproduction: MCF share of runs that still find the
+ * optimal schedule, and % failed executions, vs. errors inserted.
+ *
+ * Sweep data lives in the experiments registry ("fig3"), shared with
+ * the etc_lab CLI: cells persist to --cache-dir, stored cells are
+ * skipped, and --shard i/N computes one trial stripe per process.
  */
 
-#include <iostream>
-#include <limits>
-
-#include "bench/common.hh"
-#include "support/logging.hh"
-#include "workloads/mcf.hh"
-
-using namespace etc;
+#include "bench/figure_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseBenchArgs(argc, argv);
-    bench::banner("Figure 3",
-                  "MCF: % optimal schedules found and % failed "
-                  "executions vs. errors inserted");
-
-    workloads::McfWorkload workload(
-        workloads::McfWorkload::scaled(workloads::Scale::Bench));
-    core::StudyConfig config;
-    opts.applyTo(config);
-    // Corrupted parent walks spin forever; a 4x budget detects them
-    // without burning the full default timeout allowance.
-    config.budgetFactor = 4.0;
-    core::ErrorToleranceStudy study(workload, config);
-
-    bench::SweepConfig sweep;
-    sweep.errorCounts = {0, 1, 2, 5, 10, 20, 50};
-    sweep.trials = opts.trialsOr(25);
-    sweep.runUnprotected = true;
-    auto points = bench::runSweep(workload, study, sweep);
-
-    // For MCF the fidelity metric plotted by the paper is the share of
-    // runs that still find the optimal schedule.
-    bench::printFigure(
-        "Figure 3: MCF", "% optimal schedules", points,
-        [](const core::CellSummary &cell) {
-            return 100.0 * cell.acceptableRate();
-        },
-        std::numeric_limits<double>::quiet_NaN());
-    return 0;
+    return etc::bench::figureMain("fig3", argc, argv);
 }

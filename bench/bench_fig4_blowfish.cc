@@ -1,45 +1,17 @@
 /**
  * @file
- * Figure 4 reproduction: Blowfish percentage of round-tripped
- * plaintext bytes matching the original vs. errors inserted, plus the
- * failure series. Paper shape: output identical at ~10 errors, then a
- * gradual precision loss and a growing failure rate.
+ * Figure 4 reproduction: Blowfish percentage of output bytes correct
+ * and % failed executions vs. errors inserted.
+ *
+ * Sweep data lives in the experiments registry ("fig4"), shared with
+ * the etc_lab CLI: cells persist to --cache-dir, stored cells are
+ * skipped, and --shard i/N computes one trial stripe per process.
  */
 
-#include <iostream>
-#include <limits>
-
-#include "bench/common.hh"
-#include "support/logging.hh"
-#include "workloads/blowfish.hh"
-
-using namespace etc;
+#include "bench/figure_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseBenchArgs(argc, argv);
-    bench::banner("Figure 4",
-                  "Blowfish: % bytes correct and % failed executions "
-                  "vs. errors inserted");
-
-    workloads::BlowfishWorkload workload(
-        workloads::BlowfishWorkload::scaled(workloads::Scale::Bench));
-    core::StudyConfig config;
-    opts.applyTo(config);
-    core::ErrorToleranceStudy study(workload, config);
-
-    bench::SweepConfig sweep;
-    sweep.errorCounts = {1, 5, 10, 20, 30, 40};
-    sweep.trials = opts.trialsOr(20);
-    sweep.runUnprotected = true;
-    auto points = bench::runSweep(workload, study, sweep);
-
-    bench::printFigure(
-        "Figure 4: Blowfish", "% bytes correct", points,
-        [](const core::CellSummary &cell) {
-            return 100.0 * cell.meanFidelity();
-        },
-        std::numeric_limits<double>::quiet_NaN());
-    return 0;
+    return etc::bench::figureMain("fig4", argc, argv);
 }

@@ -4,40 +4,16 @@
  * output (vs. the fault-free decode) as errors are inserted, plus the
  * failure series. Paper shape: only ~2 dB of signal lost at 20 errors,
  * ~7 dB at 40; essentially no catastrophic failures with protection.
+ *
+ * Sweep data lives in the experiments registry ("fig5"), shared with
+ * the etc_lab CLI: cells persist to --cache-dir, stored cells are
+ * skipped, and --shard i/N computes one trial stripe per process.
  */
 
-#include <iostream>
-#include <limits>
-
-#include "bench/common.hh"
-#include "support/logging.hh"
-#include "workloads/gsm.hh"
-
-using namespace etc;
+#include "bench/figure_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseBenchArgs(argc, argv);
-    bench::banner("Figure 5",
-                  "GSM: SNR vs. fault-free decode and % failed "
-                  "executions vs. errors inserted");
-
-    workloads::GsmWorkload workload(
-        workloads::GsmWorkload::scaled(workloads::Scale::Bench));
-    core::StudyConfig config;
-    opts.applyTo(config);
-    core::ErrorToleranceStudy study(workload, config);
-
-    bench::SweepConfig sweep;
-    sweep.errorCounts = {1, 5, 10, 20, 30, 40};
-    sweep.trials = opts.trialsOr(25);
-    sweep.runUnprotected = true;
-    auto points = bench::runSweep(workload, study, sweep);
-
-    bench::printFigure(
-        "Figure 5: GSM", "SNR (dB) vs fault-free output", points,
-        [](const core::CellSummary &cell) { return cell.meanFidelity(); },
-        std::numeric_limits<double>::quiet_NaN());
-    return 0;
+    return etc::bench::figureMain("fig5", argc, argv);
 }

@@ -1,45 +1,17 @@
 /**
  * @file
- * Figure 6 reproduction: ART percentage of images still recognized
- * (correct template at the correct window, confidence in band) vs.
- * errors inserted. Paper shape: recognition drops to ~75% with only
- * two errors, yet the application never fails catastrophically.
+ * Figure 6 reproduction: ART percentage of images recognized and %
+ * failed executions vs. errors inserted.
+ *
+ * Sweep data lives in the experiments registry ("fig6"), shared with
+ * the etc_lab CLI: cells persist to --cache-dir, stored cells are
+ * skipped, and --shard i/N computes one trial stripe per process.
  */
 
-#include <iostream>
-#include <limits>
-
-#include "bench/common.hh"
-#include "support/logging.hh"
-#include "workloads/art.hh"
-
-using namespace etc;
+#include "bench/figure_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseBenchArgs(argc, argv);
-    bench::banner("Figure 6",
-                  "ART: % images recognized and % failed executions "
-                  "vs. errors inserted");
-
-    workloads::ArtWorkload workload(
-        workloads::ArtWorkload::scaled(workloads::Scale::Bench));
-    core::StudyConfig config;
-    opts.applyTo(config);
-    core::ErrorToleranceStudy study(workload, config);
-
-    bench::SweepConfig sweep;
-    sweep.errorCounts = {0, 1, 2, 3, 4};
-    sweep.trials = opts.trialsOr(40);
-    sweep.runUnprotected = true;
-    auto points = bench::runSweep(workload, study, sweep);
-
-    bench::printFigure(
-        "Figure 6: ART", "% images recognized", points,
-        [](const core::CellSummary &cell) {
-            return 100.0 * cell.acceptableRate();
-        },
-        std::numeric_limits<double>::quiet_NaN());
-    return 0;
+    return etc::bench::figureMain("fig6", argc, argv);
 }

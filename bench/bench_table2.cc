@@ -46,9 +46,6 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    bench::banner("Table 2",
-                  "Catastrophic failures with and without protecting "
-                  "control data");
 
     constexpr unsigned TRIALS = 30;
     Table table({"Algorithm", "Errors", "Total instrs",
@@ -62,6 +59,23 @@ main(int argc, char **argv)
         opts.applyTo(config);
         config.trials = opts.trialsOr(TRIALS);
         core::ErrorToleranceStudy study(*workload, config);
+        if (opts.sharded()) {
+            // Stripe mode: persist this process's share of every cell
+            // and skip rendering; a later unsharded run assembles the
+            // shards from the cache into the full table.
+            for (unsigned errors : row.errorCounts) {
+                inform("table2: ", row.app, " @ ", errors,
+                       " errors, shard ", opts.shardIndex, "/",
+                       opts.shardCount);
+                study.runCellShard(errors, ProtectionMode::Protected,
+                                   config.trials, opts.shardIndex,
+                                   opts.shardCount);
+                study.runCellShard(errors, ProtectionMode::Unprotected,
+                                   config.trials, opts.shardIndex,
+                                   opts.shardCount);
+            }
+            continue;
+        }
         for (size_t i = 0; i < row.errorCounts.size(); ++i) {
             unsigned errors = row.errorCounts[i];
             inform("table2: ", row.app, " @ ", errors, " errors");
@@ -83,6 +97,16 @@ main(int argc, char **argv)
             });
         }
     }
+    if (opts.sharded()) {
+        inform("table2: shard ", opts.shardIndex, "/", opts.shardCount,
+               " stored in ", opts.cacheDir,
+               "; run the remaining shards, then rerun unsharded to "
+               "render the table");
+        return 0;
+    }
+    bench::banner("Table 2",
+                  "Catastrophic failures with and without protecting "
+                  "control data");
     table.print(std::cout);
     std::cout << "\n(paper columns: values reported by Thaker et al. "
                  "on 144M-42B instruction runs)\n";

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "store/cell_key.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 
@@ -23,65 +24,100 @@ namespace {
 usage(const char *program, int status)
 {
     std::cerr << "usage: " << program
-              << " [--threads N] [--trials N] [--checkpoint-interval N]\n"
+              << " [--threads N] [--trials N] [--checkpoint-interval N]"
+                 " [--seed S]\n"
+              << "       [--cache-dir DIR] [--no-cache] [--shard i/N]\n"
               << "  --threads N  campaign worker threads (0 = all "
                  "cores; default 0)\n"
-              << "  --trials N   trials per campaign cell (0 = driver "
-                 "default)\n"
+              << "  --trials N   trials per campaign cell (>= 1; omit "
+                 "for the driver default)\n"
               << "  --checkpoint-interval N  instructions between "
                  "golden-run checkpoints\n"
               << "               (0 disables trial fast-forwarding; "
                  "default "
               << fault::CampaignRunner::DEFAULT_CHECKPOINT_INTERVAL
-              << "). Results are identical either way.\n";
+              << "). Results are identical either way.\n"
+              << "  --seed S     master study seed (decimal or 0x hex; "
+                 "default "
+              << core::StudyConfig{}.seed << ")\n"
+              << "  --cache-dir DIR  persist campaign cells to the "
+                 "result store at DIR\n"
+              << "               and skip already-stored cells\n"
+              << "  --no-cache   ignore --cache-dir and stored records\n"
+              << "  --shard i/N  run only trial stripe i (0-based) of N "
+                 "per cell,\n"
+              << "               persisting shard records (requires "
+                 "--cache-dir)\n";
     std::exit(status);
-}
-
-uint64_t
-parseCount64(const char *program, const std::string &flag,
-             const std::string &text, uint64_t max)
-{
-    try {
-        // Digits only: std::stoull would accept a leading '-' and wrap.
-        if (text.empty() ||
-            text.find_first_not_of("0123456789") != std::string::npos)
-            throw std::invalid_argument(text);
-        size_t pos = 0;
-        unsigned long long value = std::stoull(text, &pos, 10);
-        if (pos != text.size() || value > max)
-            throw std::invalid_argument(text);
-        return value;
-    } catch (const std::exception &) {
-        std::cerr << program << ": bad value for " << flag << ": '"
-                  << text << "'\n";
-        usage(program, 2);
-    }
-}
-
-unsigned
-parseCount(const char *program, const std::string &flag,
-           const std::string &text)
-{
-    return static_cast<unsigned>(parseCount64(
-        program, flag, text, std::numeric_limits<unsigned>::max()));
 }
 
 } // namespace
 
+uint64_t
+parseCountValue(const std::string &flag, const std::string &text,
+                uint64_t max)
+{
+    // Digits only: std::stoull would accept a leading '-' and wrap.
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        fatal("bad value for ", flag, ": '", text, "'");
+    uint64_t value = 0;
+    for (char c : text) {
+        uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (value > (max - digit) / 10)
+            fatal("bad value for ", flag, ": '", text, "'");
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+unsigned
+parseCount32(const std::string &flag, const std::string &text)
+{
+    return static_cast<unsigned>(parseCountValue(
+        flag, text, std::numeric_limits<unsigned>::max()));
+}
+
+uint64_t
+parseSeedValue(const std::string &flag, const std::string &text)
+{
+    if (text.rfind("0x", 0) == 0) {
+        try {
+            return store::parseHexU64(text);
+        } catch (const std::invalid_argument &) {
+            fatal("bad value for ", flag, ": '", text, "'");
+        }
+    }
+    return parseCountValue(flag, text,
+                           std::numeric_limits<uint64_t>::max());
+}
+
+void
+parseShardSpec(const std::string &text, unsigned &index,
+               unsigned &count)
+{
+    size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size())
+        fatal("--shard expects i/N, got '", text, "'");
+    index = parseCount32("--shard", text.substr(0, slash));
+    count = parseCount32("--shard", text.substr(slash + 1));
+    if (count == 0 || index >= count)
+        fatal("--shard index must satisfy 0 <= i < N, got '", text,
+              "'");
+}
+
 BenchOptions
 parseBenchArgs(int argc, char **argv)
-{
+try {
     BenchOptions opts;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto valueOf = [&](const std::string &flag)
             -> std::optional<std::string> {
             if (arg == flag) {
-                if (i + 1 >= argc) {
-                    std::cerr << argv[0] << ": " << flag
-                              << " expects a value\n";
-                    usage(argv[0], 2);
-                }
+                if (i + 1 >= argc)
+                    fatal(flag, " expects a value");
                 return std::string(argv[++i]);
             }
             if (arg.rfind(flag + "=", 0) == 0)
@@ -91,20 +127,37 @@ parseBenchArgs(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             usage(argv[0], 0);
         } else if (auto threads = valueOf("--threads")) {
-            opts.threads = parseCount(argv[0], "--threads", *threads);
+            opts.threads = parseCount32("--threads", *threads);
         } else if (auto trials = valueOf("--trials")) {
-            opts.trials = parseCount(argv[0], "--trials", *trials);
+            opts.trials = parseCount32("--trials", *trials);
+            if (opts.trials == 0)
+                fatal("--trials must be >= 1 (omit the flag for the "
+                      "driver default)");
         } else if (auto interval = valueOf("--checkpoint-interval")) {
             opts.checkpointInterval =
-                parseCount64(argv[0], "--checkpoint-interval", *interval,
-                             std::numeric_limits<uint64_t>::max());
+                parseCountValue("--checkpoint-interval", *interval,
+                                std::numeric_limits<uint64_t>::max());
+        } else if (auto seed = valueOf("--seed")) {
+            opts.seed = parseSeedValue("--seed", *seed);
+        } else if (auto dir = valueOf("--cache-dir")) {
+            if (dir->empty())
+                fatal("--cache-dir expects a directory");
+            opts.cacheDir = *dir;
+        } else if (arg == "--no-cache") {
+            opts.noCache = true;
+        } else if (auto shard = valueOf("--shard")) {
+            parseShardSpec(*shard, opts.shardIndex, opts.shardCount);
         } else {
-            std::cerr << argv[0] << ": unknown argument '" << arg
-                      << "'\n";
-            usage(argv[0], 2);
+            fatal("unknown argument '", arg, "'");
         }
     }
+    if (opts.sharded() && (opts.cacheDir.empty() || opts.noCache))
+        fatal("--shard requires --cache-dir (the stripe's results "
+              "must be persisted somewhere)");
     return opts;
+} catch (const FatalError &error) {
+    std::cerr << argv[0] << ": " << error.what() << '\n';
+    usage(argv[0], 2);
 }
 
 void
@@ -137,6 +190,27 @@ runSweep(const workloads::Workload &workload,
          core::ErrorToleranceStudy &study, const SweepConfig &config)
 {
     std::vector<SweepPoint> points;
+    if (config.shardCount > 0) {
+        // Stripe mode: compute and persist this process's share of
+        // every cell; rendering happens once all stripes are stored.
+        for (unsigned errors : config.errorCounts) {
+            inform(workload.name(), ": errors=", errors, " shard ",
+                   config.shardIndex, "/", config.shardCount,
+                   " (protected)");
+            study.runCellShard(errors, ProtectionMode::Protected,
+                               config.trials, config.shardIndex,
+                               config.shardCount);
+            if (config.runUnprotected) {
+                inform(workload.name(), ": errors=", errors, " shard ",
+                       config.shardIndex, "/", config.shardCount,
+                       " (unprotected)");
+                study.runCellShard(errors, ProtectionMode::Unprotected,
+                                   config.trials, config.shardIndex,
+                                   config.shardCount);
+            }
+        }
+        return points;
+    }
     for (unsigned errors : config.errorCounts) {
         SweepPoint point;
         point.errors = errors;
@@ -185,13 +259,17 @@ printFigure(const std::string &title, const std::string &yLabel,
         const auto &cell = p.protectedCell;
         auto ci = wilsonInterval(cell.crashed + cell.timedOut,
                                  cell.trials);
+        std::string ciText = "[";
+        ciText += formatPercent(ci.low);
+        ciText += ", ";
+        ciText += formatPercent(ci.high);
+        ciText += "]";
         table.addRow({
             std::to_string(p.errors),
             std::to_string(cell.trials),
             std::to_string(cell.completed),
             formatPercent(cell.failureRate()),
-            "[" + formatPercent(ci.low) + ", " +
-                formatPercent(ci.high) + "]",
+            ciText,
             formatDouble(fidelityOf(cell)),
             p.hasUnprotected
                 ? formatPercent(p.unprotectedCell.failureRate())

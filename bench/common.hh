@@ -39,7 +39,11 @@ struct SweepConfig
     std::vector<unsigned> errorCounts;
     unsigned trials = 25;
     bool runUnprotected = false;
-    uint64_t seed = 0xbe7c;
+
+    /** When shardCount > 0, run only stripe shardIndex of every cell
+     *  (persisting shard records via the study's result store). */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 0;
 };
 
 /**
@@ -57,6 +61,24 @@ struct BenchOptions
     uint64_t checkpointInterval =
         fault::CampaignRunner::DEFAULT_CHECKPOINT_INTERVAL;
 
+    /** Master study seed; cells and their cache keys derive from it. */
+    uint64_t seed = core::StudyConfig{}.seed;
+
+    /** Result-store root (--cache-dir); empty = no persistence. */
+    std::string cacheDir;
+
+    /** --no-cache: ignore --cache-dir and any stored records. */
+    bool noCache = false;
+
+    /** --shard i/N: run only trial stripe i of N per cell (persisting
+     *  shard records) instead of rendering the figure. shardCount == 0
+     *  means not sharded. */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 0;
+
+    /** @return true when this process runs one stripe of each cell. */
+    bool sharded() const { return shardCount > 0; }
+
     /** @return the trial count: this option, or @p dflt when unset. */
     unsigned
     trialsOr(unsigned dflt) const
@@ -70,6 +92,8 @@ struct BenchOptions
     {
         config.threads = threads;
         config.checkpointInterval = checkpointInterval;
+        config.seed = seed;
+        config.cacheDir = noCache ? std::string() : cacheDir;
     }
 };
 
@@ -78,15 +102,49 @@ struct BenchOptions
  *
  *   --threads N              campaign worker threads (0 = all cores;
  *                            default 0)
- *   --trials N               trials per campaign cell (0 = driver default)
+ *   --trials N               trials per campaign cell (>= 1; omit for
+ *                            the driver default)
  *   --checkpoint-interval N  instructions between golden-run checkpoints
  *                            (0 = disable trial fast-forwarding; default
  *                            8192). Never changes reproduced numbers.
+ *   --seed S                 master study seed (decimal or 0x hex);
+ *                            cells and cache keys derive from it
+ *   --cache-dir DIR          persist campaign cells to the result store
+ *                            at DIR and skip already-stored cells
+ *   --no-cache               ignore --cache-dir and stored records
+ *   --shard i/N              run only trial stripe i (0-based) of N per
+ *                            cell, persisting shard records to the
+ *                            cache instead of rendering results
+ *                            (requires --cache-dir)
  *   --help                   print usage and exit
+ *
+ * `--trials 0` is rejected: 0 previously meant "driver default", which
+ * silently masked typos; omit the flag instead.
  *
  * Unknown flags print usage and exit with status 2.
  */
 BenchOptions parseBenchArgs(int argc, char **argv);
+
+/**
+ * Shared flag-value parsers (etc_lab reuses them). All throw
+ * FatalError on bad input; callers attach their own usage/exit
+ * policy.
+ */
+
+/** Overflow-checked decimal parse into [0, max]. */
+uint64_t parseCountValue(const std::string &flag,
+                         const std::string &text, uint64_t max);
+
+/** parseCountValue() narrowed to unsigned. */
+unsigned parseCount32(const std::string &flag, const std::string &text);
+
+/** Decimal or 0x-hex 64-bit seed. */
+uint64_t parseSeedValue(const std::string &flag,
+                        const std::string &text);
+
+/** Parse a "--shard i/N" spec (0 <= i < N, N >= 1). */
+void parseShardSpec(const std::string &text, unsigned &index,
+                    unsigned &count);
 
 /**
  * Emit one machine-readable perf record for a campaign cell to stderr
@@ -104,8 +162,11 @@ void emitCellJson(const std::string &workloadName, const std::string &mode,
                   const core::StudyConfig &config);
 
 /**
- * Construct a bench-scale study for @p workloadName and run the sweep.
- * Progress is reported on stderr (one line per cell).
+ * Run the sweep through @p study. Progress is reported on stderr (one
+ * line per cell). In sharded mode (config.shardCount > 0) only each
+ * cell's stripe is computed and persisted, and the returned vector is
+ * empty -- the caller skips rendering; a later unsharded run (or
+ * `etc_lab merge` + `report`) assembles the stored shards.
  */
 std::vector<SweepPoint> runSweep(const workloads::Workload &workload,
                                  core::ErrorToleranceStudy &study,

@@ -1,0 +1,224 @@
+#include "bench/experiments.hh"
+
+#include <limits>
+
+namespace etc::bench {
+
+namespace {
+
+constexpr double NO_THRESHOLD =
+    std::numeric_limits<double>::quiet_NaN();
+
+} // namespace
+
+const std::vector<Experiment> &
+experiments()
+{
+    static const std::vector<Experiment> registry = {
+        {
+            "fig1",
+            "Figure 1",
+            "Susan: PSNR of pictures with error vs. errors "
+            "inserted (threshold 10 dB)",
+            "Figure 1: Susan",
+            "PSNR (dB)",
+            "susan",
+            workloads::Scale::Bench,
+            {100, 500, 920, 1100, 1550, 2300},
+            25,
+            true,
+            0,
+            FidelityMetric::Mean,
+            10.0,
+        },
+        {
+            "fig2",
+            "Figure 2",
+            "MPEG: % bad frames and % failed executions vs. "
+            "errors inserted (threshold 10% bad frames)",
+            "Figure 2: MPEG",
+            "% bad frames",
+            "mpeg",
+            workloads::Scale::Bench,
+            {25, 50, 100, 250, 500},
+            25,
+            true,
+            0,
+            FidelityMetric::MeanPercent,
+            10.0,
+        },
+        {
+            "fig3",
+            "Figure 3",
+            "MCF: % optimal schedules found and % failed "
+            "executions vs. errors inserted",
+            "Figure 3: MCF",
+            "% optimal schedules",
+            "mcf",
+            workloads::Scale::Bench,
+            {0, 1, 2, 5, 10, 20, 50},
+            25,
+            true,
+            // Corrupted parent walks spin forever; a 4x budget
+            // detects them without burning the full default timeout
+            // allowance.
+            4.0,
+            FidelityMetric::AcceptablePct,
+            NO_THRESHOLD,
+        },
+        {
+            "fig4",
+            "Figure 4",
+            "Blowfish: % bytes correct and % failed executions "
+            "vs. errors inserted",
+            "Figure 4: Blowfish",
+            "% bytes correct",
+            "blowfish",
+            workloads::Scale::Bench,
+            {1, 5, 10, 20, 30, 40},
+            20,
+            true,
+            0,
+            FidelityMetric::MeanPercent,
+            NO_THRESHOLD,
+        },
+        {
+            "fig5",
+            "Figure 5",
+            "GSM: SNR vs. fault-free decode and % failed "
+            "executions vs. errors inserted",
+            "Figure 5: GSM",
+            "SNR (dB) vs fault-free output",
+            "gsm",
+            workloads::Scale::Bench,
+            {1, 5, 10, 20, 30, 40},
+            25,
+            true,
+            0,
+            FidelityMetric::Mean,
+            NO_THRESHOLD,
+        },
+        {
+            "fig6",
+            "Figure 6",
+            "ART: % images recognized and % failed executions "
+            "vs. errors inserted",
+            "Figure 6: ART",
+            "% images recognized",
+            "art",
+            workloads::Scale::Bench,
+            {0, 1, 2, 3, 4},
+            40,
+            true,
+            0,
+            FidelityMetric::AcceptablePct,
+            NO_THRESHOLD,
+        },
+        // Not paper figures: minute-scale sweeps over the test-scale
+        // inputs, sized for CI cache smoke tests and local sanity
+        // checks of the store/orchestration machinery.
+        {
+            "smoke",
+            "Smoke sweep",
+            "ADPCM at test scale: tiny sweep for cache and "
+            "orchestration validation (not a paper figure)",
+            "Smoke: ADPCM (test scale)",
+            "fidelity",
+            "adpcm",
+            workloads::Scale::Test,
+            {1, 3, 5},
+            12,
+            true,
+            0,
+            FidelityMetric::Mean,
+            NO_THRESHOLD,
+        },
+        {
+            "smoke-gsm",
+            "Smoke sweep (GSM)",
+            "GSM at test scale: tiny sweep for cache and "
+            "orchestration validation (not a paper figure)",
+            "Smoke: GSM (test scale)",
+            "SNR (dB) vs fault-free output",
+            "gsm",
+            workloads::Scale::Test,
+            {1, 4},
+            8,
+            false,
+            0,
+            FidelityMetric::Mean,
+            NO_THRESHOLD,
+        },
+    };
+    return registry;
+}
+
+const Experiment *
+findExperiment(const std::string &name)
+{
+    for (const auto &exp : experiments())
+        if (exp.name == name)
+            return &exp;
+    return nullptr;
+}
+
+std::string
+experimentNames()
+{
+    std::string names;
+    for (const auto &exp : experiments()) {
+        if (!names.empty())
+            names += ", ";
+        names += exp.name;
+    }
+    return names;
+}
+
+double
+fidelityOf(const Experiment &exp, const core::CellSummary &cell)
+{
+    switch (exp.metric) {
+      case FidelityMetric::Mean: return cell.meanFidelity();
+      case FidelityMetric::MeanPercent:
+        return 100.0 * cell.meanFidelity();
+      case FidelityMetric::AcceptablePct:
+        return 100.0 * cell.acceptableRate();
+    }
+    return 0.0;
+}
+
+core::StudyConfig
+makeStudyConfig(const Experiment &exp, const BenchOptions &opts)
+{
+    core::StudyConfig config;
+    opts.applyTo(config);
+    if (exp.budgetFactor > 0)
+        config.budgetFactor = exp.budgetFactor;
+    return config;
+}
+
+SweepConfig
+makeSweepConfig(const Experiment &exp, const BenchOptions &opts)
+{
+    SweepConfig sweep;
+    sweep.errorCounts = exp.errorCounts;
+    sweep.trials = opts.trialsOr(exp.defaultTrials);
+    sweep.runUnprotected = exp.runUnprotected;
+    sweep.shardIndex = opts.shardIndex;
+    sweep.shardCount = opts.shardCount;
+    return sweep;
+}
+
+void
+renderExperiment(const Experiment &exp,
+                 const std::vector<SweepPoint> &points)
+{
+    banner(exp.experiment, exp.caption);
+    printFigure(exp.title, exp.yLabel, points,
+                [&exp](const core::CellSummary &cell) {
+                    return fidelityOf(exp, cell);
+                },
+                exp.threshold);
+}
+
+} // namespace etc::bench

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Registry of the paper's figure sweeps (plus CI-scale smoke sweeps).
+ *
+ * Every figure reproduction is the same shape -- banner, workload,
+ * study, error-count sweep, table + ASCII charts -- varying only in
+ * the data collected here. The bench_fig* drivers and the etc_lab
+ * CLI both execute entries from this registry, so a figure rendered
+ * by `bench_fig5_gsm`, by `etc_lab run`, and by `etc_lab report`
+ * straight from cached records is byte-identical.
+ */
+
+#ifndef ETC_BENCH_EXPERIMENTS_HH
+#define ETC_BENCH_EXPERIMENTS_HH
+
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+
+namespace etc::bench {
+
+/** How a cell's plotted fidelity value is derived. */
+enum class FidelityMetric
+{
+    Mean,           //!< meanFidelity()
+    MeanPercent,    //!< 100 * meanFidelity()
+    AcceptablePct,  //!< 100 * acceptableRate()
+};
+
+/** One registered sweep (a paper figure or a smoke-scale sweep). */
+struct Experiment
+{
+    std::string name;       //!< CLI identifier ("fig5", "smoke", ...)
+    std::string experiment; //!< banner headline ("Figure 5")
+    std::string caption;    //!< banner caption
+    std::string title;      //!< chart title ("Figure 5: GSM")
+    std::string yLabel;     //!< fidelity axis caption
+    std::string workload;   //!< workload factory name
+    workloads::Scale scale = workloads::Scale::Bench;
+    std::vector<unsigned> errorCounts;
+    unsigned defaultTrials = 25;
+    bool runUnprotected = true;
+    double budgetFactor = 0; //!< 0 = the StudyConfig default
+    FidelityMetric metric = FidelityMetric::Mean;
+    double threshold;        //!< NaN = no threshold line
+};
+
+/** All registered experiments, figure order first. */
+const std::vector<Experiment> &experiments();
+
+/** @return the registry entry named @p name, or nullptr. */
+const Experiment *findExperiment(const std::string &name);
+
+/** @return comma-separated registry names (for usage messages). */
+std::string experimentNames();
+
+/** @return the plotted fidelity value of @p cell under @p exp. */
+double fidelityOf(const Experiment &exp, const core::CellSummary &cell);
+
+/** Study configuration for @p exp with the common knobs applied. */
+core::StudyConfig makeStudyConfig(const Experiment &exp,
+                                  const BenchOptions &opts);
+
+/** Sweep configuration for @p exp with the common knobs applied. */
+SweepConfig makeSweepConfig(const Experiment &exp,
+                            const BenchOptions &opts);
+
+/** Print @p exp's banner, table, and charts for the swept points. */
+void renderExperiment(const Experiment &exp,
+                      const std::vector<SweepPoint> &points);
+
+} // namespace etc::bench
+
+#endif // ETC_BENCH_EXPERIMENTS_HH

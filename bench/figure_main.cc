@@ -1,0 +1,40 @@
+#include "bench/figure_main.hh"
+
+#include <iostream>
+
+#include "bench/experiments.hh"
+#include "support/logging.hh"
+
+namespace etc::bench {
+
+int
+figureMain(const std::string &name, int argc, char **argv)
+{
+    auto opts = parseBenchArgs(argc, argv);
+    const Experiment *exp = findExperiment(name);
+    if (!exp)
+        panic("figureMain: unregistered experiment '", name, "'");
+
+    try {
+        auto workload = workloads::createWorkload(exp->workload,
+                                                  exp->scale);
+        core::ErrorToleranceStudy study(*workload,
+                                        makeStudyConfig(*exp, opts));
+        auto points =
+            runSweep(*workload, study, makeSweepConfig(*exp, opts));
+        if (opts.sharded()) {
+            inform(exp->name, ": shard ", opts.shardIndex, "/",
+                   opts.shardCount, " stored in ", opts.cacheDir,
+                   "; run the remaining shards, then render with an "
+                   "unsharded run or `etc_lab report`");
+            return 0;
+        }
+        renderExperiment(*exp, points);
+        return 0;
+    } catch (const FatalError &error) {
+        std::cerr << error.what() << '\n';
+        return 1;
+    }
+}
+
+} // namespace etc::bench

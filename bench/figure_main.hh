@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared main() for the bench_fig* drivers: parse the common flags,
+ * run the registered experiment's sweep (cache- and shard-aware
+ * through the study), and render the figure.
+ */
+
+#ifndef ETC_BENCH_FIGURE_MAIN_HH
+#define ETC_BENCH_FIGURE_MAIN_HH
+
+#include <string>
+
+namespace etc::bench {
+
+/**
+ * Execute the registry experiment @p name with the given argv.
+ *
+ * In sharded mode (--shard i/N) only the stripe is computed and
+ * persisted; rendering is skipped (stdout stays empty) -- assemble
+ * the stored shards later with an unsharded run or `etc_lab merge` +
+ * `report`.
+ *
+ * @return the process exit status
+ */
+int figureMain(const std::string &name, int argc, char **argv);
+
+} // namespace etc::bench
+
+#endif // ETC_BENCH_FIGURE_MAIN_HH

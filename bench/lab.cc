@@ -1,0 +1,386 @@
+#include "bench/lab.hh"
+
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/experiments.hh"
+#include "store/result_store.hh"
+#include "support/logging.hh"
+
+namespace etc::bench {
+
+namespace {
+
+struct LabOptions
+{
+    std::string command;    //!< run | resume | merge | report
+    std::string experiment; //!< registry name (--experiment)
+    unsigned chunks = 4;    //!< shard records per cell during run
+    BenchOptions bench;     //!< the shared campaign knobs
+};
+
+[[noreturn]] void
+usage(int status)
+{
+    std::cerr
+        << "usage: etc_lab <run|resume|merge|report> --experiment NAME"
+           " [options]\n"
+           "\n"
+           "subcommands:\n"
+           "  run     execute the sweep; persist every cell to the\n"
+           "          cache, skip stored cells, resume partial ones,\n"
+           "          then render the figure\n"
+           "  resume  same as run (requires --cache-dir); continues a\n"
+           "          killed campaign from its stored shards\n"
+           "  merge   promote complete shard sets into cell records\n"
+           "          (no simulation)\n"
+           "  report  render the figure purely from stored records\n"
+           "          (no simulation; fails on missing cells)\n"
+           "\n"
+           "options:\n"
+           "  --experiment NAME        one of: "
+        << experimentNames()
+        << "\n"
+           "  --cache-dir DIR          result-store root (required for\n"
+           "                           resume/merge/report)\n"
+           "  --no-cache               run without persistence\n"
+           "  --trials N               trials per cell (>= 1; default:\n"
+           "                           the experiment's)\n"
+           "  --threads N              worker threads (0 = all cores)\n"
+           "  --seed S                 master study seed (decimal or 0x"
+           " hex)\n"
+           "  --checkpoint-interval N  golden-run checkpoint spacing\n"
+           "  --shard i/N              run only trial stripe i of N per\n"
+           "                           cell, then exit (no rendering)\n"
+           "  --chunks N               shard records per cell while\n"
+           "                           running (default 4; bounds lost\n"
+           "                           work on a kill)\n"
+           "  --help                   this message\n"
+           "\n"
+           "Results are bit-identical for every --threads value, every\n"
+           "--shard split, every --chunks value, and across\n"
+           "kill/resume -- only wall-clock time changes.\n";
+    std::exit(status);
+}
+
+LabOptions
+parseLabArgs(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(2);
+    LabOptions opts;
+    opts.command = argv[1];
+    if (opts.command == "--help" || opts.command == "-h")
+        usage(0);
+    if (opts.command != "run" && opts.command != "resume" &&
+        opts.command != "merge" && opts.command != "report") {
+        std::cerr << "etc_lab: unknown subcommand '" << opts.command
+                  << "'\n";
+        usage(2);
+    }
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto valueOf = [&](const std::string &flag)
+            -> std::optional<std::string> {
+            if (arg == flag) {
+                if (i + 1 >= argc)
+                    fatal(flag, " expects a value");
+                return std::string(argv[++i]);
+            }
+            if (arg.rfind(flag + "=", 0) == 0)
+                return arg.substr(flag.size() + 1);
+            return std::nullopt;
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (auto name = valueOf("--experiment")) {
+            opts.experiment = *name;
+        } else if (auto dir = valueOf("--cache-dir")) {
+            opts.bench.cacheDir = *dir;
+        } else if (arg == "--no-cache") {
+            opts.bench.noCache = true;
+        } else if (auto trials = valueOf("--trials")) {
+            opts.bench.trials = parseCount32("--trials", *trials);
+            if (opts.bench.trials == 0)
+                fatal("--trials must be >= 1 (omit the flag for the "
+                      "experiment default)");
+        } else if (auto threads = valueOf("--threads")) {
+            opts.bench.threads = parseCount32("--threads", *threads);
+        } else if (auto seed = valueOf("--seed")) {
+            opts.bench.seed = parseSeedValue("--seed", *seed);
+        } else if (auto interval = valueOf("--checkpoint-interval")) {
+            opts.bench.checkpointInterval =
+                parseCountValue("--checkpoint-interval", *interval,
+                                std::numeric_limits<uint64_t>::max());
+        } else if (auto shard = valueOf("--shard")) {
+            parseShardSpec(*shard, opts.bench.shardIndex,
+                           opts.bench.shardCount);
+        } else if (auto chunks = valueOf("--chunks")) {
+            opts.chunks = parseCount32("--chunks", *chunks);
+            if (opts.chunks == 0)
+                fatal("--chunks must be >= 1");
+        } else {
+            std::cerr << "etc_lab: unknown argument '" << arg << "'\n";
+            usage(2);
+        }
+    }
+
+    if (opts.experiment.empty())
+        fatal("--experiment is required (one of: ", experimentNames(),
+              ")");
+    bool cached = !opts.bench.cacheDir.empty() && !opts.bench.noCache;
+    if (opts.command != "run" && !cached)
+        fatal(opts.command, " requires --cache-dir (and no --no-cache)");
+    if (opts.bench.sharded() && !cached)
+        fatal("--shard requires --cache-dir (the stripe's results "
+              "must be persisted somewhere)");
+    return opts;
+}
+
+/** The (errors, mode) cells of an experiment, in sweep order. */
+std::vector<std::pair<unsigned, core::ProtectionMode>>
+cellsOf(const Experiment &exp)
+{
+    std::vector<std::pair<unsigned, core::ProtectionMode>> cells;
+    for (unsigned errors : exp.errorCounts) {
+        cells.emplace_back(errors, core::ProtectionMode::Protected);
+        if (exp.runUnprotected)
+            cells.emplace_back(errors,
+                               core::ProtectionMode::Unprotected);
+    }
+    return cells;
+}
+
+void
+emitLabJson(const LabOptions &opts, size_t cells, size_t cellsCached,
+            size_t cellsComputed, uint64_t trialsExecuted)
+{
+    std::cerr << "ETC_LAB_JSON {"
+              << "\"command\":\"" << opts.command << "\","
+              << "\"experiment\":\"" << opts.experiment << "\","
+              << "\"cells\":" << cells << ","
+              << "\"cells_cached\":" << cellsCached << ","
+              << "\"cells_computed\":" << cellsComputed << ","
+              << "\"trials_executed\":" << trialsExecuted << "}"
+              << std::endl;
+}
+
+/** Fold per-cell summaries back into sweep points, in sweep order. */
+std::vector<SweepPoint>
+pointsFrom(const Experiment &exp,
+           const std::vector<core::CellSummary> &summaries)
+{
+    std::vector<SweepPoint> points;
+    size_t next = 0;
+    for (unsigned errors : exp.errorCounts) {
+        SweepPoint point;
+        point.errors = errors;
+        point.protectedCell = summaries.at(next++);
+        if (exp.runUnprotected) {
+            point.hasUnprotected = true;
+            point.unprotectedCell = summaries.at(next++);
+        }
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+int
+labRun(const LabOptions &opts, const Experiment &exp)
+{
+    auto workload = workloads::createWorkload(exp.workload, exp.scale);
+    auto config = makeStudyConfig(exp, opts.bench);
+    unsigned trials = opts.bench.trialsOr(exp.defaultTrials);
+    bool useCache = !config.cacheDir.empty();
+
+    // Cell keys derive from static analysis alone, so a fully warm
+    // run serves everything from the store without simulating at
+    // all; the study (whose constructor executes the golden
+    // profiling run) is built lazily on the first cache miss.
+    std::optional<analysis::ProtectionResult> protection;
+    std::optional<store::ResultStore> cache;
+    if (useCache) {
+        protection = core::computeStudyProtection(*workload, config);
+        cache.emplace(config.cacheDir);
+    }
+    std::unique_ptr<core::ErrorToleranceStudy> study;
+    auto ensureStudy = [&]() -> core::ErrorToleranceStudy & {
+        if (!study)
+            study = std::make_unique<core::ErrorToleranceStudy>(
+                *workload, config);
+        return *study;
+    };
+    auto keyOf = [&](unsigned errors, core::ProtectionMode mode) {
+        return core::makeCellKey(*workload, *protection, config,
+                                 errors, mode, trials);
+    };
+    auto trialsExecuted = [&]() {
+        return study ? study->trialsExecuted() : 0;
+    };
+
+    if (opts.bench.sharded()) {
+        // Stripe mode: classify by actual loads (a corrupt record
+        // must recompute, not silently skip).
+        size_t stripesCached = 0, stripesComputed = 0;
+        auto [lo, hi] = core::ErrorToleranceStudy::shardRange(
+            trials, opts.bench.shardIndex, opts.bench.shardCount);
+        for (auto [errors, mode] : cellsOf(exp)) {
+            inform(exp.name, ": errors=", errors, " shard ",
+                   opts.bench.shardIndex, "/", opts.bench.shardCount,
+                   " (", store::modeName(mode), ")");
+            auto key = keyOf(errors, mode);
+            if (cache->loadCell(key) || cache->loadShard(key, lo, hi)) {
+                ++stripesCached;
+                continue;
+            }
+            ++stripesComputed;
+            ensureStudy().runCellShard(errors, mode, trials,
+                                       opts.bench.shardIndex,
+                                       opts.bench.shardCount);
+        }
+        inform("etc_lab: shard ", opts.bench.shardIndex, "/",
+               opts.bench.shardCount, " of '", exp.name,
+               "' stored in ", opts.bench.cacheDir,
+               "; run the remaining shards, then `etc_lab merge` and "
+               "`etc_lab report`");
+        emitLabJson(opts, cellsOf(exp).size(), stripesCached,
+                    stripesComputed, trialsExecuted());
+        return 0;
+    }
+
+    size_t cellsCached = 0, cellsComputed = 0;
+    std::vector<core::CellSummary> summaries;
+    for (auto [errors, mode] : cellsOf(exp)) {
+        // Classify by an actual load, not existence: a corrupt record
+        // must take the computed path (with chunked kill protection),
+        // not silently degrade it.
+        std::optional<core::CellSummary> cached =
+            useCache ? cache->loadCell(keyOf(errors, mode))
+                     : std::nullopt;
+        (cached ? cellsCached : cellsComputed) += 1;
+        inform(exp.name, ": errors=", errors, " (",
+               store::modeName(mode), ", ", trials, " trials",
+               cached ? ", cached)" : ")");
+        core::CellSummary summary;
+        if (cached) {
+            summary = std::move(*cached);
+        } else {
+            if (useCache && opts.chunks > 1) {
+                // Chunked execution: persist progress every 1/chunks
+                // of the cell, so a kill loses at most one chunk;
+                // runCell below assembles the shards into the cell
+                // record.
+                for (unsigned c = 0; c < opts.chunks; ++c)
+                    ensureStudy().runCellShard(errors, mode, trials, c,
+                                               opts.chunks);
+            }
+            summary = ensureStudy().runCell(errors, mode, trials);
+        }
+        emitCellJson(workload->name(), store::modeName(mode), errors,
+                     summary, config);
+        summaries.push_back(std::move(summary));
+    }
+
+    renderExperiment(exp, pointsFrom(exp, summaries));
+    emitLabJson(opts, summaries.size(), cellsCached, cellsComputed,
+                trialsExecuted());
+    return 0;
+}
+
+int
+labMerge(const LabOptions &opts, const Experiment &exp)
+{
+    auto workload = workloads::createWorkload(exp.workload, exp.scale);
+    auto config = makeStudyConfig(exp, opts.bench);
+    auto protection = core::computeStudyProtection(*workload, config);
+    unsigned trials = opts.bench.trialsOr(exp.defaultTrials);
+    store::ResultStore cache(config.cacheDir);
+
+    size_t complete = 0, merged = 0, incomplete = 0;
+    for (auto [errors, mode] : cellsOf(exp)) {
+        auto key = core::makeCellKey(*workload, protection, config,
+                                     errors, mode, trials);
+        if (cache.loadCell(key)) {
+            cache.dropShards(key); // reclaim leftovers
+            ++complete;
+            continue;
+        }
+        // Tolerate shards from mixed splits (e.g. chunks of a killed
+        // run plus --shard stripes): keep a prefix-tiling subset and
+        // merge if it covers the cell.
+        auto shards = store::selectPrefixTiling(cache.loadShards(key));
+        try {
+            auto summary =
+                store::mergeShardSummaries(key, std::move(shards));
+            cache.storeCell(key, summary);
+            cache.dropShards(key);
+            ++merged;
+            inform("etc_lab: merged ", key.canonical());
+        } catch (const store::StoreFormatError &error) {
+            ++incomplete;
+            inform("etc_lab: cannot merge ", key.canonical(), ": ",
+                   error.what());
+        }
+    }
+    inform("etc_lab: ", complete, " cells already complete, ", merged,
+           " merged from shards, ", incomplete, " still incomplete");
+    emitLabJson(opts, complete + merged + incomplete,
+                complete + merged, 0, 0);
+    return incomplete ? 1 : 0;
+}
+
+int
+labReport(const LabOptions &opts, const Experiment &exp)
+{
+    auto workload = workloads::createWorkload(exp.workload, exp.scale);
+    auto config = makeStudyConfig(exp, opts.bench);
+    auto protection = core::computeStudyProtection(*workload, config);
+    unsigned trials = opts.bench.trialsOr(exp.defaultTrials);
+    store::ResultStore cache(config.cacheDir);
+
+    std::vector<core::CellSummary> summaries;
+    for (auto [errors, mode] : cellsOf(exp)) {
+        auto key = core::makeCellKey(*workload, protection, config,
+                                     errors, mode, trials);
+        auto summary = cache.loadCell(key);
+        if (!summary)
+            fatal("no stored record for cell ", key.canonical(),
+                  " in ", config.cacheDir,
+                  " -- run `etc_lab run` (or `merge` after sharded "
+                  "runs) first");
+        summaries.push_back(std::move(*summary));
+    }
+
+    renderExperiment(exp, pointsFrom(exp, summaries));
+    emitLabJson(opts, summaries.size(), summaries.size(), 0, 0);
+    return 0;
+}
+
+} // namespace
+
+int
+labMain(int argc, char **argv)
+{
+    try {
+        LabOptions opts = parseLabArgs(argc, argv);
+        const Experiment *exp = findExperiment(opts.experiment);
+        if (!exp)
+            fatal("unknown experiment '", opts.experiment,
+                  "' (available: ", experimentNames(), ")");
+        if (opts.command == "merge")
+            return labMerge(opts, *exp);
+        if (opts.command == "report")
+            return labReport(opts, *exp);
+        return labRun(opts, *exp);
+    } catch (const FatalError &error) {
+        std::cerr << "etc_lab: " << error.what() << '\n';
+        return 1;
+    }
+}
+
+} // namespace etc::bench

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * etc_lab: unified campaign orchestration CLI over the result store.
+ *
+ * Subcommands (one registry experiment per invocation):
+ *
+ *   run     execute the sweep, persisting every cell to --cache-dir;
+ *           stored cells are skipped outright, partially-stored cells
+ *           resume from their shards, and each cell executes as
+ *           --chunks shard records so a killed run loses at most one
+ *           chunk of progress. Renders the figure when done.
+ *   resume  alias of run that requires --cache-dir (documents intent
+ *           after a kill; run already resumes from whatever exists).
+ *   merge   promote complete shard sets into cell records without
+ *           running anything (after `--shard i/N` fan-out).
+ *   report  render the figure purely from stored records -- no
+ *           simulation at all; fails if any cell is missing.
+ *
+ * A figure rendered by run, by report from the warm cache, and by a
+ * direct uncached run is byte-identical: records store fidelity
+ * values as IEEE-754 bit patterns and cells are pure functions of
+ * their keys.
+ */
+
+#ifndef ETC_BENCH_LAB_HH
+#define ETC_BENCH_LAB_HH
+
+namespace etc::bench {
+
+/** Full etc_lab entry point (argv parsing included). */
+int labMain(int argc, char **argv);
+
+} // namespace etc::bench
+
+#endif // ETC_BENCH_LAB_HH

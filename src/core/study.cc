@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "sim/simulator.hh"
+#include "store/result_store.hh"
 #include "support/logging.hh"
 
 namespace etc::core {
@@ -30,18 +31,50 @@ CellSummary::acceptableRate() const
     return static_cast<double>(good) / trials;
 }
 
+analysis::ProtectionResult
+computeStudyProtection(const workloads::Workload &workload,
+                       const StudyConfig &config)
+{
+    // Static analysis with the workload's eligibility annotations.
+    analysis::ProtectionConfig protectionConfig = config.protection;
+    if (protectionConfig.eligibleFunctions.empty())
+        protectionConfig.eligibleFunctions =
+            workload.eligibleFunctions();
+    return analysis::computeControlProtection(workload.program(),
+                                              protectionConfig);
+}
+
+store::CellKey
+makeCellKey(const workloads::Workload &workload,
+            const analysis::ProtectionResult &protection,
+            const StudyConfig &config, unsigned errors,
+            ProtectionMode mode, unsigned trials)
+{
+    auto injectable =
+        mode == ProtectionMode::Protected
+            ? fault::injectableWithProtection(workload.program(),
+                                              protection.tagged)
+            : fault::injectableWithoutProtection(workload.program());
+    store::CellKey key;
+    key.workload = workload.name();
+    key.mode = store::modeName(mode);
+    key.errors = errors;
+    key.trials = trials;
+    key.seed = config.seed;
+    key.budgetFactor = config.budgetFactor;
+    key.memoryModel = store::memoryModelName(config.memoryModel);
+    key.programHash =
+        store::fingerprintProgram(workload.program(), injectable);
+    return key;
+}
+
 ErrorToleranceStudy::ErrorToleranceStudy(
     const workloads::Workload &workload, StudyConfig config)
     : workload_(workload), config_(config)
 {
-    // Static analysis with the workload's eligibility annotations.
-    analysis::ProtectionConfig protectionConfig = config_.protection;
-    if (protectionConfig.eligibleFunctions.empty())
-        protectionConfig.eligibleFunctions =
-            workload_.eligibleFunctions();
-    protection_ =
-        analysis::computeControlProtection(workload_.program(),
-                                           protectionConfig);
+    protection_ = computeStudyProtection(workload_, config_);
+    if (!config_.cacheDir.empty())
+        store_ = std::make_unique<store::ResultStore>(config_.cacheDir);
 
     // Fault-free profile with tag accounting (Table 3).
     sim::Simulator simulator(workload_.program());
@@ -52,6 +85,8 @@ ErrorToleranceStudy::ErrorToleranceStudy(
               "' did not complete: ", result.toString());
     profile_ = profiler.profile();
 }
+
+ErrorToleranceStudy::~ErrorToleranceStudy() = default;
 
 fault::CampaignRunner &
 ErrorToleranceStudy::runner(ProtectionMode mode)
@@ -87,14 +122,14 @@ ErrorToleranceStudy::goldenInstructions() const
 }
 
 CellSummary
-ErrorToleranceStudy::runCell(unsigned errors, ProtectionMode mode,
-                             unsigned trialsOverride)
+ErrorToleranceStudy::computeRange(unsigned errors, ProtectionMode mode,
+                                  unsigned trials, unsigned lo,
+                                  unsigned hi)
 {
     auto &campaignRunner = runner(mode);
 
     fault::CampaignConfig campaignConfig;
-    campaignConfig.trials =
-        trialsOverride ? trialsOverride : config_.trials;
+    campaignConfig.trials = trials;
     campaignConfig.errors = errors;
     campaignConfig.budgetFactor = config_.budgetFactor;
     campaignConfig.threads = config_.threads;
@@ -104,9 +139,10 @@ ErrorToleranceStudy::runCell(unsigned errors, ProtectionMode mode,
                           (mode == ProtectionMode::Protected ? 0x1 : 0x2);
 
     auto started = std::chrono::steady_clock::now();
-    auto result = campaignRunner.run(campaignConfig);
+    auto result = campaignRunner.runRange(campaignConfig, lo, hi);
     std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - started;
+    trialsExecuted_ += result.trials;
 
     CellSummary summary;
     summary.errors = errors;
@@ -123,6 +159,127 @@ ErrorToleranceStudy::runCell(unsigned errors, ProtectionMode mode,
                 campaignRunner.goldenOutput(), outcome.output));
     }
     return summary;
+}
+
+store::CellKey
+ErrorToleranceStudy::cellKey(unsigned errors, ProtectionMode mode,
+                             unsigned trials) const
+{
+    return makeCellKey(workload_, protection_, config_, errors, mode,
+                       trials);
+}
+
+std::pair<unsigned, unsigned>
+ErrorToleranceStudy::shardRange(unsigned trials, unsigned index,
+                                unsigned count)
+{
+    if (count == 0 || index >= count)
+        fatal("shard index ", index, " out of range for ", count,
+              " shards");
+    auto lo = static_cast<unsigned>(uint64_t{trials} * index / count);
+    auto hi =
+        static_cast<unsigned>(uint64_t{trials} * (index + 1) / count);
+    return {lo, hi};
+}
+
+CellSummary
+ErrorToleranceStudy::assembleRange(const store::CellKey &key,
+                                   unsigned errors, ProtectionMode mode,
+                                   unsigned trials,
+                                   std::vector<store::ShardRecord> stored,
+                                   unsigned lo, unsigned hi)
+{
+    // Keep every stored shard inside [lo, hi) that extends the
+    // covered prefix, and compute (and persist) the gaps between
+    // them. Shards from an incompatible split (overlapping the
+    // prefix or crossing the range bounds) are ignored; their trials
+    // recompute to the same bits anyway.
+    std::vector<store::ShardRecord> pieces;
+    unsigned covered = lo;
+    auto computePiece = [&](unsigned a, unsigned b) {
+        auto partial = computeRange(errors, mode, trials, a, b);
+        store_->storeShard(key, a, b, partial);
+        pieces.push_back(
+            store::ShardRecord{key, a, b, std::move(partial)});
+    };
+    for (auto &shard : stored) {
+        if (shard.lo < covered || shard.hi > hi)
+            continue;
+        if (shard.lo > covered)
+            computePiece(covered, shard.lo);
+        covered = shard.hi;
+        pieces.push_back(std::move(shard));
+    }
+    if (covered < hi)
+        computePiece(covered, hi);
+
+    // Counters sum exactly and fidelities concatenate in trial order
+    // (pieces are built sorted), so the assembled summary is
+    // bit-identical to computing [lo, hi) in one pass.
+    CellSummary merged;
+    merged.errors = errors;
+    merged.mode = mode;
+    for (const auto &piece : pieces) {
+        merged.trials += piece.summary.trials;
+        merged.completed += piece.summary.completed;
+        merged.crashed += piece.summary.crashed;
+        merged.timedOut += piece.summary.timedOut;
+        merged.totalInstructions += piece.summary.totalInstructions;
+        merged.wallSeconds += piece.summary.wallSeconds;
+        merged.fidelities.insert(merged.fidelities.end(),
+                                 piece.summary.fidelities.begin(),
+                                 piece.summary.fidelities.end());
+    }
+    return merged;
+}
+
+CellSummary
+ErrorToleranceStudy::runCell(unsigned errors, ProtectionMode mode,
+                             unsigned trialsOverride)
+{
+    unsigned trials = trialsOverride ? trialsOverride : config_.trials;
+    if (!store_)
+        return computeRange(errors, mode, trials, 0, trials);
+
+    auto key = cellKey(errors, mode, trials);
+    if (auto cached = store_->loadCell(key)) {
+        // Reclaim shards a kill between storeCell and dropShards (or
+        // a concurrent stripe worker) may have left behind.
+        store_->dropShards(key);
+        return *cached;
+    }
+
+    auto shards = store_->loadShards(key);
+    auto summary =
+        shards.empty()
+            ? computeRange(errors, mode, trials, 0, trials)
+            : assembleRange(key, errors, mode, trials,
+                            std::move(shards), 0, trials);
+    store_->storeCell(key, summary);
+    store_->dropShards(key);
+    return summary;
+}
+
+CellSummary
+ErrorToleranceStudy::runCellShard(unsigned errors, ProtectionMode mode,
+                                  unsigned trials, unsigned shardIndex,
+                                  unsigned shardCount)
+{
+    auto [lo, hi] = shardRange(trials, shardIndex, shardCount);
+    if (!store_)
+        return computeRange(errors, mode, trials, lo, hi);
+
+    auto key = cellKey(errors, mode, trials);
+    if (auto cached = store_->loadCell(key))
+        return *cached; // cell already complete; nothing to run
+    if (auto shard = store_->loadShard(key, lo, hi))
+        return std::move(shard->summary);
+
+    // Reuse any stored sub-shards inside the stripe (e.g. chunks of
+    // a killed run under a different split); only gaps simulate, and
+    // only gaps are persisted, so no overlapping records are created.
+    return assembleRange(key, errors, mode, trials,
+                         store_->loadShards(key), lo, hi);
 }
 
 } // namespace etc::core

@@ -26,12 +26,20 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/control_protection.hh"
 #include "fault/campaign.hh"
 #include "sim/profiler.hh"
 #include "workloads/workload.hh"
+
+namespace etc::store {
+struct CellKey;
+struct ShardRecord;
+class ResultStore;
+} // namespace etc::store
 
 namespace etc::core {
 
@@ -77,6 +85,18 @@ struct StudyConfig
      */
     uint64_t checkpointInterval =
         fault::CampaignRunner::DEFAULT_CHECKPOINT_INTERVAL;
+
+    /**
+     * Root directory of the persistent result store (see
+     * store/result_store.hh). Empty disables persistence. With a
+     * cache, runCell() first consults the store: a complete record
+     * is returned without executing a single trial, stored shards of
+     * a partially-computed cell are reused and only the missing
+     * trial ranges run, and every freshly computed cell is persisted.
+     * Thread count and checkpoint interval are not part of the cache
+     * key -- results are bit-identical across both.
+     */
+    std::string cacheDir;
 };
 
 /** Aggregated results of one (error count, mode) campaign cell. */
@@ -139,6 +159,8 @@ class ErrorToleranceStudy
     ErrorToleranceStudy(const workloads::Workload &workload,
                         StudyConfig config);
 
+    ~ErrorToleranceStudy();
+
     /** The CVar analysis result (tags, CVar sets, static counts). */
     const analysis::ProtectionResult &protection() const
     {
@@ -164,11 +186,58 @@ class ErrorToleranceStudy
     CellSummary runCell(unsigned errors, ProtectionMode mode,
                         unsigned trialsOverride = 0);
 
+    /**
+     * Run (or load) one shard of a cell: the trial stripe
+     * [trials*index/count, trials*(index+1)/count).
+     *
+     * With a result store attached, the stripe is skipped when the
+     * complete cell or this exact shard is already persisted, and is
+     * written as a shard record otherwise -- `--shard i/N` across N
+     * processes computes a cell cooperatively, and runCell() (or
+     * `etc_lab merge`) later promotes the tiling shards into the
+     * complete record, bit-identical to an uninterrupted run.
+     *
+     * @return the shard's partial summary (or the complete cell
+     *         summary when the cell was already fully cached)
+     */
+    CellSummary runCellShard(unsigned errors, ProtectionMode mode,
+                             unsigned trials, unsigned shardIndex,
+                             unsigned shardCount);
+
+    /** The [lo, hi) trial stripe of shard @p index out of @p count. */
+    static std::pair<unsigned, unsigned> shardRange(unsigned trials,
+                                                    unsigned index,
+                                                    unsigned count);
+
+    /** The canonical result-store key of one cell of this study. */
+    store::CellKey cellKey(unsigned errors, ProtectionMode mode,
+                           unsigned trials) const;
+
+    /** The attached result store, or nullptr when caching is off. */
+    store::ResultStore *resultStore() { return store_.get(); }
+
+    /** Trials actually simulated by this study (cache hits run 0). */
+    uint64_t trialsExecuted() const { return trialsExecuted_; }
+
     const workloads::Workload &workload() const { return workload_; }
     const StudyConfig &config() const { return config_; }
 
   private:
     fault::CampaignRunner &runner(ProtectionMode mode);
+
+    /** Simulate trials [lo, hi) of a cell and score their fidelity. */
+    CellSummary computeRange(unsigned errors, ProtectionMode mode,
+                             unsigned trials, unsigned lo, unsigned hi);
+
+    /**
+     * Assemble the summary of trials [lo, hi) from the usable stored
+     * shards inside that range, simulating (and persisting) only the
+     * gaps between them. Defined in study.cc (store types).
+     */
+    CellSummary assembleRange(const store::CellKey &key, unsigned errors,
+                              ProtectionMode mode, unsigned trials,
+                              std::vector<store::ShardRecord> stored,
+                              unsigned lo, unsigned hi);
 
     const workloads::Workload &workload_;
     StudyConfig config_;
@@ -176,7 +245,29 @@ class ErrorToleranceStudy
     sim::DynamicProfile profile_;
     std::unique_ptr<fault::CampaignRunner> protectedRunner_;
     std::unique_ptr<fault::CampaignRunner> unprotectedRunner_;
+    std::unique_ptr<store::ResultStore> store_;
+    uint64_t trialsExecuted_ = 0;
 };
+
+/**
+ * The protection analysis a study of (@p workload, @p config) runs,
+ * computable without any simulation (the report path uses this to
+ * rebuild cache keys without executing anything).
+ */
+analysis::ProtectionResult computeStudyProtection(
+    const workloads::Workload &workload, const StudyConfig &config);
+
+/**
+ * Build the canonical result-store key of one campaign cell. The key
+ * content-addresses the program and the mode's injectable set, so it
+ * never aliases records across workload or analysis changes; thread
+ * count and checkpoint interval are excluded because results are
+ * bit-identical across both.
+ */
+store::CellKey makeCellKey(const workloads::Workload &workload,
+                           const analysis::ProtectionResult &protection,
+                           const StudyConfig &config, unsigned errors,
+                           ProtectionMode mode, unsigned trials);
 
 } // namespace etc::core
 

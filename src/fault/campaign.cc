@@ -1,5 +1,7 @@
 #include "fault/campaign.hh"
 
+#include <algorithm>
+#include <iterator>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -103,17 +105,30 @@ CampaignResult
 CampaignRunner::run(const CampaignConfig &config,
                     const std::function<void(const TrialOutcome &)> &onTrial)
 {
+    return runRange(config, 0, config.trials, onTrial);
+}
+
+CampaignResult
+CampaignRunner::runRange(
+    const CampaignConfig &config, uint64_t lo, uint64_t hi,
+    const std::function<void(const TrialOutcome &)> &onTrial)
+{
+    if (lo > hi || hi > config.trials)
+        panic("CampaignRunner: bad trial range [", lo, ", ", hi,
+              ") over ", config.trials, " trials");
+    uint64_t count = hi - lo;
+
     CampaignResult result;
-    result.trials = config.trials;
-    result.outcomes.resize(config.trials);
+    result.trials = static_cast<unsigned>(count);
+    result.firstTrial = lo;
+    result.outcomes.resize(count);
 
     auto budget = static_cast<uint64_t>(
         static_cast<double>(goldenInstructions_) * config.budgetFactor);
     if (budget < goldenInstructions_ + 1000)
         budget = goldenInstructions_ + 1000;
 
-    unsigned workers =
-        TrialPool::resolveWorkers(config.threads, config.trials);
+    unsigned workers = TrialPool::resolveWorkers(config.threads, count);
 
     // One Simulator per worker: the simulator is self-contained (no
     // global state), so worker-local instances make trials re-entrant.
@@ -130,15 +145,17 @@ CampaignRunner::run(const CampaignConfig &config,
     std::vector<OutcomeTally> tallies(workers);
     std::mutex observerMutex;
 
-    TrialPool::run(workers, config.trials, [&](uint64_t t, unsigned w) {
-        // Counter-based stream: trial randomness depends only on
-        // (seed, t), never on scheduling.
+    TrialPool::run(workers, count, [&](uint64_t i, unsigned w) {
+        // Counter-based stream keyed on the GLOBAL trial index: trial
+        // randomness depends only on (seed, t), never on scheduling
+        // or on which shard runs it.
+        uint64_t t = lo + i;
         Rng trialRng = Rng::forStream(config.seed, t);
         InjectionPlan plan =
             samplePlan(injectableDynamic_, config.errors, trialRng);
 
         sim::Simulator &simulator = *simulators[w];
-        TrialOutcome &outcome = result.outcomes[t];
+        TrialOutcome &outcome = result.outcomes[i];
         if (checkpointInterval_ > 0) {
             runTrialFastForward(simulator, plan, budget, outcome);
         } else {
@@ -178,6 +195,41 @@ CampaignRunner::run(const CampaignConfig &config,
         result.trialInstructions.add(
             static_cast<double>(outcome.run.instructions));
     return result;
+}
+
+CampaignResult
+CampaignRunner::mergeShards(std::vector<CampaignResult> shards)
+{
+    std::sort(shards.begin(), shards.end(),
+              [](const CampaignResult &a, const CampaignResult &b) {
+                  return a.firstTrial < b.firstTrial;
+              });
+
+    CampaignResult merged;
+    for (auto &shard : shards) {
+        if (shard.firstTrial != merged.trials)
+            panic("CampaignRunner::mergeShards: shard starts at trial ",
+                  shard.firstTrial, ", expected ", merged.trials);
+        if (shard.outcomes.size() != shard.trials)
+            panic("CampaignRunner::mergeShards: shard outcome count ",
+                  shard.outcomes.size(), " != trials ", shard.trials);
+        merged.trials += shard.trials;
+        merged.completed += shard.completed;
+        merged.crashed += shard.crashed;
+        merged.timedOut += shard.timedOut;
+        merged.outcomes.insert(
+            merged.outcomes.end(),
+            std::make_move_iterator(shard.outcomes.begin()),
+            std::make_move_iterator(shard.outcomes.end()));
+    }
+    // Re-accumulated over the concatenation, exactly as run() feeds
+    // it, so the statistic is bit-identical to the monolithic cell
+    // (merging per-shard partials would not be: floating-point
+    // accumulation is partition sensitive).
+    for (const auto &outcome : merged.outcomes)
+        merged.trialInstructions.add(
+            static_cast<double>(outcome.run.instructions));
+    return merged;
 }
 
 } // namespace etc::fault

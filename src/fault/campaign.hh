@@ -61,10 +61,15 @@ struct TrialOutcome
     std::vector<uint8_t> output;    //!< output stream (if completed)
 };
 
-/** Aggregated campaign cell results. */
+/**
+ * Aggregated campaign cell results -- either a whole cell or, when
+ * produced by runRange(), the shard covering trials
+ * [firstTrial, firstTrial + trials).
+ */
 struct CampaignResult
 {
-    unsigned trials = 0;
+    unsigned trials = 0;     //!< trials in this (partial) result
+    uint64_t firstTrial = 0; //!< global index of outcomes[0]
     unsigned completed = 0;
     unsigned crashed = 0;   //!< memory fault / bad jump / div0 / overflow
     unsigned timedOut = 0;  //!< "infinite execution"
@@ -150,6 +155,37 @@ class CampaignRunner
     CampaignResult run(
         const CampaignConfig &config,
         const std::function<void(const TrialOutcome &)> &onTrial = {});
+
+    /**
+     * Run the shard of a cell covering trials [lo, hi).
+     *
+     * The cell is still defined by @p config (config.trials is the
+     * cell's total trial grid; trial t keeps drawing its randomness
+     * from Rng::forStream(config.seed, t)), so shards of the same
+     * cell computed in different processes, at different thread
+     * counts, or in any order are fragments of the one monolithic
+     * result: mergeShards() over a tiling set of them reproduces
+     * run() bit-for-bit.
+     *
+     * @param lo first trial index (inclusive), <= hi
+     * @param hi one past the last trial index, <= config.trials
+     */
+    CampaignResult runRange(
+        const CampaignConfig &config, uint64_t lo, uint64_t hi,
+        const std::function<void(const TrialOutcome &)> &onTrial = {});
+
+    /**
+     * Merge shard results into the monolithic cell result.
+     *
+     * The shards must tile [0, N) contiguously (any order in the
+     * vector; they are sorted by firstTrial). Outcome tallies sum
+     * exactly, per-trial records concatenate in trial order, and the
+     * instruction statistic is re-accumulated over the concatenated
+     * trials, so the merged result is bit-identical to a single
+     * run() over the whole cell. Panics on overlapping or gapped
+     * shards (caller bug).
+     */
+    static CampaignResult mergeShards(std::vector<CampaignResult> shards);
 
   private:
     /** One trial via checkpoint restore + hookless site-to-site runs. */

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Versioned JSONL codec for persisted campaign results.
+ *
+ * A record file is a sequence of single-line JSON objects, every line
+ * carrying the schema version:
+ *
+ *   {"schema":1,"kind":"cell","fingerprint":...,"key":{...}}       header
+ *   {"schema":1,"kind":"summary","trials":...,"completed":...}     tallies
+ *   {"schema":1,"kind":"fidelity","bits":...,"acceptable":...}     per trial
+ *   {"schema":1,"kind":"end","lines":N}                            trailer
+ *
+ * Shard records ("kind":"shard") additionally carry the half-open
+ * trial range [lo, hi) they cover. Fidelity values are stored as
+ * IEEE-754 bit patterns (plus a human-readable mirror), so a decoded
+ * summary renders figures bit-identically to the in-memory one.
+ *
+ * The trailer makes truncation detectable: a file that was cut off
+ * mid-write is missing its "end" line (or has a wrong line count) and
+ * is rejected with StoreFormatError -- corrupt or truncated cache
+ * entries are reported and recomputed, never crash and never silently
+ * alias a different cell.
+ */
+
+#ifndef ETC_STORE_RECORD_HH
+#define ETC_STORE_RECORD_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/study.hh"
+#include "store/cell_key.hh"
+
+namespace etc::store {
+
+/** The record schema this build reads and writes. */
+constexpr unsigned SCHEMA_VERSION = 1;
+
+/**
+ * Thrown when a record is malformed, truncated, from an unsupported
+ * schema version, or does not match the requested key.
+ */
+class StoreFormatError : public std::runtime_error
+{
+  public:
+    explicit StoreFormatError(const std::string &msg)
+        : std::runtime_error("result-store schema v" +
+                             std::to_string(SCHEMA_VERSION) + ": " + msg)
+    {}
+};
+
+/** One persisted shard: a cell's results over trials [lo, hi). */
+struct ShardRecord
+{
+    CellKey key;
+    unsigned lo = 0;
+    unsigned hi = 0;
+    core::CellSummary summary;
+};
+
+/** @return the canonical mode name used in keys and records. */
+const char *modeName(core::ProtectionMode mode);
+
+/** Parse a canonical mode name; throws StoreFormatError. */
+core::ProtectionMode modeFromName(const std::string &name);
+
+/** @return the memory-model name used in keys. */
+const char *memoryModelName(sim::MemoryModel model);
+
+/** Encode a complete cell record (JSONL text, newline-terminated). */
+std::string encodeCellRecord(const CellKey &key,
+                             const core::CellSummary &summary);
+
+/** Encode a shard record covering trials [lo, hi). */
+std::string encodeShardRecord(const CellKey &key, unsigned lo,
+                              unsigned hi,
+                              const core::CellSummary &summary);
+
+/**
+ * Decode a cell record.
+ *
+ * @param text     the record file's contents
+ * @param expected if non-null, the record's key must match it
+ * @throws StoreFormatError on any malformation, truncation, schema
+ *         mismatch, or key mismatch
+ */
+core::CellSummary decodeCellRecord(const std::string &text,
+                                   const CellKey *expected);
+
+/** Decode a shard record; same validation as decodeCellRecord(). */
+ShardRecord decodeShardRecord(const std::string &text,
+                              const CellKey *expected);
+
+/**
+ * Merge shard summaries into the full cell summary.
+ *
+ * Requires the shards to tile [0, key.trials) exactly (contiguous,
+ * non-overlapping, complete); throws StoreFormatError otherwise.
+ * Counters sum exactly and fidelity vectors concatenate in trial
+ * order, so the merged summary is bit-identical to the summary of an
+ * uninterrupted monolithic run.
+ */
+core::CellSummary mergeShardSummaries(const CellKey &key,
+                                      std::vector<ShardRecord> shards);
+
+/**
+ * Reduce shard records to a maximal prefix-tiling subset: sorted by
+ * range, dropping shards that overlap the already-covered prefix
+ * (leftovers of an incompatible split). The result may still have
+ * gaps; callers compute the missing ranges or report them.
+ */
+std::vector<ShardRecord> selectPrefixTiling(
+    std::vector<ShardRecord> shards);
+
+} // namespace etc::store
+
+#endif // ETC_STORE_RECORD_HH

@@ -1,0 +1,205 @@
+#include "store/result_store.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "support/logging.hh"
+
+namespace etc::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Read a whole file; nullopt if it does not exist or is unreadable. */
+std::optional<std::string>
+slurp(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    if (in.bad())
+        return std::nullopt;
+    return contents.str();
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string root) : root_(std::move(root))
+{
+    if (root_.empty())
+        fatal("ResultStore: empty cache directory");
+}
+
+std::string
+ResultStore::cellPath(const CellKey &key) const
+{
+    return (fs::path(root_) / "cells" / (key.fingerprint() + ".jsonl"))
+        .string();
+}
+
+std::string
+ResultStore::shardDir(const CellKey &key) const
+{
+    return (fs::path(root_) / "shards" / key.fingerprint()).string();
+}
+
+void
+ResultStore::writeAtomically(const std::string &path,
+                             const std::string &contents)
+{
+    fs::path target(path);
+    std::error_code ec;
+    fs::create_directories(target.parent_path(), ec);
+    fs::path tmpDir = fs::path(root_) / "tmp";
+    fs::create_directories(tmpDir, ec);
+
+    // Unique staging name (pid + per-process counter): concurrent
+    // processes sharing a cache must never stage into the same file,
+    // and rename() makes whichever finishes last win -- both write
+    // identical bytes for the same key anyway.
+    static std::atomic<uint64_t> counter{0};
+    fs::path tmp = tmpDir / (target.filename().string() + "." +
+                             std::to_string(::getpid()) + "." +
+                             std::to_string(counter.fetch_add(1)) +
+                             ".tmp");
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out << contents;
+        out.flush();
+        if (!out)
+            fatal("result store: cannot write ", tmp.string());
+    }
+    fs::rename(tmp, target, ec);
+    if (ec)
+        fatal("result store: cannot move ", tmp.string(), " to ", path,
+              ": ", ec.message());
+}
+
+bool
+ResultStore::hasCell(const CellKey &key) const
+{
+    std::error_code ec;
+    return fs::exists(cellPath(key), ec);
+}
+
+std::optional<core::CellSummary>
+ResultStore::loadCell(const CellKey &key)
+{
+    auto contents = slurp(cellPath(key));
+    if (!contents) {
+        ++stats_.cellMisses;
+        return std::nullopt;
+    }
+    try {
+        auto summary = decodeCellRecord(*contents, &key);
+        ++stats_.cellHits;
+        return summary;
+    } catch (const StoreFormatError &error) {
+        warn("result store: ignoring unreadable cell record ",
+             cellPath(key), ": ", error.what());
+        ++stats_.cellMisses;
+        return std::nullopt;
+    }
+}
+
+void
+ResultStore::storeCell(const CellKey &key,
+                       const core::CellSummary &summary)
+{
+    writeAtomically(cellPath(key), encodeCellRecord(key, summary));
+    ++stats_.cellsStored;
+}
+
+bool
+ResultStore::hasShard(const CellKey &key, unsigned lo, unsigned hi) const
+{
+    std::error_code ec;
+    fs::path path = fs::path(shardDir(key)) /
+                    (std::to_string(lo) + "-" + std::to_string(hi) +
+                     ".jsonl");
+    return fs::exists(path, ec);
+}
+
+std::optional<ShardRecord>
+ResultStore::loadShard(const CellKey &key, unsigned lo, unsigned hi)
+{
+    fs::path path = fs::path(shardDir(key)) /
+                    (std::to_string(lo) + "-" + std::to_string(hi) +
+                     ".jsonl");
+    auto contents = slurp(path);
+    if (!contents)
+        return std::nullopt;
+    try {
+        auto shard = decodeShardRecord(*contents, &key);
+        if (shard.lo != lo || shard.hi != hi)
+            throw StoreFormatError(
+                "shard file name does not match its record range [" +
+                std::to_string(shard.lo) + ", " +
+                std::to_string(shard.hi) + ")");
+        ++stats_.shardsLoaded;
+        return shard;
+    } catch (const StoreFormatError &error) {
+        warn("result store: ignoring unreadable shard ",
+             path.string(), ": ", error.what());
+        return std::nullopt;
+    }
+}
+
+void
+ResultStore::storeShard(const CellKey &key, unsigned lo, unsigned hi,
+                        const core::CellSummary &summary)
+{
+    fs::path path = fs::path(shardDir(key)) /
+                    (std::to_string(lo) + "-" + std::to_string(hi) +
+                     ".jsonl");
+    writeAtomically(path.string(), encodeShardRecord(key, lo, hi,
+                                                     summary));
+    ++stats_.shardsStored;
+}
+
+std::vector<ShardRecord>
+ResultStore::loadShards(const CellKey &key)
+{
+    std::vector<ShardRecord> shards;
+    std::error_code ec;
+    fs::directory_iterator it(shardDir(key), ec);
+    if (ec)
+        return shards;
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        auto contents = slurp(entry.path());
+        if (!contents)
+            continue;
+        try {
+            shards.push_back(decodeShardRecord(*contents, &key));
+            ++stats_.shardsLoaded;
+        } catch (const StoreFormatError &error) {
+            warn("result store: ignoring unreadable shard ",
+                 entry.path().string(), ": ", error.what());
+        }
+    }
+    std::sort(shards.begin(), shards.end(),
+              [](const ShardRecord &a, const ShardRecord &b) {
+                  return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+              });
+    return shards;
+}
+
+void
+ResultStore::dropShards(const CellKey &key)
+{
+    std::error_code ec;
+    fs::remove_all(shardDir(key), ec);
+}
+
+} // namespace etc::store

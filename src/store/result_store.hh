@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Content-addressed on-disk cache of campaign results.
+ *
+ * Layout under the root directory:
+ *
+ *   <root>/cells/<fingerprint>.jsonl          complete cell records
+ *   <root>/shards/<fingerprint>/<lo>-<hi>.jsonl   partial shards
+ *   <root>/tmp/                                staging for atomic writes
+ *
+ * Records are addressed by the CellKey fingerprint, so equal work is
+ * deduplicated across runs, drivers, and machines sharing a cache
+ * directory. Writes land in tmp/ and are renamed into place, so a
+ * killed campaign never leaves a half-written record where a reader
+ * could find it; whatever shards were completed before the kill are
+ * intact and a later run resumes from them.
+ *
+ * Corrupt, truncated, or schema-mismatched entries are reported via
+ * warn() and treated as cache misses (the cell is recomputed); they
+ * never crash and never serve wrong data, because every record carries
+ * its full key and is validated against the requested one on load.
+ */
+
+#ifndef ETC_STORE_RESULT_STORE_HH
+#define ETC_STORE_RESULT_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/record.hh"
+
+namespace etc::store {
+
+class ResultStore
+{
+  public:
+    /** Open (creating lazily on first write) the cache at @p root. */
+    explicit ResultStore(std::string root);
+
+    const std::string &root() const { return root_; }
+
+    /** @return true if a complete record for @p key exists. */
+    bool hasCell(const CellKey &key) const;
+
+    /**
+     * Load the complete cell record for @p key.
+     *
+     * @return the stored summary, or nullopt if absent or unreadable
+     *         (unreadable entries warn and count as misses).
+     */
+    std::optional<core::CellSummary> loadCell(const CellKey &key);
+
+    /** Persist a complete cell record (atomic rename into place). */
+    void storeCell(const CellKey &key,
+                   const core::CellSummary &summary);
+
+    /** @return true if the shard [lo, hi) of @p key is stored. */
+    bool hasShard(const CellKey &key, unsigned lo, unsigned hi) const;
+
+    /**
+     * Load exactly the shard [lo, hi) of @p key (a single file read,
+     * unlike loadShards()). Absent or unreadable records return
+     * nullopt (unreadable ones warn).
+     */
+    std::optional<ShardRecord> loadShard(const CellKey &key,
+                                         unsigned lo, unsigned hi);
+
+    /** Persist one shard record (atomic rename into place). */
+    void storeShard(const CellKey &key, unsigned lo, unsigned hi,
+                    const core::CellSummary &summary);
+
+    /**
+     * Load every readable shard of @p key, sorted by trial range.
+     * Unreadable shard files warn and are skipped.
+     */
+    std::vector<ShardRecord> loadShards(const CellKey &key);
+
+    /** Delete all shards of @p key (after promotion to a cell). */
+    void dropShards(const CellKey &key);
+
+    /** Cache-traffic counters (reset never; read for reporting). */
+    struct Stats
+    {
+        uint64_t cellHits = 0;     //!< loadCell found a valid record
+        uint64_t cellMisses = 0;   //!< loadCell found nothing usable
+        uint64_t cellsStored = 0;  //!< storeCell writes
+        uint64_t shardsLoaded = 0; //!< valid shard records read
+        uint64_t shardsStored = 0; //!< storeShard writes
+    };
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    std::string cellPath(const CellKey &key) const;
+    std::string shardDir(const CellKey &key) const;
+    void writeAtomically(const std::string &path,
+                         const std::string &contents);
+
+    std::string root_;
+    Stats stats_;
+};
+
+} // namespace etc::store
+
+#endif // ETC_STORE_RESULT_STORE_HH

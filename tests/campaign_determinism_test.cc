@@ -18,6 +18,7 @@
 #include "fault/campaign.hh"
 #include "fault/injection.hh"
 #include "fault/trial_pool.hh"
+#include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
 
@@ -142,6 +143,102 @@ TEST(CampaignDeterminismTest, StudyCellIdenticalAcrossThreadCounts)
     ASSERT_EQ(a.fidelities.size(), b.fidelities.size());
     for (size_t i = 0; i < a.fidelities.size(); ++i)
         EXPECT_DOUBLE_EQ(a.fidelities[i].value, b.fidelities[i].value);
+}
+
+// ---- trial-range sharding -------------------------------------------------
+
+/**
+ * Shards {1/1, 2, 4} of a cell must merge to tallies and per-trial
+ * records bit-identical to the monolithic cell, on two workloads --
+ * the contract the persistent result store's resume path rests on.
+ */
+void
+expectShardsMergeToMonolith(const assembly::Program &prog,
+                            const CampaignConfig &config)
+{
+    CampaignRunner runner(prog, injectableWithoutProtection(prog));
+    auto whole = runner.run(config);
+
+    for (unsigned splits : {1u, 2u, 4u}) {
+        std::vector<CampaignResult> shards;
+        for (unsigned s = 0; s < splits; ++s) {
+            uint64_t lo = uint64_t{config.trials} * s / splits;
+            uint64_t hi = uint64_t{config.trials} * (s + 1) / splits;
+            shards.push_back(runner.runRange(config, lo, hi));
+            EXPECT_EQ(shards.back().firstTrial, lo);
+            EXPECT_EQ(shards.back().trials, hi - lo);
+        }
+        auto merged = CampaignRunner::mergeShards(std::move(shards));
+        expectIdentical(whole, merged);
+    }
+}
+
+TEST(CampaignDeterminismTest, ShardsMergeToMonolithicCell)
+{
+    auto config = cellConfig(2);
+    expectShardsMergeToMonolith(sumProgram(), config);
+
+    auto adpcm = workloads::createWorkload("adpcm",
+                                           workloads::Scale::Test);
+    expectShardsMergeToMonolith(adpcm->program(), config);
+}
+
+TEST(CampaignDeterminismTest, ShardsMergeAcrossThreadCounts)
+{
+    // Shards computed at different thread counts still merge to the
+    // serial monolith: sharding composes with thread invariance.
+    auto gsm = workloads::createWorkload("gsm", workloads::Scale::Test);
+    CampaignRunner runner(gsm->program(),
+                          injectableWithoutProtection(gsm->program()));
+    auto whole = runner.run(cellConfig(1));
+
+    std::vector<CampaignResult> shards;
+    shards.push_back(runner.runRange(cellConfig(4), 0, 17));
+    shards.push_back(runner.runRange(cellConfig(1), 17, 20));
+    shards.push_back(runner.runRange(cellConfig(0), 20, 48));
+    expectIdentical(whole, CampaignRunner::mergeShards(std::move(shards)));
+}
+
+TEST(CampaignDeterminismTest, EmptyAndFullRangesAreWellFormed)
+{
+    auto prog = sumProgram();
+    CampaignRunner runner(prog, injectableWithoutProtection(prog));
+    auto config = cellConfig(1);
+
+    auto empty = runner.runRange(config, 7, 7);
+    EXPECT_EQ(empty.trials, 0u);
+    EXPECT_EQ(empty.outcomes.size(), 0u);
+
+    auto full = runner.runRange(config, 0, config.trials);
+    expectIdentical(runner.run(config), full);
+
+    EXPECT_THROW(runner.runRange(config, 8, 4), PanicError);
+    EXPECT_THROW(runner.runRange(config, 0, config.trials + 1),
+                 PanicError);
+}
+
+TEST(CampaignDeterminismTest, MergeRejectsGapsAndOverlaps)
+{
+    auto prog = sumProgram();
+    CampaignRunner runner(prog, injectableWithoutProtection(prog));
+    auto config = cellConfig(1);
+
+    // gap: [0,10) + [20,48)
+    {
+        std::vector<CampaignResult> shards;
+        shards.push_back(runner.runRange(config, 0, 10));
+        shards.push_back(runner.runRange(config, 20, 48));
+        EXPECT_THROW(CampaignRunner::mergeShards(std::move(shards)),
+                     PanicError);
+    }
+    // overlap: [0,30) + [20,48)
+    {
+        std::vector<CampaignResult> shards;
+        shards.push_back(runner.runRange(config, 0, 30));
+        shards.push_back(runner.runRange(config, 20, 48));
+        EXPECT_THROW(CampaignRunner::mergeShards(std::move(shards)),
+                     PanicError);
+    }
 }
 
 // ---- the primitives the engine's contract rests on -----------------------

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Orchestration contract of the cache-aware study: a campaign that is
+ * killed mid-cell and resumed from its persisted shards -- by a fresh
+ * process, at a different thread count, with a different shard split
+ * -- produces cell summaries bit-identical to an uninterrupted
+ * single-process run, and a report rendered purely from the stored
+ * records is bit-identical to the live run's rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/experiments.hh"
+#include "core/study.hh"
+#include "store/cell_key.hh"
+#include "store/result_store.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace etc;
+using core::CellSummary;
+using core::ErrorToleranceStudy;
+using core::ProtectionMode;
+using core::StudyConfig;
+
+constexpr unsigned ERRORS = 3;
+constexpr unsigned TRIALS = 24;
+
+void
+expectSummariesIdentical(const CellSummary &a, const CellSummary &b)
+{
+    EXPECT_EQ(a.errors, b.errors);
+    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.crashed, b.crashed);
+    EXPECT_EQ(a.timedOut, b.timedOut);
+    EXPECT_EQ(a.totalInstructions, b.totalInstructions);
+    ASSERT_EQ(a.fidelities.size(), b.fidelities.size());
+    for (size_t i = 0; i < a.fidelities.size(); ++i) {
+        EXPECT_EQ(store::doubleBits(a.fidelities[i].value),
+                  store::doubleBits(b.fidelities[i].value))
+            << "fidelity " << i;
+        EXPECT_EQ(a.fidelities[i].acceptable,
+                  b.fidelities[i].acceptable);
+    }
+}
+
+class OrchestrationTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        workload_ = workloads::createWorkload("adpcm",
+                                              workloads::Scale::Test);
+        root_ = std::filesystem::temp_directory_path() /
+                ("etc_orch_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name());
+        std::filesystem::remove_all(root_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(root_); }
+
+    StudyConfig
+    config(unsigned threads, bool cached = true) const
+    {
+        StudyConfig config;
+        config.threads = threads;
+        if (cached)
+            config.cacheDir = root_.string();
+        return config;
+    }
+
+    /** The uninterrupted, uncached reference run (serial). */
+    CellSummary
+    reference()
+    {
+        ErrorToleranceStudy study(*workload_, config(1, false));
+        return study.runCell(ERRORS, ProtectionMode::Protected, TRIALS);
+    }
+
+    std::unique_ptr<workloads::Workload> workload_;
+    std::filesystem::path root_;
+};
+
+TEST_F(OrchestrationTest, CacheHitIsBitIdenticalAndRunsNothing)
+{
+    auto expected = reference();
+
+    ErrorToleranceStudy first(*workload_, config(4));
+    auto computed =
+        first.runCell(ERRORS, ProtectionMode::Protected, TRIALS);
+    expectSummariesIdentical(expected, computed);
+    EXPECT_EQ(first.trialsExecuted(), TRIALS);
+
+    // A fresh study over the same cache serves the cell from disk.
+    ErrorToleranceStudy second(*workload_, config(2));
+    auto cached =
+        second.runCell(ERRORS, ProtectionMode::Protected, TRIALS);
+    expectSummariesIdentical(expected, cached);
+    EXPECT_EQ(second.trialsExecuted(), 0u);
+}
+
+TEST_F(OrchestrationTest, KillAndResumeIsBitIdentical)
+{
+    auto expected = reference();
+
+    // Every (kill-point, resume-thread-count, original shard split)
+    // combination must converge to the reference bits.
+    for (unsigned split : {2u, 3u, 4u}) {
+        for (unsigned doneBeforeKill = 0; doneBeforeKill < split;
+             ++doneBeforeKill) {
+            for (unsigned resumeThreads : {1u, 4u}) {
+                std::filesystem::remove_all(root_);
+
+                // "Run": persist the first doneBeforeKill chunks,
+                // then die (simply stop calling; a SIGKILL mid-write
+                // additionally relies on the store's atomic renames,
+                // exercised by the CI smoke test).
+                {
+                    ErrorToleranceStudy study(*workload_, config(2));
+                    for (unsigned c = 0; c < doneBeforeKill; ++c)
+                        study.runCellShard(ERRORS,
+                                           ProtectionMode::Protected,
+                                           TRIALS, c, split);
+                }
+
+                // "Resume": a fresh process completes the cell.
+                ErrorToleranceStudy resumed(
+                    *workload_, config(resumeThreads));
+                auto summary = resumed.runCell(
+                    ERRORS, ProtectionMode::Protected, TRIALS);
+                expectSummariesIdentical(expected, summary);
+
+                // Only the missing stripe actually ran.
+                unsigned alreadyDone =
+                    static_cast<unsigned>(uint64_t{TRIALS} *
+                                          doneBeforeKill / split);
+                EXPECT_EQ(resumed.trialsExecuted(),
+                          TRIALS - alreadyDone)
+                    << "split " << split << " done " << doneBeforeKill;
+
+                // The resumed cell was promoted to a full record and
+                // its shards garbage-collected.
+                auto *cache = resumed.resultStore();
+                ASSERT_NE(cache, nullptr);
+                auto key = resumed.cellKey(
+                    ERRORS, ProtectionMode::Protected, TRIALS);
+                EXPECT_TRUE(cache->hasCell(key));
+                EXPECT_TRUE(cache->loadShards(key).empty());
+            }
+        }
+    }
+}
+
+TEST_F(OrchestrationTest, ShardFanOutAcrossProcessesMerges)
+{
+    auto expected = reference();
+
+    // Three "processes" each compute one stripe (out of order, at
+    // different thread counts), a fourth merges via runCell.
+    for (unsigned index : {2u, 0u, 1u}) {
+        ErrorToleranceStudy worker(*workload_, config(index + 1));
+        worker.runCellShard(ERRORS, ProtectionMode::Protected, TRIALS,
+                            index, 3);
+    }
+    ErrorToleranceStudy merger(*workload_, config(4));
+    auto merged =
+        merger.runCell(ERRORS, ProtectionMode::Protected, TRIALS);
+    expectSummariesIdentical(expected, merged);
+    EXPECT_EQ(merger.trialsExecuted(), 0u);
+}
+
+TEST_F(OrchestrationTest, DuplicateShardRunsAreSkipped)
+{
+    ErrorToleranceStudy study(*workload_, config(2));
+    study.runCellShard(ERRORS, ProtectionMode::Protected, TRIALS, 0, 2);
+    auto ranOnce = study.trialsExecuted();
+    EXPECT_EQ(ranOnce, TRIALS / 2);
+
+    // Same stripe again: served from the stored shard record.
+    auto again = study.runCellShard(ERRORS, ProtectionMode::Protected,
+                                    TRIALS, 0, 2);
+    EXPECT_EQ(study.trialsExecuted(), ranOnce);
+    EXPECT_EQ(again.trials, TRIALS / 2);
+}
+
+TEST_F(OrchestrationTest, MismatchedSplitsStillConverge)
+{
+    auto expected = reference();
+
+    // A killed 4-way run left stripes 0 and 2; the resume uses
+    // runCell directly (no split knowledge). Stripe 2 overlaps the
+    // prefix gap so it is discarded and recomputed -- converging to
+    // the reference regardless.
+    {
+        ErrorToleranceStudy study(*workload_, config(1));
+        study.runCellShard(ERRORS, ProtectionMode::Protected, TRIALS,
+                           0, 4);
+        study.runCellShard(ERRORS, ProtectionMode::Protected, TRIALS,
+                           2, 4);
+    }
+    ErrorToleranceStudy resumed(*workload_, config(4));
+    auto summary =
+        resumed.runCell(ERRORS, ProtectionMode::Protected, TRIALS);
+    expectSummariesIdentical(expected, summary);
+}
+
+TEST_F(OrchestrationTest, ReportPathRebuildsTheSameKeyWithoutSimulation)
+{
+    // Compute + persist through a study.
+    ErrorToleranceStudy study(*workload_, config(2));
+    auto computed =
+        study.runCell(ERRORS, ProtectionMode::Protected, TRIALS);
+
+    // The report path: key from static analysis only, summary from
+    // disk, zero trials executed.
+    auto cfg = config(1);
+    auto protection = core::computeStudyProtection(*workload_, cfg);
+    auto key = core::makeCellKey(*workload_, protection, cfg, ERRORS,
+                                 ProtectionMode::Protected, TRIALS);
+    store::ResultStore cache(cfg.cacheDir);
+    auto loaded = cache.loadCell(key);
+    ASSERT_TRUE(loaded.has_value());
+    expectSummariesIdentical(computed, *loaded);
+}
+
+TEST_F(OrchestrationTest, KeysSeparateModesSeedsTrialsAndWorkloads)
+{
+    ErrorToleranceStudy study(*workload_, config(1));
+    auto base = study.cellKey(ERRORS, ProtectionMode::Protected, TRIALS);
+    EXPECT_FALSE(
+        base ==
+        study.cellKey(ERRORS, ProtectionMode::Unprotected, TRIALS));
+    EXPECT_FALSE(
+        base == study.cellKey(ERRORS + 1, ProtectionMode::Protected,
+                              TRIALS));
+    EXPECT_FALSE(
+        base == study.cellKey(ERRORS, ProtectionMode::Protected,
+                              TRIALS + 1));
+
+    auto seeded = config(1);
+    seeded.seed ^= 0x1234;
+    ErrorToleranceStudy other(*workload_, seeded);
+    EXPECT_FALSE(
+        base == other.cellKey(ERRORS, ProtectionMode::Protected,
+                              TRIALS));
+
+    // Same workload name at a different scale -> different program
+    // content -> different key (content addressing).
+    auto bench = workloads::createWorkload("adpcm",
+                                           workloads::Scale::Bench);
+    ErrorToleranceStudy benchStudy(*bench, config(1, false));
+    EXPECT_FALSE(base == benchStudy.cellKey(
+                             ERRORS, ProtectionMode::Protected, TRIALS));
+}
+
+TEST_F(OrchestrationTest, RenderingFromStoredRecordsIsByteIdentical)
+{
+    // The "smoke" experiment end-to-end, in-process: live sweep
+    // rendering vs. rendering from decoded records.
+    const bench::Experiment *exp = bench::findExperiment("smoke");
+    ASSERT_NE(exp, nullptr);
+    bench::BenchOptions opts;
+    opts.threads = 2;
+    opts.cacheDir = root_.string();
+
+    auto workload =
+        workloads::createWorkload(exp->workload, exp->scale);
+    auto cfg = bench::makeStudyConfig(*exp, opts);
+    core::ErrorToleranceStudy study(*workload, cfg);
+    auto points =
+        bench::runSweep(*workload, study, makeSweepConfig(*exp, opts));
+
+    testing::internal::CaptureStdout();
+    bench::renderExperiment(*exp, points);
+    std::string live = testing::internal::GetCapturedStdout();
+
+    // Rebuild every point purely from the store.
+    auto protection = core::computeStudyProtection(*workload, cfg);
+    store::ResultStore cache(cfg.cacheDir);
+    unsigned trials = opts.trialsOr(exp->defaultTrials);
+    std::vector<bench::SweepPoint> stored;
+    for (unsigned errors : exp->errorCounts) {
+        bench::SweepPoint point;
+        point.errors = errors;
+        auto load = [&](ProtectionMode mode) {
+            auto key =
+                core::makeCellKey(*workload, protection, cfg, errors,
+                                  mode, trials);
+            auto summary = cache.loadCell(key);
+            EXPECT_TRUE(summary.has_value());
+            return summary ? *summary : CellSummary{};
+        };
+        point.protectedCell = load(ProtectionMode::Protected);
+        if (exp->runUnprotected) {
+            point.hasUnprotected = true;
+            point.unprotectedCell = load(ProtectionMode::Unprotected);
+        }
+        stored.push_back(std::move(point));
+    }
+
+    testing::internal::CaptureStdout();
+    bench::renderExperiment(*exp, stored);
+    std::string reported = testing::internal::GetCapturedStdout();
+    EXPECT_EQ(live, reported);
+}
+
+} // namespace

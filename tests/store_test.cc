@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Result-store contract tests: canonical cell keys, JSONL record
+ * round-trips (bit-exact, including doubles via their IEEE-754 bit
+ * patterns), rejection of truncated/corrupt/version-skewed records
+ * with a versioned StoreFormatError (never a crash), and the on-disk
+ * ResultStore cell/shard lifecycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+
+#include "store/cell_key.hh"
+#include "store/json.hh"
+#include "store/record.hh"
+#include "store/result_store.hh"
+#include "support/rng.hh"
+
+namespace {
+
+using namespace etc;
+using namespace etc::store;
+
+CellKey
+sampleKey(unsigned trials = 8)
+{
+    CellKey key;
+    key.workload = "gsm";
+    key.mode = "protected";
+    key.errors = 5;
+    key.trials = trials;
+    key.seed = 0xbe7cull;
+    key.budgetFactor = 10.0;
+    key.memoryModel = "lenient";
+    key.programHash = "0xdeadbeefcafef00d";
+    return key;
+}
+
+core::CellSummary
+sampleSummary(unsigned trials = 8)
+{
+    core::CellSummary summary;
+    summary.errors = 5;
+    summary.mode = core::ProtectionMode::Protected;
+    summary.trials = trials;
+    summary.completed = trials - 3;
+    summary.crashed = 2;
+    summary.timedOut = 1;
+    summary.totalInstructions = 123456789012345ull;
+    summary.wallSeconds = 1.25;
+    for (unsigned i = 0; i < summary.completed; ++i) {
+        workloads::FidelityScore score;
+        // Exercise awkward doubles: negatives, subnormals, inf, NaN.
+        switch (i % 5) {
+          case 0: score.value = 31.4159; break;
+          case 1: score.value = -0.0; break;
+          case 2: score.value = std::numeric_limits<double>::infinity();
+                  break;
+          case 3: score.value = std::nan(""); break;
+          case 4: score.value = 5e-324; break;
+        }
+        score.acceptable = i % 2 == 0;
+        score.unit = "dB \"quoted\"\nunit";
+        summary.fidelities.push_back(score);
+    }
+    return summary;
+}
+
+void
+expectSummariesIdentical(const core::CellSummary &a,
+                         const core::CellSummary &b)
+{
+    EXPECT_EQ(a.errors, b.errors);
+    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.crashed, b.crashed);
+    EXPECT_EQ(a.timedOut, b.timedOut);
+    EXPECT_EQ(a.totalInstructions, b.totalInstructions);
+    EXPECT_EQ(doubleBits(a.wallSeconds), doubleBits(b.wallSeconds));
+    ASSERT_EQ(a.fidelities.size(), b.fidelities.size());
+    for (size_t i = 0; i < a.fidelities.size(); ++i) {
+        EXPECT_EQ(doubleBits(a.fidelities[i].value),
+                  doubleBits(b.fidelities[i].value))
+            << "fidelity " << i;
+        EXPECT_EQ(a.fidelities[i].acceptable, b.fidelities[i].acceptable);
+        EXPECT_EQ(a.fidelities[i].unit, b.fidelities[i].unit);
+    }
+}
+
+// ---- keys -----------------------------------------------------------------
+
+TEST(CellKeyTest, CanonicalFormCoversEveryField)
+{
+    CellKey key = sampleKey();
+    std::string canonical = key.canonical();
+    for (const char *piece :
+         {"workload=gsm", "mode=protected", "errors=5", "trials=8",
+          "seed=0xbe7c", "memory_model=lenient",
+          "program=0xdeadbeefcafef00d", "schema=1"})
+        EXPECT_NE(canonical.find(piece), std::string::npos) << piece;
+
+    // Any field change must change the identity and the fingerprint.
+    for (auto mutate : std::vector<std::function<void(CellKey &)>>{
+             [](CellKey &k) { k.workload = "art"; },
+             [](CellKey &k) { k.mode = "unprotected"; },
+             [](CellKey &k) { k.errors += 1; },
+             [](CellKey &k) { k.trials += 1; },
+             [](CellKey &k) { k.seed += 1; },
+             [](CellKey &k) { k.budgetFactor += 0.5; },
+             [](CellKey &k) { k.memoryModel = "strict"; },
+             [](CellKey &k) { k.programHash = "0x1"; }}) {
+        CellKey other = sampleKey();
+        mutate(other);
+        EXPECT_FALSE(other == key);
+        EXPECT_NE(other.fingerprint(), key.fingerprint());
+    }
+}
+
+TEST(CellKeyTest, FingerprintIsStableHex16)
+{
+    CellKey key = sampleKey();
+    std::string fp = key.fingerprint();
+    EXPECT_EQ(fp.size(), 16u);
+    EXPECT_EQ(fp.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+    EXPECT_EQ(fp, sampleKey().fingerprint());
+}
+
+TEST(CellKeyTest, HexRoundTrip)
+{
+    for (uint64_t v : {0ull, 1ull, 0xbe7cull, ~0ull, 1ull << 63})
+        EXPECT_EQ(parseHexU64(hexU64(v)), v);
+    EXPECT_THROW(parseHexU64("123"), std::invalid_argument);
+    EXPECT_THROW(parseHexU64("0x"), std::invalid_argument);
+    EXPECT_THROW(parseHexU64("0xg"), std::invalid_argument);
+    EXPECT_THROW(parseHexU64("0x12345678901234567"),
+                 std::invalid_argument);
+}
+
+TEST(CellKeyTest, DoubleBitsRoundTripIncludingNan)
+{
+    for (double v : {0.0, -0.0, 10.0, -1.5e300, 5e-324,
+                     std::numeric_limits<double>::infinity()})
+        EXPECT_EQ(doubleBits(doubleFromBits(doubleBits(v))),
+                  doubleBits(v));
+    double nan = std::nan("");
+    EXPECT_EQ(doubleBits(doubleFromBits(doubleBits(nan))),
+              doubleBits(nan));
+}
+
+// ---- record round-trips ---------------------------------------------------
+
+TEST(RecordCodecTest, CellRoundTripIsBitExact)
+{
+    CellKey key = sampleKey();
+    auto summary = sampleSummary();
+    std::string text = encodeCellRecord(key, summary);
+    auto decoded = decodeCellRecord(text, &key);
+    expectSummariesIdentical(summary, decoded);
+    // Encoding is deterministic: re-encoding the decode is identical.
+    EXPECT_EQ(encodeCellRecord(key, decoded), text);
+}
+
+TEST(RecordCodecTest, ShardRoundTripIsBitExact)
+{
+    CellKey key = sampleKey(20);
+    auto summary = sampleSummary();
+    std::string text = encodeShardRecord(key, 4, 12, summary);
+    auto decoded = decodeShardRecord(text, &key);
+    EXPECT_EQ(decoded.lo, 4u);
+    EXPECT_EQ(decoded.hi, 12u);
+    EXPECT_TRUE(decoded.key == key);
+    expectSummariesIdentical(summary, decoded.summary);
+}
+
+TEST(RecordCodecTest, EmptyCellRoundTrips)
+{
+    CellKey key = sampleKey(3);
+    core::CellSummary summary;
+    summary.errors = key.errors;
+    summary.mode = core::ProtectionMode::Protected;
+    summary.trials = 3;
+    summary.crashed = 3; // nothing completed: no fidelity lines
+    auto decoded = decodeCellRecord(encodeCellRecord(key, summary), &key);
+    expectSummariesIdentical(summary, decoded);
+}
+
+TEST(RecordCodecTest, KeyMismatchIsRejected)
+{
+    CellKey key = sampleKey();
+    std::string text = encodeCellRecord(key, sampleSummary());
+    CellKey other = sampleKey();
+    other.seed ^= 1;
+    EXPECT_THROW(decodeCellRecord(text, &other), StoreFormatError);
+    // Without an expectation the same record is fine.
+    EXPECT_NO_THROW(decodeCellRecord(text, nullptr));
+}
+
+TEST(RecordCodecTest, WrongSchemaVersionIsRejectedWithVersionedError)
+{
+    CellKey key = sampleKey();
+    std::string text = encodeCellRecord(key, sampleSummary());
+    auto pos = text.find("\"schema\":1");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 10, "\"schema\":9");
+    try {
+        decodeCellRecord(text, &key);
+        FAIL() << "schema 9 record was accepted";
+    } catch (const StoreFormatError &error) {
+        EXPECT_NE(std::string(error.what()).find("schema"),
+                  std::string::npos);
+        EXPECT_NE(std::string(error.what()).find("9"),
+                  std::string::npos);
+    }
+}
+
+TEST(RecordCodecTest, EveryTruncationIsRejectedNeverCrashes)
+{
+    CellKey key = sampleKey();
+    std::string text = encodeCellRecord(key, sampleSummary());
+    // Every proper prefix must decode to an error, not a summary and
+    // not a crash. (Prefixes that end mid-line lack the trailer;
+    // prefixes on line boundaries lack lines.)
+    for (size_t len = 0; len < text.size(); ++len) {
+        std::string prefix = text.substr(0, len);
+        EXPECT_THROW(decodeCellRecord(prefix, &key), StoreFormatError)
+            << "prefix of length " << len << " was accepted";
+    }
+}
+
+TEST(RecordCodecTest, RandomCorruptionIsRejectedOrEquivalent)
+{
+    CellKey key = sampleKey();
+    std::string text = encodeCellRecord(key, sampleSummary());
+    auto reference = decodeCellRecord(text, &key);
+    Rng rng(0xf022);
+    for (int round = 0; round < 2000; ++round) {
+        std::string corrupt = text;
+        size_t pos = rng.below(corrupt.size());
+        char replacement =
+            static_cast<char>(' ' + rng.below(95)); // printable ASCII
+        if (replacement == corrupt[pos])
+            continue; // not a corruption
+        corrupt[pos] = replacement;
+        try {
+            decodeCellRecord(corrupt, &key);
+            // The trailer checksum must catch every byte substitution
+            // -- even ones inside string payloads that would parse as
+            // valid JSON with silently different contents.
+            ADD_FAILURE() << "corruption at pos " << pos << " ('"
+                          << replacement << "') was accepted";
+        } catch (const StoreFormatError &) {
+            // rejected cleanly: the desired outcome
+        } catch (const JsonError &) {
+            FAIL() << "JsonError escaped the codec at pos " << pos;
+        }
+    }
+    // The pristine text still decodes, of course.
+    expectSummariesIdentical(reference, decodeCellRecord(text, &key));
+}
+
+TEST(RecordCodecTest, GarbageInputsAreRejected)
+{
+    CellKey key = sampleKey();
+    for (const char *text :
+         {"", "\n", "not json\n", "{}\n{}\n{}\n", "[1,2,3]\n",
+          "{\"schema\":1}\n{\"schema\":1}\n{\"schema\":1}\n",
+          "{\"schema\":true,\"kind\":\"cell\"}\na\nb\n"})
+        EXPECT_THROW(decodeCellRecord(text, &key), StoreFormatError)
+            << "accepted: " << text;
+}
+
+// ---- shard merge ----------------------------------------------------------
+
+TEST(RecordCodecTest, MergeShardSummariesRequiresExactTiling)
+{
+    CellKey key = sampleKey(10);
+
+    auto shard = [&](unsigned lo, unsigned hi) {
+        ShardRecord record;
+        record.key = key;
+        record.lo = lo;
+        record.hi = hi;
+        record.summary.trials = hi - lo;
+        record.summary.completed = hi - lo;
+        for (unsigned i = lo; i < hi; ++i) {
+            workloads::FidelityScore score;
+            score.value = i; // trial-identifying
+            record.summary.fidelities.push_back(score);
+        }
+        record.summary.totalInstructions = uint64_t{hi} - lo;
+        return record;
+    };
+
+    // Out-of-order input merges fine and keeps trial order.
+    auto merged = mergeShardSummaries(
+        key, {shard(7, 10), shard(0, 4), shard(4, 7)});
+    EXPECT_EQ(merged.trials, 10u);
+    EXPECT_EQ(merged.completed, 10u);
+    ASSERT_EQ(merged.fidelities.size(), 10u);
+    for (unsigned i = 0; i < 10; ++i)
+        EXPECT_EQ(merged.fidelities[i].value, double(i));
+
+    EXPECT_THROW(mergeShardSummaries(key, {shard(0, 4)}),
+                 StoreFormatError); // gap at the tail
+    EXPECT_THROW(mergeShardSummaries(key, {shard(0, 4), shard(5, 10)}),
+                 StoreFormatError); // gap in the middle
+    EXPECT_THROW(mergeShardSummaries(key, {shard(0, 6), shard(4, 10)}),
+                 StoreFormatError); // overlap
+    EXPECT_THROW(mergeShardSummaries(key, {}), StoreFormatError);
+}
+
+// ---- on-disk store --------------------------------------------------------
+
+class ResultStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root_ = std::filesystem::temp_directory_path() /
+                ("etc_store_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name());
+        std::filesystem::remove_all(root_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(root_); }
+
+    std::filesystem::path root_;
+};
+
+TEST_F(ResultStoreTest, CellLifecycle)
+{
+    ResultStore cache(root_.string());
+    CellKey key = sampleKey();
+    EXPECT_FALSE(cache.hasCell(key));
+    EXPECT_FALSE(cache.loadCell(key).has_value());
+
+    auto summary = sampleSummary();
+    cache.storeCell(key, summary);
+    EXPECT_TRUE(cache.hasCell(key));
+    auto loaded = cache.loadCell(key);
+    ASSERT_TRUE(loaded.has_value());
+    expectSummariesIdentical(summary, *loaded);
+
+    // A second store instance sees the same record (persistence).
+    ResultStore other(root_.string());
+    ASSERT_TRUE(other.loadCell(key).has_value());
+    EXPECT_EQ(other.stats().cellHits, 1u);
+}
+
+TEST_F(ResultStoreTest, ShardLifecycle)
+{
+    ResultStore cache(root_.string());
+    CellKey key = sampleKey(20);
+    EXPECT_TRUE(cache.loadShards(key).empty());
+    EXPECT_FALSE(cache.hasShard(key, 0, 10));
+
+    auto summary = sampleSummary();
+    summary.trials = 10;
+    summary.completed = 7;
+    summary.crashed = 2;
+    summary.timedOut = 1;
+    summary.fidelities.resize(7);
+    cache.storeShard(key, 10, 20, summary);
+    cache.storeShard(key, 0, 10, summary);
+    EXPECT_TRUE(cache.hasShard(key, 0, 10));
+
+    auto shards = cache.loadShards(key);
+    ASSERT_EQ(shards.size(), 2u);
+    EXPECT_EQ(shards[0].lo, 0u); // sorted by range
+    EXPECT_EQ(shards[1].lo, 10u);
+
+    cache.dropShards(key);
+    EXPECT_TRUE(cache.loadShards(key).empty());
+}
+
+TEST_F(ResultStoreTest, CorruptCellIsAMissNotACrash)
+{
+    ResultStore cache(root_.string());
+    CellKey key = sampleKey();
+    cache.storeCell(key, sampleSummary());
+
+    // Truncate the record mid-file.
+    auto path = root_ / "cells" / (key.fingerprint() + ".jsonl");
+    auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size / 2);
+
+    EXPECT_FALSE(cache.loadCell(key).has_value());
+    EXPECT_EQ(cache.stats().cellMisses, 1u);
+}
+
+TEST_F(ResultStoreTest, ForeignKeyInCellFileIsRejected)
+{
+    ResultStore cache(root_.string());
+    CellKey key = sampleKey();
+    CellKey other = sampleKey();
+    other.errors += 1;
+
+    // Plant another cell's (valid) record at this key's address, as a
+    // fingerprint collision / copy-paste accident would.
+    auto dir = root_ / "cells";
+    std::filesystem::create_directories(dir);
+    std::ofstream out(dir / (key.fingerprint() + ".jsonl"),
+                      std::ios::binary);
+    auto summary = sampleSummary();
+    summary.errors = other.errors;
+    out << encodeCellRecord(other, summary);
+    out.close();
+
+    EXPECT_FALSE(cache.loadCell(key).has_value());
+}
+
+TEST_F(ResultStoreTest, CorruptShardIsSkippedOthersSurvive)
+{
+    ResultStore cache(root_.string());
+    CellKey key = sampleKey(20);
+    auto summary = sampleSummary();
+    summary.trials = 10;
+    summary.completed = 10;
+    summary.crashed = 0;
+    summary.timedOut = 0;
+    summary.fidelities.resize(10);
+    cache.storeShard(key, 0, 10, summary);
+    cache.storeShard(key, 10, 20, summary);
+
+    auto path =
+        root_ / "shards" / key.fingerprint() / "0-10.jsonl";
+    ASSERT_TRUE(std::filesystem::exists(path));
+    std::ofstream(path, std::ios::binary) << "junk";
+
+    auto shards = cache.loadShards(key);
+    ASSERT_EQ(shards.size(), 1u);
+    EXPECT_EQ(shards[0].lo, 10u);
+}
+
+// ---- json primitives ------------------------------------------------------
+
+TEST(JsonTest, ParsesTheCodecSubset)
+{
+    auto value = parseJson(
+        "{\"a\":1,\"b\":\"x\\n\\\"y\",\"c\":true,\"d\":[1,2],"
+        "\"e\":{\"f\":18446744073709551615}}");
+    EXPECT_EQ(value.at("a").asU64(), 1u);
+    EXPECT_EQ(value.at("b").asString(), "x\n\"y");
+    EXPECT_TRUE(value.at("c").asBool());
+    EXPECT_EQ(value.at("d").elements.size(), 2u);
+    EXPECT_EQ(value.at("e").at("f").asU64(), ~0ull);
+}
+
+TEST(JsonTest, RejectsMalformedInput)
+{
+    for (const char *text :
+         {"{", "}", "{\"a\"}", "{\"a\":}", "{\"a\":1,}", "tru",
+          "\"unterminated", "{\"a\":1}x", "01x", "{\"a\":--1}",
+          "{\"a\":1e}", "\"bad\\escape\"", "{\"a\":18446744073709551616}"})
+        EXPECT_THROW(
+            {
+                auto v = parseJson(text);
+                // force evaluation for the number-overflow case
+                if (v.isObject())
+                    v.at("a").asU64();
+            },
+            JsonError)
+            << "accepted: " << text;
+}
+
+TEST(JsonTest, QuoteRoundTripsThroughParse)
+{
+    std::string nasty = "a\"b\\c\nd\te\rf\x01g";
+    auto value = parseJson(jsonQuote(nasty));
+    EXPECT_EQ(value.asString(), nasty);
+}
+
+} // namespace

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * etc_lab executable: persistent-result-store campaign orchestration
+ * (run / resume / merge / report). All logic lives in bench/lab.cc so
+ * the registry and rendering are shared with the bench_fig* drivers.
+ */
+
+#include "bench/lab.hh"
+
+int
+main(int argc, char **argv)
+{
+    return etc::bench::labMain(argc, argv);
+}

@@ -237,17 +237,25 @@ runSweep(const workloads::Workload &workload,
 }
 
 void
-banner(const std::string &experiment, const std::string &caption)
+banner(std::ostream &os, const std::string &experiment,
+       const std::string &caption)
 {
-    std::cout << '\n'
-              << "==========================================================\n"
-              << experiment << '\n'
-              << caption << '\n'
-              << "==========================================================\n";
+    os << '\n'
+       << "==========================================================\n"
+       << experiment << '\n'
+       << caption << '\n'
+       << "==========================================================\n";
 }
 
 void
-printFigure(const std::string &title, const std::string &yLabel,
+banner(const std::string &experiment, const std::string &caption)
+{
+    banner(std::cout, experiment, caption);
+}
+
+void
+printFigure(std::ostream &os, const std::string &title,
+            const std::string &yLabel,
             const std::vector<SweepPoint> &points,
             const std::function<double(const CellSummary &)> &fidelityOf,
             double threshold)
@@ -279,7 +287,7 @@ printFigure(const std::string &title, const std::string &yLabel,
                 : "-",
         });
     }
-    table.print(std::cout);
+    table.print(os);
 
     AsciiChart fidelityChart(title, "errors inserted", yLabel);
     Series prot;
@@ -301,8 +309,8 @@ printFigure(const std::string &title, const std::string &yLabel,
         fidelityChart.addSeries(unprot);
     if (!std::isnan(threshold))
         fidelityChart.setThreshold(threshold, "fidelity threshold");
-    std::cout << '\n';
-    fidelityChart.print(std::cout);
+    os << '\n';
+    fidelityChart.print(os);
 
     AsciiChart failChart(title + " -- catastrophic failures",
                          "errors inserted", "% failed runs");
@@ -324,8 +332,18 @@ printFigure(const std::string &title, const std::string &yLabel,
     failChart.addSeries(failProt);
     if (!failUnprot.xs.empty())
         failChart.addSeries(failUnprot);
-    std::cout << '\n';
-    failChart.print(std::cout);
+    os << '\n';
+    failChart.print(os);
+}
+
+void
+printFigure(const std::string &title, const std::string &yLabel,
+            const std::vector<SweepPoint> &points,
+            const std::function<double(const CellSummary &)> &fidelityOf,
+            double threshold)
+{
+    printFigure(std::cout, title, yLabel, points, fidelityOf,
+                threshold);
 }
 
 } // namespace etc::bench

@@ -14,6 +14,7 @@
 #define ETC_BENCH_COMMON_HH
 
 #include <functional>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -173,17 +174,34 @@ std::vector<SweepPoint> runSweep(const workloads::Workload &workload,
                                  const SweepConfig &config);
 
 /** Standard banner printed by every bench binary. */
+void banner(std::ostream &os, const std::string &experiment,
+            const std::string &caption);
+
+/** banner() to std::cout (the bench binaries' stdout contract). */
 void banner(const std::string &experiment, const std::string &caption);
 
 /**
  * Print a fidelity/failure figure: a table of the swept cells plus
- * ASCII charts for the fidelity metric and the failure rate.
+ * ASCII charts for the fidelity metric and the failure rate. Writing
+ * to an in-memory stream produces the same bytes the bench binaries
+ * put on stdout -- the campaign service's GET /v1/figures/<name>
+ * relies on this for its byte-identity contract with `etc_lab
+ * report`.
  *
+ * @param os           destination stream
  * @param title        chart title (e.g. "Figure 1: Susan")
  * @param yLabel       fidelity axis caption
  * @param fidelityOf   extracts the plotted fidelity value of a cell
  * @param threshold    optional fidelity threshold line (NaN = none)
  */
+void printFigure(std::ostream &os, const std::string &title,
+                 const std::string &yLabel,
+                 const std::vector<SweepPoint> &points,
+                 const std::function<double(const core::CellSummary &)>
+                     &fidelityOf,
+                 double threshold);
+
+/** printFigure() to std::cout. */
 void printFigure(const std::string &title, const std::string &yLabel,
                  const std::vector<SweepPoint> &points,
                  const std::function<double(const core::CellSummary &)>

@@ -1,6 +1,9 @@
 #include "bench/experiments.hh"
 
+#include <iostream>
 #include <limits>
+
+#include "store/result_store.hh"
 
 namespace etc::bench {
 
@@ -209,16 +212,96 @@ makeSweepConfig(const Experiment &exp, const BenchOptions &opts)
     return sweep;
 }
 
+std::vector<std::pair<unsigned, core::ProtectionMode>>
+experimentCells(const Experiment &exp)
+{
+    std::vector<std::pair<unsigned, core::ProtectionMode>> cells;
+    for (unsigned errors : exp.errorCounts) {
+        cells.emplace_back(errors, core::ProtectionMode::Protected);
+        if (exp.runUnprotected)
+            cells.emplace_back(errors,
+                               core::ProtectionMode::Unprotected);
+    }
+    return cells;
+}
+
+std::vector<SweepPoint>
+sweepPointsFrom(const Experiment &exp,
+                const std::vector<core::CellSummary> &summaries)
+{
+    std::vector<SweepPoint> points;
+    size_t next = 0;
+    for (unsigned errors : exp.errorCounts) {
+        SweepPoint point;
+        point.errors = errors;
+        point.protectedCell = summaries.at(next++);
+        if (exp.runUnprotected) {
+            point.hasUnprotected = true;
+            point.unprotectedCell = summaries.at(next++);
+        }
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+std::vector<store::CellKey>
+experimentCellKeys(const Experiment &exp, const BenchOptions &opts)
+{
+    auto workload = workloads::createWorkload(exp.workload, exp.scale);
+    auto config = makeStudyConfig(exp, opts);
+    auto protection = core::computeStudyProtection(*workload, config);
+    unsigned trials = opts.trialsOr(exp.defaultTrials);
+
+    std::vector<store::CellKey> keys;
+    for (auto [errors, mode] : experimentCells(exp))
+        keys.push_back(core::makeCellKey(*workload, protection, config,
+                                         errors, mode, trials));
+    return keys;
+}
+
+StoredSweep
+loadExperimentFromStore(const Experiment &exp, const BenchOptions &opts,
+                        store::ResultStore &cache)
+{
+    return loadExperimentFromStore(exp, experimentCellKeys(exp, opts),
+                                   cache);
+}
+
+StoredSweep
+loadExperimentFromStore(const Experiment &exp,
+                        const std::vector<store::CellKey> &keys,
+                        store::ResultStore &cache)
+{
+    StoredSweep sweep;
+    std::vector<core::CellSummary> summaries;
+    for (const auto &key : keys) {
+        if (auto summary = cache.loadCell(key))
+            summaries.push_back(std::move(*summary));
+        else
+            sweep.missing.push_back(key);
+    }
+    if (sweep.missing.empty())
+        sweep.points = sweepPointsFrom(exp, summaries);
+    return sweep;
+}
+
 void
-renderExperiment(const Experiment &exp,
+renderExperiment(std::ostream &os, const Experiment &exp,
                  const std::vector<SweepPoint> &points)
 {
-    banner(exp.experiment, exp.caption);
-    printFigure(exp.title, exp.yLabel, points,
+    banner(os, exp.experiment, exp.caption);
+    printFigure(os, exp.title, exp.yLabel, points,
                 [&exp](const core::CellSummary &cell) {
                     return fidelityOf(exp, cell);
                 },
                 exp.threshold);
+}
+
+void
+renderExperiment(const Experiment &exp,
+                 const std::vector<SweepPoint> &points)
+{
+    renderExperiment(std::cout, exp, points);
 }
 
 } // namespace etc::bench

@@ -14,9 +14,15 @@
 #define ETC_BENCH_EXPERIMENTS_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/common.hh"
+
+namespace etc::store {
+struct CellKey;
+class ResultStore;
+} // namespace etc::store
 
 namespace etc::bench {
 
@@ -66,7 +72,62 @@ core::StudyConfig makeStudyConfig(const Experiment &exp,
 SweepConfig makeSweepConfig(const Experiment &exp,
                             const BenchOptions &opts);
 
+/** The (errors, mode) cells of @p exp, in sweep order. */
+std::vector<std::pair<unsigned, core::ProtectionMode>>
+experimentCells(const Experiment &exp);
+
+/**
+ * Fold per-cell summaries (one per experimentCells() entry, in that
+ * order) back into sweep points.
+ */
+std::vector<SweepPoint> sweepPointsFrom(
+    const Experiment &exp,
+    const std::vector<core::CellSummary> &summaries);
+
+/**
+ * Result of loading a whole experiment sweep from the result store
+ * without simulating anything (cell keys are rebuilt from static
+ * analysis alone).
+ */
+struct StoredSweep
+{
+    /** Sweep points, valid iff missing is empty. */
+    std::vector<SweepPoint> points;
+
+    /** Keys of the cells with no usable stored record. */
+    std::vector<store::CellKey> missing;
+
+    bool complete() const { return missing.empty(); }
+};
+
+/**
+ * The store keys of every cell of @p exp's sweep (in
+ * experimentCells() order), rebuilt from static analysis alone -- no
+ * simulation. Callers that look cells up repeatedly (the campaign
+ * service's figure endpoint) compute these once and reuse them.
+ */
+std::vector<store::CellKey> experimentCellKeys(const Experiment &exp,
+                                               const BenchOptions &opts);
+
+/**
+ * Load every cell of @p exp from @p cache. `etc_lab report` and the
+ * campaign service's GET /v1/figures/<name> both render from this, so
+ * their output is byte-identical.
+ */
+StoredSweep loadExperimentFromStore(const Experiment &exp,
+                                    const BenchOptions &opts,
+                                    store::ResultStore &cache);
+
+/** loadExperimentFromStore() over precomputed experimentCellKeys(). */
+StoredSweep loadExperimentFromStore(
+    const Experiment &exp, const std::vector<store::CellKey> &keys,
+    store::ResultStore &cache);
+
 /** Print @p exp's banner, table, and charts for the swept points. */
+void renderExperiment(std::ostream &os, const Experiment &exp,
+                      const std::vector<SweepPoint> &points);
+
+/** renderExperiment() to std::cout. */
 void renderExperiment(const Experiment &exp,
                       const std::vector<SweepPoint> &points);
 

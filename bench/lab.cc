@@ -1,15 +1,25 @@
 #include "bench/lab.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <limits>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/experiments.hh"
+#include "service/client.hh"
+#include "service/http_server.hh"
+#include "service/scheduler.hh"
+#include "service/service.hh"
+#include "store/json.hh"
 #include "store/result_store.hh"
 #include "support/logging.hh"
+#include "support/shutdown.hh"
+#include "support/table.hh"
 
 namespace etc::bench {
 
@@ -17,36 +27,62 @@ namespace {
 
 struct LabOptions
 {
-    std::string command;    //!< run | resume | merge | report
+    std::string command;    //!< run | resume | merge | report | list
+                            //!< | serve | submit | status | fetch
     std::string experiment; //!< registry name (--experiment)
     unsigned chunks = 4;    //!< shard records per cell during run
     BenchOptions bench;     //!< the shared campaign knobs
+
+    // Campaign-service knobs (serve + the remote subcommands).
+    uint16_t port = 8977;            //!< --port (serve binds, others dial)
+    std::string host = "127.0.0.1";  //!< --host for remote subcommands
+    unsigned workers = 2;            //!< serve: concurrent cell workers
+    std::optional<unsigned> errors;  //!< submit: single-cell error count
+    std::string mode = "protected";  //!< submit: single-cell mode
+    bool wait = false;               //!< submit: poll until the job drains
+    std::string job;                 //!< status: job id
+    std::string figure;              //!< fetch: figure name
+    std::string cell;                //!< fetch: cell fingerprint
 };
 
 [[noreturn]] void
 usage(int status)
 {
     std::cerr
-        << "usage: etc_lab <run|resume|merge|report> --experiment NAME"
-           " [options]\n"
+        << "usage: etc_lab <subcommand> [options]\n"
            "\n"
-           "subcommands:\n"
+           "local subcommands:\n"
            "  run     execute the sweep; persist every cell to the\n"
            "          cache, skip stored cells, resume partial ones,\n"
-           "          then render the figure\n"
+           "          then render the figure. SIGINT/SIGTERM finishes\n"
+           "          the in-flight shard chunk, persists it, and\n"
+           "          exits with a summary (status 130)\n"
            "  resume  same as run (requires --cache-dir); continues a\n"
            "          killed campaign from its stored shards\n"
            "  merge   promote complete shard sets into cell records\n"
            "          (no simulation)\n"
            "  report  render the figure purely from stored records\n"
            "          (no simulation; fails on missing cells)\n"
+           "  list    print the experiment registry\n"
+           "\n"
+           "campaign-service subcommands:\n"
+           "  serve   run the HTTP campaign daemon: submitted jobs\n"
+           "          execute on an async worker pool over the result\n"
+           "          store; SIGINT/SIGTERM drains in-flight chunks\n"
+           "          and exits cleanly\n"
+           "  submit  POST a job to a daemon (--experiment, optional\n"
+           "          --errors/--mode for one cell, --wait to poll\n"
+           "          until it drains)\n"
+           "  status  GET a job's status (--job ID)\n"
+           "  fetch   GET a figure (--figure NAME; bytes match\n"
+           "          `etc_lab report`) or a cell record (--cell KEY)\n"
            "\n"
            "options:\n"
            "  --experiment NAME        one of: "
         << experimentNames()
         << "\n"
            "  --cache-dir DIR          result-store root (required for\n"
-           "                           resume/merge/report)\n"
+           "                           resume/merge/report/serve)\n"
            "  --no-cache               run without persistence\n"
            "  --trials N               trials per cell (>= 1; default:\n"
            "                           the experiment's)\n"
@@ -59,11 +95,34 @@ usage(int status)
            "  --chunks N               shard records per cell while\n"
            "                           running (default 4; bounds lost\n"
            "                           work on a kill)\n"
+           "  --port N                 daemon TCP port (default 8977;\n"
+           "                           serve: 0 picks one). The daemon\n"
+           "                           binds 127.0.0.1 only\n"
+           "  --host H                 daemon host for submit/status/\n"
+           "                           fetch (default 127.0.0.1; a\n"
+           "                           remote daemon is loopback-only,\n"
+           "                           so reach it through a tunnel or\n"
+           "                           port forward)\n"
+           "  --workers K              serve: concurrent cell workers\n"
+           "                           (default 2)\n"
+           "  --errors N               submit: one cell at this error\n"
+           "                           count instead of the whole sweep\n"
+           "  --mode M                 submit: protected|unprotected\n"
+           "                           (default protected; needs\n"
+           "                           --errors)\n"
+           "  --wait                   submit: poll until the job\n"
+           "                           drains, then print its status\n"
+           "  --job ID                 status: the job to query\n"
+           "  --figure NAME            fetch: render this experiment's\n"
+           "                           figure from the daemon's store\n"
+           "  --cell KEY               fetch: stored record of this\n"
+           "                           cell fingerprint\n"
            "  --help                   this message\n"
            "\n"
            "Results are bit-identical for every --threads value, every\n"
-           "--shard split, every --chunks value, and across\n"
-           "kill/resume -- only wall-clock time changes.\n";
+           "--shard split, every --chunks value, across kill/resume,\n"
+           "and whether cells were computed by `run` or by a daemon --\n"
+           "only wall-clock time changes.\n";
     std::exit(status);
 }
 
@@ -76,8 +135,11 @@ parseLabArgs(int argc, char **argv)
     opts.command = argv[1];
     if (opts.command == "--help" || opts.command == "-h")
         usage(0);
-    if (opts.command != "run" && opts.command != "resume" &&
-        opts.command != "merge" && opts.command != "report") {
+    const std::vector<std::string> commands = {
+        "run",  "resume", "merge",  "report", "list",
+        "serve", "submit", "status", "fetch"};
+    if (std::find(commands.begin(), commands.end(), opts.command) ==
+        commands.end()) {
         std::cerr << "etc_lab: unknown subcommand '" << opts.command
                   << "'\n";
         usage(2);
@@ -124,41 +186,65 @@ parseLabArgs(int argc, char **argv)
             opts.chunks = parseCount32("--chunks", *chunks);
             if (opts.chunks == 0)
                 fatal("--chunks must be >= 1");
+        } else if (auto port = valueOf("--port")) {
+            opts.port = static_cast<uint16_t>(
+                parseCountValue("--port", *port, 65535));
+        } else if (auto host = valueOf("--host")) {
+            opts.host = *host;
+        } else if (auto workers = valueOf("--workers")) {
+            opts.workers = parseCount32("--workers", *workers);
+            if (opts.workers == 0)
+                fatal("--workers must be >= 1");
+        } else if (auto errors = valueOf("--errors")) {
+            opts.errors = parseCount32("--errors", *errors);
+        } else if (auto mode = valueOf("--mode")) {
+            opts.mode = *mode;
+        } else if (arg == "--wait") {
+            opts.wait = true;
+        } else if (auto job = valueOf("--job")) {
+            opts.job = *job;
+        } else if (auto figure = valueOf("--figure")) {
+            opts.figure = *figure;
+        } else if (auto cell = valueOf("--cell")) {
+            opts.cell = *cell;
         } else {
             std::cerr << "etc_lab: unknown argument '" << arg << "'\n";
             usage(2);
         }
     }
 
-    if (opts.experiment.empty())
+    bool local = opts.command == "run" || opts.command == "resume" ||
+                 opts.command == "merge" || opts.command == "report";
+    bool cached = !opts.bench.cacheDir.empty() && !opts.bench.noCache;
+    if (local && opts.experiment.empty())
         fatal("--experiment is required (one of: ", experimentNames(),
               ")");
-    bool cached = !opts.bench.cacheDir.empty() && !opts.bench.noCache;
-    if (opts.command != "run" && !cached)
+    if (local && opts.command != "run" && !cached)
         fatal(opts.command, " requires --cache-dir (and no --no-cache)");
     if (opts.bench.sharded() && !cached)
         fatal("--shard requires --cache-dir (the stripe's results "
               "must be persisted somewhere)");
+    if (opts.command == "serve" && !cached)
+        fatal("serve requires --cache-dir (jobs persist to and resume "
+              "from the result store)");
+    if (opts.command == "serve" && opts.bench.sharded())
+        fatal("serve does not take --shard (the daemon schedules its "
+              "own stripes)");
+    if (opts.command == "submit" && opts.experiment.empty())
+        fatal("submit requires --experiment");
+    if (opts.command == "status" && opts.job.empty())
+        fatal("status requires --job ID");
+    if (opts.command == "fetch" &&
+        opts.figure.empty() == opts.cell.empty())
+        fatal("fetch requires exactly one of --figure NAME or "
+              "--cell KEY");
     return opts;
-}
-
-/** The (errors, mode) cells of an experiment, in sweep order. */
-std::vector<std::pair<unsigned, core::ProtectionMode>>
-cellsOf(const Experiment &exp)
-{
-    std::vector<std::pair<unsigned, core::ProtectionMode>> cells;
-    for (unsigned errors : exp.errorCounts) {
-        cells.emplace_back(errors, core::ProtectionMode::Protected);
-        if (exp.runUnprotected)
-            cells.emplace_back(errors,
-                               core::ProtectionMode::Unprotected);
-    }
-    return cells;
 }
 
 void
 emitLabJson(const LabOptions &opts, size_t cells, size_t cellsCached,
-            size_t cellsComputed, uint64_t trialsExecuted)
+            size_t cellsComputed, uint64_t trialsExecuted,
+            bool interrupted = false)
 {
     std::cerr << "ETC_LAB_JSON {"
               << "\"command\":\"" << opts.command << "\","
@@ -166,33 +252,18 @@ emitLabJson(const LabOptions &opts, size_t cells, size_t cellsCached,
               << "\"cells\":" << cells << ","
               << "\"cells_cached\":" << cellsCached << ","
               << "\"cells_computed\":" << cellsComputed << ","
-              << "\"trials_executed\":" << trialsExecuted << "}"
-              << std::endl;
+              << "\"trials_executed\":" << trialsExecuted << ","
+              << "\"interrupted\":" << (interrupted ? "true" : "false")
+              << "}" << std::endl;
 }
 
-/** Fold per-cell summaries back into sweep points, in sweep order. */
-std::vector<SweepPoint>
-pointsFrom(const Experiment &exp,
-           const std::vector<core::CellSummary> &summaries)
-{
-    std::vector<SweepPoint> points;
-    size_t next = 0;
-    for (unsigned errors : exp.errorCounts) {
-        SweepPoint point;
-        point.errors = errors;
-        point.protectedCell = summaries.at(next++);
-        if (exp.runUnprotected) {
-            point.hasUnprotected = true;
-            point.unprotectedCell = summaries.at(next++);
-        }
-        points.push_back(std::move(point));
-    }
-    return points;
-}
+/** Exit status of a run cut short by SIGINT/SIGTERM (128 + SIGINT). */
+constexpr int EXIT_INTERRUPTED = 130;
 
 int
 labRun(const LabOptions &opts, const Experiment &exp)
 {
+    installStopSignalHandlers();
     auto workload = workloads::createWorkload(exp.workload, exp.scale);
     auto config = makeStudyConfig(exp, opts.bench);
     unsigned trials = opts.bench.trialsOr(exp.defaultTrials);
@@ -222,6 +293,17 @@ labRun(const LabOptions &opts, const Experiment &exp)
     auto trialsExecuted = [&]() {
         return study ? study->trialsExecuted() : 0;
     };
+    auto interruptedExit = [&](size_t cells, size_t cellsCached,
+                               size_t cellsComputed) {
+        inform("etc_lab: interrupted; the in-flight shard chunk was ",
+               useCache ? "finished and persisted -- resume with "
+                          "`etc_lab resume`"
+                        : "finished (no --cache-dir, progress "
+                          "discarded)");
+        emitLabJson(opts, cells, cellsCached, cellsComputed,
+                    trialsExecuted(), true);
+        return EXIT_INTERRUPTED;
+    };
 
     if (opts.bench.sharded()) {
         // Stripe mode: classify by actual loads (a corrupt record
@@ -229,7 +311,10 @@ labRun(const LabOptions &opts, const Experiment &exp)
         size_t stripesCached = 0, stripesComputed = 0;
         auto [lo, hi] = core::ErrorToleranceStudy::shardRange(
             trials, opts.bench.shardIndex, opts.bench.shardCount);
-        for (auto [errors, mode] : cellsOf(exp)) {
+        for (auto [errors, mode] : experimentCells(exp)) {
+            if (stopRequested())
+                return interruptedExit(experimentCells(exp).size(),
+                                       stripesCached, stripesComputed);
             inform(exp.name, ": errors=", errors, " shard ",
                    opts.bench.shardIndex, "/", opts.bench.shardCount,
                    " (", store::modeName(mode), ")");
@@ -248,14 +333,17 @@ labRun(const LabOptions &opts, const Experiment &exp)
                "' stored in ", opts.bench.cacheDir,
                "; run the remaining shards, then `etc_lab merge` and "
                "`etc_lab report`");
-        emitLabJson(opts, cellsOf(exp).size(), stripesCached,
+        emitLabJson(opts, experimentCells(exp).size(), stripesCached,
                     stripesComputed, trialsExecuted());
         return 0;
     }
 
     size_t cellsCached = 0, cellsComputed = 0;
     std::vector<core::CellSummary> summaries;
-    for (auto [errors, mode] : cellsOf(exp)) {
+    for (auto [errors, mode] : experimentCells(exp)) {
+        if (stopRequested())
+            return interruptedExit(experimentCells(exp).size(),
+                                   cellsCached, cellsComputed);
         // Classify by an actual load, not existence: a corrupt record
         // must take the computed path (with chunked kill protection),
         // not silently degrade it.
@@ -274,10 +362,16 @@ labRun(const LabOptions &opts, const Experiment &exp)
                 // Chunked execution: persist progress every 1/chunks
                 // of the cell, so a kill loses at most one chunk;
                 // runCell below assembles the shards into the cell
-                // record.
-                for (unsigned c = 0; c < opts.chunks; ++c)
+                // record. A stop request between chunks leaves the
+                // finished ones persisted and exits cleanly.
+                for (unsigned c = 0; c < opts.chunks; ++c) {
+                    if (stopRequested())
+                        return interruptedExit(
+                            experimentCells(exp).size(), cellsCached,
+                            cellsComputed);
                     ensureStudy().runCellShard(errors, mode, trials, c,
                                                opts.chunks);
+                }
             }
             summary = ensureStudy().runCell(errors, mode, trials);
         }
@@ -286,7 +380,7 @@ labRun(const LabOptions &opts, const Experiment &exp)
         summaries.push_back(std::move(summary));
     }
 
-    renderExperiment(exp, pointsFrom(exp, summaries));
+    renderExperiment(exp, sweepPointsFrom(exp, summaries));
     emitLabJson(opts, summaries.size(), cellsCached, cellsComputed,
                 trialsExecuted());
     return 0;
@@ -302,7 +396,7 @@ labMerge(const LabOptions &opts, const Experiment &exp)
     store::ResultStore cache(config.cacheDir);
 
     size_t complete = 0, merged = 0, incomplete = 0;
-    for (auto [errors, mode] : cellsOf(exp)) {
+    for (auto [errors, mode] : experimentCells(exp)) {
         auto key = core::makeCellKey(*workload, protection, config,
                                      errors, mode, trials);
         if (cache.loadCell(key)) {
@@ -337,27 +431,172 @@ labMerge(const LabOptions &opts, const Experiment &exp)
 int
 labReport(const LabOptions &opts, const Experiment &exp)
 {
-    auto workload = workloads::createWorkload(exp.workload, exp.scale);
-    auto config = makeStudyConfig(exp, opts.bench);
-    auto protection = core::computeStudyProtection(*workload, config);
-    unsigned trials = opts.bench.trialsOr(exp.defaultTrials);
-    store::ResultStore cache(config.cacheDir);
+    store::ResultStore cache(opts.bench.cacheDir);
+    auto sweep = loadExperimentFromStore(exp, opts.bench, cache);
+    if (!sweep.complete())
+        fatal("no stored record for cell ",
+              sweep.missing.front().canonical(), " in ",
+              opts.bench.cacheDir,
+              " -- run `etc_lab run` (or `merge` after sharded "
+              "runs) first");
 
-    std::vector<core::CellSummary> summaries;
-    for (auto [errors, mode] : cellsOf(exp)) {
-        auto key = core::makeCellKey(*workload, protection, config,
-                                     errors, mode, trials);
-        auto summary = cache.loadCell(key);
-        if (!summary)
-            fatal("no stored record for cell ", key.canonical(),
-                  " in ", config.cacheDir,
-                  " -- run `etc_lab run` (or `merge` after sharded "
-                  "runs) first");
-        summaries.push_back(std::move(*summary));
+    renderExperiment(exp, sweep.points);
+    size_t cells = experimentCells(exp).size();
+    emitLabJson(opts, cells, cells, 0, 0);
+    return 0;
+}
+
+int
+labList()
+{
+    Table table({"name", "figure", "workload", "cells", "trials",
+                 "error counts"});
+    for (const auto &exp : experiments()) {
+        std::string errorCounts;
+        for (unsigned errors : exp.errorCounts) {
+            if (!errorCounts.empty())
+                errorCounts += ',';
+            errorCounts += std::to_string(errors);
+        }
+        table.addRow({exp.name, exp.experiment, exp.workload,
+                      std::to_string(experimentCells(exp).size()),
+                      std::to_string(exp.defaultTrials), errorCounts});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+labServe(const LabOptions &opts)
+{
+    service::SchedulerConfig config;
+    config.cacheDir = opts.bench.cacheDir;
+    config.workers = opts.workers;
+    config.threads = opts.bench.threads;
+    config.chunks = opts.chunks;
+    config.seed = opts.bench.seed;
+    config.checkpointInterval = opts.bench.checkpointInterval;
+
+    service::Scheduler scheduler(config);
+    service::CampaignService service(scheduler);
+    service::HttpServer server(
+        opts.port, [&service](const service::HttpRequest &request) {
+            return service.handle(request);
+        });
+    scheduler.start();
+
+    installStopSignalHandlers();
+    inform("etc_lab: serving campaign API on http://127.0.0.1:",
+           server.port(), " (cache ", config.cacheDir, ", ",
+           config.workers, " workers, ", opts.chunks,
+           " chunks per cell)");
+    server.run();
+
+    inform("etc_lab: stop requested; finishing and persisting the "
+           "in-flight shard chunks");
+    scheduler.stop();
+    auto stats = scheduler.stats();
+    inform("etc_lab: serve summary: ", stats.jobs, " jobs, ",
+           stats.cellsDone, " cells done, ",
+           stats.cellsQueued + stats.cellsRunning,
+           " cells unfinished (their chunks are persisted), ",
+           stats.trialsExecuted, " trials executed");
+    std::cerr << "ETC_SERVE_JSON {"
+              << "\"port\":" << server.port() << ","
+              << "\"jobs\":" << stats.jobs << ","
+              << "\"cells_done\":" << stats.cellsDone << ","
+              << "\"cells_unfinished\":"
+              << stats.cellsQueued + stats.cellsRunning << ","
+              << "\"cells_failed\":" << stats.cellsFailed << ","
+              << "\"trials_executed\":" << stats.trialsExecuted << "}"
+              << std::endl;
+    return 0;
+}
+
+int
+labSubmit(const LabOptions &opts)
+{
+    service::Client client(opts.host, opts.port);
+    store::JsonObjectWriter body;
+    body.field("experiment", opts.experiment);
+    if (opts.bench.trials)
+        body.field("trials", uint64_t{opts.bench.trials});
+    if (opts.errors) {
+        body.field("errors", uint64_t{*opts.errors});
+        body.field("mode", opts.mode);
+    } else if (opts.mode != "protected") {
+        fatal("--mode requires --errors (a single-cell submission "
+              "names both)");
     }
 
-    renderExperiment(exp, pointsFrom(exp, summaries));
-    emitLabJson(opts, summaries.size(), summaries.size(), 0, 0);
+    auto response = client.post("/v1/jobs", body.str());
+    if (!response.ok()) {
+        std::cerr << "etc_lab: submit failed: " << response.body
+                  << '\n';
+        return 1;
+    }
+    if (!opts.wait) {
+        std::cout << response.body << std::endl;
+        return 0;
+    }
+
+    std::string jobId =
+        store::parseJson(response.body).at("job").asString();
+    inform("etc_lab: submitted ", jobId, "; waiting for it to drain");
+    while (true) {
+        auto status = client.get("/v1/jobs/" + jobId);
+        if (!status.ok()) {
+            std::cerr << "etc_lab: status poll failed: " << status.body
+                      << '\n';
+            return 1;
+        }
+        std::string state =
+            store::parseJson(status.body).at("state").asString();
+        if (state == "done" || state == "failed") {
+            std::cout << status.body << std::endl;
+            return state == "done" ? 0 : 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+}
+
+int
+labStatus(const LabOptions &opts)
+{
+    service::Client client(opts.host, opts.port);
+    auto response = client.get("/v1/jobs/" + opts.job);
+    if (!response.ok()) {
+        std::cerr << "etc_lab: " << response.body << '\n';
+        return 1;
+    }
+    std::cout << response.body << std::endl;
+    return 0;
+}
+
+int
+labFetch(const LabOptions &opts)
+{
+    service::Client client(opts.host, opts.port);
+    if (!opts.figure.empty()) {
+        std::string target = "/v1/figures/" + opts.figure;
+        if (opts.bench.trials)
+            target += "?trials=" + std::to_string(opts.bench.trials);
+        auto response = client.get(target);
+        if (!response.ok()) {
+            std::cerr << "etc_lab: " << response.body << '\n';
+            return 1;
+        }
+        // Raw bytes, no added newline: stdout must be byte-identical
+        // to `etc_lab report` on the daemon's cache directory.
+        std::cout << response.body << std::flush;
+        return 0;
+    }
+    auto response = client.get("/v1/cells/" + opts.cell);
+    if (!response.ok()) {
+        std::cerr << "etc_lab: " << response.body << '\n';
+        return 1;
+    }
+    std::cout << response.body << std::endl;
     return 0;
 }
 
@@ -368,6 +607,16 @@ labMain(int argc, char **argv)
 {
     try {
         LabOptions opts = parseLabArgs(argc, argv);
+        if (opts.command == "list")
+            return labList();
+        if (opts.command == "serve")
+            return labServe(opts);
+        if (opts.command == "submit")
+            return labSubmit(opts);
+        if (opts.command == "status")
+            return labStatus(opts);
+        if (opts.command == "fetch")
+            return labFetch(opts);
         const Experiment *exp = findExperiment(opts.experiment);
         if (!exp)
             fatal("unknown experiment '", opts.experiment,
@@ -379,6 +628,10 @@ labMain(int argc, char **argv)
         return labRun(opts, *exp);
     } catch (const FatalError &error) {
         std::cerr << "etc_lab: " << error.what() << '\n';
+        return 1;
+    } catch (const store::JsonError &error) {
+        std::cerr << "etc_lab: unexpected response: " << error.what()
+                  << '\n';
         return 1;
     }
 }

@@ -15,11 +15,24 @@
  *           running anything (after `--shard i/N` fan-out).
  *   report  render the figure purely from stored records -- no
  *           simulation at all; fails if any cell is missing.
+ *   list    print the experiment registry (name, figure, workload,
+ *           cell count, default trials, error counts).
  *
- * A figure rendered by run, by report from the warm cache, and by a
- * direct uncached run is byte-identical: records store fidelity
- * values as IEEE-754 bit patterns and cells are pure functions of
- * their keys.
+ * Campaign-service subcommands (src/service/):
+ *
+ *   serve   long-running HTTP daemon: submitted experiments/cells
+ *           execute on an async worker pool over the result store;
+ *           SIGINT/SIGTERM finishes and persists in-flight shard
+ *           chunks, then exits with a summary.
+ *   submit  POST a job to a daemon (optionally --wait until drained).
+ *   status  GET a job's status and per-cell progress.
+ *   fetch   GET a figure (byte-identical to `report` on the daemon's
+ *           cache) or a stored cell record.
+ *
+ * A figure rendered by run, by report from the warm cache, by a
+ * direct uncached run, and by GET /v1/figures/<name> is
+ * byte-identical: records store fidelity values as IEEE-754 bit
+ * patterns and cells are pure functions of their keys.
  */
 
 #ifndef ETC_BENCH_LAB_HH

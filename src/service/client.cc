@@ -1,0 +1,189 @@
+#include "service/client.hh"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace etc::service {
+
+namespace {
+
+/** RAII socket that connects to host:port or throws FatalError. */
+class ClientSocket
+{
+  public:
+    ClientSocket(const std::string &host, uint16_t port)
+    {
+        addrinfo hints = {};
+        hints.ai_family = AF_INET;
+        hints.ai_socktype = SOCK_STREAM;
+        addrinfo *results = nullptr;
+        std::string service = std::to_string(port);
+        int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                               &results);
+        if (rc != 0)
+            fatal("client: cannot resolve ", host, ": ",
+                  ::gai_strerror(rc));
+        for (addrinfo *entry = results; entry;
+             entry = entry->ai_next) {
+            fd_ = ::socket(entry->ai_family, entry->ai_socktype,
+                           entry->ai_protocol);
+            if (fd_ < 0)
+                continue;
+            if (::connect(fd_, entry->ai_addr, entry->ai_addrlen) == 0)
+                break;
+            ::close(fd_);
+            fd_ = -1;
+        }
+        ::freeaddrinfo(results);
+        if (fd_ < 0)
+            fatal("client: cannot connect to ", host, ":", port, ": ",
+                  std::strerror(errno));
+    }
+
+    ~ClientSocket()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    ClientSocket(const ClientSocket &) = delete;
+    ClientSocket &operator=(const ClientSocket &) = delete;
+
+    void
+    writeAll(const std::string &data)
+    {
+        size_t sent = 0;
+        while (sent < data.size()) {
+            // MSG_NOSIGNAL: a daemon that died mid-request must be an
+            // error on this call, not a SIGPIPE for the caller.
+            ssize_t n = ::send(fd_, data.data() + sent,
+                               data.size() - sent, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fatal("client: write failed: ", std::strerror(errno));
+            }
+            sent += static_cast<size_t>(n);
+        }
+    }
+
+    std::string
+    readAll()
+    {
+        std::string data;
+        char buffer[16 * 1024];
+        while (true) {
+            ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+            if (n > 0) {
+                data.append(buffer, static_cast<size_t>(n));
+                continue;
+            }
+            if (n == 0)
+                return data;
+            if (errno == EINTR)
+                continue;
+            fatal("client: read failed: ", std::strerror(errno));
+        }
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace
+
+Client::Client(std::string host, uint16_t port)
+    : host_(std::move(host)), port_(port)
+{}
+
+Client::Response
+Client::roundTrip(const std::string &request)
+{
+    ClientSocket socket(host_, port_);
+    socket.writeAll(request);
+    std::string raw = socket.readAll();
+
+    size_t headerEnd = raw.find("\r\n\r\n");
+    if (headerEnd == std::string::npos)
+        fatal("client: truncated response (no header terminator)");
+    size_t lineEnd = raw.find("\r\n");
+    std::string statusLine = raw.substr(0, lineEnd);
+    if (statusLine.rfind("HTTP/", 0) != 0)
+        fatal("client: malformed status line '", statusLine, "'");
+    size_t space = statusLine.find(' ');
+    if (space == std::string::npos || space + 4 > statusLine.size())
+        fatal("client: malformed status line '", statusLine, "'");
+
+    Response response;
+    response.status =
+        std::atoi(statusLine.substr(space + 1, 3).c_str());
+    if (response.status < 100 || response.status > 599)
+        fatal("client: malformed status code in '", statusLine, "'");
+
+    size_t contentLength = std::string::npos;
+    size_t cursor = lineEnd + 2;
+    while (cursor < headerEnd) {
+        size_t end = raw.find("\r\n", cursor);
+        std::string line = raw.substr(cursor, end - cursor);
+        cursor = end + 2;
+        size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string name = line.substr(0, colon);
+        for (char &c : name)
+            c = static_cast<char>(std::tolower(
+                static_cast<unsigned char>(c)));
+        size_t valueStart = line.find_first_not_of(" \t", colon + 1);
+        std::string value = valueStart == std::string::npos
+                                ? ""
+                                : line.substr(valueStart);
+        if (name == "content-length")
+            contentLength =
+                static_cast<size_t>(std::strtoull(value.c_str(),
+                                                  nullptr, 10));
+        else if (name == "content-type")
+            response.contentType = value;
+    }
+
+    response.body = raw.substr(headerEnd + 4);
+    if (contentLength != std::string::npos) {
+        if (response.body.size() < contentLength)
+            fatal("client: truncated response body (",
+                  response.body.size(), " of ", contentLength,
+                  " bytes)");
+        response.body.resize(contentLength);
+    }
+    return response;
+}
+
+Client::Response
+Client::get(const std::string &target)
+{
+    std::string request = "GET " + target +
+                          " HTTP/1.1\r\nHost: " + host_ +
+                          "\r\nConnection: close\r\n\r\n";
+    return roundTrip(request);
+}
+
+Client::Response
+Client::post(const std::string &target, const std::string &body)
+{
+    std::string request =
+        "POST " + target + " HTTP/1.1\r\nHost: " + host_ +
+        "\r\nContent-Type: application/json\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+        body;
+    return roundTrip(request);
+}
+
+} // namespace etc::service

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal blocking HTTP/1.1 client for the campaign service.
+ *
+ * One request per connection (Connection: close), so responses are
+ * delimited by Content-Length or EOF and the parser stays trivial.
+ * Used by the `etc_lab submit/status/fetch` remote subcommands and by
+ * the loopback integration tests; it is deliberately not a general
+ * HTTP client (no TLS, no redirects, no chunked encoding).
+ */
+
+#ifndef ETC_SERVICE_CLIENT_HH
+#define ETC_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace etc::service {
+
+class Client
+{
+  public:
+    /** A client for http://@p host:@p port (no connection yet). */
+    Client(std::string host, uint16_t port);
+
+    /** One received response. */
+    struct Response
+    {
+        int status = 0;
+        std::string contentType;
+        std::string body;
+
+        bool ok() const { return status >= 200 && status < 300; }
+    };
+
+    /**
+     * Blocking GET of @p target.
+     * @throws FatalError on connect/transport/parse failure (an HTTP
+     *         error status is a *response*, not a failure).
+     */
+    Response get(const std::string &target);
+
+    /** Blocking POST of @p body (application/json) to @p target. */
+    Response post(const std::string &target, const std::string &body);
+
+  private:
+    Response roundTrip(const std::string &request);
+
+    std::string host_;
+    uint16_t port_;
+};
+
+} // namespace etc::service
+
+#endif // ETC_SERVICE_CLIENT_HH

@@ -1,0 +1,397 @@
+#include "service/scheduler.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "store/record.hh"
+#include "store/result_store.hh"
+#include "support/logging.hh"
+#include "support/shutdown.hh"
+
+namespace etc::service {
+
+const char *
+cellStateName(CellState state)
+{
+    switch (state) {
+      case CellState::Queued: return "queued";
+      case CellState::Running: return "running";
+      case CellState::Done: return "done";
+      case CellState::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+core::ErrorToleranceStudy &
+Scheduler::WorkloadContext::ensureStudy()
+{
+    // Caller holds runMutex; the constructor executes the golden
+    // profiling run, paid once per experiment per daemon lifetime.
+    if (!study)
+        study = std::make_unique<core::ErrorToleranceStudy>(
+            *workload, studyConfig);
+    return *study;
+}
+
+Scheduler::Scheduler(SchedulerConfig config) : config_(std::move(config))
+{
+    if (config_.cacheDir.empty())
+        fatal("scheduler: a cache directory is required (jobs resume "
+              "from persisted shards)");
+}
+
+Scheduler::~Scheduler()
+{
+    stop();
+}
+
+void
+Scheduler::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_)
+        return;
+    started_ = true;
+    unsigned workers = std::max(1u, config_.workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+Scheduler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+    workers_.clear();
+}
+
+Scheduler::WorkloadContext &
+Scheduler::contextFor(const bench::Experiment &exp)
+{
+    auto &slot = contexts_[exp.name];
+    if (!slot) {
+        slot = std::make_unique<WorkloadContext>();
+        slot->exp = &exp;
+        slot->workload =
+            workloads::createWorkload(exp.workload, exp.scale);
+        bench::BenchOptions opts;
+        opts.threads = config_.threads;
+        opts.checkpointInterval = config_.checkpointInterval;
+        opts.seed = config_.seed;
+        opts.cacheDir = config_.cacheDir;
+        slot->studyConfig = bench::makeStudyConfig(exp, opts);
+        // Static analysis only -- no simulation; cell keys derive
+        // from it, so submissions and the figure endpoint agree with
+        // `etc_lab run` on the same cache directory.
+        slot->protection = core::computeStudyProtection(
+            *slot->workload, slot->studyConfig);
+    }
+    return *slot;
+}
+
+Scheduler::SubmitOutcome
+Scheduler::submit(
+    const bench::Experiment &exp, unsigned trialsOverride,
+    std::optional<std::pair<unsigned, core::ProtectionMode>> cell)
+{
+    unsigned trials =
+        trialsOverride ? trialsOverride : exp.defaultTrials;
+    std::vector<std::pair<unsigned, core::ProtectionMode>> wanted =
+        cell ? std::vector<std::pair<unsigned, core::ProtectionMode>>{
+                   *cell}
+             : bench::experimentCells(exp);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    WorkloadContext &ctx = contextFor(exp);
+
+    struct PlannedCell
+    {
+        unsigned errors;
+        core::ProtectionMode mode;
+        store::CellKey key;
+        std::string fingerprint;
+    };
+    std::vector<PlannedCell> planned;
+    std::string signature;
+    for (auto [errors, mode] : wanted) {
+        auto key = core::makeCellKey(*ctx.workload, ctx.protection,
+                                     ctx.studyConfig, errors, mode,
+                                     trials);
+        auto fingerprint = key.fingerprint();
+        signature += fingerprint;
+        signature += ';';
+        planned.push_back({errors, mode, std::move(key),
+                           std::move(fingerprint)});
+    }
+
+    // Job-level idempotency: an identical submission that is still
+    // queued or running is the same job -- attach to it.
+    if (auto active = activeJobsBySignature_.find(signature);
+        active != activeJobsBySignature_.end()) {
+        const Job &job = jobs_.at(active->second);
+        std::string state = jobStateOf(job);
+        if (state == "queued" || state == "running")
+            return {job.id, true, job.cells.size()};
+        activeJobsBySignature_.erase(active);
+    }
+
+    Job job;
+    job.id = "j" + std::to_string(nextJobId_++);
+    job.experiment = exp.name;
+    job.signature = signature;
+    bool enqueued = false;
+    for (auto &plan : planned) {
+        // Cell-level idempotency: reuse a live (queued/running) task
+        // for the same CellKey instead of running it twice. Completed
+        // tasks are not reused -- a fresh task re-reads the store and
+        // completes as a cache hit with zero trials.
+        std::shared_ptr<CellTask> task;
+        if (auto live = liveTasks_.find(plan.fingerprint);
+            live != liveTasks_.end()) {
+            task = live->second;
+        } else {
+            task = std::make_shared<CellTask>();
+            task->ctx = &ctx;
+            task->errors = plan.errors;
+            task->mode = plan.mode;
+            task->trials = trials;
+            task->key = std::move(plan.key);
+            task->fingerprint = plan.fingerprint;
+            liveTasks_[plan.fingerprint] = task;
+            queue_.push_back(task);
+            enqueued = true;
+        }
+        job.cells.push_back(std::move(task));
+    }
+
+    std::string id = job.id;
+    size_t cellCount = job.cells.size();
+    jobs_[id] = std::move(job);
+    activeJobsBySignature_[signature] = id;
+    evictCompletedJobs();
+    if (enqueued)
+        workAvailable_.notify_all();
+    return {id, false, cellCount};
+}
+
+void
+Scheduler::evictCompletedJobs()
+{
+    // Caller holds mutex_. A long-running daemon must not accumulate
+    // one Job record per submission forever; keep the newest
+    // MAX_RETAINED_JOBS and drop the oldest *completed* ones (their
+    // results live on in the store -- only the status snapshot
+    // becomes a 404). Active jobs are never evicted.
+    if (jobs_.size() <= MAX_RETAINED_JOBS)
+        return;
+    std::vector<std::pair<uint64_t, std::string>> completed;
+    for (const auto &[id, job] : jobs_) {
+        std::string state = jobStateOf(job);
+        if (state == "done" || state == "failed")
+            completed.emplace_back(std::stoull(id.substr(1)), id);
+    }
+    std::sort(completed.begin(), completed.end());
+    for (const auto &[number, id] : completed) {
+        if (jobs_.size() <= MAX_RETAINED_JOBS)
+            break;
+        auto it = jobs_.find(id);
+        auto sig = activeJobsBySignature_.find(it->second.signature);
+        if (sig != activeJobsBySignature_.end() && sig->second == id)
+            activeJobsBySignature_.erase(sig);
+        jobs_.erase(it);
+    }
+}
+
+void
+Scheduler::workerLoop()
+{
+    while (true) {
+        std::shared_ptr<CellTask> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (stopping_)
+                return;
+            task = queue_.front();
+            queue_.pop_front();
+            task->state = CellState::Running;
+        }
+        runTask(task);
+    }
+}
+
+void
+Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
+{
+    CellTask &task = *taskPtr;
+    try {
+        auto stopNow = [this] {
+            std::lock_guard<std::mutex> lock(mutex_);
+            return stopping_ || stopRequested();
+        };
+
+        // Cache first, *before* queueing on the experiment's run
+        // mutex: a warm-cache cell completes with zero simulation
+        // even while another cell of the same experiment is mid-run,
+        // instead of tying a worker up behind it. (Each worker probes
+        // through its own ResultStore instance; see the store's
+        // concurrent-writer contract. No re-probe is needed under the
+        // mutex: tasks are deduplicated on CellKey, and the study's
+        // own cache-aware path skips any shard that lands in the
+        // store in the meantime.)
+        {
+            store::ResultStore probe(config_.cacheDir);
+            if (probe.loadCell(task.key)) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                task.state = CellState::Done;
+                task.cached = true;
+                liveTasks_.erase(task.fingerprint);
+                return;
+            }
+        }
+
+        // One cell of an experiment at a time: the study (and its
+        // golden run, runners, and store bookkeeping) is not
+        // thread-safe. The cell's trials still fan out across the
+        // study's own campaign thread pool.
+        std::lock_guard<std::mutex> ctxLock(task.ctx->runMutex);
+
+        if (stopNow()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            task.state = CellState::Queued;
+            queue_.push_front(taskPtr);
+            return;
+        }
+
+        auto &study = task.ctx->ensureStudy();
+        uint64_t before = study.trialsExecuted();
+        unsigned chunks = std::max(1u, config_.chunks);
+        bool interrupted = false;
+        for (unsigned chunk = 0; chunk < chunks; ++chunk) {
+            if (stopNow()) {
+                interrupted = true;
+                break;
+            }
+            // Each chunk persists as a shard record; stored chunks
+            // (this daemon's or a predecessor's) are skipped, so a
+            // resubmitted cell resumes instead of restarting.
+            study.runCellShard(task.errors, task.mode, task.trials,
+                               chunk, chunks);
+        }
+        if (interrupted) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            uint64_t ran = study.trialsExecuted() - before;
+            task.trialsExecuted += ran;
+            trialsExecuted_ += ran;
+            task.state = CellState::Queued;
+            queue_.push_front(taskPtr);
+            return;
+        }
+
+        // Promote the tiling shards into the cell record (assembled,
+        // persisted, and bit-identical to a monolithic run).
+        study.runCell(task.errors, task.mode, task.trials);
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        uint64_t ran = study.trialsExecuted() - before;
+        task.trialsExecuted += ran;
+        trialsExecuted_ += ran;
+        task.cached = task.trialsExecuted == 0;
+        task.state = CellState::Done;
+        liveTasks_.erase(task.fingerprint);
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        task.state = CellState::Failed;
+        task.error = e.what();
+        liveTasks_.erase(task.fingerprint);
+        warn("scheduler: cell ", task.key.canonical(), " failed: ",
+             e.what());
+    }
+}
+
+std::string
+Scheduler::jobStateOf(const Job &job)
+{
+    bool anyFailed = false, anyActive = false, anyStarted = false;
+    for (const auto &task : job.cells) {
+        switch (task->state) {
+          case CellState::Failed: anyFailed = true; break;
+          case CellState::Running:
+            anyActive = true;
+            anyStarted = true;
+            break;
+          case CellState::Queued: anyActive = true; break;
+          case CellState::Done: anyStarted = true; break;
+        }
+    }
+    if (anyFailed)
+        return "failed";
+    if (!anyActive)
+        return "done";
+    return anyStarted ? "running" : "queued";
+}
+
+std::optional<JobStatus>
+Scheduler::jobStatus(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    const Job &job = it->second;
+
+    JobStatus status;
+    status.id = job.id;
+    status.experiment = job.experiment;
+    status.state = jobStateOf(job);
+    status.cellsTotal = job.cells.size();
+    for (const auto &task : job.cells) {
+        CellStatus cell;
+        cell.fingerprint = task->fingerprint;
+        cell.canonical = task->key.canonical();
+        cell.errors = task->errors;
+        cell.mode = store::modeName(task->mode);
+        cell.trials = task->trials;
+        cell.state = task->state;
+        cell.cached = task->cached;
+        cell.trialsExecuted = task->trialsExecuted;
+        cell.error = task->error;
+        if (task->state == CellState::Done)
+            ++status.cellsDone;
+        status.trialsExecuted += task->trialsExecuted;
+        status.cells.push_back(std::move(cell));
+    }
+    return status;
+}
+
+SchedulerStats
+Scheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SchedulerStats stats;
+    stats.jobs = jobs_.size();
+    stats.trialsExecuted = trialsExecuted_;
+    std::set<const CellTask *> seen;
+    for (const auto &[id, job] : jobs_) {
+        for (const auto &task : job.cells) {
+            if (!seen.insert(task.get()).second)
+                continue; // shared with an attached job
+            switch (task->state) {
+              case CellState::Queued: ++stats.cellsQueued; break;
+              case CellState::Running: ++stats.cellsRunning; break;
+              case CellState::Done: ++stats.cellsDone; break;
+              case CellState::Failed: ++stats.cellsFailed; break;
+            }
+        }
+    }
+    return stats;
+}
+
+} // namespace etc::service

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Async campaign job scheduler: the engine room of `etc_lab serve`.
+ *
+ * Submitted experiments (or single cells) become jobs whose cells are
+ * executed by a bounded pool of worker threads over the existing
+ * cache-aware ErrorToleranceStudy / fault::CampaignRunner machinery:
+ *
+ *  - Idempotent on CellKey: a cell already queued or running is never
+ *    enqueued twice -- a duplicate submission attaches to the live
+ *    tasks (and an identical active job is returned outright instead
+ *    of creating a twin).
+ *  - Cache-first: a cell whose record is already in the ResultStore
+ *    is served with zero simulation (the task completes `cached` with
+ *    trialsExecuted == 0).
+ *  - Kill-tolerant: cells execute as `chunks` persisted shard stripes
+ *    (CampaignRunner::runRange under the study), so losing the daemon
+ *    mid-cell loses at most one chunk; a resubmission to a fresh
+ *    daemon resumes from the stored shards.
+ *  - Graceful: stop() lets every worker finish and persist its
+ *    in-flight chunk, then joins the pool.
+ *
+ * Cells of the same experiment share one study (the golden profiling
+ * run is made once) and are serialized on it -- the study itself is
+ * not thread-safe -- but each cell's trials fan out across the
+ * study's own campaign thread pool, and distinct experiments run
+ * concurrently on distinct workers.
+ */
+
+#ifndef ETC_SERVICE_SCHEDULER_HH
+#define ETC_SERVICE_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/experiments.hh"
+#include "core/study.hh"
+#include "store/cell_key.hh"
+
+namespace etc::service {
+
+/** Scheduler-wide configuration (from `etc_lab serve` flags). */
+struct SchedulerConfig
+{
+    std::string cacheDir;     //!< result-store root (required)
+    unsigned workers = 2;     //!< concurrent cell workers
+    unsigned threads = 0;     //!< campaign threads per cell (0 = all)
+    unsigned chunks = 4;      //!< persisted shard stripes per cell
+    uint64_t seed = core::StudyConfig{}.seed;
+    uint64_t checkpointInterval =
+        core::StudyConfig{}.checkpointInterval;
+};
+
+/** Lifecycle of one cell task. */
+enum class CellState
+{
+    Queued,
+    Running,
+    Done,
+    Failed,
+};
+
+/** @return the canonical lowercase name of @p state. */
+const char *cellStateName(CellState state);
+
+/** Point-in-time snapshot of one cell of a job. */
+struct CellStatus
+{
+    std::string fingerprint; //!< on-disk record address
+    std::string canonical;   //!< human-readable cell key
+    unsigned errors = 0;
+    std::string mode;
+    unsigned trials = 0;
+    CellState state = CellState::Queued;
+    bool cached = false;          //!< served without simulating
+    uint64_t trialsExecuted = 0;  //!< trials actually simulated
+    std::string error;            //!< failure message (state Failed)
+};
+
+/** Point-in-time snapshot of one job. */
+struct JobStatus
+{
+    std::string id;
+    std::string experiment;
+    std::string state; //!< queued | running | done | failed
+    size_t cellsTotal = 0;
+    size_t cellsDone = 0;
+    uint64_t trialsExecuted = 0;
+    std::vector<CellStatus> cells;
+};
+
+/** Aggregate counters for /v1/healthz and shutdown summaries. */
+struct SchedulerStats
+{
+    size_t jobs = 0;
+    size_t cellsQueued = 0;
+    size_t cellsRunning = 0;
+    size_t cellsDone = 0;
+    size_t cellsFailed = 0;
+    uint64_t trialsExecuted = 0;
+};
+
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedulerConfig config);
+
+    /** Graceful stop() + join (idempotent). */
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    const SchedulerConfig &config() const { return config_; }
+
+    /** Spawn the worker pool (call once). */
+    void start();
+
+    /**
+     * Finish and persist every in-flight shard chunk, then join the
+     * workers. Queued cells stay queued (their progress, if any, is
+     * already in the store).
+     */
+    void stop();
+
+    /** Outcome of a submission. */
+    struct SubmitOutcome
+    {
+        std::string jobId;
+        bool attached = false; //!< an identical active job was reused
+        size_t cells = 0;
+    };
+
+    /**
+     * Submit one experiment sweep, or -- when @p cell is set -- the
+     * single (errors, mode) cell of it. @p trialsOverride nonzero
+     * overrides the experiment's default trial count. Idempotent: an
+     * identical active submission is returned with attached = true,
+     * and individual cells already queued/running are shared, never
+     * duplicated.
+     *
+     * @throws FatalError when trialsOverride exceeds sane bounds --
+     *         callers validate experiment names themselves.
+     */
+    SubmitOutcome submit(
+        const bench::Experiment &exp, unsigned trialsOverride,
+        std::optional<std::pair<unsigned, core::ProtectionMode>> cell);
+
+    /** @return a snapshot of job @p id, or nullopt if unknown. */
+    std::optional<JobStatus> jobStatus(const std::string &id) const;
+
+    /** @return aggregate counters over every job and task. */
+    SchedulerStats stats() const;
+
+  private:
+    /** Per-experiment shared state: workload, analysis, lazy study. */
+    struct WorkloadContext
+    {
+        const bench::Experiment *exp = nullptr;
+        std::unique_ptr<workloads::Workload> workload;
+        core::StudyConfig studyConfig;
+        analysis::ProtectionResult protection;
+        std::unique_ptr<core::ErrorToleranceStudy> study;
+
+        /** Serializes study construction and every cell execution. */
+        std::mutex runMutex;
+
+        core::ErrorToleranceStudy &ensureStudy();
+    };
+
+    /** One schedulable cell (shared between attaching jobs). */
+    struct CellTask
+    {
+        WorkloadContext *ctx = nullptr;
+        unsigned errors = 0;
+        core::ProtectionMode mode = core::ProtectionMode::Protected;
+        unsigned trials = 0;
+        store::CellKey key;
+        std::string fingerprint;
+        CellState state = CellState::Queued;
+        bool cached = false;
+        uint64_t trialsExecuted = 0;
+        std::string error;
+    };
+
+    struct Job
+    {
+        std::string id;
+        std::string experiment;
+        std::string signature; //!< sorted cell fingerprints
+        std::vector<std::shared_ptr<CellTask>> cells;
+    };
+
+    /** Completed jobs retained for status queries; older ones are
+     *  evicted (the daemon must not grow per submission forever). */
+    static constexpr size_t MAX_RETAINED_JOBS = 512;
+
+    WorkloadContext &contextFor(const bench::Experiment &exp);
+    void workerLoop();
+    void runTask(const std::shared_ptr<CellTask> &task);
+    void evictCompletedJobs();
+    static std::string jobStateOf(const Job &job);
+
+    SchedulerConfig config_;
+
+    mutable std::mutex mutex_; //!< guards everything below
+    std::condition_variable workAvailable_;
+    std::deque<std::shared_ptr<CellTask>> queue_;
+    std::map<std::string, std::shared_ptr<CellTask>> liveTasks_;
+    std::map<std::string, Job> jobs_;
+    std::map<std::string, std::string> activeJobsBySignature_;
+    std::map<std::string, std::unique_ptr<WorkloadContext>> contexts_;
+    uint64_t nextJobId_ = 1;
+    uint64_t trialsExecuted_ = 0;
+    bool stopping_ = false;
+    bool started_ = false;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace etc::service
+
+#endif // ETC_SERVICE_SCHEDULER_HH

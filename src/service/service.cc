@@ -1,0 +1,395 @@
+#include "service/service.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "store/json.hh"
+#include "store/record.hh"
+#include "store/result_store.hh"
+#include "support/logging.hh"
+
+namespace etc::service {
+
+namespace {
+
+/** Human-readable double mirror (exactness lives in the bit field). */
+std::string
+readableDouble(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+bool
+isFingerprint(const std::string &text)
+{
+    // 16 lowercase hex digits -- also keeps request paths from ever
+    // naming a file outside <root>/cells/.
+    if (text.size() != 16)
+        return false;
+    return text.find_first_not_of("0123456789abcdef") ==
+           std::string::npos;
+}
+
+std::string
+encodeCellStatus(const CellStatus &cell)
+{
+    store::JsonObjectWriter writer;
+    writer.field("key", cell.fingerprint)
+        .field("canonical", cell.canonical)
+        .field("errors", uint64_t{cell.errors})
+        .field("mode", cell.mode)
+        .field("trials", uint64_t{cell.trials})
+        .field("state", cellStateName(cell.state))
+        .field("cached", cell.cached)
+        .field("trialsExecuted", cell.trialsExecuted);
+    if (!cell.error.empty())
+        writer.field("error", cell.error);
+    return writer.str();
+}
+
+std::string
+encodeJobStatus(const JobStatus &status)
+{
+    std::string cells = "[";
+    for (size_t i = 0; i < status.cells.size(); ++i) {
+        if (i)
+            cells += ',';
+        cells += encodeCellStatus(status.cells[i]);
+    }
+    cells += ']';
+
+    store::JsonObjectWriter writer;
+    writer.field("job", status.id)
+        .field("experiment", status.experiment)
+        .field("state", status.state)
+        .field("cellsTotal", uint64_t{status.cellsTotal})
+        .field("cellsDone", uint64_t{status.cellsDone})
+        .field("trialsExecuted", status.trialsExecuted)
+        .rawField("cells", cells);
+    return writer.str();
+}
+
+std::string
+encodeKeyJson(const store::CellKey &key)
+{
+    store::JsonObjectWriter writer;
+    writer.field("workload", key.workload)
+        .field("mode", key.mode)
+        .field("errors", uint64_t{key.errors})
+        .field("trials", uint64_t{key.trials})
+        .field("seed", store::hexU64(key.seed))
+        .field("budgetBits",
+               store::hexU64(store::doubleBits(key.budgetFactor)))
+        .field("memoryModel", key.memoryModel)
+        .field("program", key.programHash)
+        .field("canonical", key.canonical())
+        .field("fingerprint", key.fingerprint());
+    return writer.str();
+}
+
+std::string
+encodeSummaryJson(const core::CellSummary &summary)
+{
+    std::string fidelities = "[";
+    for (size_t i = 0; i < summary.fidelities.size(); ++i) {
+        const auto &score = summary.fidelities[i];
+        if (i)
+            fidelities += ',';
+        store::JsonObjectWriter line;
+        line.field("bits",
+                   store::hexU64(store::doubleBits(score.value)))
+            .field("value", readableDouble(score.value))
+            .field("acceptable", score.acceptable)
+            .field("unit", score.unit);
+        fidelities += line.str();
+    }
+    fidelities += ']';
+
+    store::JsonObjectWriter writer;
+    writer.field("trials", uint64_t{summary.trials})
+        .field("completed", uint64_t{summary.completed})
+        .field("crashed", uint64_t{summary.crashed})
+        .field("timedOut", uint64_t{summary.timedOut})
+        .field("totalInstructions", summary.totalInstructions)
+        .field("failureRate", readableDouble(summary.failureRate()))
+        .field("meanFidelity", readableDouble(summary.meanFidelity()))
+        .field("acceptableRate",
+               readableDouble(summary.acceptableRate()))
+        .rawField("fidelities", fidelities);
+    return writer.str();
+}
+
+} // namespace
+
+HttpResponse
+errorResponse(int status, const std::string &message)
+{
+    store::JsonObjectWriter writer;
+    writer.field("error", message).field("status", uint64_t(status));
+    return HttpResponse::json(status, writer.str());
+}
+
+CampaignService::CampaignService(Scheduler &scheduler)
+    : scheduler_(scheduler)
+{}
+
+HttpResponse
+CampaignService::handle(const HttpRequest &request)
+{
+    const std::string path = request.path();
+
+    if (path == "/v1/jobs") {
+        if (request.method != "POST")
+            return errorResponse(405, "use POST to submit a job");
+        return submitJob(request);
+    }
+    if (path.rfind("/v1/jobs/", 0) == 0) {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET for job status");
+        return jobStatus(path.substr(9));
+    }
+    if (path.rfind("/v1/cells/", 0) == 0) {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET for cell records");
+        return cellRecord(path.substr(10));
+    }
+    if (path == "/v1/experiments") {
+        if (request.method != "GET")
+            return errorResponse(405,
+                                 "use GET for the experiment registry");
+        return experimentList();
+    }
+    if (path.rfind("/v1/figures/", 0) == 0) {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET for figures");
+        return figure(path.substr(12), request);
+    }
+    if (path == "/v1/healthz") {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET for health checks");
+        return healthz();
+    }
+    return errorResponse(404, "no such endpoint: " + path);
+}
+
+HttpResponse
+CampaignService::submitJob(const HttpRequest &request)
+{
+    store::JsonValue body;
+    try {
+        body = store::parseJson(request.body);
+    } catch (const store::JsonError &e) {
+        return errorResponse(400,
+                             std::string("malformed JSON body: ") +
+                                 e.what());
+    }
+    if (!body.isObject())
+        return errorResponse(400, "request body must be a JSON object");
+
+    const bench::Experiment *exp = nullptr;
+    unsigned trials = 0;
+    std::optional<std::pair<unsigned, core::ProtectionMode>> cell;
+    try {
+        const store::JsonValue *name = body.find("experiment");
+        if (!name)
+            return errorResponse(400,
+                                 "missing required field 'experiment'");
+        exp = bench::findExperiment(name->asString());
+        if (!exp)
+            return errorResponse(
+                404, "unknown experiment '" + name->asString() +
+                         "' (try GET /v1/experiments)");
+
+        if (const store::JsonValue *value = body.find("trials")) {
+            trials = value->asU32();
+            if (trials == 0)
+                return errorResponse(
+                    400, "trials must be >= 1 (omit the field for "
+                         "the experiment default)");
+        }
+
+        const store::JsonValue *errors = body.find("errors");
+        const store::JsonValue *mode = body.find("mode");
+        if (mode && !errors)
+            return errorResponse(
+                400, "'mode' requires 'errors' (a single-cell "
+                     "submission names both)");
+        if (errors) {
+            core::ProtectionMode protectionMode =
+                core::ProtectionMode::Protected;
+            if (mode)
+                protectionMode = store::modeFromName(mode->asString());
+            cell = {{errors->asU32(), protectionMode}};
+        }
+    } catch (const store::JsonError &e) {
+        return errorResponse(400,
+                             std::string("bad request field: ") +
+                                 e.what());
+    } catch (const store::StoreFormatError &e) {
+        return errorResponse(400, e.what());
+    }
+
+    auto outcome = scheduler_.submit(*exp, trials, cell);
+    auto status = scheduler_.jobStatus(outcome.jobId);
+
+    store::JsonObjectWriter writer;
+    writer.field("job", outcome.jobId)
+        .field("attached", outcome.attached)
+        .field("cells", uint64_t{outcome.cells})
+        .field("state", status ? status->state : "queued");
+    return HttpResponse::json(202, writer.str());
+}
+
+HttpResponse
+CampaignService::jobStatus(const std::string &id)
+{
+    auto status = scheduler_.jobStatus(id);
+    if (!status)
+        return errorResponse(404, "unknown job '" + id + "'");
+    return HttpResponse::json(200, encodeJobStatus(*status));
+}
+
+HttpResponse
+CampaignService::cellRecord(const std::string &fingerprint)
+{
+    if (!isFingerprint(fingerprint))
+        return errorResponse(
+            400, "cell keys are 16 lowercase hex digits (the CellKey "
+                 "fingerprint)");
+    store::ResultStore cache(scheduler_.config().cacheDir);
+    auto record = cache.loadCellByFingerprint(fingerprint);
+    if (!record)
+        return errorResponse(404, "no stored record for cell '" +
+                                      fingerprint + "'");
+    store::JsonObjectWriter writer;
+    writer.rawField("key", encodeKeyJson(record->key))
+        .rawField("summary", encodeSummaryJson(record->summary));
+    return HttpResponse::json(200, writer.str());
+}
+
+HttpResponse
+CampaignService::experimentList()
+{
+    std::string list = "[";
+    bool first = true;
+    for (const auto &exp : bench::experiments()) {
+        if (!first)
+            list += ',';
+        first = false;
+        std::string errorCounts = "[";
+        for (size_t i = 0; i < exp.errorCounts.size(); ++i) {
+            if (i)
+                errorCounts += ',';
+            errorCounts += std::to_string(exp.errorCounts[i]);
+        }
+        errorCounts += ']';
+        store::JsonObjectWriter writer;
+        writer.field("name", exp.name)
+            .field("figure", exp.experiment)
+            .field("title", exp.title)
+            .field("workload", exp.workload)
+            .field("cells",
+                   uint64_t{bench::experimentCells(exp).size()})
+            .field("defaultTrials", uint64_t{exp.defaultTrials})
+            .field("runUnprotected", exp.runUnprotected)
+            .rawField("errorCounts", errorCounts);
+        list += writer.str();
+    }
+    list += ']';
+
+    store::JsonObjectWriter writer;
+    writer.rawField("experiments", list);
+    return HttpResponse::json(200, writer.str());
+}
+
+HttpResponse
+CampaignService::figure(const std::string &name,
+                        const HttpRequest &request)
+{
+    const bench::Experiment *exp = bench::findExperiment(name);
+    if (!exp)
+        return errorResponse(404, "unknown experiment '" + name +
+                                      "' (try GET /v1/experiments)");
+
+    bench::BenchOptions opts;
+    opts.threads = scheduler_.config().threads;
+    opts.checkpointInterval = scheduler_.config().checkpointInterval;
+    opts.seed = scheduler_.config().seed;
+    opts.cacheDir = scheduler_.config().cacheDir;
+    if (auto trials = request.queryNumber("trials")) {
+        if (*trials == 0 || *trials > 0xffffffffull)
+            return errorResponse(400, "bad ?trials= value");
+        opts.trials = static_cast<unsigned>(*trials);
+    }
+
+    store::ResultStore cache(opts.cacheDir);
+    auto sweep =
+        bench::loadExperimentFromStore(*exp, figureKeys(*exp, opts),
+                                       cache);
+    if (!sweep.complete()) {
+        std::string missing = "[";
+        for (size_t i = 0; i < sweep.missing.size(); ++i) {
+            if (i)
+                missing += ',';
+            missing += store::jsonQuote(sweep.missing[i].canonical());
+        }
+        missing += ']';
+        store::JsonObjectWriter writer;
+        writer
+            .field("error",
+                   "figure '" + name + "' is missing " +
+                       std::to_string(sweep.missing.size()) +
+                       " stored cells -- submit the experiment and "
+                       "wait for the job to drain")
+            .field("status", uint64_t{409})
+            .rawField("missingCells", missing);
+        return HttpResponse::json(409, writer.str());
+    }
+
+    // Byte-identity contract: this is the exact render path of
+    // `etc_lab report` pointed at the same cache directory.
+    std::ostringstream out;
+    bench::renderExperiment(out, *exp, sweep.points);
+    return HttpResponse::text(200, out.str());
+}
+
+std::vector<store::CellKey>
+CampaignService::figureKeys(const bench::Experiment &exp,
+                            const bench::BenchOptions &opts)
+{
+    // The daemon's seed/memory-model/budget knobs are fixed, so the
+    // keys vary only with the experiment and the ?trials= override.
+    std::string memoKey =
+        exp.name + ":" + std::to_string(opts.trials);
+    std::lock_guard<std::mutex> lock(figureKeysMutex_);
+    auto it = figureKeys_.find(memoKey);
+    if (it == figureKeys_.end()) {
+        if (figureKeys_.size() >= 64)
+            figureKeys_.clear(); // client-chosen ?trials= values
+        it = figureKeys_
+                 .emplace(memoKey,
+                          bench::experimentCellKeys(exp, opts))
+                 .first;
+    }
+    return it->second;
+}
+
+HttpResponse
+CampaignService::healthz()
+{
+    auto stats = scheduler_.stats();
+    store::JsonObjectWriter writer;
+    writer.field("status", "ok")
+        .field("workers", uint64_t{scheduler_.config().workers})
+        .field("jobs", uint64_t{stats.jobs})
+        .field("cellsQueued", uint64_t{stats.cellsQueued})
+        .field("cellsRunning", uint64_t{stats.cellsRunning})
+        .field("cellsDone", uint64_t{stats.cellsDone})
+        .field("cellsFailed", uint64_t{stats.cellsFailed})
+        .field("trialsExecuted", stats.trialsExecuted);
+    return HttpResponse::json(200, writer.str());
+}
+
+} // namespace etc::service

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CampaignService: the JSON request router of the `etc_lab serve`
+ * daemon, mapping the HTTP API onto the scheduler and result store.
+ *
+ *   POST /v1/jobs                submit an experiment or single cell
+ *                                (idempotent on CellKey; a duplicate
+ *                                submission attaches to the live job)
+ *   GET  /v1/jobs/<id>           job status + per-cell progress
+ *   GET  /v1/cells/<key>         stored cell record as JSON (<key> is
+ *                                the 16-hex CellKey fingerprint)
+ *   GET  /v1/experiments         the experiment registry
+ *   GET  /v1/figures/<name>      figure rendered from the store,
+ *                                byte-identical to `etc_lab report`
+ *                                (optional ?trials=N override); 409
+ *                                while cells are missing
+ *   GET  /v1/healthz             liveness + aggregate counters
+ *
+ * Every error is a 4xx/5xx JSON object {"error":...,"status":...};
+ * figures are text/plain (their bytes are the contract), everything
+ * else is application/json. Handlers only touch the scheduler's
+ * queues and the store -- all simulation runs on scheduler workers --
+ * so they are safe to call from the single-threaded HTTP event loop.
+ */
+
+#ifndef ETC_SERVICE_SERVICE_HH
+#define ETC_SERVICE_SERVICE_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/http_server.hh"
+#include "service/scheduler.hh"
+#include "store/cell_key.hh"
+
+namespace etc::service {
+
+class CampaignService
+{
+  public:
+    /** @param scheduler started scheduler (not owned; must outlive). */
+    explicit CampaignService(Scheduler &scheduler);
+
+    /** Route one request (the HttpServer handler). */
+    HttpResponse handle(const HttpRequest &request);
+
+  private:
+    HttpResponse submitJob(const HttpRequest &request);
+    HttpResponse jobStatus(const std::string &id);
+    HttpResponse cellRecord(const std::string &fingerprint);
+    HttpResponse experimentList();
+    HttpResponse figure(const std::string &name,
+                        const HttpRequest &request);
+    HttpResponse healthz();
+
+    /**
+     * The sweep's cell keys for (experiment, trials override),
+     * memoized: keys need the workload assembled and the protection
+     * analysis run, which must not repeat on the event loop for every
+     * figure poll. All other key inputs are fixed per daemon. The
+     * memo is bounded (distinct ?trials= values are client-chosen)
+     * and simply resets when full.
+     */
+    std::vector<store::CellKey> figureKeys(
+        const bench::Experiment &exp, const bench::BenchOptions &opts);
+
+    Scheduler &scheduler_;
+    std::mutex figureKeysMutex_;
+    std::map<std::string, std::vector<store::CellKey>> figureKeys_;
+};
+
+/** @return {"error":<message>,"status":<status>} with that status. */
+HttpResponse errorResponse(int status, const std::string &message);
+
+} // namespace etc::service
+
+#endif // ETC_SERVICE_SERVICE_HH

@@ -315,6 +315,13 @@ decodeCellRecord(const std::string &text, const CellKey *expected)
     return decodeRecord(text, "cell", expected).summary;
 }
 
+CellRecord
+decodeCellRecordWithKey(const std::string &text, const CellKey *expected)
+{
+    DecodedRecord decoded = decodeRecord(text, "cell", expected);
+    return CellRecord{std::move(decoded.key), std::move(decoded.summary)};
+}
+
 ShardRecord
 decodeShardRecord(const std::string &text, const CellKey *expected)
 {

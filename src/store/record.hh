@@ -59,6 +59,13 @@ struct ShardRecord
     core::CellSummary summary;
 };
 
+/** One decoded complete cell record: its key plus summary. */
+struct CellRecord
+{
+    CellKey key;
+    core::CellSummary summary;
+};
+
 /** @return the canonical mode name used in keys and records. */
 const char *modeName(core::ProtectionMode mode);
 
@@ -86,6 +93,14 @@ std::string encodeShardRecord(const CellKey &key, unsigned lo,
  *         mismatch, or key mismatch
  */
 core::CellSummary decodeCellRecord(const std::string &text,
+                                   const CellKey *expected);
+
+/**
+ * Decode a cell record keeping its stored key (for callers that only
+ * know the on-disk fingerprint, e.g. the campaign service's
+ * GET /v1/cells/<key>); same validation as decodeCellRecord().
+ */
+CellRecord decodeCellRecordWithKey(const std::string &text,
                                    const CellKey *expected);
 
 /** Decode a shard record; same validation as decodeCellRecord(). */

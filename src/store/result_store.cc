@@ -119,6 +119,31 @@ ResultStore::storeCell(const CellKey &key,
     ++stats_.cellsStored;
 }
 
+std::optional<CellRecord>
+ResultStore::loadCellByFingerprint(const std::string &fingerprint)
+{
+    fs::path path =
+        fs::path(root_) / "cells" / (fingerprint + ".jsonl");
+    auto contents = slurp(path);
+    if (!contents) {
+        ++stats_.cellMisses;
+        return std::nullopt;
+    }
+    try {
+        auto record = decodeCellRecordWithKey(*contents, nullptr);
+        if (record.key.fingerprint() != fingerprint)
+            throw StoreFormatError(
+                "record fingerprint does not match its file name");
+        ++stats_.cellHits;
+        return record;
+    } catch (const StoreFormatError &error) {
+        warn("result store: ignoring unreadable cell record ",
+             path.string(), ": ", error.what());
+        ++stats_.cellMisses;
+        return std::nullopt;
+    }
+}
+
 bool
 ResultStore::hasShard(const CellKey &key, unsigned lo, unsigned hi) const
 {

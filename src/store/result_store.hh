@@ -19,6 +19,17 @@
  * warn() and treated as cache misses (the cell is recomputed); they
  * never crash and never serve wrong data, because every record carries
  * its full key and is validated against the requested one on load.
+ *
+ * Concurrent writers: any number of processes (or threads, each with
+ * its own ResultStore instance) may race on the same cell. Every
+ * write stages into a unique tmp/ file (pid + per-process counter)
+ * and rename()s it into place, so readers only ever observe a
+ * complete record, and -- because a cell is a pure function of its
+ * key -- every racing writer produces identical bytes: whichever
+ * rename lands last simply replaces the record with itself. A single
+ * ResultStore *instance* is not internally synchronized (its traffic
+ * counters are plain fields); give each thread its own instance over
+ * the shared root, exactly as separate processes would.
  */
 
 #ifndef ETC_STORE_RESULT_STORE_HH
@@ -52,7 +63,13 @@ class ResultStore
      */
     std::optional<core::CellSummary> loadCell(const CellKey &key);
 
-    /** Persist a complete cell record (atomic rename into place). */
+    /**
+     * Persist a complete cell record (atomic rename into place).
+     * Safe against concurrent writers of the same key: each stages
+     * into a unique tmp file, and all of them write identical bytes,
+     * so the losing rename is a no-op overwrite (see the file
+     * comment).
+     */
     void storeCell(const CellKey &key,
                    const core::CellSummary &summary);
 
@@ -67,7 +84,8 @@ class ResultStore
     std::optional<ShardRecord> loadShard(const CellKey &key,
                                          unsigned lo, unsigned hi);
 
-    /** Persist one shard record (atomic rename into place). */
+    /** Persist one shard record (atomic rename into place; same
+     *  concurrent-writer guarantee as storeCell()). */
     void storeShard(const CellKey &key, unsigned lo, unsigned hi,
                     const core::CellSummary &summary);
 
@@ -79,6 +97,17 @@ class ResultStore
 
     /** Delete all shards of @p key (after promotion to a cell). */
     void dropShards(const CellKey &key);
+
+    /**
+     * Load a complete cell record by its on-disk fingerprint (the
+     * 16-hex-digit CellKey::fingerprint() address), returning the
+     * stored key alongside the summary. Used by readers that never
+     * built the key themselves, e.g. the campaign service's
+     * GET /v1/cells/<key>. Absent or unreadable records return
+     * nullopt (unreadable ones warn), exactly like loadCell().
+     */
+    std::optional<CellRecord> loadCellByFingerprint(
+        const std::string &fingerprint);
 
     /** Cache-traffic counters (reset never; read for reporting). */
     struct Stats

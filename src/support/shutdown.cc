@@ -1,0 +1,54 @@
+#include "support/shutdown.hh"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace etc {
+
+namespace {
+
+std::atomic<bool> stopFlag{false};
+
+extern "C" void
+onStopSignal(int)
+{
+    // Second signal while the first is still draining: the user wants
+    // out *now*. _exit() is async-signal-safe; 130 = 128 + SIGINT.
+    if (stopFlag.exchange(true))
+        ::_exit(130);
+}
+
+} // namespace
+
+void
+installStopSignalHandlers()
+{
+    struct sigaction action = {};
+    action.sa_handler = onStopSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // no SA_RESTART: poll() returns EINTR promptly
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+}
+
+void
+requestStop()
+{
+    stopFlag.store(true);
+}
+
+bool
+stopRequested()
+{
+    return stopFlag.load();
+}
+
+void
+clearStopRequest()
+{
+    stopFlag.store(false);
+}
+
+} // namespace etc

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Loopback integration tests of the campaign service: a real
+ * HttpServer on an ephemeral 127.0.0.1 port, a started Scheduler over
+ * a temp result store, and the blocking Client driving the full API
+ * -- submit -> poll -> fetch, warm-cache submissions executing zero
+ * trials, duplicate submissions attaching to the live job, >= 8
+ * concurrent clients, malformed requests answered with 4xx JSON, and
+ * the GET /v1/figures/<name> byte-identity contract with `etc_lab
+ * report`'s render path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/experiments.hh"
+#include "service/client.hh"
+#include "service/http_server.hh"
+#include "service/scheduler.hh"
+#include "service/service.hh"
+#include "store/json.hh"
+#include "store/result_store.hh"
+#include "support/logging.hh"
+#include "support/shutdown.hh"
+
+namespace {
+
+using namespace etc;
+using service::CampaignService;
+using service::Client;
+using service::HttpServer;
+using service::Scheduler;
+using service::SchedulerConfig;
+
+// The smallest registry experiment: GSM at test scale, 2 protected
+// cells of 8 trials each.
+constexpr const char *EXPERIMENT = "smoke-gsm";
+
+class ServiceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        clearStopRequest(); // never inherit a stop from another test
+        root_ = std::filesystem::temp_directory_path() /
+                ("etc_service_test_" +
+                 std::to_string(::getpid()) + "_" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name());
+        std::filesystem::remove_all(root_);
+
+        SchedulerConfig config;
+        config.cacheDir = root_.string();
+        config.workers = 2;
+        config.threads = 2;
+        config.chunks = 2;
+        // Workers start per test (startWorkers()): tests that need a
+        // deterministic "job still queued" window submit first.
+        scheduler_ = std::make_unique<Scheduler>(config);
+        serviceFacade_ =
+            std::make_unique<CampaignService>(*scheduler_);
+        server_ = std::make_unique<HttpServer>(
+            0, [this](const service::HttpRequest &request) {
+                return serviceFacade_->handle(request);
+            });
+        serverThread_ = std::thread([this] { server_->run(50); });
+    }
+
+    void
+    TearDown() override
+    {
+        server_->stop();
+        serverThread_.join();
+        scheduler_->stop();
+        server_.reset();
+        serviceFacade_.reset();
+        scheduler_.reset();
+        std::filesystem::remove_all(root_);
+    }
+
+    void
+    startWorkers()
+    {
+        scheduler_->start();
+    }
+
+    Client
+    client()
+    {
+        return Client("127.0.0.1", server_->port());
+    }
+
+    /** POST a job; @return the response. */
+    Client::Response
+    submit(const std::string &body)
+    {
+        return client().post("/v1/jobs", body);
+    }
+
+    /** Poll a job until it leaves queued/running; @return last body. */
+    std::string
+    awaitJob(const std::string &jobId)
+    {
+        Client poller = client();
+        for (int i = 0; i < 3000; ++i) {
+            auto response = poller.get("/v1/jobs/" + jobId);
+            EXPECT_TRUE(response.ok()) << response.body;
+            auto state =
+                store::parseJson(response.body).at("state").asString();
+            if (state == "done" || state == "failed")
+                return response.body;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        ADD_FAILURE() << "job " << jobId << " never drained";
+        return "";
+    }
+
+    std::filesystem::path root_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::unique_ptr<CampaignService> serviceFacade_;
+    std::unique_ptr<HttpServer> server_;
+    std::thread serverThread_;
+};
+
+TEST_F(ServiceTest, HealthzAndExperimentRegistry)
+{
+    auto health = client().get("/v1/healthz");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_EQ(health.contentType, "application/json");
+    auto parsed = store::parseJson(health.body);
+    EXPECT_EQ(parsed.at("status").asString(), "ok");
+    EXPECT_EQ(parsed.at("workers").asU64(), 2u);
+
+    auto registry = client().get("/v1/experiments");
+    EXPECT_EQ(registry.status, 200);
+    auto experiments = store::parseJson(registry.body);
+    bool found = false;
+    for (const auto &entry :
+         experiments.at("experiments").elements) {
+        if (entry.at("name").asString() != EXPERIMENT)
+            continue;
+        found = true;
+        EXPECT_EQ(entry.at("workload").asString(), "gsm");
+        EXPECT_EQ(entry.at("cells").asU64(), 2u);
+        EXPECT_EQ(entry.at("defaultTrials").asU64(), 8u);
+    }
+    EXPECT_TRUE(found) << registry.body;
+}
+
+TEST_F(ServiceTest, SubmitPollFetchAndFigureByteIdentity)
+{
+    startWorkers();
+    auto submitted =
+        submit(std::string("{\"experiment\":\"") + EXPERIMENT + "\"}");
+    ASSERT_EQ(submitted.status, 202) << submitted.body;
+    auto outcome = store::parseJson(submitted.body);
+    EXPECT_FALSE(outcome.at("attached").asBool());
+    EXPECT_EQ(outcome.at("cells").asU64(), 2u);
+    std::string jobId = outcome.at("job").asString();
+
+    auto final = store::parseJson(awaitJob(jobId));
+    EXPECT_EQ(final.at("state").asString(), "done");
+    EXPECT_EQ(final.at("cellsDone").asU64(), 2u);
+    EXPECT_EQ(final.at("trialsExecuted").asU64(), 16u);
+
+    // Every cell's stored record is fetchable by its fingerprint.
+    for (const auto &cell : final.at("cells").elements) {
+        EXPECT_EQ(cell.at("state").asString(), "done");
+        EXPECT_FALSE(cell.at("cached").asBool());
+        auto record = client().get("/v1/cells/" +
+                                   cell.at("key").asString());
+        ASSERT_EQ(record.status, 200) << record.body;
+        auto parsed = store::parseJson(record.body);
+        EXPECT_EQ(parsed.at("key").at("workload").asString(), "gsm");
+        EXPECT_EQ(parsed.at("summary").at("trials").asU64(), 8u);
+    }
+
+    // The figure over HTTP is byte-identical to the `etc_lab report`
+    // render path pointed at the same cache directory.
+    auto figure = client().get(std::string("/v1/figures/") +
+                               EXPERIMENT);
+    ASSERT_EQ(figure.status, 200) << figure.body;
+    EXPECT_EQ(figure.contentType, "text/plain; charset=utf-8");
+
+    const bench::Experiment *exp = bench::findExperiment(EXPERIMENT);
+    ASSERT_NE(exp, nullptr);
+    bench::BenchOptions opts;
+    opts.cacheDir = root_.string();
+    store::ResultStore cache(opts.cacheDir);
+    auto sweep = bench::loadExperimentFromStore(*exp, opts, cache);
+    ASSERT_TRUE(sweep.complete());
+    std::ostringstream offline;
+    bench::renderExperiment(offline, *exp, sweep.points);
+    EXPECT_EQ(figure.body, offline.str());
+}
+
+TEST_F(ServiceTest, WarmCacheSubmissionExecutesZeroTrials)
+{
+    startWorkers();
+    auto first =
+        submit(std::string("{\"experiment\":\"") + EXPERIMENT + "\"}");
+    ASSERT_EQ(first.status, 202);
+    std::string firstJob =
+        store::parseJson(first.body).at("job").asString();
+    awaitJob(firstJob);
+
+    // The store is warm and the first job is no longer active, so
+    // this is a *new* job whose cells all complete as cache hits.
+    auto second =
+        submit(std::string("{\"experiment\":\"") + EXPERIMENT + "\"}");
+    ASSERT_EQ(second.status, 202);
+    auto outcome = store::parseJson(second.body);
+    std::string secondJob = outcome.at("job").asString();
+    EXPECT_NE(secondJob, firstJob);
+
+    auto final = store::parseJson(awaitJob(secondJob));
+    EXPECT_EQ(final.at("state").asString(), "done");
+    EXPECT_EQ(final.at("trialsExecuted").asU64(), 0u);
+    for (const auto &cell : final.at("cells").elements) {
+        EXPECT_TRUE(cell.at("cached").asBool());
+        EXPECT_EQ(cell.at("trialsExecuted").asU64(), 0u);
+    }
+}
+
+TEST_F(ServiceTest, DuplicateSubmissionAttachesToTheLiveJob)
+{
+    // Workers are not running yet, so the first job is pinned in
+    // state "queued" -- the duplicate submission window is
+    // deterministic, not a race against a fast campaign.
+    std::string body =
+        std::string("{\"experiment\":\"") + EXPERIMENT + "\"}";
+    auto first = submit(body);
+    ASSERT_EQ(first.status, 202);
+    std::string firstJob =
+        store::parseJson(first.body).at("job").asString();
+
+    // Submitted again while the first job is still queued/running:
+    // idempotent on CellKey, so it attaches instead of duplicating.
+    auto second = submit(body);
+    ASSERT_EQ(second.status, 202);
+    auto outcome = store::parseJson(second.body);
+    EXPECT_TRUE(outcome.at("attached").asBool());
+    EXPECT_EQ(outcome.at("job").asString(), firstJob);
+
+    startWorkers();
+    auto final = store::parseJson(awaitJob(firstJob));
+    EXPECT_EQ(final.at("state").asString(), "done");
+    // Attached, not duplicated: the sweep ran once.
+    EXPECT_EQ(final.at("trialsExecuted").asU64(), 16u);
+}
+
+TEST_F(ServiceTest, SingleCellSubmissionAndFigureConflict)
+{
+    startWorkers();
+    auto submitted = submit(
+        std::string("{\"experiment\":\"") + EXPERIMENT +
+        "\",\"errors\":1,\"mode\":\"protected\"}");
+    ASSERT_EQ(submitted.status, 202) << submitted.body;
+    auto outcome = store::parseJson(submitted.body);
+    EXPECT_EQ(outcome.at("cells").asU64(), 1u);
+    auto final = store::parseJson(
+        awaitJob(outcome.at("job").asString()));
+    EXPECT_EQ(final.at("state").asString(), "done");
+
+    // One of the sweep's two cells is still missing, so the figure
+    // reports a conflict naming it.
+    auto figure = client().get(std::string("/v1/figures/") +
+                               EXPERIMENT);
+    EXPECT_EQ(figure.status, 409);
+    auto conflict = store::parseJson(figure.body);
+    EXPECT_EQ(conflict.at("missingCells").elements.size(), 1u);
+
+    auto sweep =
+        submit(std::string("{\"experiment\":\"") + EXPERIMENT + "\"}");
+    ASSERT_EQ(sweep.status, 202);
+    awaitJob(store::parseJson(sweep.body).at("job").asString());
+    EXPECT_EQ(client()
+                  .get(std::string("/v1/figures/") + EXPERIMENT)
+                  .status,
+              200);
+}
+
+TEST_F(ServiceTest, MalformedRequestsReturn4xxJsonErrors)
+{
+    auto expectJsonError = [](const Client::Response &response,
+                              int status) {
+        EXPECT_EQ(response.status, status) << response.body;
+        EXPECT_EQ(response.contentType, "application/json");
+        auto parsed = store::parseJson(response.body);
+        EXPECT_FALSE(parsed.at("error").asString().empty());
+        EXPECT_EQ(parsed.at("status").asU64(),
+                  static_cast<uint64_t>(status));
+    };
+
+    expectJsonError(submit("this is not json"), 400);
+    expectJsonError(submit("[1,2,3]"), 400);
+    expectJsonError(submit("{}"), 400);
+    expectJsonError(submit("{\"experiment\":\"no-such-sweep\"}"), 404);
+    expectJsonError(submit(std::string("{\"experiment\":\"") +
+                           EXPERIMENT + "\",\"trials\":0}"),
+                    400);
+    expectJsonError(submit(std::string("{\"experiment\":\"") +
+                           EXPERIMENT + "\",\"mode\":\"protected\"}"),
+                    400);
+    expectJsonError(submit(std::string("{\"experiment\":\"") +
+                           EXPERIMENT +
+                           "\",\"errors\":1,\"mode\":\"sideways\"}"),
+                    400);
+    expectJsonError(client().get("/v1/jobs/j999"), 404);
+    expectJsonError(client().get("/v1/cells/not-a-fingerprint"), 400);
+    expectJsonError(client().get("/v1/cells/0123456789abcdef"), 404);
+    expectJsonError(client().get("/v1/cells/../../etc/passwd"), 400);
+    expectJsonError(client().get("/v1/figures/no-such-sweep"), 404);
+    expectJsonError(client().get("/v1/nope"), 404);
+    expectJsonError(client().get("/v1/jobs"), 405);
+    expectJsonError(client().post("/v1/healthz", "{}"), 405);
+}
+
+// A raw malformed request line (not even HTTP) gets a 400, not a hang
+// or a dropped connection without an answer.
+TEST_F(ServiceTest, GarbageRequestLineGetsA400)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in address = {};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(server_->port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&address),
+                        sizeof(address)),
+              0);
+    const char garbage[] = "EXTERMINATE\r\n\r\n";
+    ASSERT_EQ(::write(fd, garbage, sizeof(garbage) - 1),
+              static_cast<ssize_t>(sizeof(garbage) - 1));
+    std::string reply;
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::read(fd, buffer, sizeof(buffer))) > 0)
+        reply.append(buffer, static_cast<size_t>(n));
+    ::close(fd);
+    EXPECT_EQ(reply.rfind("HTTP/1.1 400 ", 0), 0u) << reply;
+}
+
+// The acceptance bar: >= 8 concurrent clients served without error,
+// every figure fetch returning identical bytes.
+TEST_F(ServiceTest, EightConcurrentClientsAreServedWithoutError)
+{
+    startWorkers();
+    constexpr int CLIENTS = 8;
+    std::atomic<int> failures{0};
+    std::vector<std::string> figures(CLIENTS);
+    std::vector<std::thread> threads;
+    threads.reserve(CLIENTS);
+    for (int i = 0; i < CLIENTS; ++i) {
+        threads.emplace_back([&, i] {
+            try {
+                Client mine("127.0.0.1", server_->port());
+                if (!mine.get("/v1/healthz").ok() ||
+                    !mine.get("/v1/experiments").ok()) {
+                    ++failures;
+                    return;
+                }
+                auto submitted = mine.post(
+                    "/v1/jobs", std::string("{\"experiment\":\"") +
+                                    EXPERIMENT + "\"}");
+                if (submitted.status != 202) {
+                    ++failures;
+                    return;
+                }
+                std::string jobId = store::parseJson(submitted.body)
+                                        .at("job")
+                                        .asString();
+                for (int poll = 0; poll < 3000; ++poll) {
+                    auto status = mine.get("/v1/jobs/" + jobId);
+                    if (!status.ok()) {
+                        ++failures;
+                        return;
+                    }
+                    auto state = store::parseJson(status.body)
+                                     .at("state")
+                                     .asString();
+                    if (state == "done")
+                        break;
+                    if (state == "failed") {
+                        ++failures;
+                        return;
+                    }
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20));
+                }
+                auto figure = mine.get(
+                    std::string("/v1/figures/") + EXPERIMENT);
+                if (figure.status != 200) {
+                    ++failures;
+                    return;
+                }
+                figures[static_cast<size_t>(i)] = figure.body;
+            } catch (const std::exception &) {
+                ++failures;
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    for (int i = 1; i < CLIENTS; ++i)
+        EXPECT_EQ(figures[static_cast<size_t>(i)], figures[0])
+            << "client " << i << " saw different figure bytes";
+}
+
+} // namespace

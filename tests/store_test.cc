@@ -9,12 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <limits>
+#include <thread>
 
 #include "store/cell_key.hh"
 #include "store/json.hh"
@@ -443,6 +445,96 @@ TEST_F(ResultStoreTest, CorruptShardIsSkippedOthersSurvive)
     auto shards = cache.loadShards(key);
     ASSERT_EQ(shards.size(), 1u);
     EXPECT_EQ(shards[0].lo, 10u);
+}
+
+TEST_F(ResultStoreTest, LoadCellByFingerprintReturnsKeyAndSummary)
+{
+    ResultStore cache(root_.string());
+    CellKey key = sampleKey();
+    auto summary = sampleSummary();
+    cache.storeCell(key, summary);
+
+    auto record = cache.loadCellByFingerprint(key.fingerprint());
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->key.canonical(), key.canonical());
+    expectSummariesIdentical(record->summary, summary);
+
+    EXPECT_FALSE(
+        cache.loadCellByFingerprint("0000000000000000").has_value());
+}
+
+// The store's concurrent-writer contract: two writers racing on the
+// same cell -- modeling two processes, so each thread gets its own
+// ResultStore instance over the shared root -- stage into unique tmp
+// files and atomically rename into place, and because a cell is a
+// pure function of its key they write identical bytes. A concurrent
+// reader must therefore never see a torn or partial record: every
+// load either misses (before the first rename lands) or decodes to
+// the one true summary.
+TEST_F(ResultStoreTest, RacingWritersResolveToOneIdenticalRecord)
+{
+    CellKey key = sampleKey();
+    auto summary = sampleSummary();
+
+    constexpr int WRITES_PER_WRITER = 60;
+    std::atomic<bool> go{false};
+    std::atomic<int> writersRunning{2};
+    auto writer = [&] {
+        ResultStore cache(root_.string());
+        while (!go.load())
+            std::this_thread::yield();
+        for (int i = 0; i < WRITES_PER_WRITER; ++i)
+            cache.storeCell(key, summary);
+        --writersRunning;
+    };
+
+    std::atomic<bool> sawTornRecord{false};
+    auto reader = [&] {
+        ResultStore cache(root_.string());
+        while (!go.load())
+            std::this_thread::yield();
+        // Keep reading until both writers finish (not a fixed probe
+        // count: on a loaded machine the reader could spin through
+        // any budget before the first rename lands). Before the
+        // first successful load a miss is legitimate; after one, the
+        // path permanently holds a complete record (rename replaces
+        // it atomically), so any later miss or mismatching decode
+        // means a torn record was visible.
+        bool seen = false;
+        while (writersRunning.load() > 0) {
+            auto loaded = cache.loadCell(key);
+            if (!loaded) {
+                if (seen)
+                    sawTornRecord = true;
+                std::this_thread::yield();
+                continue;
+            }
+            seen = true;
+            if (loaded->trials != summary.trials ||
+                loaded->fidelities.size() !=
+                    summary.fidelities.size())
+                sawTornRecord = true;
+        }
+    };
+
+    std::thread writerA(writer), writerB(writer), readerThread(reader);
+    go = true;
+    writerA.join();
+    writerB.join();
+    readerThread.join();
+
+    EXPECT_FALSE(sawTornRecord.load());
+
+    ResultStore cache(root_.string());
+    auto survivor = cache.loadCell(key);
+    ASSERT_TRUE(survivor.has_value());
+    expectSummariesIdentical(*survivor, summary);
+    // Nothing left staged: every tmp file was renamed into place.
+    size_t staged = 0;
+    for ([[maybe_unused]] const auto &entry :
+         std::filesystem::directory_iterator(root_ / "tmp"))
+        ++staged;
+    EXPECT_EQ(staged, 0u);
 }
 
 // ---- json primitives ------------------------------------------------------

@@ -1,8 +1,10 @@
 /**
  * @file
  * etc_lab executable: persistent-result-store campaign orchestration
- * (run / resume / merge / report). All logic lives in bench/lab.cc so
- * the registry and rendering are shared with the bench_fig* drivers.
+ * (run / resume / merge / report / list) and the campaign service
+ * (serve / submit / status / fetch). All logic lives in bench/lab.cc
+ * so the registry and rendering are shared with the bench_fig*
+ * drivers.
  */
 
 #include "bench/lab.hh"

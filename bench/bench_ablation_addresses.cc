@@ -16,7 +16,8 @@
 #include "support/logging.hh"
 
 using namespace etc;
-using core::ProtectionMode;
+using fault::PROTECTED_POLICY;
+using fault::UNPROTECTED_POLICY;
 
 int
 main(int argc, char **argv)
@@ -42,7 +43,7 @@ main(int argc, char **argv)
             core::ErrorToleranceStudy study(*workload, config);
             inform("ablation-addresses: ", name,
                    " protectAddresses=", protectAddresses);
-            auto cell = study.runCell(errors, ProtectionMode::Protected);
+            auto cell = study.runCell(errors, PROTECTED_POLICY);
             bench::emitCellJson(name, protectAddresses
                                           ? "protected+addresses"
                                           : "protected",

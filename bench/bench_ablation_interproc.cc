@@ -18,7 +18,8 @@
 #include "support/logging.hh"
 
 using namespace etc;
-using core::ProtectionMode;
+using fault::PROTECTED_POLICY;
+using fault::UNPROTECTED_POLICY;
 
 int
 main(int argc, char **argv)
@@ -41,7 +42,7 @@ main(int argc, char **argv)
             core::ErrorToleranceStudy study(*workload, config);
             inform("ablation-interproc: ", name,
                    " interprocedural=", interprocedural);
-            auto cell = study.runCell(20, ProtectionMode::Protected);
+            auto cell = study.runCell(20, PROTECTED_POLICY);
             bench::emitCellJson(name, interprocedural
                                           ? "protected-interproc"
                                           : "protected-intraproc",

@@ -19,7 +19,8 @@
 #include "support/logging.hh"
 
 using namespace etc;
-using core::ProtectionMode;
+using fault::PROTECTED_POLICY;
+using fault::UNPROTECTED_POLICY;
 
 int
 main(int argc, char **argv)
@@ -47,7 +48,7 @@ main(int argc, char **argv)
             inform("ablation-memory: ", name, " model=",
                    model == sim::MemoryModel::Lenient ? "lenient"
                                                       : "strict");
-            auto cell = study.runCell(errors, ProtectionMode::Protected);
+            auto cell = study.runCell(errors, PROTECTED_POLICY);
             bench::emitCellJson(name, model == sim::MemoryModel::Lenient
                                           ? "protected-lenient"
                                           : "protected-strict",
@@ -79,7 +80,7 @@ main(int argc, char **argv)
             core::ErrorToleranceStudy study(*workload, config);
             inform("ablation-tracking: ", name,
                    " trackMemory=", trackMemory);
-            auto cell = study.runCell(errors, ProtectionMode::Protected);
+            auto cell = study.runCell(errors, PROTECTED_POLICY);
             bench::emitCellJson(name, trackMemory
                                           ? "protected-memtrack"
                                           : "protected",

@@ -18,7 +18,8 @@
 #include "bench/common.hh"
 
 using namespace etc;
-using core::ProtectionMode;
+using fault::PROTECTED_POLICY;
+using fault::UNPROTECTED_POLICY;
 
 namespace {
 
@@ -67,10 +68,10 @@ main(int argc, char **argv)
                 inform("table2: ", row.app, " @ ", errors,
                        " errors, shard ", opts.shardIndex, "/",
                        opts.shardCount);
-                study.runCellShard(errors, ProtectionMode::Protected,
+                study.runCellShard(errors, PROTECTED_POLICY,
                                    config.trials, opts.shardIndex,
                                    opts.shardCount);
-                study.runCellShard(errors, ProtectionMode::Unprotected,
+                study.runCellShard(errors, UNPROTECTED_POLICY,
                                    config.trials, opts.shardIndex,
                                    opts.shardCount);
             }
@@ -79,11 +80,11 @@ main(int argc, char **argv)
         for (size_t i = 0; i < row.errorCounts.size(); ++i) {
             unsigned errors = row.errorCounts[i];
             inform("table2: ", row.app, " @ ", errors, " errors");
-            auto prot = study.runCell(errors, ProtectionMode::Protected);
+            auto prot = study.runCell(errors, PROTECTED_POLICY);
             bench::emitCellJson(row.app, "protected", errors, prot,
                                 study.config());
             auto unprot =
-                study.runCell(errors, ProtectionMode::Unprotected);
+                study.runCell(errors, UNPROTECTED_POLICY);
             bench::emitCellJson(row.app, "unprotected", errors, unprot,
                                 study.config());
             table.addRow({

@@ -16,7 +16,6 @@
 namespace etc::bench {
 
 using core::CellSummary;
-using core::ProtectionMode;
 
 namespace {
 
@@ -24,13 +23,19 @@ namespace {
 usage(const char *program, int status)
 {
     std::cerr << "usage: " << program
-              << " [--threads N] [--trials N] [--checkpoint-interval N]"
-                 " [--seed S]\n"
-              << "       [--cache-dir DIR] [--no-cache] [--shard i/N]\n"
+              << " [--threads N] [--trials N] [--policy NAME]...\n"
+                 "       [--checkpoint-interval N] [--seed S]"
+                 " [--cache-dir DIR] [--no-cache] [--shard i/N]\n"
               << "  --threads N  campaign worker threads (0 = all "
                  "cores; default 0)\n"
               << "  --trials N   trials per campaign cell (>= 1; omit "
                  "for the driver default)\n"
+              << "  --policy NAME  sweep this injection policy instead "
+                 "of the driver's\n"
+                 "               own list (repeatable, in render "
+                 "order). Known policies:\n"
+                 "               "
+              << fault::injectionPolicyNames() << "\n"
               << "  --checkpoint-interval N  instructions between "
                  "golden-run checkpoints\n"
               << "               (0 disables trial fast-forwarding; "
@@ -92,6 +97,16 @@ parseSeedValue(const std::string &flag, const std::string &text)
                            std::numeric_limits<uint64_t>::max());
 }
 
+const fault::InjectionPolicy &
+parsePolicyName(const std::string &name)
+{
+    try {
+        return fault::resolveInjectionPolicy(name);
+    } catch (const std::invalid_argument &error) {
+        fatal(error.what());
+    }
+}
+
 void
 parseShardSpec(const std::string &text, unsigned &index,
                unsigned &count)
@@ -133,6 +148,8 @@ try {
             if (opts.trials == 0)
                 fatal("--trials must be >= 1 (omit the flag for the "
                       "driver default)");
+        } else if (auto policy = valueOf("--policy")) {
+            opts.policies.push_back(parsePolicyName(*policy).name);
         } else if (auto interval = valueOf("--checkpoint-interval")) {
             opts.checkpointInterval =
                 parseCountValue("--checkpoint-interval", *interval,
@@ -161,7 +178,7 @@ try {
 }
 
 void
-emitCellJson(const std::string &workloadName, const std::string &mode,
+emitCellJson(const std::string &workloadName, const std::string &policy,
              unsigned errors, const CellSummary &cell,
              const core::StudyConfig &config)
 {
@@ -170,7 +187,7 @@ emitCellJson(const std::string &workloadName, const std::string &mode,
     line.precision(4);
     line << "BENCH_JSON {"
          << "\"workload\":\"" << workloadName << "\","
-         << "\"mode\":\"" << mode << "\","
+         << "\"policy\":\"" << policy << "\","
          << "\"errors\":" << errors << ","
          << "\"trials\":" << cell.trials << ","
          << "\"completed\":" << cell.completed << ","
@@ -194,18 +211,12 @@ runSweep(const workloads::Workload &workload,
         // Stripe mode: compute and persist this process's share of
         // every cell; rendering happens once all stripes are stored.
         for (unsigned errors : config.errorCounts) {
-            inform(workload.name(), ": errors=", errors, " shard ",
-                   config.shardIndex, "/", config.shardCount,
-                   " (protected)");
-            study.runCellShard(errors, ProtectionMode::Protected,
-                               config.trials, config.shardIndex,
-                               config.shardCount);
-            if (config.runUnprotected) {
+            for (const auto &policy : config.policies) {
                 inform(workload.name(), ": errors=", errors, " shard ",
-                       config.shardIndex, "/", config.shardCount,
-                       " (unprotected)");
-                study.runCellShard(errors, ProtectionMode::Unprotected,
-                                   config.trials, config.shardIndex,
+                       config.shardIndex, "/", config.shardCount, " (",
+                       policy, ")");
+                study.runCellShard(errors, policy, config.trials,
+                                   config.shardIndex,
                                    config.shardCount);
             }
         }
@@ -214,22 +225,13 @@ runSweep(const workloads::Workload &workload,
     for (unsigned errors : config.errorCounts) {
         SweepPoint point;
         point.errors = errors;
-        inform(workload.name(), ": errors=", errors, " (protected, ",
-               config.trials, " trials)");
-        point.protectedCell =
-            study.runCell(errors, ProtectionMode::Protected,
-                          config.trials);
-        emitCellJson(workload.name(), "protected", errors,
-                     point.protectedCell, study.config());
-        if (config.runUnprotected) {
-            inform(workload.name(), ": errors=", errors,
-                   " (unprotected)");
-            point.hasUnprotected = true;
-            point.unprotectedCell =
-                study.runCell(errors, ProtectionMode::Unprotected,
-                              config.trials);
-            emitCellJson(workload.name(), "unprotected", errors,
-                         point.unprotectedCell, study.config());
+        for (const auto &policy : config.policies) {
+            inform(workload.name(), ": errors=", errors, " (", policy,
+                   ", ", config.trials, " trials)");
+            auto cell = study.runCell(errors, policy, config.trials);
+            emitCellJson(workload.name(), policy, errors, cell,
+                         study.config());
+            point.cells.push_back(std::move(cell));
         }
         points.push_back(std::move(point));
     }
@@ -253,60 +255,73 @@ banner(const std::string &experiment, const std::string &caption)
     banner(std::cout, experiment, caption);
 }
 
+namespace {
+
+/** Series marker of policy index @p i (stable, cycling). */
+char
+seriesMarker(size_t i)
+{
+    static const char markers[] = {'o', 'x', '+', '*', '#', '@', '%',
+                                   '~'};
+    return markers[i % sizeof(markers)];
+}
+
+/** The registry chart label of @p policy (the name if unregistered:
+ *  stores may hold cells of policies this process never saw). */
+std::string
+chartLabelOf(const std::string &policy)
+{
+    if (const auto *registered = fault::findInjectionPolicy(policy))
+        return registered->chartLabel;
+    return policy;
+}
+
+} // namespace
+
 void
 printFigure(std::ostream &os, const std::string &title,
             const std::string &yLabel,
+            const std::vector<std::string> &policies,
             const std::vector<SweepPoint> &points,
             const std::function<double(const CellSummary &)> &fidelityOf,
             double threshold)
 {
-    Table table({"errors", "trials", "completed", "% failed",
-                 "95% CI", "fidelity (protected)", "% failed (unprot)",
-                 "fidelity (unprot)"});
+    Table table({"errors", "policy", "trials", "completed", "% failed",
+                 "95% CI", "fidelity"});
     for (const auto &p : points) {
-        const auto &cell = p.protectedCell;
-        auto ci = wilsonInterval(cell.crashed + cell.timedOut,
-                                 cell.trials);
-        std::string ciText = "[";
-        ciText += formatPercent(ci.low);
-        ciText += ", ";
-        ciText += formatPercent(ci.high);
-        ciText += "]";
-        table.addRow({
-            std::to_string(p.errors),
-            std::to_string(cell.trials),
-            std::to_string(cell.completed),
-            formatPercent(cell.failureRate()),
-            ciText,
-            formatDouble(fidelityOf(cell)),
-            p.hasUnprotected
-                ? formatPercent(p.unprotectedCell.failureRate())
-                : "-",
-            p.hasUnprotected
-                ? formatDouble(fidelityOf(p.unprotectedCell))
-                : "-",
-        });
+        for (size_t i = 0; i < policies.size(); ++i) {
+            const auto &cell = p.cell(i);
+            auto ci = wilsonInterval(cell.crashed + cell.timedOut,
+                                     cell.trials);
+            std::string ciText = "[";
+            ciText += formatPercent(ci.low);
+            ciText += ", ";
+            ciText += formatPercent(ci.high);
+            ciText += "]";
+            table.addRow({
+                i == 0 ? std::to_string(p.errors) : "",
+                policies[i],
+                std::to_string(cell.trials),
+                std::to_string(cell.completed),
+                formatPercent(cell.failureRate()),
+                ciText,
+                formatDouble(fidelityOf(cell)),
+            });
+        }
     }
     table.print(os);
 
     AsciiChart fidelityChart(title, "errors inserted", yLabel);
-    Series prot;
-    prot.name = "static analysis ON";
-    prot.marker = 'o';
-    Series unprot;
-    unprot.name = "static analysis OFF";
-    unprot.marker = 'x';
-    for (const auto &p : points) {
-        prot.xs.push_back(p.errors);
-        prot.ys.push_back(fidelityOf(p.protectedCell));
-        if (p.hasUnprotected) {
-            unprot.xs.push_back(p.errors);
-            unprot.ys.push_back(fidelityOf(p.unprotectedCell));
+    for (size_t i = 0; i < policies.size(); ++i) {
+        Series series;
+        series.name = chartLabelOf(policies[i]);
+        series.marker = seriesMarker(i);
+        for (const auto &p : points) {
+            series.xs.push_back(p.errors);
+            series.ys.push_back(fidelityOf(p.cell(i)));
         }
+        fidelityChart.addSeries(series);
     }
-    fidelityChart.addSeries(prot);
-    if (!unprot.xs.empty())
-        fidelityChart.addSeries(unprot);
     if (!std::isnan(threshold))
         fidelityChart.setThreshold(threshold, "fidelity threshold");
     os << '\n';
@@ -314,35 +329,28 @@ printFigure(std::ostream &os, const std::string &title,
 
     AsciiChart failChart(title + " -- catastrophic failures",
                          "errors inserted", "% failed runs");
-    Series failProt;
-    failProt.name = "failures (protected)";
-    failProt.marker = 'o';
-    Series failUnprot;
-    failUnprot.name = "failures (unprotected)";
-    failUnprot.marker = 'x';
-    for (const auto &p : points) {
-        failProt.xs.push_back(p.errors);
-        failProt.ys.push_back(100.0 * p.protectedCell.failureRate());
-        if (p.hasUnprotected) {
-            failUnprot.xs.push_back(p.errors);
-            failUnprot.ys.push_back(
-                100.0 * p.unprotectedCell.failureRate());
+    for (size_t i = 0; i < policies.size(); ++i) {
+        Series series;
+        series.name = "failures (" + policies[i] + ")";
+        series.marker = seriesMarker(i);
+        for (const auto &p : points) {
+            series.xs.push_back(p.errors);
+            series.ys.push_back(100.0 * p.cell(i).failureRate());
         }
+        failChart.addSeries(series);
     }
-    failChart.addSeries(failProt);
-    if (!failUnprot.xs.empty())
-        failChart.addSeries(failUnprot);
     os << '\n';
     failChart.print(os);
 }
 
 void
 printFigure(const std::string &title, const std::string &yLabel,
+            const std::vector<std::string> &policies,
             const std::vector<SweepPoint> &points,
             const std::function<double(const CellSummary &)> &fidelityOf,
             double threshold)
 {
-    printFigure(std::cout, title, yLabel, points, fidelityOf,
+    printFigure(std::cout, title, yLabel, policies, points, fidelityOf,
                 threshold);
 }
 

@@ -25,13 +25,16 @@
 
 namespace etc::bench {
 
-/** One swept campaign cell, both protection modes optional. */
+/** One swept error count: a cell per swept injection policy. */
 struct SweepPoint
 {
     unsigned errors = 0;
-    core::CellSummary protectedCell;
-    bool hasUnprotected = false;
-    core::CellSummary unprotectedCell;
+
+    /** One summary per swept policy, in the sweep's policy order. */
+    std::vector<core::CellSummary> cells;
+
+    /** The cell of policy index @p i (bounds-checked). */
+    const core::CellSummary &cell(size_t i) const { return cells.at(i); }
 };
 
 /** Sweep configuration for a figure. */
@@ -39,7 +42,11 @@ struct SweepConfig
 {
     std::vector<unsigned> errorCounts;
     unsigned trials = 25;
-    bool runUnprotected = false;
+
+    /** Injection policies swept at every error count, in render
+     *  order. The paper figures sweep the legacy pair. */
+    std::vector<std::string> policies = {fault::PROTECTED_POLICY,
+                                         fault::UNPROTECTED_POLICY};
 
     /** When shardCount > 0, run only stripe shardIndex of every cell
      *  (persisting shard records via the study's result store). */
@@ -56,6 +63,11 @@ struct BenchOptions
 {
     unsigned threads = 0; //!< campaign worker threads (0 = all cores)
     unsigned trials = 0;  //!< 0 = use the driver's default
+
+    /** --policy NAME (repeatable): override the swept injection
+     *  policies; empty = the driver's/experiment's own list. Names
+     *  are validated against the policy registry at parse time. */
+    std::vector<std::string> policies;
 
     /** Golden-run checkpoint spacing for trial fast-forwarding
      *  (instructions; 0 = disable checkpointing). */
@@ -105,6 +117,9 @@ struct BenchOptions
  *                            default 0)
  *   --trials N               trials per campaign cell (>= 1; omit for
  *                            the driver default)
+ *   --policy NAME            sweep this injection policy instead of
+ *                            the driver's own list (repeatable, in
+ *                            render order; see `etc_lab policies`)
  *   --checkpoint-interval N  instructions between golden-run checkpoints
  *                            (0 = disable trial fast-forwarding; default
  *                            8192). Never changes reproduced numbers.
@@ -148,18 +163,27 @@ void parseShardSpec(const std::string &text, unsigned &index,
                     unsigned &count);
 
 /**
+ * The one policy-name validator every CLI flag and request field
+ * routes through: resolves @p name against the process-wide policy
+ * registry, rethrowing the registry's unknown-name error (which lists
+ * the known policies) as FatalError for uniform CLI reporting.
+ */
+const fault::InjectionPolicy &parsePolicyName(const std::string &name);
+
+/**
  * Emit one machine-readable perf record for a campaign cell to stderr
  * (stdout stays byte-identical across thread counts and checkpoint
  * settings), prefixed with "BENCH_JSON " so harnesses can grep it
  * into a BENCH_*.json perf trajectory:
  *
- *   BENCH_JSON {"workload":...,"mode":...,"errors":...,"trials":...,
+ *   BENCH_JSON {"workload":...,"policy":...,"errors":...,"trials":...,
  *               "wall_s":...,"trials_per_sec":...,
  *               "total_instructions":...,"checkpoint_interval":...,
  *               "threads":...}
  */
-void emitCellJson(const std::string &workloadName, const std::string &mode,
-                  unsigned errors, const core::CellSummary &cell,
+void emitCellJson(const std::string &workloadName,
+                  const std::string &policy, unsigned errors,
+                  const core::CellSummary &cell,
                   const core::StudyConfig &config);
 
 /**
@@ -181,21 +205,24 @@ void banner(std::ostream &os, const std::string &experiment,
 void banner(const std::string &experiment, const std::string &caption);
 
 /**
- * Print a fidelity/failure figure: a table of the swept cells plus
- * ASCII charts for the fidelity metric and the failure rate. Writing
- * to an in-memory stream produces the same bytes the bench binaries
- * put on stdout -- the campaign service's GET /v1/figures/<name>
- * relies on this for its byte-identity contract with `etc_lab
- * report`.
+ * Print a fidelity/failure figure: a table of the swept cells (one
+ * row per error count and policy) plus ASCII charts with one series
+ * per policy, labeled with the policy's chart label. Writing to an
+ * in-memory stream produces the same bytes the bench binaries put on
+ * stdout -- the campaign service's GET /v1/figures/<name> relies on
+ * this for its byte-identity contract with `etc_lab report`.
  *
  * @param os           destination stream
  * @param title        chart title (e.g. "Figure 1: Susan")
  * @param yLabel       fidelity axis caption
+ * @param policies     the swept policy names (parallel to each
+ *                     point's cells vector)
  * @param fidelityOf   extracts the plotted fidelity value of a cell
  * @param threshold    optional fidelity threshold line (NaN = none)
  */
 void printFigure(std::ostream &os, const std::string &title,
                  const std::string &yLabel,
+                 const std::vector<std::string> &policies,
                  const std::vector<SweepPoint> &points,
                  const std::function<double(const core::CellSummary &)>
                      &fidelityOf,
@@ -203,6 +230,7 @@ void printFigure(std::ostream &os, const std::string &title,
 
 /** printFigure() to std::cout. */
 void printFigure(const std::string &title, const std::string &yLabel,
+                 const std::vector<std::string> &policies,
                  const std::vector<SweepPoint> &points,
                  const std::function<double(const core::CellSummary &)>
                      &fidelityOf,

@@ -29,7 +29,7 @@ experiments()
             workloads::Scale::Bench,
             {100, 500, 920, 1100, 1550, 2300},
             25,
-            true,
+            {"protected", "unprotected"},
             0,
             FidelityMetric::Mean,
             10.0,
@@ -45,7 +45,7 @@ experiments()
             workloads::Scale::Bench,
             {25, 50, 100, 250, 500},
             25,
-            true,
+            {"protected", "unprotected"},
             0,
             FidelityMetric::MeanPercent,
             10.0,
@@ -61,7 +61,7 @@ experiments()
             workloads::Scale::Bench,
             {0, 1, 2, 5, 10, 20, 50},
             25,
-            true,
+            {"protected", "unprotected"},
             // Corrupted parent walks spin forever; a 4x budget
             // detects them without burning the full default timeout
             // allowance.
@@ -80,7 +80,7 @@ experiments()
             workloads::Scale::Bench,
             {1, 5, 10, 20, 30, 40},
             20,
-            true,
+            {"protected", "unprotected"},
             0,
             FidelityMetric::MeanPercent,
             NO_THRESHOLD,
@@ -96,7 +96,7 @@ experiments()
             workloads::Scale::Bench,
             {1, 5, 10, 20, 30, 40},
             25,
-            true,
+            {"protected", "unprotected"},
             0,
             FidelityMetric::Mean,
             NO_THRESHOLD,
@@ -112,7 +112,7 @@ experiments()
             workloads::Scale::Bench,
             {0, 1, 2, 3, 4},
             40,
-            true,
+            {"protected", "unprotected"},
             0,
             FidelityMetric::AcceptablePct,
             NO_THRESHOLD,
@@ -131,7 +131,7 @@ experiments()
             workloads::Scale::Test,
             {1, 3, 5},
             12,
-            true,
+            {"protected", "unprotected"},
             0,
             FidelityMetric::Mean,
             NO_THRESHOLD,
@@ -147,7 +147,30 @@ experiments()
             workloads::Scale::Test,
             {1, 4},
             8,
-            false,
+            {"protected"},
+            0,
+            FidelityMetric::Mean,
+            NO_THRESHOLD,
+        },
+        // The policy ablation the paper only implies: the same
+        // workload swept under every built-in injection policy --
+        // the legacy pair, the result-kind slices, and the harsher
+        // bit-error models -- at test scale so the whole grid runs
+        // in seconds.
+        {
+            "ablation_policies",
+            "Ablation: injection policies",
+            "ADPCM at test scale under every built-in injection "
+            "policy: which results faults corrupt, and how",
+            "Ablation: ADPCM across injection policies",
+            "fraction bytes correct",
+            "adpcm",
+            workloads::Scale::Test,
+            {1, 3},
+            10,
+            {"protected", "unprotected", "control-only", "data-only",
+             "unprotected-regs", "protected-burst2",
+             "unprotected-low16"},
             0,
             FidelityMetric::Mean,
             NO_THRESHOLD,
@@ -206,27 +229,38 @@ makeSweepConfig(const Experiment &exp, const BenchOptions &opts)
     SweepConfig sweep;
     sweep.errorCounts = exp.errorCounts;
     sweep.trials = opts.trialsOr(exp.defaultTrials);
-    sweep.runUnprotected = exp.runUnprotected;
+    sweep.policies = sweepPolicies(exp, opts);
     sweep.shardIndex = opts.shardIndex;
     sweep.shardCount = opts.shardCount;
     return sweep;
 }
 
-std::vector<std::pair<unsigned, core::ProtectionMode>>
+std::vector<std::string>
+sweepPolicies(const Experiment &exp, const BenchOptions &opts)
+{
+    return opts.policies.empty() ? exp.policies : opts.policies;
+}
+
+std::vector<std::pair<unsigned, std::string>>
+experimentCells(const Experiment &exp,
+                const std::vector<std::string> &policies)
+{
+    std::vector<std::pair<unsigned, std::string>> cells;
+    for (unsigned errors : exp.errorCounts)
+        for (const auto &policy : policies)
+            cells.emplace_back(errors, policy);
+    return cells;
+}
+
+std::vector<std::pair<unsigned, std::string>>
 experimentCells(const Experiment &exp)
 {
-    std::vector<std::pair<unsigned, core::ProtectionMode>> cells;
-    for (unsigned errors : exp.errorCounts) {
-        cells.emplace_back(errors, core::ProtectionMode::Protected);
-        if (exp.runUnprotected)
-            cells.emplace_back(errors,
-                               core::ProtectionMode::Unprotected);
-    }
-    return cells;
+    return experimentCells(exp, exp.policies);
 }
 
 std::vector<SweepPoint>
 sweepPointsFrom(const Experiment &exp,
+                const std::vector<std::string> &policies,
                 const std::vector<core::CellSummary> &summaries)
 {
     std::vector<SweepPoint> points;
@@ -234,11 +268,8 @@ sweepPointsFrom(const Experiment &exp,
     for (unsigned errors : exp.errorCounts) {
         SweepPoint point;
         point.errors = errors;
-        point.protectedCell = summaries.at(next++);
-        if (exp.runUnprotected) {
-            point.hasUnprotected = true;
-            point.unprotectedCell = summaries.at(next++);
-        }
+        for (size_t i = 0; i < policies.size(); ++i)
+            point.cells.push_back(summaries.at(next++));
         points.push_back(std::move(point));
     }
     return points;
@@ -253,9 +284,10 @@ experimentCellKeys(const Experiment &exp, const BenchOptions &opts)
     unsigned trials = opts.trialsOr(exp.defaultTrials);
 
     std::vector<store::CellKey> keys;
-    for (auto [errors, mode] : experimentCells(exp))
+    for (auto [errors, policy] :
+         experimentCells(exp, sweepPolicies(exp, opts)))
         keys.push_back(core::makeCellKey(*workload, protection, config,
-                                         errors, mode, trials));
+                                         errors, policy, trials));
     return keys;
 }
 
@@ -263,12 +295,14 @@ StoredSweep
 loadExperimentFromStore(const Experiment &exp, const BenchOptions &opts,
                         store::ResultStore &cache)
 {
-    return loadExperimentFromStore(exp, experimentCellKeys(exp, opts),
+    return loadExperimentFromStore(exp, sweepPolicies(exp, opts),
+                                   experimentCellKeys(exp, opts),
                                    cache);
 }
 
 StoredSweep
 loadExperimentFromStore(const Experiment &exp,
+                        const std::vector<std::string> &policies,
                         const std::vector<store::CellKey> &keys,
                         store::ResultStore &cache)
 {
@@ -281,16 +315,17 @@ loadExperimentFromStore(const Experiment &exp,
             sweep.missing.push_back(key);
     }
     if (sweep.missing.empty())
-        sweep.points = sweepPointsFrom(exp, summaries);
+        sweep.points = sweepPointsFrom(exp, policies, summaries);
     return sweep;
 }
 
 void
 renderExperiment(std::ostream &os, const Experiment &exp,
+                 const std::vector<std::string> &policies,
                  const std::vector<SweepPoint> &points)
 {
     banner(os, exp.experiment, exp.caption);
-    printFigure(os, exp.title, exp.yLabel, points,
+    printFigure(os, exp.title, exp.yLabel, policies, points,
                 [&exp](const core::CellSummary &cell) {
                     return fidelityOf(exp, cell);
                 },
@@ -298,10 +333,18 @@ renderExperiment(std::ostream &os, const Experiment &exp,
 }
 
 void
-renderExperiment(const Experiment &exp,
+renderExperiment(std::ostream &os, const Experiment &exp,
                  const std::vector<SweepPoint> &points)
 {
-    renderExperiment(std::cout, exp, points);
+    renderExperiment(os, exp, exp.policies, points);
+}
+
+void
+renderExperiment(const Experiment &exp,
+                 const std::vector<std::string> &policies,
+                 const std::vector<SweepPoint> &points)
+{
+    renderExperiment(std::cout, exp, policies, points);
 }
 
 } // namespace etc::bench

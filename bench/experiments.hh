@@ -46,7 +46,14 @@ struct Experiment
     workloads::Scale scale = workloads::Scale::Bench;
     std::vector<unsigned> errorCounts;
     unsigned defaultTrials = 25;
-    bool runUnprotected = true;
+
+    /** Injection policies swept at every error count (registry
+     *  names, render order). Paper figures sweep the legacy pair,
+     *  which is also the default -- an entry that never sets the
+     *  field sweeps something rather than silently nothing. */
+    std::vector<std::string> policies = {fault::PROTECTED_POLICY,
+                                         fault::UNPROTECTED_POLICY};
+
     double budgetFactor = 0; //!< 0 = the StudyConfig default
     FidelityMetric metric = FidelityMetric::Mean;
     double threshold;        //!< NaN = no threshold line
@@ -72,8 +79,18 @@ core::StudyConfig makeStudyConfig(const Experiment &exp,
 SweepConfig makeSweepConfig(const Experiment &exp,
                             const BenchOptions &opts);
 
-/** The (errors, mode) cells of @p exp, in sweep order. */
-std::vector<std::pair<unsigned, core::ProtectionMode>>
+/** The swept policy list: opts.policies when set, else the
+ *  experiment's own. */
+std::vector<std::string> sweepPolicies(const Experiment &exp,
+                                       const BenchOptions &opts);
+
+/** The (errors, policy) cells of the sweep, in sweep order. */
+std::vector<std::pair<unsigned, std::string>>
+experimentCells(const Experiment &exp,
+                const std::vector<std::string> &policies);
+
+/** experimentCells() over the experiment's own policy list. */
+std::vector<std::pair<unsigned, std::string>>
 experimentCells(const Experiment &exp);
 
 /**
@@ -81,7 +98,7 @@ experimentCells(const Experiment &exp);
  * order) back into sweep points.
  */
 std::vector<SweepPoint> sweepPointsFrom(
-    const Experiment &exp,
+    const Experiment &exp, const std::vector<std::string> &policies,
     const std::vector<core::CellSummary> &summaries);
 
 /**
@@ -118,17 +135,25 @@ StoredSweep loadExperimentFromStore(const Experiment &exp,
                                     const BenchOptions &opts,
                                     store::ResultStore &cache);
 
-/** loadExperimentFromStore() over precomputed experimentCellKeys(). */
+/** loadExperimentFromStore() over precomputed experimentCellKeys()
+ *  (@p policies must be the list the keys were built from). */
 StoredSweep loadExperimentFromStore(
-    const Experiment &exp, const std::vector<store::CellKey> &keys,
-    store::ResultStore &cache);
+    const Experiment &exp, const std::vector<std::string> &policies,
+    const std::vector<store::CellKey> &keys, store::ResultStore &cache);
 
-/** Print @p exp's banner, table, and charts for the swept points. */
+/** Print @p exp's banner, table, and charts for the swept points
+ *  (@p policies parallel to each point's cells). */
+void renderExperiment(std::ostream &os, const Experiment &exp,
+                      const std::vector<std::string> &policies,
+                      const std::vector<SweepPoint> &points);
+
+/** renderExperiment() over the experiment's own policy list. */
 void renderExperiment(std::ostream &os, const Experiment &exp,
                       const std::vector<SweepPoint> &points);
 
 /** renderExperiment() to std::cout. */
 void renderExperiment(const Experiment &exp,
+                      const std::vector<std::string> &policies,
                       const std::vector<SweepPoint> &points);
 
 } // namespace etc::bench

@@ -20,8 +20,8 @@ figureMain(const std::string &name, int argc, char **argv)
                                                   exp->scale);
         core::ErrorToleranceStudy study(*workload,
                                         makeStudyConfig(*exp, opts));
-        auto points =
-            runSweep(*workload, study, makeSweepConfig(*exp, opts));
+        auto sweep = makeSweepConfig(*exp, opts);
+        auto points = runSweep(*workload, study, sweep);
         if (opts.sharded()) {
             inform(exp->name, ": shard ", opts.shardIndex, "/",
                    opts.shardCount, " stored in ", opts.cacheDir,
@@ -29,7 +29,7 @@ figureMain(const std::string &name, int argc, char **argv)
                    "unsharded run or `etc_lab report`");
             return 0;
         }
-        renderExperiment(*exp, points);
+        renderExperiment(*exp, sweep.policies, points);
         return 0;
     } catch (const FatalError &error) {
         std::cerr << error.what() << '\n';

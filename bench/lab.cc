@@ -28,17 +28,18 @@ namespace {
 struct LabOptions
 {
     std::string command;    //!< run | resume | merge | report | list
-                            //!< | serve | submit | status | fetch
+                            //!< | policies | serve | submit | status
+                            //!< | fetch
     std::string experiment; //!< registry name (--experiment)
     unsigned chunks = 4;    //!< shard records per cell during run
-    BenchOptions bench;     //!< the shared campaign knobs
+    BenchOptions bench;     //!< the shared campaign knobs (--policy
+                            //!< lands in bench.policies)
 
     // Campaign-service knobs (serve + the remote subcommands).
     uint16_t port = 8977;            //!< --port (serve binds, others dial)
     std::string host = "127.0.0.1";  //!< --host for remote subcommands
     unsigned workers = 2;            //!< serve: concurrent cell workers
     std::optional<unsigned> errors;  //!< submit: single-cell error count
-    std::string mode = "protected";  //!< submit: single-cell mode
     bool wait = false;               //!< submit: poll until the job drains
     std::string job;                 //!< status: job id
     std::string figure;              //!< fetch: figure name
@@ -64,6 +65,10 @@ usage(int status)
            "  report  render the figure purely from stored records\n"
            "          (no simulation; fails on missing cells)\n"
            "  list    print the experiment registry\n"
+           "  policies\n"
+           "          print the injection-policy registry (name,\n"
+           "          description, result kinds, bit model) -- the\n"
+           "          same rows GET /v1/policies serves\n"
            "\n"
            "campaign-service subcommands:\n"
            "  serve   run the HTTP campaign daemon: submitted jobs\n"
@@ -86,6 +91,13 @@ usage(int status)
            "  --no-cache               run without persistence\n"
            "  --trials N               trials per cell (>= 1; default:\n"
            "                           the experiment's)\n"
+           "  --policy NAME            run/resume/merge/report: sweep\n"
+           "                           this injection policy instead\n"
+           "                           of the experiment's own list\n"
+           "                           (repeatable). submit: the\n"
+           "                           single cell's policy (needs\n"
+           "                           --errors). See `etc_lab\n"
+           "                           policies` for the registry\n"
            "  --threads N              worker threads (0 = all cores)\n"
            "  --seed S                 master study seed (decimal or 0x"
            " hex)\n"
@@ -107,9 +119,7 @@ usage(int status)
            "                           (default 2)\n"
            "  --errors N               submit: one cell at this error\n"
            "                           count instead of the whole sweep\n"
-           "  --mode M                 submit: protected|unprotected\n"
-           "                           (default protected; needs\n"
-           "                           --errors)\n"
+           "  --mode M                 deprecated alias of --policy\n"
            "  --wait                   submit: poll until the job\n"
            "                           drains, then print its status\n"
            "  --job ID                 status: the job to query\n"
@@ -136,7 +146,7 @@ parseLabArgs(int argc, char **argv)
     if (opts.command == "--help" || opts.command == "-h")
         usage(0);
     const std::vector<std::string> commands = {
-        "run",  "resume", "merge",  "report", "list",
+        "run",  "resume", "merge",  "report", "list", "policies",
         "serve", "submit", "status", "fetch"};
     if (std::find(commands.begin(), commands.end(), opts.command) ==
         commands.end()) {
@@ -197,8 +207,12 @@ parseLabArgs(int argc, char **argv)
                 fatal("--workers must be >= 1");
         } else if (auto errors = valueOf("--errors")) {
             opts.errors = parseCount32("--errors", *errors);
+        } else if (auto policy = valueOf("--policy")) {
+            opts.bench.policies.push_back(
+                parsePolicyName(*policy).name);
         } else if (auto mode = valueOf("--mode")) {
-            opts.mode = *mode;
+            // Deprecated alias kept for pre-policy scripts.
+            opts.bench.policies.push_back(parsePolicyName(*mode).name);
         } else if (arg == "--wait") {
             opts.wait = true;
         } else if (auto job = valueOf("--job")) {
@@ -232,6 +246,13 @@ parseLabArgs(int argc, char **argv)
               "own stripes)");
     if (opts.command == "submit" && opts.experiment.empty())
         fatal("submit requires --experiment");
+    if (opts.command == "submit" && !opts.errors &&
+        !opts.bench.policies.empty())
+        fatal("submit: --policy requires --errors (a single-cell "
+              "submission names both)");
+    if (opts.command == "submit" && opts.bench.policies.size() > 1)
+        fatal("submit takes a single --policy (one cell per "
+              "submission)");
     if (opts.command == "status" && opts.job.empty())
         fatal("status requires --job ID");
     if (opts.command == "fetch" &&
@@ -267,6 +288,8 @@ labRun(const LabOptions &opts, const Experiment &exp)
     auto workload = workloads::createWorkload(exp.workload, exp.scale);
     auto config = makeStudyConfig(exp, opts.bench);
     unsigned trials = opts.bench.trialsOr(exp.defaultTrials);
+    auto policies = sweepPolicies(exp, opts.bench);
+    auto cells = experimentCells(exp, policies);
     bool useCache = !config.cacheDir.empty();
 
     // Cell keys derive from static analysis alone, so a fully warm
@@ -286,9 +309,9 @@ labRun(const LabOptions &opts, const Experiment &exp)
                 *workload, config);
         return *study;
     };
-    auto keyOf = [&](unsigned errors, core::ProtectionMode mode) {
+    auto keyOf = [&](unsigned errors, const std::string &policy) {
         return core::makeCellKey(*workload, *protection, config,
-                                 errors, mode, trials);
+                                 errors, policy, trials);
     };
     auto trialsExecuted = [&]() {
         return study ? study->trialsExecuted() : 0;
@@ -311,20 +334,20 @@ labRun(const LabOptions &opts, const Experiment &exp)
         size_t stripesCached = 0, stripesComputed = 0;
         auto [lo, hi] = core::ErrorToleranceStudy::shardRange(
             trials, opts.bench.shardIndex, opts.bench.shardCount);
-        for (auto [errors, mode] : experimentCells(exp)) {
+        for (const auto &[errors, policy] : cells) {
             if (stopRequested())
-                return interruptedExit(experimentCells(exp).size(),
-                                       stripesCached, stripesComputed);
+                return interruptedExit(cells.size(), stripesCached,
+                                       stripesComputed);
             inform(exp.name, ": errors=", errors, " shard ",
                    opts.bench.shardIndex, "/", opts.bench.shardCount,
-                   " (", store::modeName(mode), ")");
-            auto key = keyOf(errors, mode);
+                   " (", policy, ")");
+            auto key = keyOf(errors, policy);
             if (cache->loadCell(key) || cache->loadShard(key, lo, hi)) {
                 ++stripesCached;
                 continue;
             }
             ++stripesComputed;
-            ensureStudy().runCellShard(errors, mode, trials,
+            ensureStudy().runCellShard(errors, policy, trials,
                                        opts.bench.shardIndex,
                                        opts.bench.shardCount);
         }
@@ -333,27 +356,26 @@ labRun(const LabOptions &opts, const Experiment &exp)
                "' stored in ", opts.bench.cacheDir,
                "; run the remaining shards, then `etc_lab merge` and "
                "`etc_lab report`");
-        emitLabJson(opts, experimentCells(exp).size(), stripesCached,
-                    stripesComputed, trialsExecuted());
+        emitLabJson(opts, cells.size(), stripesCached, stripesComputed,
+                    trialsExecuted());
         return 0;
     }
 
     size_t cellsCached = 0, cellsComputed = 0;
     std::vector<core::CellSummary> summaries;
-    for (auto [errors, mode] : experimentCells(exp)) {
+    for (const auto &[errors, policy] : cells) {
         if (stopRequested())
-            return interruptedExit(experimentCells(exp).size(),
-                                   cellsCached, cellsComputed);
+            return interruptedExit(cells.size(), cellsCached,
+                                   cellsComputed);
         // Classify by an actual load, not existence: a corrupt record
         // must take the computed path (with chunked kill protection),
         // not silently degrade it.
         std::optional<core::CellSummary> cached =
-            useCache ? cache->loadCell(keyOf(errors, mode))
+            useCache ? cache->loadCell(keyOf(errors, policy))
                      : std::nullopt;
         (cached ? cellsCached : cellsComputed) += 1;
-        inform(exp.name, ": errors=", errors, " (",
-               store::modeName(mode), ", ", trials, " trials",
-               cached ? ", cached)" : ")");
+        inform(exp.name, ": errors=", errors, " (", policy, ", ",
+               trials, " trials", cached ? ", cached)" : ")");
         core::CellSummary summary;
         if (cached) {
             summary = std::move(*cached);
@@ -366,21 +388,22 @@ labRun(const LabOptions &opts, const Experiment &exp)
                 // finished ones persisted and exits cleanly.
                 for (unsigned c = 0; c < opts.chunks; ++c) {
                     if (stopRequested())
-                        return interruptedExit(
-                            experimentCells(exp).size(), cellsCached,
-                            cellsComputed);
-                    ensureStudy().runCellShard(errors, mode, trials, c,
-                                               opts.chunks);
+                        return interruptedExit(cells.size(),
+                                               cellsCached,
+                                               cellsComputed);
+                    ensureStudy().runCellShard(errors, policy, trials,
+                                               c, opts.chunks);
                 }
             }
-            summary = ensureStudy().runCell(errors, mode, trials);
+            summary = ensureStudy().runCell(errors, policy, trials);
         }
-        emitCellJson(workload->name(), store::modeName(mode), errors,
-                     summary, config);
+        emitCellJson(workload->name(), policy, errors, summary,
+                     config);
         summaries.push_back(std::move(summary));
     }
 
-    renderExperiment(exp, sweepPointsFrom(exp, summaries));
+    renderExperiment(exp, policies,
+                     sweepPointsFrom(exp, policies, summaries));
     emitLabJson(opts, summaries.size(), cellsCached, cellsComputed,
                 trialsExecuted());
     return 0;
@@ -396,9 +419,10 @@ labMerge(const LabOptions &opts, const Experiment &exp)
     store::ResultStore cache(config.cacheDir);
 
     size_t complete = 0, merged = 0, incomplete = 0;
-    for (auto [errors, mode] : experimentCells(exp)) {
+    for (const auto &[errors, policy] :
+         experimentCells(exp, sweepPolicies(exp, opts.bench))) {
         auto key = core::makeCellKey(*workload, protection, config,
-                                     errors, mode, trials);
+                                     errors, policy, trials);
         if (cache.loadCell(key)) {
             cache.dropShards(key); // reclaim leftovers
             ++complete;
@@ -440,9 +464,26 @@ labReport(const LabOptions &opts, const Experiment &exp)
               " -- run `etc_lab run` (or `merge` after sharded "
               "runs) first");
 
-    renderExperiment(exp, sweep.points);
-    size_t cells = experimentCells(exp).size();
+    renderExperiment(std::cout, exp, sweepPolicies(exp, opts.bench),
+                     sweep.points);
+    size_t cells =
+        experimentCells(exp, sweepPolicies(exp, opts.bench)).size();
     emitLabJson(opts, cells, cells, 0, 0);
+    return 0;
+}
+
+int
+labPolicies()
+{
+    // The same describeInjectionPolicies() rows GET /v1/policies
+    // serves -- one code path, two renderings.
+    Table table({"name", "legacy", "scope", "result kinds",
+                 "bit model", "hash", "description"});
+    for (const auto &row : fault::describeInjectionPolicies())
+        table.addRow({row.name, row.legacy ? "yes" : "-", row.scope,
+                      row.resultKinds, row.bitModel, row.hash,
+                      row.description});
+    table.print(std::cout);
     return 0;
 }
 
@@ -523,10 +564,9 @@ labSubmit(const LabOptions &opts)
         body.field("trials", uint64_t{opts.bench.trials});
     if (opts.errors) {
         body.field("errors", uint64_t{*opts.errors});
-        body.field("mode", opts.mode);
-    } else if (opts.mode != "protected") {
-        fatal("--mode requires --errors (a single-cell submission "
-              "names both)");
+        body.field("policy", opts.bench.policies.empty()
+                                 ? std::string(fault::PROTECTED_POLICY)
+                                 : opts.bench.policies.front());
     }
 
     auto response = client.post("/v1/jobs", body.str());
@@ -609,6 +649,8 @@ labMain(int argc, char **argv)
         LabOptions opts = parseLabArgs(argc, argv);
         if (opts.command == "list")
             return labList();
+        if (opts.command == "policies")
+            return labPolicies();
         if (opts.command == "serve")
             return labServe(opts);
         if (opts.command == "submit")

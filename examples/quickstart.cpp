@@ -79,7 +79,7 @@ main()
             fault::injectableWithProtection(program, protection.tagged);
         fault::InjectionPlan plan;
         plan.sites = {4}; // the 5th tagged dynamic result
-        plan.bits = {3};
+        plan.masks = {1u << 3};
         fault::Injector injector(injectable, plan);
         simulator.reset();
         auto run = simulator.run(0, &injector);
@@ -97,7 +97,7 @@ main()
             branchOnly[i] = program.code[i].isControl();
         fault::InjectionPlan plan;
         plan.sites = {2};
-        plan.bits = {7};
+        plan.masks = {1u << 7};
         fault::Injector injector(branchOnly, plan);
         simulator.reset();
         auto run = simulator.run(10000, &injector);

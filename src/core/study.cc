@@ -1,12 +1,36 @@
 #include "core/study.hh"
 
 #include <chrono>
+#include <stdexcept>
 
 #include "sim/simulator.hh"
 #include "store/result_store.hh"
 #include "support/logging.hh"
 
 namespace etc::core {
+
+namespace {
+
+/** Registry lookup with the library's FatalError contract. */
+const fault::InjectionPolicy &
+policyOrFatal(const std::string &name)
+{
+    try {
+        return fault::resolveInjectionPolicy(name);
+    } catch (const std::invalid_argument &error) {
+        fatal("study: ", error.what());
+    }
+}
+
+} // namespace
+
+const char *
+policyNameOf(ProtectionMode mode)
+{
+    return mode == ProtectionMode::Protected
+               ? fault::PROTECTED_POLICY
+               : fault::UNPROTECTED_POLICY;
+}
 
 double
 CellSummary::meanFidelity() const
@@ -48,16 +72,13 @@ store::CellKey
 makeCellKey(const workloads::Workload &workload,
             const analysis::ProtectionResult &protection,
             const StudyConfig &config, unsigned errors,
-            ProtectionMode mode, unsigned trials)
+            const fault::InjectionPolicy &policy, unsigned trials)
 {
-    auto injectable =
-        mode == ProtectionMode::Protected
-            ? fault::injectableWithProtection(workload.program(),
-                                              protection.tagged)
-            : fault::injectableWithoutProtection(workload.program());
+    auto injectable = policy.injectableBitmap(workload.program(),
+                                              protection.tagged);
     store::CellKey key;
     key.workload = workload.name();
-    key.mode = store::modeName(mode);
+    key.policy = policy.name;
     key.errors = errors;
     key.trials = trials;
     key.seed = config.seed;
@@ -65,7 +86,31 @@ makeCellKey(const workloads::Workload &workload,
     key.memoryModel = store::memoryModelName(config.memoryModel);
     key.programHash =
         store::fingerprintProgram(workload.program(), injectable);
+    // Legacy policies keep the pre-policy canonical form (no policy
+    // hash), so stores written before the policy layer keep serving;
+    // every other policy folds its behavior hash into the key.
+    key.policyHash = policy.legacy ? "" : policy.descriptorHashHex();
     return key;
+}
+
+store::CellKey
+makeCellKey(const workloads::Workload &workload,
+            const analysis::ProtectionResult &protection,
+            const StudyConfig &config, unsigned errors,
+            const std::string &policyName, unsigned trials)
+{
+    return makeCellKey(workload, protection, config, errors,
+                       policyOrFatal(policyName), trials);
+}
+
+store::CellKey
+makeCellKey(const workloads::Workload &workload,
+            const analysis::ProtectionResult &protection,
+            const StudyConfig &config, unsigned errors,
+            ProtectionMode mode, unsigned trials)
+{
+    return makeCellKey(workload, protection, config, errors,
+                       std::string(policyNameOf(mode)), trials);
 }
 
 ErrorToleranceStudy::ErrorToleranceStudy(
@@ -89,19 +134,16 @@ ErrorToleranceStudy::ErrorToleranceStudy(
 ErrorToleranceStudy::~ErrorToleranceStudy() = default;
 
 fault::CampaignRunner &
-ErrorToleranceStudy::runner(ProtectionMode mode)
+ErrorToleranceStudy::runner(const fault::InjectionPolicy &policy)
 {
-    auto &slot = mode == ProtectionMode::Protected ? protectedRunner_
-                                                   : unprotectedRunner_;
+    auto &slot = runners_[policy.name];
     if (!slot) {
-        auto injectable =
-            mode == ProtectionMode::Protected
-                ? fault::injectableWithProtection(workload_.program(),
-                                                  protection_.tagged)
-                : fault::injectableWithoutProtection(workload_.program());
+        auto injectable = policy.injectableBitmap(workload_.program(),
+                                                  protection_.tagged);
         slot = std::make_unique<fault::CampaignRunner>(
             workload_.program(), std::move(injectable),
-            config_.memoryModel, config_.checkpointInterval);
+            config_.memoryModel, config_.checkpointInterval,
+            policy.resultKinds, policy.bitModel);
     }
     return *slot;
 }
@@ -109,34 +151,38 @@ ErrorToleranceStudy::runner(ProtectionMode mode)
 const std::vector<uint8_t> &
 ErrorToleranceStudy::goldenOutput() const
 {
-    // Both runners share the same golden run; build one if needed.
+    // All runners share the same golden run; build one if needed.
     auto *self = const_cast<ErrorToleranceStudy *>(this);
-    return self->runner(ProtectionMode::Protected).goldenOutput();
+    return self->runner(policyOrFatal(fault::PROTECTED_POLICY))
+        .goldenOutput();
 }
 
 uint64_t
 ErrorToleranceStudy::goldenInstructions() const
 {
     auto *self = const_cast<ErrorToleranceStudy *>(this);
-    return self->runner(ProtectionMode::Protected).goldenInstructions();
+    return self->runner(policyOrFatal(fault::PROTECTED_POLICY))
+        .goldenInstructions();
 }
 
 CellSummary
-ErrorToleranceStudy::computeRange(unsigned errors, ProtectionMode mode,
+ErrorToleranceStudy::computeRange(unsigned errors,
+                                  const fault::InjectionPolicy &policy,
                                   unsigned trials, unsigned lo,
                                   unsigned hi)
 {
-    auto &campaignRunner = runner(mode);
+    auto &campaignRunner = runner(policy);
 
     fault::CampaignConfig campaignConfig;
     campaignConfig.trials = trials;
     campaignConfig.errors = errors;
     campaignConfig.budgetFactor = config_.budgetFactor;
     campaignConfig.threads = config_.threads;
-    // Derive a per-cell seed so cells are independent but reproducible.
+    // Derive a per-cell seed so cells are independent but
+    // reproducible; the policy salt keeps the legacy streams (0x1 /
+    // 0x2) bit-identical and gives every other policy its own stream.
     campaignConfig.seed = config_.seed ^
-                          (uint64_t{errors} << 32) ^
-                          (mode == ProtectionMode::Protected ? 0x1 : 0x2);
+                          (uint64_t{errors} << 32) ^ policy.seedSalt();
 
     auto started = std::chrono::steady_clock::now();
     auto result = campaignRunner.runRange(campaignConfig, lo, hi);
@@ -146,7 +192,7 @@ ErrorToleranceStudy::computeRange(unsigned errors, ProtectionMode mode,
 
     CellSummary summary;
     summary.errors = errors;
-    summary.mode = mode;
+    summary.policy = policy.name;
     summary.trials = result.trials;
     summary.completed = result.completed;
     summary.crashed = result.crashed;
@@ -162,11 +208,19 @@ ErrorToleranceStudy::computeRange(unsigned errors, ProtectionMode mode,
 }
 
 store::CellKey
+ErrorToleranceStudy::cellKey(unsigned errors,
+                             const std::string &policyName,
+                             unsigned trials) const
+{
+    return makeCellKey(workload_, protection_, config_, errors,
+                       policyName, trials);
+}
+
+store::CellKey
 ErrorToleranceStudy::cellKey(unsigned errors, ProtectionMode mode,
                              unsigned trials) const
 {
-    return makeCellKey(workload_, protection_, config_, errors, mode,
-                       trials);
+    return cellKey(errors, std::string(policyNameOf(mode)), trials);
 }
 
 std::pair<unsigned, unsigned>
@@ -184,7 +238,8 @@ ErrorToleranceStudy::shardRange(unsigned trials, unsigned index,
 
 CellSummary
 ErrorToleranceStudy::assembleRange(const store::CellKey &key,
-                                   unsigned errors, ProtectionMode mode,
+                                   unsigned errors,
+                                   const fault::InjectionPolicy &policy,
                                    unsigned trials,
                                    std::vector<store::ShardRecord> stored,
                                    unsigned lo, unsigned hi)
@@ -197,7 +252,7 @@ ErrorToleranceStudy::assembleRange(const store::CellKey &key,
     std::vector<store::ShardRecord> pieces;
     unsigned covered = lo;
     auto computePiece = [&](unsigned a, unsigned b) {
-        auto partial = computeRange(errors, mode, trials, a, b);
+        auto partial = computeRange(errors, policy, trials, a, b);
         store_->storeShard(key, a, b, partial);
         pieces.push_back(
             store::ShardRecord{key, a, b, std::move(partial)});
@@ -218,7 +273,7 @@ ErrorToleranceStudy::assembleRange(const store::CellKey &key,
     // bit-identical to computing [lo, hi) in one pass.
     CellSummary merged;
     merged.errors = errors;
-    merged.mode = mode;
+    merged.policy = policy.name;
     for (const auto &piece : pieces) {
         merged.trials += piece.summary.trials;
         merged.completed += piece.summary.completed;
@@ -234,14 +289,17 @@ ErrorToleranceStudy::assembleRange(const store::CellKey &key,
 }
 
 CellSummary
-ErrorToleranceStudy::runCell(unsigned errors, ProtectionMode mode,
+ErrorToleranceStudy::runCell(unsigned errors,
+                             const std::string &policyName,
                              unsigned trialsOverride)
 {
+    const fault::InjectionPolicy &policy = policyOrFatal(policyName);
     unsigned trials = trialsOverride ? trialsOverride : config_.trials;
     if (!store_)
-        return computeRange(errors, mode, trials, 0, trials);
+        return computeRange(errors, policy, trials, 0, trials);
 
-    auto key = cellKey(errors, mode, trials);
+    auto key = makeCellKey(workload_, protection_, config_, errors,
+                           policy, trials);
     if (auto cached = store_->loadCell(key)) {
         // Reclaim shards a kill between storeCell and dropShards (or
         // a concurrent stripe worker) may have left behind.
@@ -252,8 +310,8 @@ ErrorToleranceStudy::runCell(unsigned errors, ProtectionMode mode,
     auto shards = store_->loadShards(key);
     auto summary =
         shards.empty()
-            ? computeRange(errors, mode, trials, 0, trials)
-            : assembleRange(key, errors, mode, trials,
+            ? computeRange(errors, policy, trials, 0, trials)
+            : assembleRange(key, errors, policy, trials,
                             std::move(shards), 0, trials);
     store_->storeCell(key, summary);
     store_->dropShards(key);
@@ -261,15 +319,26 @@ ErrorToleranceStudy::runCell(unsigned errors, ProtectionMode mode,
 }
 
 CellSummary
-ErrorToleranceStudy::runCellShard(unsigned errors, ProtectionMode mode,
+ErrorToleranceStudy::runCell(unsigned errors, ProtectionMode mode,
+                             unsigned trialsOverride)
+{
+    return runCell(errors, std::string(policyNameOf(mode)),
+                   trialsOverride);
+}
+
+CellSummary
+ErrorToleranceStudy::runCellShard(unsigned errors,
+                                  const std::string &policyName,
                                   unsigned trials, unsigned shardIndex,
                                   unsigned shardCount)
 {
+    const fault::InjectionPolicy &policy = policyOrFatal(policyName);
     auto [lo, hi] = shardRange(trials, shardIndex, shardCount);
     if (!store_)
-        return computeRange(errors, mode, trials, lo, hi);
+        return computeRange(errors, policy, trials, lo, hi);
 
-    auto key = cellKey(errors, mode, trials);
+    auto key = makeCellKey(workload_, protection_, config_, errors,
+                           policy, trials);
     if (auto cached = store_->loadCell(key))
         return *cached; // cell already complete; nothing to run
     if (auto shard = store_->loadShard(key, lo, hi))
@@ -278,8 +347,17 @@ ErrorToleranceStudy::runCellShard(unsigned errors, ProtectionMode mode,
     // Reuse any stored sub-shards inside the stripe (e.g. chunks of
     // a killed run under a different split); only gaps simulate, and
     // only gaps are persisted, so no overlapping records are created.
-    return assembleRange(key, errors, mode, trials,
+    return assembleRange(key, errors, policy, trials,
                          store_->loadShards(key), lo, hi);
+}
+
+CellSummary
+ErrorToleranceStudy::runCellShard(unsigned errors, ProtectionMode mode,
+                                  unsigned trials, unsigned shardIndex,
+                                  unsigned shardCount)
+{
+    return runCellShard(errors, std::string(policyNameOf(mode)), trials,
+                        shardIndex, shardCount);
 }
 
 } // namespace etc::core

@@ -6,9 +6,11 @@
  *   workload program
  *     -> CVar static analysis (tag low-reliability instructions)
  *     -> fault-free profiling (Table 3 numbers, golden output)
- *     -> fault-injection campaigns at chosen error counts, with the
- *        protection either ON (inject only into tagged instructions)
- *        or OFF (inject into every result)
+ *     -> fault-injection campaigns at chosen error counts under a
+ *        named injection policy (see fault/policy.hh) -- the paper's
+ *        two points are the legacy "protected" (inject only into
+ *        tagged instructions) and "unprotected" (inject into every
+ *        result) policies
  *     -> outcome classification (Table 2) + per-trial fidelity
  *        (Figures 1-6).
  *
@@ -16,7 +18,7 @@
  * @code
  *   auto workload = workloads::createWorkload("susan");
  *   core::ErrorToleranceStudy study(*workload, {});
- *   auto cell = study.runCell(100, core::ProtectionMode::Protected);
+ *   auto cell = study.runCell(100, "protected");
  *   std::cout << cell.failureRate() << '\n';
  * @endcode
  */
@@ -24,6 +26,7 @@
 #ifndef ETC_CORE_STUDY_HH
 #define ETC_CORE_STUDY_HH
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -32,6 +35,7 @@
 
 #include "analysis/control_protection.hh"
 #include "fault/campaign.hh"
+#include "fault/policy.hh"
 #include "sim/profiler.hh"
 #include "workloads/workload.hh"
 
@@ -43,12 +47,20 @@ class ResultStore;
 
 namespace etc::core {
 
-/** Whether the CVar protection is applied during injection. */
+/**
+ * Deprecated binary protection switch, kept as a thin alias for the
+ * two legacy injection policies. New code names policies directly
+ * ("protected", "unprotected", "control-only", ...); every enum
+ * overload below forwards to the policy-name API.
+ */
 enum class ProtectionMode
 {
-    Protected,   //!< inject only into tagged (low-reliability) results
-    Unprotected, //!< inject into every register-writing instruction
+    Protected,   //!< alias for the "protected" policy
+    Unprotected, //!< alias for the "unprotected" policy
 };
+
+/** @return the policy name the deprecated enum value aliases. */
+const char *policyNameOf(ProtectionMode mode);
 
 /** Study-wide configuration. */
 struct StudyConfig
@@ -99,11 +111,11 @@ struct StudyConfig
     std::string cacheDir;
 };
 
-/** Aggregated results of one (error count, mode) campaign cell. */
+/** Aggregated results of one (error count, policy) campaign cell. */
 struct CellSummary
 {
     unsigned errors = 0;
-    ProtectionMode mode = ProtectionMode::Protected;
+    std::string policy = fault::PROTECTED_POLICY;
     unsigned trials = 0;
     unsigned completed = 0;
     unsigned crashed = 0;
@@ -180,9 +192,14 @@ class ErrorToleranceStudy
      * Run one campaign cell.
      *
      * @param errors         bit flips per trial
-     * @param mode           protection on/off
+     * @param policyName     registered injection policy
      * @param trialsOverride nonzero to override config.trials
+     * @throws FatalError on an unregistered policy name
      */
+    CellSummary runCell(unsigned errors, const std::string &policyName,
+                        unsigned trialsOverride = 0);
+
+    /** Deprecated enum alias of runCell(errors, policyName). */
     CellSummary runCell(unsigned errors, ProtectionMode mode,
                         unsigned trialsOverride = 0);
 
@@ -200,6 +217,12 @@ class ErrorToleranceStudy
      * @return the shard's partial summary (or the complete cell
      *         summary when the cell was already fully cached)
      */
+    CellSummary runCellShard(unsigned errors,
+                             const std::string &policyName,
+                             unsigned trials, unsigned shardIndex,
+                             unsigned shardCount);
+
+    /** Deprecated enum alias of runCellShard(). */
     CellSummary runCellShard(unsigned errors, ProtectionMode mode,
                              unsigned trials, unsigned shardIndex,
                              unsigned shardCount);
@@ -210,6 +233,11 @@ class ErrorToleranceStudy
                                                     unsigned count);
 
     /** The canonical result-store key of one cell of this study. */
+    store::CellKey cellKey(unsigned errors,
+                           const std::string &policyName,
+                           unsigned trials) const;
+
+    /** Deprecated enum alias of cellKey(). */
     store::CellKey cellKey(unsigned errors, ProtectionMode mode,
                            unsigned trials) const;
 
@@ -223,10 +251,11 @@ class ErrorToleranceStudy
     const StudyConfig &config() const { return config_; }
 
   private:
-    fault::CampaignRunner &runner(ProtectionMode mode);
+    fault::CampaignRunner &runner(const fault::InjectionPolicy &policy);
 
     /** Simulate trials [lo, hi) of a cell and score their fidelity. */
-    CellSummary computeRange(unsigned errors, ProtectionMode mode,
+    CellSummary computeRange(unsigned errors,
+                             const fault::InjectionPolicy &policy,
                              unsigned trials, unsigned lo, unsigned hi);
 
     /**
@@ -235,7 +264,8 @@ class ErrorToleranceStudy
      * gaps between them. Defined in study.cc (store types).
      */
     CellSummary assembleRange(const store::CellKey &key, unsigned errors,
-                              ProtectionMode mode, unsigned trials,
+                              const fault::InjectionPolicy &policy,
+                              unsigned trials,
                               std::vector<store::ShardRecord> stored,
                               unsigned lo, unsigned hi);
 
@@ -243,8 +273,8 @@ class ErrorToleranceStudy
     StudyConfig config_;
     analysis::ProtectionResult protection_;
     sim::DynamicProfile profile_;
-    std::unique_ptr<fault::CampaignRunner> protectedRunner_;
-    std::unique_ptr<fault::CampaignRunner> unprotectedRunner_;
+    std::map<std::string, std::unique_ptr<fault::CampaignRunner>>
+        runners_; //!< one per policy, built on first use
     std::unique_ptr<store::ResultStore> store_;
     uint64_t trialsExecuted_ = 0;
 };
@@ -259,11 +289,27 @@ analysis::ProtectionResult computeStudyProtection(
 
 /**
  * Build the canonical result-store key of one campaign cell. The key
- * content-addresses the program and the mode's injectable set, so it
- * never aliases records across workload or analysis changes; thread
- * count and checkpoint interval are excluded because results are
- * bit-identical across both.
+ * content-addresses the program and the policy's injectable set (and,
+ * for non-legacy policies, the policy's descriptor hash), so it never
+ * aliases records across workload, analysis, or policy changes;
+ * thread count and checkpoint interval are excluded because results
+ * are bit-identical across both. Legacy policy keys are byte-stable
+ * with the pre-policy ProtectionMode keys.
  */
+store::CellKey makeCellKey(const workloads::Workload &workload,
+                           const analysis::ProtectionResult &protection,
+                           const StudyConfig &config, unsigned errors,
+                           const fault::InjectionPolicy &policy,
+                           unsigned trials);
+
+/** makeCellKey() resolving @p policyName through the registry. */
+store::CellKey makeCellKey(const workloads::Workload &workload,
+                           const analysis::ProtectionResult &protection,
+                           const StudyConfig &config, unsigned errors,
+                           const std::string &policyName,
+                           unsigned trials);
+
+/** Deprecated enum alias of makeCellKey(). */
 store::CellKey makeCellKey(const workloads::Workload &workload,
                            const analysis::ProtectionResult &protection,
                            const StudyConfig &config, unsigned errors,

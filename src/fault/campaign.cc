@@ -15,9 +15,12 @@ namespace etc::fault {
 CampaignRunner::CampaignRunner(const assembly::Program &program,
                                std::vector<bool> injectable,
                                sim::MemoryModel model,
-                               uint64_t checkpointInterval)
+                               uint64_t checkpointInterval,
+                               unsigned resultKinds,
+                               BitErrorModel bitModel)
     : program_(program), injectable_(std::move(injectable)),
-      model_(model), checkpointInterval_(checkpointInterval)
+      model_(model), resultKinds_(resultKinds), bitModel_(bitModel),
+      checkpointInterval_(checkpointInterval)
 {
     if (injectable_.size() != program_.size())
         panic("CampaignRunner: injectable bitmap size mismatch");
@@ -92,8 +95,9 @@ CampaignRunner::runTrialFastForward(sim::Simulator &simulator,
         injectableRetired = plan.sites[cursor] + 1;
         // faultPc of a paused run is the static index of the
         // just-retired site instruction.
-        if (flipResult(program_.code[run.faultPc], plan.bits[cursor],
-                       simulator.machine(), simulator.memory()))
+        if (flipResult(program_.code[run.faultPc], plan.masks[cursor],
+                       resultKinds_, simulator.machine(),
+                       simulator.memory()))
             ++injected;
         ++cursor;
     }
@@ -151,15 +155,17 @@ CampaignRunner::runRange(
         // or on which shard runs it.
         uint64_t t = lo + i;
         Rng trialRng = Rng::forStream(config.seed, t);
-        InjectionPlan plan =
-            samplePlan(injectableDynamic_, config.errors, trialRng);
+        InjectionPlan plan = samplePlan(injectableDynamic_,
+                                        config.errors, bitModel_,
+                                        trialRng);
 
         sim::Simulator &simulator = *simulators[w];
         TrialOutcome &outcome = result.outcomes[i];
         if (checkpointInterval_ > 0) {
             runTrialFastForward(simulator, plan, budget, outcome);
         } else {
-            Injector injector(injectable_, std::move(plan));
+            Injector injector(injectable_, std::move(plan),
+                              resultKinds_);
             simulator.reset();
             outcome.run = simulator.run(budget, &injector);
             outcome.injected = injector.injectedCount();

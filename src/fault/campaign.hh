@@ -2,9 +2,9 @@
  * @file
  * Monte-Carlo fault-injection campaigns.
  *
- * A campaign fixes a program, an injectable-instruction set (i.e. a
- * protection mode) and an error count, then runs many independently
- * seeded trials. Each trial reruns the program with a fresh uniform
+ * A campaign fixes a program, an injectable-instruction set plus flip
+ * semantics (i.e. an injection policy) and an error count, then runs
+ * many independently seeded trials. Each trial reruns the program with a fresh uniform
  * injection plan and classifies the outcome; completed trials keep
  * their output stream so the caller can score fidelity against the
  * fault-free (golden) output.
@@ -114,12 +114,19 @@ class CampaignRunner
      * @param checkpointInterval retired instructions between golden-run
      *                           checkpoints; 0 disables checkpointing
      *                           and trial fast-forwarding entirely
+     * @param resultKinds        corruptible result kinds (ResultKind
+     *                           bitmask; default: all, the legacy
+     *                           unrestricted behavior)
+     * @param bitModel           per-error flip-mask model (default:
+     *                           the paper's uniform single flip)
      */
     CampaignRunner(const assembly::Program &program,
                    std::vector<bool> injectable,
                    sim::MemoryModel model = sim::MemoryModel::Lenient,
                    uint64_t checkpointInterval =
-                       DEFAULT_CHECKPOINT_INTERVAL);
+                       DEFAULT_CHECKPOINT_INTERVAL,
+                   unsigned resultKinds = RK_ALL,
+                   BitErrorModel bitModel = {});
 
     /** @return the fault-free output stream. */
     const std::vector<uint8_t> &goldenOutput() const { return golden_; }
@@ -197,6 +204,8 @@ class CampaignRunner
     std::vector<bool> injectable_;
     sim::ByteMask injectableBytes_; //!< fast-path copy of injectable_
     sim::MemoryModel model_;
+    unsigned resultKinds_;
+    BitErrorModel bitModel_;
     uint64_t checkpointInterval_;
     sim::CheckpointStore checkpoints_;
     std::vector<uint8_t> golden_;

@@ -11,61 +11,102 @@ std::vector<bool>
 injectableWithProtection(const assembly::Program &program,
                          const std::vector<bool> &tagged)
 {
-    if (tagged.size() != program.size())
-        panic("injectableWithProtection: tag bitmap size mismatch");
-    std::vector<bool> out(tagged);
-    // Tagged instructions are ALU by construction, but keep the
-    // def-bearing filter as a safety net.
-    for (uint32_t i = 0; i < program.size(); ++i)
-        if (out[i] && !program.code[i].def())
-            out[i] = false;
-    return out;
+    return resolveInjectionPolicy(PROTECTED_POLICY)
+        .injectableBitmap(program, tagged);
 }
 
 std::vector<bool>
 injectableWithoutProtection(const assembly::Program &program)
 {
-    std::vector<bool> out(program.size(), false);
-    for (uint32_t i = 0; i < program.size(); ++i) {
-        const auto &ins = program.code[i];
-        out[i] = ins.def().has_value() || ins.isStore() ||
-                 ins.isControl();
-    }
-    return out;
+    // TagScope::All never reads the tags; pass an empty-equivalent
+    // bitmap of the right size to satisfy the shared validation.
+    return resolveInjectionPolicy(UNPROTECTED_POLICY)
+        .injectableBitmap(program,
+                          std::vector<bool>(program.size(), false));
+}
+
+namespace {
+
+/** One flip mask drawn from @p model (nonzero by construction). */
+uint32_t
+sampleMask(const BitErrorModel &model, Rng &rng)
+{
+    unsigned span = model.hi - model.lo;
+    unsigned start = model.lo + static_cast<unsigned>(rng.below(span));
+    if (model.kind == BitErrorModel::Kind::SingleFlip)
+        return uint32_t{1} << start;
+    // Burst: `burst` adjacent bits from the drawn start, wrapping
+    // inside [lo, hi) so every error has the full burst width.
+    uint32_t mask = 0;
+    for (unsigned j = 0; j < model.burst; ++j)
+        mask |= uint32_t{1} << (model.lo + (start - model.lo + j) % span);
+    return mask;
+}
+
+/** Fold a 32-bit mask onto @p width bits: each set bit lands at
+ *  (bit % width), matching the legacy per-bit `bit % width` flip.
+ *  XOR fold, because two flips landing on one folded bit cancel. */
+uint32_t
+foldMask(uint32_t mask, unsigned width)
+{
+    uint32_t folded = 0;
+    for (unsigned lo = 0; lo < 32; lo += width)
+        folded ^= mask >> lo;
+    return folded & ((uint32_t{1} << width) - 1);
+}
+
+} // namespace
+
+InjectionPlan
+samplePlan(uint64_t injectableDynamicCount, unsigned numErrors,
+           const BitErrorModel &model, Rng &rng)
+{
+    if (model.lo >= model.hi || model.hi > 32)
+        panic("samplePlan: bad bit range [", model.lo, ", ", model.hi,
+              ")");
+    if (model.kind == BitErrorModel::Kind::Burst &&
+        (model.burst == 0 || model.burst > 32))
+        panic("samplePlan: bad burst width ", model.burst);
+    InjectionPlan plan;
+    plan.sites = rng.sampleDistinct(injectableDynamicCount, numErrors);
+    plan.masks.reserve(plan.sites.size());
+    for (size_t i = 0; i < plan.sites.size(); ++i)
+        plan.masks.push_back(sampleMask(model, rng));
+    return plan;
 }
 
 InjectionPlan
 samplePlan(uint64_t injectableDynamicCount, unsigned numErrors, Rng &rng)
 {
-    InjectionPlan plan;
-    plan.sites = rng.sampleDistinct(injectableDynamicCount, numErrors);
-    plan.bits.reserve(plan.sites.size());
-    for (size_t i = 0; i < plan.sites.size(); ++i)
-        plan.bits.push_back(static_cast<unsigned>(rng.below(32)));
-    return plan;
+    return samplePlan(injectableDynamicCount, numErrors, BitErrorModel{},
+                      rng);
 }
 
-Injector::Injector(const std::vector<bool> &injectable, InjectionPlan plan)
-    : injectable_(injectable), plan_(std::move(plan))
+Injector::Injector(const std::vector<bool> &injectable, InjectionPlan plan,
+                   unsigned resultKinds)
+    : injectable_(injectable), plan_(std::move(plan)),
+      resultKinds_(resultKinds)
 {
 }
 
 bool
-flipResult(const isa::Instruction &ins, unsigned bit,
-           sim::Machine &machine, sim::Memory &memory)
+flipResult(const isa::Instruction &ins, uint32_t mask,
+           unsigned resultKinds, sim::Machine &machine,
+           sim::Memory &memory)
 {
-    if (auto def = ins.def()) {
-        // Register result (jal/jalr corrupt the saved link here).
-        uint32_t value = machine.readFlat(*def);
-        machine.writeFlat(*def, flipBit(value, bit));
-        return true;
+    if (resultKinds & RK_REGISTER) {
+        if (auto def = ins.def()) {
+            // Register result (jal/jalr corrupt the saved link here).
+            machine.writeFlat(*def, machine.readFlat(*def) ^ mask);
+            return true;
+        }
     }
-    if (ins.isControl()) {
+    if ((resultKinds & RK_CONTROL) && ins.isControl()) {
         // A control transfer's result is the next PC.
-        machine.pc = flipBit(machine.pc, bit);
+        machine.pc ^= mask;
         return true;
     }
-    if (ins.isStore()) {
+    if ((resultKinds & RK_MEMORY) && ins.isStore()) {
         // A store's result is the memory value it wrote. Flip it
         // in place (within the stored width); if the store went
         // out of region under the lenient model, the value was
@@ -77,7 +118,7 @@ flipResult(const isa::Instruction &ins, unsigned bit,
             uint8_t value = 0;
             if (memory.read8(addr, value) == sim::MemStatus::Ok) {
                 memory.write8(addr, static_cast<uint8_t>(
-                    flipBit(value, bit % 8)));
+                    value ^ foldMask(mask, 8)));
                 return true;
             }
             return false;
@@ -86,7 +127,7 @@ flipResult(const isa::Instruction &ins, unsigned bit,
             uint16_t value = 0;
             if (memory.read16(addr, value) == sim::MemStatus::Ok) {
                 memory.write16(addr, static_cast<uint16_t>(
-                    flipBit(value, bit % 16)));
+                    value ^ foldMask(mask, 16)));
                 return true;
             }
             return false;
@@ -94,7 +135,7 @@ flipResult(const isa::Instruction &ins, unsigned bit,
           default: { // sw / swc1
             uint32_t value = 0;
             if (memory.read32(addr, value) == sim::MemStatus::Ok) {
-                memory.write32(addr, flipBit(value, bit));
+                memory.write32(addr, value ^ mask);
                 return true;
             }
             return false;
@@ -102,6 +143,15 @@ flipResult(const isa::Instruction &ins, unsigned bit,
         }
     }
     return false;
+}
+
+bool
+flipResult(const isa::Instruction &ins, unsigned bit,
+           sim::Machine &machine, sim::Memory &memory)
+{
+    if (bit >= 32)
+        panic("flipResult: bit index ", bit, " out of range");
+    return flipResult(ins, uint32_t{1} << bit, RK_ALL, machine, memory);
 }
 
 void
@@ -112,7 +162,8 @@ Injector::onRetire(uint32_t staticIdx, const isa::Instruction &ins,
         return;
     if (cursor_ < plan_.sites.size() &&
         counter_ == plan_.sites[cursor_]) {
-        if (flipResult(ins, plan_.bits[cursor_], machine, memory))
+        if (flipResult(ins, plan_.masks[cursor_], resultKinds_, machine,
+                       memory))
             ++injected_;
         ++cursor_;
     }

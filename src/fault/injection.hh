@@ -1,6 +1,8 @@
 /**
  * @file
- * Single-bit-flip fault injection, reproducing the paper's error model:
+ * Bit-flip fault injection, generalized over injection policies while
+ * reproducing the paper's error model bit-for-bit under the legacy
+ * policies:
  *
  *   "we flip a bit in the result of an instruction ... Single bit-flip
  *    errors were randomly inserted with a uniform distribution."
@@ -9,18 +11,20 @@
  *  1. a fault-free profiling run counts how many *injectable* dynamic
  *     instructions the program retires (N);
  *  2. for a trial with k errors, k distinct dynamic indices in [0, N)
- *     and k bit positions are drawn uniformly;
- *  3. the trial reruns with an Injector hook that flips the chosen bit
- *     of the destination register right after writeback at each chosen
- *     dynamic index.
+ *     are drawn uniformly, plus one flip mask per index from the
+ *     policy's bit-error model (a single uniform bit under the paper
+ *     model; a bit range or k-adjacent burst under the ablations);
+ *  3. the trial reruns, XOR-ing each mask into the chosen result right
+ *     after writeback at the chosen dynamic index.
  *
- * Which instructions are injectable encodes the protection mode:
- *  - protection ON : only instructions the CVar analysis tagged;
- *  - protection OFF: every instruction producing a result of any kind
- *    -- a register write, a stored memory value, or a control
- *    transfer's next PC. The unprotected machine can corrupt anything,
- *    including control itself; that is what makes the paper's
- *    "without protection" rows catastrophic.
+ * Which instructions are injectable -- and which of an instruction's
+ * results gets corrupted -- encodes the policy (see fault/policy.hh):
+ * the legacy "protected" policy targets only CVar-tagged register
+ * results; the legacy "unprotected" policy targets every result kind
+ * (register write, stored memory value, or a control transfer's next
+ * PC -- corrupting control itself is what makes the paper's "without
+ * protection" rows catastrophic); the ablation policies slice that
+ * space differently.
  */
 
 #ifndef ETC_FAULT_INJECTION_HH
@@ -30,6 +34,7 @@
 #include <vector>
 
 #include "asm/program.hh"
+#include "fault/policy.hh"
 #include "sim/simulator.hh"
 #include "support/rng.hh"
 
@@ -41,47 +46,70 @@ struct InjectionPlan
     /** Dynamic indices (within the injectable stream), ascending. */
     std::vector<uint64_t> sites;
 
-    /** Bit position (0..31) flipped at the matching site. */
-    std::vector<unsigned> bits;
+    /** Nonzero 32-bit flip mask applied at the matching site (a
+     *  single-flip model always yields one-hot masks). */
+    std::vector<uint32_t> masks;
 
     size_t size() const { return sites.size(); }
 };
 
 /**
- * @return injectable-instruction bitmap for protection ON: exactly the
- *         instructions the analysis tagged (all of which bear defs).
+ * @return injectable bitmap for the legacy protected policy: exactly
+ *         the instructions the analysis tagged (all of which bear
+ *         defs). Thin wrapper over InjectionPolicy::injectableBitmap.
  */
 std::vector<bool> injectableWithProtection(
     const assembly::Program &program, const std::vector<bool> &tagged);
 
 /**
- * @return injectable bitmap for protection OFF: every instruction with
- *         a result -- register defs, stores (memory results), and
- *         control transfers (PC results).
+ * @return injectable bitmap for the legacy unprotected policy: every
+ *         instruction with a result of any kind. Thin wrapper over
+ *         InjectionPolicy::injectableBitmap.
  */
 std::vector<bool> injectableWithoutProtection(
     const assembly::Program &program);
 
 /**
- * Draw a uniform injection plan.
+ * Draw an injection plan: k distinct uniform sites, then one mask per
+ * site from @p model. The legacy single-flip model consumes exactly
+ * one rng.below(32) per site -- the same stream the pre-policy
+ * implementation drew, so legacy trials are bit-identical.
  *
  * @param injectableDynamicCount N from the profiling run
  * @param numErrors              k errors to insert
+ * @param model                  the policy's bit-error model
  * @param rng                    deterministic generator
  */
+InjectionPlan samplePlan(uint64_t injectableDynamicCount,
+                         unsigned numErrors, const BitErrorModel &model,
+                         Rng &rng);
+
+/** samplePlan() under the paper's uniform single-flip model. */
 InjectionPlan samplePlan(uint64_t injectableDynamicCount,
                          unsigned numErrors, Rng &rng);
 
 /**
- * Flip bit @p bit of the result of the just-retired instruction
- * @p ins: its destination register, its next PC (control transfers),
- * or the memory value it stored. Must be called with writeback and the
- * PC update already applied -- i.e. exactly where ExecHook::onRetire
- * runs, which is also where Simulator::runUntilInjectable() pauses.
+ * XOR @p mask into the policy-allowed result of the just-retired
+ * instruction @p ins: its destination register, its next PC (control
+ * transfers), or the memory value it stored -- the first allowed kind
+ * the instruction has, in that fixed priority order. Sub-word stores
+ * fold the mask to the stored width (each mask bit lands at
+ * bit % width, exactly like the legacy single-flip did). Must be
+ * called with writeback and the PC update already applied -- i.e.
+ * exactly where ExecHook::onRetire runs, which is also where
+ * Simulator::runUntilInjectable() pauses.
  *
+ * @param resultKinds ResultKind bitmask of corruptible result kinds
  * @return true if a flip was actually performed (a store that was
- *         dropped by the lenient memory model has nothing to corrupt).
+ *         dropped by the lenient memory model has nothing to corrupt,
+ *         and an instruction with no allowed result kind is skipped).
  */
+bool flipResult(const isa::Instruction &ins, uint32_t mask,
+                unsigned resultKinds, sim::Machine &machine,
+                sim::Memory &memory);
+
+/** flipResult() of single bit @p bit with every result kind allowed
+ *  (the legacy unrestricted behavior). */
 bool flipResult(const isa::Instruction &ins, unsigned bit,
                 sim::Machine &machine, sim::Memory &memory);
 
@@ -92,10 +120,12 @@ class Injector : public sim::ExecHook
 {
   public:
     /**
-     * @param injectable static bitmap of injectable instructions
-     * @param plan       the trial's schedule (sites ascending)
+     * @param injectable  static bitmap of injectable instructions
+     * @param plan        the trial's schedule (sites ascending)
+     * @param resultKinds corruptible result kinds (default: all)
      */
-    Injector(const std::vector<bool> &injectable, InjectionPlan plan);
+    Injector(const std::vector<bool> &injectable, InjectionPlan plan,
+             unsigned resultKinds = RK_ALL);
 
     void onRetire(uint32_t staticIdx, const isa::Instruction &ins,
                   sim::Machine &machine, sim::Memory &memory) override;
@@ -109,6 +139,7 @@ class Injector : public sim::ExecHook
   private:
     const std::vector<bool> &injectable_;
     InjectionPlan plan_;
+    unsigned resultKinds_;
     uint64_t counter_ = 0;
     uint64_t injected_ = 0;
     size_t cursor_ = 0;

@@ -1,0 +1,319 @@
+#include "fault/policy.hh"
+
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+#include "isa/instruction.hh"
+#include "store/cell_key.hh"
+#include "support/logging.hh"
+
+namespace etc::fault {
+
+namespace {
+
+const char *
+bitModelKindName(BitErrorModel::Kind kind)
+{
+    switch (kind) {
+      case BitErrorModel::Kind::SingleFlip: return "single-flip";
+      case BitErrorModel::Kind::Burst: return "burst";
+    }
+    return "unknown";
+}
+
+const char *
+tagScopeName(TagScope scope)
+{
+    return scope == TagScope::Tagged ? "tagged" : "all";
+}
+
+std::deque<InjectionPolicy>
+builtinPolicies()
+{
+    std::deque<InjectionPolicy> policies;
+
+    InjectionPolicy prot;
+    prot.name = PROTECTED_POLICY;
+    prot.description =
+        "paper baseline: inject only into CVar-tagged (low-"
+        "reliability) register results";
+    prot.chartLabel = "static analysis ON";
+    prot.scope = TagScope::Tagged;
+    prot.resultKinds = RK_REGISTER;
+    prot.legacy = true;
+    policies.push_back(std::move(prot));
+
+    InjectionPolicy unprot;
+    unprot.name = UNPROTECTED_POLICY;
+    unprot.description =
+        "paper baseline: inject into every result -- register defs, "
+        "stored values, and next-PCs";
+    unprot.chartLabel = "static analysis OFF";
+    unprot.scope = TagScope::All;
+    unprot.resultKinds = RK_ALL;
+    unprot.legacy = true;
+    policies.push_back(std::move(unprot));
+
+    InjectionPolicy controlOnly;
+    controlOnly.name = "control-only";
+    controlOnly.description =
+        "corrupt only control flow: the next PC of branches, jumps, "
+        "and calls";
+    controlOnly.chartLabel = "control-only";
+    controlOnly.scope = TagScope::All;
+    controlOnly.resultKinds = RK_CONTROL;
+    policies.push_back(std::move(controlOnly));
+
+    InjectionPolicy dataOnly;
+    dataOnly.name = "data-only";
+    dataOnly.description =
+        "corrupt only data results (register defs and stored values); "
+        "control transfers keep their PCs";
+    dataOnly.chartLabel = "data-only";
+    dataOnly.scope = TagScope::All;
+    dataOnly.resultKinds = RK_REGISTER | RK_MEMORY;
+    policies.push_back(std::move(dataOnly));
+
+    InjectionPolicy unprotRegs;
+    unprotRegs.name = "unprotected-regs";
+    unprotRegs.description =
+        "every register def is fair game (tagged or not), but memory "
+        "and control results are safe";
+    unprotRegs.chartLabel = "unprotected-regs";
+    unprotRegs.scope = TagScope::All;
+    unprotRegs.resultKinds = RK_REGISTER;
+    policies.push_back(std::move(unprotRegs));
+
+    InjectionPolicy protBurst;
+    protBurst.name = "protected-burst2";
+    protBurst.description =
+        "the protected target set under a harsher error model: each "
+        "error flips 2 adjacent bits";
+    protBurst.chartLabel = "protected-burst2";
+    protBurst.scope = TagScope::Tagged;
+    protBurst.resultKinds = RK_REGISTER;
+    protBurst.bitModel.kind = BitErrorModel::Kind::Burst;
+    protBurst.bitModel.burst = 2;
+    policies.push_back(std::move(protBurst));
+
+    InjectionPolicy low16;
+    low16.name = "unprotected-low16";
+    low16.description =
+        "every result, but flips land only in the low half-word "
+        "(bits 0..15) -- a magnitude-bounded error model";
+    low16.chartLabel = "unprotected-low16";
+    low16.scope = TagScope::All;
+    low16.resultKinds = RK_ALL;
+    low16.bitModel.hi = 16;
+    policies.push_back(std::move(low16));
+
+    return policies;
+}
+
+/** Registry storage; guarded because services register from threads.
+ *  A deque so registration never moves existing entries -- pointers
+ *  handed out by findInjectionPolicy() stay valid for process life. */
+struct Registry
+{
+    std::mutex mutex;
+    std::deque<InjectionPolicy> policies = builtinPolicies();
+};
+
+Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+void
+validateModel(const InjectionPolicy &policy)
+{
+    const BitErrorModel &m = policy.bitModel;
+    if (m.lo >= m.hi || m.hi > 32)
+        panic("policy '", policy.name, "': bad bit range [", m.lo, ", ",
+              m.hi, ")");
+    if (m.kind == BitErrorModel::Kind::Burst &&
+        (m.burst == 0 || m.burst > 32))
+        panic("policy '", policy.name, "': bad burst width ", m.burst);
+    if ((policy.resultKinds & RK_ALL) == 0)
+        panic("policy '", policy.name, "': no result kinds");
+}
+
+} // namespace
+
+std::string
+BitErrorModel::describe() const
+{
+    std::string out;
+    out += bitModelKindName(kind);
+    if (kind == Kind::Burst) {
+        out += '(';
+        out += std::to_string(burst);
+        out += ')';
+    }
+    out += " [";
+    out += std::to_string(lo);
+    out += ',';
+    out += std::to_string(hi);
+    out += ')';
+    return out;
+}
+
+std::vector<bool>
+InjectionPolicy::injectableBitmap(const assembly::Program &program,
+                                  const std::vector<bool> &tagged) const
+{
+    if (tagged.size() != program.size())
+        panic("policy '", name, "': tag bitmap size mismatch (",
+              tagged.size(), " tags, ", program.size(),
+              " instructions)");
+    std::vector<bool> out(program.size(), false);
+    for (uint32_t i = 0; i < program.size(); ++i) {
+        if (scope == TagScope::Tagged && !tagged[i])
+            continue;
+        const auto &ins = program.code[i];
+        out[i] =
+            ((resultKinds & RK_REGISTER) && ins.def().has_value()) ||
+            ((resultKinds & RK_MEMORY) && ins.isStore()) ||
+            ((resultKinds & RK_CONTROL) && ins.isControl());
+    }
+    return out;
+}
+
+uint64_t
+InjectionPolicy::descriptorHash() const
+{
+    // Behavior only -- renaming a policy or rewording its description
+    // must not invalidate records, but any semantic change must.
+    uint64_t hash = store::fnv1a("etc-policy-v1", 13);
+    uint32_t fields[] = {
+        static_cast<uint32_t>(scope),
+        resultKinds,
+        static_cast<uint32_t>(bitModel.kind),
+        bitModel.lo,
+        bitModel.hi,
+        bitModel.burst,
+    };
+    for (uint32_t field : fields)
+        hash = store::fnv1a(&field, sizeof(field), hash);
+    return hash;
+}
+
+std::string
+InjectionPolicy::descriptorHashHex() const
+{
+    return store::hexU64(descriptorHash());
+}
+
+uint64_t
+InjectionPolicy::seedSalt() const
+{
+    if (legacy)
+        return name == PROTECTED_POLICY ? 0x1 : 0x2;
+    // Salt non-legacy policies on the *name* as well as the behavior:
+    // two differently-named policies with identical descriptors still
+    // draw independent trial streams, mirroring how the legacy pair
+    // is distinguished by mode, not bitmap.
+    return store::fnv1a(name.data(), name.size(), descriptorHash());
+}
+
+std::string
+InjectionPolicy::resultKindsName() const
+{
+    std::string out;
+    auto append = [&](const char *kind) {
+        if (!out.empty())
+            out += '|';
+        out += kind;
+    };
+    if (resultKinds & RK_REGISTER)
+        append("register");
+    if (resultKinds & RK_MEMORY)
+        append("memory");
+    if (resultKinds & RK_CONTROL)
+        append("control");
+    return out;
+}
+
+std::vector<InjectionPolicy>
+injectionPolicies()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return {reg.policies.begin(), reg.policies.end()};
+}
+
+const InjectionPolicy *
+findInjectionPolicy(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto &policy : reg.policies)
+        if (policy.name == name)
+            return &policy; // deque entries never move: stable
+    return nullptr;
+}
+
+const InjectionPolicy &
+resolveInjectionPolicy(const std::string &name)
+{
+    if (const InjectionPolicy *policy = findInjectionPolicy(name))
+        return *policy;
+    throw std::invalid_argument("unknown injection policy '" + name +
+                                "' (known: " + injectionPolicyNames() +
+                                ")");
+}
+
+std::string
+injectionPolicyNames()
+{
+    std::string names;
+    for (const auto &policy : injectionPolicies()) {
+        if (!names.empty())
+            names += ", ";
+        names += policy.name;
+    }
+    return names;
+}
+
+void
+registerInjectionPolicy(InjectionPolicy policy)
+{
+    if (policy.name.empty())
+        panic("registerInjectionPolicy: empty policy name");
+    if (policy.legacy)
+        panic("registerInjectionPolicy: the legacy flag is reserved "
+              "for the built-in paper modes");
+    if (policy.chartLabel.empty())
+        policy.chartLabel = policy.name;
+    validateModel(policy);
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto &existing : reg.policies)
+        if (existing.name == policy.name)
+            panic("registerInjectionPolicy: duplicate policy '",
+                  policy.name, "'");
+    reg.policies.push_back(std::move(policy));
+}
+
+std::vector<PolicyDescription>
+describeInjectionPolicies()
+{
+    std::vector<PolicyDescription> rows;
+    for (const auto &policy : injectionPolicies()) {
+        PolicyDescription row;
+        row.name = policy.name;
+        row.description = policy.description;
+        row.scope = tagScopeName(policy.scope);
+        row.resultKinds = policy.resultKindsName();
+        row.bitModel = policy.bitModel.describe();
+        row.hash = policy.descriptorHashHex();
+        row.legacy = policy.legacy;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace etc::fault

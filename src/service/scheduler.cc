@@ -97,13 +97,12 @@ Scheduler::contextFor(const bench::Experiment &exp)
 Scheduler::SubmitOutcome
 Scheduler::submit(
     const bench::Experiment &exp, unsigned trialsOverride,
-    std::optional<std::pair<unsigned, core::ProtectionMode>> cell)
+    std::optional<std::pair<unsigned, std::string>> cell)
 {
     unsigned trials =
         trialsOverride ? trialsOverride : exp.defaultTrials;
-    std::vector<std::pair<unsigned, core::ProtectionMode>> wanted =
-        cell ? std::vector<std::pair<unsigned, core::ProtectionMode>>{
-                   *cell}
+    std::vector<std::pair<unsigned, std::string>> wanted =
+        cell ? std::vector<std::pair<unsigned, std::string>>{*cell}
              : bench::experimentCells(exp);
 
     std::lock_guard<std::mutex> lock(mutex_);
@@ -112,20 +111,20 @@ Scheduler::submit(
     struct PlannedCell
     {
         unsigned errors;
-        core::ProtectionMode mode;
+        std::string policy;
         store::CellKey key;
         std::string fingerprint;
     };
     std::vector<PlannedCell> planned;
     std::string signature;
-    for (auto [errors, mode] : wanted) {
+    for (const auto &[errors, policy] : wanted) {
         auto key = core::makeCellKey(*ctx.workload, ctx.protection,
-                                     ctx.studyConfig, errors, mode,
+                                     ctx.studyConfig, errors, policy,
                                      trials);
         auto fingerprint = key.fingerprint();
         signature += fingerprint;
         signature += ';';
-        planned.push_back({errors, mode, std::move(key),
+        planned.push_back({errors, policy, std::move(key),
                            std::move(fingerprint)});
     }
 
@@ -158,7 +157,7 @@ Scheduler::submit(
             task = std::make_shared<CellTask>();
             task->ctx = &ctx;
             task->errors = plan.errors;
-            task->mode = plan.mode;
+            task->policy = plan.policy;
             task->trials = trials;
             task->key = std::move(plan.key);
             task->fingerprint = plan.fingerprint;
@@ -282,7 +281,7 @@ Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
             // Each chunk persists as a shard record; stored chunks
             // (this daemon's or a predecessor's) are skipped, so a
             // resubmitted cell resumes instead of restarting.
-            study.runCellShard(task.errors, task.mode, task.trials,
+            study.runCellShard(task.errors, task.policy, task.trials,
                                chunk, chunks);
         }
         if (interrupted) {
@@ -297,7 +296,7 @@ Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
 
         // Promote the tiling shards into the cell record (assembled,
         // persisted, and bit-identical to a monolithic run).
-        study.runCell(task.errors, task.mode, task.trials);
+        study.runCell(task.errors, task.policy, task.trials);
 
         std::lock_guard<std::mutex> lock(mutex_);
         uint64_t ran = study.trialsExecuted() - before;
@@ -357,7 +356,7 @@ Scheduler::jobStatus(const std::string &id) const
         cell.fingerprint = task->fingerprint;
         cell.canonical = task->key.canonical();
         cell.errors = task->errors;
-        cell.mode = store::modeName(task->mode);
+        cell.policy = task->policy;
         cell.trials = task->trials;
         cell.state = task->state;
         cell.cached = task->cached;

@@ -77,7 +77,7 @@ struct CellStatus
     std::string fingerprint; //!< on-disk record address
     std::string canonical;   //!< human-readable cell key
     unsigned errors = 0;
-    std::string mode;
+    std::string policy;      //!< injection policy name
     unsigned trials = 0;
     CellState state = CellState::Queued;
     bool cached = false;          //!< served without simulating
@@ -141,18 +141,19 @@ class Scheduler
 
     /**
      * Submit one experiment sweep, or -- when @p cell is set -- the
-     * single (errors, mode) cell of it. @p trialsOverride nonzero
-     * overrides the experiment's default trial count. Idempotent: an
-     * identical active submission is returned with attached = true,
-     * and individual cells already queued/running are shared, never
-     * duplicated.
+     * single (errors, policy-name) cell of it. @p trialsOverride
+     * nonzero overrides the experiment's default trial count.
+     * Idempotent: an identical active submission is returned with
+     * attached = true, and individual cells already queued/running
+     * are shared, never duplicated.
      *
-     * @throws FatalError when trialsOverride exceeds sane bounds --
-     *         callers validate experiment names themselves.
+     * Callers validate experiment and policy names themselves (the
+     * service router resolves both against their registries before
+     * submitting).
      */
     SubmitOutcome submit(
         const bench::Experiment &exp, unsigned trialsOverride,
-        std::optional<std::pair<unsigned, core::ProtectionMode>> cell);
+        std::optional<std::pair<unsigned, std::string>> cell);
 
     /** @return a snapshot of job @p id, or nullopt if unknown. */
     std::optional<JobStatus> jobStatus(const std::string &id) const;
@@ -181,7 +182,7 @@ class Scheduler
     {
         WorkloadContext *ctx = nullptr;
         unsigned errors = 0;
-        core::ProtectionMode mode = core::ProtectionMode::Protected;
+        std::string policy = fault::PROTECTED_POLICY;
         unsigned trials = 0;
         store::CellKey key;
         std::string fingerprint;

@@ -39,7 +39,10 @@ encodeCellStatus(const CellStatus &cell)
     writer.field("key", cell.fingerprint)
         .field("canonical", cell.canonical)
         .field("errors", uint64_t{cell.errors})
-        .field("mode", cell.mode)
+        // "mode" kept as a deprecated mirror of "policy" so
+        // pre-policy API consumers keep parsing.
+        .field("mode", cell.policy)
+        .field("policy", cell.policy)
         .field("trials", uint64_t{cell.trials})
         .field("state", cellStateName(cell.state))
         .field("cached", cell.cached)
@@ -76,15 +79,18 @@ encodeKeyJson(const store::CellKey &key)
 {
     store::JsonObjectWriter writer;
     writer.field("workload", key.workload)
-        .field("mode", key.mode)
+        .field("mode", key.policy)
+        .field("policy", key.policy)
         .field("errors", uint64_t{key.errors})
         .field("trials", uint64_t{key.trials})
         .field("seed", store::hexU64(key.seed))
         .field("budgetBits",
                store::hexU64(store::doubleBits(key.budgetFactor)))
         .field("memoryModel", key.memoryModel)
-        .field("program", key.programHash)
-        .field("canonical", key.canonical())
+        .field("program", key.programHash);
+    if (!key.policyHash.empty())
+        writer.field("policyHash", key.policyHash);
+    writer.field("canonical", key.canonical())
         .field("fingerprint", key.fingerprint());
     return writer.str();
 }
@@ -161,6 +167,12 @@ CampaignService::handle(const HttpRequest &request)
                                  "use GET for the experiment registry");
         return experimentList();
     }
+    if (path == "/v1/policies") {
+        if (request.method != "GET")
+            return errorResponse(405,
+                                 "use GET for the policy registry");
+        return policyList();
+    }
     if (path.rfind("/v1/figures/", 0) == 0) {
         if (request.method != "GET")
             return errorResponse(405, "use GET for figures");
@@ -190,7 +202,7 @@ CampaignService::submitJob(const HttpRequest &request)
 
     const bench::Experiment *exp = nullptr;
     unsigned trials = 0;
-    std::optional<std::pair<unsigned, core::ProtectionMode>> cell;
+    std::optional<std::pair<unsigned, std::string>> cell;
     try {
         const store::JsonValue *name = body.find("experiment");
         if (!name)
@@ -211,23 +223,31 @@ CampaignService::submitJob(const HttpRequest &request)
         }
 
         const store::JsonValue *errors = body.find("errors");
-        const store::JsonValue *mode = body.find("mode");
-        if (mode && !errors)
+        // "policy" names the single cell's injection policy; "mode"
+        // is the deprecated pre-policy alias.
+        const store::JsonValue *policy = body.find("policy");
+        if (!policy)
+            policy = body.find("mode");
+        if (policy && !errors)
             return errorResponse(
-                400, "'mode' requires 'errors' (a single-cell "
+                400, "'policy' requires 'errors' (a single-cell "
                      "submission names both)");
         if (errors) {
-            core::ProtectionMode protectionMode =
-                core::ProtectionMode::Protected;
-            if (mode)
-                protectionMode = store::modeFromName(mode->asString());
-            cell = {{errors->asU32(), protectionMode}};
+            // Validated against the process-wide policy registry --
+            // the same resolver every CLI flag routes through.
+            std::string policyName =
+                policy ? fault::resolveInjectionPolicy(
+                             policy->asString())
+                             .name
+                       : fault::PROTECTED_POLICY;
+            cell = {{errors->asU32(), std::move(policyName)}};
         }
     } catch (const store::JsonError &e) {
         return errorResponse(400,
                              std::string("bad request field: ") +
                                  e.what());
-    } catch (const store::StoreFormatError &e) {
+    } catch (const std::invalid_argument &e) {
+        // An unregistered policy name (try GET /v1/policies).
         return errorResponse(400, e.what());
     }
 
@@ -285,6 +305,13 @@ CampaignService::experimentList()
             errorCounts += std::to_string(exp.errorCounts[i]);
         }
         errorCounts += ']';
+        std::string policies = "[";
+        for (size_t i = 0; i < exp.policies.size(); ++i) {
+            if (i)
+                policies += ',';
+            policies += store::jsonQuote(exp.policies[i]);
+        }
+        policies += ']';
         store::JsonObjectWriter writer;
         writer.field("name", exp.name)
             .field("figure", exp.experiment)
@@ -293,7 +320,7 @@ CampaignService::experimentList()
             .field("cells",
                    uint64_t{bench::experimentCells(exp).size()})
             .field("defaultTrials", uint64_t{exp.defaultTrials})
-            .field("runUnprotected", exp.runUnprotected)
+            .rawField("policies", policies)
             .rawField("errorCounts", errorCounts);
         list += writer.str();
     }
@@ -301,6 +328,34 @@ CampaignService::experimentList()
 
     store::JsonObjectWriter writer;
     writer.rawField("experiments", list);
+    return HttpResponse::json(200, writer.str());
+}
+
+HttpResponse
+CampaignService::policyList()
+{
+    // The same describeInjectionPolicies() rows `etc_lab policies`
+    // prints -- one code path, two renderings.
+    std::string list = "[";
+    bool first = true;
+    for (const auto &row : fault::describeInjectionPolicies()) {
+        if (!first)
+            list += ',';
+        first = false;
+        store::JsonObjectWriter writer;
+        writer.field("name", row.name)
+            .field("description", row.description)
+            .field("legacy", row.legacy)
+            .field("scope", row.scope)
+            .field("resultKinds", row.resultKinds)
+            .field("bitModel", row.bitModel)
+            .field("hash", row.hash);
+        list += writer.str();
+    }
+    list += ']';
+
+    store::JsonObjectWriter writer;
+    writer.rawField("policies", list);
     return HttpResponse::json(200, writer.str());
 }
 
@@ -325,9 +380,9 @@ CampaignService::figure(const std::string &name,
     }
 
     store::ResultStore cache(opts.cacheDir);
-    auto sweep =
-        bench::loadExperimentFromStore(*exp, figureKeys(*exp, opts),
-                                       cache);
+    auto sweep = bench::loadExperimentFromStore(
+        *exp, bench::sweepPolicies(*exp, opts), figureKeys(*exp, opts),
+        cache);
     if (!sweep.complete()) {
         std::string missing = "[";
         for (size_t i = 0; i < sweep.missing.size(); ++i) {

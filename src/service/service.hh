@@ -10,6 +10,8 @@
  *   GET  /v1/cells/<key>         stored cell record as JSON (<key> is
  *                                the 16-hex CellKey fingerprint)
  *   GET  /v1/experiments         the experiment registry
+ *   GET  /v1/policies            the injection-policy registry (the
+ *                                same rows `etc_lab policies` prints)
  *   GET  /v1/figures/<name>      figure rendered from the store,
  *                                byte-identical to `etc_lab report`
  *                                (optional ?trials=N override); 409
@@ -51,6 +53,7 @@ class CampaignService
     HttpResponse jobStatus(const std::string &id);
     HttpResponse cellRecord(const std::string &fingerprint);
     HttpResponse experimentList();
+    HttpResponse policyList();
     HttpResponse figure(const std::string &name,
                         const HttpRequest &request);
     HttpResponse healthz();

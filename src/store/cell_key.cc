@@ -110,13 +110,18 @@ CellKey::canonical() const
 {
     std::string out = "schema=1";
     out += ";workload=" + workload;
-    out += ";mode=" + mode;
+    out += ";mode=" + policy;
     out += ";errors=" + std::to_string(errors);
     out += ";trials=" + std::to_string(trials);
     out += ";seed=" + hexU64(seed);
     out += ";budget_bits=" + hexU64(doubleBits(budgetFactor));
     out += ";memory_model=" + memoryModel;
     out += ";program=" + programHash;
+    // Appended only for non-legacy policies: the legacy canonical
+    // form (and its fingerprint) must stay byte-stable so stores
+    // written before the policy layer keep serving records.
+    if (!policyHash.empty())
+        out += ";policy=" + policyHash;
     return out;
 }
 

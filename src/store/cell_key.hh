@@ -4,17 +4,22 @@
  *
  * PR 1 made every cell a pure function of a small key -- trial t draws
  * its randomness from Rng::forStream(seed, t), so the cell's entire
- * result is determined by (program, injectable set, error count, trial
- * count, master seed, budget factor, memory model). Thread count and
- * checkpoint interval are deliberately NOT part of the key: results
- * are bit-identical across both (see CampaignRunner), so a record
- * computed at any parallelism serves every future request.
+ * result is determined by (program, injection policy, error count,
+ * trial count, master seed, budget factor, memory model). Thread count
+ * and checkpoint interval are deliberately NOT part of the key:
+ * results are bit-identical across both (see CampaignRunner), so a
+ * record computed at any parallelism serves every future request.
  *
- * The program and its mode-specific injectable bitmap are folded into
- * a single content hash, which makes the key content-addressed: any
- * change to a workload's code, baked-in input, or the protection
+ * The program and its policy-specific injectable bitmap are folded
+ * into a single content hash, which makes the key content-addressed:
+ * any change to a workload's code, baked-in input, or the protection
  * analysis produces a different key and can never alias a stale
- * record.
+ * record. Non-legacy policies additionally fold their descriptor hash
+ * in (the bitmap alone cannot distinguish, say, single-flip from
+ * burst errors over the same target set); the two legacy policies
+ * omit it, keeping their canonical form -- and therefore their
+ * on-disk fingerprints -- byte-stable with every record written
+ * before the policy layer existed.
  */
 
 #ifndef ETC_STORE_CELL_KEY_HH
@@ -32,13 +37,17 @@ namespace etc::store {
 struct CellKey
 {
     std::string workload;    //!< workload name ("gsm", ...)
-    std::string mode;        //!< "protected" | "unprotected"
+    std::string policy;      //!< injection policy name ("protected",
+                             //!< "control-only", ...); serialized as
+                             //!< "mode" for legacy byte-stability
     unsigned errors = 0;     //!< bit flips per trial
     unsigned trials = 0;     //!< trials in the cell
     uint64_t seed = 0;       //!< study master seed
     double budgetFactor = 0; //!< timeout factor over the golden length
     std::string memoryModel; //!< "lenient" | "strict"
     std::string programHash; //!< content hash of program + injectable
+    std::string policyHash;  //!< policy descriptor hash ("0x...");
+                             //!< empty for the two legacy policies
 
     /**
      * @return the canonical single-line text form; two keys identify

@@ -23,13 +23,17 @@ encodeKeyObject(const CellKey &key)
 {
     JsonObjectWriter writer;
     writer.field("workload", key.workload)
-        .field("mode", key.mode)
+        .field("mode", key.policy)
         .field("errors", uint64_t{key.errors})
         .field("trials", uint64_t{key.trials})
         .field("seed", hexU64(key.seed))
         .field("budget_bits", hexU64(doubleBits(key.budgetFactor)))
         .field("memory_model", key.memoryModel)
         .field("program", key.programHash);
+    // Only non-legacy policies carry a descriptor hash; records of
+    // the legacy pair keep the exact pre-policy byte layout.
+    if (!key.policyHash.empty())
+        writer.field("policy", key.policyHash);
     return writer.str();
 }
 
@@ -38,7 +42,7 @@ decodeKeyObject(const JsonValue &object)
 {
     CellKey key;
     key.workload = object.at("workload").asString();
-    key.mode = object.at("mode").asString();
+    key.policy = object.at("mode").asString();
     key.errors = object.at("errors").asU32();
     key.trials = object.at("trials").asU32();
     key.seed = parseHexU64(object.at("seed").asString());
@@ -46,6 +50,10 @@ decodeKeyObject(const JsonValue &object)
         doubleFromBits(parseHexU64(object.at("budget_bits").asString()));
     key.memoryModel = object.at("memory_model").asString();
     key.programHash = object.at("program").asString();
+    // Optional: absent in records written before the policy layer
+    // (and in every legacy-policy record since).
+    if (const JsonValue *hash = object.find("policy"))
+        key.policyHash = hash->asString();
     return key;
 }
 
@@ -193,7 +201,11 @@ decodeRecord(const std::string &text, const char *expectedKind,
             throw StoreFormatError("second line is not the summary");
         core::CellSummary &summary = record.summary;
         summary.errors = record.key.errors;
-        summary.mode = modeFromName(record.key.mode);
+        // The policy name is taken as stored, not validated against
+        // the registry: records are self-describing, and a store may
+        // hold cells produced under policies this process never
+        // registered. Key matching above already prevents aliasing.
+        summary.policy = record.key.policy;
         summary.trials = summaryLine.at("trials").asU32();
         summary.completed = summaryLine.at("completed").asU32();
         summary.crashed = summaryLine.at("crashed").asU32();
@@ -260,23 +272,6 @@ decodeRecord(const std::string &text, const char *expectedKind,
 }
 
 } // namespace
-
-const char *
-modeName(core::ProtectionMode mode)
-{
-    return mode == core::ProtectionMode::Protected ? "protected"
-                                                   : "unprotected";
-}
-
-core::ProtectionMode
-modeFromName(const std::string &name)
-{
-    if (name == "protected")
-        return core::ProtectionMode::Protected;
-    if (name == "unprotected")
-        return core::ProtectionMode::Unprotected;
-    throw StoreFormatError("unknown protection mode '" + name + "'");
-}
 
 const char *
 memoryModelName(sim::MemoryModel model)
@@ -372,7 +367,7 @@ mergeShardSummaries(const CellKey &key, std::vector<ShardRecord> shards)
 
     core::CellSummary merged;
     merged.errors = key.errors;
-    merged.mode = modeFromName(key.mode);
+    merged.policy = key.policy;
     merged.trials = key.trials;
     for (const auto &shard : shards) {
         merged.completed += shard.summary.completed;

@@ -15,6 +15,12 @@
  * IEEE-754 bit patterns (plus a human-readable mirror), so a decoded
  * summary renders figures bit-identically to the in-memory one.
  *
+ * The key object's "mode" member carries the injection policy name;
+ * non-legacy policies add a "policy" member with the descriptor hash.
+ * Records written before the policy layer have neither hash nor
+ * non-legacy names, so they decode unchanged (the hash member is
+ * optional on read).
+ *
  * The trailer makes truncation detectable: a file that was cut off
  * mid-write is missing its "end" line (or has a wrong line count) and
  * is rejected with StoreFormatError -- corrupt or truncated cache
@@ -65,12 +71,6 @@ struct CellRecord
     CellKey key;
     core::CellSummary summary;
 };
-
-/** @return the canonical mode name used in keys and records. */
-const char *modeName(core::ProtectionMode mode);
-
-/** Parse a canonical mode name; throws StoreFormatError. */
-core::ProtectionMode modeFromName(const std::string &name);
 
 /** @return the memory-model name used in keys. */
 const char *memoryModelName(sim::MemoryModel model);

@@ -332,9 +332,13 @@ McfWorkload::scoreFidelity(const std::vector<uint8_t> &golden,
         score.acceptable = false;
         return score;
     }
-    score.value = ref.cost != 0
-                      ? 100.0 * (got.cost - ref.cost) / ref.cost
-                      : 0.0;
+    // 64-bit difference: a corrupted-yet-feasible schedule can carry
+    // a cost near INT32_MIN, and the int32 subtraction overflowed.
+    score.value =
+        ref.cost != 0
+            ? 100.0 * static_cast<double>(int64_t{got.cost} - ref.cost) /
+                  ref.cost
+            : 0.0;
     score.acceptable = got.cost == ref.cost;
     return score;
 }

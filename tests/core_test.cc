@@ -72,7 +72,7 @@ TEST(StudyTest, CellBookkeeping)
     auto cell = study.runCell(3, ProtectionMode::Unprotected, 8);
     EXPECT_EQ(cell.trials, 8u);
     EXPECT_EQ(cell.errors, 3u);
-    EXPECT_EQ(cell.mode, ProtectionMode::Unprotected);
+    EXPECT_EQ(cell.policy, "unprotected");
     EXPECT_EQ(cell.completed + cell.crashed + cell.timedOut,
               cell.trials);
     EXPECT_EQ(cell.fidelities.size(), cell.completed);

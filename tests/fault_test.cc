@@ -94,8 +94,11 @@ TEST(PlanTest, SamplesWithinStream)
     EXPECT_TRUE(std::is_sorted(plan.sites.begin(), plan.sites.end()));
     for (uint64_t site : plan.sites)
         EXPECT_LT(site, 1000u);
-    for (unsigned bit : plan.bits)
-        EXPECT_LT(bit, 32u);
+    for (uint32_t mask : plan.masks) {
+        EXPECT_NE(mask, 0u);
+        // Single-flip model: every mask is one-hot.
+        EXPECT_EQ(mask & (mask - 1), 0u);
+    }
 }
 
 TEST(PlanTest, MoreErrorsThanStreamClamps)
@@ -111,7 +114,7 @@ TEST(PlanTest, DeterministicBySeed)
     auto planA = samplePlan(5000, 25, a);
     auto planB = samplePlan(5000, 25, b);
     EXPECT_EQ(planA.sites, planB.sites);
-    EXPECT_EQ(planA.bits, planB.bits);
+    EXPECT_EQ(planA.masks, planB.masks);
 }
 
 // ---- injector ------------------------------------------------------------------
@@ -126,7 +129,7 @@ TEST(InjectorTest, FlipsExactlyPlannedSites)
     // Flip bit 0 of the 2nd dynamic execution of instruction 4.
     InjectionPlan plan;
     plan.sites = {1};
-    plan.bits = {0};
+    plan.masks = {1u << 0};
     Injector injector(injectable, plan);
 
     sim::Simulator sim(prog);
@@ -166,7 +169,7 @@ TEST(InjectorTest, PcFlipOnBranchDisturbsControl)
 
     InjectionPlan plan;
     plan.sites = {0};
-    plan.bits = {20}; // high bit -> wild PC
+    plan.masks = {1u << 20}; // high bit -> wild PC
     Injector injector(injectable, plan);
     sim::Simulator sim(prog);
     auto result = sim.run(10000, &injector);
@@ -192,7 +195,7 @@ TEST(InjectorTest, StoreFlipCorruptsMemory)
     injectable[2] = true;
     InjectionPlan plan;
     plan.sites = {0};
-    plan.bits = {0};
+    plan.masks = {1u << 0};
     Injector injector(injectable, plan);
     sim::Simulator sim(prog);
     ASSERT_TRUE(sim.run(0, &injector).completed());

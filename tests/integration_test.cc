@@ -135,7 +135,7 @@ TEST_P(BitSweepTest, OutputFlipsExactlyThatBit)
 
     fault::InjectionPlan plan;
     plan.sites = {0};
-    plan.bits = {bit};
+    plan.masks = {uint32_t{1} << bit};
     fault::Injector injector(injectable, plan);
     sim::Simulator sim(prog);
     ASSERT_TRUE(sim.run(0, &injector).completed());

@@ -36,7 +36,7 @@ void
 expectSummariesIdentical(const CellSummary &a, const CellSummary &b)
 {
     EXPECT_EQ(a.errors, b.errors);
-    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_EQ(a.policy, b.policy);
     EXPECT_EQ(a.trials, b.trials);
     EXPECT_EQ(a.completed, b.completed);
     EXPECT_EQ(a.crashed, b.crashed);
@@ -284,7 +284,7 @@ TEST_F(OrchestrationTest, RenderingFromStoredRecordsIsByteIdentical)
         bench::runSweep(*workload, study, makeSweepConfig(*exp, opts));
 
     testing::internal::CaptureStdout();
-    bench::renderExperiment(*exp, points);
+    bench::renderExperiment(*exp, exp->policies, points);
     std::string live = testing::internal::GetCapturedStdout();
 
     // Rebuild every point purely from the store.
@@ -295,24 +295,21 @@ TEST_F(OrchestrationTest, RenderingFromStoredRecordsIsByteIdentical)
     for (unsigned errors : exp->errorCounts) {
         bench::SweepPoint point;
         point.errors = errors;
-        auto load = [&](ProtectionMode mode) {
+        auto load = [&](const std::string &policy) {
             auto key =
                 core::makeCellKey(*workload, protection, cfg, errors,
-                                  mode, trials);
+                                  policy, trials);
             auto summary = cache.loadCell(key);
             EXPECT_TRUE(summary.has_value());
             return summary ? *summary : CellSummary{};
         };
-        point.protectedCell = load(ProtectionMode::Protected);
-        if (exp->runUnprotected) {
-            point.hasUnprotected = true;
-            point.unprotectedCell = load(ProtectionMode::Unprotected);
-        }
+        for (const auto &policy : exp->policies)
+            point.cells.push_back(load(policy));
         stored.push_back(std::move(point));
     }
 
     testing::internal::CaptureStdout();
-    bench::renderExperiment(*exp, stored);
+    bench::renderExperiment(*exp, exp->policies, stored);
     std::string reported = testing::internal::GetCapturedStdout();
     EXPECT_EQ(live, reported);
 }

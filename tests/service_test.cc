@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/experiments.hh"
+#include "fault/policy.hh"
 #include "service/client.hh"
 #include "service/http_server.hh"
 #include "service/scheduler.hh"
@@ -207,6 +208,63 @@ TEST_F(ServiceTest, SubmitPollFetchAndFigureByteIdentity)
     std::ostringstream offline;
     bench::renderExperiment(offline, *exp, sweep.points);
     EXPECT_EQ(figure.body, offline.str());
+}
+
+TEST_F(ServiceTest, PolicyRegistryEndpointMirrorsTheCliRows)
+{
+    auto response = client().get("/v1/policies");
+    ASSERT_EQ(response.status, 200) << response.body;
+    EXPECT_EQ(response.contentType, "application/json");
+    auto parsed = store::parseJson(response.body);
+    const auto &rows = parsed.at("policies").elements;
+
+    // One shared code path: the endpoint serves exactly the
+    // describeInjectionPolicies() rows `etc_lab policies` prints.
+    auto expected = fault::describeInjectionPolicies();
+    ASSERT_EQ(rows.size(), expected.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].at("name").asString(), expected[i].name);
+        EXPECT_EQ(rows[i].at("description").asString(),
+                  expected[i].description);
+        EXPECT_EQ(rows[i].at("legacy").asBool(), expected[i].legacy);
+        EXPECT_EQ(rows[i].at("scope").asString(), expected[i].scope);
+        EXPECT_EQ(rows[i].at("resultKinds").asString(),
+                  expected[i].resultKinds);
+        EXPECT_EQ(rows[i].at("bitModel").asString(),
+                  expected[i].bitModel);
+        EXPECT_EQ(rows[i].at("hash").asString(), expected[i].hash);
+    }
+}
+
+TEST_F(ServiceTest, NonLegacyPolicyCellRunsOverHttp)
+{
+    startWorkers();
+    auto submitted = submit(
+        std::string("{\"experiment\":\"") + EXPERIMENT +
+        "\",\"errors\":1,\"policy\":\"control-only\"}");
+    ASSERT_EQ(submitted.status, 202) << submitted.body;
+    auto outcome = store::parseJson(submitted.body);
+    EXPECT_EQ(outcome.at("cells").asU64(), 1u);
+
+    auto final = store::parseJson(
+        awaitJob(outcome.at("job").asString()));
+    EXPECT_EQ(final.at("state").asString(), "done");
+    const auto &cell = final.at("cells").elements.at(0);
+    EXPECT_EQ(cell.at("policy").asString(), "control-only");
+    EXPECT_EQ(cell.at("trialsExecuted").asU64(), 8u);
+
+    // The stored record is fetchable and self-describes its policy,
+    // descriptor hash included.
+    auto record =
+        client().get("/v1/cells/" + cell.at("key").asString());
+    ASSERT_EQ(record.status, 200) << record.body;
+    auto parsed = store::parseJson(record.body);
+    EXPECT_EQ(parsed.at("key").at("policy").asString(),
+              "control-only");
+    EXPECT_EQ(parsed.at("key").at("policyHash").asString(),
+              fault::findInjectionPolicy("control-only")
+                  ->descriptorHashHex());
+    EXPECT_EQ(parsed.at("summary").at("trials").asU64(), 8u);
 }
 
 TEST_F(ServiceTest, WarmCacheSubmissionExecutesZeroTrials)

@@ -679,7 +679,7 @@ TEST(TracerTest, ChainsToInjectorAndSeesFlippedValue)
     injectable[0] = true;
     etc::fault::InjectionPlan plan;
     plan.sites = {0};
-    plan.bits = {5};
+    plan.masks = {1u << 5};
     etc::fault::Injector injector(injectable, plan);
     Simulator sim(prog);
     Tracer tracer(8, &injector);

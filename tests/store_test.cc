@@ -34,7 +34,7 @@ sampleKey(unsigned trials = 8)
 {
     CellKey key;
     key.workload = "gsm";
-    key.mode = "protected";
+    key.policy = "protected";
     key.errors = 5;
     key.trials = trials;
     key.seed = 0xbe7cull;
@@ -49,7 +49,7 @@ sampleSummary(unsigned trials = 8)
 {
     core::CellSummary summary;
     summary.errors = 5;
-    summary.mode = core::ProtectionMode::Protected;
+    summary.policy = "protected";
     summary.trials = trials;
     summary.completed = trials - 3;
     summary.crashed = 2;
@@ -79,7 +79,7 @@ expectSummariesIdentical(const core::CellSummary &a,
                          const core::CellSummary &b)
 {
     EXPECT_EQ(a.errors, b.errors);
-    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_EQ(a.policy, b.policy);
     EXPECT_EQ(a.trials, b.trials);
     EXPECT_EQ(a.completed, b.completed);
     EXPECT_EQ(a.crashed, b.crashed);
@@ -111,13 +111,14 @@ TEST(CellKeyTest, CanonicalFormCoversEveryField)
     // Any field change must change the identity and the fingerprint.
     for (auto mutate : std::vector<std::function<void(CellKey &)>>{
              [](CellKey &k) { k.workload = "art"; },
-             [](CellKey &k) { k.mode = "unprotected"; },
+             [](CellKey &k) { k.policy = "unprotected"; },
              [](CellKey &k) { k.errors += 1; },
              [](CellKey &k) { k.trials += 1; },
              [](CellKey &k) { k.seed += 1; },
              [](CellKey &k) { k.budgetFactor += 0.5; },
              [](CellKey &k) { k.memoryModel = "strict"; },
-             [](CellKey &k) { k.programHash = "0x1"; }}) {
+             [](CellKey &k) { k.programHash = "0x1"; },
+             [](CellKey &k) { k.policyHash = "0xdeadbeef"; }}) {
         CellKey other = sampleKey();
         mutate(other);
         EXPECT_FALSE(other == key);
@@ -187,7 +188,7 @@ TEST(RecordCodecTest, EmptyCellRoundTrips)
     CellKey key = sampleKey(3);
     core::CellSummary summary;
     summary.errors = key.errors;
-    summary.mode = core::ProtectionMode::Protected;
+    summary.policy = "protected";
     summary.trials = 3;
     summary.crashed = 3; // nothing completed: no fidelity lines
     auto decoded = decodeCellRecord(encodeCellRecord(key, summary), &key);

@@ -4,16 +4,29 @@
  * workload, static-analysis throughput, assembler throughput, and the
  * injector hook's overhead. These size the experimental harness, not
  * the paper's results.
+ *
+ * `bench_micro --json-out FILE` skips the google-benchmark suites and
+ * instead writes a machine-readable campaign-throughput snapshot: one
+ * record per registry workload x checkpointing on/off x static-prune
+ * on/off (Test scale, unprotected policy), the source of the repo's
+ * BENCH_campaign.json perf trajectory.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "analysis/control_protection.hh"
 #include "asm/assembler.hh"
 #include "fault/campaign.hh"
 #include "fault/injection.hh"
+#include "fault/policy.hh"
 #include "sim/checkpoint.hh"
 #include "sim/simulator.hh"
 #include "workloads/workload.hh"
@@ -209,6 +222,120 @@ BM_WorkloadConstruction(benchmark::State &state)
 }
 BENCHMARK(BM_WorkloadConstruction);
 
+/** Readable double for the JSON snapshot (locale-independent). */
+std::string
+jsonDouble(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+}
+
+/**
+ * The --json-out snapshot: campaign throughput per registry workload
+ * under the unprotected legacy policy, with checkpointed trial
+ * fast-forwarding and static pruning each toggled -- the two
+ * result-invariant accelerations the campaign layer stacks.
+ */
+int
+campaignSnapshot(const std::string &path)
+{
+    const fault::InjectionPolicy &policy =
+        fault::resolveInjectionPolicy(fault::UNPROTECTED_POLICY);
+    const uint64_t checkpointIntervals[] = {
+        0, fault::CampaignRunner::DEFAULT_CHECKPOINT_INTERVAL};
+
+    std::ostringstream out;
+    out << "{\"benchmark\":\"campaign\",\"scale\":\"test\","
+           "\"records\":[";
+    bool first = true;
+    for (const auto &name : workloads::workloadNames()) {
+        auto workload =
+            workloads::createWorkload(name, workloads::Scale::Test);
+        auto injectable =
+            fault::injectableWithoutProtection(workload->program());
+        for (uint64_t interval : checkpointIntervals) {
+            for (bool prune : {false, true}) {
+                fault::CampaignRunner runner(
+                    workload->program(), injectable,
+                    sim::MemoryModel::Lenient, interval,
+                    policy.resultKinds, policy.bitModel, prune);
+                fault::CampaignConfig config;
+                config.trials = 48;
+                config.errors = 1;
+                config.threads = 1;
+                auto started = std::chrono::steady_clock::now();
+                auto result = runner.run(config);
+                std::chrono::duration<double> elapsed =
+                    std::chrono::steady_clock::now() - started;
+                double wall = elapsed.count();
+                if (!first)
+                    out << ',';
+                first = false;
+                out << "{\"workload\":\"" << name << "\","
+                    << "\"policy\":\"" << policy.name << "\","
+                    << "\"trials\":" << result.trials << ","
+                    << "\"errors\":" << config.errors << ","
+                    << "\"completed\":" << result.completed << ","
+                    << "\"checkpoint_interval\":" << interval << ","
+                    << "\"static_prune\":"
+                    << (prune ? "true" : "false") << ","
+                    << "\"trials_pruned\":" << result.trialsPruned
+                    << ","
+                    << "\"golden_instructions\":"
+                    << runner.goldenInstructions() << ","
+                    << "\"wall_s\":" << jsonDouble(wall) << ","
+                    << "\"trials_per_sec\":"
+                    << jsonDouble(wall > 0.0 ? result.trials / wall
+                                             : 0.0)
+                    << "}";
+                std::cerr << "bench_micro: " << name << " ckpt="
+                          << interval << " prune=" << prune << " "
+                          << jsonDouble(wall > 0.0
+                                            ? result.trials / wall
+                                            : 0.0)
+                          << " trials/s (" << result.trialsPruned
+                          << " pruned)\n";
+            }
+        }
+    }
+    out << "]}\n";
+
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file) {
+        std::cerr << "bench_micro: cannot write " << path << "\n";
+        return 1;
+    }
+    file << out.str();
+    return file.good() ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string jsonOut;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json-out" && i + 1 < argc) {
+            jsonOut = argv[++i];
+        } else if (arg.rfind("--json-out=", 0) == 0) {
+            jsonOut = arg.substr(11);
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    if (!jsonOut.empty())
+        return campaignSnapshot(jsonOut);
+
+    int restc = static_cast<int>(rest.size());
+    benchmark::Initialize(&restc, rest.data());
+    if (benchmark::ReportUnrecognizedArguments(restc, rest.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -24,8 +24,9 @@ usage(const char *program, int status)
 {
     std::cerr << "usage: " << program
               << " [--threads N] [--trials N] [--policy NAME]...\n"
-                 "       [--checkpoint-interval N] [--seed S]"
-                 " [--cache-dir DIR] [--no-cache] [--shard i/N]\n"
+                 "       [--checkpoint-interval N] [--static-prune]"
+                 " [--seed S]\n"
+                 "       [--cache-dir DIR] [--no-cache] [--shard i/N]\n"
               << "  --threads N  campaign worker threads (0 = all "
                  "cores; default 0)\n"
               << "  --trials N   trials per campaign cell (>= 1; omit "
@@ -42,6 +43,10 @@ usage(const char *program, int status)
                  "default "
               << fault::CampaignRunner::DEFAULT_CHECKPOINT_INTERVAL
               << "). Results are identical either way.\n"
+              << "  --static-prune  synthesize provably-masked trials "
+                 "instead of simulating\n"
+                 "               them. Results are identical either "
+                 "way.\n"
               << "  --seed S     master study seed (decimal or 0x hex; "
                  "default "
               << core::StudyConfig{}.seed << ")\n"
@@ -162,6 +167,8 @@ try {
             opts.cacheDir = *dir;
         } else if (arg == "--no-cache") {
             opts.noCache = true;
+        } else if (arg == "--static-prune") {
+            opts.staticPrune = true;
         } else if (auto shard = valueOf("--shard")) {
             parseShardSpec(*shard, opts.shardIndex, opts.shardCount);
         } else {
@@ -194,7 +201,10 @@ emitCellJson(const std::string &workloadName, const std::string &policy,
          << "\"wall_s\":" << cell.wallSeconds << ","
          << "\"trials_per_sec\":" << cell.trialsPerSecond() << ","
          << "\"total_instructions\":" << cell.totalInstructions << ","
+         << "\"trials_pruned\":" << cell.trialsPruned << ","
          << "\"checkpoint_interval\":" << config.checkpointInterval << ","
+         << "\"static_prune\":" << (config.staticPrune ? "true" : "false")
+         << ","
          << "\"threads\":" << config.threads << "}";
     // stderr, with the progress lines: stdout holds only reproduced
     // results and must stay byte-identical across thread counts and

@@ -83,6 +83,11 @@ struct BenchOptions
     /** --no-cache: ignore --cache-dir and any stored records. */
     bool noCache = false;
 
+    /** --static-prune: skip simulating trials whose every drawn flip
+     *  the masked-fault prover proved harmless (bit-identical
+     *  results; see core::StudyConfig::staticPrune). */
+    bool staticPrune = false;
+
     /** --shard i/N: run only trial stripe i of N per cell (persisting
      *  shard records) instead of rendering the figure. shardCount == 0
      *  means not sharded. */
@@ -107,6 +112,7 @@ struct BenchOptions
         config.checkpointInterval = checkpointInterval;
         config.seed = seed;
         config.cacheDir = noCache ? std::string() : cacheDir;
+        config.staticPrune = staticPrune;
     }
 };
 
@@ -123,6 +129,9 @@ struct BenchOptions
  *   --checkpoint-interval N  instructions between golden-run checkpoints
  *                            (0 = disable trial fast-forwarding; default
  *                            8192). Never changes reproduced numbers.
+ *   --static-prune           synthesize provably-masked trials instead
+ *                            of simulating them. Never changes
+ *                            reproduced numbers.
  *   --seed S                 master study seed (decimal or 0x hex);
  *                            cells and cache keys derive from it
  *   --cache-dir DIR          persist campaign cells to the result store
@@ -178,7 +187,8 @@ const fault::InjectionPolicy &parsePolicyName(const std::string &name);
  *
  *   BENCH_JSON {"workload":...,"policy":...,"errors":...,"trials":...,
  *               "wall_s":...,"trials_per_sec":...,
- *               "total_instructions":...,"checkpoint_interval":...,
+ *               "total_instructions":...,"trials_pruned":...,
+ *               "checkpoint_interval":...,"static_prune":...,
  *               "threads":...}
  */
 void emitCellJson(const std::string &workloadName,

@@ -10,7 +10,9 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/lint.hh"
 #include "bench/experiments.hh"
+#include "core/vulnerability_report.hh"
 #include "service/client.hh"
 #include "service/http_server.hh"
 #include "service/scheduler.hh"
@@ -28,9 +30,10 @@ namespace {
 struct LabOptions
 {
     std::string command;    //!< run | resume | merge | report | list
-                            //!< | policies | serve | submit | status
-                            //!< | fetch
+                            //!< | policies | analyze | lint | serve
+                            //!< | submit | status | fetch
     std::string experiment; //!< registry name (--experiment)
+    std::string workload;   //!< analyze/lint: registry workload name
     unsigned chunks = 4;    //!< shard records per cell during run
     BenchOptions bench;     //!< the shared campaign knobs (--policy
                             //!< lands in bench.policies)
@@ -69,6 +72,15 @@ usage(int status)
            "          print the injection-policy registry (name,\n"
            "          description, result kinds, bit model) -- the\n"
            "          same rows GET /v1/policies serves\n"
+           "  analyze print the static ACE/AVF vulnerability report of\n"
+           "          one workload (--workload; --policy to pick the\n"
+           "          classified policies) -- the same bytes\n"
+           "          GET /v1/analysis/<workload> serves\n"
+           "  lint    run the assembly lint (CFG well-formedness,\n"
+           "          unreachable code, uninitialized reads, stack\n"
+           "          discipline, injectable-bitmap consistency) over\n"
+           "          one workload (--workload) or the whole registry;\n"
+           "          nonzero exit on findings\n"
            "\n"
            "campaign-service subcommands:\n"
            "  serve   run the HTTP campaign daemon: submitted jobs\n"
@@ -102,6 +114,13 @@ usage(int status)
            "  --seed S                 master study seed (decimal or 0x"
            " hex)\n"
            "  --checkpoint-interval N  golden-run checkpoint spacing\n"
+           "  --static-prune           synthesize provably-masked\n"
+           "                           trials instead of simulating\n"
+           "                           them (results are identical\n"
+           "                           either way)\n"
+           "  --workload NAME          analyze/lint: the registry\n"
+           "                           workload to analyze (lint\n"
+           "                           defaults to all)\n"
            "  --shard i/N              run only trial stripe i of N per\n"
            "                           cell, then exit (no rendering)\n"
            "  --chunks N               shard records per cell while\n"
@@ -146,8 +165,8 @@ parseLabArgs(int argc, char **argv)
     if (opts.command == "--help" || opts.command == "-h")
         usage(0);
     const std::vector<std::string> commands = {
-        "run",  "resume", "merge",  "report", "list", "policies",
-        "serve", "submit", "status", "fetch"};
+        "run",     "resume", "merge",  "report", "list", "policies",
+        "analyze", "lint",   "serve",  "submit", "status", "fetch"};
     if (std::find(commands.begin(), commands.end(), opts.command) ==
         commands.end()) {
         std::cerr << "etc_lab: unknown subcommand '" << opts.command
@@ -189,6 +208,10 @@ parseLabArgs(int argc, char **argv)
             opts.bench.checkpointInterval =
                 parseCountValue("--checkpoint-interval", *interval,
                                 std::numeric_limits<uint64_t>::max());
+        } else if (arg == "--static-prune") {
+            opts.bench.staticPrune = true;
+        } else if (auto workload = valueOf("--workload")) {
+            opts.workload = *workload;
         } else if (auto shard = valueOf("--shard")) {
             parseShardSpec(*shard, opts.bench.shardIndex,
                            opts.bench.shardCount);
@@ -238,6 +261,23 @@ parseLabArgs(int argc, char **argv)
     if (opts.bench.sharded() && !cached)
         fatal("--shard requires --cache-dir (the stripe's results "
               "must be persisted somewhere)");
+    if (!opts.workload.empty()) {
+        auto names = workloads::workloadNames();
+        if (std::find(names.begin(), names.end(), opts.workload) ==
+            names.end())
+            fatal("unknown workload '", opts.workload,
+                  "' (available: ", [&names] {
+                      std::string list;
+                      for (const auto &name : names) {
+                          if (!list.empty())
+                              list += ", ";
+                          list += name;
+                      }
+                      return list;
+                  }(), ")");
+    }
+    if (opts.command == "analyze" && opts.workload.empty())
+        fatal("analyze requires --workload NAME");
     if (opts.command == "serve" && !cached)
         fatal("serve requires --cache-dir (jobs persist to and resume "
               "from the result store)");
@@ -508,6 +548,49 @@ labList()
 }
 
 int
+labAnalyze(const LabOptions &opts)
+{
+    auto workload = workloads::createWorkload(opts.workload);
+    // The exact bytes GET /v1/analysis/<workload> serves (when run
+    // with the default policy pair).
+    std::cout << core::renderVulnerabilityReport(
+        core::buildVulnerabilityReport(*workload, opts.bench.policies));
+    return 0;
+}
+
+int
+labLint(const LabOptions &opts)
+{
+    std::vector<std::string> names;
+    if (!opts.workload.empty())
+        names.push_back(opts.workload);
+    else
+        names = workloads::workloadNames();
+
+    size_t totalFindings = 0;
+    for (const auto &name : names) {
+        auto workload = workloads::createWorkload(name);
+        analysis::LintReport report =
+            analysis::lintProgram(workload->program());
+        // The tag bitmap the campaigns inject under: lint it against
+        // every registered policy's invariants too.
+        auto protection = core::computeStudyProtection(
+            *workload, core::StudyConfig{});
+        analysis::lintInjectable(workload->program(), protection.tagged,
+                                 report);
+        if (report.clean()) {
+            std::cout << name << ": clean\n";
+        } else {
+            std::cout << name << ": " << report.findings.size()
+                      << " finding(s)\n"
+                      << report.toString();
+            totalFindings += report.findings.size();
+        }
+    }
+    return totalFindings ? 1 : 0;
+}
+
+int
 labServe(const LabOptions &opts)
 {
     service::SchedulerConfig config;
@@ -651,6 +734,10 @@ labMain(int argc, char **argv)
             return labList();
         if (opts.command == "policies")
             return labPolicies();
+        if (opts.command == "analyze")
+            return labAnalyze(opts);
+        if (opts.command == "lint")
+            return labLint(opts);
         if (opts.command == "serve")
             return labServe(opts);
         if (opts.command == "submit")

@@ -1,0 +1,298 @@
+#include "analysis/lint.hh"
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "analysis/flowgraph.hh"
+#include "analysis/liveness.hh"
+#include "fault/policy.hh"
+#include "isa/registers.hh"
+#include "support/logging.hh"
+
+namespace etc::analysis {
+
+using namespace isa;
+
+namespace {
+
+void
+report(LintReport &out, const char *check, uint32_t index,
+       std::string message)
+{
+    out.findings.push_back(LintFinding{check, index, std::move(message)});
+}
+
+/** Control-transfer targets in range, calls landing on function
+ *  entries, conditional branches staying inside their function.
+ *  @return true when every target is inside the code (graph-based
+ *  checks only make sense then). */
+bool
+checkCfg(const assembly::Program &program, LintReport &out)
+{
+    const uint32_t n = program.size();
+    bool targetsInRange = true;
+    for (uint32_t i = 0; i < n; ++i) {
+        const Instruction &ins = program.code[i];
+        bool hasTarget = ins.isConditionalBranch() ||
+                         ins.op == Opcode::J || ins.op == Opcode::JAL;
+        if (!hasTarget)
+            continue;
+        if (ins.target >= n) {
+            report(out, "cfg", i,
+                   "control transfer to out-of-code target " +
+                       std::to_string(ins.target) + ": " +
+                       ins.toString());
+            targetsInRange = false;
+            continue;
+        }
+        if (ins.op == Opcode::JAL) {
+            auto callee = program.functionContaining(ins.target);
+            if (!callee ||
+                program.functions[*callee].begin != ins.target)
+                report(out, "cfg", i,
+                       "call does not land on a function entry: " +
+                           ins.toString());
+        } else if (ins.isConditionalBranch()) {
+            auto here = program.functionContaining(i);
+            auto there = program.functionContaining(ins.target);
+            if (here && there != here)
+                report(out, "cfg", i,
+                       "branch escapes its function: " +
+                           ins.toString());
+        }
+    }
+    return targetsInRange;
+}
+
+/** Instructions unreachable from the entry, one finding per range. */
+void
+checkUnreachable(const assembly::Program &program, const FlowGraph &graph,
+                 LintReport &out)
+{
+    const uint32_t n = program.size();
+    std::vector<bool> reached(n, false);
+    std::deque<uint32_t> worklist;
+    if (program.entry < n) {
+        reached[program.entry] = true;
+        worklist.push_back(program.entry);
+    }
+    while (!worklist.empty()) {
+        uint32_t i = worklist.front();
+        worklist.pop_front();
+        for (uint32_t s : graph.successors(i)) {
+            if (!reached[s]) {
+                reached[s] = true;
+                worklist.push_back(s);
+            }
+        }
+    }
+    for (uint32_t i = 0; i < n;) {
+        if (reached[i]) {
+            ++i;
+            continue;
+        }
+        uint32_t j = i;
+        while (j < n && !reached[j])
+            ++j;
+        report(out, "unreachable", i,
+               "instructions [" + std::to_string(i) + ", " +
+                   std::to_string(j) + ") are unreachable from the entry");
+        i = j;
+    }
+}
+
+/** Registers readable before any write. The simulator initializes
+ *  $sp and $ra (and $zero is hardwired); anything else live-in at the
+ *  entry is a read of a default-zero register. */
+void
+checkUninitReads(const assembly::Program &program, const FlowGraph &graph,
+                 LintReport &out)
+{
+    if (program.entry >= program.size())
+        return;
+    LivenessResult liveness = computeLiveness(program, graph);
+    const LocSet &entryLive = liveness.liveIn[program.entry];
+    for (unsigned r = 0; r < NUM_REGS; ++r) {
+        if (r == REG_ZERO || r == REG_SP || r == REG_RA)
+            continue;
+        if (entryLive.test(r))
+            report(out, "uninit-read", program.entry,
+                   std::string("register ") +
+                       regName(static_cast<RegId>(r)) +
+                       " may be read before it is written");
+    }
+}
+
+/**
+ * $sp discipline, per function: the offset from the frame entry is
+ * tracked through the intra-function CFG; only `addi $sp, $sp, imm`
+ * may change it, joins must agree, and returns must be balanced.
+ */
+void
+checkStack(const assembly::Program &program, const FlowGraph &graph,
+           LintReport &out)
+{
+    for (const auto &fn : program.functions) {
+        if (fn.begin >= fn.end || fn.end > program.size())
+            continue;
+        // offset[i]: $sp displacement entering instruction i, or unset.
+        std::map<uint32_t, int64_t> offset;
+        std::deque<uint32_t> worklist;
+        offset[fn.begin] = 0;
+        worklist.push_back(fn.begin);
+        while (!worklist.empty()) {
+            uint32_t i = worklist.front();
+            worklist.pop_front();
+            int64_t at = offset[i];
+            const Instruction &ins = program.code[i];
+
+            int64_t after = at;
+            auto def = ins.def();
+            if (def && *def == REG_SP) {
+                if (ins.op == Opcode::ADDI && ins.rs == REG_SP) {
+                    after = at + ins.imm;
+                } else {
+                    report(out, "stack", i,
+                           "stack pointer written by a non-adjustment "
+                           "instruction: " +
+                               ins.toString());
+                    continue; // offset unknowable past this point
+                }
+            }
+            if (ins.op == Opcode::JR) {
+                if (after != 0)
+                    report(out, "stack", i,
+                           "return with unbalanced stack (offset " +
+                               std::to_string(after) + ")");
+                continue;
+            }
+            // Stay inside the function: a call's interprocedural
+            // edges (and its return sites) keep $sp balanced by the
+            // callee's own discipline, so treat calls as straight-
+            // through and follow only intra-function edges.
+            std::vector<uint32_t> succs;
+            if (ins.op == Opcode::JAL || ins.op == Opcode::JALR) {
+                if (i + 1 < fn.end)
+                    succs.push_back(i + 1);
+            } else {
+                for (uint32_t s : graph.successors(i))
+                    if (s >= fn.begin && s < fn.end)
+                        succs.push_back(s);
+            }
+            for (uint32_t s : succs) {
+                auto found = offset.find(s);
+                if (found == offset.end()) {
+                    offset[s] = after;
+                    worklist.push_back(s);
+                } else if (found->second != after) {
+                    report(out, "stack", s,
+                           "joining paths disagree on the stack offset (" +
+                               std::to_string(found->second) + " vs " +
+                               std::to_string(after) + ")");
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::string
+LintReport::toString() const
+{
+    std::string out;
+    for (const auto &finding : findings) {
+        out += finding.check;
+        out += " @";
+        out += std::to_string(finding.index);
+        out += ": ";
+        out += finding.message;
+        out += '\n';
+    }
+    return out;
+}
+
+LintReport
+lintProgram(const assembly::Program &program)
+{
+    LintReport out;
+    bool targetsInRange = checkCfg(program, out);
+    // Graph-based checks need resolvable edges; with wild targets the
+    // cfg findings already fail the lint, so stop there.
+    if (!targetsInRange)
+        return out;
+    FlowGraph graph(program, /*interprocedural=*/true);
+    checkUnreachable(program, graph, out);
+    checkUninitReads(program, graph, out);
+    checkStack(program, graph, out);
+    return out;
+}
+
+void
+lintInjectable(const assembly::Program &program,
+               const std::vector<bool> &tagged, LintReport &report_)
+{
+    const uint32_t n = program.size();
+    if (tagged.size() != n) {
+        report(report_, "injectable", 0,
+               "tag bitmap size " + std::to_string(tagged.size()) +
+                   " does not match code size " + std::to_string(n));
+        return;
+    }
+    // The paper's contract: tags mark def-bearing ALU results only.
+    for (uint32_t i = 0; i < n; ++i) {
+        if (!tagged[i])
+            continue;
+        const Instruction &ins = program.code[i];
+        if (!ins.isAlu() || !ins.def())
+            report(report_, "injectable", i,
+                   "tagged instruction is not a def-bearing ALU op: " +
+                       ins.toString());
+    }
+    // Policy-layer invariants, for every registered policy.
+    for (const auto &policy : fault::injectionPolicies()) {
+        std::vector<bool> bitmap =
+            policy.injectableBitmap(program, tagged);
+        for (uint32_t i = 0; i < n; ++i) {
+            if (!bitmap[i])
+                continue;
+            const Instruction &ins = program.code[i];
+            bool corruptible =
+                ((policy.resultKinds & fault::RK_REGISTER) &&
+                 ins.def()) ||
+                ((policy.resultKinds & fault::RK_CONTROL) &&
+                 ins.isControl()) ||
+                ((policy.resultKinds & fault::RK_MEMORY) &&
+                 ins.isStore());
+            if (!corruptible)
+                report(report_, "injectable", i,
+                       "policy '" + policy.name +
+                           "' marks a site with no corruptible "
+                           "result kind: " +
+                           ins.toString());
+            if (policy.scope == fault::TagScope::Tagged && !tagged[i])
+                report(report_, "injectable", i,
+                       "policy '" + policy.name +
+                           "' escapes its tagged scope: " +
+                           ins.toString());
+        }
+    }
+    // The paper's protected set must be a subset of the unprotected
+    // set (protection only ever removes targets).
+    const auto &prot = fault::resolveInjectionPolicy(
+        fault::PROTECTED_POLICY);
+    const auto &unprot = fault::resolveInjectionPolicy(
+        fault::UNPROTECTED_POLICY);
+    std::vector<bool> protBitmap = prot.injectableBitmap(program, tagged);
+    std::vector<bool> unprotBitmap =
+        unprot.injectableBitmap(program, tagged);
+    for (uint32_t i = 0; i < n; ++i)
+        if (protBitmap[i] && !unprotBitmap[i])
+            report(report_, "injectable", i,
+                   "protected-policy site missing from the "
+                   "unprotected set: " +
+                       program.code[i].toString());
+}
+
+} // namespace etc::analysis

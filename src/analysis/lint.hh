@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Assembly lint: structural and dataflow sanity checks over assembled
+ * programs, reported as findings instead of panics so they can gate a
+ * build (`etc_lab lint`, the CI lint step) and be unit-tested against
+ * deliberately malformed programs.
+ *
+ * Checks:
+ *
+ *   cfg          control-transfer targets inside the code, calls that
+ *                land on a function entry, conditional branches that
+ *                stay inside their function
+ *   unreachable  instructions no interprocedural path from the entry
+ *                reaches (reported as one finding per dead range)
+ *   uninit-read  registers (other than $zero and the simulator-
+ *                initialized $sp/$ra) that are live-in at the program
+ *                entry, i.e. readable before any write
+ *   stack        $sp discipline: only `addi $sp, $sp, imm` may move
+ *                the stack pointer, frames must be balanced (offset 0)
+ *                at every return, and joins must agree on the offset
+ *   injectable   policy-layer invariants on this program: tagged
+ *                instructions are def-bearing ALU ops, every
+ *                injectable site has a corruptible result kind, and
+ *                the protected set is a subset of the unprotected one
+ */
+
+#ifndef ETC_ANALYSIS_LINT_HH
+#define ETC_ANALYSIS_LINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+
+namespace etc::analysis {
+
+/** One lint finding. */
+struct LintFinding
+{
+    std::string check;   //!< check identifier ("cfg", "stack", ...)
+    uint32_t index = 0;  //!< static instruction index it anchors to
+    std::string message; //!< human-readable description
+};
+
+/** All findings over one program. */
+struct LintReport
+{
+    std::vector<LintFinding> findings;
+
+    bool clean() const { return findings.empty(); }
+
+    /** "check @index: message" lines, one per finding. */
+    std::string toString() const;
+};
+
+/**
+ * Run the structural and dataflow checks (cfg / unreachable /
+ * uninit-read / stack) over @p program.
+ */
+LintReport lintProgram(const assembly::Program &program);
+
+/**
+ * Run the injectable-bitmap consistency checks against the CVar tag
+ * bitmap and every registered injection policy, appending findings to
+ * @p report.
+ *
+ * @param tagged the CVar analysis tag bitmap (one per instruction)
+ */
+void lintInjectable(const assembly::Program &program,
+                    const std::vector<bool> &tagged, LintReport &report);
+
+} // namespace etc::analysis
+
+#endif // ETC_ANALYSIS_LINT_HH

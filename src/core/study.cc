@@ -143,7 +143,7 @@ ErrorToleranceStudy::runner(const fault::InjectionPolicy &policy)
         slot = std::make_unique<fault::CampaignRunner>(
             workload_.program(), std::move(injectable),
             config_.memoryModel, config_.checkpointInterval,
-            policy.resultKinds, policy.bitModel);
+            policy.resultKinds, policy.bitModel, config_.staticPrune);
     }
     return *slot;
 }
@@ -197,6 +197,7 @@ ErrorToleranceStudy::computeRange(unsigned errors,
     summary.completed = result.completed;
     summary.crashed = result.crashed;
     summary.timedOut = result.timedOut;
+    summary.trialsPruned = result.trialsPruned;
     summary.wallSeconds = elapsed.count();
     for (const auto &outcome : result.outcomes) {
         summary.totalInstructions += outcome.run.instructions;
@@ -279,6 +280,7 @@ ErrorToleranceStudy::assembleRange(const store::CellKey &key,
         merged.completed += piece.summary.completed;
         merged.crashed += piece.summary.crashed;
         merged.timedOut += piece.summary.timedOut;
+        merged.trialsPruned += piece.summary.trialsPruned;
         merged.totalInstructions += piece.summary.totalInstructions;
         merged.wallSeconds += piece.summary.wallSeconds;
         merged.fidelities.insert(merged.fidelities.end(),

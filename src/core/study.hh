@@ -109,6 +109,17 @@ struct StudyConfig
      * key -- results are bit-identical across both.
      */
     std::string cacheDir;
+
+    /**
+     * Skip simulating trials whose every drawn flip the masked-fault
+     * prover (analysis/vulnerability.hh) proved harmless (it lands in
+     * provably dead bits of its site's register result), synthesizing
+     * the exact simulator outcome instead. Results are
+     * bit-identical on or off (and therefore, like the thread count
+     * and checkpoint interval, it is not part of the cache key); the
+     * skipped-trial count is reported as CellSummary::trialsPruned.
+     */
+    bool staticPrune = false;
 };
 
 /** Aggregated results of one (error count, policy) campaign cell. */
@@ -120,6 +131,10 @@ struct CellSummary
     unsigned completed = 0;
     unsigned crashed = 0;
     unsigned timedOut = 0;
+
+    /** Trials the static-prune fast path synthesized instead of
+     *  simulating (counted under completed; 0 with pruning off). */
+    uint64_t trialsPruned = 0;
 
     /** Fidelity score of each completed trial. */
     std::vector<workloads::FidelityScore> fidelities;

@@ -6,30 +6,114 @@
 #include <memory>
 #include <mutex>
 
+#include "analysis/vulnerability.hh"
 #include "fault/trial_pool.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 
 namespace etc::fault {
 
+namespace {
+
+/** All flip-mask bits live: the "never prunable" site live mask. */
+constexpr uint32_t LIVE_ALL = 0xffffffffu;
+
+/**
+ * Wraps the golden run's profiling hook and additionally records, per
+ * injectable retire, the site's live mask (the bits a drawn flip must
+ * avoid for the trial to stay provably golden).
+ */
+class PruneMaskRecorder : public sim::ExecHook
+{
+  public:
+    PruneMaskRecorder(sim::ExecHook &inner,
+                      const std::vector<bool> &injectable,
+                      const std::vector<uint32_t> &staticLiveMasks,
+                      std::vector<uint32_t> &masks)
+        : inner_(inner), injectable_(injectable),
+          staticLiveMasks_(staticLiveMasks), masks_(masks)
+    {
+    }
+
+    void
+    onRetire(uint32_t staticIdx, const isa::Instruction &ins,
+             sim::Machine &machine, sim::Memory &memory) override
+    {
+        inner_.onRetire(staticIdx, ins, machine, memory);
+        if (staticIdx < injectable_.size() && injectable_[staticIdx])
+            masks_.push_back(staticLiveMasks_[staticIdx]);
+    }
+
+  private:
+    sim::ExecHook &inner_;
+    const std::vector<bool> &injectable_;
+    const std::vector<uint32_t> &staticLiveMasks_;
+    std::vector<uint32_t> &masks_;
+};
+
+/**
+ * Per static site: the flip-mask bits that are (MAY-)live in the
+ * site's register destination -- a drawn flip mask disjoint from it is
+ * provably harmless (it lands in dead bits, or in bits the hardware
+ * discards: $zero writes, flag bits >= 1). The prune fast path only
+ * ever skips *register-kind* corruptions: flipResult() always performs
+ * (and counts) a register flip, so the synthesized injected count
+ * matches simulation exactly. Sites whose corruption would hit a
+ * control or memory result instead get LIVE_ALL (never prunable), as
+ * does every site when the prover cannot model the program's calls.
+ */
+std::vector<uint32_t>
+computeSiteLiveMasks(const assembly::Program &program,
+                     const std::vector<bool> &injectable,
+                     unsigned resultKinds)
+{
+    analysis::BitFlowResult flow = analysis::computeBitFlow(program);
+    std::vector<uint32_t> masks(program.size(), LIVE_ALL);
+    for (uint32_t i = 0; i < program.size(); ++i) {
+        if (!injectable[i])
+            continue;
+        const isa::Instruction &ins = program.code[i];
+        // Mirror flipResult()'s fixed priority: only sites whose first
+        // corruptible kind is the register destination are prunable.
+        if (!(resultKinds & RK_REGISTER) || !ins.def())
+            continue;
+        isa::RegId def = *ins.def();
+        // liveOut is already empty for $zero (its reads are constant)
+        // and confined to bit 0 for the flag register, matching
+        // exactly the bits Machine::writeFlat() lets a flip reach.
+        masks[i] = flow.liveOut[i][def] &
+                   analysis::registerStoredBits(def);
+    }
+    return masks;
+}
+
+} // namespace
+
 CampaignRunner::CampaignRunner(const assembly::Program &program,
                                std::vector<bool> injectable,
                                sim::MemoryModel model,
                                uint64_t checkpointInterval,
                                unsigned resultKinds,
-                               BitErrorModel bitModel)
+                               BitErrorModel bitModel, bool staticPrune)
     : program_(program), injectable_(std::move(injectable)),
       model_(model), resultKinds_(resultKinds), bitModel_(bitModel),
-      checkpointInterval_(checkpointInterval)
+      checkpointInterval_(checkpointInterval), staticPrune_(staticPrune)
 {
     if (injectable_.size() != program_.size())
         panic("CampaignRunner: injectable bitmap size mismatch");
     injectableBytes_ = sim::toByteMask(injectable_);
 
+    std::vector<uint32_t> staticLiveMasks;
+    if (staticPrune_)
+        staticLiveMasks = computeSiteLiveMasks(program_, injectable_,
+                                               resultKinds_);
+
     // Fault-free profiling run: golden output, dynamic length, and the
     // injectable dynamic count the sampler draws from. With
     // checkpointing enabled the same run also records the periodic
-    // snapshots trials fast-forward to.
+    // snapshots trials fast-forward to; with pruning enabled it also
+    // records the per-retire live masks prunable plans are tested
+    // against.
     sim::Simulator simulator(program_, model_);
     sim::RunResult result;
     if (checkpointInterval_ > 0) {
@@ -38,11 +122,25 @@ CampaignRunner::CampaignRunner(const assembly::Program &program,
         simulator.memory().resetDirtyTracking();
         sim::CheckpointRecorder recorder(injectable_, checkpointInterval_,
                                          simulator, checkpoints_);
-        result = simulator.run(0, &recorder);
+        if (staticPrune_) {
+            PruneMaskRecorder pruneRecorder(recorder, injectable_,
+                                            staticLiveMasks,
+                                            siteLiveMasks_);
+            result = simulator.run(0, &pruneRecorder);
+        } else {
+            result = simulator.run(0, &recorder);
+        }
         injectableDynamic_ = recorder.injectableRetired();
     } else {
         InjectableCounter counter(injectable_);
-        result = simulator.run(0, &counter);
+        if (staticPrune_) {
+            PruneMaskRecorder pruneRecorder(counter, injectable_,
+                                            staticLiveMasks,
+                                            siteLiveMasks_);
+            result = simulator.run(0, &pruneRecorder);
+        } else {
+            result = simulator.run(0, &counter);
+        }
         injectableDynamic_ = counter.count();
     }
     if (!result.completed())
@@ -50,6 +148,12 @@ CampaignRunner::CampaignRunner(const assembly::Program &program,
               result.toString());
     golden_ = simulator.output();
     goldenInstructions_ = result.instructions;
+    for (uint32_t liveMask : siteLiveMasks_)
+        prunableDynamic_ += liveMask != LIVE_ALL ? 1 : 0;
+    if (staticPrune_ && siteLiveMasks_.size() != injectableDynamic_)
+        panic("CampaignRunner: prune mask table size ",
+              siteLiveMasks_.size(), " != injectable dynamic count ",
+              injectableDynamic_);
 }
 
 void
@@ -147,6 +251,7 @@ CampaignRunner::runRange(
     // lands in its own outcome slot, so the aggregate is deterministic
     // for any thread count.
     std::vector<OutcomeTally> tallies(workers);
+    std::vector<uint64_t> prunedCounts(workers, 0);
     std::mutex observerMutex;
 
     TrialPool::run(workers, count, [&](uint64_t i, unsigned w) {
@@ -159,9 +264,30 @@ CampaignRunner::runRange(
                                         config.errors, bitModel_,
                                         trialRng);
 
+        // Static-prune fast path: when every drawn flip lands entirely
+        // in provably dead bits of its site's register result, the
+        // trial retires the exact golden instruction stream with the
+        // exact golden output, and every flip is a (counted) register
+        // write of dead bits -- so the simulator's outcome is known
+        // without running it. The RNG stream was consumed identically
+        // above, keeping later trials untouched.
+        bool pruned = staticPrune_;
+        if (pruned)
+            for (size_t k = 0; k < plan.sites.size(); ++k)
+                if (plan.masks[k] & siteLiveMasks_[plan.sites[k]]) {
+                    pruned = false;
+                    break;
+                }
+
         sim::Simulator &simulator = *simulators[w];
         TrialOutcome &outcome = result.outcomes[i];
-        if (checkpointInterval_ > 0) {
+        if (pruned) {
+            outcome.run.status = sim::RunStatus::Completed;
+            outcome.run.instructions = goldenInstructions_;
+            outcome.run.faultPc = 0;
+            outcome.injected = plan.size();
+            ++prunedCounts[w];
+        } else if (checkpointInterval_ > 0) {
             runTrialFastForward(simulator, plan, budget, outcome);
         } else {
             Injector injector(injectable_, std::move(plan),
@@ -174,7 +300,7 @@ CampaignRunner::runRange(
         switch (outcome.run.status) {
           case sim::RunStatus::Completed:
             ++tallies[w].completed;
-            outcome.output = simulator.output();
+            outcome.output = pruned ? golden_ : simulator.output();
             break;
           case sim::RunStatus::Timeout:
             ++tallies[w].timedOut;
@@ -195,6 +321,10 @@ CampaignRunner::runRange(
     result.completed = static_cast<unsigned>(total.completed);
     result.crashed = static_cast<unsigned>(total.crashed);
     result.timedOut = static_cast<unsigned>(total.timedOut);
+    // An order-insensitive integer sum: deterministic per (seed,
+    // range) no matter how trials were scheduled across workers.
+    for (uint64_t pruned : prunedCounts)
+        result.trialsPruned += pruned;
     // Fed in trial order (floating-point accumulation is partition
     // sensitive, so per-worker partials would not be bit-stable).
     for (const auto &outcome : result.outcomes)
@@ -223,6 +353,7 @@ CampaignRunner::mergeShards(std::vector<CampaignResult> shards)
         merged.completed += shard.completed;
         merged.crashed += shard.crashed;
         merged.timedOut += shard.timedOut;
+        merged.trialsPruned += shard.trialsPruned;
         merged.outcomes.insert(
             merged.outcomes.end(),
             std::make_move_iterator(shard.outcomes.begin()),

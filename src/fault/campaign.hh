@@ -26,6 +26,20 @@
  *
  * "Infinite execution" is detected by an instruction budget of
  * budgetFactor x the golden run's dynamic instruction count.
+ *
+ * Static pruning: with staticPrune enabled, the masked-fault prover
+ * (analysis/vulnerability.hh) computes, per static site, the bits that
+ * are MAY-live in the site's register destination before the golden
+ * run, which then records that live mask per injectable dynamic
+ * instruction. A trial whose every drawn flip mask lands entirely in
+ * dead bits of its site's register result provably retires the exact
+ * golden instruction stream with the exact golden output, so the
+ * runner synthesizes that outcome instead of simulating: same
+ * tallies, same per-trial records, same RNG stream (the plan is still
+ * sampled), same observer calls. Campaign results are bit-identical
+ * with pruning on or off at every thread count -- the same contract
+ * checkpointing keeps -- with the skipped-trial count reported as
+ * CampaignResult::trialsPruned.
  */
 
 #ifndef ETC_FAULT_CAMPAIGN_HH
@@ -73,6 +87,15 @@ struct CampaignResult
     unsigned completed = 0;
     unsigned crashed = 0;   //!< memory fault / bad jump / div0 / overflow
     unsigned timedOut = 0;  //!< "infinite execution"
+
+    /**
+     * Trials whose outcome was synthesized by the static-prune fast
+     * path instead of simulated (always counted under completed;
+     * purely informational -- the records are bit-identical either
+     * way).
+     */
+    uint64_t trialsPruned = 0;
+
     std::vector<TrialOutcome> outcomes;
 
     /**
@@ -119,6 +142,11 @@ class CampaignRunner
      *                           unrestricted behavior)
      * @param bitModel           per-error flip-mask model (default:
      *                           the paper's uniform single flip)
+     * @param staticPrune        synthesize (instead of simulate)
+     *                           trials whose every drawn flip the
+     *                           masked-fault prover proved harmless;
+     *                           results stay bit-identical (see file
+     *                           header)
      */
     CampaignRunner(const assembly::Program &program,
                    std::vector<bool> injectable,
@@ -126,7 +154,8 @@ class CampaignRunner
                    uint64_t checkpointInterval =
                        DEFAULT_CHECKPOINT_INTERVAL,
                    unsigned resultKinds = RK_ALL,
-                   BitErrorModel bitModel = {});
+                   BitErrorModel bitModel = {},
+                   bool staticPrune = false);
 
     /** @return the fault-free output stream. */
     const std::vector<uint8_t> &goldenOutput() const { return golden_; }
@@ -143,6 +172,17 @@ class CampaignRunner
 
     /** @return the configured checkpoint interval (0 = disabled). */
     uint64_t checkpointInterval() const { return checkpointInterval_; }
+
+    /** @return whether the static-prune fast path is enabled. */
+    bool staticPrune() const { return staticPrune_; }
+
+    /**
+     * @return injectable dynamic instructions with at least one
+     *         provably dead result bit (0 with pruning off): the pool
+     *         prunable flips can land in. A trial is pruned when every
+     *         drawn flip mask stays within its site's dead bits.
+     */
+    uint64_t prunableDynamicCount() const { return prunableDynamic_; }
 
     /** @return checkpoints recorded during the golden run. */
     size_t checkpointCount() const { return checkpoints_.size(); }
@@ -207,10 +247,21 @@ class CampaignRunner
     unsigned resultKinds_;
     BitErrorModel bitModel_;
     uint64_t checkpointInterval_;
+    bool staticPrune_;
     sim::CheckpointStore checkpoints_;
     std::vector<uint8_t> golden_;
     uint64_t goldenInstructions_ = 0;
     uint64_t injectableDynamic_ = 0;
+
+    /**
+     * One word per injectable dynamic instruction of the golden run
+     * (in retire order): the MAY-live bits of the site's register
+     * result -- a drawn flip mask disjoint from it is provably
+     * harmless. All-ones (never prunable) for sites whose corruption
+     * hits a control or memory result instead. Empty with pruning off.
+     */
+    std::vector<uint32_t> siteLiveMasks_;
+    uint64_t prunableDynamic_ = 0;
 };
 
 } // namespace etc::fault

@@ -1,9 +1,12 @@
 #include "service/service.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
+#include "core/vulnerability_report.hh"
 #include "store/json.hh"
+#include "workloads/workload.hh"
 #include "store/record.hh"
 #include "store/result_store.hh"
 #include "support/logging.hh"
@@ -118,6 +121,7 @@ encodeSummaryJson(const core::CellSummary &summary)
         .field("completed", uint64_t{summary.completed})
         .field("crashed", uint64_t{summary.crashed})
         .field("timedOut", uint64_t{summary.timedOut})
+        .field("trialsPruned", summary.trialsPruned)
         .field("totalInstructions", summary.totalInstructions)
         .field("failureRate", readableDouble(summary.failureRate()))
         .field("meanFidelity", readableDouble(summary.meanFidelity()))
@@ -177,6 +181,11 @@ CampaignService::handle(const HttpRequest &request)
         if (request.method != "GET")
             return errorResponse(405, "use GET for figures");
         return figure(path.substr(12), request);
+    }
+    if (path.rfind("/v1/analysis/", 0) == 0) {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET for analysis reports");
+        return analysis(path.substr(13));
     }
     if (path == "/v1/healthz") {
         if (request.method != "GET")
@@ -408,6 +417,31 @@ CampaignService::figure(const std::string &name,
     std::ostringstream out;
     bench::renderExperiment(out, *exp, sweep.points);
     return HttpResponse::text(200, out.str());
+}
+
+HttpResponse
+CampaignService::analysis(const std::string &name)
+{
+    // Validate against the workload registry before doing any work.
+    auto names = workloads::workloadNames();
+    if (std::find(names.begin(), names.end(), name) == names.end())
+        return errorResponse(404, "unknown workload '" + name + "'");
+
+    // Byte-identity contract: this is the exact render path of
+    // `etc_lab analyze --workload <name>`. The report needs one
+    // golden simulation, so it is memoized for the daemon's lifetime
+    // (it is a pure function of the workload).
+    std::lock_guard<std::mutex> lock(analysisMutex_);
+    auto it = analysisReports_.find(name);
+    if (it == analysisReports_.end()) {
+        auto workload = workloads::createWorkload(name);
+        it = analysisReports_
+                 .emplace(name, core::renderVulnerabilityReport(
+                                    core::buildVulnerabilityReport(
+                                        *workload)))
+                 .first;
+    }
+    return HttpResponse::text(200, it->second);
 }
 
 std::vector<store::CellKey>

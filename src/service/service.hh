@@ -16,6 +16,8 @@
  *                                byte-identical to `etc_lab report`
  *                                (optional ?trials=N override); 409
  *                                while cells are missing
+ *   GET  /v1/analysis/<workload> static ACE/AVF vulnerability report,
+ *                                byte-identical to `etc_lab analyze`
  *   GET  /v1/healthz             liveness + aggregate counters
  *
  * Every error is a 4xx/5xx JSON object {"error":...,"status":...};
@@ -56,6 +58,7 @@ class CampaignService
     HttpResponse policyList();
     HttpResponse figure(const std::string &name,
                         const HttpRequest &request);
+    HttpResponse analysis(const std::string &name);
     HttpResponse healthz();
 
     /**
@@ -72,6 +75,14 @@ class CampaignService
     Scheduler &scheduler_;
     std::mutex figureKeysMutex_;
     std::map<std::string, std::vector<store::CellKey>> figureKeys_;
+
+    /**
+     * Rendered analysis reports by workload name. A report needs one
+     * golden simulation, so it is computed once per workload (the
+     * registry is fixed, so the memo is naturally bounded).
+     */
+    std::mutex analysisMutex_;
+    std::map<std::string, std::string> analysisReports_;
 };
 
 /** @return {"error":<message>,"status":<status>} with that status. */

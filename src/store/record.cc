@@ -70,7 +70,13 @@ encodeBody(const std::string &headerLine,
         .field("completed", uint64_t{summary.completed})
         .field("crashed", uint64_t{summary.crashed})
         .field("timed_out", uint64_t{summary.timedOut})
-        .field("total_instructions", summary.totalInstructions)
+        .field("total_instructions", summary.totalInstructions);
+    // Optional like the key's "policy" member: emitted only when the
+    // static-prune fast path synthesized trials, so prune-off records
+    // stay byte-stable with every earlier schema-1 writer.
+    if (summary.trialsPruned)
+        summaryLine.field("trials_pruned", summary.trialsPruned);
+    summaryLine
         .field("wall_seconds_bits", hexU64(doubleBits(summary.wallSeconds)))
         .field("fidelities", uint64_t{summary.fidelities.size()});
     out += summaryLine.str() + "\n";
@@ -212,6 +218,10 @@ decodeRecord(const std::string &text, const char *expectedKind,
         summary.timedOut = summaryLine.at("timed_out").asU32();
         summary.totalInstructions =
             summaryLine.at("total_instructions").asU64();
+        // Optional: absent in prune-off records (and everything
+        // written before static pruning existed).
+        if (const JsonValue *pruned = summaryLine.find("trials_pruned"))
+            summary.trialsPruned = pruned->asU64();
         summary.wallSeconds = doubleFromBits(
             parseHexU64(summaryLine.at("wall_seconds_bits").asString()));
         uint64_t fidelityCount = summaryLine.at("fidelities").asU64();
@@ -373,6 +383,7 @@ mergeShardSummaries(const CellKey &key, std::vector<ShardRecord> shards)
         merged.completed += shard.summary.completed;
         merged.crashed += shard.summary.crashed;
         merged.timedOut += shard.summary.timedOut;
+        merged.trialsPruned += shard.summary.trialsPruned;
         merged.totalInstructions += shard.summary.totalInstructions;
         merged.wallSeconds += shard.summary.wallSeconds;
         merged.fidelities.insert(merged.fidelities.end(),

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The assembly lint gate, exercised against hand-built malformed
+ * programs: dead code, read-before-write registers, unbalanced stack
+ * frames, and wild control transfers must each surface as a finding
+ * of the right check, while every clean program (including the whole
+ * workload registry, covered by the CI `etc_lab lint` step) stays
+ * finding-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/control_protection.hh"
+#include "analysis/lint.hh"
+#include "asm/builder.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace etc;
+using namespace etc::isa;
+using namespace etc::assembly;
+using analysis::LintReport;
+
+bool
+hasFinding(const LintReport &report, const std::string &check)
+{
+    return std::any_of(report.findings.begin(), report.findings.end(),
+                       [&](const analysis::LintFinding &finding) {
+                           return finding.check == check;
+                       });
+}
+
+/** A minimal well-formed program: init, compute, emit, halt. */
+Program
+cleanProgram()
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.li(REG_T0, 5);
+    b.addi(REG_T1, REG_T0, 3);
+    b.outw(REG_T1);
+    b.halt();
+    b.endFunction();
+    return b.finish();
+}
+
+TEST(LintTest, CleanProgramHasNoFindings)
+{
+    auto report = analysis::lintProgram(cleanProgram());
+    EXPECT_TRUE(report.clean()) << report.toString();
+}
+
+TEST(LintTest, DeadBlockIsReported)
+{
+    // The jump skips over two instructions no path ever reaches.
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto skip = b.newLabel();
+    b.li(REG_T0, 1);
+    b.j(skip);
+    b.li(REG_T1, 2); // dead
+    b.li(REG_T2, 3); // dead
+    b.bind(skip);
+    b.outw(REG_T0);
+    b.halt();
+    b.endFunction();
+
+    auto report = analysis::lintProgram(b.finish());
+    EXPECT_FALSE(report.clean());
+    EXPECT_TRUE(hasFinding(report, "unreachable"))
+        << report.toString();
+}
+
+TEST(LintTest, ReadBeforeWriteIsReported)
+{
+    // $t3 is consumed before any instruction defines it.
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.addi(REG_T0, REG_T3, 1);
+    b.outw(REG_T0);
+    b.halt();
+    b.endFunction();
+
+    auto report = analysis::lintProgram(b.finish());
+    EXPECT_TRUE(hasFinding(report, "uninit-read"))
+        << report.toString();
+}
+
+TEST(LintTest, SimulatorInitializedRegistersAreExempt)
+{
+    // $sp and $ra are machine-initialized; reading them at entry is
+    // the normal prologue/return idiom, not an uninitialized read.
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.addi(REG_SP, REG_SP, -8);
+    b.sw(REG_RA, 0, REG_SP);
+    b.lw(REG_RA, 0, REG_SP);
+    b.addi(REG_SP, REG_SP, 8);
+    b.halt();
+    b.endFunction();
+
+    auto report = analysis::lintProgram(b.finish());
+    EXPECT_FALSE(hasFinding(report, "uninit-read"))
+        << report.toString();
+}
+
+TEST(LintTest, UnbalancedStackFrameIsReported)
+{
+    // The callee grows its frame but returns without shrinking it.
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.call("leaky");
+    b.halt();
+    b.endFunction();
+    b.beginFunction("leaky");
+    b.addi(REG_SP, REG_SP, -16);
+    b.ret();
+    b.endFunction();
+
+    auto report = analysis::lintProgram(b.finish());
+    EXPECT_TRUE(hasFinding(report, "stack")) << report.toString();
+}
+
+TEST(LintTest, BalancedStackFrameIsClean)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.call("tidy");
+    b.halt();
+    b.endFunction();
+    b.beginFunction("tidy");
+    b.addi(REG_SP, REG_SP, -16);
+    b.addi(REG_SP, REG_SP, 16);
+    b.ret();
+    b.endFunction();
+
+    auto report = analysis::lintProgram(b.finish());
+    EXPECT_FALSE(hasFinding(report, "stack")) << report.toString();
+}
+
+TEST(LintTest, DisagreeingJoinOffsetsAreReported)
+{
+    // The two paths into the join leave $sp at different offsets.
+    ProgramBuilder b;
+    b.beginFunction("main");
+    auto join = b.newLabel();
+    auto other = b.newLabel();
+    b.li(REG_T0, 1);
+    b.beq(REG_T0, REG_ZERO, other);
+    b.addi(REG_SP, REG_SP, -8);
+    b.j(join);
+    b.bind(other);
+    b.addi(REG_SP, REG_SP, -16);
+    b.bind(join);
+    b.halt();
+    b.endFunction();
+
+    auto report = analysis::lintProgram(b.finish());
+    EXPECT_TRUE(hasFinding(report, "stack")) << report.toString();
+}
+
+TEST(LintTest, EveryRegistryWorkloadLintsClean)
+{
+    // The very gate CI runs: the shipped workloads must stay clean
+    // under both the structural and the injectable-layer checks.
+    for (const auto &name : workloads::workloadNames()) {
+        auto workload =
+            workloads::createWorkload(name, workloads::Scale::Test);
+        auto report = analysis::lintProgram(workload->program());
+
+        analysis::ProtectionConfig config;
+        config.eligibleFunctions = workload->eligibleFunctions();
+        auto protection = analysis::computeControlProtection(
+            workload->program(), config);
+        analysis::lintInjectable(workload->program(),
+                                 protection.tagged, report);
+        EXPECT_TRUE(report.clean())
+            << name << ":\n" << report.toString();
+    }
+}
+
+TEST(LintTest, FindingsRenderOnePerLine)
+{
+    ProgramBuilder b;
+    b.beginFunction("main");
+    b.addi(REG_T0, REG_T3, 1); // uninit read
+    b.addi(REG_SP, REG_SP, -8);
+    b.halt(); // frame still open at program exit is fine (no return),
+    b.endFunction();
+
+    auto report = analysis::lintProgram(b.finish());
+    ASSERT_FALSE(report.clean());
+    std::string text = report.toString();
+    size_t lines = std::count(text.begin(), text.end(), '\n');
+    EXPECT_EQ(lines, report.findings.size());
+    EXPECT_NE(text.find("uninit-read"), std::string::npos);
+}
+
+} // namespace

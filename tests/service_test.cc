@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/experiments.hh"
+#include "core/vulnerability_report.hh"
 #include "fault/policy.hh"
 #include "service/client.hh"
 #include "service/http_server.hh"
@@ -208,6 +209,28 @@ TEST_F(ServiceTest, SubmitPollFetchAndFigureByteIdentity)
     std::ostringstream offline;
     bench::renderExperiment(offline, *exp, sweep.points);
     EXPECT_EQ(figure.body, offline.str());
+}
+
+TEST_F(ServiceTest, AnalysisEndpointMatchesTheCliRender)
+{
+    // GET /v1/analysis/<workload> serves byte-for-byte what
+    // `etc_lab analyze --workload <w>` prints: both sides call
+    // renderVulnerabilityReport() on the same build.
+    auto workload = workloads::createWorkload("gsm");
+    std::string expected = core::renderVulnerabilityReport(
+        core::buildVulnerabilityReport(*workload));
+
+    auto response = client().get("/v1/analysis/gsm");
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, expected);
+
+    // The report is memoized: a second fetch returns the same bytes.
+    auto again = client().get("/v1/analysis/gsm");
+    EXPECT_EQ(again.body, expected);
+
+    // Unknown workloads 404; non-GET methods are rejected.
+    EXPECT_EQ(client().get("/v1/analysis/nonesuch").status, 404);
+    EXPECT_EQ(client().post("/v1/analysis/gsm", "{}").status, 405);
 }
 
 TEST_F(ServiceTest, PolicyRegistryEndpointMirrorsTheCliRows)

@@ -85,6 +85,7 @@ expectSummariesIdentical(const core::CellSummary &a,
     EXPECT_EQ(a.crashed, b.crashed);
     EXPECT_EQ(a.timedOut, b.timedOut);
     EXPECT_EQ(a.totalInstructions, b.totalInstructions);
+    EXPECT_EQ(a.trialsPruned, b.trialsPruned);
     EXPECT_EQ(doubleBits(a.wallSeconds), doubleBits(b.wallSeconds));
     ASSERT_EQ(a.fidelities.size(), b.fidelities.size());
     for (size_t i = 0; i < a.fidelities.size(); ++i) {
@@ -193,6 +194,30 @@ TEST(RecordCodecTest, EmptyCellRoundTrips)
     summary.crashed = 3; // nothing completed: no fidelity lines
     auto decoded = decodeCellRecord(encodeCellRecord(key, summary), &key);
     expectSummariesIdentical(summary, decoded);
+}
+
+TEST(RecordCodecTest, TrialsPrunedIsOptionalAndRoundTrips)
+{
+    // trials_pruned is emitted only when nonzero, so prune-off records
+    // stay byte-identical to pre-prune ones; a nonzero count survives
+    // the roundtrip and deterministic re-encode.
+    CellKey key = sampleKey();
+    auto summary = sampleSummary();
+    std::string withoutField = encodeCellRecord(key, summary);
+    EXPECT_EQ(withoutField.find("trials_pruned"), std::string::npos);
+
+    summary.trialsPruned = 7;
+    std::string text = encodeCellRecord(key, summary);
+    EXPECT_NE(text.find("\"trials_pruned\":7"), std::string::npos);
+    auto decoded = decodeCellRecord(text, &key);
+    expectSummariesIdentical(summary, decoded);
+    EXPECT_EQ(encodeCellRecord(key, decoded), text);
+
+    // Shard records carry the count too (shard merges sum it).
+    CellKey shardKey = sampleKey(20);
+    auto shard = decodeShardRecord(
+        encodeShardRecord(shardKey, 4, 12, summary), &shardKey);
+    EXPECT_EQ(shard.summary.trialsPruned, 7u);
 }
 
 TEST(RecordCodecTest, KeyMismatchIsRejected)

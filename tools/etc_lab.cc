@@ -1,10 +1,12 @@
 /**
  * @file
  * etc_lab executable: persistent-result-store campaign orchestration
- * (run / resume / merge / report / list) and the campaign service
- * (serve / submit / status / fetch). All logic lives in bench/lab.cc
- * so the registry and rendering are shared with the bench_fig*
- * drivers.
+ * (run / resume / merge / report / list), the campaign service
+ * (serve / submit / status / fetch), and the static-analysis
+ * front end (analyze / lint -- the masked-fault prover's ACE/AVF
+ * report and the assembly lint gate, nonzero exit on findings). All
+ * logic lives in bench/lab.cc so the registry and rendering are
+ * shared with the bench_fig* drivers.
  */
 
 #include "bench/lab.hh"

@@ -8,8 +8,10 @@
  * `bench_micro --json-out FILE` skips the google-benchmark suites and
  * instead writes a machine-readable campaign-throughput snapshot: one
  * record per registry workload x checkpointing on/off x static-prune
- * on/off (Test scale, unprotected policy), the source of the repo's
- * BENCH_campaign.json perf trajectory.
+ * on/off x gang width (Test scale, unprotected policy), the source of
+ * the repo's BENCH_campaign.json perf trajectory. An existing FILE is
+ * never overwritten unless --force is given (perf snapshots must not
+ * be lost to a stray rerun).
  */
 
 #include <benchmark/benchmark.h>
@@ -95,12 +97,15 @@ BM_SimulatorWithInjectorHook(benchmark::State &state)
 BENCHMARK(BM_SimulatorWithInjectorHook);
 
 /**
- * A full Monte-Carlo campaign cell, swept over worker threads
- * (args: threads, checkpoint interval). The trials are bit-identical
- * across the whole sweep (counter-based RNG streams, checkpoint
- * determinism), so the arg axes show pure wall-clock scaling of the
- * paper-figure hot path: interval 0 is the classic hooked full-replay
- * interpreter, a nonzero interval the checkpointed hookless fast path.
+ * A full Monte-Carlo campaign cell, swept over worker threads,
+ * checkpoint interval, and gang width (args: threads, checkpoint
+ * interval, gang width). The trials are bit-identical across the
+ * whole sweep (counter-based RNG streams, checkpoint determinism,
+ * scalar-drained gang divergence), so the arg axes show pure
+ * wall-clock scaling of the paper-figure hot path: interval 0 is the
+ * classic hooked full-replay interpreter, a nonzero interval the
+ * checkpointed hookless fast path, and gang width N batches N trials
+ * per lockstep gang on that fast path (0 = scalar).
  */
 void
 BM_CampaignCell(benchmark::State &state)
@@ -117,6 +122,7 @@ BM_CampaignCell(benchmark::State &state)
     config.trials = 64;
     config.errors = 4;
     config.threads = static_cast<unsigned>(state.range(0));
+    config.gangWidth = static_cast<unsigned>(state.range(2));
     uint64_t trials = 0;
     for (auto _ : state) {
         auto result = runner.run(config);
@@ -127,15 +133,64 @@ BM_CampaignCell(benchmark::State &state)
         static_cast<double>(trials), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CampaignCell)
-    ->ArgNames({"threads", "ckpt"})
-    ->Args({1, 0})
-    ->Args({2, 0})
-    ->Args({4, 0})
-    ->Args({8, 0})
-    ->Args({1, 1024})
-    ->Args({2, 1024})
-    ->Args({4, 1024})
-    ->Args({8, 1024})
+    ->ArgNames({"threads", "ckpt", "gang"})
+    ->Args({1, 0, 0})
+    ->Args({2, 0, 0})
+    ->Args({4, 0, 0})
+    ->Args({8, 0, 0})
+    ->Args({1, 1024, 0})
+    ->Args({2, 1024, 0})
+    ->Args({4, 1024, 0})
+    ->Args({8, 1024, 0})
+    ->Args({1, 1024, 4})
+    ->Args({1, 1024, 8})
+    ->Args({1, 1024, 16})
+    ->Args({4, 1024, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Worst-case gang divergence: mpeg under the control-only policy, so
+ * every injected trial flips a control transfer's next PC and leaves
+ * the pack at its first fault -- the gang splits maximally and nearly
+ * all post-fault work drains through the scalar Simulator. This
+ * bounds the gang's overhead when lockstep buys nothing; gang 0 is
+ * the scalar reference.
+ */
+void
+BM_GangDivergence(benchmark::State &state)
+{
+    auto workload = workloads::createWorkload("mpeg",
+                                              workloads::Scale::Test);
+    auto injectable =
+        fault::injectableWithoutProtection(workload->program());
+    const fault::InjectionPolicy &policy =
+        fault::resolveInjectionPolicy("control-only");
+    fault::CampaignRunner runner(
+        workload->program(), std::move(injectable),
+        sim::MemoryModel::Lenient,
+        fault::CampaignRunner::DEFAULT_CHECKPOINT_INTERVAL,
+        policy.resultKinds, policy.bitModel);
+    fault::CampaignConfig config;
+    config.trials = 48;
+    config.errors = 1;
+    config.threads = 1;
+    config.gangWidth = static_cast<unsigned>(state.range(0));
+    uint64_t trials = 0;
+    for (auto _ : state) {
+        auto result = runner.run(config);
+        benchmark::DoNotOptimize(result.completed);
+        trials += result.trials;
+    }
+    state.counters["trials/s"] = benchmark::Counter(
+        static_cast<double>(trials), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GangDivergence)
+    ->ArgNames({"gang"})
+    ->Arg(0)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -234,12 +289,22 @@ jsonDouble(double value)
 /**
  * The --json-out snapshot: campaign throughput per registry workload
  * under the unprotected legacy policy, with checkpointed trial
- * fast-forwarding and static pruning each toggled -- the two
- * result-invariant accelerations the campaign layer stacks.
+ * fast-forwarding, static pruning, and gang width toggled -- the
+ * three result-invariant accelerations the campaign layer stacks.
+ * Gang widths beyond scalar are swept only on the checkpointed rows
+ * (the gang engages only with checkpointing); width 8 is the CI
+ * perf-sanity reference, DEFAULT_GANG_WIDTH the auto pick.
  */
 int
-campaignSnapshot(const std::string &path)
+campaignSnapshot(const std::string &path, bool force)
 {
+    if (!force && std::ifstream(path).good()) {
+        std::cerr << "bench_micro: " << path
+                  << " already exists; pass --force to overwrite the "
+                     "perf snapshot\n";
+        return 1;
+    }
+
     const fault::InjectionPolicy &policy =
         fault::resolveInjectionPolicy(fault::UNPROTECTED_POLICY);
     const uint64_t checkpointIntervals[] = {
@@ -255,47 +320,63 @@ campaignSnapshot(const std::string &path)
         auto injectable =
             fault::injectableWithoutProtection(workload->program());
         for (uint64_t interval : checkpointIntervals) {
+            std::vector<unsigned> gangWidths = {0};
+            if (interval > 0) {
+                gangWidths.push_back(8);
+                gangWidths.push_back(fault::DEFAULT_GANG_WIDTH);
+            }
             for (bool prune : {false, true}) {
                 fault::CampaignRunner runner(
                     workload->program(), injectable,
                     sim::MemoryModel::Lenient, interval,
                     policy.resultKinds, policy.bitModel, prune);
-                fault::CampaignConfig config;
-                config.trials = 48;
-                config.errors = 1;
-                config.threads = 1;
-                auto started = std::chrono::steady_clock::now();
-                auto result = runner.run(config);
-                std::chrono::duration<double> elapsed =
-                    std::chrono::steady_clock::now() - started;
-                double wall = elapsed.count();
-                if (!first)
-                    out << ',';
-                first = false;
-                out << "{\"workload\":\"" << name << "\","
-                    << "\"policy\":\"" << policy.name << "\","
-                    << "\"trials\":" << result.trials << ","
-                    << "\"errors\":" << config.errors << ","
-                    << "\"completed\":" << result.completed << ","
-                    << "\"checkpoint_interval\":" << interval << ","
-                    << "\"static_prune\":"
-                    << (prune ? "true" : "false") << ","
-                    << "\"trials_pruned\":" << result.trialsPruned
-                    << ","
-                    << "\"golden_instructions\":"
-                    << runner.goldenInstructions() << ","
-                    << "\"wall_s\":" << jsonDouble(wall) << ","
-                    << "\"trials_per_sec\":"
-                    << jsonDouble(wall > 0.0 ? result.trials / wall
-                                             : 0.0)
-                    << "}";
-                std::cerr << "bench_micro: " << name << " ckpt="
-                          << interval << " prune=" << prune << " "
-                          << jsonDouble(wall > 0.0
-                                            ? result.trials / wall
-                                            : 0.0)
-                          << " trials/s (" << result.trialsPruned
-                          << " pruned)\n";
+                for (unsigned gang : gangWidths) {
+                    fault::CampaignConfig config;
+                    // Enough trials that a cell runs several
+                    // full-width gangs and wall times clear
+                    // millisecond noise (48-trial cells finish in a
+                    // few ms on the fast path).
+                    config.trials = 256;
+                    config.errors = 1;
+                    config.threads = 1;
+                    config.gangWidth = gang;
+                    auto started = std::chrono::steady_clock::now();
+                    auto result = runner.run(config);
+                    std::chrono::duration<double> elapsed =
+                        std::chrono::steady_clock::now() - started;
+                    double wall = elapsed.count();
+                    if (!first)
+                        out << ',';
+                    first = false;
+                    out << "{\"workload\":\"" << name << "\","
+                        << "\"policy\":\"" << policy.name << "\","
+                        << "\"trials\":" << result.trials << ","
+                        << "\"errors\":" << config.errors << ","
+                        << "\"completed\":" << result.completed << ","
+                        << "\"checkpoint_interval\":" << interval
+                        << ","
+                        << "\"static_prune\":"
+                        << (prune ? "true" : "false") << ","
+                        << "\"gang_width\":" << gang << ","
+                        << "\"trials_pruned\":" << result.trialsPruned
+                        << ","
+                        << "\"golden_instructions\":"
+                        << runner.goldenInstructions() << ","
+                        << "\"wall_s\":" << jsonDouble(wall) << ","
+                        << "\"trials_per_sec\":"
+                        << jsonDouble(wall > 0.0
+                                          ? result.trials / wall
+                                          : 0.0)
+                        << "}";
+                    std::cerr << "bench_micro: " << name << " ckpt="
+                              << interval << " prune=" << prune
+                              << " gang=" << gang << " "
+                              << jsonDouble(wall > 0.0
+                                                ? result.trials / wall
+                                                : 0.0)
+                              << " trials/s (" << result.trialsPruned
+                              << " pruned)\n";
+                }
             }
         }
     }
@@ -316,6 +397,7 @@ int
 main(int argc, char **argv)
 {
     std::string jsonOut;
+    bool force = false;
     std::vector<char *> rest;
     rest.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -324,12 +406,14 @@ main(int argc, char **argv)
             jsonOut = argv[++i];
         } else if (arg.rfind("--json-out=", 0) == 0) {
             jsonOut = arg.substr(11);
+        } else if (arg == "--force") {
+            force = true;
         } else {
             rest.push_back(argv[i]);
         }
     }
     if (!jsonOut.empty())
-        return campaignSnapshot(jsonOut);
+        return campaignSnapshot(jsonOut, force);
 
     int restc = static_cast<int>(rest.size());
     benchmark::Initialize(&restc, rest.data());

@@ -25,8 +25,9 @@ usage(const char *program, int status)
     std::cerr << "usage: " << program
               << " [--threads N] [--trials N] [--policy NAME]...\n"
                  "       [--checkpoint-interval N] [--static-prune]"
-                 " [--seed S]\n"
-                 "       [--cache-dir DIR] [--no-cache] [--shard i/N]\n"
+                 " [--gang-width N|auto]\n"
+                 "       [--seed S] [--cache-dir DIR] [--no-cache]"
+                 " [--shard i/N]\n"
               << "  --threads N  campaign worker threads (0 = all "
                  "cores; default 0)\n"
               << "  --trials N   trials per campaign cell (>= 1; omit "
@@ -47,6 +48,12 @@ usage(const char *program, int status)
                  "instead of simulating\n"
                  "               them. Results are identical either "
                  "way.\n"
+              << "  --gang-width N|auto  trial lanes per lockstep gang "
+                 "on the checkpointed\n"
+                 "               fast path (0 = scalar; auto = "
+              << fault::DEFAULT_GANG_WIDTH
+              << "). Results are identical\n"
+                 "               for every width.\n"
               << "  --seed S     master study seed (decimal or 0x hex; "
                  "default "
               << core::StudyConfig{}.seed << ")\n"
@@ -112,6 +119,18 @@ parsePolicyName(const std::string &name)
     }
 }
 
+unsigned
+parseGangWidthValue(const std::string &flag, const std::string &text)
+{
+    if (text == "auto")
+        return fault::GANG_WIDTH_AUTO;
+    unsigned width = parseCount32(flag, text);
+    if (width > sim::GangSimulator::MAX_LANES)
+        fatal(flag, " must be 'auto' or 0..",
+              sim::GangSimulator::MAX_LANES, ", got '", text, "'");
+    return width;
+}
+
 void
 parseShardSpec(const std::string &text, unsigned &index,
                unsigned &count)
@@ -169,6 +188,8 @@ try {
             opts.noCache = true;
         } else if (arg == "--static-prune") {
             opts.staticPrune = true;
+        } else if (auto gang = valueOf("--gang-width")) {
+            opts.gangWidth = parseGangWidthValue("--gang-width", *gang);
         } else if (auto shard = valueOf("--shard")) {
             parseShardSpec(*shard, opts.shardIndex, opts.shardCount);
         } else {
@@ -204,6 +225,14 @@ emitCellJson(const std::string &workloadName, const std::string &policy,
          << "\"trials_pruned\":" << cell.trialsPruned << ","
          << "\"checkpoint_interval\":" << config.checkpointInterval << ","
          << "\"static_prune\":" << (config.staticPrune ? "true" : "false")
+         << ","
+         // The width the runner actually used: gangs only engage on
+         // the checkpointed fast path.
+         << "\"gang_width\":"
+         << (config.checkpointInterval > 0
+                 ? fault::CampaignRunner::resolveGangWidth(
+                       config.gangWidth)
+                 : 0)
          << ","
          << "\"threads\":" << config.threads << "}";
     // stderr, with the progress lines: stdout holds only reproduced

@@ -88,6 +88,11 @@ struct BenchOptions
      *  results; see core::StudyConfig::staticPrune). */
     bool staticPrune = false;
 
+    /** --gang-width N|auto: trial lanes per gang on the checkpointed
+     *  fast path (0 = scalar, "auto" = runner default; bit-identical
+     *  results; see core::StudyConfig::gangWidth). */
+    unsigned gangWidth = fault::GANG_WIDTH_AUTO;
+
     /** --shard i/N: run only trial stripe i of N per cell (persisting
      *  shard records) instead of rendering the figure. shardCount == 0
      *  means not sharded. */
@@ -113,6 +118,7 @@ struct BenchOptions
         config.seed = seed;
         config.cacheDir = noCache ? std::string() : cacheDir;
         config.staticPrune = staticPrune;
+        config.gangWidth = gangWidth;
     }
 };
 
@@ -131,6 +137,10 @@ struct BenchOptions
  *                            8192). Never changes reproduced numbers.
  *   --static-prune           synthesize provably-masked trials instead
  *                            of simulating them. Never changes
+ *                            reproduced numbers.
+ *   --gang-width N|auto      trial lanes per lockstep gang on the
+ *                            checkpointed fast path (0 = scalar,
+ *                            auto = runner default). Never changes
  *                            reproduced numbers.
  *   --seed S                 master study seed (decimal or 0x hex);
  *                            cells and cache keys derive from it
@@ -167,6 +177,10 @@ unsigned parseCount32(const std::string &flag, const std::string &text);
 uint64_t parseSeedValue(const std::string &flag,
                         const std::string &text);
 
+/** Parse a gang-width value: "auto" or 0..GangSimulator::MAX_LANES. */
+unsigned parseGangWidthValue(const std::string &flag,
+                             const std::string &text);
+
 /** Parse a "--shard i/N" spec (0 <= i < N, N >= 1). */
 void parseShardSpec(const std::string &text, unsigned &index,
                     unsigned &count);
@@ -189,7 +203,7 @@ const fault::InjectionPolicy &parsePolicyName(const std::string &name);
  *               "wall_s":...,"trials_per_sec":...,
  *               "total_instructions":...,"trials_pruned":...,
  *               "checkpoint_interval":...,"static_prune":...,
- *               "threads":...}
+ *               "gang_width":...,"threads":...}
  */
 void emitCellJson(const std::string &workloadName,
                   const std::string &policy, unsigned errors,

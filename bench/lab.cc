@@ -118,6 +118,13 @@ usage(int status)
            "                           trials instead of simulating\n"
            "                           them (results are identical\n"
            "                           either way)\n"
+           "  --gang-width N|auto      trial lanes per lockstep gang on\n"
+           "                           the checkpointed fast path (0 =\n"
+           "                           scalar, auto = runner default;\n"
+           "                           results are identical either\n"
+           "                           way). serve: daemon-wide\n"
+           "                           default; submit: this job's\n"
+           "                           width\n"
            "  --workload NAME          analyze/lint: the registry\n"
            "                           workload to analyze (lint\n"
            "                           defaults to all)\n"
@@ -210,6 +217,9 @@ parseLabArgs(int argc, char **argv)
                                 std::numeric_limits<uint64_t>::max());
         } else if (arg == "--static-prune") {
             opts.bench.staticPrune = true;
+        } else if (auto gang = valueOf("--gang-width")) {
+            opts.bench.gangWidth =
+                parseGangWidthValue("--gang-width", *gang);
         } else if (auto workload = valueOf("--workload")) {
             opts.workload = *workload;
         } else if (auto shard = valueOf("--shard")) {
@@ -600,6 +610,7 @@ labServe(const LabOptions &opts)
     config.chunks = opts.chunks;
     config.seed = opts.bench.seed;
     config.checkpointInterval = opts.bench.checkpointInterval;
+    config.gangWidth = opts.bench.gangWidth;
 
     service::Scheduler scheduler(config);
     service::CampaignService service(scheduler);
@@ -645,6 +656,8 @@ labSubmit(const LabOptions &opts)
     body.field("experiment", opts.experiment);
     if (opts.bench.trials)
         body.field("trials", uint64_t{opts.bench.trials});
+    if (opts.bench.gangWidth != fault::GANG_WIDTH_AUTO)
+        body.field("gangWidth", uint64_t{opts.bench.gangWidth});
     if (opts.errors) {
         body.field("errors", uint64_t{*opts.errors});
         body.field("policy", opts.bench.policies.empty()

@@ -178,6 +178,7 @@ ErrorToleranceStudy::computeRange(unsigned errors,
     campaignConfig.errors = errors;
     campaignConfig.budgetFactor = config_.budgetFactor;
     campaignConfig.threads = config_.threads;
+    campaignConfig.gangWidth = config_.gangWidth;
     // Derive a per-cell seed so cells are independent but
     // reproducible; the policy salt keeps the legacy streams (0x1 /
     // 0x2) bit-identical and gives every other policy its own stream.

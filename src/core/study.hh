@@ -111,6 +111,16 @@ struct StudyConfig
     std::string cacheDir;
 
     /**
+     * Trial lanes per gang on the checkpointed fast path (see
+     * CampaignConfig::gangWidth): 0 forces scalar execution,
+     * GANG_WIDTH_AUTO (default) lets the runner pick. Purely an
+     * execution strategy -- cell results are bit-identical for every
+     * width -- so it is, like the thread count, not part of the cache
+     * key.
+     */
+    unsigned gangWidth = fault::GANG_WIDTH_AUTO;
+
+    /**
      * Skip simulating trials whose every drawn flip the masked-fault
      * prover (analysis/vulnerability.hh) proved harmless (it lands in
      * provably dead bits of its site's register result), synthesizing
@@ -264,6 +274,13 @@ class ErrorToleranceStudy
 
     const workloads::Workload &workload() const { return workload_; }
     const StudyConfig &config() const { return config_; }
+
+    /** Change the gang width for subsequent cells. Purely an
+     *  execution strategy (see StudyConfig::gangWidth): results and
+     *  cache keys are unaffected, so it is safe to retune between
+     *  cells -- the campaign daemon uses this to honor per-job
+     *  widths on its shared per-experiment studies. */
+    void setGangWidth(unsigned width) { config_.gangWidth = width; }
 
   private:
     fault::CampaignRunner &runner(const fault::InjectionPolicy &policy);

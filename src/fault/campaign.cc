@@ -226,6 +226,13 @@ CampaignRunner::runRange(
               ") over ", config.trials, " trials");
     uint64_t count = hi - lo;
 
+    // Gang execution rides the checkpointed fast path only; the
+    // classic interval-0 Injector path stays gang-free so it remains
+    // an independent oracle for the batched interpreter.
+    unsigned gangWidth = resolveGangWidth(config.gangWidth);
+    if (gangWidth > 0 && checkpointInterval_ > 0 && count > 0)
+        return runRangeGang(config, lo, hi, gangWidth, onTrial);
+
     CampaignResult result;
     result.trials = static_cast<unsigned>(count);
     result.firstTrial = lo;
@@ -331,6 +338,287 @@ CampaignRunner::runRange(
         result.trialInstructions.add(
             static_cast<double>(outcome.run.instructions));
     return result;
+}
+
+CampaignResult
+CampaignRunner::runRangeGang(
+    const CampaignConfig &config, uint64_t lo, uint64_t hi,
+    unsigned width,
+    const std::function<void(const TrialOutcome &)> &onTrial)
+{
+    uint64_t count = hi - lo;
+    CampaignResult result;
+    result.trials = static_cast<unsigned>(count);
+    result.firstTrial = lo;
+    result.outcomes.resize(count);
+
+    auto budget = static_cast<uint64_t>(
+        static_cast<double>(goldenInstructions_) * config.budgetFactor);
+    if (budget < goldenInstructions_ + 1000)
+        budget = goldenInstructions_ + 1000;
+
+    // Phase 1 (serial): plan sampling is cheap and a pure function of
+    // (seed, trial), so the whole range is drawn up front. Pruned
+    // trials are synthesized here exactly as the scalar path does;
+    // everything else queues for gang execution.
+    std::vector<GangTrial> live;
+    live.reserve(count);
+    OutcomeTally prunedTally;
+    for (uint64_t i = 0; i < count; ++i) {
+        uint64_t t = lo + i;
+        Rng trialRng = Rng::forStream(config.seed, t);
+        InjectionPlan plan = samplePlan(injectableDynamic_,
+                                        config.errors, bitModel_,
+                                        trialRng);
+        bool pruned = staticPrune_;
+        if (pruned)
+            for (size_t k = 0; k < plan.sites.size(); ++k)
+                if (plan.masks[k] & siteLiveMasks_[plan.sites[k]]) {
+                    pruned = false;
+                    break;
+                }
+        if (!pruned) {
+            live.push_back(GangTrial{i, std::move(plan)});
+            continue;
+        }
+        TrialOutcome &outcome = result.outcomes[i];
+        outcome.run.status = sim::RunStatus::Completed;
+        outcome.run.instructions = goldenInstructions_;
+        outcome.run.faultPc = 0;
+        outcome.injected = plan.size();
+        outcome.output = golden_;
+        ++prunedTally.completed;
+        ++result.trialsPruned;
+        if (onTrial)
+            onTrial(outcome);
+    }
+
+    // Phase 2: group by first injection site (stable on trial index).
+    // A gang restores the checkpoint of its EARLIEST first site --
+    // instruction accounting includes the restored prefix, so an
+    // earlier restore changes nothing but replay length -- and sorting
+    // keeps that shared replay short.
+    std::sort(live.begin(), live.end(),
+              [](const GangTrial &a, const GangTrial &b) {
+                  uint64_t siteA = a.plan.sites.empty()
+                                       ? std::numeric_limits<uint64_t>::max()
+                                       : a.plan.sites.front();
+                  uint64_t siteB = b.plan.sites.empty()
+                                       ? std::numeric_limits<uint64_t>::max()
+                                       : b.plan.sites.front();
+                  return siteA != siteB ? siteA < siteB
+                                        : a.slot < b.slot;
+              });
+
+    uint64_t numGangs = (live.size() + width - 1) / width;
+    std::mutex observerMutex;
+    if (numGangs > 0) {
+        unsigned workers = TrialPool::resolveWorkers(config.threads,
+                                                     numGangs);
+        // Per worker: a base simulator holding the gang's restored
+        // image (referenced by the gang's COW overlays, so it must
+        // stay untouched while the gang runs) and a separate drain
+        // simulator for finishing divergent lanes.
+        struct Worker
+        {
+            std::unique_ptr<sim::Simulator> base;
+            std::unique_ptr<sim::Simulator> drain;
+            std::unique_ptr<sim::GangSimulator> gang;
+        };
+        std::vector<Worker> perWorker(workers);
+        for (auto &worker : perWorker) {
+            worker.base =
+                std::make_unique<sim::Simulator>(program_, model_);
+            worker.drain =
+                std::make_unique<sim::Simulator>(program_, model_);
+            worker.gang = std::make_unique<sim::GangSimulator>(
+                program_, model_, width);
+        }
+        std::vector<OutcomeTally> tallies(workers);
+
+        TrialPool::run(workers, numGangs, [&](uint64_t g, unsigned w) {
+            size_t first = static_cast<size_t>(g) * width;
+            unsigned lanes = static_cast<unsigned>(
+                std::min<size_t>(width, live.size() - first));
+            runGang(live.data() + first, lanes, *perWorker[w].base,
+                    *perWorker[w].drain, *perWorker[w].gang, budget,
+                    result, tallies[w], onTrial, observerMutex);
+        });
+        for (const auto &tally : tallies)
+            prunedTally.merge(tally);
+    }
+
+    result.completed = static_cast<unsigned>(prunedTally.completed);
+    result.crashed = static_cast<unsigned>(prunedTally.crashed);
+    result.timedOut = static_cast<unsigned>(prunedTally.timedOut);
+    // Fed in trial order, exactly like the scalar path, so the
+    // statistic is bit-identical at any thread count or gang width.
+    for (const auto &outcome : result.outcomes)
+        result.trialInstructions.add(
+            static_cast<double>(outcome.run.instructions));
+    return result;
+}
+
+void
+CampaignRunner::runGang(
+    const GangTrial *trials, unsigned lanes, sim::Simulator &base,
+    sim::Simulator &drain, sim::GangSimulator &gang, uint64_t budget,
+    CampaignResult &result, OutcomeTally &tally,
+    const std::function<void(const TrialOutcome &)> &onTrial,
+    std::mutex &observerMutex) const
+{
+    // Shared restore: the checkpoint of the gang's earliest first site
+    // (trials arrive sorted, so that is lane 0's).
+    const sim::Checkpoint *checkpoint = checkpoints_.findForInjectable(
+        trials[0].plan.sites.empty()
+            ? std::numeric_limits<uint64_t>::max()
+            : trials[0].plan.sites.front());
+    uint64_t instructions = 0;
+    uint64_t injectableRetired = 0;
+    size_t outputPrefix = 0;
+    if (checkpoint) {
+        base.restoreFrom(*checkpoint, golden_);
+        instructions = checkpoint->instructions;
+        injectableRetired = checkpoint->injectableRetired;
+        outputPrefix = checkpoint->outputLength;
+    } else {
+        base.fastReset();
+    }
+    gang.reset(base.machine(), base.memory(), lanes, instructions,
+               injectableRetired, outputPrefix);
+
+    GangLaneCtx laneCtx[sim::GangSimulator::MAX_LANES];
+    for (;;) {
+        // Next pause target: the earliest unapplied site over the
+        // lanes still executing in the gang (evicted lanes finish
+        // their own schedules in the drain).
+        uint64_t nextSite = std::numeric_limits<uint64_t>::max();
+        for (unsigned l = 0; l < lanes; ++l) {
+            if (!gang.laneInGang(l))
+                continue;
+            const auto &sites = trials[l].plan.sites;
+            if (laneCtx[l].cursor < sites.size())
+                nextSite = std::min(nextSite,
+                                    sites[laneCtx[l].cursor]);
+        }
+        uint64_t stopAfter =
+            nextSite == std::numeric_limits<uint64_t>::max()
+                ? 0 // no sites left in-gang: run to completion
+                : nextSite + 1 - gang.injectableRetired();
+        sim::RunResult run = gang.runUntilInjectable(
+            stopAfter, injectableBytes_, budget);
+        if (run.status != sim::RunStatus::Paused)
+            break; // gang drained (every lane has an exit record)
+        uint64_t site = gang.injectableRetired() - 1;
+        const isa::Instruction &ins = program_.code[run.faultPc];
+        // Apply every flip scheduled at this site (several lanes can
+        // share one). A lane that left the gang before its site is
+        // skipped here; the drain applies its remaining flips.
+        for (unsigned l = 0; l < lanes; ++l) {
+            if (!gang.laneInGang(l))
+                continue;
+            GangLaneCtx &ctx = laneCtx[l];
+            const InjectionPlan &plan = trials[l].plan;
+            if (ctx.cursor >= plan.sites.size() ||
+                plan.sites[ctx.cursor] != site)
+                continue;
+            auto laneMachine = gang.laneMachine(l);
+            auto laneMemory = gang.laneMemory(l);
+            if (flipResultT(ins, plan.masks[ctx.cursor], resultKinds_,
+                            laneMachine, laneMemory))
+                ++ctx.injected;
+            ++ctx.cursor;
+        }
+    }
+
+    for (const auto &exitRecord : gang.takeExits()) {
+        const GangTrial &trial = trials[exitRecord.lane];
+        GangLaneCtx &ctx = laneCtx[exitRecord.lane];
+        TrialOutcome &outcome = result.outcomes[trial.slot];
+        if (exitRecord.kind == sim::GangSimulator::ExitKind::Diverged) {
+            drainLane(drain, exitRecord, trial.plan, checkpoint, ctx,
+                      budget, outcome);
+        } else {
+            outcome.run = exitRecord.run;
+            outcome.injected = ctx.injected;
+            if (outcome.run.status == sim::RunStatus::Completed) {
+                outcome.output.reserve(outputPrefix +
+                                       exitRecord.outputTail.size());
+                outcome.output.assign(
+                    golden_.begin(),
+                    golden_.begin() +
+                        static_cast<ptrdiff_t>(outputPrefix));
+                outcome.output.insert(outcome.output.end(),
+                                      exitRecord.outputTail.begin(),
+                                      exitRecord.outputTail.end());
+            }
+        }
+        switch (outcome.run.status) {
+          case sim::RunStatus::Completed:
+            ++tally.completed;
+            break;
+          case sim::RunStatus::Timeout:
+            ++tally.timedOut;
+            break;
+          default:
+            ++tally.crashed;
+            break;
+        }
+        if (onTrial) {
+            std::lock_guard<std::mutex> lock(observerMutex);
+            onTrial(outcome);
+        }
+    }
+}
+
+void
+CampaignRunner::drainLane(sim::Simulator &simulator,
+                          const sim::GangSimulator::LaneExit &exitRecord,
+                          const InjectionPlan &plan,
+                          const sim::Checkpoint *checkpoint,
+                          GangLaneCtx &lane, uint64_t budget,
+                          TrialOutcome &outcome) const
+{
+    // Rehydrate the scalar simulator with the lane's exact state at
+    // the divergence boundary: shared restore, the lane's overlay
+    // pages on top, its registers + divergent PC, and its output so
+    // far. From here the trial is the ordinary fast-forward site loop,
+    // so the result is bit-identical to never having ganged at all.
+    if (checkpoint)
+        simulator.restoreFrom(*checkpoint, golden_);
+    else
+        simulator.fastReset();
+    for (const auto &[pageNumber, bytes] : exitRecord.pages)
+        simulator.memory().setPage(pageNumber, bytes);
+    simulator.machine() = exitRecord.machine;
+    simulator.appendOutput(exitRecord.outputTail);
+
+    uint64_t injectableRetired = exitRecord.injectableRetired;
+    uint64_t instructionsSoFar = exitRecord.instructions;
+    size_t cursor = lane.cursor;
+    uint64_t injected = lane.injected;
+    sim::RunResult run;
+    for (;;) {
+        uint64_t stopAfter =
+            cursor < plan.sites.size()
+                ? plan.sites[cursor] + 1 - injectableRetired
+                : 0;
+        run = simulator.runUntilInjectable(stopAfter, injectableBytes_,
+                                           budget, instructionsSoFar);
+        instructionsSoFar = run.instructions;
+        if (run.status != sim::RunStatus::Paused)
+            break;
+        injectableRetired = plan.sites[cursor] + 1;
+        if (flipResult(program_.code[run.faultPc], plan.masks[cursor],
+                       resultKinds_, simulator.machine(),
+                       simulator.memory()))
+            ++injected;
+        ++cursor;
+    }
+    outcome.run = run;
+    outcome.injected = injected;
+    if (run.status == sim::RunStatus::Completed)
+        outcome.output = simulator.output();
 }
 
 CampaignResult

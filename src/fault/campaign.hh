@@ -24,6 +24,15 @@
  * (0: the classic full-replay Injector-hook path), at every thread
  * count.
  *
+ * Gang execution: on the checkpointed fast path, trials are grouped by
+ * their first injection site into gangs of CampaignConfig::gangWidth
+ * lanes that share one checkpoint restore and one fetch/decode stream
+ * (sim/gang.hh). Lanes whose fault diverges control flow drain through
+ * the scalar fast path, so results stay bit-identical to gangWidth = 0
+ * (pure scalar) for every width, thread count, checkpoint interval,
+ * and pruning mode. The classic interval-0 path never uses gangs,
+ * keeping it an independent oracle.
+ *
  * "Infinite execution" is detected by an instruction budget of
  * budgetFactor x the golden run's dynamic instruction count.
  *
@@ -47,15 +56,28 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "fault/injection.hh"
 #include "sim/checkpoint.hh"
+#include "sim/gang.hh"
 #include "sim/outcome.hh"
 #include "sim/simulator.hh"
 #include "support/stats.hh"
 
 namespace etc::fault {
+
+/** CampaignConfig::gangWidth sentinel: let the runner pick a width. */
+inline constexpr unsigned GANG_WIDTH_AUTO = 0xffffffffu;
+
+/**
+ * The width GANG_WIDTH_AUTO resolves to on the checkpointed path.
+ * 32 wins over narrower gangs because the shared fetch/decode/
+ * reconcile work amortizes over more lanes while the per-lane work
+ * (dense register columns, copy-on-write pages) scales linearly.
+ */
+inline constexpr unsigned DEFAULT_GANG_WIDTH = 32;
 
 /** Knobs of one campaign cell. */
 struct CampaignConfig
@@ -65,6 +87,16 @@ struct CampaignConfig
     uint64_t seed = 0x5eed;     //!< master seed (trial i derives from it)
     double budgetFactor = 10.0; //!< timeout at factor x golden length
     unsigned threads = 1;       //!< worker threads (0 = all cores)
+
+    /**
+     * Trial lanes per gang on the checkpointed fast path: 0 forces
+     * pure scalar execution, GANG_WIDTH_AUTO (default) picks
+     * DEFAULT_GANG_WIDTH, anything else is clamped to
+     * sim::GangSimulator::MAX_LANES. Purely an execution strategy --
+     * results are bit-identical for every value -- so it is NOT part
+     * of a cell's identity.
+     */
+    unsigned gangWidth = GANG_WIDTH_AUTO;
 };
 
 /** One trial's record. */
@@ -234,11 +266,64 @@ class CampaignRunner
      */
     static CampaignResult mergeShards(std::vector<CampaignResult> shards);
 
+    /** @return the effective gang width for @p requested (see
+     *         CampaignConfig::gangWidth). */
+    static unsigned
+    resolveGangWidth(unsigned requested)
+    {
+        if (requested == GANG_WIDTH_AUTO)
+            return DEFAULT_GANG_WIDTH;
+        return requested < sim::GangSimulator::MAX_LANES
+                   ? requested
+                   : sim::GangSimulator::MAX_LANES;
+    }
+
   private:
     /** One trial via checkpoint restore + hookless site-to-site runs. */
     void runTrialFastForward(sim::Simulator &simulator,
                              const InjectionPlan &plan, uint64_t budget,
                              TrialOutcome &outcome) const;
+
+    /// @name Gang execution (see sim/gang.hh and the file header)
+    /// @{
+
+    /** A live (not pruned) trial queued for gang execution: its global
+     *  outcome slot plus its sampled plan. */
+    struct GangTrial
+    {
+        uint64_t slot; //!< index into CampaignResult::outcomes
+        InjectionPlan plan;
+    };
+
+    /** Per-lane injection progress carried from gang to drain. */
+    struct GangLaneCtx
+    {
+        size_t cursor = 0;    //!< next plan site to apply
+        uint64_t injected = 0; //!< flips actually performed
+    };
+
+    /** runRange() over gangs of @p width lanes (checkpointed path). */
+    CampaignResult runRangeGang(
+        const CampaignConfig &config, uint64_t lo, uint64_t hi,
+        unsigned width,
+        const std::function<void(const TrialOutcome &)> &onTrial);
+
+    /** Execute one gang of @p lanes trials end to end (restore, run,
+     *  flip at pauses, drain divergent lanes, record outcomes). */
+    void runGang(const GangTrial *trials, unsigned lanes,
+                 sim::Simulator &base, sim::Simulator &drain,
+                 sim::GangSimulator &gang, uint64_t budget,
+                 CampaignResult &result, OutcomeTally &tally,
+                 const std::function<void(const TrialOutcome &)> &onTrial,
+                 std::mutex &observerMutex) const;
+
+    /** Finish a control-diverged lane through the scalar fast path. */
+    void drainLane(sim::Simulator &simulator,
+                   const sim::GangSimulator::LaneExit &exitRecord,
+                   const InjectionPlan &plan,
+                   const sim::Checkpoint *checkpoint, GangLaneCtx &lane,
+                   uint64_t budget, TrialOutcome &outcome) const;
+    /// @}
 
     const assembly::Program &program_;
     std::vector<bool> injectable_;

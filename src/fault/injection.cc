@@ -43,18 +43,6 @@ sampleMask(const BitErrorModel &model, Rng &rng)
     return mask;
 }
 
-/** Fold a 32-bit mask onto @p width bits: each set bit lands at
- *  (bit % width), matching the legacy per-bit `bit % width` flip.
- *  XOR fold, because two flips landing on one folded bit cancel. */
-uint32_t
-foldMask(uint32_t mask, unsigned width)
-{
-    uint32_t folded = 0;
-    for (unsigned lo = 0; lo < 32; lo += width)
-        folded ^= mask >> lo;
-    return folded & ((uint32_t{1} << width) - 1);
-}
-
 } // namespace
 
 InjectionPlan
@@ -94,55 +82,7 @@ flipResult(const isa::Instruction &ins, uint32_t mask,
            unsigned resultKinds, sim::Machine &machine,
            sim::Memory &memory)
 {
-    if (resultKinds & RK_REGISTER) {
-        if (auto def = ins.def()) {
-            // Register result (jal/jalr corrupt the saved link here).
-            machine.writeFlat(*def, machine.readFlat(*def) ^ mask);
-            return true;
-        }
-    }
-    if ((resultKinds & RK_CONTROL) && ins.isControl()) {
-        // A control transfer's result is the next PC.
-        machine.pc ^= mask;
-        return true;
-    }
-    if ((resultKinds & RK_MEMORY) && ins.isStore()) {
-        // A store's result is the memory value it wrote. Flip it
-        // in place (within the stored width); if the store went
-        // out of region under the lenient model, the value was
-        // dropped and there is nothing to corrupt.
-        uint32_t addr = machine.readInt(ins.rs) +
-                        static_cast<uint32_t>(ins.imm);
-        switch (ins.op) {
-          case isa::Opcode::SB: {
-            uint8_t value = 0;
-            if (memory.read8(addr, value) == sim::MemStatus::Ok) {
-                memory.write8(addr, static_cast<uint8_t>(
-                    value ^ foldMask(mask, 8)));
-                return true;
-            }
-            return false;
-          }
-          case isa::Opcode::SH: {
-            uint16_t value = 0;
-            if (memory.read16(addr, value) == sim::MemStatus::Ok) {
-                memory.write16(addr, static_cast<uint16_t>(
-                    value ^ foldMask(mask, 16)));
-                return true;
-            }
-            return false;
-          }
-          default: { // sw / swc1
-            uint32_t value = 0;
-            if (memory.read32(addr, value) == sim::MemStatus::Ok) {
-                memory.write32(addr, value ^ mask);
-                return true;
-            }
-            return false;
-          }
-        }
-    }
-    return false;
+    return flipResultT(ins, mask, resultKinds, machine, memory);
 }
 
 bool

@@ -88,6 +88,22 @@ InjectionPlan samplePlan(uint64_t injectableDynamicCount,
 InjectionPlan samplePlan(uint64_t injectableDynamicCount,
                          unsigned numErrors, Rng &rng);
 
+namespace detail {
+
+/** Fold a 32-bit mask onto @p width bits: each set bit lands at
+ *  (bit % width), matching the legacy per-bit `bit % width` flip.
+ *  XOR fold, because two flips landing on one folded bit cancel. */
+inline uint32_t
+foldMask(uint32_t mask, unsigned width)
+{
+    uint32_t folded = 0;
+    for (unsigned lo = 0; lo < 32; lo += width)
+        folded ^= mask >> lo;
+    return folded & ((uint32_t{1} << width) - 1);
+}
+
+} // namespace detail
+
 /**
  * XOR @p mask into the policy-allowed result of the just-retired
  * instruction @p ins: its destination register, its next PC (control
@@ -99,11 +115,73 @@ InjectionPlan samplePlan(uint64_t injectableDynamicCount,
  * exactly where ExecHook::onRetire runs, which is also where
  * Simulator::runUntilInjectable() pauses.
  *
+ * Templated over the machine/memory shape so the scalar Simulator and
+ * a GangSimulator lane proxy (sim/gang.hh) run the byte-identical flip
+ * logic: MachineT provides pc / readFlat / writeFlat / readInt and
+ * MemoryT the checked read/write accessors.
+ *
  * @param resultKinds ResultKind bitmask of corruptible result kinds
  * @return true if a flip was actually performed (a store that was
  *         dropped by the lenient memory model has nothing to corrupt,
  *         and an instruction with no allowed result kind is skipped).
  */
+template <typename MachineT, typename MemoryT>
+bool
+flipResultT(const isa::Instruction &ins, uint32_t mask,
+            unsigned resultKinds, MachineT &machine, MemoryT &memory)
+{
+    if (resultKinds & RK_REGISTER) {
+        if (auto def = ins.def()) {
+            // Register result (jal/jalr corrupt the saved link here).
+            machine.writeFlat(*def, machine.readFlat(*def) ^ mask);
+            return true;
+        }
+    }
+    if ((resultKinds & RK_CONTROL) && ins.isControl()) {
+        // A control transfer's result is the next PC.
+        machine.pc ^= mask;
+        return true;
+    }
+    if ((resultKinds & RK_MEMORY) && ins.isStore()) {
+        // A store's result is the memory value it wrote. Flip it
+        // in place (within the stored width); if the store went
+        // out of region under the lenient model, the value was
+        // dropped and there is nothing to corrupt.
+        uint32_t addr = machine.readInt(ins.rs) +
+                        static_cast<uint32_t>(ins.imm);
+        switch (ins.op) {
+          case isa::Opcode::SB: {
+            uint8_t value = 0;
+            if (memory.read8(addr, value) == sim::MemStatus::Ok) {
+                memory.write8(addr, static_cast<uint8_t>(
+                    value ^ detail::foldMask(mask, 8)));
+                return true;
+            }
+            return false;
+          }
+          case isa::Opcode::SH: {
+            uint16_t value = 0;
+            if (memory.read16(addr, value) == sim::MemStatus::Ok) {
+                memory.write16(addr, static_cast<uint16_t>(
+                    value ^ detail::foldMask(mask, 16)));
+                return true;
+            }
+            return false;
+          }
+          default: { // sw / swc1
+            uint32_t value = 0;
+            if (memory.read32(addr, value) == sim::MemStatus::Ok) {
+                memory.write32(addr, value ^ mask);
+                return true;
+            }
+            return false;
+          }
+        }
+    }
+    return false;
+}
+
+/** flipResultT() over the scalar Simulator's Machine + Memory. */
 bool flipResult(const isa::Instruction &ins, uint32_t mask,
                 unsigned resultKinds, sim::Machine &machine,
                 sim::Memory &memory);

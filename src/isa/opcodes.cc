@@ -46,10 +46,10 @@ format(Opcode op)
     return lookup(op).fmt;
 }
 
-InstrClass
-instrClass(Opcode op)
+void
+detail::badOpcode(unsigned index)
 {
-    return lookup(op).cls;
+    panic("invalid opcode value ", index);
 }
 
 std::optional<Opcode>
@@ -65,19 +65,6 @@ opcodeFromMnemonic(const std::string &mnem)
     if (it == map.end())
         return std::nullopt;
     return it->second;
-}
-
-bool
-isControlTransfer(Opcode op)
-{
-    switch (instrClass(op)) {
-      case InstrClass::Branch:
-      case InstrClass::Jump:
-      case InstrClass::Call:
-        return true;
-      default:
-        return false;
-    }
 }
 
 } // namespace etc::isa

@@ -11,6 +11,7 @@
 #ifndef ETC_ISA_OPCODES_HH
 #define ETC_ISA_OPCODES_HH
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -158,8 +159,35 @@ const char *mnemonic(Opcode op);
 /** @return the operand format of @p op. */
 Format format(Opcode op);
 
-/** @return the semantic class of @p op. */
-InstrClass instrClass(Opcode op);
+namespace detail {
+
+/** Opcode -> class, indexable without the full traits lookup. */
+inline constexpr std::array<InstrClass, NUM_OPCODES> INSTR_CLASS = {{
+#define ETC_X(mnem, enumName, fmt, cls) InstrClass::cls,
+    ETC_ISA_OPCODE_TABLE(ETC_X)
+#undef ETC_X
+}};
+
+/** Cold path for an out-of-range opcode value; throws PanicError. */
+[[noreturn]] void badOpcode(unsigned index);
+
+} // namespace detail
+
+/**
+ * @return the semantic class of @p op.
+ *
+ * Inline: this sits on every interpreter dispatch (isControl() decides
+ * whether the PC advances sequentially), so it must not cost a
+ * cross-TU call per retired instruction.
+ */
+inline InstrClass
+instrClass(Opcode op)
+{
+    auto index = static_cast<unsigned>(op);
+    if (index >= NUM_OPCODES)
+        detail::badOpcode(index);
+    return detail::INSTR_CLASS[index];
+}
 
 /** Look up an opcode from its mnemonic. */
 std::optional<Opcode> opcodeFromMnemonic(const std::string &mnem);
@@ -172,7 +200,13 @@ isAluClass(InstrClass cls)
 }
 
 /** @return true if @p op transfers control (branch/jump/call). */
-bool isControlTransfer(Opcode op);
+inline bool
+isControlTransfer(Opcode op)
+{
+    InstrClass cls = instrClass(op);
+    return cls == InstrClass::Branch || cls == InstrClass::Jump ||
+           cls == InstrClass::Call;
+}
 
 } // namespace etc::isa
 

@@ -1,6 +1,7 @@
 #include "service/scheduler.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "store/record.hh"
@@ -82,6 +83,7 @@ Scheduler::contextFor(const bench::Experiment &exp)
         bench::BenchOptions opts;
         opts.threads = config_.threads;
         opts.checkpointInterval = config_.checkpointInterval;
+        opts.gangWidth = config_.gangWidth;
         opts.seed = config_.seed;
         opts.cacheDir = config_.cacheDir;
         slot->studyConfig = bench::makeStudyConfig(exp, opts);
@@ -97,7 +99,8 @@ Scheduler::contextFor(const bench::Experiment &exp)
 Scheduler::SubmitOutcome
 Scheduler::submit(
     const bench::Experiment &exp, unsigned trialsOverride,
-    std::optional<std::pair<unsigned, std::string>> cell)
+    std::optional<std::pair<unsigned, std::string>> cell,
+    std::optional<unsigned> gangWidth)
 {
     unsigned trials =
         trialsOverride ? trialsOverride : exp.defaultTrials;
@@ -161,6 +164,7 @@ Scheduler::submit(
             task->trials = trials;
             task->key = std::move(plan.key);
             task->fingerprint = plan.fingerprint;
+            task->gangWidth = gangWidth.value_or(config_.gangWidth);
             liveTasks_[plan.fingerprint] = task;
             queue_.push_back(task);
             enqueued = true;
@@ -270,7 +274,16 @@ Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
         }
 
         auto &study = task.ctx->ensureStudy();
+        // Retune the shared study to this job's gang width (execution
+        // strategy only; results are bit-identical for every width).
+        study.setGangWidth(task.gangWidth);
         uint64_t before = study.trialsExecuted();
+        auto started = std::chrono::steady_clock::now();
+        auto elapsed = [&started] {
+            std::chrono::duration<double> span =
+                std::chrono::steady_clock::now() - started;
+            return span.count();
+        };
         unsigned chunks = std::max(1u, config_.chunks);
         bool interrupted = false;
         for (unsigned chunk = 0; chunk < chunks; ++chunk) {
@@ -288,6 +301,7 @@ Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
             std::lock_guard<std::mutex> lock(mutex_);
             uint64_t ran = study.trialsExecuted() - before;
             task.trialsExecuted += ran;
+            task.wallSeconds += elapsed();
             trialsExecuted_ += ran;
             task.state = CellState::Queued;
             queue_.push_front(taskPtr);
@@ -301,6 +315,7 @@ Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
         std::lock_guard<std::mutex> lock(mutex_);
         uint64_t ran = study.trialsExecuted() - before;
         task.trialsExecuted += ran;
+        task.wallSeconds += elapsed();
         trialsExecuted_ += ran;
         task.cached = task.trialsExecuted == 0;
         task.state = CellState::Done;
@@ -361,6 +376,7 @@ Scheduler::jobStatus(const std::string &id) const
         cell.state = task->state;
         cell.cached = task->cached;
         cell.trialsExecuted = task->trialsExecuted;
+        cell.wallSeconds = task->wallSeconds;
         cell.error = task->error;
         if (task->state == CellState::Done)
             ++status.cellsDone;

@@ -57,6 +57,11 @@ struct SchedulerConfig
     uint64_t seed = core::StudyConfig{}.seed;
     uint64_t checkpointInterval =
         core::StudyConfig{}.checkpointInterval;
+
+    /** Daemon-wide gang width (see core::StudyConfig::gangWidth);
+     *  submissions may override it per job. Execution strategy only
+     *  -- results are bit-identical for every width. */
+    unsigned gangWidth = fault::GANG_WIDTH_AUTO;
 };
 
 /** Lifecycle of one cell task. */
@@ -82,7 +87,15 @@ struct CellStatus
     CellState state = CellState::Queued;
     bool cached = false;          //!< served without simulating
     uint64_t trialsExecuted = 0;  //!< trials actually simulated
+    double wallSeconds = 0.0;     //!< simulation wall time so far
     std::string error;            //!< failure message (state Failed)
+
+    /** Simulation throughput (0 for cached/unstarted cells). */
+    double
+    trialsPerSec() const
+    {
+        return wallSeconds > 0.0 ? trialsExecuted / wallSeconds : 0.0;
+    }
 };
 
 /** Point-in-time snapshot of one job. */
@@ -153,7 +166,8 @@ class Scheduler
      */
     SubmitOutcome submit(
         const bench::Experiment &exp, unsigned trialsOverride,
-        std::optional<std::pair<unsigned, std::string>> cell);
+        std::optional<std::pair<unsigned, std::string>> cell,
+        std::optional<unsigned> gangWidth = std::nullopt);
 
     /** @return a snapshot of job @p id, or nullopt if unknown. */
     std::optional<JobStatus> jobStatus(const std::string &id) const;
@@ -189,6 +203,8 @@ class Scheduler
         CellState state = CellState::Queued;
         bool cached = false;
         uint64_t trialsExecuted = 0;
+        double wallSeconds = 0.0;
+        unsigned gangWidth = fault::GANG_WIDTH_AUTO;
         std::string error;
     };
 

@@ -49,7 +49,12 @@ encodeCellStatus(const CellStatus &cell)
         .field("trials", uint64_t{cell.trials})
         .field("state", cellStateName(cell.state))
         .field("cached", cell.cached)
-        .field("trialsExecuted", cell.trialsExecuted);
+        .field("trialsExecuted", cell.trialsExecuted)
+        // Throughput of the simulation this daemon actually ran for
+        // the cell (0 for cached or still-queued cells), so daemon
+        // users see trials/sec without grepping BENCH_JSON lines.
+        .field("wallSeconds", readableDouble(cell.wallSeconds))
+        .field("trialsPerSec", readableDouble(cell.trialsPerSec()));
     if (!cell.error.empty())
         writer.field("error", cell.error);
     return writer.str();
@@ -212,6 +217,7 @@ CampaignService::submitJob(const HttpRequest &request)
     const bench::Experiment *exp = nullptr;
     unsigned trials = 0;
     std::optional<std::pair<unsigned, std::string>> cell;
+    std::optional<unsigned> gangWidth;
     try {
         const store::JsonValue *name = body.find("experiment");
         if (!name)
@@ -229,6 +235,23 @@ CampaignService::submitJob(const HttpRequest &request)
                 return errorResponse(
                     400, "trials must be >= 1 (omit the field for "
                          "the experiment default)");
+        }
+
+        // Optional per-job gang width (0 = scalar, "auto" = the
+        // daemon's default); an execution strategy only -- results
+        // are bit-identical for every width.
+        if (const store::JsonValue *value = body.find("gangWidth")) {
+            if (!(value->kind == store::JsonValue::Kind::String &&
+                  value->asString() == "auto")) {
+                unsigned width = value->asU32();
+                if (width > sim::GangSimulator::MAX_LANES)
+                    return errorResponse(
+                        400,
+                        "gangWidth must be \"auto\" or 0.." +
+                            std::to_string(
+                                sim::GangSimulator::MAX_LANES));
+                gangWidth = width;
+            }
         }
 
         const store::JsonValue *errors = body.find("errors");
@@ -260,7 +283,7 @@ CampaignService::submitJob(const HttpRequest &request)
         return errorResponse(400, e.what());
     }
 
-    auto outcome = scheduler_.submit(*exp, trials, cell);
+    auto outcome = scheduler_.submit(*exp, trials, cell, gangWidth);
     auto status = scheduler_.jobStatus(outcome.jobId);
 
     store::JsonObjectWriter writer;

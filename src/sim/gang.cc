@@ -1,0 +1,881 @@
+#include "sim/gang.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace etc::sim {
+
+using namespace isa;
+
+GangSimulator::GangSimulator(const assembly::Program &program,
+                             MemoryModel model, unsigned maxWidth)
+    : program_(program), model_(model), width_(maxWidth),
+      stride_(maxWidth + 1)
+{
+    if (maxWidth == 0 || maxWidth > MAX_LANES)
+        panic("GangSimulator: bad width ", maxWidth);
+    regs_.assign(size_t{NUM_REGS} * stride_, 0);
+    lanePc_.assign(stride_, 0);
+    outputs_.resize(stride_);
+    laneState_.assign(width_, LaneState::Exited);
+    execList_.reserve(stride_);
+    touched_.reserve(width_);
+}
+
+void
+GangSimulator::reset(const Machine &machine, const Memory &base,
+                     unsigned lanes, uint64_t instructions,
+                     uint64_t injectableRetired,
+                     size_t outputPrefixLength)
+{
+    if (lanes == 0 || lanes > width_)
+        panic("GangSimulator: bad lane count ", lanes, " (width ",
+              width_, ")");
+    lanes_ = lanes;
+
+    dataBase_ = base.dataBase();
+    dataLimit_ = base.dataLimit();
+    stackBase_ = base.stackBase();
+    stackLimit_ = base.stackLimit();
+    dataFirstPage_ = dataBase_ >> Memory::PAGE_BITS;
+    stackFirstPage_ = stackBase_ >> Memory::PAGE_BITS;
+    dataPageCount_ = ((dataLimit_ - 1) >> Memory::PAGE_BITS) -
+                     dataFirstPage_ + 1;
+    unsigned stackPageCount = ((stackLimit_ - 1) >> Memory::PAGE_BITS) -
+                              stackFirstPage_ + 1;
+    pageCount_ = dataPageCount_ + stackPageCount;
+
+    baseTable_.resize(pageCount_);
+    for (unsigned i = 0; i < pageCount_; ++i)
+        baseTable_[i] = base.pageData(flatPageNumber(i));
+
+    // Only the golden slot's table is built here; trial lanes get
+    // theirs lazily when they materialize.
+    tables_.assign(size_t{stride_} * pageCount_, nullptr);
+    own_.assign(size_t{stride_} * pageCount_, 0);
+    freePages_.clear();
+    freePages_.reserve(pageStorage_.size());
+    for (auto &page : pageStorage_)
+        freePages_.push_back(page.get());
+
+    const unsigned g = width_;
+    for (unsigned r = 0; r < NUM_REGS; ++r)
+        reg(g, r) = machine.readFlat(static_cast<RegId>(r));
+    lanePc_[g] = machine.pc;
+    // Base pages are never written through the table (writes go
+    // through pageForWrite, which clones un-owned pages first).
+    for (unsigned i = 0; i < pageCount_; ++i)
+        tables_[size_t{g} * pageCount_ + i] =
+            const_cast<uint8_t *>(baseTable_[i]);
+    for (auto &out : outputs_)
+        out.clear();
+
+    laneState_.assign(width_, LaneState::Exited);
+    for (unsigned l = 0; l < lanes_; ++l)
+        laneState_[l] = LaneState::Alias;
+    aliasCount_ = lanes_;
+    goldenLive_ = true;
+    execList_.clear();
+    execList_.push_back(static_cast<uint8_t>(g));
+
+    pc_ = machine.pc;
+    instructions_ = instructions;
+    injectableRetired_ = injectableRetired;
+    outputPrefix_ = outputPrefixLength;
+    pausePending_ = false;
+    lastStepControl_ = false;
+    touched_.clear();
+    exits_.clear();
+}
+
+uint8_t *
+GangSimulator::allocPage()
+{
+    if (freePages_.empty()) {
+        pageStorage_.push_back(
+            std::make_unique<uint8_t[]>(Memory::PAGE_SIZE));
+        freePages_.push_back(pageStorage_.back().get());
+    }
+    uint8_t *page = freePages_.back();
+    freePages_.pop_back();
+    return page;
+}
+
+uint8_t *
+GangSimulator::pageForWrite(unsigned slot, unsigned index)
+{
+    size_t at = size_t{slot} * pageCount_ + index;
+    if (!own_[at]) {
+        uint8_t *fresh = allocPage();
+        if (tables_[at])
+            std::memcpy(fresh, tables_[at], Memory::PAGE_SIZE);
+        else
+            std::memset(fresh, 0, Memory::PAGE_SIZE);
+        tables_[at] = fresh;
+        own_[at] = 1;
+    }
+    return tables_[at];
+}
+
+template <typename T>
+MemStatus
+GangSimulator::laneRead(unsigned slot, uint32_t addr, T &value)
+{
+    // Mirrors Memory::readN exactly: alignment first, then bounds
+    // (lenient out-of-region reads yield 0), then the page walk.
+    if (sizeof(T) > 1 && (addr & (sizeof(T) - 1)))
+        return MemStatus::Misaligned;
+    if (!inBounds(addr, sizeof(T))) {
+        if (model_ == MemoryModel::Strict)
+            return MemStatus::OutOfBounds;
+        value = 0;
+        return MemStatus::Ok;
+    }
+    const uint8_t *page =
+        tables_[size_t{slot} * pageCount_ + pageIndex(addr)];
+    if (page)
+        std::memcpy(&value, page + (addr & (Memory::PAGE_SIZE - 1)),
+                    sizeof(T));
+    else
+        value = 0; // untouched page reads as zeroes
+    return MemStatus::Ok;
+}
+
+template <typename T>
+MemStatus
+GangSimulator::laneWrite(unsigned slot, uint32_t addr, T value)
+{
+    if (sizeof(T) > 1 && (addr & (sizeof(T) - 1)))
+        return MemStatus::Misaligned;
+    if (!inBounds(addr, sizeof(T)))
+        return model_ == MemoryModel::Strict ? MemStatus::OutOfBounds
+                                             : MemStatus::Ok; // dropped
+    uint8_t *page = pageForWrite(slot, pageIndex(addr));
+    std::memcpy(page + (addr & (Memory::PAGE_SIZE - 1)), &value,
+                sizeof(T));
+    return MemStatus::Ok;
+}
+
+// The lane proxies (used from fault/campaign.cc via flipResultT) need
+// out-of-line copies of the access templates.
+template MemStatus GangSimulator::laneRead<uint8_t>(unsigned, uint32_t,
+                                                    uint8_t &);
+template MemStatus GangSimulator::laneRead<uint16_t>(unsigned, uint32_t,
+                                                     uint16_t &);
+template MemStatus GangSimulator::laneRead<uint32_t>(unsigned, uint32_t,
+                                                     uint32_t &);
+template MemStatus GangSimulator::laneWrite<uint8_t>(unsigned, uint32_t,
+                                                     uint8_t);
+template MemStatus GangSimulator::laneWrite<uint16_t>(unsigned, uint32_t,
+                                                      uint16_t);
+template MemStatus GangSimulator::laneWrite<uint32_t>(unsigned, uint32_t,
+                                                      uint32_t);
+
+uint32_t
+GangSimulator::laneReadFlat(unsigned lane, RegId r) const
+{
+    // Storage is already flat (fcc at FP_FLAG_REG holds 0/1, $zero
+    // holds 0 by the write guards), so this is one indexed load.
+    return reg(lane, r);
+}
+
+void
+GangSimulator::laneWriteFlat(unsigned lane, RegId r, uint32_t value)
+{
+    // Mirrors Machine::writeFlat: $zero writes are discarded, the FP
+    // flag keeps only bit 0.
+    if (isIntReg(r)) {
+        if (r != REG_ZERO)
+            reg(lane, r) = value;
+    } else if (isFpReg(r)) {
+        reg(lane, r) = value;
+    } else {
+        reg(lane, r) = value & 1;
+    }
+}
+
+void
+GangSimulator::materialize(unsigned lane)
+{
+    const unsigned g = width_;
+    for (unsigned r = 0; r < NUM_REGS; ++r)
+        reg(lane, r) = reg(g, r);
+    // The lane's next PC is the pack's: after a control step that is
+    // golden's computed target, otherwise the shared advanced PC.
+    lanePc_[lane] = lastStepControl_ ? lanePc_[g] : pc_;
+    // Fork the page table: every page becomes shared, so ownership
+    // clears on BOTH sides (the next writer clones again).
+    std::memcpy(&tables_[size_t{lane} * pageCount_],
+                &tables_[size_t{g} * pageCount_],
+                size_t{pageCount_} * sizeof(uint8_t *));
+    std::memset(&own_[size_t{lane} * pageCount_], 0, pageCount_);
+    std::memset(&own_[size_t{g} * pageCount_], 0, pageCount_);
+    outputs_[lane] = outputs_[g];
+    laneState_[lane] = LaneState::Active;
+    execList_.insert(std::lower_bound(execList_.begin(), execList_.end(),
+                                      static_cast<uint8_t>(lane)),
+                     static_cast<uint8_t>(lane));
+    --aliasCount_;
+}
+
+GangSimulator::LaneMachine
+GangSimulator::laneMachine(unsigned lane)
+{
+    if (lane >= lanes_ || laneState_[lane] == LaneState::Exited)
+        panic("GangSimulator::laneMachine: lane ", lane,
+              " not in gang");
+    if (laneState_[lane] == LaneState::Alias)
+        materialize(lane);
+    else if (!lastStepControl_)
+        lanePc_[lane] = pc_; // refresh the (stale) per-lane slot
+    touched_.push_back(static_cast<uint8_t>(lane));
+    return LaneMachine(*this, lane, lanePc_[lane]);
+}
+
+GangSimulator::LaneMemory
+GangSimulator::laneMemory(unsigned lane)
+{
+    if (lane >= lanes_ || laneState_[lane] == LaneState::Exited)
+        panic("GangSimulator::laneMemory: lane ", lane, " not in gang");
+    if (laneState_[lane] == LaneState::Alias)
+        materialize(lane);
+    return LaneMemory(*this, lane);
+}
+
+void
+GangSimulator::removeFromExec(unsigned slot)
+{
+    execList_.erase(std::find(execList_.begin(), execList_.end(),
+                              static_cast<uint8_t>(slot)));
+}
+
+void
+GangSimulator::evictDiverged(unsigned lane)
+{
+    LaneExit exit;
+    exit.lane = lane;
+    exit.kind = ExitKind::Diverged;
+    for (unsigned r = 0; r < NUM_REGS; ++r)
+        exit.machine.writeFlat(static_cast<RegId>(r), reg(lane, r));
+    exit.machine.pc = lanePc_[lane];
+    for (unsigned i = 0; i < pageCount_; ++i) {
+        const uint8_t *page = tables_[size_t{lane} * pageCount_ + i];
+        if (page != baseTable_[i])
+            exit.pages.emplace_back(flatPageNumber(i), page);
+    }
+    exit.outputTail = std::move(outputs_[lane]);
+    exit.instructions = instructions_;
+    exit.injectableRetired = injectableRetired_;
+    exits_.push_back(std::move(exit));
+    laneState_[lane] = LaneState::Exited;
+    removeFromExec(lane);
+}
+
+void
+GangSimulator::exitFinished(unsigned lane, RunStatus status,
+                            uint32_t faultPc)
+{
+    bool wasAlias = laneState_[lane] == LaneState::Alias;
+    LaneExit exit;
+    exit.lane = lane;
+    exit.kind = ExitKind::Finished;
+    exit.run.status = status;
+    exit.run.instructions = instructions_;
+    exit.run.faultPc = faultPc;
+    if (status == RunStatus::Completed)
+        exit.outputTail = wasAlias ? outputs_[width_]
+                                   : std::move(outputs_[lane]);
+    exit.instructions = instructions_;
+    exit.injectableRetired = injectableRetired_;
+    exits_.push_back(std::move(exit));
+    laneState_[lane] = LaneState::Exited;
+    if (wasAlias)
+        --aliasCount_;
+    else
+        removeFromExec(lane);
+}
+
+void
+GangSimulator::finishAll(RunStatus status, uint32_t faultPc)
+{
+    for (unsigned l = 0; l < lanes_; ++l)
+        if (laneState_[l] != LaneState::Exited)
+            exitFinished(l, status, faultPc);
+    goldenLive_ = false;
+    execList_.clear();
+}
+
+void
+GangSimulator::maybeDropGolden()
+{
+    if (goldenLive_ && aliasCount_ == 0) {
+        goldenLive_ = false;
+        removeFromExec(width_);
+    }
+}
+
+void
+GangSimulator::reconcile()
+{
+    uint32_t pack;
+    if (goldenLive_) {
+        // While golden rides along (aliases exist), the pack follows
+        // the golden path by definition.
+        pack = lanePc_[width_];
+    } else {
+        // Fast path: everyone agrees (the overwhelmingly common case).
+        bool any = false, uniform = true;
+        uint32_t first = 0;
+        for (unsigned l = 0; l < lanes_; ++l) {
+            if (laneState_[l] != LaneState::Active)
+                continue;
+            if (!any) {
+                first = lanePc_[l];
+                any = true;
+            } else if (lanePc_[l] != first) {
+                uniform = false;
+                break;
+            }
+        }
+        if (!any)
+            return;
+        if (uniform) {
+            pc_ = first;
+            return;
+        }
+        // Majority next PC; ties break to the PC first seen scanning
+        // lanes in ascending index order (deterministic regardless of
+        // materialization order).
+        pack = first;
+        unsigned best = 0;
+        for (unsigned l = 0; l < lanes_; ++l) {
+            if (laneState_[l] != LaneState::Active)
+                continue;
+            unsigned votes = 0;
+            for (unsigned m = 0; m < lanes_; ++m)
+                if (laneState_[m] == LaneState::Active &&
+                    lanePc_[m] == lanePc_[l])
+                    ++votes;
+            if (votes > best) {
+                best = votes;
+                pack = lanePc_[l];
+            }
+        }
+    }
+    for (unsigned l = 0; l < lanes_; ++l)
+        if (laneState_[l] == LaneState::Active && lanePc_[l] != pack)
+            evictDiverged(l);
+    pc_ = pack;
+}
+
+bool
+GangSimulator::executeStep(const Instruction &ins, uint32_t thisPc)
+{
+    // Two execution regimes:
+    //
+    //  * DENSE ops (plain ALU, FP arithmetic, branches, jumps, reg
+    //    moves) cannot fault and touch only register columns / next-PC
+    //    slots, so they compute over ALL stride_ columns
+    //    unconditionally -- branch-free, contiguous, vectorizable.
+    //    Dead columns (aliases, exited lanes, a retired golden) get
+    //    garbage, which is harmless: materialize() rewrites an alias's
+    //    whole column from golden, and exited lanes were snapshotted
+    //    at exit. This is what makes a gang step cheaper than N scalar
+    //    steps rather than merely batched.
+    //
+    //  * GATED ops (div/rem, loads/stores, output) can fault or have
+    //    per-lane memory/stream side effects, so they run only over
+    //    the execute set.
+    const unsigned n = static_cast<unsigned>(execList_.size());
+    const uint8_t *slots = execList_.data();
+    const unsigned all = stride_;
+    const uint32_t fall = thisPc + 1;
+    uint32_t *pcs = lanePc_.data();
+    const uint32_t imm = static_cast<uint32_t>(ins.imm);
+
+    // Register rows are always valid to form (unused operand fields
+    // are zero, i.e. $zero's row).
+    uint32_t *d = &regs_[size_t{ins.rd} * stride_];
+    const uint32_t *a = &regs_[size_t{ins.rs} * stride_];
+    const uint32_t *b = &regs_[size_t{ins.rt} * stride_];
+
+    // Faults are recorded during the slot loops and processed after
+    // them (evicting mid-loop would edit execList_ under iteration).
+    uint8_t faultSlot[MAX_LANES + 1];
+    RunStatus faultKind[MAX_LANES + 1];
+    unsigned faults = 0;
+    auto faultLane = [&](unsigned slot, RunStatus status) {
+        faultSlot[faults] = static_cast<uint8_t>(slot);
+        faultKind[faults] = status;
+        ++faults;
+    };
+
+    // Memory ops: lanes almost always agree on the address (a flip
+    // rarely lands in an address register), so hoist the alignment /
+    // bounds / page-index work out of the lane loop when they do. Any
+    // lane disagreeing -- or a uniform address that faults -- drops to
+    // the per-lane laneRead/laneWrite path, which reproduces scalar
+    // fault semantics exactly.
+    auto gatedLoad = [&](auto zero, auto &&writeback) {
+        using T = decltype(zero);
+        const uint32_t addr0 = a[slots[0]] + imm;
+        bool uniform = true;
+        for (unsigned i = 1; i < n; ++i)
+            uniform &= (a[slots[i]] + imm) == addr0;
+        if (uniform && !(sizeof(T) > 1 && (addr0 & (sizeof(T) - 1))) &&
+            inBounds(addr0, sizeof(T))) {
+            const size_t index = pageIndex(addr0);
+            const uint32_t off = addr0 & (Memory::PAGE_SIZE - 1);
+            for (unsigned i = 0; i < n; ++i) {
+                unsigned s = slots[i];
+                const uint8_t *page =
+                    tables_[size_t{s} * pageCount_ + index];
+                T value{};
+                if (page)
+                    std::memcpy(&value, page + off, sizeof(T));
+                writeback(s, value);
+            }
+            return;
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            unsigned s = slots[i];
+            T value{};
+            if (laneRead(s, a[s] + imm, value) != MemStatus::Ok) {
+                faultLane(s, RunStatus::MemoryFault);
+                continue;
+            }
+            writeback(s, value);
+        }
+    };
+    auto gatedStore = [&](auto narrow) {
+        using T = decltype(narrow(uint32_t{}));
+        const uint32_t addr0 = a[slots[0]] + imm;
+        bool uniform = true;
+        for (unsigned i = 1; i < n; ++i)
+            uniform &= (a[slots[i]] + imm) == addr0;
+        if (uniform && !(sizeof(T) > 1 && (addr0 & (sizeof(T) - 1))) &&
+            inBounds(addr0, sizeof(T))) {
+            const size_t index = pageIndex(addr0);
+            const uint32_t off = addr0 & (Memory::PAGE_SIZE - 1);
+            for (unsigned i = 0; i < n; ++i) {
+                unsigned s = slots[i];
+                uint8_t *page = pageForWrite(s, index);
+                T value = narrow(d[s]);
+                std::memcpy(page + off, &value, sizeof(T));
+            }
+            return;
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            unsigned s = slots[i];
+            if (laneWrite(s, a[s] + imm, narrow(d[s])) != MemStatus::Ok)
+                faultLane(s, RunStatus::MemoryFault);
+        }
+    };
+
+// Dense register write: every column, with the $zero discard hoisted
+// out of the loop ($zero as rd skips the whole op -- ALU ops have no
+// other architectural effect, exactly like Machine::writeInt).
+#define ETC_GANG_DENSE(expr)                                          \
+    do {                                                              \
+        if (ins.rd != REG_ZERO)                                       \
+            for (unsigned s = 0; s < all; ++s)                        \
+                d[s] = (expr);                                        \
+    } while (0)
+
+// Dense float helpers (columns hold raw bits).
+#define ETC_GANG_F(x) std::bit_cast<float>(x)
+#define ETC_GANG_BITS(x) std::bit_cast<uint32_t>(x)
+
+    switch (ins.op) {
+      case Opcode::ADD: ETC_GANG_DENSE(a[s] + b[s]); break;
+      case Opcode::SUB: ETC_GANG_DENSE(a[s] - b[s]); break;
+      case Opcode::MUL: ETC_GANG_DENSE(a[s] * b[s]); break;
+      case Opcode::DIV:
+        for (unsigned i = 0; i < n; ++i) {
+            unsigned s = slots[i];
+            auto den = static_cast<int32_t>(b[s]);
+            if (den == 0) {
+                faultLane(s, RunStatus::DivByZero);
+                continue;
+            }
+            auto num = static_cast<int32_t>(a[s]);
+            if (ins.rd == REG_ZERO)
+                continue;
+            if (num == std::numeric_limits<int32_t>::min() && den == -1)
+                d[s] = static_cast<uint32_t>(num);
+            else
+                d[s] = static_cast<uint32_t>(num / den);
+        }
+        break;
+      case Opcode::REM:
+        for (unsigned i = 0; i < n; ++i) {
+            unsigned s = slots[i];
+            auto den = static_cast<int32_t>(b[s]);
+            if (den == 0) {
+                faultLane(s, RunStatus::DivByZero);
+                continue;
+            }
+            auto num = static_cast<int32_t>(a[s]);
+            if (ins.rd == REG_ZERO)
+                continue;
+            if (num == std::numeric_limits<int32_t>::min() && den == -1)
+                d[s] = 0;
+            else
+                d[s] = static_cast<uint32_t>(num % den);
+        }
+        break;
+      case Opcode::AND: ETC_GANG_DENSE(a[s] & b[s]); break;
+      case Opcode::OR: ETC_GANG_DENSE(a[s] | b[s]); break;
+      case Opcode::XOR: ETC_GANG_DENSE(a[s] ^ b[s]); break;
+      case Opcode::NOR: ETC_GANG_DENSE(~(a[s] | b[s])); break;
+      case Opcode::SLT:
+        ETC_GANG_DENSE(static_cast<int32_t>(a[s]) <
+                               static_cast<int32_t>(b[s])
+                           ? 1
+                           : 0);
+        break;
+      case Opcode::SLTU: ETC_GANG_DENSE(a[s] < b[s] ? 1 : 0); break;
+      case Opcode::SLLV: ETC_GANG_DENSE(a[s] << (b[s] & 31)); break;
+      case Opcode::SRLV: ETC_GANG_DENSE(a[s] >> (b[s] & 31)); break;
+      case Opcode::SRAV:
+        ETC_GANG_DENSE(static_cast<uint32_t>(
+            static_cast<int32_t>(a[s]) >> (b[s] & 31)));
+        break;
+      case Opcode::ADDI: ETC_GANG_DENSE(a[s] + imm); break;
+      case Opcode::ANDI: ETC_GANG_DENSE(a[s] & imm); break;
+      case Opcode::ORI: ETC_GANG_DENSE(a[s] | imm); break;
+      case Opcode::XORI: ETC_GANG_DENSE(a[s] ^ imm); break;
+      case Opcode::SLTI:
+        ETC_GANG_DENSE(static_cast<int32_t>(a[s]) < ins.imm ? 1 : 0);
+        break;
+      case Opcode::SLTIU: ETC_GANG_DENSE(a[s] < imm ? 1 : 0); break;
+      case Opcode::SLL: ETC_GANG_DENSE(a[s] << (ins.imm & 31)); break;
+      case Opcode::SRL: ETC_GANG_DENSE(a[s] >> (ins.imm & 31)); break;
+      case Opcode::SRA:
+        ETC_GANG_DENSE(static_cast<uint32_t>(
+            static_cast<int32_t>(a[s]) >> (ins.imm & 31)));
+        break;
+      case Opcode::LUI: ETC_GANG_DENSE(imm << 16); break;
+
+      case Opcode::LW:
+        gatedLoad(uint32_t{}, [&](unsigned s, uint32_t value) {
+            if (ins.rd != REG_ZERO)
+                d[s] = value;
+        });
+        break;
+      case Opcode::LH:
+        gatedLoad(uint16_t{}, [&](unsigned s, uint16_t value) {
+            if (ins.rd != REG_ZERO)
+                d[s] = static_cast<uint32_t>(static_cast<int32_t>(
+                    static_cast<int16_t>(value)));
+        });
+        break;
+      case Opcode::LHU:
+        gatedLoad(uint16_t{}, [&](unsigned s, uint16_t value) {
+            if (ins.rd != REG_ZERO)
+                d[s] = value;
+        });
+        break;
+      case Opcode::LB:
+        gatedLoad(uint8_t{}, [&](unsigned s, uint8_t value) {
+            if (ins.rd != REG_ZERO)
+                d[s] = static_cast<uint32_t>(static_cast<int32_t>(
+                    static_cast<int8_t>(value)));
+        });
+        break;
+      case Opcode::LBU:
+        gatedLoad(uint8_t{}, [&](unsigned s, uint8_t value) {
+            if (ins.rd != REG_ZERO)
+                d[s] = value;
+        });
+        break;
+      case Opcode::SW:
+        gatedStore([](uint32_t v) { return v; });
+        break;
+      case Opcode::SH:
+        gatedStore([](uint32_t v) { return static_cast<uint16_t>(v); });
+        break;
+      case Opcode::SB:
+        gatedStore([](uint32_t v) { return static_cast<uint8_t>(v); });
+        break;
+
+      case Opcode::BEQ:
+        for (unsigned s = 0; s < all; ++s)
+            pcs[s] = a[s] == b[s] ? ins.target : fall;
+        break;
+      case Opcode::BNE:
+        for (unsigned s = 0; s < all; ++s)
+            pcs[s] = a[s] != b[s] ? ins.target : fall;
+        break;
+      case Opcode::BLEZ:
+        for (unsigned s = 0; s < all; ++s)
+            pcs[s] = static_cast<int32_t>(a[s]) <= 0 ? ins.target : fall;
+        break;
+      case Opcode::BGTZ:
+        for (unsigned s = 0; s < all; ++s)
+            pcs[s] = static_cast<int32_t>(a[s]) > 0 ? ins.target : fall;
+        break;
+      case Opcode::BLTZ:
+        for (unsigned s = 0; s < all; ++s)
+            pcs[s] = static_cast<int32_t>(a[s]) < 0 ? ins.target : fall;
+        break;
+      case Opcode::BGEZ:
+        for (unsigned s = 0; s < all; ++s)
+            pcs[s] = static_cast<int32_t>(a[s]) >= 0 ? ins.target : fall;
+        break;
+      case Opcode::J:
+        for (unsigned s = 0; s < all; ++s)
+            pcs[s] = ins.target;
+        break;
+      case Opcode::JAL: {
+        uint32_t *ra = &regs_[size_t{REG_RA} * stride_];
+        for (unsigned s = 0; s < all; ++s) {
+            ra[s] = fall;
+            pcs[s] = ins.target;
+        }
+        break;
+      }
+      case Opcode::JR:
+        for (unsigned s = 0; s < all; ++s)
+            pcs[s] = a[s];
+        break;
+      case Opcode::JALR:
+        // Link write BEFORE the target read, like the scalar
+        // interpreter: jalr with rd == rs jumps to the link.
+        if (ins.rd != REG_ZERO)
+            for (unsigned s = 0; s < all; ++s)
+                d[s] = fall;
+        for (unsigned s = 0; s < all; ++s)
+            pcs[s] = a[s];
+        break;
+
+      case Opcode::ADDS:
+        ETC_GANG_DENSE(
+            ETC_GANG_BITS(ETC_GANG_F(a[s]) + ETC_GANG_F(b[s])));
+        break;
+      case Opcode::SUBS:
+        ETC_GANG_DENSE(
+            ETC_GANG_BITS(ETC_GANG_F(a[s]) - ETC_GANG_F(b[s])));
+        break;
+      case Opcode::MULS:
+        ETC_GANG_DENSE(
+            ETC_GANG_BITS(ETC_GANG_F(a[s]) * ETC_GANG_F(b[s])));
+        break;
+      case Opcode::DIVS:
+        ETC_GANG_DENSE(
+            ETC_GANG_BITS(ETC_GANG_F(a[s]) / ETC_GANG_F(b[s])));
+        break;
+      case Opcode::ABSS:
+        ETC_GANG_DENSE(ETC_GANG_BITS(std::fabs(ETC_GANG_F(a[s]))));
+        break;
+      case Opcode::NEGS:
+        ETC_GANG_DENSE(ETC_GANG_BITS(-ETC_GANG_F(a[s])));
+        break;
+      case Opcode::MOVS: ETC_GANG_DENSE(a[s]); break;
+      case Opcode::SQRTS:
+        ETC_GANG_DENSE(ETC_GANG_BITS(std::sqrt(ETC_GANG_F(a[s]))));
+        break;
+      case Opcode::CVTSW:
+        ETC_GANG_DENSE(ETC_GANG_BITS(
+            static_cast<float>(static_cast<int32_t>(a[s]))));
+        break;
+      case Opcode::CVTWS:
+        for (unsigned s = 0; s < all; ++s) {
+            float value = ETC_GANG_F(a[s]);
+            int32_t truncated;
+            if (std::isnan(value))
+                truncated = 0;
+            else if (value >= 2147483648.0f)
+                truncated = std::numeric_limits<int32_t>::max();
+            else if (value < -2147483648.0f)
+                truncated = std::numeric_limits<int32_t>::min();
+            else
+                truncated = static_cast<int32_t>(value);
+            d[s] = static_cast<uint32_t>(truncated);
+        }
+        break;
+      case Opcode::CEQS: {
+        uint32_t *fcc = &regs_[size_t{FP_FLAG_REG} * stride_];
+        for (unsigned s = 0; s < all; ++s)
+            fcc[s] = ETC_GANG_F(a[s]) == ETC_GANG_F(b[s]) ? 1 : 0;
+        break;
+      }
+      case Opcode::CLTS: {
+        uint32_t *fcc = &regs_[size_t{FP_FLAG_REG} * stride_];
+        for (unsigned s = 0; s < all; ++s)
+            fcc[s] = ETC_GANG_F(a[s]) < ETC_GANG_F(b[s]) ? 1 : 0;
+        break;
+      }
+      case Opcode::CLES: {
+        uint32_t *fcc = &regs_[size_t{FP_FLAG_REG} * stride_];
+        for (unsigned s = 0; s < all; ++s)
+            fcc[s] = ETC_GANG_F(a[s]) <= ETC_GANG_F(b[s]) ? 1 : 0;
+        break;
+      }
+      case Opcode::BC1T: {
+        const uint32_t *fcc = &regs_[size_t{FP_FLAG_REG} * stride_];
+        for (unsigned s = 0; s < all; ++s)
+            pcs[s] = fcc[s] != 0 ? ins.target : fall;
+        break;
+      }
+      case Opcode::BC1F: {
+        const uint32_t *fcc = &regs_[size_t{FP_FLAG_REG} * stride_];
+        for (unsigned s = 0; s < all; ++s)
+            pcs[s] = fcc[s] == 0 ? ins.target : fall;
+        break;
+      }
+      case Opcode::LWC1:
+        gatedLoad(uint32_t{}, [&](unsigned s, uint32_t value) {
+            d[s] = value; // FP destination: no $zero discard
+        });
+        break;
+      case Opcode::SWC1:
+        gatedStore([](uint32_t v) { return v; });
+        break;
+      case Opcode::MTC1:
+        for (unsigned s = 0; s < all; ++s)
+            d[s] = a[s]; // FP destination: no $zero discard
+        break;
+      case Opcode::MFC1: ETC_GANG_DENSE(a[s]); break;
+
+      case Opcode::NOP:
+        break;
+      case Opcode::HALT:
+        // Completion dominates any pause request, exactly like the
+        // scalar interpreter; every in-gang lane (aliases included)
+        // completes with its own output tail.
+        finishAll(RunStatus::Completed, 0);
+        return true;
+      case Opcode::OUTB:
+        for (unsigned i = 0; i < n; ++i) {
+            unsigned s = slots[i];
+            outputs_[s].push_back(static_cast<uint8_t>(a[s]));
+            if (outputPrefix_ + outputs_[s].size() >
+                Simulator::OUTPUT_CAP)
+                faultLane(s, RunStatus::OutputOverflow);
+        }
+        break;
+      case Opcode::OUTW:
+        for (unsigned i = 0; i < n; ++i) {
+            unsigned s = slots[i];
+            uint32_t value = a[s];
+            for (int byte = 0; byte < 4; ++byte)
+                outputs_[s].push_back(
+                    static_cast<uint8_t>(value >> (8 * byte)));
+            if (outputPrefix_ + outputs_[s].size() >
+                Simulator::OUTPUT_CAP)
+                faultLane(s, RunStatus::OutputOverflow);
+        }
+        break;
+    }
+
+#undef ETC_GANG_DENSE
+#undef ETC_GANG_F
+#undef ETC_GANG_BITS
+
+    for (unsigned i = 0; i < faults; ++i) {
+        if (faultSlot[i] == width_)
+            panic("GangSimulator: golden lane faulted at pc ", thisPc);
+        exitFinished(faultSlot[i], faultKind[i], thisPc);
+    }
+    return false;
+}
+
+RunResult
+GangSimulator::runUntilInjectable(uint64_t count,
+                                  const ByteMask &injectable,
+                                  uint64_t maxInstructions)
+{
+    if (injectable.size() != program_.size())
+        panic("GangSimulator: injectable bitmap size mismatch");
+    if (maxInstructions == 0)
+        maxInstructions = Simulator::DEFAULT_BUDGET;
+
+    // Settle the PCs a pause's flips may have perturbed: after a
+    // control step every active lane's slot is authoritative; after a
+    // data step only proxied lanes can have moved off the shared PC.
+    if (pausePending_) {
+        pausePending_ = false;
+        if (lastStepControl_) {
+            reconcile();
+        } else {
+            for (uint8_t lane : touched_)
+                if (laneState_[lane] == LaneState::Active &&
+                    lanePc_[lane] != pc_)
+                    evictDiverged(lane);
+        }
+        touched_.clear();
+    }
+
+    // The alias count only changes between runs (proxy access
+    // materializes a lane) or inside finishAll, which returns -- so
+    // the golden lane's retirement check needs to run only once here,
+    // not per instruction.
+    maybeDropGolden();
+
+    RunResult result;
+    uint64_t remaining = count;
+    const auto codeSize = program_.size();
+    const auto *code = program_.code.data();
+
+    for (;;) {
+        if (execList_.empty()) {
+            // Every lane has an exit record; the gang is drained.
+            result.status = RunStatus::Completed;
+            result.instructions = instructions_;
+            return result;
+        }
+        if (pc_ >= codeSize) {
+            // Mirrors the scalar loop top: falling off the end is
+            // completion, anything past it a bad jump.
+            finishAll(pc_ == codeSize ? RunStatus::Completed
+                                      : RunStatus::BadJump,
+                      pc_ == codeSize ? 0 : pc_);
+            result.status = RunStatus::Completed;
+            result.instructions = instructions_;
+            return result;
+        }
+        if (instructions_ >= maxInstructions) {
+            finishAll(RunStatus::Timeout, pc_);
+            result.status = RunStatus::Completed;
+            result.instructions = instructions_;
+            return result;
+        }
+
+        const Instruction &ins = code[pc_];
+        const uint32_t thisPc = pc_;
+        ++instructions_;
+        bool halted = executeStep(ins, thisPc);
+        bool isInjectable = injectable[thisPc] != 0;
+        if (isInjectable)
+            ++injectableRetired_;
+        if (halted) {
+            result.status = RunStatus::Completed;
+            result.instructions = instructions_;
+            return result;
+        }
+        bool control = ins.isControl();
+        if (!control)
+            pc_ = thisPc + 1;
+        if (isInjectable && remaining != 0 && --remaining == 0) {
+            // Pause BEFORE reconciling: the caller's flips must see
+            // (and may change) each lane's own next PC, exactly as the
+            // scalar path applies flips after the PC update.
+            pausePending_ = true;
+            lastStepControl_ = control;
+            result.status = RunStatus::Paused;
+            result.instructions = instructions_;
+            result.faultPc = thisPc;
+            return result;
+        }
+        if (control)
+            reconcile();
+    }
+}
+
+} // namespace etc::sim

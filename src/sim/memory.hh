@@ -157,6 +157,14 @@ class Memory
     /** @return true if [addr, addr+len) lies entirely in a valid segment. */
     bool inBounds(uint32_t addr, uint32_t len) const;
 
+    /// @name Segment geometry (gang lanes mirror the bounds checks)
+    /// @{
+    uint32_t dataBase() const { return dataBase_; }
+    uint32_t dataLimit() const { return dataLimit_; }
+    uint32_t stackBase() const { return stackBase_; }
+    uint32_t stackLimit() const { return stackLimit_; }
+    /// @}
+
   private:
     /** One segment's dense page-slot array (second table level). */
     struct Segment

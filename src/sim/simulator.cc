@@ -165,6 +165,63 @@ Simulator::restoreFrom(const Checkpoint &checkpoint,
                        static_cast<ptrdiff_t>(checkpoint.outputLength));
 }
 
+/*
+ * The interpreter body below is written once, against the ETC_OP /
+ * ETC_NEXT macros, and expanded into one of two dispatch strategies:
+ *
+ *  - Threaded dispatch (GNU C labels-as-values): every handler ends
+ *    by retiring the instruction and jumping straight to the next
+ *    handler through a label table indexed by opcode. Each opcode
+ *    gets its own indirect branch, so the branch predictor learns
+ *    per-opcode successor patterns instead of sharing one
+ *    unpredictable switch branch across the whole ISA.
+ *
+ *  - A portable fetch/switch loop, used when the extension is
+ *    unavailable.
+ *
+ * Both expansions retire instructions identically: prologue (PC
+ * bounds, budget, fetch) -> execute -> epilogue (publish next PC,
+ * run the retire policy). Faults return before the epilogue, so
+ * faultPc is the faulting instruction's own PC.
+ */
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ETC_THREADED_DISPATCH 1
+#endif
+
+// Prologue: completion/bad-jump/budget checks, then fetch. Returns
+// out of runCore on any terminal condition.
+#define ETC_STEP_PROLOGUE()                                                \
+    do {                                                                   \
+        if (m.pc >= codeSize) {                                            \
+            /* Returning from the entry function lands exactly at */       \
+            /* codeSize (see reset()); that is a clean completion. */      \
+            if (m.pc == codeSize) {                                        \
+                result.status = RunStatus::Completed;                      \
+                return result;                                             \
+            }                                                              \
+            return fault(RunStatus::BadJump);                              \
+        }                                                                  \
+        if (result.instructions >= maxInstructions)                        \
+            return fault(RunStatus::Timeout);                              \
+        ins = &code[m.pc];                                                 \
+        thisPc = m.pc;                                                     \
+        nextPc = m.pc + 1;                                                 \
+        ++result.instructions;                                             \
+    } while (0)
+
+// Epilogue: publish the next PC before the retire policy so a control
+// transfer's "result" (the PC) is visible and corruptible.
+#define ETC_STEP_EPILOGUE()                                                \
+    do {                                                                   \
+        m.pc = nextPc;                                                     \
+        if (policy(thisPc, *ins, m, memory_)) {                            \
+            result.status = RunStatus::Paused;                             \
+            result.faultPc = thisPc;                                       \
+            return result;                                                 \
+        }                                                                  \
+    } while (0)
+
 template <typename Policy>
 RunResult
 Simulator::runCore(uint64_t maxInstructions, uint64_t baseInstructions,
@@ -176,288 +233,288 @@ Simulator::runCore(uint64_t maxInstructions, uint64_t baseInstructions,
     const auto *code = program_.code.data();
     Machine &m = machine_;
 
+    const Instruction *ins = nullptr;
+    uint32_t thisPc = 0;
+    uint32_t nextPc = 0;
+
     auto fault = [&](RunStatus status) {
         result.status = status;
         result.faultPc = m.pc;
         return result;
     };
 
+    auto rs = [&] { return m.readInt(ins->rs); };
+    auto rt = [&] { return m.readInt(ins->rt); };
+    auto srs = [&] { return static_cast<int32_t>(m.readInt(ins->rs)); };
+    auto srt = [&] { return static_cast<int32_t>(m.readInt(ins->rt)); };
+    auto fs = [&] { return m.readFp(ins->rs - NUM_INT_REGS); };
+    auto ft = [&] { return m.readFp(ins->rt - NUM_INT_REGS); };
+    auto setRd = [&](uint32_t v) { m.writeInt(ins->rd, v); };
+    auto setFd = [&](float v) { m.writeFp(ins->rd - NUM_INT_REGS, v); };
+
+#ifdef ETC_THREADED_DISPATCH
+    // One label per opcode, in table order, so Opcode values index
+    // the dispatch table directly.
+    static const void *const dispatch[] = {
+#define ETC_X(mnem, enumName, fmt, cls) &&handle_##enumName,
+        ETC_ISA_OPCODE_TABLE(ETC_X)
+#undef ETC_X
+    };
+
+#define ETC_OP(name) handle_##name:
+#define ETC_NEXT                                                           \
+    ETC_STEP_EPILOGUE();                                                   \
+    ETC_STEP_PROLOGUE();                                                   \
+    goto *dispatch[static_cast<unsigned>(ins->op)];
+
+    ETC_STEP_PROLOGUE();
+    goto *dispatch[static_cast<unsigned>(ins->op)];
+#else
+
+#define ETC_OP(name) case Opcode::name:
+#define ETC_NEXT break;
+
     while (true) {
-        if (m.pc >= codeSize) {
-            // Returning from the entry function lands exactly at
-            // codeSize (see reset()); that is a clean completion.
-            if (m.pc == codeSize) {
-                result.status = RunStatus::Completed;
-                return result;
-            }
-            return fault(RunStatus::BadJump);
-        }
-        if (result.instructions >= maxInstructions)
-            return fault(RunStatus::Timeout);
+        ETC_STEP_PROLOGUE();
+        switch (ins->op) {
+#endif
 
-        const Instruction &ins = code[m.pc];
-        const uint32_t thisPc = m.pc;
-        uint32_t nextPc = m.pc + 1;
-        ++result.instructions;
-
-        auto rs = [&] { return m.readInt(ins.rs); };
-        auto rt = [&] { return m.readInt(ins.rt); };
-        auto srs = [&] { return static_cast<int32_t>(m.readInt(ins.rs)); };
-        auto srt = [&] { return static_cast<int32_t>(m.readInt(ins.rt)); };
-        auto fs = [&] { return m.readFp(ins.rs - NUM_INT_REGS); };
-        auto ft = [&] { return m.readFp(ins.rt - NUM_INT_REGS); };
-        auto setRd = [&](uint32_t v) { m.writeInt(ins.rd, v); };
-        auto setFd = [&](float v) { m.writeFp(ins.rd - NUM_INT_REGS, v); };
-
-        switch (ins.op) {
-          case Opcode::ADD: setRd(rs() + rt()); break;
-          case Opcode::SUB: setRd(rs() - rt()); break;
-          case Opcode::MUL: setRd(rs() * rt()); break;
-          case Opcode::DIV: {
-            int32_t den = srt();
-            if (den == 0)
-                return fault(RunStatus::DivByZero);
-            int32_t num = srs();
-            // INT_MIN / -1 overflows in C++; MIPS leaves it
-            // unpredictable -- define it as wrapping to INT_MIN.
-            if (num == std::numeric_limits<int32_t>::min() && den == -1)
-                setRd(static_cast<uint32_t>(num));
-            else
-                setRd(static_cast<uint32_t>(num / den));
-            break;
-          }
-          case Opcode::REM: {
-            int32_t den = srt();
-            if (den == 0)
-                return fault(RunStatus::DivByZero);
-            int32_t num = srs();
-            if (num == std::numeric_limits<int32_t>::min() && den == -1)
-                setRd(0);
-            else
-                setRd(static_cast<uint32_t>(num % den));
-            break;
-          }
-          case Opcode::AND: setRd(rs() & rt()); break;
-          case Opcode::OR: setRd(rs() | rt()); break;
-          case Opcode::XOR: setRd(rs() ^ rt()); break;
-          case Opcode::NOR: setRd(~(rs() | rt())); break;
-          case Opcode::SLT: setRd(srs() < srt() ? 1 : 0); break;
-          case Opcode::SLTU: setRd(rs() < rt() ? 1 : 0); break;
-          case Opcode::SLLV: setRd(rs() << (rt() & 31)); break;
-          case Opcode::SRLV: setRd(rs() >> (rt() & 31)); break;
-          case Opcode::SRAV:
-            setRd(static_cast<uint32_t>(srs() >> (rt() & 31)));
-            break;
-          case Opcode::ADDI:
-            setRd(rs() + static_cast<uint32_t>(ins.imm));
-            break;
-          case Opcode::ANDI:
-            setRd(rs() & static_cast<uint32_t>(ins.imm));
-            break;
-          case Opcode::ORI:
-            setRd(rs() | static_cast<uint32_t>(ins.imm));
-            break;
-          case Opcode::XORI:
-            setRd(rs() ^ static_cast<uint32_t>(ins.imm));
-            break;
-          case Opcode::SLTI: setRd(srs() < ins.imm ? 1 : 0); break;
-          case Opcode::SLTIU:
-            setRd(rs() < static_cast<uint32_t>(ins.imm) ? 1 : 0);
-            break;
-          case Opcode::SLL: setRd(rs() << (ins.imm & 31)); break;
-          case Opcode::SRL: setRd(rs() >> (ins.imm & 31)); break;
-          case Opcode::SRA:
-            setRd(static_cast<uint32_t>(srs() >> (ins.imm & 31)));
-            break;
-          case Opcode::LUI:
-            setRd(static_cast<uint32_t>(ins.imm) << 16);
-            break;
-
-          case Opcode::LW: {
-            uint32_t value = 0;
-            if (memory_.read32(rs() + static_cast<uint32_t>(ins.imm),
-                               value) != MemStatus::Ok)
-                return fault(RunStatus::MemoryFault);
-            setRd(value);
-            break;
-          }
-          case Opcode::LH: {
-            uint16_t value = 0;
-            if (memory_.read16(rs() + static_cast<uint32_t>(ins.imm),
-                               value) != MemStatus::Ok)
-                return fault(RunStatus::MemoryFault);
-            setRd(static_cast<uint32_t>(
-                static_cast<int32_t>(static_cast<int16_t>(value))));
-            break;
-          }
-          case Opcode::LHU: {
-            uint16_t value = 0;
-            if (memory_.read16(rs() + static_cast<uint32_t>(ins.imm),
-                               value) != MemStatus::Ok)
-                return fault(RunStatus::MemoryFault);
-            setRd(value);
-            break;
-          }
-          case Opcode::LB: {
-            uint8_t value = 0;
-            if (memory_.read8(rs() + static_cast<uint32_t>(ins.imm),
-                              value) != MemStatus::Ok)
-                return fault(RunStatus::MemoryFault);
-            setRd(static_cast<uint32_t>(
-                static_cast<int32_t>(static_cast<int8_t>(value))));
-            break;
-          }
-          case Opcode::LBU: {
-            uint8_t value = 0;
-            if (memory_.read8(rs() + static_cast<uint32_t>(ins.imm),
-                              value) != MemStatus::Ok)
-                return fault(RunStatus::MemoryFault);
-            setRd(value);
-            break;
-          }
-          case Opcode::SW:
-            if (memory_.write32(rs() + static_cast<uint32_t>(ins.imm),
-                                m.readInt(ins.rd)) != MemStatus::Ok)
-                return fault(RunStatus::MemoryFault);
-            break;
-          case Opcode::SH:
-            if (memory_.write16(rs() + static_cast<uint32_t>(ins.imm),
-                                static_cast<uint16_t>(
-                                    m.readInt(ins.rd))) != MemStatus::Ok)
-                return fault(RunStatus::MemoryFault);
-            break;
-          case Opcode::SB:
-            if (memory_.write8(rs() + static_cast<uint32_t>(ins.imm),
-                               static_cast<uint8_t>(m.readInt(ins.rd))) !=
-                MemStatus::Ok)
-                return fault(RunStatus::MemoryFault);
-            break;
-
-          case Opcode::BEQ:
-            if (rs() == rt())
-                nextPc = ins.target;
-            break;
-          case Opcode::BNE:
-            if (rs() != rt())
-                nextPc = ins.target;
-            break;
-          case Opcode::BLEZ:
-            if (srs() <= 0)
-                nextPc = ins.target;
-            break;
-          case Opcode::BGTZ:
-            if (srs() > 0)
-                nextPc = ins.target;
-            break;
-          case Opcode::BLTZ:
-            if (srs() < 0)
-                nextPc = ins.target;
-            break;
-          case Opcode::BGEZ:
-            if (srs() >= 0)
-                nextPc = ins.target;
-            break;
-          case Opcode::J: nextPc = ins.target; break;
-          case Opcode::JAL:
-            m.writeInt(REG_RA, thisPc + 1);
-            nextPc = ins.target;
-            break;
-          case Opcode::JR: nextPc = rs(); break;
-          case Opcode::JALR:
-            m.writeInt(ins.rd, thisPc + 1);
-            nextPc = rs();
-            break;
-
-          case Opcode::ADDS: setFd(fs() + ft()); break;
-          case Opcode::SUBS: setFd(fs() - ft()); break;
-          case Opcode::MULS: setFd(fs() * ft()); break;
-          case Opcode::DIVS: setFd(fs() / ft()); break;
-          case Opcode::ABSS: setFd(std::fabs(fs())); break;
-          case Opcode::NEGS: setFd(-fs()); break;
-          case Opcode::MOVS: setFd(fs()); break;
-          case Opcode::SQRTS: setFd(std::sqrt(fs())); break;
-          case Opcode::CVTSW:
-            setFd(static_cast<float>(static_cast<int32_t>(
-                m.readFpBits(ins.rs - NUM_INT_REGS))));
-            break;
-          case Opcode::CVTWS: {
-            float value = fs();
-            int32_t truncated;
-            if (std::isnan(value))
-                truncated = 0;
-            else if (value >= 2147483648.0f)
-                truncated = std::numeric_limits<int32_t>::max();
-            else if (value < -2147483648.0f)
-                truncated = std::numeric_limits<int32_t>::min();
-            else
-                truncated = static_cast<int32_t>(value);
-            m.writeFpBits(ins.rd - NUM_INT_REGS,
-                          static_cast<uint32_t>(truncated));
-            break;
-          }
-          case Opcode::CEQS: m.setFcc(fs() == ft()); break;
-          case Opcode::CLTS: m.setFcc(fs() < ft()); break;
-          case Opcode::CLES: m.setFcc(fs() <= ft()); break;
-          case Opcode::BC1T:
-            if (m.fcc())
-                nextPc = ins.target;
-            break;
-          case Opcode::BC1F:
-            if (!m.fcc())
-                nextPc = ins.target;
-            break;
-          case Opcode::LWC1: {
-            uint32_t value = 0;
-            if (memory_.read32(rs() + static_cast<uint32_t>(ins.imm),
-                               value) != MemStatus::Ok)
-                return fault(RunStatus::MemoryFault);
-            m.writeFpBits(ins.rd - NUM_INT_REGS, value);
-            break;
-          }
-          case Opcode::SWC1:
-            if (memory_.write32(rs() + static_cast<uint32_t>(ins.imm),
-                                m.readFpBits(ins.rd - NUM_INT_REGS)) !=
-                MemStatus::Ok)
-                return fault(RunStatus::MemoryFault);
-            break;
-          case Opcode::MTC1:
-            m.writeFpBits(ins.rd - NUM_INT_REGS, rs());
-            break;
-          case Opcode::MFC1:
-            m.writeInt(ins.rd, m.readFpBits(ins.rs - NUM_INT_REGS));
-            break;
-
-          case Opcode::NOP: break;
-          case Opcode::HALT:
-            // Completion dominates any pause request (HALT is never
-            // injectable, so a counting policy cannot pause here).
-            policy(thisPc, ins, m, memory_);
-            result.status = RunStatus::Completed;
-            return result;
-          case Opcode::OUTB:
-            output_.push_back(static_cast<uint8_t>(rs()));
-            if (output_.size() > OUTPUT_CAP)
-                return fault(RunStatus::OutputOverflow);
-            break;
-          case Opcode::OUTW: {
-            uint32_t value = rs();
-            for (int b = 0; b < 4; ++b)
-                output_.push_back(static_cast<uint8_t>(value >> (8 * b)));
-            if (output_.size() > OUTPUT_CAP)
-                return fault(RunStatus::OutputOverflow);
-            break;
-          }
-        }
-
-        // Publish the next PC before the retire policy so a control
-        // transfer's "result" (the PC) is visible and corruptible.
-        m.pc = nextPc;
-        if (policy(thisPc, ins, m, memory_)) {
-            result.status = RunStatus::Paused;
-            result.faultPc = thisPc;
-            return result;
-        }
+    ETC_OP(ADD) setRd(rs() + rt()); ETC_NEXT
+    ETC_OP(SUB) setRd(rs() - rt()); ETC_NEXT
+    ETC_OP(MUL) setRd(rs() * rt()); ETC_NEXT
+    ETC_OP(DIV) {
+        int32_t den = srt();
+        if (den == 0)
+            return fault(RunStatus::DivByZero);
+        int32_t num = srs();
+        // INT_MIN / -1 overflows in C++; MIPS leaves it
+        // unpredictable -- define it as wrapping to INT_MIN.
+        if (num == std::numeric_limits<int32_t>::min() && den == -1)
+            setRd(static_cast<uint32_t>(num));
+        else
+            setRd(static_cast<uint32_t>(num / den));
     }
+    ETC_NEXT
+    ETC_OP(REM) {
+        int32_t den = srt();
+        if (den == 0)
+            return fault(RunStatus::DivByZero);
+        int32_t num = srs();
+        if (num == std::numeric_limits<int32_t>::min() && den == -1)
+            setRd(0);
+        else
+            setRd(static_cast<uint32_t>(num % den));
+    }
+    ETC_NEXT
+    ETC_OP(AND) setRd(rs() & rt()); ETC_NEXT
+    ETC_OP(OR) setRd(rs() | rt()); ETC_NEXT
+    ETC_OP(XOR) setRd(rs() ^ rt()); ETC_NEXT
+    ETC_OP(NOR) setRd(~(rs() | rt())); ETC_NEXT
+    ETC_OP(SLT) setRd(srs() < srt() ? 1 : 0); ETC_NEXT
+    ETC_OP(SLTU) setRd(rs() < rt() ? 1 : 0); ETC_NEXT
+    ETC_OP(SLLV) setRd(rs() << (rt() & 31)); ETC_NEXT
+    ETC_OP(SRLV) setRd(rs() >> (rt() & 31)); ETC_NEXT
+    ETC_OP(SRAV)
+    setRd(static_cast<uint32_t>(srs() >> (rt() & 31)));
+    ETC_NEXT
+    ETC_OP(ADDI) setRd(rs() + static_cast<uint32_t>(ins->imm)); ETC_NEXT
+    ETC_OP(ANDI) setRd(rs() & static_cast<uint32_t>(ins->imm)); ETC_NEXT
+    ETC_OP(ORI) setRd(rs() | static_cast<uint32_t>(ins->imm)); ETC_NEXT
+    ETC_OP(XORI) setRd(rs() ^ static_cast<uint32_t>(ins->imm)); ETC_NEXT
+    ETC_OP(SLTI) setRd(srs() < ins->imm ? 1 : 0); ETC_NEXT
+    ETC_OP(SLTIU)
+    setRd(rs() < static_cast<uint32_t>(ins->imm) ? 1 : 0);
+    ETC_NEXT
+    ETC_OP(SLL) setRd(rs() << (ins->imm & 31)); ETC_NEXT
+    ETC_OP(SRL) setRd(rs() >> (ins->imm & 31)); ETC_NEXT
+    ETC_OP(SRA)
+    setRd(static_cast<uint32_t>(srs() >> (ins->imm & 31)));
+    ETC_NEXT
+    ETC_OP(LUI) setRd(static_cast<uint32_t>(ins->imm) << 16); ETC_NEXT
+
+    ETC_OP(LW) {
+        uint32_t value = 0;
+        if (memory_.read32(rs() + static_cast<uint32_t>(ins->imm),
+                           value) != MemStatus::Ok)
+            return fault(RunStatus::MemoryFault);
+        setRd(value);
+    }
+    ETC_NEXT
+    ETC_OP(LH) {
+        uint16_t value = 0;
+        if (memory_.read16(rs() + static_cast<uint32_t>(ins->imm),
+                           value) != MemStatus::Ok)
+            return fault(RunStatus::MemoryFault);
+        setRd(static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int16_t>(value))));
+    }
+    ETC_NEXT
+    ETC_OP(LHU) {
+        uint16_t value = 0;
+        if (memory_.read16(rs() + static_cast<uint32_t>(ins->imm),
+                           value) != MemStatus::Ok)
+            return fault(RunStatus::MemoryFault);
+        setRd(value);
+    }
+    ETC_NEXT
+    ETC_OP(LB) {
+        uint8_t value = 0;
+        if (memory_.read8(rs() + static_cast<uint32_t>(ins->imm),
+                          value) != MemStatus::Ok)
+            return fault(RunStatus::MemoryFault);
+        setRd(static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int8_t>(value))));
+    }
+    ETC_NEXT
+    ETC_OP(LBU) {
+        uint8_t value = 0;
+        if (memory_.read8(rs() + static_cast<uint32_t>(ins->imm),
+                          value) != MemStatus::Ok)
+            return fault(RunStatus::MemoryFault);
+        setRd(value);
+    }
+    ETC_NEXT
+    ETC_OP(SW)
+    if (memory_.write32(rs() + static_cast<uint32_t>(ins->imm),
+                        m.readInt(ins->rd)) != MemStatus::Ok)
+        return fault(RunStatus::MemoryFault);
+    ETC_NEXT
+    ETC_OP(SH)
+    if (memory_.write16(rs() + static_cast<uint32_t>(ins->imm),
+                        static_cast<uint16_t>(m.readInt(ins->rd))) !=
+        MemStatus::Ok)
+        return fault(RunStatus::MemoryFault);
+    ETC_NEXT
+    ETC_OP(SB)
+    if (memory_.write8(rs() + static_cast<uint32_t>(ins->imm),
+                       static_cast<uint8_t>(m.readInt(ins->rd))) !=
+        MemStatus::Ok)
+        return fault(RunStatus::MemoryFault);
+    ETC_NEXT
+
+    ETC_OP(BEQ)
+    if (rs() == rt())
+        nextPc = ins->target;
+    ETC_NEXT
+    ETC_OP(BNE)
+    if (rs() != rt())
+        nextPc = ins->target;
+    ETC_NEXT
+    ETC_OP(BLEZ)
+    if (srs() <= 0)
+        nextPc = ins->target;
+    ETC_NEXT
+    ETC_OP(BGTZ)
+    if (srs() > 0)
+        nextPc = ins->target;
+    ETC_NEXT
+    ETC_OP(BLTZ)
+    if (srs() < 0)
+        nextPc = ins->target;
+    ETC_NEXT
+    ETC_OP(BGEZ)
+    if (srs() >= 0)
+        nextPc = ins->target;
+    ETC_NEXT
+    ETC_OP(J) nextPc = ins->target; ETC_NEXT
+    ETC_OP(JAL)
+    m.writeInt(REG_RA, thisPc + 1);
+    nextPc = ins->target;
+    ETC_NEXT
+    ETC_OP(JR) nextPc = rs(); ETC_NEXT
+    ETC_OP(JALR)
+    m.writeInt(ins->rd, thisPc + 1);
+    nextPc = rs();
+    ETC_NEXT
+
+    ETC_OP(ADDS) setFd(fs() + ft()); ETC_NEXT
+    ETC_OP(SUBS) setFd(fs() - ft()); ETC_NEXT
+    ETC_OP(MULS) setFd(fs() * ft()); ETC_NEXT
+    ETC_OP(DIVS) setFd(fs() / ft()); ETC_NEXT
+    ETC_OP(ABSS) setFd(std::fabs(fs())); ETC_NEXT
+    ETC_OP(NEGS) setFd(-fs()); ETC_NEXT
+    ETC_OP(MOVS) setFd(fs()); ETC_NEXT
+    ETC_OP(SQRTS) setFd(std::sqrt(fs())); ETC_NEXT
+    ETC_OP(CVTSW)
+    setFd(static_cast<float>(
+        static_cast<int32_t>(m.readFpBits(ins->rs - NUM_INT_REGS))));
+    ETC_NEXT
+    ETC_OP(CVTWS) {
+        float value = fs();
+        int32_t truncated;
+        if (std::isnan(value))
+            truncated = 0;
+        else if (value >= 2147483648.0f)
+            truncated = std::numeric_limits<int32_t>::max();
+        else if (value < -2147483648.0f)
+            truncated = std::numeric_limits<int32_t>::min();
+        else
+            truncated = static_cast<int32_t>(value);
+        m.writeFpBits(ins->rd - NUM_INT_REGS,
+                      static_cast<uint32_t>(truncated));
+    }
+    ETC_NEXT
+    ETC_OP(CEQS) m.setFcc(fs() == ft()); ETC_NEXT
+    ETC_OP(CLTS) m.setFcc(fs() < ft()); ETC_NEXT
+    ETC_OP(CLES) m.setFcc(fs() <= ft()); ETC_NEXT
+    ETC_OP(BC1T)
+    if (m.fcc())
+        nextPc = ins->target;
+    ETC_NEXT
+    ETC_OP(BC1F)
+    if (!m.fcc())
+        nextPc = ins->target;
+    ETC_NEXT
+    ETC_OP(LWC1) {
+        uint32_t value = 0;
+        if (memory_.read32(rs() + static_cast<uint32_t>(ins->imm),
+                           value) != MemStatus::Ok)
+            return fault(RunStatus::MemoryFault);
+        m.writeFpBits(ins->rd - NUM_INT_REGS, value);
+    }
+    ETC_NEXT
+    ETC_OP(SWC1)
+    if (memory_.write32(rs() + static_cast<uint32_t>(ins->imm),
+                        m.readFpBits(ins->rd - NUM_INT_REGS)) !=
+        MemStatus::Ok)
+        return fault(RunStatus::MemoryFault);
+    ETC_NEXT
+    ETC_OP(MTC1) m.writeFpBits(ins->rd - NUM_INT_REGS, rs()); ETC_NEXT
+    ETC_OP(MFC1)
+    m.writeInt(ins->rd, m.readFpBits(ins->rs - NUM_INT_REGS));
+    ETC_NEXT
+
+    ETC_OP(NOP) ETC_NEXT
+    ETC_OP(HALT)
+    // Completion dominates any pause request (HALT is never
+    // injectable, so a counting policy cannot pause here).
+    policy(thisPc, *ins, m, memory_);
+    result.status = RunStatus::Completed;
+    return result;
+    ETC_OP(OUTB)
+    output_.push_back(static_cast<uint8_t>(rs()));
+    if (output_.size() > OUTPUT_CAP)
+        return fault(RunStatus::OutputOverflow);
+    ETC_NEXT
+    ETC_OP(OUTW) {
+        uint32_t value = rs();
+        for (int b = 0; b < 4; ++b)
+            output_.push_back(static_cast<uint8_t>(value >> (8 * b)));
+        if (output_.size() > OUTPUT_CAP)
+            return fault(RunStatus::OutputOverflow);
+    }
+    ETC_NEXT
+
+#ifndef ETC_THREADED_DISPATCH
+        }
+        ETC_STEP_EPILOGUE();
+    }
+#endif
 }
+
+#undef ETC_OP
+#undef ETC_NEXT
+#undef ETC_STEP_PROLOGUE
+#undef ETC_STEP_EPILOGUE
 
 } // namespace etc::sim

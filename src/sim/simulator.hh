@@ -156,6 +156,18 @@ class Simulator
     /** Bytes emitted through outb/outw during the last run(s). */
     const std::vector<uint8_t> &output() const { return output_; }
 
+    /**
+     * Append raw bytes to the output stream. Used when rehydrating a
+     * gang lane for its scalar drain: restoreFrom() rebuilds the
+     * checkpoint's output prefix and this appends the tail the lane
+     * emitted inside the gang.
+     */
+    void
+    appendOutput(const std::vector<uint8_t> &bytes)
+    {
+        output_.insert(output_.end(), bytes.begin(), bytes.end());
+    }
+
   private:
     /**
      * The interpreter loop, templated on a retire policy so the

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Bit-identity contract of the gang interpreter: campaign results on
+ * the batched lockstep fast path are byte-identical to the scalar
+ * path for every gang width x thread count x checkpoint setting x
+ * static-prune setting -- the gang, like checkpointing and pruning,
+ * is a pure acceleration, never a result change. Diverged lanes drain
+ * through the scalar Simulator, so even the worst case (every lane
+ * diverges at its first fault) must reproduce scalar bits exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/study.hh"
+#include "fault/campaign.hh"
+#include "fault/injection.hh"
+#include "fault/policy.hh"
+#include "sim/gang.hh"
+#include "store/cell_key.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace etc;
+using namespace etc::fault;
+
+constexpr unsigned TRIALS = 40;
+
+CampaignConfig
+cellConfig(unsigned gangWidth, unsigned threads, unsigned errors = 1)
+{
+    CampaignConfig config;
+    config.trials = TRIALS;
+    config.errors = errors;
+    config.seed = 0x6a76;
+    config.threads = threads;
+    config.gangWidth = gangWidth;
+    return config;
+}
+
+/** Every observable bit must match, including per-trial records. */
+void
+expectIdentical(const CampaignResult &a, const CampaignResult &b)
+{
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.crashed, b.crashed);
+    EXPECT_EQ(a.timedOut, b.timedOut);
+    EXPECT_EQ(a.trialsPruned, b.trialsPruned);
+    EXPECT_EQ(a.trialInstructions.count(), b.trialInstructions.count());
+    EXPECT_DOUBLE_EQ(a.trialInstructions.mean(),
+                     b.trialInstructions.mean());
+    EXPECT_DOUBLE_EQ(a.trialInstructions.stdDev(),
+                     b.trialInstructions.stdDev());
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (size_t i = 0; i < a.outcomes.size(); ++i) {
+        EXPECT_EQ(a.outcomes[i].run.status, b.outcomes[i].run.status)
+            << "trial " << i;
+        EXPECT_EQ(a.outcomes[i].run.instructions,
+                  b.outcomes[i].run.instructions)
+            << "trial " << i;
+        EXPECT_EQ(a.outcomes[i].injected, b.outcomes[i].injected)
+            << "trial " << i;
+        EXPECT_EQ(a.outcomes[i].output, b.outcomes[i].output)
+            << "trial " << i;
+    }
+}
+
+/** One workload's runner grid: {checkpoint on, off} x {prune off, on}. */
+struct RunnerGrid
+{
+    std::unique_ptr<workloads::Workload> workload;
+    std::vector<bool> injectable;
+
+    /** [checkpointing ? 1 : 0][staticPrune ? 1 : 0] */
+    std::unique_ptr<CampaignRunner> runners[2][2];
+
+    explicit RunnerGrid(const std::string &name,
+                        const std::string &policyName =
+                            UNPROTECTED_POLICY)
+    {
+        workload =
+            workloads::createWorkload(name, workloads::Scale::Test);
+        injectable = injectableWithoutProtection(workload->program());
+        const InjectionPolicy &policy =
+            resolveInjectionPolicy(policyName);
+        for (int ckpt = 0; ckpt < 2; ++ckpt)
+            for (int prune = 0; prune < 2; ++prune)
+                runners[ckpt][prune] = std::make_unique<CampaignRunner>(
+                    workload->program(), injectable,
+                    sim::MemoryModel::Lenient,
+                    ckpt ? CampaignRunner::DEFAULT_CHECKPOINT_INTERVAL
+                         : 0,
+                    policy.resultKinds, policy.bitModel, prune != 0);
+    }
+
+    CampaignRunner &runner(bool ckpt, bool prune)
+    {
+        return *runners[ckpt ? 1 : 0][prune ? 1 : 0];
+    }
+};
+
+TEST(GangDeterminismTest, BitIdenticalAcrossWidthsThreadsCheckpointPrune)
+{
+    // The ISSUE's acceptance sweep: gang widths {0,1,4,8} x threads
+    // {1,4} x checkpoint {on,off} x static-prune {off,on} on two
+    // workloads, one of them divergence-heavy (mpeg's control faults
+    // split gangs constantly). Every cell must be byte-identical to
+    // the scalar checkpoint-on baseline (checkpointing itself is
+    // bit-invariant by the checkpoint_test contract).
+    for (const char *name : {"mpeg", "susan"}) {
+        RunnerGrid grid(name);
+        auto baseline = grid.runner(true, false).run(cellConfig(0, 1));
+        for (unsigned width : {0u, 1u, 4u, 8u}) {
+            for (unsigned threads : {1u, 4u}) {
+                for (bool ckpt : {true, false}) {
+                    for (bool prune : {false, true}) {
+                        auto result = grid.runner(ckpt, prune)
+                                          .run(cellConfig(width,
+                                                          threads));
+                        SCOPED_TRACE(std::string(name) + " width=" +
+                                     std::to_string(width) +
+                                     " threads=" +
+                                     std::to_string(threads) +
+                                     " ckpt=" + (ckpt ? "on" : "off") +
+                                     " prune=" +
+                                     (prune ? "on" : "off"));
+                        // Pruned trial counts legitimately differ
+                        // between prune on/off; everything else must
+                        // not.
+                        auto expected = baseline;
+                        expected.trialsPruned = result.trialsPruned;
+                        expectIdentical(expected, result);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(GangDeterminismTest, ShardMergeIdentity)
+{
+    // Gangs regroup arbitrarily at shard boundaries (a stripe's
+    // trials gang among themselves only); the merged shards must
+    // still equal the monolithic scalar cell bit for bit.
+    RunnerGrid grid("mpeg");
+    auto &runner = grid.runner(true, false);
+    auto whole = runner.run(cellConfig(0, 1));
+    auto config = cellConfig(8, 2);
+    std::vector<CampaignResult> shards;
+    shards.push_back(runner.runRange(config, 0, 17));
+    shards.push_back(runner.runRange(config, 17, TRIALS));
+    expectIdentical(whole,
+                    CampaignRunner::mergeShards(std::move(shards)));
+}
+
+TEST(GangDeterminismTest, EveryLaneDivergesDrainsToScalarBits)
+{
+    // Worst case by construction: the control-only policy flips only
+    // control-transfer results, so every injected trial diverges from
+    // the pack at its first fault and the whole gang drains through
+    // the scalar Simulator. The drain must reproduce scalar bits.
+    RunnerGrid grid("mpeg", "control-only");
+    auto scalar = grid.runner(true, false).run(cellConfig(0, 1));
+    for (unsigned width : {4u, 8u}) {
+        auto ganged =
+            grid.runner(true, false).run(cellConfig(width, 1));
+        expectIdentical(scalar, ganged);
+    }
+}
+
+TEST(GangDeterminismTest, WidthResolution)
+{
+    EXPECT_EQ(CampaignRunner::resolveGangWidth(GANG_WIDTH_AUTO),
+              DEFAULT_GANG_WIDTH);
+    EXPECT_EQ(CampaignRunner::resolveGangWidth(0), 0u);
+    EXPECT_EQ(CampaignRunner::resolveGangWidth(5), 5u);
+    EXPECT_EQ(CampaignRunner::resolveGangWidth(
+                  sim::GangSimulator::MAX_LANES + 7),
+              sim::GangSimulator::MAX_LANES);
+}
+
+TEST(GangDeterminismTest, StudyCellsAndKeysInvariantAcrossWidths)
+{
+    // End-to-end through the study layer: summaries, per-trial
+    // fidelity bits, and store cache keys -- the figures' and result
+    // store's inputs -- are identical for every gang width (the width,
+    // like the thread count, is deliberately not part of the key).
+    auto workload =
+        workloads::createWorkload("mpeg", workloads::Scale::Test);
+    core::StudyConfig scalarConfig;
+    scalarConfig.trials = 24;
+    scalarConfig.gangWidth = 0;
+    core::StudyConfig gangConfig = scalarConfig;
+    gangConfig.gangWidth = 4;
+    gangConfig.threads = 4;
+
+    EXPECT_EQ(core::makeCellKey(
+                  *workload,
+                  core::computeStudyProtection(*workload, scalarConfig),
+                  scalarConfig, 1, fault::UNPROTECTED_POLICY, 24)
+                  .fingerprint(),
+              core::makeCellKey(
+                  *workload,
+                  core::computeStudyProtection(*workload, gangConfig),
+                  gangConfig, 1, fault::UNPROTECTED_POLICY, 24)
+                  .fingerprint());
+
+    core::ErrorToleranceStudy scalar(*workload, scalarConfig);
+    core::ErrorToleranceStudy gang(*workload, gangConfig);
+    auto a = scalar.runCell(1, fault::UNPROTECTED_POLICY);
+    auto b = gang.runCell(1, fault::UNPROTECTED_POLICY);
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.crashed, b.crashed);
+    EXPECT_EQ(a.timedOut, b.timedOut);
+    EXPECT_EQ(a.totalInstructions, b.totalInstructions);
+    ASSERT_EQ(a.fidelities.size(), b.fidelities.size());
+    for (size_t i = 0; i < a.fidelities.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.fidelities[i].value, b.fidelities[i].value);
+}
+
+} // namespace

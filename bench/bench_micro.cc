@@ -11,11 +11,14 @@
  * on/off x gang width (Test scale, unprotected policy), the source of
  * the repo's BENCH_campaign.json perf trajectory. An existing FILE is
  * never overwritten unless --force is given (perf snapshots must not
- * be lost to a stray rerun).
+ * be lost to a stray rerun). `--workloads a,b` restricts the snapshot
+ * to those registry workloads -- CI's schema smoke runs one workload
+ * instead of the full sweep.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -296,12 +299,28 @@ jsonDouble(double value)
  * perf-sanity reference, DEFAULT_GANG_WIDTH the auto pick.
  */
 int
-campaignSnapshot(const std::string &path, bool force)
+campaignSnapshot(const std::string &path, bool force,
+                 const std::vector<std::string> &only)
 {
     if (!force && std::ifstream(path).good()) {
         std::cerr << "bench_micro: " << path
                   << " already exists; pass --force to overwrite the "
                      "perf snapshot\n";
+        return 1;
+    }
+
+    std::vector<std::string> names;
+    for (const auto &name : workloads::workloadNames()) {
+        if (only.empty() ||
+            std::find(only.begin(), only.end(), name) != only.end())
+            names.push_back(name);
+    }
+    if (names.size() != (only.empty() ? names.size() : only.size())) {
+        std::cerr << "bench_micro: --workloads names an unknown "
+                     "workload (known:";
+        for (const auto &name : workloads::workloadNames())
+            std::cerr << ' ' << name;
+        std::cerr << ")\n";
         return 1;
     }
 
@@ -314,7 +333,7 @@ campaignSnapshot(const std::string &path, bool force)
     out << "{\"benchmark\":\"campaign\",\"scale\":\"test\","
            "\"records\":[";
     bool first = true;
-    for (const auto &name : workloads::workloadNames()) {
+    for (const auto &name : names) {
         auto workload =
             workloads::createWorkload(name, workloads::Scale::Test);
         auto injectable =
@@ -397,6 +416,7 @@ int
 main(int argc, char **argv)
 {
     std::string jsonOut;
+    std::string workloadList;
     bool force = false;
     std::vector<char *> rest;
     rest.push_back(argv[0]);
@@ -406,14 +426,25 @@ main(int argc, char **argv)
             jsonOut = argv[++i];
         } else if (arg.rfind("--json-out=", 0) == 0) {
             jsonOut = arg.substr(11);
+        } else if (arg == "--workloads" && i + 1 < argc) {
+            workloadList = argv[++i];
+        } else if (arg.rfind("--workloads=", 0) == 0) {
+            workloadList = arg.substr(12);
         } else if (arg == "--force") {
             force = true;
         } else {
             rest.push_back(argv[i]);
         }
     }
-    if (!jsonOut.empty())
-        return campaignSnapshot(jsonOut, force);
+    if (!jsonOut.empty()) {
+        std::vector<std::string> only;
+        std::istringstream names(workloadList);
+        std::string name;
+        while (std::getline(names, name, ','))
+            if (!name.empty())
+                only.push_back(name);
+        return campaignSnapshot(jsonOut, force, only);
+    }
 
     int restc = static_cast<int>(rest.size());
     benchmark::Initialize(&restc, rest.data());

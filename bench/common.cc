@@ -12,6 +12,7 @@
 #include "store/cell_key.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
+#include "telemetry/trace.hh"
 
 namespace etc::bench {
 
@@ -64,7 +65,12 @@ usage(const char *program, int status)
               << "  --shard i/N  run only trial stripe i (0-based) of N "
                  "per cell,\n"
               << "               persisting shard records (requires "
-                 "--cache-dir)\n";
+                 "--cache-dir)\n"
+              << "  --trace-out FILE  write Chrome Trace Event JSONL "
+                 "spans (golden run,\n"
+              << "               trials, gangs, chunks) to FILE. "
+                 "Observation only: results\n"
+              << "               are identical with tracing on or off.\n";
     std::exit(status);
 }
 
@@ -192,6 +198,10 @@ try {
             opts.gangWidth = parseGangWidthValue("--gang-width", *gang);
         } else if (auto shard = valueOf("--shard")) {
             parseShardSpec(*shard, opts.shardIndex, opts.shardCount);
+        } else if (auto trace = valueOf("--trace-out")) {
+            if (trace->empty())
+                fatal("--trace-out expects a file path");
+            opts.traceOut = *trace;
         } else {
             fatal("unknown argument '", arg, "'");
         }
@@ -199,6 +209,10 @@ try {
     if (opts.sharded() && (opts.cacheDir.empty() || opts.noCache))
         fatal("--shard requires --cache-dir (the stripe's results "
               "must be persisted somewhere)");
+    // Enable tracing right here so every bench driver gets it for
+    // free; the singleton flushes on process exit.
+    if (!opts.traceOut.empty())
+        telemetry::Tracer::instance().open(opts.traceOut);
     return opts;
 } catch (const FatalError &error) {
     std::cerr << argv[0] << ": " << error.what() << '\n';

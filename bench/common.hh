@@ -99,6 +99,13 @@ struct BenchOptions
     unsigned shardIndex = 0;
     unsigned shardCount = 0;
 
+    /** --trace-out FILE: emit Chrome Trace Event JSONL spans there
+     *  (empty = tracing off). parseBenchArgs() opens the tracer
+     *  itself; the field records the path for callers that re-plumb
+     *  options (etc_lab). Observation only -- results are identical
+     *  with tracing on or off. */
+    std::string traceOut;
+
     /** @return true when this process runs one stripe of each cell. */
     bool sharded() const { return shardCount > 0; }
 
@@ -151,6 +158,10 @@ struct BenchOptions
  *                            cell, persisting shard records to the
  *                            cache instead of rendering results
  *                            (requires --cache-dir)
+ *   --trace-out FILE         write Chrome Trace Event JSONL spans to
+ *                            FILE (view via `jq -s . FILE` in
+ *                            Perfetto). Never changes reproduced
+ *                            numbers.
  *   --help                   print usage and exit
  *
  * `--trials 0` is rejected: 0 previously meant "driver default", which

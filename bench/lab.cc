@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +25,7 @@
 #include "support/logging.hh"
 #include "support/shutdown.hh"
 #include "support/table.hh"
+#include "telemetry/trace.hh"
 
 namespace etc::bench {
 
@@ -31,7 +35,7 @@ struct LabOptions
 {
     std::string command;    //!< run | resume | merge | report | list
                             //!< | policies | analyze | lint | serve
-                            //!< | submit | status | fetch
+                            //!< | submit | status | fetch | stats
     std::string experiment; //!< registry name (--experiment)
     std::string workload;   //!< analyze/lint: registry workload name
     unsigned chunks = 4;    //!< shard records per cell during run
@@ -47,6 +51,7 @@ struct LabOptions
     std::string job;                 //!< status: job id
     std::string figure;              //!< fetch: figure name
     std::string cell;                //!< fetch: cell fingerprint
+    bool verbose = false;            //!< serve: per-request access log
 };
 
 [[noreturn]] void
@@ -93,6 +98,8 @@ usage(int status)
            "  status  GET a job's status (--job ID)\n"
            "  fetch   GET a figure (--figure NAME; bytes match\n"
            "          `etc_lab report`) or a cell record (--cell KEY)\n"
+           "  stats   GET /v1/metricz from a daemon and render the\n"
+           "          scrape as a human table (metric, type, value)\n"
            "\n"
            "options:\n"
            "  --experiment NAME        one of: "
@@ -153,6 +160,14 @@ usage(int status)
            "                           figure from the daemon's store\n"
            "  --cell KEY               fetch: stored record of this\n"
            "                           cell fingerprint\n"
+           "  --trace-out FILE         run/serve: write Chrome Trace\n"
+           "                           Event JSONL spans to FILE (view\n"
+           "                           via `jq -s . FILE` in Perfetto;\n"
+           "                           results are identical with\n"
+           "                           tracing on or off)\n"
+           "  --verbose                serve: one access-log line per\n"
+           "                           HTTP request (method, path,\n"
+           "                           status, bytes, latency)\n"
            "  --help                   this message\n"
            "\n"
            "Results are bit-identical for every --threads value, every\n"
@@ -173,7 +188,8 @@ parseLabArgs(int argc, char **argv)
         usage(0);
     const std::vector<std::string> commands = {
         "run",     "resume", "merge",  "report", "list", "policies",
-        "analyze", "lint",   "serve",  "submit", "status", "fetch"};
+        "analyze", "lint",   "serve",  "submit", "status", "fetch",
+        "stats"};
     if (std::find(commands.begin(), commands.end(), opts.command) ==
         commands.end()) {
         std::cerr << "etc_lab: unknown subcommand '" << opts.command
@@ -254,6 +270,12 @@ parseLabArgs(int argc, char **argv)
             opts.figure = *figure;
         } else if (auto cell = valueOf("--cell")) {
             opts.cell = *cell;
+        } else if (auto trace = valueOf("--trace-out")) {
+            if (trace->empty())
+                fatal("--trace-out expects a file path");
+            opts.bench.traceOut = *trace;
+        } else if (arg == "--verbose") {
+            opts.verbose = true;
         } else {
             std::cerr << "etc_lab: unknown argument '" << arg << "'\n";
             usage(2);
@@ -309,6 +331,10 @@ parseLabArgs(int argc, char **argv)
         opts.figure.empty() == opts.cell.empty())
         fatal("fetch requires exactly one of --figure NAME or "
               "--cell KEY");
+    // Tracing is enabled at parse time (like parseBenchArgs does for
+    // the bench drivers) so every subcommand's spans are captured.
+    if (!opts.bench.traceOut.empty())
+        telemetry::Tracer::instance().open(opts.bench.traceOut);
     return opts;
 }
 
@@ -618,6 +644,7 @@ labServe(const LabOptions &opts)
         opts.port, [&service](const service::HttpRequest &request) {
             return service.handle(request);
         });
+    server.setAccessLog(opts.verbose);
     scheduler.start();
 
     installStopSignalHandlers();
@@ -697,6 +724,64 @@ labSubmit(const LabOptions &opts)
 }
 
 int
+labStats(const LabOptions &opts)
+{
+    service::Client client(opts.host, opts.port);
+    auto response = client.get("/v1/metricz");
+    if (!response.ok()) {
+        std::cerr << "etc_lab: " << response.body << '\n';
+        return 1;
+    }
+
+    // Render the scrape as a human table: one row per sample, with
+    // each family's TYPE looked up from its exposition header
+    // (histogram samples carry _bucket/_sum/_count suffixes and share
+    // their family's header).
+    std::map<std::string, std::string> types;
+    auto typeOf = [&types](const std::string &family) -> std::string {
+        if (auto it = types.find(family); it != types.end())
+            return it->second;
+        for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+            size_t n = std::strlen(suffix);
+            if (family.size() > n &&
+                family.compare(family.size() - n, n, suffix) == 0) {
+                auto base =
+                    types.find(family.substr(0, family.size() - n));
+                if (base != types.end())
+                    return base->second;
+            }
+        }
+        return "-";
+    };
+
+    Table table({"metric", "type", "value"});
+    std::istringstream lines(response.body);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        if (line.rfind("# TYPE ", 0) == 0) {
+            std::istringstream header(line.substr(7));
+            std::string family, type;
+            header >> family >> type;
+            types[family] = type;
+            continue;
+        }
+        if (line[0] == '#')
+            continue; // HELP and comments
+        size_t space = line.rfind(' ');
+        if (space == std::string::npos || space == 0)
+            continue;
+        std::string series = line.substr(0, space);
+        std::string value = line.substr(space + 1);
+        table.addRow({series, typeOf(series.substr(0, series.find('{'))),
+                      value});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
 labStatus(const LabOptions &opts)
 {
     service::Client client(opts.host, opts.port);
@@ -759,6 +844,8 @@ labMain(int argc, char **argv)
             return labStatus(opts);
         if (opts.command == "fetch")
             return labFetch(opts);
+        if (opts.command == "stats")
+            return labStats(opts);
         const Experiment *exp = findExperiment(opts.experiment);
         if (!exp)
             fatal("unknown experiment '", opts.experiment,

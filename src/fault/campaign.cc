@@ -10,10 +10,54 @@
 #include "fault/trial_pool.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace etc::fault {
 
 namespace {
+
+/**
+ * Engine-level campaign metrics. Observation only: counters tick
+ * after outcomes are decided and never feed a plan, an RNG draw, or a
+ * cache key, so tallies stay bit-identical with telemetry scraped or
+ * ignored.
+ */
+struct EngineMetrics
+{
+    telemetry::Counter &trialsSimulated = telemetry::counter(
+        "etc_trials_simulated_total",
+        "Fault-injection trials actually executed by a simulator");
+    telemetry::Counter &trialsPruned = telemetry::counter(
+        "etc_trials_pruned_total",
+        "Trials synthesized bit-identically by the static-prune "
+        "prover instead of simulated");
+    telemetry::Counter &trialInstructions = telemetry::counter(
+        "etc_trial_instructions_total",
+        "Instructions retired across simulated trials (including "
+        "checkpoint-replayed prefixes)");
+    telemetry::Counter &gangBatches = telemetry::counter(
+        "etc_gang_batches_total",
+        "Lockstep gang launches");
+    telemetry::Counter &gangLaneSlots = telemetry::counter(
+        "etc_gang_lane_slots_total",
+        "Lane slots offered by gang launches (batches x width); "
+        "occupancy = etc_gang_lanes_total / this");
+    telemetry::Counter &gangLanes = telemetry::counter(
+        "etc_gang_lanes_total",
+        "Trials launched as gang lanes");
+    telemetry::Counter &gangEvictions = telemetry::counter(
+        "etc_gang_lane_evictions_total",
+        "Lanes evicted from lockstep (diverged) and drained through "
+        "the scalar simulator");
+};
+
+EngineMetrics &
+engineMetrics()
+{
+    static EngineMetrics metrics;
+    return metrics;
+}
 
 /** All flip-mask bits live: the "never prunable" site live mask. */
 constexpr uint32_t LIVE_ALL = 0xffffffffu;
@@ -114,6 +158,7 @@ CampaignRunner::CampaignRunner(const assembly::Program &program,
     // snapshots trials fast-forward to; with pruning enabled it also
     // records the per-retire live masks prunable plans are tested
     // against.
+    telemetry::TraceSpan goldenSpan("engine", "golden-run");
     sim::Simulator simulator(program_, model_);
     sim::RunResult result;
     if (checkpointInterval_ > 0) {
@@ -266,6 +311,9 @@ CampaignRunner::runRange(
         // randomness depends only on (seed, t), never on scheduling
         // or on which shard runs it.
         uint64_t t = lo + i;
+        telemetry::TraceSpan trialSpan("engine", "trial");
+        if (trialSpan.active())
+            trialSpan.setArgs("{\"trial\":" + std::to_string(t) + "}");
         Rng trialRng = Rng::forStream(config.seed, t);
         InjectionPlan plan = samplePlan(injectableDynamic_,
                                         config.errors, bitModel_,
@@ -294,6 +342,7 @@ CampaignRunner::runRange(
             outcome.run.faultPc = 0;
             outcome.injected = plan.size();
             ++prunedCounts[w];
+            engineMetrics().trialsPruned.add();
         } else if (checkpointInterval_ > 0) {
             runTrialFastForward(simulator, plan, budget, outcome);
         } else {
@@ -302,6 +351,11 @@ CampaignRunner::runRange(
             simulator.reset();
             outcome.run = simulator.run(budget, &injector);
             outcome.injected = injector.injectedCount();
+        }
+        if (!pruned) {
+            engineMetrics().trialsSimulated.add();
+            engineMetrics().trialInstructions.add(
+                outcome.run.instructions);
         }
 
         switch (outcome.run.status) {
@@ -389,6 +443,7 @@ CampaignRunner::runRangeGang(
         outcome.output = golden_;
         ++prunedTally.completed;
         ++result.trialsPruned;
+        engineMetrics().trialsPruned.add();
         if (onTrial)
             onTrial(outcome);
     }
@@ -440,6 +495,15 @@ CampaignRunner::runRangeGang(
             size_t first = static_cast<size_t>(g) * width;
             unsigned lanes = static_cast<unsigned>(
                 std::min<size_t>(width, live.size() - first));
+            EngineMetrics &metrics = engineMetrics();
+            metrics.gangBatches.add();
+            metrics.gangLaneSlots.add(width);
+            metrics.gangLanes.add(lanes);
+            telemetry::TraceSpan gangSpan("engine", "gang");
+            if (gangSpan.active())
+                gangSpan.setArgs("{\"gang\":" + std::to_string(g) +
+                                 ",\"lanes\":" + std::to_string(lanes) +
+                                 "}");
             runGang(live.data() + first, lanes, *perWorker[w].base,
                     *perWorker[w].drain, *perWorker[w].gang, budget,
                     result, tallies[w], onTrial, observerMutex);
@@ -536,6 +600,11 @@ CampaignRunner::runGang(
         GangLaneCtx &ctx = laneCtx[exitRecord.lane];
         TrialOutcome &outcome = result.outcomes[trial.slot];
         if (exitRecord.kind == sim::GangSimulator::ExitKind::Diverged) {
+            engineMetrics().gangEvictions.add();
+            telemetry::TraceSpan drainSpan("engine", "drain-lane");
+            if (drainSpan.active())
+                drainSpan.setArgs("{\"trial\":" +
+                                  std::to_string(trial.slot) + "}");
             drainLane(drain, exitRecord, trial.plan, checkpoint, ctx,
                       budget, outcome);
         } else {
@@ -553,6 +622,8 @@ CampaignRunner::runGang(
                                       exitRecord.outputTail.end());
             }
         }
+        engineMetrics().trialsSimulated.add();
+        engineMetrics().trialInstructions.add(outcome.run.instructions);
         switch (outcome.run.status) {
           case sim::RunStatus::Completed:
             ++tally.completed;

@@ -11,11 +11,13 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
 #include "support/logging.hh"
 #include "support/shutdown.hh"
+#include "telemetry/metrics.hh"
 
 namespace etc::service {
 
@@ -24,6 +26,72 @@ namespace {
 // Oversized traffic becomes a 4xx, never unbounded buffering.
 constexpr size_t MAX_HEADER_BYTES = 64 * 1024;
 constexpr size_t MAX_BODY_BYTES = 8 * 1024 * 1024;
+
+/** HTTP-layer metrics (the per-endpoint x status request counters
+ *  register lazily; see requestCounter below). */
+struct HttpMetrics
+{
+    telemetry::Histogram &requestSeconds = telemetry::histogram(
+        "etc_http_request_seconds",
+        "Handler latency per request (parse to serialized response)",
+        {0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5,
+         30});
+    telemetry::Counter &bytesIn = telemetry::counter(
+        "etc_http_bytes_in_total",
+        "Request bytes consumed (request line, headers, body)");
+    telemetry::Counter &bytesOut = telemetry::counter(
+        "etc_http_bytes_out_total",
+        "Response bytes queued (status line, headers, body)");
+    telemetry::Counter &keepAliveReuse = telemetry::counter(
+        "etc_http_keepalive_reuse_total",
+        "Requests served on an already-used (kept-alive) connection");
+};
+
+HttpMetrics &
+httpMetrics()
+{
+    static HttpMetrics metrics;
+    return metrics;
+}
+
+/**
+ * Collapse a request path to a bounded endpoint label: known /v1
+ * routes keep their first two segments (ids/fingerprints become "*"),
+ * anything else -- arbitrary 404 targets included -- is "other", so a
+ * path-scanning client cannot mint unbounded label cardinality.
+ */
+std::string
+normalizeEndpoint(const std::string &path)
+{
+    static const char *const known[] = {
+        "/v1/jobs", "/v1/cells",   "/v1/experiments",
+        "/v1/policies", "/v1/figures", "/v1/analysis",
+        "/v1/healthz", "/v1/metricz",
+    };
+    for (const char *prefix : known) {
+        size_t n = std::strlen(prefix);
+        if (path.compare(0, n, prefix) != 0)
+            continue;
+        if (path.size() == n)
+            return prefix;
+        if (path[n] == '/')
+            return std::string(prefix) + "/*";
+    }
+    return "other";
+}
+
+/** The (endpoint, status) series of etc_http_requests_total. The
+ *  registry lookup is mutex-guarded but cheap; request dispatch is
+ *  not a simulation hot path. */
+telemetry::Counter &
+requestCounter(const std::string &endpoint, int status)
+{
+    return telemetry::counter(
+        "etc_http_requests_total",
+        "endpoint=\"" + telemetry::escapeLabelValue(endpoint) +
+            "\",status=\"" + std::to_string(status) + "\"",
+        "Requests served, by normalized endpoint and response status");
+}
 
 bool
 equalsIgnoreCase(const std::string &a, const std::string &b)
@@ -307,6 +375,22 @@ HttpServer::acceptReady()
     }
 }
 
+void
+HttpServer::logAccess(const std::string &method,
+                      const std::string &path, int status, size_t bytes,
+                      std::chrono::steady_clock::time_point started)
+{
+    auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    httpMetrics().requestSeconds.observe(
+        static_cast<double>(micros) / 1e6);
+    if (accessLog_)
+        inform("http: ", method, " ", path, " -> ", status, " ",
+               bytes, "B ", micros, "us");
+}
+
 bool
 HttpServer::dispatchBuffered(Connection &conn)
 {
@@ -315,11 +399,21 @@ HttpServer::dispatchBuffered(Connection &conn)
     while (true) {
         HttpRequest request;
         HttpResponse error;
+        size_t inBefore = conn.in.size();
+        auto started = std::chrono::steady_clock::now();
         int parsed = parseRequest(conn.in, request, error);
         if (parsed == 0)
             return true;
+        // Bytes the parser consumed = this request's wire size (on a
+        // parse error nothing is consumed; count what was buffered).
+        httpMetrics().bytesIn.add(parsed < 0 ? inBefore
+                                             : inBefore - conn.in.size());
         if (parsed < 0) {
-            conn.out += serializeResponse(error, false);
+            std::string wire = serializeResponse(error, false);
+            httpMetrics().bytesOut.add(wire.size());
+            requestCounter("other", error.status).add();
+            logAccess("-", "-", error.status, wire.size(), started);
+            conn.out += wire;
             conn.closeAfterWrite = true;
             return true;
         }
@@ -341,7 +435,17 @@ HttpServer::dispatchBuffered(Connection &conn)
             else if (equalsIgnoreCase(*connection, "keep-alive"))
                 keepAlive = true;
         }
-        conn.out += serializeResponse(response, keepAlive);
+        std::string wire = serializeResponse(response, keepAlive);
+        httpMetrics().bytesOut.add(wire.size());
+        requestCounter(normalizeEndpoint(request.path()),
+                       response.status)
+            .add();
+        if (conn.served > 0)
+            httpMetrics().keepAliveReuse.add();
+        ++conn.served;
+        logAccess(request.method, request.path(), response.status,
+                  wire.size(), started);
+        conn.out += wire;
         if (!keepAlive) {
             conn.closeAfterWrite = true;
             return true;

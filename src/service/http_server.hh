@@ -24,6 +24,7 @@
 #define ETC_SERVICE_HTTP_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -102,6 +103,11 @@ class HttpServer
     /** Make run() return after its current iteration (thread-safe). */
     void stop();
 
+    /** Log one inform() access line per request (method, path,
+     *  status, bytes, latency). Off by default; `--verbose` turns it
+     *  on so 4xx/5xx responses stop being invisible. */
+    void setAccessLog(bool enabled) { accessLog_ = enabled; }
+
   private:
     struct Connection
     {
@@ -109,6 +115,7 @@ class HttpServer
         std::string in;      //!< bytes read, not yet parsed
         std::string out;     //!< bytes to write
         bool closeAfterWrite = false;
+        uint64_t served = 0; //!< requests answered on this connection
     };
 
     void acceptReady();
@@ -119,9 +126,16 @@ class HttpServer
     /** Parse + dispatch every complete request in conn.in. */
     bool dispatchBuffered(Connection &conn);
 
+    /** Record the request's latency and, with setAccessLog(true),
+     *  emit one inform() line for it. */
+    void logAccess(const std::string &method, const std::string &path,
+                   int status, size_t bytes,
+                   std::chrono::steady_clock::time_point started);
+
     HttpHandler handler_;
     int listenFd_ = -1;
     uint16_t port_ = 0;
+    bool accessLog_ = false;
     unsigned muteAcceptRounds_ = 0; //!< fd-exhaustion accept backoff
     std::vector<Connection> connections_;
     std::atomic<bool> stopped_{false};

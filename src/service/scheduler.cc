@@ -8,8 +8,49 @@
 #include "store/result_store.hh"
 #include "support/logging.hh"
 #include "support/shutdown.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace etc::service {
+
+namespace {
+
+/** Scheduler-level metrics: queue/worker gauges tick at bookkeeping
+ *  frequency (task transitions), never inside simulation loops. */
+struct SchedulerMetrics
+{
+    telemetry::Gauge &queueDepth = telemetry::gauge(
+        "etc_scheduler_queue_depth",
+        "Cell tasks waiting for a worker");
+    telemetry::Gauge &workers = telemetry::gauge(
+        "etc_scheduler_workers",
+        "Worker threads in the scheduler pool");
+    telemetry::Gauge &workersBusy = telemetry::gauge(
+        "etc_scheduler_workers_busy",
+        "Worker threads currently executing a cell task");
+    telemetry::Counter &cellsDone = telemetry::counter(
+        "etc_scheduler_cells_done_total",
+        "Cell tasks completed successfully (simulated or cached)");
+    telemetry::Counter &cellsCached = telemetry::counter(
+        "etc_scheduler_cells_cached_total",
+        "Cell tasks satisfied entirely from the result store");
+    telemetry::Counter &cellsFailed = telemetry::counter(
+        "etc_scheduler_cells_failed_total",
+        "Cell tasks that raised an error");
+    telemetry::Histogram &chunkSeconds = telemetry::histogram(
+        "etc_scheduler_chunk_seconds",
+        "Wall time per job chunk (one shard of a cell)",
+        {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60});
+};
+
+SchedulerMetrics &
+schedulerMetrics()
+{
+    static SchedulerMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 const char *
 cellStateName(CellState state)
@@ -54,6 +95,7 @@ Scheduler::start()
         return;
     started_ = true;
     unsigned workers = std::max(1u, config_.workers);
+    schedulerMetrics().workers.set(workers);
     for (unsigned i = 0; i < workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
 }
@@ -176,6 +218,8 @@ Scheduler::submit(
     size_t cellCount = job.cells.size();
     jobs_[id] = std::move(job);
     activeJobsBySignature_[signature] = id;
+    schedulerMetrics().queueDepth.set(
+        static_cast<int64_t>(queue_.size()));
     evictCompletedJobs();
     if (enqueued)
         workAvailable_.notify_all();
@@ -225,8 +269,12 @@ Scheduler::workerLoop()
             task = queue_.front();
             queue_.pop_front();
             task->state = CellState::Running;
+            schedulerMetrics().queueDepth.set(
+                static_cast<int64_t>(queue_.size()));
         }
+        schedulerMetrics().workersBusy.add(1);
         runTask(task);
+        schedulerMetrics().workersBusy.add(-1);
     }
 }
 
@@ -250,12 +298,22 @@ Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
         // own cache-aware path skips any shard that lands in the
         // store in the meantime.)
         {
+            auto probeStarted = std::chrono::steady_clock::now();
             store::ResultStore probe(config_.cacheDir);
             if (probe.loadCell(task.key)) {
+                // A cache hit still costs a store load; report that
+                // wall time (instead of the old 0) so dashboards get a
+                // finite number, with cached=true marking that
+                // trialsPerSec is meaningless for this cell.
+                std::chrono::duration<double> probeSpan =
+                    std::chrono::steady_clock::now() - probeStarted;
                 std::lock_guard<std::mutex> lock(mutex_);
                 task.state = CellState::Done;
                 task.cached = true;
+                task.wallSeconds += probeSpan.count();
                 liveTasks_.erase(task.fingerprint);
+                schedulerMetrics().cellsDone.add();
+                schedulerMetrics().cellsCached.add();
                 return;
             }
         }
@@ -270,6 +328,8 @@ Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
             std::lock_guard<std::mutex> lock(mutex_);
             task.state = CellState::Queued;
             queue_.push_front(taskPtr);
+            schedulerMetrics().queueDepth.set(
+                static_cast<int64_t>(queue_.size()));
             return;
         }
 
@@ -294,8 +354,18 @@ Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
             // Each chunk persists as a shard record; stored chunks
             // (this daemon's or a predecessor's) are skipped, so a
             // resubmitted cell resumes instead of restarting.
+            auto chunkStarted = std::chrono::steady_clock::now();
+            telemetry::TraceSpan chunkSpan("scheduler", "chunk");
+            if (chunkSpan.active())
+                chunkSpan.setArgs(
+                    "{\"cell\":\"" + task.fingerprint + "\",\"chunk\":" +
+                    std::to_string(chunk) + "}");
             study.runCellShard(task.errors, task.policy, task.trials,
                                chunk, chunks);
+            std::chrono::duration<double> chunkSpanSeconds =
+                std::chrono::steady_clock::now() - chunkStarted;
+            schedulerMetrics().chunkSeconds.observe(
+                chunkSpanSeconds.count());
         }
         if (interrupted) {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -305,6 +375,8 @@ Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
             trialsExecuted_ += ran;
             task.state = CellState::Queued;
             queue_.push_front(taskPtr);
+            schedulerMetrics().queueDepth.set(
+                static_cast<int64_t>(queue_.size()));
             return;
         }
 
@@ -320,11 +392,15 @@ Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
         task.cached = task.trialsExecuted == 0;
         task.state = CellState::Done;
         liveTasks_.erase(task.fingerprint);
+        schedulerMetrics().cellsDone.add();
+        if (task.cached)
+            schedulerMetrics().cellsCached.add();
     } catch (const std::exception &e) {
         std::lock_guard<std::mutex> lock(mutex_);
         task.state = CellState::Failed;
         task.error = e.what();
         liveTasks_.erase(task.fingerprint);
+        schedulerMetrics().cellsFailed.add();
         warn("scheduler: cell ", task.key.canonical(), " failed: ",
              e.what());
     }

@@ -10,6 +10,7 @@
 #include "store/record.hh"
 #include "store/result_store.hh"
 #include "support/logging.hh"
+#include "telemetry/metrics.hh"
 
 namespace etc::service {
 
@@ -196,6 +197,11 @@ CampaignService::handle(const HttpRequest &request)
         if (request.method != "GET")
             return errorResponse(405, "use GET for health checks");
         return healthz();
+    }
+    if (path == "/v1/metricz") {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET for metrics");
+        return metricz();
     }
     return errorResponse(404, "no such endpoint: " + path);
 }
@@ -494,14 +500,34 @@ CampaignService::healthz()
     auto stats = scheduler_.stats();
     store::JsonObjectWriter writer;
     writer.field("status", "ok")
+        .field("version", telemetry::versionString())
+        .field("buildFlags", telemetry::buildFlags())
+        .field("uptimeSeconds",
+               readableDouble(telemetry::uptimeSeconds()))
         .field("workers", uint64_t{scheduler_.config().workers})
         .field("jobs", uint64_t{stats.jobs})
+        // Cells waiting for a worker -- the queue depth a load
+        // balancer or fleet coordinator would shed on.
+        .field("queueDepth", uint64_t{stats.cellsQueued})
         .field("cellsQueued", uint64_t{stats.cellsQueued})
         .field("cellsRunning", uint64_t{stats.cellsRunning})
         .field("cellsDone", uint64_t{stats.cellsDone})
         .field("cellsFailed", uint64_t{stats.cellsFailed})
         .field("trialsExecuted", stats.trialsExecuted);
     return HttpResponse::json(200, writer.str());
+}
+
+HttpResponse
+CampaignService::metricz()
+{
+    // The exposition bytes come straight from the registry; the
+    // content type is the one Prometheus scrapers negotiate for the
+    // 0.0.4 text format.
+    HttpResponse response;
+    response.status = 200;
+    response.contentType = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = telemetry::renderPrometheus();
+    return response;
 }
 
 } // namespace etc::service

@@ -18,7 +18,12 @@
  *                                while cells are missing
  *   GET  /v1/analysis/<workload> static ACE/AVF vulnerability report,
  *                                byte-identical to `etc_lab analyze`
- *   GET  /v1/healthz             liveness + aggregate counters
+ *   GET  /v1/healthz             liveness: uptime, version, build
+ *                                flags, queue depth + aggregate
+ *                                counters
+ *   GET  /v1/metricz             every process metric in Prometheus
+ *                                text exposition format (also the feed
+ *                                of `etc_lab stats`)
  *
  * Every error is a 4xx/5xx JSON object {"error":...,"status":...};
  * figures are text/plain (their bytes are the contract), everything
@@ -60,6 +65,7 @@ class CampaignService
                         const HttpRequest &request);
     HttpResponse analysis(const std::string &name);
     HttpResponse healthz();
+    HttpResponse metricz();
 
     /**
      * The sweep's cell keys for (experiment, trials override),

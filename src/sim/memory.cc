@@ -314,11 +314,12 @@ Memory::setBaseline()
     hasBaseline_ = true;
 }
 
-void
+size_t
 Memory::revertToBaseline(const std::vector<uint32_t> &skip)
 {
     if (!hasBaseline_)
         panic("revertToBaseline: no baseline snapshot");
+    size_t reverted = 0;
     for (uint32_t pageNumber : dirtyList_) {
         Segment *seg = segmentForPage(pageNumber);
         uint32_t slot = pageNumber - seg->firstPage;
@@ -330,8 +331,10 @@ Memory::revertToBaseline(const std::vector<uint32_t> &skip)
             std::memcpy(page, seg->baseline[slot].get(), PAGE_SIZE);
         else
             std::memset(page, 0, PAGE_SIZE);
+        ++reverted;
     }
     dirtyList_.clear();
+    return reverted;
 }
 
 void

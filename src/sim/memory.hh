@@ -150,8 +150,11 @@ class Memory
      * (sorted flat page numbers) are left as-is and their dirty flags
      * cleared; callers pass the pages they are about to overwrite
      * anyway (checkpoint restore). Panics without a baseline.
+     *
+     * @return the number of pages actually copied/zeroed back (dirty
+     *         and not skipped) -- telemetry only.
      */
-    void revertToBaseline(const std::vector<uint32_t> &skip = {});
+    size_t revertToBaseline(const std::vector<uint32_t> &skip = {});
     /// @}
 
     /** @return true if [addr, addr+len) lies entirely in a valid segment. */

@@ -5,6 +5,7 @@
 
 #include "sim/checkpoint.hh"
 #include "support/logging.hh"
+#include "telemetry/metrics.hh"
 
 namespace etc::sim {
 
@@ -146,6 +147,16 @@ Simulator::restoreFrom(const Checkpoint &checkpoint,
 {
     if (checkpoint.outputLength > goldenOutput.size())
         panic("restoreFrom: checkpoint output longer than golden");
+    static auto &restores = telemetry::counter(
+        "etc_checkpoint_restores_total",
+        "Simulator state restores from a golden-run checkpoint");
+    static auto &pagesReverted = telemetry::counter(
+        "etc_checkpoint_pages_reverted_total",
+        "Dirty pages rewound to baseline during checkpoint restores");
+    static auto &pagesApplied = telemetry::counter(
+        "etc_checkpoint_pages_applied_total",
+        "Checkpoint snapshot pages copied in during restores");
+    restores.add();
     if (memory_.hasBaseline()) {
         // Pages the checkpoint is about to overwrite need no revert
         // first; checkpoint.pages is sorted by page number.
@@ -153,10 +164,11 @@ Simulator::restoreFrom(const Checkpoint &checkpoint,
         overwritten.reserve(checkpoint.pages.size());
         for (const auto &[pageNumber, bytes] : checkpoint.pages)
             overwritten.push_back(pageNumber);
-        memory_.revertToBaseline(overwritten);
+        pagesReverted.add(memory_.revertToBaseline(overwritten));
     } else {
         revertMemoryToStart();
     }
+    pagesApplied.add(checkpoint.pages.size());
     for (const auto &[pageNumber, bytes] : checkpoint.pages)
         memory_.setPage(pageNumber, bytes);
     machine_ = checkpoint.machine;

@@ -10,12 +10,50 @@
 #include <system_error>
 
 #include "support/logging.hh"
+#include "telemetry/metrics.hh"
 
 namespace etc::store {
 
 namespace fs = std::filesystem;
 
 namespace {
+
+/** Process-wide store metrics; per-instance Stats stay authoritative
+ *  for orchestration decisions, these feed /v1/metricz. */
+struct StoreMetrics
+{
+    telemetry::Counter &cellHits = telemetry::counter(
+        "etc_store_cache_hits_total",
+        "Cell records served from the result store");
+    telemetry::Counter &cellMisses = telemetry::counter(
+        "etc_store_cache_misses_total",
+        "Cell lookups that missed the result store");
+    telemetry::Counter &cellsStored = telemetry::counter(
+        "etc_store_cells_stored_total",
+        "Cell records written to the result store");
+    telemetry::Counter &shardsLoaded = telemetry::counter(
+        "etc_store_shards_loaded_total",
+        "Shard records read back from the result store");
+    telemetry::Counter &shardsStored = telemetry::counter(
+        "etc_store_shards_stored_total",
+        "Shard records written to the result store");
+    telemetry::Counter &bytesRead = telemetry::counter(
+        "etc_store_bytes_read_total",
+        "Bytes read from result-store files");
+    telemetry::Counter &bytesWritten = telemetry::counter(
+        "etc_store_bytes_written_total",
+        "Bytes written to result-store files");
+    telemetry::Counter &corruptRecords = telemetry::counter(
+        "etc_store_corrupt_records_total",
+        "Records rejected by the corruption-detecting codec");
+};
+
+StoreMetrics &
+storeMetrics()
+{
+    static StoreMetrics metrics;
+    return metrics;
+}
 
 /** Read a whole file; nullopt if it does not exist or is unreadable. */
 std::optional<std::string>
@@ -28,7 +66,9 @@ slurp(const fs::path &path)
     contents << in.rdbuf();
     if (in.bad())
         return std::nullopt;
-    return contents.str();
+    std::string result = contents.str();
+    storeMetrics().bytesRead.add(result.size());
+    return result;
 }
 
 } // namespace
@@ -82,6 +122,7 @@ ResultStore::writeAtomically(const std::string &path,
     if (ec)
         fatal("result store: cannot move ", tmp.string(), " to ", path,
               ": ", ec.message());
+    storeMetrics().bytesWritten.add(contents.size());
 }
 
 bool
@@ -97,16 +138,20 @@ ResultStore::loadCell(const CellKey &key)
     auto contents = slurp(cellPath(key));
     if (!contents) {
         ++stats_.cellMisses;
+        storeMetrics().cellMisses.add();
         return std::nullopt;
     }
     try {
         auto summary = decodeCellRecord(*contents, &key);
         ++stats_.cellHits;
+        storeMetrics().cellHits.add();
         return summary;
     } catch (const StoreFormatError &error) {
         warn("result store: ignoring unreadable cell record ",
              cellPath(key), ": ", error.what());
         ++stats_.cellMisses;
+        storeMetrics().cellMisses.add();
+        storeMetrics().corruptRecords.add();
         return std::nullopt;
     }
 }
@@ -117,6 +162,7 @@ ResultStore::storeCell(const CellKey &key,
 {
     writeAtomically(cellPath(key), encodeCellRecord(key, summary));
     ++stats_.cellsStored;
+    storeMetrics().cellsStored.add();
 }
 
 std::optional<CellRecord>
@@ -127,6 +173,7 @@ ResultStore::loadCellByFingerprint(const std::string &fingerprint)
     auto contents = slurp(path);
     if (!contents) {
         ++stats_.cellMisses;
+        storeMetrics().cellMisses.add();
         return std::nullopt;
     }
     try {
@@ -135,11 +182,14 @@ ResultStore::loadCellByFingerprint(const std::string &fingerprint)
             throw StoreFormatError(
                 "record fingerprint does not match its file name");
         ++stats_.cellHits;
+        storeMetrics().cellHits.add();
         return record;
     } catch (const StoreFormatError &error) {
         warn("result store: ignoring unreadable cell record ",
              path.string(), ": ", error.what());
         ++stats_.cellMisses;
+        storeMetrics().cellMisses.add();
+        storeMetrics().corruptRecords.add();
         return std::nullopt;
     }
 }
@@ -171,10 +221,12 @@ ResultStore::loadShard(const CellKey &key, unsigned lo, unsigned hi)
                 std::to_string(shard.lo) + ", " +
                 std::to_string(shard.hi) + ")");
         ++stats_.shardsLoaded;
+        storeMetrics().shardsLoaded.add();
         return shard;
     } catch (const StoreFormatError &error) {
         warn("result store: ignoring unreadable shard ",
              path.string(), ": ", error.what());
+        storeMetrics().corruptRecords.add();
         return std::nullopt;
     }
 }
@@ -189,6 +241,7 @@ ResultStore::storeShard(const CellKey &key, unsigned lo, unsigned hi,
     writeAtomically(path.string(), encodeShardRecord(key, lo, hi,
                                                      summary));
     ++stats_.shardsStored;
+    storeMetrics().shardsStored.add();
 }
 
 std::vector<ShardRecord>
@@ -208,9 +261,11 @@ ResultStore::loadShards(const CellKey &key)
         try {
             shards.push_back(decodeShardRecord(*contents, &key));
             ++stats_.shardsLoaded;
+            storeMetrics().shardsLoaded.add();
         } catch (const StoreFormatError &error) {
             warn("result store: ignoring unreadable shard ",
                  entry.path().string(), ": ", error.what());
+            storeMetrics().corruptRecords.add();
         }
     }
     std::sort(shards.begin(), shards.end(),

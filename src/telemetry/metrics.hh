@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and fixed-bucket
+ * histograms, exposed in Prometheus text exposition format via
+ * renderPrometheus() (GET /v1/metricz serves exactly those bytes).
+ *
+ * Hot-path contract: increments are wait-free. Every counter and
+ * histogram is sharded into METRIC_SHARDS cache-line-aligned atomic
+ * slots; a thread picks its slot once (thread_local, round-robin) and
+ * then only ever issues relaxed fetch_adds on it, so the gang and
+ * checkpoint fast paths are not perturbed by contention. Scrapes merge
+ * the shards -- they see a consistent-enough snapshot (each shard is
+ * read atomically; a scrape racing an increment may be one tick
+ * behind, never corrupt).
+ *
+ * Telemetry is observation only, carried as a hard constraint from
+ * PRs 1-7: nothing here enters CellKey/cache identity or any RNG
+ * draw, so tallies and fidelity bits are bit-identical with metrics
+ * compiled in, scraped, or ignored (telemetry_test.cc and
+ * gang_determinism_test.cc pin this).
+ *
+ * Registration is idempotent and returns stable references:
+ *
+ *   static auto &trials =
+ *       telemetry::counter("etc_trials_simulated_total",
+ *                          "Trials executed by a simulator");
+ *   trials.add();
+ *
+ * Labeled series of one family (e.g. HTTP requests by endpoint and
+ * status) register under the same name with distinct label strings;
+ * the renderer groups them under one # HELP/# TYPE header.
+ */
+
+#ifndef ETC_TELEMETRY_METRICS_HH
+#define ETC_TELEMETRY_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace etc::telemetry {
+
+/** Shard slots per metric (power of two; ~max useful concurrency). */
+constexpr unsigned METRIC_SHARDS = 16;
+
+/** @return this thread's stable shard slot in [0, METRIC_SHARDS). */
+unsigned shardSlot();
+
+/** Monotonic counter (renders as TYPE counter). */
+class Counter
+{
+  public:
+    /** Wait-free, relaxed; safe from any thread. */
+    void
+    add(uint64_t n = 1) noexcept
+    {
+        shards_[shardSlot()].value.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /** Merge the shards (scrape side). */
+    uint64_t
+    value() const noexcept
+    {
+        uint64_t total = 0;
+        for (const auto &shard : shards_)
+            total += shard.value.load(std::memory_order_relaxed);
+        return total;
+    }
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<uint64_t> value{0};
+    };
+    std::array<Shard, METRIC_SHARDS> shards_{};
+};
+
+/** Point-in-time value (renders as TYPE gauge). Gauges are set/adjust
+ *  operations on one atomic -- they are updated at bookkeeping
+ *  frequency (queue transitions), never in simulation hot loops. */
+class Gauge
+{
+  public:
+    void
+    set(int64_t value) noexcept
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    void
+    add(int64_t delta) noexcept
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    int64_t
+    value() const noexcept
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/**
+ * Fixed-bucket histogram (renders as TYPE histogram: cumulative
+ * <name>_bucket{le=...} series plus <name>_sum and <name>_count).
+ * Bucket upper bounds are fixed at registration; observations are
+ * wait-free sharded relaxed adds like Counter's.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    void observe(double value) noexcept;
+
+    /** Ascending upper bounds; the +Inf bucket is implicit. */
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Per-bucket (non-cumulative) counts, bounds().size() + 1 long;
+     *  the last entry is the +Inf overflow bucket. */
+    std::vector<uint64_t> bucketCounts() const;
+
+    uint64_t count() const noexcept;
+    double sum() const noexcept;
+
+  private:
+    std::vector<double> bounds_;
+
+    struct alignas(64) Shard
+    {
+        std::vector<std::atomic<uint64_t>> buckets;
+        std::atomic<double> sum{0.0};
+    };
+    std::vector<Shard> shards_;
+};
+
+/// @name Registry
+/// Idempotent lookup-or-create; returned references stay valid for
+/// the process lifetime. A (name, labels) pair always maps to the
+/// same object; registering one name as two different metric kinds
+/// panics (a programming error).
+/// @{
+
+Counter &counter(const std::string &name, const std::string &help);
+
+/** Labeled series of family @p name; @p labels is the rendered label
+ *  body, e.g. `endpoint="/v1/jobs",status="200"`. */
+Counter &counter(const std::string &name, const std::string &labels,
+                 const std::string &help);
+
+Gauge &gauge(const std::string &name, const std::string &help);
+
+Gauge &gauge(const std::string &name, const std::string &labels,
+             const std::string &help);
+
+/** @p bounds must be ascending; passing different bounds for an
+ *  already-registered histogram keeps the original's. */
+Histogram &histogram(const std::string &name, const std::string &help,
+                     std::vector<double> bounds);
+/// @}
+
+/** Escape a label value (backslash, double quote, newline). */
+std::string escapeLabelValue(const std::string &value);
+
+/**
+ * Render every registered metric in Prometheus text exposition format
+ * (version 0.0.4): families grouped under one # HELP + # TYPE header,
+ * histograms expanded to cumulative buckets + sum + count. Also
+ * refreshes the built-in process metrics (etc_uptime_milliseconds,
+ * etc_build_info).
+ */
+std::string renderPrometheus();
+
+/** Seconds since telemetry initialization (~process start). */
+double uptimeSeconds();
+
+/** The reproduction's version string (also in etc_build_info). */
+const char *versionString();
+
+/** Human-readable build description: compiler, optimization,
+ *  interpreter dispatch strategy. */
+std::string buildFlags();
+
+} // namespace etc::telemetry
+
+#endif // ETC_TELEMETRY_METRICS_HH

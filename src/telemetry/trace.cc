@@ -1,0 +1,126 @@
+#include "telemetry/trace.hh"
+
+#include <fstream>
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace etc::telemetry {
+
+namespace {
+
+/** Flush threshold: keeps memory bounded on long campaigns without
+ *  issuing a write syscall per span. */
+constexpr size_t FLUSH_BYTES = 1 << 18;
+
+/** Minimal JSON string escaping for category/name/args passthrough. */
+std::string
+jsonEscape(const char *text)
+{
+    std::string out;
+    for (const char *p = text; *p; ++p) {
+        switch (*p) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += *p; break;
+        }
+    }
+    return out;
+}
+
+void
+appendToFile(const std::string &path, const std::string &data,
+             bool truncate)
+{
+    std::ofstream stream(path, truncate ? std::ios::trunc
+                                        : std::ios::app);
+    if (!stream)
+        fatal("trace: cannot open '", path, "' for writing");
+    stream << data;
+    if (!stream)
+        fatal("trace: write to '", path, "' failed");
+}
+
+} // namespace
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer()
+{
+    close();
+}
+
+uint64_t
+Tracer::nowMicros() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+void
+Tracer::open(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    path_ = path;
+    buffer_.clear();
+    threadIds_.clear();
+    appendToFile(path_, "", /*truncate=*/true);
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+Tracer::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!enabled_.load(std::memory_order_relaxed))
+        return;
+    enabled_.store(false, std::memory_order_relaxed);
+    if (!buffer_.empty())
+        appendToFile(path_, buffer_, /*truncate=*/false);
+    buffer_.clear();
+}
+
+unsigned
+Tracer::threadId()
+{
+    auto [it, inserted] = threadIds_.try_emplace(
+        std::this_thread::get_id(),
+        static_cast<unsigned>(threadIds_.size()));
+    (void)inserted;
+    return it->second;
+}
+
+void
+Tracer::emitComplete(const char *category, const char *name,
+                     uint64_t startMicros, uint64_t durationMicros,
+                     const std::string &argsJson)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!enabled_.load(std::memory_order_relaxed))
+        return;
+    buffer_ += "{\"ph\":\"X\",\"pid\":1,\"tid\":" +
+               std::to_string(threadId()) + ",\"ts\":" +
+               std::to_string(startMicros) + ",\"dur\":" +
+               std::to_string(durationMicros) + ",\"cat\":\"" +
+               jsonEscape(category) + "\",\"name\":\"" +
+               jsonEscape(name) + "\"";
+    if (!argsJson.empty())
+        buffer_ += ",\"args\":" + argsJson;
+    buffer_ += "}\n";
+    if (buffer_.size() >= FLUSH_BYTES) {
+        appendToFile(path_, buffer_, /*truncate=*/false);
+        buffer_.clear();
+    }
+}
+
+} // namespace etc::telemetry

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "fault/policy.hh"
 #include "sim/gang.hh"
 #include "store/cell_key.hh"
+#include "telemetry/trace.hh"
 #include "workloads/workload.hh"
 
 namespace {
@@ -171,6 +173,37 @@ TEST(GangDeterminismTest, EveryLaneDivergesDrainsToScalarBits)
             grid.runner(true, false).run(cellConfig(width, 1));
         expectIdentical(scalar, ganged);
     }
+}
+
+TEST(GangDeterminismTest, TracingIsObservationOnly)
+{
+    // PR 8 acceptance: telemetry never feeds an RNG draw or a cache
+    // key, so a campaign traced via --trace-out must reproduce the
+    // untraced bits exactly -- across threads {1,4} x gang widths
+    // {0,8}, where per-trial, gang, and drain-lane spans all fire.
+    RunnerGrid grid("mpeg");
+    auto &runner = grid.runner(true, false);
+    auto untraced = runner.run(cellConfig(0, 1));
+
+    auto tracePath =
+        std::filesystem::temp_directory_path() /
+        ("etc_gang_trace_" +
+         std::to_string(
+             ::testing::UnitTest::GetInstance()->random_seed()) +
+         ".jsonl");
+    telemetry::Tracer::instance().open(tracePath.string());
+    std::vector<CampaignResult> traced;
+    for (unsigned threads : {1u, 4u})
+        for (unsigned width : {0u, 8u})
+            traced.push_back(runner.run(cellConfig(width, threads)));
+    telemetry::Tracer::instance().close();
+
+    for (const auto &result : traced)
+        expectIdentical(untraced, result);
+
+    // The trace itself materialized as nonempty JSONL.
+    EXPECT_GT(std::filesystem::file_size(tracePath), 0u);
+    std::filesystem::remove(tracePath);
 }
 
 TEST(GangDeterminismTest, WidthResolution)

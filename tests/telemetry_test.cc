@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Telemetry tests: the sharded registry merges concurrent increments
+ * exactly, the Prometheus exposition renders validly (one header per
+ * family, cumulative histogram buckets), and the span tracer emits
+ * well-formed Chrome Trace Event JSONL -- while staying a no-op when
+ * disabled. The registry is process-global, so every test uses names
+ * unique to this binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/logging.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace {
+
+using namespace etc;
+using namespace etc::telemetry;
+
+// ---- sharded primitives ---------------------------------------------------
+
+TEST(Counter, ConcurrentIncrementsMergeExactly)
+{
+    Counter &hits = counter("etc_test_concurrent_total",
+                            "telemetry_test concurrent counter");
+    constexpr unsigned THREADS = 8;
+    constexpr uint64_t PER_THREAD = 10000;
+
+    uint64_t before = hits.value();
+    std::vector<std::thread> workers;
+    for (unsigned i = 0; i < THREADS; ++i)
+        workers.emplace_back([&hits] {
+            for (uint64_t n = 0; n < PER_THREAD; ++n)
+                hits.add();
+        });
+    for (auto &worker : workers)
+        worker.join();
+
+    // Wait-free relaxed shard adds must still never lose a tick.
+    EXPECT_EQ(hits.value(), before + THREADS * PER_THREAD);
+}
+
+TEST(Counter, RegistrationIsIdempotent)
+{
+    Counter &a = counter("etc_test_idempotent_total", "same series");
+    Counter &b = counter("etc_test_idempotent_total", "same series");
+    EXPECT_EQ(&a, &b);
+
+    // Same family, different labels: distinct series.
+    Counter &ok = counter("etc_test_labeled_total", "code=\"200\"",
+                          "labeled family");
+    Counter &bad = counter("etc_test_labeled_total", "code=\"500\"",
+                           "labeled family");
+    EXPECT_NE(&ok, &bad);
+}
+
+TEST(Counter, KindMismatchPanics)
+{
+    counter("etc_test_kind_total", "registered as a counter");
+    EXPECT_THROW(gauge("etc_test_kind_total", "now as a gauge"),
+                 PanicError);
+}
+
+TEST(Gauge, SetAndAdjust)
+{
+    Gauge &depth = gauge("etc_test_depth", "telemetry_test gauge");
+    depth.set(7);
+    EXPECT_EQ(depth.value(), 7);
+    depth.add(-3);
+    EXPECT_EQ(depth.value(), 4);
+    depth.set(0);
+}
+
+TEST(Histogram, ConcurrentObservationsMergeExactly)
+{
+    Histogram &latency =
+        histogram("etc_test_latency_seconds",
+                  "telemetry_test histogram", {0.5, 1.0, 2.0});
+    constexpr unsigned THREADS = 4;
+
+    uint64_t countBefore = latency.count();
+    double sumBefore = latency.sum();
+    std::vector<std::thread> workers;
+    for (unsigned i = 0; i < THREADS; ++i)
+        workers.emplace_back([&latency] {
+            for (unsigned n = 0; n < 1000; ++n) {
+                latency.observe(0.25); // bucket le=0.5
+                latency.observe(1.5);  // bucket le=2.0
+                latency.observe(9.0);  // +Inf overflow bucket
+            }
+        });
+    for (auto &worker : workers)
+        worker.join();
+
+    EXPECT_EQ(latency.count(), countBefore + THREADS * 3000);
+    EXPECT_DOUBLE_EQ(latency.sum(),
+                     sumBefore + THREADS * 1000 * (0.25 + 1.5 + 9.0));
+
+    auto buckets = latency.bucketCounts();
+    ASSERT_EQ(buckets.size(), 4u); // 3 bounds + overflow
+    EXPECT_GE(buckets[0], THREADS * 1000u); // 0.25s
+    EXPECT_EQ(buckets[1], 0u);              // nothing in (0.5, 1]
+    EXPECT_GE(buckets[2], THREADS * 1000u); // 1.5s
+    EXPECT_GE(buckets[3], THREADS * 1000u); // 9s overflow
+}
+
+TEST(Histogram, UnsortedBoundsPanic)
+{
+    EXPECT_THROW(histogram("etc_test_bad_bounds", "descending bounds",
+                           {2.0, 1.0}),
+                 PanicError);
+}
+
+// ---- exposition format ----------------------------------------------------
+
+TEST(Exposition, EscapesLabelValues)
+{
+    EXPECT_EQ(escapeLabelValue("plain"), "plain");
+    EXPECT_EQ(escapeLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(escapeLabelValue("two\nlines"), "two\\nlines");
+}
+
+/** Families in a scrape, with header/sample bookkeeping. */
+struct ScrapeShape
+{
+    std::map<std::string, std::string> types;  //!< family -> TYPE
+    std::map<std::string, unsigned> headers;   //!< family -> # TYPE count
+    std::vector<std::string> samples;          //!< raw sample lines
+};
+
+ScrapeShape
+parseScrape(const std::string &text)
+{
+    ScrapeShape shape;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        if (line.rfind("# TYPE ", 0) == 0) {
+            std::istringstream header(line.substr(7));
+            std::string family, type;
+            header >> family >> type;
+            EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                        type == "histogram")
+                << line;
+            shape.types[family] = type;
+            ++shape.headers[family];
+            continue;
+        }
+        if (line.rfind("# HELP ", 0) == 0)
+            continue;
+        EXPECT_NE(line[0], '#') << "unexpected comment: " << line;
+        shape.samples.push_back(line);
+    }
+    return shape;
+}
+
+TEST(Exposition, RendersValidFamiliesAndSamples)
+{
+    counter("etc_test_render_total", "exercised by the render test")
+        .add(3);
+    gauge("etc_test_render_gauge", "exercised by the render test")
+        .set(-2);
+    histogram("etc_test_render_seconds",
+              "exercised by the render test", {0.1, 1.0})
+        .observe(0.05);
+
+    std::string text = renderPrometheus();
+    ScrapeShape shape = parseScrape(text);
+
+    // One # TYPE header per family, even for multi-series families.
+    for (const auto &[family, count] : shape.headers)
+        EXPECT_EQ(count, 1u) << family << " has duplicate headers";
+
+    EXPECT_EQ(shape.types.at("etc_test_render_total"), "counter");
+    EXPECT_EQ(shape.types.at("etc_test_render_gauge"), "gauge");
+    EXPECT_EQ(shape.types.at("etc_test_render_seconds"), "histogram");
+
+    // The built-ins every scrape refreshes.
+    EXPECT_EQ(shape.types.at("etc_uptime_milliseconds"), "gauge");
+    EXPECT_EQ(shape.types.at("etc_build_info"), "gauge");
+
+    // Every sample line is "<series> <value>" with a parseable value.
+    std::set<std::string> series;
+    for (const auto &line : shape.samples) {
+        size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_NO_THROW((void)std::stod(line.substr(space + 1)))
+            << line;
+        series.insert(line.substr(0, space));
+    }
+
+    EXPECT_TRUE(series.count("etc_test_render_total"));
+    EXPECT_TRUE(series.count("etc_test_render_gauge"));
+
+    // Histogram expansion: every bound's bucket, +Inf, sum, count.
+    EXPECT_TRUE(series.count(
+        "etc_test_render_seconds_bucket{le=\"0.1\"}"));
+    EXPECT_TRUE(series.count(
+        "etc_test_render_seconds_bucket{le=\"1\"}"));
+    EXPECT_TRUE(series.count(
+        "etc_test_render_seconds_bucket{le=\"+Inf\"}"));
+    EXPECT_TRUE(series.count("etc_test_render_seconds_sum"));
+    EXPECT_TRUE(series.count("etc_test_render_seconds_count"));
+}
+
+TEST(Exposition, HistogramBucketsAreCumulative)
+{
+    Histogram &h = histogram("etc_test_cumulative_seconds",
+                             "cumulative-bucket check", {1.0, 2.0});
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(99.0);
+
+    ScrapeShape shape = parseScrape(renderPrometheus());
+    std::map<std::string, double> values;
+    for (const auto &line : shape.samples) {
+        size_t space = line.rfind(' ');
+        values[line.substr(0, space)] =
+            std::stod(line.substr(space + 1));
+    }
+
+    double le1 =
+        values.at("etc_test_cumulative_seconds_bucket{le=\"1\"}");
+    double le2 =
+        values.at("etc_test_cumulative_seconds_bucket{le=\"2\"}");
+    double inf =
+        values.at("etc_test_cumulative_seconds_bucket{le=\"+Inf\"}");
+    EXPECT_LE(le1, le2);
+    EXPECT_LE(le2, inf);
+    EXPECT_EQ(inf, values.at("etc_test_cumulative_seconds_count"));
+    EXPECT_GE(le1, 1.0);
+    EXPECT_GE(le2, 2.0);
+    EXPECT_GE(inf, 3.0);
+}
+
+TEST(Exposition, LabeledSeriesShareOneHeader)
+{
+    counter("etc_test_shared_total", "endpoint=\"/v1/a\"",
+            "labeled family header check")
+        .add();
+    counter("etc_test_shared_total", "endpoint=\"/v1/b\"",
+            "labeled family header check")
+        .add(2);
+
+    ScrapeShape shape = parseScrape(renderPrometheus());
+    EXPECT_EQ(shape.headers.at("etc_test_shared_total"), 1u);
+
+    unsigned seriesSeen = 0;
+    for (const auto &line : shape.samples)
+        if (line.rfind("etc_test_shared_total{", 0) == 0)
+            ++seriesSeen;
+    EXPECT_EQ(seriesSeen, 2u);
+}
+
+// ---- tracer ---------------------------------------------------------------
+
+class TracerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = std::filesystem::temp_directory_path() /
+                ("etc_telemetry_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name() +
+                 ".jsonl");
+        std::filesystem::remove(path_);
+    }
+
+    void
+    TearDown() override
+    {
+        Tracer::instance().close();
+        std::filesystem::remove(path_);
+    }
+
+    std::vector<std::string>
+    traceLines()
+    {
+        std::ifstream file(path_);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(file, line))
+            if (!line.empty())
+                lines.push_back(line);
+        return lines;
+    }
+
+    std::filesystem::path path_;
+};
+
+TEST_F(TracerTest, DisabledSpansEmitNothing)
+{
+    ASSERT_FALSE(Tracer::instance().enabled());
+    {
+        TraceSpan span("test", "disabled");
+        EXPECT_FALSE(span.active());
+    }
+    Tracer::instance().emitComplete("test", "ignored", 0, 1);
+    EXPECT_FALSE(std::filesystem::exists(path_));
+}
+
+TEST_F(TracerTest, EmitsOneJsonObjectPerSpan)
+{
+    Tracer &tracer = Tracer::instance();
+    tracer.open(path_.string());
+    ASSERT_TRUE(tracer.enabled());
+
+    {
+        TraceSpan span("test", "outer");
+        ASSERT_TRUE(span.active());
+        span.setArgs("{\"trial\":17}");
+        TraceSpan inner("test", "inner");
+    }
+    tracer.close();
+    EXPECT_FALSE(tracer.enabled());
+
+    auto lines = traceLines();
+    ASSERT_EQ(lines.size(), 2u);
+    // Inner destructs (and so emits) first.
+    EXPECT_NE(lines[0].find("\"name\":\"inner\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"name\":\"outer\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"args\":{\"trial\":17}"),
+              std::string::npos);
+    for (const auto &line : lines) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"ph\":\"X\""), std::string::npos);
+        EXPECT_NE(line.find("\"cat\":\"test\""), std::string::npos);
+        EXPECT_NE(line.find("\"ts\":"), std::string::npos);
+        EXPECT_NE(line.find("\"dur\":"), std::string::npos);
+    }
+}
+
+TEST_F(TracerTest, CloseIsIdempotentAndReopenTruncates)
+{
+    Tracer &tracer = Tracer::instance();
+    tracer.open(path_.string());
+    tracer.emitComplete("test", "first", 1, 2);
+    tracer.close();
+    tracer.close();
+    ASSERT_EQ(traceLines().size(), 1u);
+
+    tracer.open(path_.string());
+    tracer.emitComplete("test", "second", 3, 4);
+    tracer.close();
+    auto lines = traceLines();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"name\":\"second\""),
+              std::string::npos);
+}
+
+} // namespace

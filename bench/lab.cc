@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -15,11 +16,13 @@
 
 #include "analysis/lint.hh"
 #include "bench/experiments.hh"
+#include "core/query.hh"
 #include "core/vulnerability_report.hh"
 #include "service/client.hh"
 #include "service/http_server.hh"
 #include "service/scheduler.hh"
 #include "service/service.hh"
+#include "store/index.hh"
 #include "store/json.hh"
 #include "store/result_store.hh"
 #include "support/logging.hh"
@@ -34,8 +37,9 @@ namespace {
 struct LabOptions
 {
     std::string command;    //!< run | resume | merge | report | list
-                            //!< | policies | analyze | lint | serve
-                            //!< | submit | status | fetch | stats
+                            //!< | query | reindex | policies
+                            //!< | analyze | lint | serve | submit
+                            //!< | status | fetch | stats
     std::string experiment; //!< registry name (--experiment)
     std::string workload;   //!< analyze/lint: registry workload name
     unsigned chunks = 4;    //!< shard records per cell during run
@@ -52,6 +56,15 @@ struct LabOptions
     std::string figure;              //!< fetch: figure name
     std::string cell;                //!< fetch: cell fingerprint
     bool verbose = false;            //!< serve: per-request access log
+
+    // Archive-query knobs (query + reindex).
+    std::vector<unsigned> errorsList;  //!< query: every --errors value
+    std::optional<uint64_t> querySeed; //!< query: --seed filter, only
+                                       //!< when explicitly given
+    std::string agg = "cells";         //!< query: aggregation name
+    std::string basePolicy = "protected"; //!< query: delta baseline
+    bool json = false;                 //!< query: print the envelope
+    bool quarantine = false;           //!< reindex: move corrupt aside
 };
 
 [[noreturn]] void
@@ -72,7 +85,21 @@ usage(int status)
            "          (no simulation)\n"
            "  report  render the figure purely from stored records\n"
            "          (no simulation; fails on missing cells)\n"
-           "  list    print the experiment registry\n"
+           "  list    print the experiment registry (with --cache-dir,\n"
+           "          a 'cached' column reports archive coverage per\n"
+           "          experiment from the secondary index)\n"
+           "  query   roll up the archived cells of a cache directory\n"
+           "          (--cache-dir) without simulating anything:\n"
+           "          filter by --workload/--policy/--errors/--seed/\n"
+           "          --trials, aggregate with --agg (cells, coverage,\n"
+           "          curve, delta, cdf, avf; --base names delta's\n"
+           "          baseline policy). Prints a table; --json prints\n"
+           "          the exact bytes GET /v1/query serves\n"
+           "  reindex rebuild the secondary index from a full store\n"
+           "          scan, reporting orphaned shard files and corrupt\n"
+           "          records (count + paths; --quarantine moves\n"
+           "          corrupt files under index/quarantine/); nonzero\n"
+           "          exit when corruption was found\n"
            "  policies\n"
            "          print the injection-policy registry (name,\n"
            "          description, result kinds, bit model) -- the\n"
@@ -151,7 +178,19 @@ usage(int status)
            "  --workers K              serve: concurrent cell workers\n"
            "                           (default 2)\n"
            "  --errors N               submit: one cell at this error\n"
-           "                           count instead of the whole sweep\n"
+           "                           count instead of the whole sweep.\n"
+           "                           query: filter to this error\n"
+           "                           count (repeatable)\n"
+           "  --agg NAME               query: the rollup to compute\n"
+           "                           (cells, coverage, curve, delta,\n"
+           "                           cdf, avf; default cells)\n"
+           "  --base NAME              query: delta's baseline policy\n"
+           "                           (default protected)\n"
+           "  --json                   query: print the JSON envelope\n"
+           "                           (byte-identical to GET\n"
+           "                           /v1/query) instead of a table\n"
+           "  --quarantine             reindex: move corrupt record\n"
+           "                           files under index/quarantine/\n"
            "  --mode M                 deprecated alias of --policy\n"
            "  --wait                   submit: poll until the job\n"
            "                           drains, then print its status\n"
@@ -187,9 +226,9 @@ parseLabArgs(int argc, char **argv)
     if (opts.command == "--help" || opts.command == "-h")
         usage(0);
     const std::vector<std::string> commands = {
-        "run",     "resume", "merge",  "report", "list", "policies",
-        "analyze", "lint",   "serve",  "submit", "status", "fetch",
-        "stats"};
+        "run",     "resume", "merge",  "report",  "list",   "query",
+        "reindex", "policies", "analyze", "lint", "serve",  "submit",
+        "status",  "fetch",  "stats"};
     if (std::find(commands.begin(), commands.end(), opts.command) ==
         commands.end()) {
         std::cerr << "etc_lab: unknown subcommand '" << opts.command
@@ -227,6 +266,7 @@ parseLabArgs(int argc, char **argv)
             opts.bench.threads = parseCount32("--threads", *threads);
         } else if (auto seed = valueOf("--seed")) {
             opts.bench.seed = parseSeedValue("--seed", *seed);
+            opts.querySeed = opts.bench.seed;
         } else if (auto interval = valueOf("--checkpoint-interval")) {
             opts.bench.checkpointInterval =
                 parseCountValue("--checkpoint-interval", *interval,
@@ -256,6 +296,15 @@ parseLabArgs(int argc, char **argv)
                 fatal("--workers must be >= 1");
         } else if (auto errors = valueOf("--errors")) {
             opts.errors = parseCount32("--errors", *errors);
+            opts.errorsList.push_back(*opts.errors);
+        } else if (auto agg = valueOf("--agg")) {
+            opts.agg = *agg;
+        } else if (auto base = valueOf("--base")) {
+            opts.basePolicy = parsePolicyName(*base).name;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--quarantine") {
+            opts.quarantine = true;
         } else if (auto policy = valueOf("--policy")) {
             opts.bench.policies.push_back(
                 parsePolicyName(*policy).name);
@@ -310,6 +359,13 @@ parseLabArgs(int argc, char **argv)
     }
     if (opts.command == "analyze" && opts.workload.empty())
         fatal("analyze requires --workload NAME");
+    if ((opts.command == "query" || opts.command == "reindex") &&
+        !cached)
+        fatal(opts.command, " requires --cache-dir (it reads the "
+              "archive, never simulates)");
+    if (opts.command == "submit" && opts.errorsList.size() > 1)
+        fatal("submit takes a single --errors (one cell per "
+              "submission)");
     if (opts.command == "serve" && !cached)
         fatal("serve requires --cache-dir (jobs persist to and resume "
               "from the result store)");
@@ -564,10 +620,27 @@ labPolicies()
 }
 
 int
-labList()
+labList(const LabOptions &opts)
 {
-    Table table({"name", "figure", "workload", "cells", "trials",
-                 "error counts"});
+    // With a cache directory, report per-experiment archive coverage
+    // ("cached cells / total") from the secondary index. Cell keys
+    // need the workload assembled and analyzed, so only experiments
+    // whose workload has at least one indexed cell pay that.
+    bool cached = !opts.bench.cacheDir.empty() && !opts.bench.noCache;
+    std::optional<store::StoreIndex> index;
+    std::set<std::string> indexedWorkloads;
+    if (cached) {
+        index.emplace(opts.bench.cacheDir);
+        index->load();
+        for (const auto &[fingerprint, entry] : index->entries()) {
+            (void)fingerprint;
+            if (entry.complete)
+                indexedWorkloads.insert(entry.key.workload);
+        }
+    }
+
+    Table table({"name", "figure", "workload", "cells", "cached",
+                 "trials", "error counts"});
     for (const auto &exp : experiments()) {
         std::string errorCounts;
         for (unsigned errors : exp.errorCounts) {
@@ -575,12 +648,88 @@ labList()
                 errorCounts += ',';
             errorCounts += std::to_string(errors);
         }
+        size_t cells = experimentCells(exp).size();
+        std::string coverage = "-";
+        if (index) {
+            size_t hits = 0;
+            size_t total =
+                experimentCells(exp, sweepPolicies(exp, opts.bench))
+                    .size();
+            if (indexedWorkloads.count(exp.workload))
+                for (const auto &key :
+                     experimentCellKeys(exp, opts.bench))
+                    if (index->hasCell(key.fingerprint()))
+                        ++hits;
+            coverage = std::to_string(hits) + "/" +
+                       std::to_string(total);
+        }
         table.addRow({exp.name, exp.experiment, exp.workload,
-                      std::to_string(experimentCells(exp).size()),
+                      std::to_string(cells), coverage,
                       std::to_string(exp.defaultTrials), errorCounts});
     }
     table.print(std::cout);
     return 0;
+}
+
+int
+labQuery(const LabOptions &opts)
+{
+    core::QueryOptions options;
+    options.filter.workload = opts.workload;
+    options.filter.policies = opts.bench.policies;
+    options.filter.errors = opts.errorsList;
+    if (opts.querySeed)
+        options.filter.seed = *opts.querySeed;
+    if (opts.bench.trials)
+        options.filter.trials = opts.bench.trials;
+    options.basePolicy = opts.basePolicy;
+    try {
+        options.agg = core::parseQueryAgg(opts.agg);
+        auto report = core::runQuery(opts.bench.cacheDir, options);
+        if (opts.json) {
+            // Raw envelope bytes, no added newline: stdout must be
+            // byte-identical to GET /v1/query on the same cache.
+            std::cout << report.json << std::flush;
+        } else {
+            report.table.print(std::cout);
+            inform("etc_lab: matched ", report.cellsMatched, " of ",
+                   report.cellsIndexed, " indexed cells (",
+                   report.recordsLoaded,
+                   " records loaded, 0 trials simulated)");
+        }
+        return 0;
+    } catch (const core::QueryError &error) {
+        std::cerr << "etc_lab: " << error.what() << '\n';
+        return 1;
+    }
+}
+
+int
+labReindex(const LabOptions &opts)
+{
+    store::StoreIndex index(opts.bench.cacheDir);
+    auto report = index.rebuild(opts.quarantine);
+    std::cout << "cells indexed: " << report.cells << '\n'
+              << "shard sets indexed: " << report.shardSets << '\n'
+              << "orphaned shards: " << report.orphanedShards.size()
+              << '\n';
+    for (const auto &path : report.orphanedShards)
+        std::cout << "  orphaned: " << path << '\n';
+    std::cout << "corrupt records: " << report.corruptRecords.size()
+              << '\n';
+    for (const auto &path : report.corruptRecords)
+        std::cout << "  corrupt: " << path
+                  << (opts.quarantine ? " (quarantined)" : "") << '\n';
+    std::cerr << "ETC_REINDEX_JSON {"
+              << "\"cells\":" << report.cells << ","
+              << "\"shard_sets\":" << report.shardSets << ","
+              << "\"orphaned_shards\":" << report.orphanedShards.size()
+              << ","
+              << "\"corrupt_records\":" << report.corruptRecords.size()
+              << ","
+              << "\"quarantined\":" << report.quarantined << "}"
+              << std::endl;
+    return report.corruptRecords.empty() ? 0 : 1;
 }
 
 int
@@ -829,7 +978,11 @@ labMain(int argc, char **argv)
     try {
         LabOptions opts = parseLabArgs(argc, argv);
         if (opts.command == "list")
-            return labList();
+            return labList(opts);
+        if (opts.command == "query")
+            return labQuery(opts);
+        if (opts.command == "reindex")
+            return labReindex(opts);
         if (opts.command == "policies")
             return labPolicies();
         if (opts.command == "analyze")

@@ -276,6 +276,37 @@ HttpRequest::queryNumber(const std::string &key) const
     return std::nullopt;
 }
 
+std::optional<std::string>
+HttpRequest::queryParam(const std::string &key) const
+{
+    std::vector<std::string> values = queryParams(key);
+    if (values.empty())
+        return std::nullopt;
+    return std::move(values.front());
+}
+
+std::vector<std::string>
+HttpRequest::queryParams(const std::string &key) const
+{
+    std::vector<std::string> values;
+    size_t question = target.find('?');
+    if (question == std::string::npos)
+        return values;
+    size_t cursor = question + 1;
+    while (cursor < target.size()) {
+        size_t end = target.find('&', cursor);
+        if (end == std::string::npos)
+            end = target.size();
+        std::string pair = target.substr(cursor, end - cursor);
+        cursor = end + 1;
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos || pair.substr(0, eq) != key)
+            continue;
+        values.push_back(pair.substr(eq + 1));
+    }
+    return values;
+}
+
 HttpResponse
 HttpResponse::json(int status, std::string body)
 {

@@ -51,6 +51,14 @@ struct HttpRequest
 
     /** @return the decimal value of query parameter @p key, if any. */
     std::optional<uint64_t> queryNumber(const std::string &key) const;
+
+    /** @return the first value of query parameter @p key, if any
+     *  (raw, no percent-decoding -- values here are plain names). */
+    std::optional<std::string> queryParam(const std::string &key) const;
+
+    /** @return every value of the repeatable parameter @p key, in
+     *  target order. */
+    std::vector<std::string> queryParams(const std::string &key) const;
 };
 
 /** One HTTP response (the handler's return value). */

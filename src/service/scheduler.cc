@@ -4,6 +4,7 @@
 #include <chrono>
 #include <set>
 
+#include "store/index.hh"
 #include "store/record.hh"
 #include "store/result_store.hh"
 #include "support/logging.hh"
@@ -383,6 +384,17 @@ Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
         // Promote the tiling shards into the cell record (assembled,
         // persisted, and bit-identical to a monolithic run).
         study.runCell(task.errors, task.policy, task.trials);
+
+        // The cell's store writes just grew the archive; reload the
+        // secondary index so its gauges (etc_index_cells & co) track
+        // growth without waiting for a query. Observation only --
+        // an unreadable index must never fail the cell.
+        try {
+            store::StoreIndex index(config_.cacheDir);
+            index.load();
+        } catch (const std::exception &e) {
+            warn("scheduler: index refresh failed: ", e.what());
+        }
 
         std::lock_guard<std::mutex> lock(mutex_);
         uint64_t ran = study.trialsExecuted() - before;

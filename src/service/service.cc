@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 #include <sstream>
 
+#include "core/query.hh"
 #include "core/vulnerability_report.hh"
+#include "store/index.hh"
 #include "store/json.hh"
 #include "workloads/workload.hh"
 #include "store/record.hh"
@@ -23,6 +26,36 @@ readableDouble(double value)
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", value);
     return buf;
+}
+
+/** Strict decimal u32 (the queryNumber grammar, narrowed). */
+std::optional<unsigned>
+parseDecimalU32(const std::string &text)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        return std::nullopt;
+    uint64_t value = 0;
+    for (char c : text) {
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+        if (value > 0xffffffffull)
+            return std::nullopt;
+    }
+    return static_cast<unsigned>(value);
+}
+
+std::string
+encodeIndexHealth(const store::IndexHealth &health)
+{
+    store::JsonObjectWriter writer;
+    writer.field("cells", health.cells)
+        .field("shardSets", health.shardSets)
+        .field("shardRanges", health.shardRanges)
+        .field("journalEntries", health.journalEntries)
+        .field("journalCorrupt", health.journalCorrupt)
+        .field("manifestPresent", health.manifestPresent)
+        .field("orphanedShards", health.orphanedShards);
+    return writer.str();
 }
 
 bool
@@ -193,6 +226,16 @@ CampaignService::handle(const HttpRequest &request)
             return errorResponse(405, "use GET for analysis reports");
         return analysis(path.substr(13));
     }
+    if (path == "/v1/query") {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET for archive queries");
+        return query(request);
+    }
+    if (path == "/v1/index") {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET for the archive index");
+        return indexStatus();
+    }
     if (path == "/v1/healthz") {
         if (request.method != "GET")
             return errorResponse(405, "use GET for health checks");
@@ -330,6 +373,24 @@ CampaignService::cellRecord(const std::string &fingerprint)
 HttpResponse
 CampaignService::experimentList()
 {
+    // Archive coverage per experiment, from the index alone. Cell
+    // keys need the workload assembled and analyzed (memoized in
+    // figureKeys), so only experiments whose workload has at least
+    // one indexed cell pay that; everything else is 0 for free.
+    store::StoreIndex index(scheduler_.config().cacheDir);
+    index.load();
+    std::set<std::string> indexedWorkloads;
+    for (const auto &[fingerprint, entry] : index.entries()) {
+        (void)fingerprint;
+        if (entry.complete)
+            indexedWorkloads.insert(entry.key.workload);
+    }
+    bench::BenchOptions opts;
+    opts.threads = scheduler_.config().threads;
+    opts.checkpointInterval = scheduler_.config().checkpointInterval;
+    opts.seed = scheduler_.config().seed;
+    opts.cacheDir = scheduler_.config().cacheDir;
+
     std::string list = "[";
     bool first = true;
     for (const auto &exp : bench::experiments()) {
@@ -350,6 +411,12 @@ CampaignService::experimentList()
             policies += store::jsonQuote(exp.policies[i]);
         }
         policies += ']';
+        uint64_t cellsCached = 0;
+        if (indexedWorkloads.count(exp.workload)) {
+            for (const auto &key : figureKeys(exp, opts))
+                if (index.hasCell(key.fingerprint()))
+                    ++cellsCached;
+        }
         store::JsonObjectWriter writer;
         writer.field("name", exp.name)
             .field("figure", exp.experiment)
@@ -357,6 +424,7 @@ CampaignService::experimentList()
             .field("workload", exp.workload)
             .field("cells",
                    uint64_t{bench::experimentCells(exp).size()})
+            .field("cellsCached", cellsCached)
             .field("defaultTrials", uint64_t{exp.defaultTrials})
             .rawField("policies", policies)
             .rawField("errorCounts", errorCounts);
@@ -495,6 +563,98 @@ CampaignService::figureKeys(const bench::Experiment &exp,
 }
 
 HttpResponse
+CampaignService::query(const HttpRequest &request)
+{
+    core::QueryOptions options;
+    try {
+        if (auto agg = request.queryParam("agg"))
+            options.agg = core::parseQueryAgg(*agg);
+        if (auto workload = request.queryParam("workload"))
+            options.filter.workload = *workload;
+        options.filter.policies = request.queryParams("policy");
+        for (const std::string &text : request.queryParams("errors")) {
+            auto value = parseDecimalU32(text);
+            if (!value)
+                return errorResponse(400, "bad ?errors= value '" +
+                                              text + "'");
+            options.filter.errors.push_back(*value);
+        }
+        if (auto seed = request.queryParam("seed")) {
+            try {
+                options.filter.seed =
+                    seed->rfind("0x", 0) == 0
+                        ? store::parseHexU64(*seed)
+                        : std::stoull(*seed);
+            } catch (const std::exception &) {
+                return errorResponse(
+                    400, "bad ?seed= value (decimal or 0x hex)");
+            }
+        }
+        if (auto trials = request.queryParam("trials")) {
+            auto value = parseDecimalU32(*trials);
+            if (!value || *value == 0)
+                return errorResponse(400, "bad ?trials= value");
+            options.filter.trials = *value;
+        }
+        if (auto base = request.queryParam("base"))
+            options.basePolicy = *base;
+
+        // Byte-identity contract: the envelope is the exact output
+        // of `etc_lab query --json` over the same cache directory.
+        auto report =
+            core::runQuery(scheduler_.config().cacheDir, options);
+        return HttpResponse::json(200, report.json);
+    } catch (const core::QueryError &error) {
+        return errorResponse(400, error.what());
+    }
+}
+
+HttpResponse
+CampaignService::indexStatus()
+{
+    store::StoreIndex index(scheduler_.config().cacheDir);
+    index.load();
+    auto health = index.health();
+
+    std::string entries = "[";
+    bool first = true;
+    for (const auto &[fingerprint, entry] : index.entries()) {
+        if (!first)
+            entries += ',';
+        first = false;
+        store::JsonObjectWriter writer;
+        writer.field("fingerprint", fingerprint)
+            .field("complete", entry.complete)
+            .field("workload", entry.key.workload)
+            .field("policy", entry.key.policy)
+            .field("errors", uint64_t{entry.key.errors})
+            .field("trials", uint64_t{entry.key.trials})
+            .field("seed", store::hexU64(entry.key.seed));
+        if (!entry.complete) {
+            std::string ranges = "[";
+            for (const auto &[lo, hi] : entry.shardRanges) {
+                if (ranges.size() > 1)
+                    ranges += ',';
+                ranges += '[';
+                ranges += std::to_string(lo);
+                ranges += ',';
+                ranges += std::to_string(hi);
+                ranges += ']';
+            }
+            ranges += ']';
+            writer.rawField("shardRanges", ranges);
+        }
+        entries += writer.str();
+    }
+    entries += ']';
+
+    store::JsonObjectWriter writer;
+    writer.rawField("health", encodeIndexHealth(health))
+        .rawField("entries", entries);
+    return HttpResponse::json(200, writer.str());
+}
+
+HttpResponse
 CampaignService::healthz()
 {
     auto stats = scheduler_.stats();
@@ -514,6 +674,17 @@ CampaignService::healthz()
         .field("cellsDone", uint64_t{stats.cellsDone})
         .field("cellsFailed", uint64_t{stats.cellsFailed})
         .field("trialsExecuted", stats.trialsExecuted);
+    // Archive-index health rides along so one probe covers both the
+    // daemon and the store it fronts (stale journal growth or
+    // orphaned shards show up here before anyone queries).
+    store::StoreIndex index(scheduler_.config().cacheDir);
+    index.load();
+    auto health = index.health();
+    writer.field("indexCells", health.cells)
+        .field("indexShardSets", health.shardSets)
+        .field("indexJournalEntries", health.journalEntries)
+        .field("indexJournalCorrupt", health.journalCorrupt)
+        .field("indexOrphanedShards", health.orphanedShards);
     return HttpResponse::json(200, writer.str());
 }
 

@@ -18,9 +18,20 @@
  *                                while cells are missing
  *   GET  /v1/analysis/<workload> static ACE/AVF vulnerability report,
  *                                byte-identical to `etc_lab analyze`
+ *   GET  /v1/query               archive rollup from the secondary
+ *                                index + stored records (no
+ *                                simulation); filters workload=,
+ *                                policy= (repeatable), errors=
+ *                                (repeatable), seed=, trials=, with
+ *                                agg= one of cells/coverage/curve/
+ *                                delta/cdf/avf (base= names delta's
+ *                                baseline); bytes identical to
+ *                                `etc_lab query --json`
+ *   GET  /v1/index               the secondary index: health counters
+ *                                plus every indexed cell/shard entry
  *   GET  /v1/healthz             liveness: uptime, version, build
  *                                flags, queue depth + aggregate
- *                                counters
+ *                                counters + index health
  *   GET  /v1/metricz             every process metric in Prometheus
  *                                text exposition format (also the feed
  *                                of `etc_lab stats`)
@@ -64,6 +75,8 @@ class CampaignService
     HttpResponse figure(const std::string &name,
                         const HttpRequest &request);
     HttpResponse analysis(const std::string &name);
+    HttpResponse query(const HttpRequest &request);
+    HttpResponse indexStatus();
     HttpResponse healthz();
     HttpResponse metricz();
 

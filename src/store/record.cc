@@ -19,45 +19,6 @@ readableDouble(double value)
 }
 
 std::string
-encodeKeyObject(const CellKey &key)
-{
-    JsonObjectWriter writer;
-    writer.field("workload", key.workload)
-        .field("mode", key.policy)
-        .field("errors", uint64_t{key.errors})
-        .field("trials", uint64_t{key.trials})
-        .field("seed", hexU64(key.seed))
-        .field("budget_bits", hexU64(doubleBits(key.budgetFactor)))
-        .field("memory_model", key.memoryModel)
-        .field("program", key.programHash);
-    // Only non-legacy policies carry a descriptor hash; records of
-    // the legacy pair keep the exact pre-policy byte layout.
-    if (!key.policyHash.empty())
-        writer.field("policy", key.policyHash);
-    return writer.str();
-}
-
-CellKey
-decodeKeyObject(const JsonValue &object)
-{
-    CellKey key;
-    key.workload = object.at("workload").asString();
-    key.policy = object.at("mode").asString();
-    key.errors = object.at("errors").asU32();
-    key.trials = object.at("trials").asU32();
-    key.seed = parseHexU64(object.at("seed").asString());
-    key.budgetFactor =
-        doubleFromBits(parseHexU64(object.at("budget_bits").asString()));
-    key.memoryModel = object.at("memory_model").asString();
-    key.programHash = object.at("program").asString();
-    // Optional: absent in records written before the policy layer
-    // (and in every legacy-policy record since).
-    if (const JsonValue *hash = object.find("policy"))
-        key.policyHash = hash->asString();
-    return key;
-}
-
-std::string
 encodeBody(const std::string &headerLine,
            const core::CellSummary &summary)
 {
@@ -181,7 +142,7 @@ decodeRecord(const std::string &text, const char *expectedKind,
                                    std::string(expectedKind) +
                                    "' record, found '" + kind + "'");
         DecodedRecord record;
-        record.key = decodeKeyObject(header.at("key"));
+        record.key = decodeCellKeyObject(header.at("key"));
         if (header.at("fingerprint").asString() !=
             record.key.fingerprint())
             throw StoreFormatError(
@@ -290,13 +251,52 @@ memoryModelName(sim::MemoryModel model)
 }
 
 std::string
+encodeCellKeyObject(const CellKey &key)
+{
+    JsonObjectWriter writer;
+    writer.field("workload", key.workload)
+        .field("mode", key.policy)
+        .field("errors", uint64_t{key.errors})
+        .field("trials", uint64_t{key.trials})
+        .field("seed", hexU64(key.seed))
+        .field("budget_bits", hexU64(doubleBits(key.budgetFactor)))
+        .field("memory_model", key.memoryModel)
+        .field("program", key.programHash);
+    // Only non-legacy policies carry a descriptor hash; records of
+    // the legacy pair keep the exact pre-policy byte layout.
+    if (!key.policyHash.empty())
+        writer.field("policy", key.policyHash);
+    return writer.str();
+}
+
+CellKey
+decodeCellKeyObject(const JsonValue &object)
+{
+    CellKey key;
+    key.workload = object.at("workload").asString();
+    key.policy = object.at("mode").asString();
+    key.errors = object.at("errors").asU32();
+    key.trials = object.at("trials").asU32();
+    key.seed = parseHexU64(object.at("seed").asString());
+    key.budgetFactor =
+        doubleFromBits(parseHexU64(object.at("budget_bits").asString()));
+    key.memoryModel = object.at("memory_model").asString();
+    key.programHash = object.at("program").asString();
+    // Optional: absent in records written before the policy layer
+    // (and in every legacy-policy record since).
+    if (const JsonValue *hash = object.find("policy"))
+        key.policyHash = hash->asString();
+    return key;
+}
+
+std::string
 encodeCellRecord(const CellKey &key, const core::CellSummary &summary)
 {
     JsonObjectWriter header;
     header.field("schema", uint64_t{SCHEMA_VERSION})
         .field("kind", "cell")
         .field("fingerprint", key.fingerprint())
-        .rawField("key", encodeKeyObject(key));
+        .rawField("key", encodeCellKeyObject(key));
     return encodeBody(header.str(), summary);
 }
 
@@ -310,7 +310,7 @@ encodeShardRecord(const CellKey &key, unsigned lo, unsigned hi,
         .field("fingerprint", key.fingerprint())
         .field("lo", uint64_t{lo})
         .field("hi", uint64_t{hi})
-        .rawField("key", encodeKeyObject(key));
+        .rawField("key", encodeCellKeyObject(key));
     return encodeBody(header.str(), summary);
 }
 

@@ -75,6 +75,20 @@ struct CellRecord
 /** @return the memory-model name used in keys. */
 const char *memoryModelName(sim::MemoryModel model);
 
+class JsonValue;
+
+/**
+ * Encode @p key as the record header's single-line key object (the
+ * "mode"/"policy" member layout documented above). The secondary
+ * index journal and manifest embed the same bytes, so a key decoded
+ * from any of the three re-encodes identically.
+ */
+std::string encodeCellKeyObject(const CellKey &key);
+
+/** Decode a key object; throws JsonError on missing/mistyped members
+ *  and std::invalid_argument on malformed hex literals. */
+CellKey decodeCellKeyObject(const JsonValue &object);
+
 /** Encode a complete cell record (JSONL text, newline-terminated). */
 std::string encodeCellRecord(const CellKey &key,
                              const core::CellSummary &summary);

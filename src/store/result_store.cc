@@ -9,6 +9,7 @@
 #include <sstream>
 #include <system_error>
 
+#include "store/index.hh"
 #include "support/logging.hh"
 #include "telemetry/metrics.hh"
 
@@ -163,6 +164,7 @@ ResultStore::storeCell(const CellKey &key,
     writeAtomically(cellPath(key), encodeCellRecord(key, summary));
     ++stats_.cellsStored;
     storeMetrics().cellsStored.add();
+    StoreIndex::journalCell(root_, key);
 }
 
 std::optional<CellRecord>
@@ -242,6 +244,7 @@ ResultStore::storeShard(const CellKey &key, unsigned lo, unsigned hi,
                                                      summary));
     ++stats_.shardsStored;
     storeMetrics().shardsStored.add();
+    StoreIndex::journalShard(root_, key, lo, hi);
 }
 
 std::vector<ShardRecord>
@@ -280,6 +283,7 @@ ResultStore::dropShards(const CellKey &key)
 {
     std::error_code ec;
     fs::remove_all(shardDir(key), ec);
+    StoreIndex::journalDropShards(root_, key);
 }
 
 } // namespace etc::store

@@ -7,6 +7,11 @@
  *   <root>/cells/<fingerprint>.jsonl          complete cell records
  *   <root>/shards/<fingerprint>/<lo>-<hi>.jsonl   partial shards
  *   <root>/tmp/                                staging for atomic writes
+ *   <root>/index/                              secondary index (index.hh)
+ *
+ * Every cell/shard write (and shard drop) also appends one line to
+ * the secondary index journal, so query and coverage surfaces can
+ * enumerate the archive without scanning record bodies.
  *
  * Records are addressed by the CellKey fingerprint, so equal work is
  * deduplicated across runs, drivers, and machines sharing a cache

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/experiments.hh"
+#include "core/query.hh"
 #include "core/vulnerability_report.hh"
 #include "fault/policy.hh"
 #include "service/client.hh"
@@ -503,6 +504,90 @@ TEST_F(ServiceTest, EightConcurrentClientsAreServedWithoutError)
     for (int i = 1; i < CLIENTS; ++i)
         EXPECT_EQ(figures[static_cast<size_t>(i)], figures[0])
             << "client " << i << " saw different figure bytes";
+}
+
+TEST_F(ServiceTest, QueryEndpointMatchesRunQueryBytes)
+{
+    startWorkers();
+    auto submitted =
+        submit(std::string("{\"experiment\":\"") + EXPERIMENT + "\"}");
+    ASSERT_EQ(submitted.status, 202) << submitted.body;
+    awaitJob(store::parseJson(submitted.body).at("job").asString());
+
+    // GET /v1/query serves exactly the bytes core::runQuery renders
+    // over the same cache (the contract `etc_lab query --json` rides).
+    for (auto agg : {core::QueryAgg::Cells, core::QueryAgg::Coverage,
+                     core::QueryAgg::Curve, core::QueryAgg::Cdf}) {
+        auto response = client().get(
+            std::string("/v1/query?workload=gsm&agg=") +
+            core::queryAggName(agg));
+        ASSERT_EQ(response.status, 200) << response.body;
+        EXPECT_EQ(response.contentType, "application/json");
+
+        core::QueryOptions options;
+        options.filter.workload = "gsm";
+        options.agg = agg;
+        auto offline = core::runQuery(root_.string(), options);
+        EXPECT_EQ(response.body, offline.json)
+            << core::queryAggName(agg);
+    }
+
+    // The curve rollup covers both submitted cells without loading
+    // more than their two records.
+    auto curve = store::parseJson(
+        client().get("/v1/query?workload=gsm&agg=curve").body);
+    EXPECT_EQ(curve.at("cellsMatched").asU64(), 2u);
+    EXPECT_EQ(curve.at("recordsLoaded").asU64(), 2u);
+    EXPECT_EQ(curve.at("trialsCovered").asU64(), 16u);
+
+    // Repeatable filter params narrow the match set.
+    auto narrowed = store::parseJson(
+        client().get("/v1/query?workload=gsm&agg=cells&errors=1").body);
+    EXPECT_EQ(narrowed.at("cellsMatched").asU64(), 1u);
+
+    // Invalid requests are 400 JSON errors, not 500s.
+    for (const char *bad :
+         {"/v1/query?agg=bogus", "/v1/query?agg=curve&errors=x",
+          "/v1/query?agg=avf&workload=no-such-workload"}) {
+        auto response = client().get(bad);
+        EXPECT_EQ(response.status, 400) << bad;
+        EXPECT_NE(response.body.find("\"error\""), std::string::npos)
+            << bad;
+    }
+}
+
+TEST_F(ServiceTest, IndexEndpointAndHealthReflectTheArchive)
+{
+    startWorkers();
+    auto submitted =
+        submit(std::string("{\"experiment\":\"") + EXPERIMENT + "\"}");
+    ASSERT_EQ(submitted.status, 202) << submitted.body;
+    awaitJob(store::parseJson(submitted.body).at("job").asString());
+
+    auto index = client().get("/v1/index");
+    ASSERT_EQ(index.status, 200) << index.body;
+    auto parsed = store::parseJson(index.body);
+    EXPECT_EQ(parsed.at("health").at("cells").asU64(), 2u);
+    EXPECT_EQ(parsed.at("health").at("journalCorrupt").asU64(), 0u);
+    ASSERT_EQ(parsed.at("entries").elements.size(), 2u);
+    for (const auto &entry : parsed.at("entries").elements) {
+        EXPECT_EQ(entry.at("workload").asString(), "gsm");
+        EXPECT_TRUE(entry.at("complete").asBool());
+    }
+
+    auto health = store::parseJson(client().get("/v1/healthz").body);
+    EXPECT_EQ(health.at("indexCells").asU64(), 2u);
+    EXPECT_EQ(health.at("indexJournalCorrupt").asU64(), 0u);
+
+    // The experiment registry reports archive coverage via the index.
+    auto registry =
+        store::parseJson(client().get("/v1/experiments").body);
+    for (const auto &entry : registry.at("experiments").elements) {
+        uint64_t expected =
+            entry.at("name").asString() == EXPERIMENT ? 2u : 0u;
+        EXPECT_EQ(entry.at("cellsCached").asU64(), expected)
+            << entry.at("name").asString();
+    }
 }
 
 } // namespace

@@ -8,11 +8,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <random>
 #include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "analysis/lint.hh"
 #include "bench/experiments.hh"
@@ -22,6 +25,7 @@
 #include "service/http_server.hh"
 #include "service/scheduler.hh"
 #include "service/service.hh"
+#include "service/worker.hh"
 #include "store/index.hh"
 #include "store/json.hh"
 #include "store/result_store.hh"
@@ -49,7 +53,17 @@ struct LabOptions
     // Campaign-service knobs (serve + the remote subcommands).
     uint16_t port = 8977;            //!< --port (serve binds, others dial)
     std::string host = "127.0.0.1";  //!< --host for remote subcommands
-    unsigned workers = 2;            //!< serve: concurrent cell workers
+    unsigned workers = 2;            //!< serve: local cell workers
+                                     //!< (0 = coordinator-only);
+                                     //!< work: lease executors
+    bool workersSet = false;         //!< --workers given explicitly
+
+    // Fleet knobs (serve + work).
+    std::string coordinator;         //!< work: http://HOST:PORT
+    std::string workerName;          //!< work: --name (default w<pid>)
+    uint64_t leaseTtlMs = 10000;     //!< serve: --lease-ttl-ms
+    uint64_t maxLeases = 0;          //!< work: stop after N leases
+    uint64_t pollMs = 500;           //!< work: idle poll interval
     std::optional<unsigned> errors;  //!< submit: single-cell error count
     bool wait = false;               //!< submit: poll until the job drains
     std::string job;                 //!< status: job id
@@ -116,9 +130,19 @@ usage(int status)
            "\n"
            "campaign-service subcommands:\n"
            "  serve   run the HTTP campaign daemon: submitted jobs\n"
-           "          execute on an async worker pool over the result\n"
-           "          store; SIGINT/SIGTERM drains in-flight chunks\n"
-           "          and exits cleanly\n"
+           "          decompose into shard-range leases executed by\n"
+           "          the local worker pool and/or remote `etc_lab\n"
+           "          work` agents (--workers 0 = coordinator-only:\n"
+           "          all simulation happens on workers); lapsed\n"
+           "          leases re-issue automatically and fleet results\n"
+           "          are bit-identical to single-host runs;\n"
+           "          SIGINT/SIGTERM drains in-flight chunks and\n"
+           "          exits cleanly\n"
+           "  work    run a worker agent: pull shard-range leases\n"
+           "          from a coordinator daemon (--coordinator\n"
+           "          http://HOST:PORT), execute them through the\n"
+           "          same cache-aware engine, push the canonical\n"
+           "          shard records back, heartbeat while executing\n"
            "  submit  POST a job to a daemon (--experiment, optional\n"
            "          --errors/--mode for one cell, --wait to poll\n"
            "          until it drains)\n"
@@ -175,8 +199,22 @@ usage(int status)
            "                           remote daemon is loopback-only,\n"
            "                           so reach it through a tunnel or\n"
            "                           port forward)\n"
-           "  --workers K              serve: concurrent cell workers\n"
-           "                           (default 2)\n"
+           "  --workers K              serve: local cell workers\n"
+           "                           (default 2; 0 = coordinator-\n"
+           "                           only, remote agents do all the\n"
+           "                           simulating). work: concurrent\n"
+           "                           lease executors (default 1)\n"
+           "  --coordinator URL        work: the coordinator daemon,\n"
+           "                           http://HOST:PORT (required)\n"
+           "  --name NAME              work: worker name on lease\n"
+           "                           calls (default w<pid>)\n"
+           "  --lease-ttl-ms N         serve: lease heartbeat deadline\n"
+           "                           before re-issue (default 10000)\n"
+           "  --max-leases N           work: exit after N leases\n"
+           "                           (default: run until SIGTERM)\n"
+           "  --poll-ms N              work: idle poll interval when\n"
+           "                           the coordinator has no work\n"
+           "                           (default 500)\n"
            "  --errors N               submit: one cell at this error\n"
            "                           count instead of the whole sweep.\n"
            "                           query: filter to this error\n"
@@ -227,8 +265,8 @@ parseLabArgs(int argc, char **argv)
         usage(0);
     const std::vector<std::string> commands = {
         "run",     "resume", "merge",  "report",  "list",   "query",
-        "reindex", "policies", "analyze", "lint", "serve",  "submit",
-        "status",  "fetch",  "stats"};
+        "reindex", "policies", "analyze", "lint", "serve",  "work",
+        "submit",  "status", "fetch",  "stats"};
     if (std::find(commands.begin(), commands.end(), opts.command) ==
         commands.end()) {
         std::cerr << "etc_lab: unknown subcommand '" << opts.command
@@ -292,8 +330,28 @@ parseLabArgs(int argc, char **argv)
             opts.host = *host;
         } else if (auto workers = valueOf("--workers")) {
             opts.workers = parseCount32("--workers", *workers);
-            if (opts.workers == 0)
-                fatal("--workers must be >= 1");
+            opts.workersSet = true;
+            if (opts.workers == 0 && opts.command != "serve")
+                fatal("--workers must be >= 1 (only `serve` accepts "
+                      "0 for a coordinator-only daemon)");
+        } else if (auto coordinator = valueOf("--coordinator")) {
+            opts.coordinator = *coordinator;
+        } else if (auto name = valueOf("--name")) {
+            opts.workerName = *name;
+        } else if (auto ttl = valueOf("--lease-ttl-ms")) {
+            opts.leaseTtlMs = parseCountValue(
+                "--lease-ttl-ms", *ttl,
+                std::numeric_limits<uint64_t>::max());
+            if (opts.leaseTtlMs == 0)
+                fatal("--lease-ttl-ms must be >= 1");
+        } else if (auto leases = valueOf("--max-leases")) {
+            opts.maxLeases = parseCountValue(
+                "--max-leases", *leases,
+                std::numeric_limits<uint64_t>::max());
+        } else if (auto poll = valueOf("--poll-ms")) {
+            opts.pollMs = parseCountValue(
+                "--poll-ms", *poll,
+                std::numeric_limits<uint64_t>::max());
         } else if (auto errors = valueOf("--errors")) {
             opts.errors = parseCount32("--errors", *errors);
             opts.errorsList.push_back(*opts.errors);
@@ -372,6 +430,10 @@ parseLabArgs(int argc, char **argv)
     if (opts.command == "serve" && opts.bench.sharded())
         fatal("serve does not take --shard (the daemon schedules its "
               "own stripes)");
+    if (opts.command == "work" && opts.coordinator.empty())
+        fatal("work requires --coordinator http://HOST:PORT");
+    if (opts.command != "work" && !opts.coordinator.empty())
+        fatal("--coordinator only applies to `work`");
     if (opts.command == "submit" && opts.experiment.empty())
         fatal("submit requires --experiment");
     if (opts.command == "submit" && !opts.errors &&
@@ -786,6 +848,7 @@ labServe(const LabOptions &opts)
     config.seed = opts.bench.seed;
     config.checkpointInterval = opts.bench.checkpointInterval;
     config.gangWidth = opts.bench.gangWidth;
+    config.leaseTtlMs = opts.leaseTtlMs;
 
     service::Scheduler scheduler(config);
     service::CampaignService service(scheduler);
@@ -799,8 +862,12 @@ labServe(const LabOptions &opts)
     installStopSignalHandlers();
     inform("etc_lab: serving campaign API on http://127.0.0.1:",
            server.port(), " (cache ", config.cacheDir, ", ",
-           config.workers, " workers, ", opts.chunks,
-           " chunks per cell)");
+           config.workers, " local workers",
+           config.workers == 0 ? " -- coordinator-only, attach "
+                                 "`etc_lab work` agents"
+                               : "",
+           ", ", opts.chunks, " chunks per cell, ", config.leaseTtlMs,
+           " ms lease TTL)");
     server.run();
 
     inform("etc_lab: stop requested; finishing and persisting the "
@@ -822,6 +889,58 @@ labServe(const LabOptions &opts)
               << "\"trials_executed\":" << stats.trialsExecuted << "}"
               << std::endl;
     return 0;
+}
+
+int
+labWork(const LabOptions &opts)
+{
+    // --coordinator http://HOST:PORT (the scheme prefix is
+    // optional; a trailing slash or path is rejected rather than
+    // silently ignored).
+    std::string rest = opts.coordinator;
+    if (rest.rfind("http://", 0) == 0)
+        rest = rest.substr(7);
+    size_t colon = rest.rfind(':');
+    if (rest.empty() || rest.find('/') != std::string::npos ||
+        colon == std::string::npos || colon == 0 ||
+        colon + 1 >= rest.size())
+        fatal("--coordinator expects http://HOST:PORT, got '",
+              opts.coordinator, "'");
+
+    service::WorkerConfig config;
+    config.host = rest.substr(0, colon);
+    config.port = static_cast<uint16_t>(parseCountValue(
+        "--coordinator port", rest.substr(colon + 1), 65535));
+    config.name = opts.workerName;
+    config.cacheDir = opts.bench.cacheDir;
+    config.executors = opts.workersSet ? opts.workers : 1;
+    config.threads = opts.bench.threads;
+    config.maxLeases = opts.maxLeases;
+    config.pollMs = opts.pollMs;
+
+    service::WorkerAgent agent(config);
+    installStopSignalHandlers();
+    agent.start();
+    inform("etc_lab: worker '", agent.config().name, "' pulling from ",
+           config.host, ":", config.port, " (",
+           agent.config().executors, " executors, cache ",
+           agent.config().cacheDir, ")");
+    agent.join();
+
+    auto summary = agent.summary();
+    inform("etc_lab: work summary: ", summary.leasesCompleted,
+           " leases completed, ", summary.leasesFailed, " failed, ",
+           summary.recordsPushed, " records pushed, ",
+           summary.trialsExecuted, " trials executed");
+    std::cerr << "ETC_WORK_JSON {"
+              << "\"worker\":\"" << agent.config().name << "\","
+              << "\"leases_completed\":" << summary.leasesCompleted
+              << ","
+              << "\"leases_failed\":" << summary.leasesFailed << ","
+              << "\"records_pushed\":" << summary.recordsPushed << ","
+              << "\"trials_executed\":" << summary.trialsExecuted
+              << "}" << std::endl;
+    return summary.leasesFailed ? 1 : 0;
 }
 
 int
@@ -855,6 +974,15 @@ labSubmit(const LabOptions &opts)
     std::string jobId =
         store::parseJson(response.body).at("job").asString();
     inform("etc_lab: submitted ", jobId, "; waiting for it to drain");
+    // Exponential backoff with jitter instead of a fixed-rate poll:
+    // short jobs still finish within ~100 ms of draining, long fleet
+    // campaigns cost the daemon a request every couple of seconds,
+    // and the jitter keeps N waiting submitters from phase-locking
+    // into synchronized request bursts.
+    uint64_t delayMs = 50;
+    constexpr uint64_t MAX_DELAY_MS = 2000;
+    std::minstd_rand jitterRng(
+        static_cast<std::minstd_rand::result_type>(::getpid()));
     while (true) {
         auto status = client.get("/v1/jobs/" + jobId);
         if (!status.ok()) {
@@ -868,7 +996,11 @@ labSubmit(const LabOptions &opts)
             std::cout << status.body << std::endl;
             return state == "done" ? 0 : 1;
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        uint64_t jitter =
+            delayMs >= 4 ? jitterRng() % (delayMs / 4) : 0;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delayMs + jitter));
+        delayMs = std::min(delayMs * 2, MAX_DELAY_MS);
     }
 }
 
@@ -991,6 +1123,8 @@ labMain(int argc, char **argv)
             return labLint(opts);
         if (opts.command == "serve")
             return labServe(opts);
+        if (opts.command == "work")
+            return labWork(opts);
         if (opts.command == "submit")
             return labSubmit(opts);
         if (opts.command == "status")

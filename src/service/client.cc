@@ -1,9 +1,12 @@
 #include "service/client.hh"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cctype>
@@ -21,7 +24,8 @@ namespace {
 class ClientSocket
 {
   public:
-    ClientSocket(const std::string &host, uint16_t port)
+    ClientSocket(const std::string &host, uint16_t port,
+                 const Client::Timeouts &timeouts)
     {
         addrinfo hints = {};
         hints.ai_family = AF_INET;
@@ -39,7 +43,7 @@ class ClientSocket
                            entry->ai_protocol);
             if (fd_ < 0)
                 continue;
-            if (::connect(fd_, entry->ai_addr, entry->ai_addrlen) == 0)
+            if (connectWithin(entry, timeouts.connectMs))
                 break;
             ::close(fd_);
             fd_ = -1;
@@ -48,6 +52,21 @@ class ClientSocket
         if (fd_ < 0)
             fatal("client: cannot connect to ", host, ":", port, ": ",
                   std::strerror(errno));
+
+        if (timeouts.ioMs > 0) {
+            // A dead peer must fail the round trip, not hang it: each
+            // blocking read/write gets the deadline, and read/send
+            // report EAGAIN when it lapses.
+            timeval tv = {};
+            tv.tv_sec = static_cast<time_t>(timeouts.ioMs / 1000);
+            tv.tv_usec =
+                static_cast<suseconds_t>((timeouts.ioMs % 1000) *
+                                         1000);
+            ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                         sizeof(tv));
+            ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                         sizeof(tv));
+        }
     }
 
     ~ClientSocket()
@@ -71,6 +90,8 @@ class ClientSocket
             if (n < 0) {
                 if (errno == EINTR)
                     continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK)
+                    fatal("client: write timed out");
                 fatal("client: write failed: ", std::strerror(errno));
             }
             sent += static_cast<size_t>(n);
@@ -92,24 +113,74 @@ class ClientSocket
                 return data;
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                fatal("client: read timed out");
             fatal("client: read failed: ", std::strerror(errno));
         }
     }
 
   private:
+    /**
+     * connect() bounded by @p deadlineMs (0 = block forever): flip
+     * the socket non-blocking, start the connect, poll for
+     * writability, then read back SO_ERROR and restore blocking
+     * mode. @return true on an established connection; false leaves
+     * errno describing the failure (ETIMEDOUT on deadline).
+     */
+    bool
+    connectWithin(const addrinfo *entry, uint64_t deadlineMs)
+    {
+        if (deadlineMs == 0)
+            return ::connect(fd_, entry->ai_addr,
+                             entry->ai_addrlen) == 0;
+
+        int flags = ::fcntl(fd_, F_GETFL, 0);
+        ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+        int rc = ::connect(fd_, entry->ai_addr, entry->ai_addrlen);
+        if (rc != 0 && errno != EINPROGRESS)
+            return false;
+        if (rc != 0) {
+            pollfd pfd = {};
+            pfd.fd = fd_;
+            pfd.events = POLLOUT;
+            int ready;
+            do {
+                ready = ::poll(&pfd, 1,
+                               static_cast<int>(deadlineMs));
+            } while (ready < 0 && errno == EINTR);
+            if (ready == 0) {
+                errno = ETIMEDOUT;
+                return false;
+            }
+            if (ready < 0)
+                return false;
+            int soError = 0;
+            socklen_t len = sizeof(soError);
+            if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soError,
+                             &len) != 0)
+                return false;
+            if (soError != 0) {
+                errno = soError;
+                return false;
+            }
+        }
+        ::fcntl(fd_, F_SETFL, flags);
+        return true;
+    }
+
     int fd_ = -1;
 };
 
 } // namespace
 
-Client::Client(std::string host, uint16_t port)
-    : host_(std::move(host)), port_(port)
+Client::Client(std::string host, uint16_t port, Timeouts timeouts)
+    : host_(std::move(host)), port_(port), timeouts_(timeouts)
 {}
 
 Client::Response
 Client::roundTrip(const std::string &request)
 {
-    ClientSocket socket(host_, port_);
+    ClientSocket socket(host_, port_, timeouts_);
     socket.writeAll(request);
     std::string raw = socket.readAll();
 

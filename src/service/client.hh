@@ -17,11 +17,32 @@
 
 namespace etc::service {
 
+/** Transport deadlines. A worker agent polling a coordinator (or
+ *  `etc_lab submit --wait` polling a daemon) must never hang forever
+ *  on a dead peer -- it should fail the round trip and let its
+ *  retry/backoff policy decide. Namespace-scope (not nested in
+ *  Client) so its member initializers are parsed before Client's
+ *  constructor default argument needs them. */
+struct ClientTimeouts
+{
+    /** TCP connect deadline (0 = block forever). */
+    uint64_t connectMs = 5000;
+
+    /** Per-read/write deadline once connected (0 = forever).
+     *  Generous: a figure render or busy event loop may stall a
+     *  response, but a minute of silence on a one-request connection
+     *  means the peer is gone. */
+    uint64_t ioMs = 60000;
+};
+
 class Client
 {
   public:
+    using Timeouts = ClientTimeouts;
+
     /** A client for http://@p host:@p port (no connection yet). */
-    Client(std::string host, uint16_t port);
+    Client(std::string host, uint16_t port,
+           Timeouts timeouts = Timeouts{});
 
     /** One received response. */
     struct Response
@@ -48,6 +69,7 @@ class Client
 
     std::string host_;
     uint16_t port_;
+    Timeouts timeouts_;
 };
 
 } // namespace etc::service

@@ -6,7 +6,6 @@
 
 #include "store/index.hh"
 #include "store/record.hh"
-#include "store/result_store.hh"
 #include "support/logging.hh"
 #include "support/shutdown.hh"
 #include "telemetry/metrics.hh"
@@ -40,7 +39,7 @@ struct SchedulerMetrics
         "Cell tasks that raised an error");
     telemetry::Histogram &chunkSeconds = telemetry::histogram(
         "etc_scheduler_chunk_seconds",
-        "Wall time per job chunk (one shard of a cell)",
+        "Wall time per job chunk (one shard-range lease of a cell)",
         {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60});
 };
 
@@ -50,6 +49,11 @@ schedulerMetrics()
     static SchedulerMetrics metrics;
     return metrics;
 }
+
+/** How long an idle worker sleeps between coordinator polls. Lease
+ *  activity (completions, failures) pokes the condvar, so this bounds
+ *  only the latency of *expiry* detection, not of normal progress. */
+constexpr std::chrono::milliseconds IDLE_POLL{100};
 
 } // namespace
 
@@ -76,11 +80,21 @@ Scheduler::WorkloadContext::ensureStudy()
     return *study;
 }
 
-Scheduler::Scheduler(SchedulerConfig config) : config_(std::move(config))
+Scheduler::Scheduler(SchedulerConfig config)
+    : config_(std::move(config)),
+      coordinator_(CoordinatorConfig{config_.leaseTtlMs,
+                                     config_.maxLeaseIssues})
 {
     if (config_.cacheDir.empty())
         fatal("scheduler: a cache directory is required (jobs resume "
               "from persisted shards)");
+    // Lease completions wake an idle worker immediately, so cells
+    // promote as soon as their last shard lands instead of on the
+    // next poll tick. The callback fires outside the coordinator
+    // mutex; notifying without mutex_ held is safe (workers re-check
+    // all state on wakeup anyway).
+    coordinator_.setActivityCallback(
+        [this] { workAvailable_.notify_all(); });
 }
 
 Scheduler::~Scheduler()
@@ -95,10 +109,13 @@ Scheduler::start()
     if (started_)
         return;
     started_ = true;
-    unsigned workers = std::max(1u, config_.workers);
-    schedulerMetrics().workers.set(workers);
-    for (unsigned i = 0; i < workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    // workers = 0 still spawns one thread: the steward that probes
+    // the cache, registers leases, and promotes completed cells. It
+    // just never executes leases itself (remote agents do).
+    unsigned threads = std::max(1u, config_.workers);
+    schedulerMetrics().workers.set(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 void
@@ -186,7 +203,8 @@ Scheduler::submit(
     }
 
     Job job;
-    job.id = "j" + std::to_string(nextJobId_++);
+    job.id = "j";
+    job.id += std::to_string(nextJobId_++);
     job.experiment = exp.name;
     job.signature = signature;
     bool enqueued = false;
@@ -256,134 +274,247 @@ Scheduler::evictCompletedJobs()
 }
 
 void
-Scheduler::workerLoop()
+Scheduler::workerLoop(unsigned workerIndex)
 {
+    // Local executors are lease workers like any remote agent, just
+    // with a function call instead of an HTTP round trip. Their
+    // "heartbeat" is implicit: a local lease either completes (the
+    // daemon is alive) or the daemon died with it -- and then the
+    // whole coordinator died too, so nothing is left to expire it.
+    const bool executor = config_.workers > 0;
+    const std::string workerName =
+        "local#" + std::to_string(workerIndex);
+    bool idle = false;
     while (true) {
-        std::shared_ptr<CellTask> task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            workAvailable_.wait(lock, [this] {
-                return stopping_ || !queue_.empty();
-            });
             if (stopping_)
                 return;
-            task = queue_.front();
-            queue_.pop_front();
-            task->state = CellState::Running;
-            schedulerMetrics().queueDepth.set(
-                static_cast<int64_t>(queue_.size()));
+            // No predicate: lease completions notify without holding
+            // mutex_, and the loop below re-derives all state anyway.
+            // The timeout bounds expiry-detection latency when every
+            // remote agent has gone silent.
+            if (idle)
+                workAvailable_.wait_for(lock, IDLE_POLL);
+            if (stopping_)
+                return;
         }
-        schedulerMetrics().workersBusy.add(1);
-        runTask(task);
-        schedulerMetrics().workersBusy.add(-1);
+        coordinator_.sweepExpired();
+        bool didWork = collectFailedCells();
+        didWork |= promoteCompletedCells();
+        didWork |= probeNextTask();
+        if (executor)
+            didWork |= executeOneLease(workerName);
+        idle = !didWork;
     }
 }
 
-void
-Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
+bool
+Scheduler::probeNextTask()
 {
-    CellTask &task = *taskPtr;
+    std::shared_ptr<CellTask> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        task = queue_.front();
+        queue_.pop_front();
+        task->state = CellState::Running;
+        schedulerMetrics().queueDepth.set(
+            static_cast<int64_t>(queue_.size()));
+    }
     try {
-        auto stopNow = [this] {
+        // Cache first: a warm-cache cell completes with zero
+        // simulation and never touches the coordinator. (Each worker
+        // probes through its own ResultStore instance; see the
+        // store's concurrent-writer contract.)
+        auto probeStarted = std::chrono::steady_clock::now();
+        store::ResultStore probe(config_.cacheDir);
+        if (probe.loadCell(task->key)) {
+            // A cache hit still costs a store load; report that wall
+            // time (instead of 0) so dashboards get a finite number,
+            // with cached=true marking that trialsPerSec is
+            // meaningless for this cell.
+            std::chrono::duration<double> probeSpan =
+                std::chrono::steady_clock::now() - probeStarted;
             std::lock_guard<std::mutex> lock(mutex_);
-            return stopping_ || stopRequested();
-        };
+            task->state = CellState::Done;
+            task->cached = true;
+            task->wallSeconds += probeSpan.count();
+            liveTasks_.erase(task->fingerprint);
+            schedulerMetrics().cellsDone.add();
+            schedulerMetrics().cellsCached.add();
+            return true;
+        }
 
-        // Cache first, *before* queueing on the experiment's run
-        // mutex: a warm-cache cell completes with zero simulation
-        // even while another cell of the same experiment is mid-run,
-        // instead of tying a worker up behind it. (Each worker probes
-        // through its own ResultStore instance; see the store's
-        // concurrent-writer contract. No re-probe is needed under the
-        // mutex: tasks are deduplicated on CellKey, and the study's
-        // own cache-aware path skips any shard that lands in the
-        // store in the meantime.)
+        // Miss: decompose into shard-range leases. Stripes whose
+        // shard record is already stored (a killed predecessor's
+        // progress) register as done, so the cell resumes.
+        unsigned shardCount =
+            std::max(1u, std::min(config_.chunks, task->trials));
+        std::vector<bool> alreadyDone(shardCount, false);
+        for (unsigned i = 0; i < shardCount; ++i) {
+            auto [lo, hi] = core::ErrorToleranceStudy::shardRange(
+                task->trials, i, shardCount);
+            alreadyDone[i] = probe.hasShard(task->key, lo, hi);
+        }
+
+        LeaseCell cell;
+        cell.fingerprint = task->fingerprint;
+        cell.experiment = task->ctx->exp->name;
+        cell.errors = task->errors;
+        cell.policy = task->policy;
+        cell.trials = task->trials;
+        cell.seed = task->ctx->studyConfig.seed;
+        cell.checkpointInterval =
+            task->ctx->studyConfig.checkpointInterval;
+        cell.staticPrune = task->ctx->studyConfig.staticPrune;
+        cell.gangWidth = task->gangWidth;
+
+        // Registered *before* the coordinator sees the cell, so a
+        // remote completion arriving immediately can find the task.
         {
-            auto probeStarted = std::chrono::steady_clock::now();
-            store::ResultStore probe(config_.cacheDir);
-            if (probe.loadCell(task.key)) {
-                // A cache hit still costs a store load; report that
-                // wall time (instead of the old 0) so dashboards get a
-                // finite number, with cached=true marking that
-                // trialsPerSec is meaningless for this cell.
-                std::chrono::duration<double> probeSpan =
-                    std::chrono::steady_clock::now() - probeStarted;
-                std::lock_guard<std::mutex> lock(mutex_);
-                task.state = CellState::Done;
-                task.cached = true;
-                task.wallSeconds += probeSpan.count();
-                liveTasks_.erase(task.fingerprint);
-                schedulerMetrics().cellsDone.add();
-                schedulerMetrics().cellsCached.add();
+            std::lock_guard<std::mutex> lock(mutex_);
+            leasedTasks_[task->fingerprint] = task;
+        }
+        coordinator_.registerCell(cell, shardCount, alreadyDone);
+    } catch (const std::exception &e) {
+        failTask(task, e.what());
+    }
+    return true;
+}
+
+bool
+Scheduler::executeOneLease(const std::string &worker)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return false;
+    }
+    // A stop signal (graceful shutdown) parks local execution; the
+    // leases re-pend via expiry and any progress is already persisted
+    // as shard records, so a restarted daemon resumes mid-cell.
+    if (stopRequested())
+        return false;
+
+    auto grants = coordinator_.acquire(worker, 1);
+    if (grants.empty())
+        return false;
+    const LeaseGrant &grant = grants.front();
+    auto task = leasedTask(grant.cell.fingerprint);
+    if (!task) {
+        // Cannot happen in-process (tasks register before their
+        // leases), but keep the lease machine consistent anyway.
+        coordinator_.fail(grant.id, worker,
+                          "no local task for lease " + grant.id);
+        return true;
+    }
+
+    schedulerMetrics().workersBusy.add(1);
+    try {
+        // One lease of an experiment at a time: the study (and its
+        // golden run, runners, and store bookkeeping) is not
+        // thread-safe. The stripe's trials still fan out across the
+        // study's own campaign thread pool.
+        std::lock_guard<std::mutex> ctxLock(task->ctx->runMutex);
+        auto &study = task->ctx->ensureStudy();
+        // Retune the shared study to this job's gang width (execution
+        // strategy only; results are bit-identical for every width).
+        study.setGangWidth(task->gangWidth);
+        uint64_t before = study.trialsExecuted();
+        auto started = std::chrono::steady_clock::now();
+        {
+            telemetry::TraceSpan chunkSpan("scheduler", "chunk");
+            if (chunkSpan.active())
+                chunkSpan.setArgs("{\"cell\":\"" + task->fingerprint +
+                                  "\",\"chunk\":" +
+                                  std::to_string(grant.shardIndex) +
+                                  "}");
+            // Persists the stripe as a shard record; an already
+            // stored stripe (e.g. pushed by a remote worker while
+            // this lease was granted) is skipped from the cache.
+            study.runCellShard(task->errors, task->policy,
+                               task->trials, grant.shardIndex,
+                               grant.shardCount);
+        }
+        std::chrono::duration<double> span =
+            std::chrono::steady_clock::now() - started;
+        schedulerMetrics().chunkSeconds.observe(span.count());
+        uint64_t ran = study.trialsExecuted() - before;
+        // Task/global tallies accrue at promotion (from the
+        // coordinator's sums), not here -- one accounting path for
+        // local and remote workers alike.
+        coordinator_.complete(grant.id, worker, ran, span.count());
+    } catch (const std::exception &e) {
+        // A local chunk failure rides the same re-issue path as a
+        // dead remote worker: re-pend (another grant may succeed on
+        // a transient error) until the issue cap fails the cell.
+        warn("scheduler: lease ", grant.id, " failed on ", worker,
+             ": ", e.what());
+        coordinator_.fail(grant.id, worker, e.what());
+    }
+    schedulerMetrics().workersBusy.add(-1);
+    return true;
+}
+
+bool
+Scheduler::promoteCompletedCells()
+{
+    auto completed = coordinator_.takeCompleted();
+    for (const auto &done : completed)
+        promoteCell(done);
+    return !completed.empty();
+}
+
+void
+Scheduler::promoteCell(const CompletedCell &done)
+{
+    const std::string &fingerprint = done.cell.fingerprint;
+    auto task = leasedTask(fingerprint);
+    if (!task) {
+        // The task vanished (collected as failed by a racing worker);
+        // nothing to promote into.
+        coordinator_.finishCell(fingerprint);
+        return;
+    }
+    auto promoteStarted = std::chrono::steady_clock::now();
+    try {
+        store::ResultStore store(config_.cacheDir);
+        if (!store.hasCell(task->key)) {
+            // Merge the shard tiling into the cell record: assembled,
+            // persisted, and bit-identical to a monolithic run,
+            // whoever executed the stripes. No simulation happens
+            // here -- promotion is pure store arithmetic.
+            auto shards =
+                store::selectPrefixTiling(store.loadShards(task->key));
+            try {
+                auto summary = store::mergeShardSummaries(
+                    task->key, std::move(shards));
+                store.storeCell(task->key, summary);
+            } catch (const store::StoreFormatError &) {
+                // The tiling has gaps: some "completed" stripes never
+                // reached the store (a worker lied or its push was
+                // lost). Re-pend exactly those stripes.
+                std::vector<unsigned> missing;
+                for (unsigned i = 0; i < done.shardCount; ++i) {
+                    auto [lo, hi] =
+                        core::ErrorToleranceStudy::shardRange(
+                            task->trials, i, done.shardCount);
+                    if (!store.hasShard(task->key, lo, hi))
+                        missing.push_back(i);
+                }
+                if (missing.empty())
+                    throw; // genuinely unmergeable: fail the cell
+                warn("scheduler: cell ", fingerprint, " missing ",
+                     missing.size(),
+                     " completed stripe(s) from the store; "
+                     "re-issuing their leases");
+                coordinator_.reopenStripes(fingerprint, missing);
                 return;
             }
         }
-
-        // One cell of an experiment at a time: the study (and its
-        // golden run, runners, and store bookkeeping) is not
-        // thread-safe. The cell's trials still fan out across the
-        // study's own campaign thread pool.
-        std::lock_guard<std::mutex> ctxLock(task.ctx->runMutex);
-
-        if (stopNow()) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            task.state = CellState::Queued;
-            queue_.push_front(taskPtr);
-            schedulerMetrics().queueDepth.set(
-                static_cast<int64_t>(queue_.size()));
-            return;
-        }
-
-        auto &study = task.ctx->ensureStudy();
-        // Retune the shared study to this job's gang width (execution
-        // strategy only; results are bit-identical for every width).
-        study.setGangWidth(task.gangWidth);
-        uint64_t before = study.trialsExecuted();
-        auto started = std::chrono::steady_clock::now();
-        auto elapsed = [&started] {
-            std::chrono::duration<double> span =
-                std::chrono::steady_clock::now() - started;
-            return span.count();
-        };
-        unsigned chunks = std::max(1u, config_.chunks);
-        bool interrupted = false;
-        for (unsigned chunk = 0; chunk < chunks; ++chunk) {
-            if (stopNow()) {
-                interrupted = true;
-                break;
-            }
-            // Each chunk persists as a shard record; stored chunks
-            // (this daemon's or a predecessor's) are skipped, so a
-            // resubmitted cell resumes instead of restarting.
-            auto chunkStarted = std::chrono::steady_clock::now();
-            telemetry::TraceSpan chunkSpan("scheduler", "chunk");
-            if (chunkSpan.active())
-                chunkSpan.setArgs(
-                    "{\"cell\":\"" + task.fingerprint + "\",\"chunk\":" +
-                    std::to_string(chunk) + "}");
-            study.runCellShard(task.errors, task.policy, task.trials,
-                               chunk, chunks);
-            std::chrono::duration<double> chunkSpanSeconds =
-                std::chrono::steady_clock::now() - chunkStarted;
-            schedulerMetrics().chunkSeconds.observe(
-                chunkSpanSeconds.count());
-        }
-        if (interrupted) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            uint64_t ran = study.trialsExecuted() - before;
-            task.trialsExecuted += ran;
-            task.wallSeconds += elapsed();
-            trialsExecuted_ += ran;
-            task.state = CellState::Queued;
-            queue_.push_front(taskPtr);
-            schedulerMetrics().queueDepth.set(
-                static_cast<int64_t>(queue_.size()));
-            return;
-        }
-
-        // Promote the tiling shards into the cell record (assembled,
-        // persisted, and bit-identical to a monolithic run).
-        study.runCell(task.errors, task.policy, task.trials);
+        store.dropShards(task->key);
 
         // The cell's store writes just grew the archive; reload the
         // secondary index so its gauges (etc_index_cells & co) track
@@ -396,26 +527,148 @@ Scheduler::runTask(const std::shared_ptr<CellTask> &taskPtr)
             warn("scheduler: index refresh failed: ", e.what());
         }
 
-        std::lock_guard<std::mutex> lock(mutex_);
-        uint64_t ran = study.trialsExecuted() - before;
-        task.trialsExecuted += ran;
-        task.wallSeconds += elapsed();
-        trialsExecuted_ += ran;
-        task.cached = task.trialsExecuted == 0;
-        task.state = CellState::Done;
-        liveTasks_.erase(task.fingerprint);
-        schedulerMetrics().cellsDone.add();
-        if (task.cached)
-            schedulerMetrics().cellsCached.add();
+        std::chrono::duration<double> promoteSpan =
+            std::chrono::steady_clock::now() - promoteStarted;
+        finishTask(task, done.trialsExecuted,
+                   done.wallSeconds + promoteSpan.count());
+        coordinator_.finishCell(fingerprint);
     } catch (const std::exception &e) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        task.state = CellState::Failed;
-        task.error = e.what();
-        liveTasks_.erase(task.fingerprint);
-        schedulerMetrics().cellsFailed.add();
-        warn("scheduler: cell ", task.key.canonical(), " failed: ",
-             e.what());
+        failTask(task, e.what());
+        coordinator_.finishCell(fingerprint);
     }
+}
+
+bool
+Scheduler::collectFailedCells()
+{
+    auto failed = coordinator_.takeFailed();
+    for (const auto &[fingerprint, error] : failed) {
+        if (auto task = leasedTask(fingerprint))
+            failTask(task, error);
+    }
+    return !failed.empty();
+}
+
+std::shared_ptr<Scheduler::CellTask>
+Scheduler::leasedTask(const std::string &fingerprint) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = leasedTasks_.find(fingerprint);
+    return it == leasedTasks_.end() ? nullptr : it->second;
+}
+
+void
+Scheduler::finishTask(const std::shared_ptr<CellTask> &task,
+                      uint64_t trialsExecuted, double wallSeconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    task->trialsExecuted += trialsExecuted;
+    task->wallSeconds += wallSeconds;
+    trialsExecuted_ += trialsExecuted;
+    // Every stripe came from stored shards: the cell resumed (or was
+    // pushed) without this daemon simulating a single trial.
+    task->cached = task->trialsExecuted == 0;
+    task->state = CellState::Done;
+    liveTasks_.erase(task->fingerprint);
+    leasedTasks_.erase(task->fingerprint);
+    schedulerMetrics().cellsDone.add();
+    if (task->cached)
+        schedulerMetrics().cellsCached.add();
+}
+
+void
+Scheduler::failTask(const std::shared_ptr<CellTask> &task,
+                    const std::string &error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    task->state = CellState::Failed;
+    task->error = error;
+    liveTasks_.erase(task->fingerprint);
+    leasedTasks_.erase(task->fingerprint);
+    schedulerMetrics().cellsFailed.add();
+    warn("scheduler: cell ", task->key.canonical(), " failed: ",
+         error);
+}
+
+std::vector<LeaseGrant>
+Scheduler::acquireLeases(const std::string &worker, unsigned max)
+{
+    return coordinator_.acquire(worker, max);
+}
+
+LeaseBeat
+Scheduler::heartbeatLease(const std::string &leaseId,
+                          const std::string &worker)
+{
+    return coordinator_.heartbeat(leaseId, worker);
+}
+
+Scheduler::LeaseCompletion
+Scheduler::completeLease(const std::string &leaseId,
+                         const std::string &worker,
+                         uint64_t trialsExecuted, double wallSeconds)
+{
+    auto lease = coordinator_.lookupLease(leaseId);
+    if (!lease) {
+        // The lease id encodes its cell fingerprint; if that cell is
+        // already promoted, this is a ghost of a re-issued lease
+        // whose bytes matched by construction -- tell it "done" so it
+        // stops retrying. Anything else is genuinely unknown.
+        std::string fingerprint =
+            leaseId.substr(0, leaseId.find('.'));
+        bool hex16 =
+            fingerprint.size() == 16 &&
+            std::all_of(fingerprint.begin(), fingerprint.end(),
+                        [](char c) {
+                            return (c >= '0' && c <= '9') ||
+                                   (c >= 'a' && c <= 'f');
+                        });
+        if (hex16 && store::ResultStore(config_.cacheDir)
+                         .hasCellByFingerprint(fingerprint))
+            return LeaseCompletion::LateDone;
+        return LeaseCompletion::Unknown;
+    }
+
+    // Trust but verify: "complete" must mean the stripe's bytes are
+    // actually in the store (pushed via /v1/shards, written by a
+    // local worker sharing the cache, or subsumed by the promoted
+    // cell record). A completion without bytes would merge a hole.
+    if (auto task = leasedTask(lease->cell.fingerprint)) {
+        store::ResultStore store(config_.cacheDir);
+        if (!store.hasShard(task->key, lease->lo, lease->hi) &&
+            !store.hasCell(task->key))
+            return LeaseCompletion::MissingShard;
+    }
+    coordinator_.complete(leaseId, worker, trialsExecuted,
+                          wallSeconds);
+    return LeaseCompletion::Done;
+}
+
+bool
+Scheduler::failLease(const std::string &leaseId,
+                     const std::string &worker,
+                     const std::string &error)
+{
+    return coordinator_.fail(leaseId, worker, error);
+}
+
+store::ResultStore::IngestOutcome
+Scheduler::ingestRecord(const std::string &text)
+{
+    store::ResultStore store(config_.cacheDir);
+    return store.ingestRecord(text);
+}
+
+CoordinatorStats
+Scheduler::fleetStats() const
+{
+    return coordinator_.stats();
+}
+
+std::vector<LeaseInfo>
+Scheduler::fleetLeases() const
+{
+    return coordinator_.leases();
 }
 
 std::string

@@ -3,26 +3,37 @@
  * Async campaign job scheduler: the engine room of `etc_lab serve`.
  *
  * Submitted experiments (or single cells) become jobs whose cells are
- * executed by a bounded pool of worker threads over the existing
- * cache-aware ErrorToleranceStudy / fault::CampaignRunner machinery:
+ * decomposed into shard-range leases (see coordinator.hh) and
+ * executed by whoever holds the lease -- the daemon's own bounded
+ * pool of local workers, remote `etc_lab work` agents, or a mix:
  *
- *  - Idempotent on CellKey: a cell already queued or running is never
+ *  - Idempotent on CellKey: a cell already queued or leased is never
  *    enqueued twice -- a duplicate submission attaches to the live
  *    tasks (and an identical active job is returned outright instead
  *    of creating a twin).
  *  - Cache-first: a cell whose record is already in the ResultStore
  *    is served with zero simulation (the task completes `cached` with
- *    trialsExecuted == 0).
- *  - Kill-tolerant: cells execute as `chunks` persisted shard stripes
- *    (CampaignRunner::runRange under the study), so losing the daemon
- *    mid-cell loses at most one chunk; a resubmission to a fresh
- *    daemon resumes from the stored shards.
- *  - Graceful: stop() lets every worker finish and persist its
- *    in-flight chunk, then joins the pool.
+ *    trialsExecuted == 0); stripes whose shard records are already
+ *    stored register as done leases, so a resubmission resumes.
+ *  - Kill-tolerant twice over: every lease persists as a shard
+ *    record, so losing the daemon mid-cell loses at most one lease's
+ *    work, and losing a *worker* mid-lease just lets the lease expire
+ *    and re-issue -- local chunk failures ride the same re-issue path
+ *    as remote worker deaths (one recovery mechanism, not two).
+ *  - Deterministic: when every lease of a cell is done, the shards
+ *    are merged via the store's mergeShardSummaries() path (no
+ *    simulation), so a fleet-computed cell is bit-identical to a
+ *    single-host run whoever executed the stripes.
+ *  - Graceful: stop() lets every local worker finish and persist its
+ *    in-flight lease, then joins the pool.
+ *
+ * `workers = 0` runs a pure coordinator: one steward thread still
+ * probes the cache, registers leases, and promotes completed cells,
+ * but all simulation happens on remote agents.
  *
  * Cells of the same experiment share one study (the golden profiling
  * run is made once) and are serialized on it -- the study itself is
- * not thread-safe -- but each cell's trials fan out across the
+ * not thread-safe -- but each lease's trials fan out across the
  * study's own campaign thread pool, and distinct experiments run
  * concurrently on distinct workers.
  */
@@ -43,7 +54,9 @@
 
 #include "bench/experiments.hh"
 #include "core/study.hh"
+#include "service/coordinator.hh"
 #include "store/cell_key.hh"
+#include "store/result_store.hh"
 
 namespace etc::service {
 
@@ -51,9 +64,10 @@ namespace etc::service {
 struct SchedulerConfig
 {
     std::string cacheDir;     //!< result-store root (required)
-    unsigned workers = 2;     //!< concurrent cell workers
+    unsigned workers = 2;     //!< local lease executors (0 = pure
+                              //!< coordinator: remote agents only)
     unsigned threads = 0;     //!< campaign threads per cell (0 = all)
-    unsigned chunks = 4;      //!< persisted shard stripes per cell
+    unsigned chunks = 4;      //!< shard-range leases per cell
     uint64_t seed = core::StudyConfig{}.seed;
     uint64_t checkpointInterval =
         core::StudyConfig{}.checkpointInterval;
@@ -62,6 +76,12 @@ struct SchedulerConfig
      *  submissions may override it per job. Execution strategy only
      *  -- results are bit-identical for every width. */
     unsigned gangWidth = fault::GANG_WIDTH_AUTO;
+
+    /** Lease deadline; workers heartbeat at a third of it. */
+    uint64_t leaseTtlMs = 10000;
+
+    /** Grants per lease before its cell fails permanently. */
+    unsigned maxLeaseIssues = 5;
 };
 
 /** Lifecycle of one cell task. */
@@ -134,13 +154,14 @@ class Scheduler
 
     const SchedulerConfig &config() const { return config_; }
 
-    /** Spawn the worker pool (call once). */
+    /** Spawn the worker pool (call once). A workers = 0 config still
+     *  spawns one steward thread for probe/register/promote duty. */
     void start();
 
     /**
-     * Finish and persist every in-flight shard chunk, then join the
-     * workers. Queued cells stay queued (their progress, if any, is
-     * already in the store).
+     * Finish and persist every in-flight local lease, then join the
+     * workers. Queued cells and unexecuted leases stay registered
+     * (their progress, if any, is already in the store).
      */
     void stop();
 
@@ -175,6 +196,54 @@ class Scheduler
     /** @return aggregate counters over every job and task. */
     SchedulerStats stats() const;
 
+    /// @name Fleet surface (the lease/shard HTTP endpoints)
+    /// @{
+
+    /** POST /v1/leases/acquire: grant up to @p max pending leases. */
+    std::vector<LeaseGrant> acquireLeases(const std::string &worker,
+                                          unsigned max);
+
+    /** POST /v1/leases/<id>/heartbeat. */
+    LeaseBeat heartbeatLease(const std::string &leaseId,
+                             const std::string &worker);
+
+    /** Outcome of completeLease(). */
+    enum class LeaseCompletion
+    {
+        Done,         //!< accepted (possibly a repeat -- idempotent)
+        LateDone,     //!< lease gone but its cell is promoted; the
+                      //!< stale worker's bytes matched by construction
+        MissingShard, //!< the shard record never reached the store
+        Unknown,      //!< no such lease and no such cell
+    };
+
+    /**
+     * POST /v1/leases/<id>/complete: verify the stripe's shard record
+     * (or the whole cell) is actually in the store, then mark the
+     * lease done. Idempotent and owner-agnostic: late completions of
+     * re-issued leases -- even after the cell was promoted and the
+     * lease forgotten -- are accepted, because every writer of a
+     * content-addressed record produced identical bytes.
+     */
+    LeaseCompletion completeLease(const std::string &leaseId,
+                                  const std::string &worker,
+                                  uint64_t trialsExecuted,
+                                  double wallSeconds);
+
+    /** POST /v1/leases/<id>/complete with failed=true: re-pend the
+     *  lease (or fail its cell at the issue cap). */
+    bool failLease(const std::string &leaseId,
+                   const std::string &worker, const std::string &error);
+
+    /** POST /v1/shards: validate and store a pushed record. Throws
+     *  store::StoreFormatError on malformed input. */
+    store::ResultStore::IngestOutcome ingestRecord(
+        const std::string &text);
+
+    CoordinatorStats fleetStats() const;
+    std::vector<LeaseInfo> fleetLeases() const;
+    /// @}
+
   private:
     /** Per-experiment shared state: workload, analysis, lazy study. */
     struct WorkloadContext
@@ -185,7 +254,7 @@ class Scheduler
         analysis::ProtectionResult protection;
         std::unique_ptr<core::ErrorToleranceStudy> study;
 
-        /** Serializes study construction and every cell execution. */
+        /** Serializes study construction and every lease execution. */
         std::mutex runMutex;
 
         core::ErrorToleranceStudy &ensureStudy();
@@ -221,17 +290,31 @@ class Scheduler
     static constexpr size_t MAX_RETAINED_JOBS = 512;
 
     WorkloadContext &contextFor(const bench::Experiment &exp);
-    void workerLoop();
-    void runTask(const std::shared_ptr<CellTask> &task);
+    void workerLoop(unsigned workerIndex);
+    bool probeNextTask();
+    bool executeOneLease(const std::string &worker);
+    bool promoteCompletedCells();
+    void promoteCell(const CompletedCell &done);
+    bool collectFailedCells();
+    std::shared_ptr<CellTask> leasedTask(
+        const std::string &fingerprint) const;
+    void finishTask(const std::shared_ptr<CellTask> &task,
+                    uint64_t trialsExecuted, double wallSeconds);
+    void failTask(const std::shared_ptr<CellTask> &task,
+                  const std::string &error);
     void evictCompletedJobs();
     static std::string jobStateOf(const Job &job);
 
     SchedulerConfig config_;
+    Coordinator coordinator_;
 
     mutable std::mutex mutex_; //!< guards everything below
     std::condition_variable workAvailable_;
-    std::deque<std::shared_ptr<CellTask>> queue_;
+    std::deque<std::shared_ptr<CellTask>> queue_; //!< awaiting probe
     std::map<std::string, std::shared_ptr<CellTask>> liveTasks_;
+    /** Tasks whose leases are registered, by fingerprint (Running
+     *  until their shards merge into the cell record). */
+    std::map<std::string, std::shared_ptr<CellTask>> leasedTasks_;
     std::map<std::string, Job> jobs_;
     std::map<std::string, std::string> activeJobsBySignature_;
     std::map<std::string, std::unique_ptr<WorkloadContext>> contexts_;

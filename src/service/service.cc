@@ -58,6 +58,55 @@ encodeIndexHealth(const store::IndexHealth &health)
     return writer.str();
 }
 
+/**
+ * Non-negative seconds from a JSON number or string field (absent
+ * fields are 0; wall time is telemetry, not bit-exact data, so plain
+ * decimal text is fine here). nullopt means unparseable.
+ */
+std::optional<double>
+parseSeconds(const store::JsonValue *value)
+{
+    if (!value)
+        return 0.0;
+    if (value->kind != store::JsonValue::Kind::Number &&
+        value->kind != store::JsonValue::Kind::String)
+        return std::nullopt;
+    try {
+        size_t used = 0;
+        double parsed = std::stod(value->text, &used);
+        if (used != value->text.size() || !(parsed >= 0.0))
+            return std::nullopt;
+        return parsed;
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+/** Everything `etc_lab work` needs to execute the stripe and verify
+ *  it rebuilt the exact CellKey the coordinator expects. */
+std::string
+encodeLeaseGrant(const LeaseGrant &grant)
+{
+    store::JsonObjectWriter writer;
+    writer.field("id", grant.id)
+        .field("cell", grant.cell.fingerprint)
+        .field("experiment", grant.cell.experiment)
+        .field("errors", uint64_t{grant.cell.errors})
+        .field("policy", grant.cell.policy)
+        .field("trials", uint64_t{grant.cell.trials})
+        .field("seed", store::hexU64(grant.cell.seed))
+        .field("checkpointInterval", grant.cell.checkpointInterval)
+        .field("staticPrune", grant.cell.staticPrune)
+        .field("gangWidth", uint64_t{grant.cell.gangWidth})
+        .field("shardIndex", uint64_t{grant.shardIndex})
+        .field("shardCount", uint64_t{grant.shardCount})
+        .field("lo", uint64_t{grant.lo})
+        .field("hi", uint64_t{grant.hi})
+        .field("issue", uint64_t{grant.issue})
+        .field("ttlMs", grant.ttlMs);
+    return writer.str();
+}
+
 bool
 isFingerprint(const std::string &text)
 {
@@ -235,6 +284,28 @@ CampaignService::handle(const HttpRequest &request)
         if (request.method != "GET")
             return errorResponse(405, "use GET for the archive index");
         return indexStatus();
+    }
+    if (path == "/v1/leases/acquire") {
+        if (request.method != "POST")
+            return errorResponse(405, "use POST to acquire leases");
+        return acquireLeases(request);
+    }
+    if (path.rfind("/v1/leases/", 0) == 0) {
+        if (request.method != "POST")
+            return errorResponse(405,
+                                 "use POST for lease lifecycle calls");
+        return leaseAction(path.substr(11), request);
+    }
+    if (path == "/v1/shards") {
+        if (request.method != "POST")
+            return errorResponse(405,
+                                 "use POST to push shard records");
+        return ingestShard(request);
+    }
+    if (path == "/v1/fleet") {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET for fleet status");
+        return fleet();
     }
     if (path == "/v1/healthz") {
         if (request.method != "GET")
@@ -655,6 +726,232 @@ CampaignService::indexStatus()
 }
 
 HttpResponse
+CampaignService::acquireLeases(const HttpRequest &request)
+{
+    store::JsonValue body;
+    try {
+        body = store::parseJson(request.body);
+    } catch (const store::JsonError &e) {
+        return errorResponse(400,
+                             std::string("malformed JSON body: ") +
+                                 e.what());
+    }
+    if (!body.isObject())
+        return errorResponse(400,
+                             "request body must be a JSON object");
+    std::string worker;
+    unsigned max = 1;
+    try {
+        const store::JsonValue *name = body.find("worker");
+        if (!name)
+            return errorResponse(400,
+                                 "missing required field 'worker'");
+        worker = name->asString();
+        if (worker.empty())
+            return errorResponse(400, "'worker' must be non-empty");
+        if (const store::JsonValue *value = body.find("max"))
+            max = std::max(1u, value->asU32());
+    } catch (const store::JsonError &e) {
+        return errorResponse(400,
+                             std::string("bad request field: ") +
+                                 e.what());
+    }
+
+    auto grants = scheduler_.acquireLeases(worker, max);
+    std::string leases = "[";
+    for (size_t i = 0; i < grants.size(); ++i) {
+        if (i)
+            leases += ',';
+        leases += encodeLeaseGrant(grants[i]);
+    }
+    leases += ']';
+    store::JsonObjectWriter writer;
+    writer.rawField("leases", leases);
+    return HttpResponse::json(200, writer.str());
+}
+
+HttpResponse
+CampaignService::leaseAction(const std::string &suffix,
+                             const HttpRequest &request)
+{
+    size_t slash = suffix.rfind('/');
+    if (slash == std::string::npos || slash == 0)
+        return errorResponse(
+            404, "lease calls are POST /v1/leases/<id>/heartbeat "
+                 "or .../complete");
+    std::string id = suffix.substr(0, slash);
+    std::string action = suffix.substr(slash + 1);
+
+    store::JsonValue body;
+    try {
+        body = store::parseJson(request.body);
+    } catch (const store::JsonError &e) {
+        return errorResponse(400,
+                             std::string("malformed JSON body: ") +
+                                 e.what());
+    }
+    if (!body.isObject())
+        return errorResponse(400,
+                             "request body must be a JSON object");
+    std::string worker;
+    try {
+        const store::JsonValue *name = body.find("worker");
+        if (!name)
+            return errorResponse(400,
+                                 "missing required field 'worker'");
+        worker = name->asString();
+    } catch (const store::JsonError &e) {
+        return errorResponse(400,
+                             std::string("bad request field: ") +
+                                 e.what());
+    }
+
+    if (action == "heartbeat") {
+        switch (scheduler_.heartbeatLease(id, worker)) {
+          case LeaseBeat::Active: {
+            store::JsonObjectWriter writer;
+            writer.field("state", "active")
+                .field("ttlMs", scheduler_.config().leaseTtlMs);
+            return HttpResponse::json(200, writer.str());
+          }
+          case LeaseBeat::Lost: {
+            store::JsonObjectWriter writer;
+            writer.field("state", "lost");
+            return HttpResponse::json(200, writer.str());
+          }
+          case LeaseBeat::Unknown:
+            break;
+        }
+        return errorResponse(404, "unknown lease '" + id + "'");
+    }
+
+    if (action == "complete") {
+        bool failed = false;
+        uint64_t trialsExecuted = 0;
+        std::string error;
+        try {
+            if (const store::JsonValue *value = body.find("failed"))
+                failed = value->asBool();
+            if (const store::JsonValue *value =
+                    body.find("trialsExecuted"))
+                trialsExecuted = value->asU64();
+            if (const store::JsonValue *value = body.find("error"))
+                error = value->asString();
+        } catch (const store::JsonError &e) {
+            return errorResponse(400,
+                                 std::string("bad request field: ") +
+                                     e.what());
+        }
+        auto wallSeconds = parseSeconds(body.find("wallSeconds"));
+        if (!wallSeconds)
+            return errorResponse(400, "bad 'wallSeconds' value");
+
+        if (failed) {
+            if (!scheduler_.failLease(
+                    id, worker,
+                    error.empty() ? "worker-reported failure"
+                                  : error))
+                return errorResponse(404,
+                                     "unknown lease '" + id + "'");
+            store::JsonObjectWriter writer;
+            writer.field("state", "pending");
+            return HttpResponse::json(200, writer.str());
+        }
+
+        switch (scheduler_.completeLease(id, worker, trialsExecuted,
+                                         *wallSeconds)) {
+          case Scheduler::LeaseCompletion::Done: {
+            store::JsonObjectWriter writer;
+            writer.field("state", "done");
+            return HttpResponse::json(200, writer.str());
+          }
+          case Scheduler::LeaseCompletion::LateDone: {
+            store::JsonObjectWriter writer;
+            writer.field("state", "done").field("late", true);
+            return HttpResponse::json(200, writer.str());
+          }
+          case Scheduler::LeaseCompletion::MissingShard:
+            return errorResponse(
+                409, "lease '" + id +
+                         "' has no shard record in the store -- "
+                         "push it to POST /v1/shards first");
+          case Scheduler::LeaseCompletion::Unknown:
+            break;
+        }
+        return errorResponse(404, "unknown lease '" + id + "'");
+    }
+
+    return errorResponse(404, "unknown lease action '" + action +
+                                  "' (heartbeat or complete)");
+}
+
+HttpResponse
+CampaignService::ingestShard(const HttpRequest &request)
+{
+    static telemetry::Counter &ingested = telemetry::counter(
+        "etc_worker_shards_ingested_total",
+        "Records accepted over POST /v1/shards");
+    if (request.body.empty())
+        return errorResponse(400, "empty record body");
+    try {
+        auto outcome = scheduler_.ingestRecord(request.body);
+        ingested.add();
+        store::JsonObjectWriter writer;
+        writer.field("kind", outcome.cellRecord ? "cell" : "shard")
+            .field("cell", outcome.key.fingerprint())
+            .field("stored", outcome.stored);
+        if (!outcome.cellRecord)
+            writer.field("lo", uint64_t{outcome.lo})
+                .field("hi", uint64_t{outcome.hi});
+        return HttpResponse::json(200, writer.str());
+    } catch (const store::StoreFormatError &e) {
+        return errorResponse(400,
+                             std::string("unacceptable record: ") +
+                                 e.what());
+    }
+}
+
+HttpResponse
+CampaignService::fleet()
+{
+    auto stats = scheduler_.fleetStats();
+    std::string leases = "[";
+    bool first = true;
+    for (const auto &row : scheduler_.fleetLeases()) {
+        if (!first)
+            leases += ',';
+        first = false;
+        store::JsonObjectWriter writer;
+        writer.field("id", row.id)
+            .field("cell", row.fingerprint)
+            .field("shardIndex", uint64_t{row.shardIndex})
+            .field("shardCount", uint64_t{row.shardCount})
+            .field("state", row.state)
+            .field("owner", row.owner)
+            .field("issue", uint64_t{row.issue})
+            .field("remainingMs",
+                   readableDouble(double(row.remainingMs)));
+        leases += writer.str();
+    }
+    leases += ']';
+
+    store::JsonObjectWriter writer;
+    writer.field("cells", uint64_t{stats.cells})
+        .field("leasesPending", uint64_t{stats.leasesPending})
+        .field("leasesActive", uint64_t{stats.leasesActive})
+        .field("leasesDone", uint64_t{stats.leasesDone})
+        .field("workers", uint64_t{stats.workers})
+        .field("leasesIssued", stats.issued)
+        .field("leasesReissued", stats.reissued)
+        .field("leasesExpired", stats.expired)
+        .field("leasesCompleted", stats.completed)
+        .field("leasesFailed", stats.failed)
+        .field("leaseTtlMs", scheduler_.config().leaseTtlMs)
+        .rawField("leases", leases);
+    return HttpResponse::json(200, writer.str());
+}
+
+HttpResponse
 CampaignService::healthz()
 {
     auto stats = scheduler_.stats();
@@ -674,6 +971,14 @@ CampaignService::healthz()
         .field("cellsDone", uint64_t{stats.cellsDone})
         .field("cellsFailed", uint64_t{stats.cellsFailed})
         .field("trialsExecuted", stats.trialsExecuted);
+    // Fleet counters ride along so one probe also covers the lease
+    // fabric (a wedged fleet shows up as pending leases with no
+    // workers seen).
+    auto fleetStats = scheduler_.fleetStats();
+    writer.field("leasesPending", uint64_t{fleetStats.leasesPending})
+        .field("leasesActive", uint64_t{fleetStats.leasesActive})
+        .field("leasesCompleted", fleetStats.completed)
+        .field("fleetWorkers", uint64_t{fleetStats.workers});
     // Archive-index health rides along so one probe covers both the
     // daemon and the store it fronts (stale journal growth or
     // orphaned shards show up here before anyone queries).

@@ -29,6 +29,22 @@
  *                                `etc_lab query --json`
  *   GET  /v1/index               the secondary index: health counters
  *                                plus every indexed cell/shard entry
+ *   POST /v1/leases/acquire      grant up to {"max":N} shard-range
+ *                                leases to {"worker":name} (the fleet
+ *                                pull API of `etc_lab work`)
+ *   POST /v1/leases/<id>/heartbeat  extend the lease deadline; "lost"
+ *                                means it was re-issued elsewhere
+ *   POST /v1/leases/<id>/complete   report a lease finished (or
+ *                                {"failed":true} to re-pend it); the
+ *                                service verifies the shard record is
+ *                                actually in the store first (409 if
+ *                                not), and answers "done" to stale
+ *                                owners of re-issued leases -- their
+ *                                bytes matched by construction
+ *   POST /v1/shards              push one shard/cell record (raw JSONL
+ *                                body, exactly the on-disk bytes);
+ *                                idempotent and safe to race
+ *   GET  /v1/fleet               coordinator stats + the lease table
  *   GET  /v1/healthz             liveness: uptime, version, build
  *                                flags, queue depth + aggregate
  *                                counters + index health
@@ -77,6 +93,11 @@ class CampaignService
     HttpResponse analysis(const std::string &name);
     HttpResponse query(const HttpRequest &request);
     HttpResponse indexStatus();
+    HttpResponse acquireLeases(const HttpRequest &request);
+    HttpResponse leaseAction(const std::string &suffix,
+                             const HttpRequest &request);
+    HttpResponse ingestShard(const HttpRequest &request);
+    HttpResponse fleet();
     HttpResponse healthz();
     HttpResponse metricz();
 

@@ -1,0 +1,486 @@
+#include "service/worker.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+
+#include "bench/common.hh"
+#include "service/client.hh"
+#include "store/json.hh"
+#include "store/record.hh"
+#include "support/logging.hh"
+#include "support/shutdown.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace etc::service {
+
+namespace {
+
+/** Worker-process metrics (the agent's own accounting; the
+ *  coordinator's etc_lease_* and etc_worker_* series are the fleet
+ *  view scraped from /v1/metricz). */
+struct WorkerMetrics
+{
+    telemetry::Counter &leasesCompleted = telemetry::counter(
+        "etc_work_leases_completed_total",
+        "Leases this agent executed and completed");
+    telemetry::Counter &leasesFailed = telemetry::counter(
+        "etc_work_leases_failed_total",
+        "Leases this agent reported failed");
+    telemetry::Counter &recordsPushed = telemetry::counter(
+        "etc_work_records_pushed_total",
+        "Shard/cell records pushed to the coordinator");
+};
+
+WorkerMetrics &
+workerMetrics()
+{
+    static WorkerMetrics metrics;
+    return metrics;
+}
+
+std::string
+formatSeconds(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+/** Decode one /v1/leases/acquire grant. Throws JsonError on any
+ *  missing or ill-typed field (version skew fails loudly). */
+LeaseGrant
+parseGrant(const store::JsonValue &value)
+{
+    LeaseGrant grant;
+    grant.id = value.at("id").asString();
+    grant.cell.fingerprint = value.at("cell").asString();
+    grant.cell.experiment = value.at("experiment").asString();
+    grant.cell.errors = value.at("errors").asU32();
+    grant.cell.policy = value.at("policy").asString();
+    grant.cell.trials = value.at("trials").asU32();
+    grant.cell.seed = store::parseHexU64(value.at("seed").asString());
+    grant.cell.checkpointInterval =
+        value.at("checkpointInterval").asU64();
+    grant.cell.staticPrune = value.at("staticPrune").asBool();
+    grant.cell.gangWidth = value.at("gangWidth").asU32();
+    grant.shardIndex = value.at("shardIndex").asU32();
+    grant.shardCount = value.at("shardCount").asU32();
+    grant.lo = value.at("lo").asU32();
+    grant.hi = value.at("hi").asU32();
+    grant.issue = value.at("issue").asU32();
+    grant.ttlMs = value.at("ttlMs").asU64();
+    return grant;
+}
+
+} // namespace
+
+WorkerAgent::WorkerAgent(WorkerConfig config)
+    : config_(std::move(config))
+{
+    if (config_.port == 0)
+        fatal("worker: a coordinator port is required");
+    if (config_.name.empty()) {
+        // Two statements: GCC 12's -Wrestrict misfires on
+        // assigning "literal" + std::to_string(...).
+        config_.name = "w";
+        config_.name += std::to_string(::getpid());
+    }
+    if (config_.cacheDir.empty()) {
+        std::string scratch = "etc_work.";
+        scratch += std::to_string(::getpid());
+        config_.cacheDir =
+            (std::filesystem::temp_directory_path() / scratch)
+                .string();
+    }
+    config_.executors = std::max(1u, config_.executors);
+    config_.pollMs = std::max<uint64_t>(10, config_.pollMs);
+}
+
+WorkerAgent::~WorkerAgent()
+{
+    stop();
+}
+
+void
+WorkerAgent::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (started_)
+            return;
+        started_ = true;
+    }
+    heartbeater_ = std::thread([this] { heartbeatLoop(); });
+    for (unsigned i = 0; i < config_.executors; ++i)
+        executors_.emplace_back([this] { executorLoop(); });
+}
+
+void
+WorkerAgent::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    stopCv_.notify_all();
+    join();
+}
+
+void
+WorkerAgent::join()
+{
+    for (auto &executor : executors_)
+        if (executor.joinable())
+            executor.join();
+    // Every executor is done; nothing is left to heartbeat.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    stopCv_.notify_all();
+    if (heartbeater_.joinable())
+        heartbeater_.join();
+}
+
+WorkerAgent::Summary
+WorkerAgent::summary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return summary_;
+}
+
+bool
+WorkerAgent::stopNow() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stopping_ || stopRequested();
+}
+
+void
+WorkerAgent::executorLoop()
+{
+    auto sleepFor = [this](uint64_t ms) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopCv_.wait_for(lock, std::chrono::milliseconds(ms),
+                         [this] { return stopping_; });
+    };
+
+    unsigned failures = 0;
+    while (!stopNow()) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (config_.maxLeases &&
+                leasesTaken_ >= config_.maxLeases)
+                return;
+        }
+        std::optional<LeaseGrant> grant;
+        try {
+            grant = acquireOne();
+            failures = 0;
+        } catch (const std::exception &e) {
+            // Transport or protocol trouble: back off exponentially
+            // (capped) so a downed coordinator is not hammered, and
+            // keep trying -- it may just be restarting.
+            ++failures;
+            uint64_t delay = std::min<uint64_t>(
+                config_.pollMs << std::min(failures, 6u), 10000);
+            warn("worker ", config_.name, ": acquire failed (",
+                 e.what(), "); retrying in ", delay, " ms");
+            sleepFor(delay);
+            continue;
+        }
+        if (!grant) {
+            sleepFor(config_.pollMs);
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++leasesTaken_;
+        }
+        processLease(*grant);
+    }
+}
+
+void
+WorkerAgent::heartbeatLoop()
+{
+    while (true) {
+        uint64_t period;
+        std::vector<std::string> ids;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            period = heartbeatMs_ ? heartbeatMs_ : 1000;
+            stopCv_.wait_for(lock, std::chrono::milliseconds(period),
+                             [this] { return stopping_; });
+            if (stopping_)
+                return;
+            ids = activeLeases_;
+        }
+        for (const auto &id : ids)
+            beatLease(id);
+    }
+}
+
+void
+WorkerAgent::beatLease(const std::string &id)
+{
+    try {
+        // Tight deadlines: a heartbeat that cannot land within a
+        // fraction of the TTL is as good as lost.
+        Client client(config_.host, config_.port,
+                      Client::Timeouts{2000, 5000});
+        store::JsonObjectWriter body;
+        body.field("worker", config_.name);
+        client.post("/v1/leases/" + id + "/heartbeat", body.str());
+        // "lost" answers need no action: the stripe's bytes will
+        // match the replacement worker's, and the coordinator
+        // accepts late completions idempotently.
+    } catch (const std::exception &e) {
+        warn("worker ", config_.name, ": heartbeat for ", id,
+             " failed: ", e.what());
+    }
+}
+
+std::optional<LeaseGrant>
+WorkerAgent::acquireOne()
+{
+    store::JsonObjectWriter body;
+    body.field("worker", config_.name).field("max", uint64_t{1});
+    Client client(config_.host, config_.port);
+    auto response = client.post("/v1/leases/acquire", body.str());
+    if (!response.ok())
+        throw std::runtime_error("acquire rejected: HTTP " +
+                                 std::to_string(response.status) +
+                                 " " + response.body);
+    auto json = store::parseJson(response.body);
+    const auto &leases = json.at("leases");
+    if (leases.elements.empty())
+        return std::nullopt;
+    return parseGrant(leases.elements.front());
+}
+
+std::shared_ptr<WorkerAgent::Context>
+WorkerAgent::contextFor(const LeaseCell &cell)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = contexts_.find(cell.experiment);
+        if (it != contexts_.end() &&
+            it->second->seed == cell.seed &&
+            it->second->checkpointInterval ==
+                cell.checkpointInterval &&
+            it->second->staticPrune == cell.staticPrune)
+            return it->second;
+    }
+
+    const bench::Experiment *exp =
+        bench::findExperiment(cell.experiment);
+    if (!exp)
+        throw std::runtime_error(
+            "coordinator granted a lease on unknown experiment '" +
+            cell.experiment + "' (version skew?)");
+
+    auto ctx = std::make_shared<Context>();
+    ctx->experiment = cell.experiment;
+    ctx->seed = cell.seed;
+    ctx->checkpointInterval = cell.checkpointInterval;
+    ctx->staticPrune = cell.staticPrune;
+    ctx->workload = workloads::createWorkload(exp->workload,
+                                              exp->scale);
+    bench::BenchOptions opts;
+    opts.threads = config_.threads;
+    opts.checkpointInterval = cell.checkpointInterval;
+    opts.seed = cell.seed;
+    opts.cacheDir = config_.cacheDir;
+    opts.staticPrune = cell.staticPrune;
+    opts.gangWidth = cell.gangWidth;
+    ctx->studyConfig = bench::makeStudyConfig(*exp, opts);
+    // Static analysis only (no simulation); the golden run waits for
+    // the first executed stripe.
+    ctx->protection = core::computeStudyProtection(*ctx->workload,
+                                                   ctx->studyConfig);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Two executors may have built the context concurrently; last
+    // one wins and both are equally valid (pure function of the
+    // lease parameters).
+    contexts_[cell.experiment] = ctx;
+    return ctx;
+}
+
+void
+WorkerAgent::trackLease(const std::string &id, uint64_t ttlMs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    activeLeases_.push_back(id);
+    heartbeatMs_ = std::max<uint64_t>(1, ttlMs / 3);
+}
+
+void
+WorkerAgent::untrackLease(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    activeLeases_.erase(std::remove(activeLeases_.begin(),
+                                    activeLeases_.end(), id),
+                        activeLeases_.end());
+}
+
+void
+WorkerAgent::processLease(const LeaseGrant &grant)
+{
+    std::shared_ptr<Context> ctx;
+    store::CellKey key;
+    try {
+        ctx = contextFor(grant.cell);
+        key = core::makeCellKey(*ctx->workload, ctx->protection,
+                                ctx->studyConfig, grant.cell.errors,
+                                grant.cell.policy, grant.cell.trials);
+    } catch (const std::exception &e) {
+        failLease(grant, e.what());
+        return;
+    }
+    if (key.fingerprint() != grant.cell.fingerprint) {
+        // Never execute (let alone push) under a disputed key: the
+        // coordinator would file our bytes under a different cell
+        // than we computed.
+        failLease(grant,
+                  "cell key mismatch: worker derived " +
+                      key.fingerprint() + ", lease names " +
+                      grant.cell.fingerprint +
+                      " (worker/coordinator version skew?)");
+        return;
+    }
+
+    core::CellSummary summary;
+    uint64_t ran = 0;
+    double wallSeconds = 0.0;
+    trackLease(grant.id, grant.ttlMs);
+    // One beat up front: leases that finish faster than the
+    // heartbeat period still register liveness with the coordinator
+    // (and the deadline extends from now, not from the grant).
+    beatLease(grant.id);
+    try {
+        std::lock_guard<std::mutex> run(ctx->runMutex);
+        if (!ctx->study)
+            ctx->study = std::make_unique<core::ErrorToleranceStudy>(
+                *ctx->workload, ctx->studyConfig);
+        ctx->study->setGangWidth(grant.cell.gangWidth);
+        uint64_t before = ctx->study->trialsExecuted();
+        auto started = std::chrono::steady_clock::now();
+        {
+            telemetry::TraceSpan span("worker", "lease");
+            if (span.active())
+                span.setArgs("{\"lease\":\"" + grant.id + "\"}");
+            summary = ctx->study->runCellShard(
+                grant.cell.errors, grant.cell.policy,
+                grant.cell.trials, grant.shardIndex,
+                grant.shardCount);
+        }
+        std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - started;
+        wallSeconds = elapsed.count();
+        ran = ctx->study->trialsExecuted() - before;
+    } catch (const std::exception &e) {
+        untrackLease(grant.id);
+        failLease(grant, e.what());
+        return;
+    }
+    untrackLease(grant.id);
+
+    // The engine answers with the *complete cell* summary when the
+    // whole cell was already in this worker's local store; push the
+    // cell record then, so the coordinator can promote without any
+    // shard arithmetic. Either way these are the canonical codec
+    // bytes -- identical to what a local run on the coordinator
+    // would have written.
+    bool fullCell = summary.trials == grant.cell.trials &&
+                    grant.hi - grant.lo != grant.cell.trials;
+    std::string record =
+        fullCell
+            ? store::encodeCellRecord(key, summary)
+            : store::encodeShardRecord(key, grant.lo, grant.hi,
+                                       summary);
+    try {
+        Client client(config_.host, config_.port);
+        auto pushed = client.post("/v1/shards", record);
+        if (!pushed.ok()) {
+            failLease(grant, "record push rejected: HTTP " +
+                                 std::to_string(pushed.status) + " " +
+                                 pushed.body);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++summary_.recordsPushed;
+        }
+        workerMetrics().recordsPushed.add();
+        completeLease(grant, ran, wallSeconds);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++summary_.leasesCompleted;
+        summary_.trialsExecuted += ran;
+        summary_.wallSeconds += wallSeconds;
+    } catch (const std::exception &e) {
+        // Transport died between execution and completion. Do not
+        // fail the lease (we cannot reach the coordinator anyway);
+        // its deadline will re-issue it, and the replacement's bytes
+        // will match ours.
+        warn("worker ", config_.name, ": lease ", grant.id,
+             " executed but not completed: ", e.what());
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++summary_.leasesFailed;
+    }
+}
+
+void
+WorkerAgent::completeLease(const LeaseGrant &grant, uint64_t trials,
+                           double wallSeconds)
+{
+    Client client(config_.host, config_.port);
+    store::JsonObjectWriter body;
+    body.field("worker", config_.name)
+        .field("trialsExecuted", trials)
+        .field("wallSeconds", formatSeconds(wallSeconds));
+    auto response = client.post("/v1/leases/" + grant.id + "/complete",
+                                body.str());
+    if (!response.ok())
+        warn("worker ", config_.name, ": completion of ", grant.id,
+             " answered HTTP ", response.status, ": ", response.body);
+    workerMetrics().leasesCompleted.add();
+}
+
+void
+WorkerAgent::failLease(const LeaseGrant &grant,
+                       const std::string &error)
+{
+    warn("worker ", config_.name, ": lease ", grant.id, " failed: ",
+         error);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++summary_.leasesFailed;
+    }
+    workerMetrics().leasesFailed.add();
+    try {
+        Client client(config_.host, config_.port);
+        store::JsonObjectWriter body;
+        body.field("worker", config_.name)
+            .field("failed", true)
+            .field("error", error);
+        client.post("/v1/leases/" + grant.id + "/complete",
+                    body.str());
+    } catch (const std::exception &e) {
+        // Best effort: an unreachable coordinator re-issues the
+        // lease on expiry anyway.
+        warn("worker ", config_.name,
+             ": could not report failure of ", grant.id, ": ",
+             e.what());
+    }
+}
+
+} // namespace etc::service

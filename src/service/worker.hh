@@ -1,0 +1,164 @@
+/**
+ * @file
+ * WorkerAgent: the remote half of the distributed campaign fabric
+ * (`etc_lab work --coordinator URL`).
+ *
+ * The agent pulls shard-range leases from a coordinator daemon
+ * (POST /v1/leases/acquire), rebuilds each cell's exact study context
+ * from the grant (experiment, seed, checkpoint interval, static
+ * prune, gang width -- everything that derives the CellKey), executes
+ * the stripe through the same cache-aware engine `etc_lab run` uses,
+ * pushes the resulting shard record back (POST /v1/shards), and
+ * completes the lease. A background thread heartbeats every active
+ * lease at a third of its TTL, so a live worker never loses a lease
+ * and a SIGKILLed one loses it within one TTL.
+ *
+ * Correctness invariants:
+ *
+ *  - Before executing, the agent re-derives the CellKey from its own
+ *    workload assembly and compares fingerprints with the grant; a
+ *    mismatch (version skew between worker and coordinator binaries)
+ *    fails the lease rather than pushing wrong-keyed bytes.
+ *  - The pushed record is the canonical codec encoding -- the exact
+ *    bytes a local run on the coordinator would have written -- so
+ *    fleet results are bit-identical to single-host runs and races
+ *    between duplicate workers are harmless by construction.
+ *  - A lease lost to re-issue (heartbeat answers "lost") is still
+ *    finished and pushed: the bytes match the replacement worker's,
+ *    and the coordinator accepts late completions idempotently.
+ *
+ * The agent keeps its own result store (scratch by default), so a
+ * re-granted stripe it already executed is a local cache hit, and a
+ * stripe of a cell it has fully cached is answered without
+ * simulation.
+ */
+
+#ifndef ETC_SERVICE_WORKER_HH
+#define ETC_SERVICE_WORKER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/experiments.hh"
+#include "core/study.hh"
+#include "service/coordinator.hh"
+
+namespace etc::service {
+
+/** Worker-agent knobs (from `etc_lab work` flags). */
+struct WorkerConfig
+{
+    std::string host = "127.0.0.1"; //!< coordinator address
+    uint16_t port = 0;
+
+    /** Worker name reported on every lease call (shows up in
+     *  /v1/fleet and lease ownership). Default: "w<pid>". */
+    std::string name;
+
+    /** Local result-store root; empty = a per-process scratch
+     *  directory under the system temp dir. Pointing it at the
+     *  coordinator's cache directory on a shared filesystem also
+     *  works -- pushes then dedup to no-ops. */
+    std::string cacheDir;
+
+    unsigned executors = 1; //!< concurrent lease executors
+    unsigned threads = 0;   //!< campaign threads per stripe (0 = all)
+
+    /** Stop after completing (or failing) this many leases;
+     *  0 = run until stop()/SIGTERM. */
+    uint64_t maxLeases = 0;
+
+    /** Idle poll interval when the coordinator has no work. */
+    uint64_t pollMs = 500;
+};
+
+class WorkerAgent
+{
+  public:
+    explicit WorkerAgent(WorkerConfig config);
+
+    /** stop() + join (idempotent). */
+    ~WorkerAgent();
+
+    WorkerAgent(const WorkerAgent &) = delete;
+    WorkerAgent &operator=(const WorkerAgent &) = delete;
+
+    const WorkerConfig &config() const { return config_; }
+
+    /** Spawn executor threads and the heartbeat thread (call once). */
+    void start();
+
+    /** Finish in-flight leases, then join all threads. */
+    void stop();
+
+    /** Block until every executor exits (maxLeases reached, or
+     *  stop()/shutdown requested). */
+    void join();
+
+    /** Lifetime counters (read after join() for the exit report). */
+    struct Summary
+    {
+        uint64_t leasesCompleted = 0;
+        uint64_t leasesFailed = 0; //!< reported failed to coordinator
+        uint64_t recordsPushed = 0;
+        uint64_t trialsExecuted = 0;
+        double wallSeconds = 0.0; //!< summed stripe execution time
+    };
+
+    Summary summary() const;
+
+  private:
+    /** Per-experiment engine state, mirroring the scheduler's
+     *  WorkloadContext but parameterized by the grant (a fleet's
+     *  leases may carry differing seeds or checkpoint settings). */
+    struct Context
+    {
+        std::string experiment;
+        uint64_t seed = 0;
+        uint64_t checkpointInterval = 0;
+        bool staticPrune = false;
+        std::unique_ptr<workloads::Workload> workload;
+        core::StudyConfig studyConfig;
+        analysis::ProtectionResult protection;
+        std::unique_ptr<core::ErrorToleranceStudy> study;
+        std::mutex runMutex; //!< the study is not thread-safe
+    };
+
+    void executorLoop();
+    void heartbeatLoop();
+    void beatLease(const std::string &id);
+    bool stopNow() const;
+    std::optional<LeaseGrant> acquireOne();
+    void processLease(const LeaseGrant &grant);
+    void completeLease(const LeaseGrant &grant, uint64_t trials,
+                       double wallSeconds);
+    void failLease(const LeaseGrant &grant, const std::string &error);
+    std::shared_ptr<Context> contextFor(const LeaseCell &cell);
+    void trackLease(const std::string &id, uint64_t ttlMs);
+    void untrackLease(const std::string &id);
+
+    WorkerConfig config_;
+
+    mutable std::mutex mutex_; //!< guards everything below
+    std::condition_variable stopCv_;
+    bool stopping_ = false;
+    bool started_ = false;
+    std::map<std::string, std::shared_ptr<Context>> contexts_;
+    std::vector<std::string> activeLeases_; //!< heartbeat targets
+    uint64_t heartbeatMs_ = 0; //!< ttl/3 of the latest grant
+    uint64_t leasesTaken_ = 0; //!< toward config_.maxLeases
+    Summary summary_;
+
+    std::vector<std::thread> executors_;
+    std::thread heartbeater_;
+};
+
+} // namespace etc::service
+
+#endif // ETC_SERVICE_WORKER_HH

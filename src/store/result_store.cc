@@ -10,6 +10,7 @@
 #include <system_error>
 
 #include "store/index.hh"
+#include "store/json.hh"
 #include "support/logging.hh"
 #include "telemetry/metrics.hh"
 
@@ -197,6 +198,15 @@ ResultStore::loadCellByFingerprint(const std::string &fingerprint)
 }
 
 bool
+ResultStore::hasCellByFingerprint(
+    const std::string &fingerprint) const
+{
+    std::error_code ec;
+    return fs::exists(
+        fs::path(root_) / "cells" / (fingerprint + ".jsonl"), ec);
+}
+
+bool
 ResultStore::hasShard(const CellKey &key, unsigned lo, unsigned hi) const
 {
     std::error_code ec;
@@ -276,6 +286,60 @@ ResultStore::loadShards(const CellKey &key)
                   return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
               });
     return shards;
+}
+
+ResultStore::IngestOutcome
+ResultStore::ingestRecord(const std::string &text)
+{
+    // Peek the header's kind before dispatching to the strict
+    // decoder, so a cell pushed to a shard path (or vice versa) gets
+    // a precise error instead of a kind-mismatch from the wrong
+    // decoder.
+    std::string kind;
+    try {
+        size_t newline = text.find('\n');
+        auto header = parseJson(text.substr(
+            0, newline == std::string::npos ? text.size() : newline));
+        kind = header.at("kind").asString();
+    } catch (const JsonError &error) {
+        throw StoreFormatError(
+            std::string("unreadable record header: ") + error.what());
+    }
+
+    IngestOutcome outcome;
+    if (kind == "shard") {
+        ShardRecord record = decodeShardRecord(text, nullptr);
+        outcome.key = record.key;
+        outcome.lo = record.lo;
+        outcome.hi = record.hi;
+        if (hasCell(record.key))
+            return outcome; // promoted already; skip the orphan
+        fs::path path = fs::path(shardDir(record.key)) /
+                        (std::to_string(record.lo) + "-" +
+                         std::to_string(record.hi) + ".jsonl");
+        writeAtomically(path.string(), text);
+        ++stats_.shardsStored;
+        storeMetrics().shardsStored.add();
+        StoreIndex::journalShard(root_, record.key, record.lo,
+                                 record.hi);
+        outcome.stored = true;
+        return outcome;
+    }
+    if (kind == "cell") {
+        CellRecord record = decodeCellRecordWithKey(text, nullptr);
+        outcome.cellRecord = true;
+        outcome.key = record.key;
+        if (hasCell(record.key))
+            return outcome; // identical bytes are already in place
+        writeAtomically(cellPath(record.key), text);
+        ++stats_.cellsStored;
+        storeMetrics().cellsStored.add();
+        StoreIndex::journalCell(root_, record.key);
+        outcome.stored = true;
+        return outcome;
+    }
+    throw StoreFormatError("cannot ingest record kind '" + kind +
+                           "' (expected shard or cell)");
 }
 
 void

@@ -103,6 +103,33 @@ class ResultStore
     /** Delete all shards of @p key (after promotion to a cell). */
     void dropShards(const CellKey &key);
 
+    /** What ingestRecord() accepted. */
+    struct IngestOutcome
+    {
+        bool cellRecord = false; //!< a complete cell (vs a shard)
+        bool stored = false;     //!< false: skipped, cell already
+                                 //!< complete (nothing to add)
+        CellKey key;
+        unsigned lo = 0; //!< shard trial range (shard records only)
+        unsigned hi = 0;
+    };
+
+    /**
+     * Ingest a record pushed over the wire (POST /v1/shards): decode
+     * and fully validate @p text (shard or complete-cell kind), then
+     * write the received bytes verbatim to the record's
+     * content-addressed path. Verbatim, because a cell is a pure
+     * function of its key: the pushing worker's bytes are identical
+     * to what a local run would have written, so raced ingests and
+     * local computes overwrite each other with themselves. A shard
+     * whose cell record already exists is skipped (stored = false) --
+     * it would only orphan a file next to the promoted cell.
+     *
+     * @throws StoreFormatError on malformed, truncated, or
+     *         unrecognized records (nothing is written).
+     */
+    IngestOutcome ingestRecord(const std::string &text);
+
     /**
      * Load a complete cell record by its on-disk fingerprint (the
      * 16-hex-digit CellKey::fingerprint() address), returning the
@@ -113,6 +140,10 @@ class ResultStore
      */
     std::optional<CellRecord> loadCellByFingerprint(
         const std::string &fingerprint);
+
+    /** @return true if a complete record exists at @p fingerprint
+     *  (existence only -- no decode; callers validate the hex). */
+    bool hasCellByFingerprint(const std::string &fingerprint) const;
 
     /** Cache-traffic counters (reset never; read for reporting). */
     struct Stats

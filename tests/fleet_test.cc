@@ -1,0 +1,528 @@
+/**
+ * @file
+ * Distributed campaign fabric tests: the lease coordinator's
+ * lifecycle bookkeeping (decompose, acquire, heartbeat, expiry,
+ * re-issue, idempotent completion, issue-cap failure), and full
+ * coordinator + worker-agent fleets over loopback HTTP -- a
+ * coordinator-only daemon drained by two in-process WorkerAgents
+ * produces figure bytes identical to the offline render, and a
+ * vanished worker's lease re-issues, with the ghost's late shard push
+ * and completion accepted idempotently (same content-addressed bytes,
+ * single store write, job tally unchanged). The vanished worker
+ * mirrors the orchestration suite's kill idiom: it simply stops
+ * calling, which is indistinguishable from SIGKILL to the
+ * coordinator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/experiments.hh"
+#include "core/study.hh"
+#include "service/client.hh"
+#include "service/coordinator.hh"
+#include "service/http_server.hh"
+#include "service/scheduler.hh"
+#include "service/service.hh"
+#include "service/worker.hh"
+#include "store/cell_key.hh"
+#include "store/json.hh"
+#include "store/record.hh"
+#include "store/result_store.hh"
+#include "support/shutdown.hh"
+
+namespace {
+
+using namespace etc;
+using service::Coordinator;
+using service::CoordinatorConfig;
+using service::LeaseBeat;
+using service::LeaseCell;
+
+constexpr const char *EXPERIMENT = "smoke-gsm";
+constexpr const char *FINGERPRINT = "00000000deadbeef";
+
+LeaseCell
+testCell(unsigned trials)
+{
+    LeaseCell cell;
+    cell.fingerprint = FINGERPRINT;
+    cell.experiment = EXPERIMENT;
+    cell.errors = 1;
+    cell.policy = "protected";
+    cell.trials = trials;
+    return cell;
+}
+
+TEST(CoordinatorTest, DecomposesCellsIntoStripeLeases)
+{
+    Coordinator coordinator(CoordinatorConfig{});
+    ASSERT_TRUE(coordinator.registerCell(testCell(16), 4, {}));
+    // Re-registering a live fingerprint is a no-op.
+    EXPECT_FALSE(coordinator.registerCell(testCell(16), 4, {}));
+
+    auto stats = coordinator.stats();
+    EXPECT_EQ(stats.cells, 1u);
+    EXPECT_EQ(stats.leasesPending, 4u);
+    EXPECT_TRUE(coordinator.hasPendingLeases());
+
+    auto grants = coordinator.acquire("w1", 2);
+    ASSERT_EQ(grants.size(), 2u);
+    for (unsigned i = 0; i < grants.size(); ++i) {
+        const auto &grant = grants[i];
+        EXPECT_EQ(grant.id, std::string(FINGERPRINT) + "." +
+                                std::to_string(i) + "of4");
+        EXPECT_EQ(grant.shardIndex, i);
+        EXPECT_EQ(grant.shardCount, 4u);
+        EXPECT_EQ(grant.issue, 1u);
+        auto [lo, hi] =
+            core::ErrorToleranceStudy::shardRange(16, i, 4);
+        EXPECT_EQ(grant.lo, lo);
+        EXPECT_EQ(grant.hi, hi);
+    }
+    stats = coordinator.stats();
+    EXPECT_EQ(stats.leasesPending, 2u);
+    EXPECT_EQ(stats.leasesActive, 2u);
+    EXPECT_EQ(stats.issued, 2u);
+    EXPECT_EQ(stats.reissued, 0u);
+}
+
+TEST(CoordinatorTest, ResumeStripesStartDoneAndCompletionPromotes)
+{
+    Coordinator coordinator(CoordinatorConfig{});
+    // Stripe 0's shard record is already stored (the resume path):
+    // only stripe 1 is ever issued.
+    ASSERT_TRUE(
+        coordinator.registerCell(testCell(8), 2, {true, false}));
+    auto grants = coordinator.acquire("w1", 8);
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].shardIndex, 1u);
+
+    EXPECT_TRUE(coordinator.complete(grants[0].id, "w1", 4, 0.5));
+    auto done = coordinator.takeCompleted();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].cell.fingerprint, FINGERPRINT);
+    EXPECT_EQ(done[0].shardCount, 2u);
+    EXPECT_EQ(done[0].trialsExecuted, 4u);
+    // Claimed exactly once; a second harvest finds nothing.
+    EXPECT_TRUE(coordinator.takeCompleted().empty());
+
+    coordinator.finishCell(FINGERPRINT);
+    EXPECT_EQ(coordinator.stats().cells, 0u);
+}
+
+TEST(CoordinatorTest, HeartbeatExtendsOwnersAndAnswersLostToOthers)
+{
+    CoordinatorConfig config;
+    config.leaseTtlMs = 60000;
+    Coordinator coordinator(config);
+    ASSERT_TRUE(coordinator.registerCell(testCell(8), 1, {}));
+    auto grants = coordinator.acquire("w1", 1);
+    ASSERT_EQ(grants.size(), 1u);
+
+    EXPECT_EQ(coordinator.heartbeat(grants[0].id, "w1"),
+              LeaseBeat::Active);
+    EXPECT_EQ(coordinator.heartbeat(grants[0].id, "somebody-else"),
+              LeaseBeat::Lost);
+    EXPECT_EQ(coordinator.heartbeat("0123456789abcdef.0of1", "w1"),
+              LeaseBeat::Unknown);
+    EXPECT_EQ(coordinator.heartbeat("not-a-lease-id", "w1"),
+              LeaseBeat::Unknown);
+}
+
+TEST(CoordinatorTest, ExpiredLeaseReissuesAndLateCompletionIsIdempotent)
+{
+    CoordinatorConfig config;
+    config.leaseTtlMs = 30;
+    Coordinator coordinator(config);
+    ASSERT_TRUE(coordinator.registerCell(testCell(8), 1, {}));
+
+    auto first = coordinator.acquire("w1", 1);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].issue, 1u);
+
+    // w1 vanishes (no heartbeat); past the deadline the lease
+    // re-pends and the next acquirer gets issue 2.
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    auto second = coordinator.acquire("w2", 1);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].id, first[0].id);
+    EXPECT_EQ(second[0].issue, 2u);
+    auto stats = coordinator.stats();
+    EXPECT_EQ(stats.expired, 1u);
+    EXPECT_EQ(stats.reissued, 1u);
+
+    // The replacement completes; the original's late completion of
+    // the same content-addressed range is accepted idempotently --
+    // the tally counts the work once.
+    EXPECT_TRUE(coordinator.complete(second[0].id, "w2", 8, 1.0));
+    EXPECT_TRUE(coordinator.complete(first[0].id, "w1", 8, 1.0));
+    auto done = coordinator.takeCompleted();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].trialsExecuted, 8u);
+    EXPECT_EQ(coordinator.stats().completed, 1u);
+}
+
+TEST(CoordinatorTest, LeaseAtIssueCapFailsItsWholeCell)
+{
+    CoordinatorConfig config;
+    config.maxIssues = 2;
+    Coordinator coordinator(config);
+    ASSERT_TRUE(coordinator.registerCell(testCell(8), 2, {}));
+
+    // Two worker-reported failures on the same lease: the first
+    // re-pends it, the second (at the cap) fails the cell.
+    for (unsigned round = 0; round < 2; ++round) {
+        auto grants = coordinator.acquire("w1", 1);
+        ASSERT_EQ(grants.size(), 1u);
+        EXPECT_TRUE(
+            coordinator.fail(grants[0].id, "w1", "simulated crash"));
+    }
+    auto failed = coordinator.takeFailed();
+    ASSERT_EQ(failed.size(), 1u);
+    EXPECT_EQ(failed[0].first, FINGERPRINT);
+    EXPECT_NE(failed[0].second.find("simulated crash"),
+              std::string::npos);
+    // takeFailed() erases the cell.
+    EXPECT_EQ(coordinator.stats().cells, 0u);
+}
+
+TEST(CoordinatorTest, ReopenStripesRePendsAClaimedCell)
+{
+    Coordinator coordinator(CoordinatorConfig{});
+    ASSERT_TRUE(coordinator.registerCell(testCell(8), 2, {}));
+    auto grants = coordinator.acquire("w1", 2);
+    ASSERT_EQ(grants.size(), 2u);
+    for (const auto &grant : grants)
+        EXPECT_TRUE(coordinator.complete(grant.id, "w1", 4, 0.25));
+    ASSERT_EQ(coordinator.takeCompleted().size(), 1u);
+
+    // The promoting worker found stripe 1's shard missing from the
+    // store: that stripe re-pends and is re-issued.
+    coordinator.reopenStripes(FINGERPRINT, {1});
+    EXPECT_TRUE(coordinator.hasPendingLeases());
+    auto regrants = coordinator.acquire("w2", 8);
+    ASSERT_EQ(regrants.size(), 1u);
+    EXPECT_EQ(regrants[0].shardIndex, 1u);
+    EXPECT_EQ(regrants[0].issue, 2u);
+}
+
+/**
+ * Fleet integration fixture: a coordinator-only daemon (zero local
+ * executors -- all simulation happens on worker agents) behind a real
+ * loopback HttpServer, mirroring the ServiceTest setup.
+ */
+class FleetTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        clearStopRequest();
+        root_ = std::filesystem::temp_directory_path() /
+                ("etc_fleet_test_" + std::to_string(::getpid()) +
+                 "_" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name());
+        std::filesystem::remove_all(root_);
+
+        service::SchedulerConfig config;
+        config.cacheDir = (root_ / "coordinator").string();
+        config.workers = 0; // coordinator-only
+        config.threads = 2;
+        config.chunks = 2;
+        config.leaseTtlMs = 400;
+        scheduler_ =
+            std::make_unique<service::Scheduler>(config);
+        serviceFacade_ =
+            std::make_unique<service::CampaignService>(*scheduler_);
+        server_ = std::make_unique<service::HttpServer>(
+            0, [this](const service::HttpRequest &request) {
+                return serviceFacade_->handle(request);
+            });
+        serverThread_ = std::thread([this] { server_->run(50); });
+        scheduler_->start();
+    }
+
+    void
+    TearDown() override
+    {
+        server_->stop();
+        serverThread_.join();
+        scheduler_->stop();
+        server_.reset();
+        serviceFacade_.reset();
+        scheduler_.reset();
+        std::filesystem::remove_all(root_);
+    }
+
+    service::Client
+    client()
+    {
+        return service::Client("127.0.0.1", server_->port());
+    }
+
+    service::WorkerConfig
+    workerConfig(const std::string &name)
+    {
+        service::WorkerConfig config;
+        config.host = "127.0.0.1";
+        config.port = server_->port();
+        config.name = name;
+        config.cacheDir = (root_ / name).string();
+        config.threads = 2;
+        config.pollMs = 50;
+        return config;
+    }
+
+    std::string
+    submit(const std::string &body)
+    {
+        auto response = client().post("/v1/jobs", body);
+        EXPECT_EQ(response.status, 202) << response.body;
+        return store::parseJson(response.body).at("job").asString();
+    }
+
+    std::string
+    awaitJob(const std::string &jobId)
+    {
+        service::Client poller = client();
+        for (int i = 0; i < 3000; ++i) {
+            auto response = poller.get("/v1/jobs/" + jobId);
+            EXPECT_TRUE(response.ok()) << response.body;
+            auto state =
+                store::parseJson(response.body).at("state").asString();
+            if (state == "done" || state == "failed")
+                return response.body;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        ADD_FAILURE() << "job " << jobId << " never drained";
+        return "";
+    }
+
+    std::filesystem::path root_;
+    std::unique_ptr<service::Scheduler> scheduler_;
+    std::unique_ptr<service::CampaignService> serviceFacade_;
+    std::unique_ptr<service::HttpServer> server_;
+    std::thread serverThread_;
+};
+
+TEST_F(FleetTest, TwoWorkerFleetMatchesOfflineRenderByteForByte)
+{
+    std::string jobId = submit(
+        std::string("{\"experiment\":\"") + EXPERIMENT + "\"}");
+
+    service::WorkerAgent w1(workerConfig("w1"));
+    service::WorkerAgent w2(workerConfig("w2"));
+    w1.start();
+    w2.start();
+
+    auto final = store::parseJson(awaitJob(jobId));
+    EXPECT_EQ(final.at("state").asString(), "done");
+    EXPECT_EQ(final.at("cellsDone").asU64(), 2u);
+    // Every trial was simulated somewhere in the fleet, none locally.
+    EXPECT_EQ(final.at("trialsExecuted").asU64(), 16u);
+    for (const auto &cell : final.at("cells").elements)
+        EXPECT_FALSE(cell.at("cached").asBool());
+
+    w1.stop();
+    w2.stop();
+    EXPECT_GE(w1.summary().leasesCompleted +
+                  w2.summary().leasesCompleted,
+              4u);
+
+    // The fleet figure is byte-identical to the offline render over
+    // the coordinator's cache -- the single-host contract, unchanged.
+    auto figure =
+        client().get(std::string("/v1/figures/") + EXPERIMENT);
+    ASSERT_EQ(figure.status, 200) << figure.body;
+    const bench::Experiment *exp = bench::findExperiment(EXPERIMENT);
+    ASSERT_NE(exp, nullptr);
+    bench::BenchOptions opts;
+    opts.cacheDir = (root_ / "coordinator").string();
+    store::ResultStore cache(opts.cacheDir);
+    auto sweep = bench::loadExperimentFromStore(*exp, opts, cache);
+    ASSERT_TRUE(sweep.complete());
+    std::ostringstream offline;
+    bench::renderExperiment(offline, *exp, sweep.points);
+    EXPECT_EQ(figure.body, offline.str());
+
+    // The fleet surface saw the whole campaign: 2 cells x 2 chunks.
+    auto fleet = store::parseJson(client().get("/v1/fleet").body);
+    EXPECT_GE(fleet.at("leasesCompleted").asU64(), 4u);
+    EXPECT_EQ(fleet.at("leasesFailed").asU64(), 0u);
+}
+
+TEST_F(FleetTest, VanishedWorkerLeaseReissuesAndGhostPushIsIdempotent)
+{
+    std::string jobId = submit(
+        std::string("{\"experiment\":\"") + EXPERIMENT +
+        "\",\"errors\":1,\"policy\":\"protected\"}");
+
+    // Wait for the scheduler to decompose the cell into leases.
+    service::Client poller = client();
+    for (int i = 0; i < 200; ++i) {
+        auto fleet = store::parseJson(poller.get("/v1/fleet").body);
+        if (fleet.at("leasesPending").asU64() > 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    // The "ghost" acquires a lease over HTTP and then vanishes: it
+    // never heartbeats, which is exactly what SIGKILL looks like from
+    // the coordinator's side.
+    store::JsonObjectWriter acquireBody;
+    acquireBody.field("worker", "ghost").field("max", uint64_t{1});
+    auto acquired =
+        poller.post("/v1/leases/acquire", acquireBody.str());
+    ASSERT_EQ(acquired.status, 200) << acquired.body;
+    auto grants = store::parseJson(acquired.body).at("leases");
+    ASSERT_EQ(grants.elements.size(), 1u);
+    const auto &grant = grants.elements.front();
+    std::string leaseId = grant.at("id").asString();
+    unsigned lo = grant.at("lo").asU32();
+    unsigned hi = grant.at("hi").asU32();
+
+    // Before dying, the ghost executed its stripe (into its own
+    // scratch store) -- the bytes it would have pushed.
+    const bench::Experiment *exp = bench::findExperiment(EXPERIMENT);
+    ASSERT_NE(exp, nullptr);
+    auto workload =
+        workloads::createWorkload(exp->workload, exp->scale);
+    bench::BenchOptions ghostOpts;
+    ghostOpts.threads = 2;
+    ghostOpts.cacheDir = (root_ / "ghost").string();
+    ghostOpts.seed = store::parseHexU64(grant.at("seed").asString());
+    ghostOpts.checkpointInterval =
+        grant.at("checkpointInterval").asU64();
+    ghostOpts.staticPrune = grant.at("staticPrune").asBool();
+    ghostOpts.gangWidth = grant.at("gangWidth").asU32();
+    auto ghostConfig = bench::makeStudyConfig(*exp, ghostOpts);
+    auto protection =
+        core::computeStudyProtection(*workload, ghostConfig);
+    unsigned errors = grant.at("errors").asU32();
+    std::string policy = grant.at("policy").asString();
+    unsigned trials = grant.at("trials").asU32();
+    auto key = core::makeCellKey(*workload, protection, ghostConfig,
+                                 errors, policy, trials);
+    ASSERT_EQ(key.fingerprint(), grant.at("cell").asString());
+    core::ErrorToleranceStudy ghostStudy(*workload, ghostConfig);
+    auto ghostSummary = ghostStudy.runCellShard(
+        errors, policy, trials, grant.at("shardIndex").asU32(),
+        grant.at("shardCount").asU32());
+    std::string ghostRecord =
+        store::encodeShardRecord(key, lo, hi, ghostSummary);
+
+    // Past the TTL the coordinator re-pends the lease; a live worker
+    // picks up the re-issue and drains the job.
+    std::this_thread::sleep_for(std::chrono::milliseconds(900));
+    service::WorkerAgent replacement(workerConfig("replacement"));
+    replacement.start();
+    auto final = store::parseJson(awaitJob(jobId));
+    replacement.stop();
+    EXPECT_EQ(final.at("state").asString(), "done");
+    EXPECT_EQ(final.at("trialsExecuted").asU64(), 8u);
+
+    auto fleet = store::parseJson(poller.get("/v1/fleet").body);
+    EXPECT_GE(fleet.at("leasesExpired").asU64(), 1u);
+    EXPECT_GE(fleet.at("leasesReissued").asU64(), 1u);
+
+    // Both workers computed the same content-addressed range: the
+    // ghost's record carries identical results to the replacement's.
+    // (Every field of the record is deterministic except the
+    // wall-clock telemetry the summary line embeds, so compare the
+    // decoded content, not the raw file bytes.)
+    std::filesystem::path replacementShard =
+        std::filesystem::path(workerConfig("replacement").cacheDir) /
+        "shards" / key.fingerprint() /
+        (std::to_string(lo) + "-" + std::to_string(hi) + ".jsonl");
+    ASSERT_TRUE(std::filesystem::exists(replacementShard));
+    std::ifstream stream(replacementShard, std::ios::binary);
+    std::stringstream replacementBytes;
+    replacementBytes << stream.rdbuf();
+    auto ghostDecoded = store::decodeShardRecord(ghostRecord, &key);
+    auto replacementDecoded =
+        store::decodeShardRecord(replacementBytes.str(), &key);
+    EXPECT_EQ(ghostDecoded.lo, replacementDecoded.lo);
+    EXPECT_EQ(ghostDecoded.hi, replacementDecoded.hi);
+    const auto &ghostSum = ghostDecoded.summary;
+    const auto &replSum = replacementDecoded.summary;
+    EXPECT_EQ(ghostSum.trials, replSum.trials);
+    EXPECT_EQ(ghostSum.completed, replSum.completed);
+    EXPECT_EQ(ghostSum.crashed, replSum.crashed);
+    EXPECT_EQ(ghostSum.timedOut, replSum.timedOut);
+    EXPECT_EQ(ghostSum.totalInstructions, replSum.totalInstructions);
+    ASSERT_EQ(ghostSum.fidelities.size(), replSum.fidelities.size());
+    for (size_t i = 0; i < ghostSum.fidelities.size(); ++i) {
+        EXPECT_EQ(ghostSum.fidelities[i].value,
+                  replSum.fidelities[i].value);
+        EXPECT_EQ(ghostSum.fidelities[i].acceptable,
+                  replSum.fidelities[i].acceptable);
+    }
+
+    // The ghost's late push is accepted without a second store write
+    // (the cell is already promoted), and its late completion answers
+    // done -- idempotent, not an error.
+    auto pushed = poller.post("/v1/shards", ghostRecord);
+    ASSERT_EQ(pushed.status, 200) << pushed.body;
+    auto ingest = store::parseJson(pushed.body);
+    EXPECT_EQ(ingest.at("kind").asString(), "shard");
+    EXPECT_FALSE(ingest.at("stored").asBool());
+
+    store::JsonObjectWriter completeBody;
+    completeBody.field("worker", "ghost")
+        .field("trialsExecuted", uint64_t{hi - lo})
+        .field("wallSeconds", "0.5");
+    auto completed = poller.post("/v1/leases/" + leaseId + "/complete",
+                                 completeBody.str());
+    ASSERT_EQ(completed.status, 200) << completed.body;
+    auto lateOutcome = store::parseJson(completed.body);
+    EXPECT_EQ(lateOutcome.at("state").asString(), "done");
+    EXPECT_TRUE(lateOutcome.at("late").asBool());
+
+    // The ghost's late traffic changed nothing: the job's tally is
+    // what the replacement reported.
+    auto after = store::parseJson(
+        poller.get("/v1/jobs/" + jobId).body);
+    EXPECT_EQ(after.at("state").asString(), "done");
+    EXPECT_EQ(after.at("trialsExecuted").asU64(), 8u);
+}
+
+TEST_F(FleetTest, WarmFleetCacheServesSecondSubmissionWithoutWork)
+{
+    std::string first = submit(
+        std::string("{\"experiment\":\"") + EXPERIMENT + "\"}");
+    service::WorkerAgent agent(workerConfig("warmup"));
+    agent.start();
+    awaitJob(first);
+    agent.stop();
+
+    // The coordinator's store is warm: the re-submitted sweep is
+    // served entirely from cache -- no leases, no workers, no trials.
+    auto fleetBefore =
+        store::parseJson(client().get("/v1/fleet").body);
+    uint64_t issuedBefore = fleetBefore.at("leasesIssued").asU64();
+
+    std::string second = submit(
+        std::string("{\"experiment\":\"") + EXPERIMENT + "\"}");
+    auto final = store::parseJson(awaitJob(second));
+    EXPECT_EQ(final.at("state").asString(), "done");
+    EXPECT_EQ(final.at("trialsExecuted").asU64(), 0u);
+    for (const auto &cell : final.at("cells").elements)
+        EXPECT_TRUE(cell.at("cached").asBool());
+    auto fleetAfter =
+        store::parseJson(client().get("/v1/fleet").body);
+    EXPECT_EQ(fleetAfter.at("leasesIssued").asU64(), issuedBefore);
+}
+
+} // namespace
